@@ -1,0 +1,86 @@
+"""A1 (ablation) — what the merge rules and masking overhead cost.
+
+Two design choices DESIGN.md calls out:
+
+1. ``require_equal_imm`` — hardware without per-PE register indexing (the
+   MasPar restriction, §3.1.3.1) only merges ops whose immediates agree.
+   How much induced speedup does that restriction forfeit?
+2. ``mask_overhead`` — every slot pays for loading the PE enable mask.
+   How fast does the induction win erode as masking gets pricier?
+"""
+
+import pytest
+
+from conftest import record_table
+from repro.core import CostModel, induce
+from repro.core.search import SearchConfig
+from repro.util import format_table, geometric_mean
+from repro.workloads import RandomRegionSpec, random_region
+
+SEEDS = (0, 1, 2)
+CONFIG = SearchConfig(node_budget=30_000)
+
+
+def _regions(imm_heavy: bool):
+    """Random regions; ``imm_heavy`` attaches small immediates to ops."""
+    out = []
+    for seed in SEEDS:
+        region = random_region(
+            RandomRegionSpec(num_threads=6, min_len=10, max_len=14,
+                             vocab_size=6, overlap=0.7, private_vocab=False),
+            seed=seed)
+        if imm_heavy:
+            from repro.core.ops import Operation, Region, ThreadCode
+            threads = []
+            for tc in region.threads:
+                ops = tuple(
+                    Operation(op.thread, op.index, op.opcode, op.reads,
+                              op.writes, imm=(op.index * 7 + op.thread) % 3)
+                    for op in tc.ops)
+                threads.append(ThreadCode(tc.thread, ops))
+            region = Region(tuple(threads))
+        out.append(region)
+    return out
+
+
+def run_experiment():
+    rows = []
+    data = {}
+    # Part 1: immediate-matching restriction.
+    for strict in (False, True):
+        model = CostModel(mask_overhead=1.0, default_cost=3.0,
+                          require_equal_imm=strict)
+        speedups = [induce(r, model, method="search", config=CONFIG).speedup_vs_serial
+                    for r in _regions(imm_heavy=True)]
+        data[("imm", strict)] = geometric_mean(speedups)
+        rows.append([f"require_equal_imm={strict}", "-",
+                     round(data[('imm', strict)], 2)])
+    # Part 2: masking-overhead sweep.  With heterogeneous op costs the
+    # induction win is biased toward merging expensive ops; a growing
+    # per-slot mask cost dilutes that bias (in the uniform-cost limit the
+    # overhead cancels out entirely and the speedup is just ops/slots).
+    het_costs = {f"op{i}": float(2 ** i) for i in range(6)}
+    for overhead in (0.0, 1.0, 3.0, 10.0, 30.0):
+        model = CostModel(class_cost=het_costs, mask_overhead=overhead,
+                          default_cost=3.0)
+        speedups = [induce(r, model, method="search", config=CONFIG).speedup_vs_serial
+                    for r in _regions(imm_heavy=False)]
+        data[("mask", overhead)] = geometric_mean(speedups)
+        rows.append(["mask overhead sweep", overhead,
+                     round(data[('mask', overhead)], 3)])
+    text = format_table(
+        ["ablation", "mask overhead", "search speedup vs serial"],
+        rows, title="A1: merge-rule and masking-overhead ablation (6 threads)")
+    record_table("A1_merge_rules", text)
+    return data
+
+
+def test_a1_merge_rules(benchmark):
+    data = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    # The immediate restriction costs real speedup on immediate-heavy code.
+    assert data[("imm", True)] < data[("imm", False)]
+    assert data[("imm", True)] >= 1.0
+    # Masking overhead weakly erodes the win but never below 1.
+    sweep = [data[("mask", o)] for o in (0.0, 1.0, 3.0, 10.0, 30.0)]
+    assert all(a >= b - 1e-6 for a, b in zip(sweep, sweep[1:]))
+    assert sweep[-1] >= 1.0

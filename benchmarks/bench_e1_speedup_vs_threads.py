@@ -1,0 +1,59 @@
+"""E1 — CSI speedup over serialized MIMD emulation vs thread count.
+
+Reconstruction of the CSI paper's headline result: induced-schedule
+execution time against the serialization baseline as the number of threads
+sharing the SIMD machine grows.  Expected shape: speedup grows with thread
+count (sublinearly — masking overhead and unmergeable ops), with
+search >= greedy >= 1 everywhere.
+"""
+
+import pytest
+
+from conftest import record_table
+from repro.core import induce, maspar_cost_model
+from repro.core.search import SearchConfig
+from repro.util import format_table, geometric_mean
+from repro.workloads import RandomRegionSpec, random_region
+
+THREAD_COUNTS = (1, 2, 4, 8, 16)
+SEEDS = (0, 1, 2)
+MODEL = maspar_cost_model()
+CONFIG = SearchConfig(node_budget=30_000)
+METHODS = ("lockstep", "factor", "greedy", "search")
+
+
+def region_for(t: int, seed: int):
+    return random_region(
+        RandomRegionSpec(num_threads=t, min_len=12, max_len=20,
+                         vocab_size=16, overlap=0.6, private_vocab=False),
+        seed=seed)
+
+
+def run_experiment() -> dict[str, dict[int, float]]:
+    by_method: dict[str, dict[int, float]] = {m: {} for m in METHODS}
+    for method in METHODS:
+        for t in THREAD_COUNTS:
+            vals = []
+            for seed in SEEDS:
+                r = induce(region_for(t, seed), MODEL, method=method,
+                           config=CONFIG if method == "search" else None)
+                vals.append(r.speedup_vs_serial)
+            by_method[method][t] = geometric_mean(vals)
+    rows = [[t] + [round(by_method[m][t], 2) for m in METHODS]
+            for t in THREAD_COUNTS]
+    text = format_table(
+        ["threads", "lockstep", "prefix/suffix", "greedy CSI", "search CSI"],
+        rows,
+        title="E1: speedup over serialized MIMD emulation (geomean, 3 seeds)")
+    record_table("E1_speedup_vs_threads", text)
+    return by_method
+
+
+def test_e1_speedup_vs_threads(benchmark):
+    by_method = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    search = by_method["search"]
+    assert search[1] == pytest.approx(1.0, abs=0.01)
+    assert search[16] > search[4] > 1.3
+    for t in THREAD_COUNTS:
+        assert by_method["search"][t] >= by_method["greedy"][t] - 1e-9
+        assert by_method["greedy"][t] >= 1.0 - 1e-9

@@ -1,0 +1,63 @@
+"""E2 — CSI speedup vs inter-thread code similarity.
+
+Sweeps the overlap knob of the random-region generator: at overlap 0 with
+thread-private opcode vocabularies nothing can merge (speedup 1); at
+overlap 1 the threads are opcode-identical and collapse toward a single
+sequence (speedup -> thread count).  The induced speedup should rise
+monotonically (up to sampling noise) between the two extremes.
+"""
+
+import pytest
+
+from conftest import record_table
+from repro.core import induce, maspar_cost_model
+from repro.core.search import SearchConfig
+from repro.util import format_table, geometric_mean
+from repro.workloads import RandomRegionSpec, random_region
+
+OVERLAPS = (0.0, 0.25, 0.5, 0.75, 1.0)
+SEEDS = (0, 1, 2)
+THREADS = 8
+MODEL = maspar_cost_model()
+CONFIG = SearchConfig(node_budget=30_000)
+
+
+def run_experiment():
+    results: dict[float, dict[str, float]] = {}
+    for overlap in OVERLAPS:
+        per_method: dict[str, list[float]] = {"greedy": [], "search": []}
+        util: list[float] = []
+        for seed in SEEDS:
+            region = random_region(
+                RandomRegionSpec(num_threads=THREADS, min_len=14, max_len=14,
+                                 vocab_size=12, overlap=overlap,
+                                 private_vocab=True),
+                seed=seed)
+            for method in ("greedy", "search"):
+                r = induce(region, MODEL, method=method,
+                           config=CONFIG if method == "search" else None)
+                per_method[method].append(r.speedup_vs_serial)
+                if method == "search":
+                    util.append(r.schedule.sharing_factor())
+        results[overlap] = {
+            "greedy": geometric_mean(per_method["greedy"]),
+            "search": geometric_mean(per_method["search"]),
+            "sharing": sum(util) / len(util),
+        }
+    rows = [[o, round(results[o]["greedy"], 2), round(results[o]["search"], 2),
+             round(results[o]["sharing"], 2)] for o in OVERLAPS]
+    text = format_table(
+        ["overlap", "greedy speedup", "search speedup", "ops per slot"],
+        rows,
+        title=f"E2: CSI speedup vs inter-thread similarity ({THREADS} threads)")
+    record_table("E2_speedup_vs_overlap", text)
+    return results
+
+
+def test_e2_speedup_vs_overlap(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    assert results[0.0]["search"] == pytest.approx(1.0, abs=0.01)
+    assert results[1.0]["search"] > 0.8 * THREADS  # near-total collapse
+    assert results[1.0]["search"] > results[0.5]["search"] > results[0.0]["search"]
+    # sharing factor tracks the same trend
+    assert results[1.0]["sharing"] > results[0.0]["sharing"]

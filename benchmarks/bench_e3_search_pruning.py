@@ -1,0 +1,79 @@
+"""E3 — search cost and the value of each pruning rule.
+
+The CSI paper's search is "heavily pruned"; this experiment measures what
+the pruning buys.  For growing region sizes we run the branch-and-bound
+with (a) all pruning, (b) each rule ablated, and (c) no pruning at all, and
+report nodes expanded plus the schedule cost found.  Expected shape: orders
+of magnitude fewer nodes with pruning, identical (optimal) costs; the
+greedy heuristic is polynomial with a modest optimality gap.
+"""
+
+import pytest
+
+from conftest import record_table
+from repro.core import greedy_schedule, maspar_cost_model
+from repro.core.search import SearchConfig, branch_and_bound
+from repro.util import format_table
+from repro.workloads import RandomRegionSpec, random_region
+
+MODEL = maspar_cost_model()
+SIZES = (4, 6, 8, 10)
+BUDGET = 400_000
+
+CONFIGS = {
+    "full pruning": SearchConfig(node_budget=BUDGET),
+    "no cp bound": SearchConfig(node_budget=BUDGET, use_cp_bound=False),
+    "no class bound": SearchConfig(node_budget=BUDGET, use_class_bound=False),
+    "no memo": SearchConfig(node_budget=BUDGET, use_memo=False),
+    "no pruning": SearchConfig(node_budget=BUDGET, use_cp_bound=False,
+                               use_class_bound=False, use_memo=False,
+                               seed_with_greedy=False),
+}
+
+
+def region_for(size: int):
+    return random_region(
+        RandomRegionSpec(num_threads=3, min_len=size, max_len=size,
+                         vocab_size=8, overlap=0.6, private_vocab=False),
+        seed=42)
+
+
+def run_experiment():
+    rows = []
+    data: dict[tuple[int, str], tuple[int, float, bool]] = {}
+    for size in SIZES:
+        region = region_for(size)
+        greedy_cost = greedy_schedule(region, MODEL).cost(MODEL)
+        row = [f"{size} ops/thread"]
+        for name, config in CONFIGS.items():
+            sched, stats = branch_and_bound(region, MODEL, config)
+            data[(size, name)] = (stats.nodes_expanded, sched.cost(MODEL),
+                                  stats.optimal)
+            row.append(stats.nodes_expanded if stats.optimal
+                       else f">{stats.nodes_expanded}")
+        row.append(round(greedy_cost / data[(size, 'full pruning')][1], 3))
+        rows.append(row)
+    text = format_table(
+        ["region"] + list(CONFIGS) + ["greedy/optimal cost"],
+        rows,
+        title="E3: nodes expanded by the CSI search (3 threads)")
+    record_table("E3_search_pruning", text)
+    return data
+
+
+def test_e3_search_pruning(benchmark):
+    data = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    for size in SIZES:
+        full_nodes, full_cost, full_opt = data[(size, "full pruning")]
+        none_nodes, none_cost, none_opt = data[(size, "no pruning")]
+        # Pruning never degrades the schedule...
+        if full_opt and none_opt:
+            assert full_cost == pytest.approx(none_cost)
+        # ...and buys a large node reduction on the bigger regions.
+        if size >= 8 and none_opt:
+            assert full_nodes * 5 <= none_nodes
+    # greedy is never better than the exact search
+    for size in SIZES:
+        _, full_cost, full_opt = data[(size, "full pruning")]
+        greedy_cost = greedy_schedule(region_for(size), MODEL).cost(MODEL)
+        assert greedy_cost >= full_cost - 1e-9

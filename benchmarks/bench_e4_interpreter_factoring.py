@@ -1,0 +1,78 @@
+"""E4 — CSI factoring of the MIMD interpreter (§3.1.3.2).
+
+Two views of the same claim ("without this factoring, the interpreter
+would be several times slower"):
+
+1. *Schedule level*: handler bodies of a growing MIMD instruction mix are
+   fed to CSI as a multi-thread region; we report induced cost vs the
+   serialized handlers and vs hand prefix/suffix factoring.
+2. *Interpreter level*: a divergent MIMDC kernel is run through the
+   interpreter with and without factored shared sequences.
+"""
+
+import pytest
+
+from conftest import record_table
+from repro.core import induce
+from repro.core.search import SearchConfig
+from repro.interp import InterpreterConfig, run_program
+from repro.lang import compile_mimdc
+from repro.util import format_table
+from repro.workloads.programs import kernel_source
+from repro.workloads.threads import (
+    interpreter_handler_region,
+    interpreter_micro_cost_model,
+)
+
+MIXES = {
+    "2 (Add,Mul)": ("Add", "Mul"),
+    "4 (+Push,Ld)": ("Add", "Mul", "Push", "Ld"),
+    "6 (+PushC,StS)": ("Add", "Mul", "Push", "Ld", "PushC", "StS"),
+    "8 (+Sub,LdD)": ("Add", "Mul", "Push", "Ld", "PushC", "StS", "Sub", "LdD"),
+}
+
+
+def run_experiment():
+    model = interpreter_micro_cost_model()
+    rows = []
+    data = {}
+    for label, mix in MIXES.items():
+        region = interpreter_handler_region(mix)
+        serial = induce(region, model, method="serial")
+        factor = induce(region, model, method="factor")
+        search = induce(region, model, method="search",
+                        config=SearchConfig(node_budget=100_000))
+        data[label] = (serial.cost, factor.cost, search.cost)
+        rows.append([label, round(serial.cost, 0), round(factor.cost, 0),
+                     round(search.cost, 0),
+                     f"{serial.cost / search.cost:.2f}x"])
+    # Interpreter-level ablation.
+    unit = compile_mimdc(kernel_source("divergent", 30))
+    cycles = {}
+    for name, cfg in (("factored", InterpreterConfig(subinterpreters=False)),
+                      ("unfactored", InterpreterConfig(factored=False,
+                                                       subinterpreters=False))):
+        _, stats = run_program(unit.program, 64, config=cfg, layout=unit.layout)
+        cycles[name] = stats.cycles
+    rows.append(["interpreter run (divergent x64 PEs)",
+                 round(cycles["unfactored"], 0), "-",
+                 round(cycles["factored"], 0),
+                 f"{cycles['unfactored'] / cycles['factored']:.2f}x"])
+    text = format_table(
+        ["handler mix", "serialized", "hand prefix/suffix", "CSI",
+         "CSI speedup"],
+        rows,
+        title="E4: factoring interpreter handlers (micro-op cycle costs)")
+    record_table("E4_interpreter_factoring", text)
+    return data, cycles
+
+
+def test_e4_interpreter_factoring(benchmark):
+    data, cycles = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    for label, (serial, factor, search) in data.items():
+        assert search <= factor <= serial
+    # Bigger mixes -> bigger induction wins; the largest mix shows the
+    # "several times slower without factoring" effect.
+    big_serial, _, big_search = data["8 (+Sub,LdD)"]
+    assert big_serial / big_search > 2.0
+    assert cycles["unfactored"] > cycles["factored"]

@@ -1,0 +1,60 @@
+"""E5 — interpreted MIMD as a fraction of native SIMD peak (§3.1.2).
+
+"On the MasPar MP-1, MIMD performance is typically between 1/40th and 1/5th
+of peak SIMD performance."  For each kernel that exists both as MIMDC
+source and as a native SIMD routine doing identical arithmetic, we run
+both on the simulated machine and report the cycle ratio — asserting the
+band and that the computed *results* agree exactly.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import record_table
+from repro.interp import InterpreterConfig, run_program
+from repro.lang import compile_mimdc
+from repro.simd import SIMDMachine
+from repro.simd.native import NATIVE_KERNELS
+from repro.util import format_table
+from repro.workloads.programs import kernel_source
+
+NUM_PES = 128
+ITERS = 40
+KERNELS = ("axpy", "polynomial", "pairwise")
+
+
+def run_experiment():
+    rows = []
+    fractions = {}
+    for name in KERNELS:
+        unit = compile_mimdc(kernel_source(name, ITERS))
+        init = {}
+        if "nprocs" in unit.globals_map:
+            init[unit.address_of("nprocs")] = NUM_PES
+        interp, stats = run_program(unit.program, NUM_PES, layout=unit.layout,
+                                    globals_init=init)
+        machine = SIMDMachine(NUM_PES)
+        native_result = NATIVE_KERNELS[name](machine, ITERS)
+        mimd_result = interp.peek_global(unit.address_of("result"))
+        assert np.array_equal(np.asarray(mimd_result), native_result), \
+            f"{name}: interpreted result diverges from native"
+        frac = machine.cycles / stats.cycles
+        fractions[name] = frac
+        rows.append([name, round(machine.cycles, 0), round(stats.cycles, 0),
+                     f"1/{1 / frac:.0f}",
+                     round(stats.pe_utilization(NUM_PES), 3)])
+    text = format_table(
+        ["kernel", "native SIMD cycles", "interpreted cycles",
+         "fraction of peak", "PE util"],
+        rows,
+        title=f"E5: MIMD-on-SIMD vs native SIMD ({NUM_PES} PEs, "
+              f"{ITERS} iterations)")
+    record_table("E5_fraction_of_peak", text)
+    return fractions
+
+
+def test_e5_fraction_of_peak(benchmark):
+    fractions = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    for name, frac in fractions.items():
+        assert 1 / 40 <= frac <= 1 / 5, \
+            f"{name}: fraction {frac:.4f} outside the paper's 1/40..1/5 band"

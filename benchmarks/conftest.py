@@ -1,0 +1,34 @@
+"""Shared benchmark plumbing.
+
+Every experiment prints its paper-style table through :func:`record_table`,
+which also persists it under ``benchmarks/results/`` so EXPERIMENTS.md can
+cite stable numbers; the console copy is emitted at session end through the
+terminal reporter (pytest captures ordinary prints).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_TABLES: list[str] = []
+
+
+def record_table(name: str, text: str) -> None:
+    """Persist one experiment table and queue it for terminal output."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    _TABLES.append(text)
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "experiment tables")
+    for text in _TABLES:
+        terminalreporter.write_line(text)
+        terminalreporter.write_line("")

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Would you run it here... or there?  Automatic target selection.
+
+Builds the Table-1-style fleet (workstations, multiprocessors, a 16,384-PE
+MasPar, a network of Sun 4s), compiles three MIMDC programs with very
+different communication profiles, and asks the AHS selector where to run
+them — idle, then under load.  The loaded case reproduces the §4 story:
+"if the MasPar has a multitude of jobs waiting and the Sun is idle, running
+this code on the Sun may result in the smallest expected execution time."
+
+Run:  python examples/heterogeneous_scheduling.py
+"""
+
+from repro.lang import compile_mimdc
+from repro.sched import LoadGenerator, select_target, simulate_execution, update_load_averages
+from repro.util import format_table
+from repro.workloads.machines import table1_database
+from repro.workloads.programs import kernel_source
+
+PROGRAMS = {
+    "compute-bound (axpy)": kernel_source("axpy", 200),
+    "mono-heavy (barrier_heavy)": kernel_source("barrier_heavy", 50),
+    "par-subscript (pairwise)": kernel_source("pairwise", 50),
+}
+
+
+def show_selection(db, title):
+    rows = []
+    for name, src in PROGRAMS.items():
+        unit = compile_mimdc(src)
+        for n_pes in (1, 16, 512):
+            sel = select_target(db, unit.counts, n_pes)
+            rows.append([name, n_pes, sel.description,
+                         f"{sel.predicted_time * 1e3:.2f} ms"])
+    print(format_table(["program", "PEs", "chosen target", "predicted"],
+                       rows, title=title))
+    print()
+
+
+def main() -> None:
+    db = table1_database()
+    show_selection(db, "Idle fleet")
+
+    # Load up the fleet: the MasPar queue deepens, workstations get busy.
+    loaded = table1_database(maspar_load=300.0)
+    loads = LoadGenerator(loaded.machines(), mean_load=4.0, volatility=1.0, seed=7)
+    for _ in range(5):
+        loads.step()
+    update_load_averages(loaded, loads)
+    show_selection(loaded, "Loaded fleet (MasPar queue depth 300, busy boxes)")
+
+    # Prediction vs actual for one concrete run.
+    unit = compile_mimdc(PROGRAMS["compute-bound (axpy)"])
+    sel = select_target(loaded, unit.counts, 16)
+    background = {m: loads.background_jobs(m) for m in loaded.machines()}
+    actual = simulate_execution(sel, unit.counts, background,
+                                recompile_overhead=0.0)
+    print(f"16-PE axpy on the loaded fleet: chose {sel.description}")
+    print(f"predicted {sel.predicted_time * 1e3:.2f} ms, "
+          f"actual (event simulation) {actual * 1e3:.2f} ms")
+    print()
+
+    # The full §4.3 master-script flow in one call — when the fleet routes
+    # a wide job to the MasPar, the program genuinely runs through the
+    # MIMD-on-SIMD interpreter.
+    from repro.ahs import run_ahs
+    report = run_ahs(PROGRAMS["compute-bound (axpy)"], n_pes=1024,
+                     db=table1_database(include_udp=False))
+    print("end-to-end (run_ahs):", report.describe())
+    print()
+
+    # §5 future work: schedule individual functions.  A program with a
+    # compute-heavy phase and a communication-heavy phase splits across
+    # specialists when switching is cheap.
+    from repro.sched import schedule_functions
+    two_phase = compile_mimdc("""
+        mono int channel;
+        int crunch(int x) {
+            int i; int s;
+            s = 0; i = 0;
+            while (i < 100) { s = s + x * x + i; i = i + 1; }
+            return s;
+        }
+        int talk(int x) {
+            int i;
+            i = 0;
+            while (i < 100) { channel = x + i; i = i + 1; }
+            return channel;
+        }
+        int main() { return crunch(this) + talk(this); }
+    """)
+    sched = schedule_functions(table1_database(), two_phase.counts_by_function,
+                               n_pes=8, switch_cost=1e-3,
+                               phase_order=["crunch", "talk"])
+    print("function-level schedule:", sched.describe())
+    print(f"phases {['%.2f ms' % (t * 1e3) for t in sched.phase_times]}, "
+          f"{sched.transitions} migration(s), "
+          f"total {sched.total_time * 1e3:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro — reproduction of "Common Subexpression Induction" (Dietz, ICPP 1992).
+
+Core: :mod:`repro.core` (the CSI optimization).  Substrates: MIMD stack ISA
+(:mod:`repro.isa`), MIMDC mini-language (:mod:`repro.lang`), SIMD machine
+simulator (:mod:`repro.simd`), MIMD-on-SIMD interpreter (:mod:`repro.interp`),
+discrete-event UNIX execution models (:mod:`repro.models`), and the AHS-style
+heterogeneous target-selection scheduler (:mod:`repro.sched`).
+"""
+
+from repro.ahs import AhsReport, run_ahs
+from repro.core import (
+    CostModel,
+    InductionResult,
+    Operation,
+    Region,
+    Schedule,
+    ThreadCode,
+    induce,
+    maspar_cost_model,
+    parse_region,
+    uniform_cost_model,
+    verify_schedule,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AhsReport",
+    "CostModel",
+    "InductionResult",
+    "Operation",
+    "Region",
+    "Schedule",
+    "ThreadCode",
+    "__version__",
+    "induce",
+    "maspar_cost_model",
+    "parse_region",
+    "run_ahs",
+    "uniform_cost_model",
+    "verify_schedule",
+]

@@ -1,0 +1,137 @@
+"""The AHS master-script flow (§4.3), end to end.
+
+"When the user 'compiles' a MIMDC program, it is not actually compiled, but
+is analyzed and packaged into a master shell script [containing] the
+expected execution counts as well as the full source...  In execution, the
+first thing done by this master shell script is to apply the above
+algorithm to select the fastest target(s).  Once target(s) are selected,
+the program will run to completion on those target(s); running processes
+are never migrated."
+
+:func:`run_ahs` reproduces that flow against the simulated fleet:
+
+1. compile the source (expected counts fall out of codegen);
+2. optionally refresh the load database (the explicit §4.1.2 command);
+3. run the §4.2 target-selection algorithm;
+4. "ship and recompile" (a fixed overhead, §4.3: "nearly always small
+   compared to the runtime");
+5. execute: on the MasPar the program really runs through the
+   MIMD-on-SIMD interpreter (cycles converted to seconds by the entry's
+   calibration); on UNIX targets the processor-sharing simulator realizes
+   the contention.
+
+The report pairs the scheduler's *prediction* with the *realized* time —
+the number AHS lives or dies by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.interp import run_program
+from repro.lang import CompiledUnit, compile_mimdc
+from repro.sched import (
+    LoadGenerator,
+    MachineDatabase,
+    Selection,
+    select_target,
+    simulate_execution,
+    update_load_averages,
+)
+from repro.workloads.machines import ARCHETYPES, table1_database
+
+__all__ = ["AhsReport", "run_ahs"]
+
+#: seconds per abstract interpreter cycle for a given entry: derived from
+#: the entry's ADD time versus the ISA's ADD cycle cost.
+from repro.isa.opcodes import OPCODE_INFO, SHARED_COSTS
+
+_ADD_CYCLES = (SHARED_COSTS["fetch"] + SHARED_COSTS["nos"]
+               + OPCODE_INFO["Add"].private_cost)
+
+
+@dataclass(frozen=True)
+class AhsReport:
+    """Everything the §4.3 flow produced for one submission."""
+
+    unit: CompiledUnit
+    n_pes: int
+    selection: Selection
+    predicted_seconds: float
+    actual_seconds: float
+    recompile_overhead: float
+    executed_on_interpreter: bool
+    interpreter_cycles: float | None = None
+
+    @property
+    def prediction_ratio(self) -> float:
+        """predicted / actual (1.0 = perfect; >1 pessimistic)."""
+        if self.actual_seconds == 0:
+            return float("inf")
+        return self.predicted_seconds / self.actual_seconds
+
+    def describe(self) -> str:
+        where = self.selection.description
+        mode = ("interpreted on the simulated MasPar"
+                if self.executed_on_interpreter else "event-simulated")
+        return (f"{self.n_pes} PEs on {where} ({mode}): "
+                f"predicted {self.predicted_seconds * 1e3:.2f} ms, "
+                f"actual {self.actual_seconds * 1e3:.2f} ms")
+
+
+def run_ahs(
+    source: str,
+    n_pes: int,
+    db: MachineDatabase | None = None,
+    loads: LoadGenerator | None = None,
+    recompile_overhead: float = 0.05,
+    globals_init: dict[str, int] | None = None,
+) -> AhsReport:
+    """Compile, select, ship, and execute ``source`` on the fleet.
+
+    With ``loads`` given, the database is refreshed first (the user's
+    update command) and the same generator provides the machines' *true*
+    background load to the execution simulation — so a stale-but-refreshed
+    database yields honest predictions, exactly the AHS situation.
+    """
+    if n_pes < 1:
+        raise ValueError(f"need at least one PE, got {n_pes}")
+    unit = compile_mimdc(source)
+    db = db or table1_database()
+    if loads is not None:
+        update_load_averages(db, loads)
+    selection = select_target(db, unit.counts, n_pes)
+
+    entry = selection.targets[0]
+    if selection.kind == "single" and entry.model == "maspar":
+        # Really run it: the interpreter is the MasPar.
+        init = {}
+        for name, value in (globals_init or {}).items():
+            init[unit.address_of(name)] = value
+        interp, stats = run_program(unit.program, n_pes, layout=unit.layout,
+                                    globals_init=init)
+        arch = next(a for a in ARCHETYPES if a.name == entry.name)
+        seconds_per_cycle = arch.add_time / _ADD_CYCLES
+        queue_factor = entry.load_average or 1.0
+        actual = recompile_overhead + stats.cycles * seconds_per_cycle * queue_factor
+        return AhsReport(
+            unit=unit, n_pes=n_pes, selection=selection,
+            predicted_seconds=selection.predicted_time + recompile_overhead,
+            actual_seconds=actual,
+            recompile_overhead=recompile_overhead,
+            executed_on_interpreter=True,
+            interpreter_cycles=stats.cycles,
+        )
+
+    background = {}
+    if loads is not None:
+        background = {m: loads.background_jobs(m) for m in db.machines()}
+    actual = simulate_execution(selection, unit.counts, background,
+                                recompile_overhead=recompile_overhead)
+    return AhsReport(
+        unit=unit, n_pes=n_pes, selection=selection,
+        predicted_seconds=selection.predicted_time + recompile_overhead,
+        actual_seconds=actual,
+        recompile_overhead=recompile_overhead,
+        executed_on_interpreter=False,
+    )

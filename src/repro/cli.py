@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the user-facing surface of the 1992 prototype:
+
+- ``compile``  — MIMDC source -> assembly listing or binary object file
+  (the ``mimda`` step of §3.1.4);
+- ``run``      — execute MIMDC source or an object file on the simulated
+  MasPar through the MIMD-on-SIMD interpreter;
+- ``induce``   — run CSI (or a baseline) on a textual region file;
+- ``select``   — the "master shell script" step of §4.3: compute expected
+  op counts, consult the machine database, and report where the program
+  should run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_compile(args) -> int:
+    from repro.isa import disassemble, encode_object
+    from repro.lang import compile_mimdc
+
+    source = open(args.source).read()
+    unit = compile_mimdc(source, optimize=not args.no_optimize)
+    if args.output:
+        with open(args.output, "wb") as fh:
+            fh.write(encode_object(unit.program))
+        print(f"wrote {args.output}: {len(unit.program)} instructions, "
+              f"{len(unit.program.constants)} constants")
+    if args.asm or not args.output:
+        print(disassemble(unit.program), end="")
+    if args.counts:
+        print("; expected execution counts (for target selection):")
+        for op, count in sorted(unit.counts.items()):
+            print(f";   {op:8s} {count:12.2f}")
+    return 0
+
+
+def _load_program(path: str, optimize: bool = True):
+    from repro.interp.state import MemoryLayout
+    from repro.isa import decode_object
+    from repro.lang import compile_mimdc
+
+    if path.endswith(".mobj"):
+        program = decode_object(open(path, "rb").read())
+        return program, MemoryLayout(), {}
+    unit = compile_mimdc(open(path).read(), optimize=optimize)
+    return unit.program, unit.layout, unit.globals_map
+
+
+def _cmd_run(args) -> int:
+    from repro.interp import FrequencyBias, InterpreterConfig, run_program
+
+    program, layout, globals_map = _load_program(args.source)
+    config = InterpreterConfig(
+        factored=not args.no_factoring,
+        subinterpreters=not args.no_subinterpreters,
+        bias=FrequencyBias(period=args.bias) if args.bias else None,
+    )
+    interp, stats = run_program(program, args.pes, config=config, layout=layout)
+    print(f"ran on {args.pes} PEs: {stats.cycles:.1f} SIMD cycles, "
+          f"{stats.cycle_count} interpreter cycles, "
+          f"{stats.instructions_executed} instructions, "
+          f"PE utilization {stats.pe_utilization(args.pes):.3f}")
+    for comp, cyc in stats.breakdown.items():
+        print(f"  {comp:8s} {cyc:12.1f} cycles")
+    for name, addr in sorted(globals_map.items()):
+        values = interp.peek_global(addr)
+        if np.all(values == values[0]):
+            print(f"  {name} = {int(values[0])}")
+        else:
+            shown = ", ".join(str(int(v)) for v in values[:8])
+            more = ", ..." if len(values) > 8 else ""
+            print(f"  {name} = [{shown}{more}]")
+    return 0
+
+
+def _cmd_induce(args) -> int:
+    from repro.core import (
+        induce, lower_schedule, maspar_cost_model, parse_region,
+        render_simd_code, uniform_cost_model,
+    )
+    from repro.core.search import SearchConfig
+
+    region = parse_region(open(args.region).read())
+    model = maspar_cost_model() if args.model == "maspar" else uniform_cost_model()
+    result = induce(region, model, method=args.method,
+                    config=SearchConfig(node_budget=args.budget))
+    print(f"method={args.method} cost={result.cost:.1f} "
+          f"serial={result.serial_cost:.1f} "
+          f"speedup={result.speedup_vs_serial:.2f}x")
+    if result.stats is not None:
+        print(f"search: {result.stats.nodes_expanded} nodes, "
+              f"optimal={result.stats.optimal}")
+    print(render_simd_code(lower_schedule(result.schedule, region, model),
+                           region.num_threads))
+    return 0
+
+
+def _cmd_select(args) -> int:
+    from repro.lang import compile_mimdc
+    from repro.sched import select_target
+    from repro.workloads.machines import table1_database
+
+    unit = compile_mimdc(open(args.source).read())
+    db = table1_database(maspar_load=args.maspar_load)
+    selection = select_target(db, unit.counts, args.pes)
+    print(f"would run on: {selection.description}")
+    print(f"expected execution time: {selection.predicted_time * 1e3:.3f} ms")
+    if args.verbose:
+        print("candidates considered:")
+        for (name, model), t in sorted(selection.candidate_times.items(),
+                                       key=lambda kv: kv[1]):
+            shown = f"{t * 1e3:.3f} ms" if t != float("inf") else "unsupported"
+            print(f"  {name:14s} {model:6s} {shown}")
+    return 0
+
+
+def _cmd_simdc(args) -> int:
+    from repro.simdc import compile_simdc, run_simdc
+
+    unit = compile_simdc(open(args.source).read())
+    if args.vir:
+        print(unit.vir.render())
+        return 0
+    machine, result = run_simdc(unit, args.pes)
+    print(f"ran on {args.pes} PEs: result = {result.value}, "
+          f"{result.cycles:.1f} SIMD cycles, {result.steps} VIR steps")
+    # Plural non-array values live in executor registers and are gone after
+    # the run; arrays persist in PE memory, so report those.
+    for name, (base, size) in sorted(unit.array_bases.items()):
+        sample = machine.memory.data[:4, base:base + min(size, 4)]
+        print(f"  {name}[0:{min(size, 4)}] on PEs 0..3 = {sample.tolist()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Common Subexpression Induction reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile MIMDC to MIMD stack code")
+    p.add_argument("source", help="MIMDC source file")
+    p.add_argument("-o", "--output", help="binary object output (.mobj)")
+    p.add_argument("--asm", action="store_true", help="print assembly listing")
+    p.add_argument("--counts", action="store_true",
+                   help="print expected execution counts")
+    p.add_argument("--no-optimize", action="store_true")
+    p.set_defaults(fn=_cmd_compile)
+
+    p = sub.add_parser("run", help="run MIMDC/.mobj on the simulated MasPar")
+    p.add_argument("source", help="MIMDC source or .mobj object file")
+    p.add_argument("--pes", type=int, default=64)
+    p.add_argument("--no-factoring", action="store_true")
+    p.add_argument("--no-subinterpreters", action="store_true")
+    p.add_argument("--bias", type=int, default=0,
+                   help="frequency-bias period (0 = off)")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("induce", help="run CSI on a textual region file")
+    p.add_argument("region", help="region file (parse_region syntax)")
+    p.add_argument("--method", default="search",
+                   choices=["search", "greedy", "anneal", "factor", "lockstep", "serial"])
+    p.add_argument("--model", default="maspar", choices=["maspar", "uniform"])
+    p.add_argument("--budget", type=int, default=100_000)
+    p.set_defaults(fn=_cmd_induce)
+
+    p = sub.add_parser("simdc", help="compile and run a SIMDC (data-parallel) program")
+    p.add_argument("source", help="SIMDC source file")
+    p.add_argument("--pes", type=int, default=64)
+    p.add_argument("--vir", action="store_true", help="print the vector IR only")
+    p.set_defaults(fn=_cmd_simdc)
+
+    p = sub.add_parser("select", help="pick the best target for a program")
+    p.add_argument("source", help="MIMDC source file")
+    p.add_argument("--pes", type=int, default=16)
+    p.add_argument("--maspar-load", type=float, default=1.0)
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(fn=_cmd_select)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

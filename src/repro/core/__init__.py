@@ -1,0 +1,60 @@
+"""Common Subexpression Induction (CSI) — the paper's core contribution.
+
+CSI takes the per-thread instruction sequences of a MIMD code region and
+produces a single SIMD schedule in which one instruction slot may be shared
+("induced") by every thread that needs an instruction of that class at that
+point, minimizing total masked-SIMD execution time.
+
+Public entry points:
+
+- :func:`repro.core.pipeline.induce` — run CSI (or a baseline) on a region.
+- :class:`repro.core.ops.Region` / :class:`repro.core.ops.Operation` — IR.
+- :class:`repro.core.costmodel.CostModel` — SIMD timing/mergeability model.
+- :class:`repro.core.schedule.Schedule` — the result, verifiable with
+  :func:`repro.core.verify.verify_schedule`.
+"""
+
+from repro.core.anneal import AnnealStats, anneal_schedule
+from repro.core.costmodel import CostModel, maspar_cost_model, uniform_cost_model
+from repro.core.dag import DependenceDAG, build_dags
+from repro.core.factor import factor_schedule
+from repro.core.greedy import greedy_schedule
+from repro.core.lower import MaskedInstruction, lower_schedule, render_simd_code
+from repro.core.ops import Operation, Region, ThreadCode, parse_region
+from repro.core.pipeline import InductionResult, induce
+from repro.core.schedule import Schedule, Slot
+from repro.core.search import SearchStats, branch_and_bound
+from repro.core.serial import lockstep_schedule, serial_schedule
+from repro.core.verify import ScheduleError, verify_schedule
+from repro.core.window import WindowedResult, windowed_induce
+
+__all__ = [
+    "AnnealStats",
+    "CostModel",
+    "DependenceDAG",
+    "InductionResult",
+    "MaskedInstruction",
+    "Operation",
+    "Region",
+    "Schedule",
+    "ScheduleError",
+    "SearchStats",
+    "Slot",
+    "ThreadCode",
+    "anneal_schedule",
+    "branch_and_bound",
+    "build_dags",
+    "factor_schedule",
+    "greedy_schedule",
+    "induce",
+    "lockstep_schedule",
+    "lower_schedule",
+    "maspar_cost_model",
+    "parse_region",
+    "render_simd_code",
+    "serial_schedule",
+    "uniform_cost_model",
+    "verify_schedule",
+    "windowed_induce",
+    "WindowedResult",
+]

@@ -1,0 +1,119 @@
+"""Per-thread dependence DAGs.
+
+CSI may reorder operations *within* a thread as long as dependences are
+respected; dependences are the classical three derived from read/write sets
+over straight-line code:
+
+- flow (read-after-write),
+- anti (write-after-read),
+- output (write-after-write).
+
+The DAG also precomputes, for a given cost model, each operation's *remaining
+critical path* (longest cost-weighted path to any sink), which the
+branch-and-bound search uses as an admissible lower bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.costmodel import CostModel
+from repro.core.ops import Region, ThreadCode
+
+__all__ = ["DependenceDAG", "build_dags"]
+
+
+@dataclass(frozen=True)
+class DependenceDAG:
+    """Immutable dependence DAG of one thread's operation sequence.
+
+    ``preds[i]``/``succs[i]`` are tuples of operation indices.  Transitive
+    edges are not removed — correctness never depends on minimality, and
+    keeping them makes construction obviously right.
+    """
+
+    thread: int
+    preds: tuple[tuple[int, ...], ...]
+    succs: tuple[tuple[int, ...], ...]
+
+    def __len__(self) -> int:
+        return len(self.preds)
+
+    def ready(self, done: frozenset[int]) -> list[int]:
+        """Indices whose predecessors are all in ``done`` and not done."""
+        return [
+            i for i in range(len(self.preds))
+            if i not in done and all(p in done for p in self.preds[i])
+        ]
+
+    def is_valid_order(self, order: Iterable[int]) -> bool:
+        """True iff ``order`` is a topological order of exactly all ops."""
+        seen: set[int] = set()
+        for i in order:
+            if i in seen or not (0 <= i < len(self.preds)):
+                return False
+            if any(p not in seen for p in self.preds[i]):
+                return False
+            seen.add(i)
+        return len(seen) == len(self.preds)
+
+    def critical_path_costs(self, thread_code: ThreadCode, model: CostModel) -> tuple[float, ...]:
+        """``cp[i]`` = cost of the longest path starting at op ``i``.
+
+        Path cost counts slot costs (issue + mask overhead), i.e. the
+        minimum schedule time the thread needs once it is about to run
+        op ``i`` with nothing else done on its critical path.
+        """
+        n = len(self.preds)
+        cp = [0.0] * n
+        for i in reversed(range(n)):
+            own = model.slot_cost(model.opcode_class(thread_code.ops[i].opcode))
+            best_succ = max((cp[s] for s in self.succs[i]), default=0.0)
+            cp[i] = own + best_succ
+        return tuple(cp)
+
+
+def _build_one(tc: ThreadCode, serialize: bool) -> DependenceDAG:
+    n = len(tc.ops)
+    preds: list[set[int]] = [set() for _ in range(n)]
+    if serialize:
+        for i in range(1, n):
+            preds[i].add(i - 1)
+    else:
+        last_write: dict[str, int] = {}
+        readers_since_write: dict[str, list[int]] = {}
+        for i, op in enumerate(tc.ops):
+            for sym in op.reads:
+                if sym in last_write:          # flow dependence
+                    preds[i].add(last_write[sym])
+                readers_since_write.setdefault(sym, []).append(i)
+            for sym in op.writes:
+                if sym in last_write:          # output dependence
+                    preds[i].add(last_write[sym])
+                for r in readers_since_write.get(sym, ()):  # anti dependence
+                    if r != i:
+                        preds[i].add(r)
+                last_write[sym] = i
+                readers_since_write[sym] = []
+            # An op both reading and writing sym: the read is of the old
+            # value, handled above because reads were processed first.
+    succs: list[list[int]] = [[] for _ in range(n)]
+    for i, ps in enumerate(preds):
+        for p in ps:
+            succs[p].append(i)
+    return DependenceDAG(
+        thread=tc.thread,
+        preds=tuple(tuple(sorted(ps)) for ps in preds),
+        succs=tuple(tuple(sorted(ss)) for ss in succs),
+    )
+
+
+def build_dags(region: Region, respect_order: bool = False) -> tuple[DependenceDAG, ...]:
+    """Build one dependence DAG per thread.
+
+    With ``respect_order=True`` every op depends on its predecessor —
+    i.e. program order is kept verbatim (a chain), which is both a useful
+    baseline and a much cheaper search space.
+    """
+    return tuple(_build_one(tc, respect_order) for tc in region.threads)

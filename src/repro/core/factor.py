@@ -1,0 +1,74 @@
+"""Hand-factoring baseline: merge common prefixes and suffixes only.
+
+Before CSI existed, common SIMD subsequences were factored out of MIMD
+interpreters *by hand* (supplied text §3.1.3.2: "this recognition of common
+SIMD code sequences can be done by hand for very simple MIMD instruction
+sets").  The natural hand factoring merges the operations every thread
+starts with (shared prologue — e.g. instruction fetch) and ends with
+(shared epilogue — e.g. program-counter increment) and serializes whatever
+differs in the middle.
+
+This is the intermediate point between :func:`repro.core.serial.serial_schedule`
+and full CSI: it finds alignments only at the region's edges, in program
+order, never by reordering.
+"""
+
+from __future__ import annotations
+
+from repro.core.costmodel import CostModel
+from repro.core.ops import Region
+from repro.core.schedule import Schedule, Slot
+
+__all__ = ["factor_schedule"]
+
+
+def _common_prefix_len(region: Region, model: CostModel, limit: int) -> int:
+    k = 0
+    while k < limit:
+        keys = {model.merge_key(tc.ops[k]) for tc in region.threads}
+        if len(keys) != 1:
+            break
+        k += 1
+    return k
+
+
+def _common_suffix_len(region: Region, model: CostModel, limit: int) -> int:
+    k = 0
+    while k < limit:
+        keys = {model.merge_key(tc.ops[len(tc) - 1 - k]) for tc in region.threads}
+        if len(keys) != 1:
+            break
+        k += 1
+    return k
+
+
+def factor_schedule(region: Region, model: CostModel) -> Schedule:
+    """Merge the maximal common prefix and suffix; serialize the middles.
+
+    Operations stay in program order, so the result is valid for any
+    dependence structure (program order is always a topological order).
+    """
+    if region.num_threads == 0:
+        return Schedule(())
+    min_len = min(len(tc) for tc in region.threads)
+    pre = _common_prefix_len(region, model, min_len)
+    suf = _common_suffix_len(region, model, min_len - pre)
+
+    slots: list[Slot] = []
+    for k in range(pre):
+        op0 = region[0].ops[k]
+        slots.append(Slot(
+            model.opcode_class(op0.opcode),
+            {tc.thread: k for tc in region.threads},
+        ))
+    for tc in region.threads:
+        for k in range(pre, len(tc) - suf):
+            op = tc.ops[k]
+            slots.append(Slot(model.opcode_class(op.opcode), {tc.thread: k}))
+    for k in range(suf, 0, -1):
+        op0 = region[0].ops[len(region[0]) - k]
+        slots.append(Slot(
+            model.opcode_class(op0.opcode),
+            {tc.thread: len(tc) - k for tc in region.threads},
+        ))
+    return Schedule(tuple(slots))

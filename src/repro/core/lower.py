@@ -1,0 +1,69 @@
+"""Lowering schedules to masked SIMD code.
+
+A :class:`repro.core.schedule.Schedule` is abstract — it says which ops share
+which slot.  Lowering turns it into a linear sequence of
+:class:`MaskedInstruction`\\ s: one broadcast instruction per slot, an enable
+mask naming the participating threads, and the per-thread operand bindings
+the handler reads through indirect addressing.  This is the form the
+MIMD-on-SIMD interpreter (and the tests) can actually execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.core.costmodel import CostModel
+from repro.core.ops import Operation, Region
+from repro.core.schedule import Schedule
+
+__all__ = ["MaskedInstruction", "lower_schedule", "render_simd_code"]
+
+
+@dataclass(frozen=True)
+class MaskedInstruction:
+    """One SIMD issue: ``opclass`` under ``mask`` with per-thread operands."""
+
+    opclass: str
+    mask: frozenset[int]
+    bindings: Mapping[int, Operation]
+    cost: float
+
+    def __post_init__(self) -> None:
+        if set(self.bindings) != set(self.mask):
+            raise ValueError("mask and bindings disagree on participating threads")
+        object.__setattr__(self, "bindings", MappingProxyType(dict(self.bindings)))
+
+    @property
+    def width(self) -> int:
+        return len(self.mask)
+
+
+def lower_schedule(schedule: Schedule, region: Region, model: CostModel) -> list[MaskedInstruction]:
+    """Bind each slot's picks to concrete operations and attach slot costs."""
+    code: list[MaskedInstruction] = []
+    for slot in schedule:
+        bindings = {t: region[t].ops[i] for t, i in slot.picks.items()}
+        code.append(MaskedInstruction(
+            opclass=slot.opclass,
+            mask=frozenset(slot.picks),
+            bindings=bindings,
+            cost=model.slot_cost(slot.opclass),
+        ))
+    return code
+
+
+def render_simd_code(code: list[MaskedInstruction], num_threads: int) -> str:
+    """Listing with a visual PE-enable column per thread, e.g. ``X.X.``."""
+    lines: list[str] = []
+    total = 0.0
+    for k, instr in enumerate(code):
+        mask_str = "".join("X" if t in instr.mask else "." for t in range(num_threads))
+        ops = "  ".join(
+            f"T{t}<{instr.bindings[t].render()}>" for t in sorted(instr.mask)
+        )
+        total += instr.cost
+        lines.append(f"{k:4d} |{mask_str}| {instr.opclass:<8s} cost={instr.cost:<6g} {ops}")
+    lines.append(f"total cost = {total:g}")
+    return "\n".join(lines)

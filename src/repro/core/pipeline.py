@@ -1,0 +1,103 @@
+"""High-level CSI entry point.
+
+:func:`induce` runs the chosen induction method on a region, verifies the
+resulting schedule against the independent checker, and reports its cost
+next to the serialization baseline, so callers get a paper-style
+"speedup over serial MIMD emulation" number out of one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.anneal import anneal_schedule
+from repro.core.costmodel import CostModel
+from repro.core.dag import build_dags
+from repro.core.factor import factor_schedule
+from repro.core.greedy import greedy_schedule
+from repro.core.ops import Region
+from repro.core.schedule import Schedule
+from repro.core.search import SearchConfig, SearchStats, branch_and_bound
+from repro.core.serial import lockstep_schedule, serial_schedule
+from repro.core.verify import verify_schedule
+
+__all__ = ["InductionResult", "METHODS", "induce"]
+
+METHODS = ("search", "greedy", "anneal", "factor", "lockstep", "serial")
+
+
+@dataclass(frozen=True)
+class InductionResult:
+    """Outcome of one induction run."""
+
+    method: str
+    schedule: Schedule
+    cost: float
+    serial_cost: float
+    lockstep_cost: float
+    stats: SearchStats | None = None
+
+    @property
+    def speedup_vs_serial(self) -> float:
+        """Paper-style speedup: serialized-MIMD time / induced time."""
+        return self.serial_cost / self.cost if self.cost else float("inf")
+
+    @property
+    def speedup_vs_lockstep(self) -> float:
+        """Speedup over the naive lockstep interpreter schedule."""
+        return self.lockstep_cost / self.cost if self.cost else float("inf")
+
+
+def induce(
+    region: Region,
+    model: CostModel,
+    method: str = "search",
+    config: SearchConfig | None = None,
+    verify: bool = True,
+) -> InductionResult:
+    """Run CSI (``method='search'``) or a baseline on ``region``.
+
+    Methods: ``search`` (branch-and-bound CSI), ``greedy`` (list-scheduling
+    heuristic), ``anneal`` (simulated annealing over op priorities),
+    ``factor`` (common prefix/suffix hand-factoring), ``lockstep`` (naive
+    interpreter), ``serial`` (thread-at-a-time).
+
+    With ``verify=True`` (default) the schedule is checked by the
+    independent verifier before being returned; an invalid schedule is a
+    library bug and raises :class:`repro.core.verify.ScheduleError`.
+    """
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
+
+    respect_order = bool(config and config.respect_order)
+    stats: SearchStats | None = None
+    if method == "search":
+        schedule, stats = branch_and_bound(region, model, config)
+    elif method == "greedy":
+        schedule = greedy_schedule(region, model, respect_order=respect_order)
+    elif method == "anneal":
+        schedule, _astats = anneal_schedule(region, model,
+                                            respect_order=respect_order)
+    elif method == "factor":
+        schedule = factor_schedule(region, model)
+    elif method == "lockstep":
+        schedule = lockstep_schedule(region, model)
+    else:
+        schedule = serial_schedule(region, model)
+
+    if verify:
+        # Baselines built in program order are valid under any dependence
+        # structure; reordering methods are checked against the real DAGs.
+        dags = build_dags(region, respect_order=respect_order)
+        verify_schedule(schedule, region, model, dags=dags)
+
+    serial_cost = serial_schedule(region, model).cost(model)
+    lockstep_cost = lockstep_schedule(region, model).cost(model)
+    return InductionResult(
+        method=method,
+        schedule=schedule,
+        cost=schedule.cost(model),
+        serial_cost=serial_cost,
+        lockstep_cost=lockstep_cost,
+        stats=stats,
+    )

@@ -1,0 +1,252 @@
+"""The CSI scheduler: heavily pruned branch-and-bound search.
+
+Following the paper's outline ("operations from various threads are
+classified based on how they could be merged into single instructions
+executed by multiple threads, followed by a heavily pruned search to find
+the minimum execution time code schedule using these merges"):
+
+1. operations are bucketed by *merge key* (classification / itemization);
+2. a depth-first branch-and-bound explores sequences of slots; at each node
+   the candidate moves are, for each merge key with ready operations, the
+   slot induced over the threads that have one ready;
+3. pruning:
+
+   - **incumbent bound** — a node is cut when ``cost + lower_bound``
+     reaches the best complete schedule found so far.  Two admissible lower
+     bounds are combined: the *critical-path bound* (max over threads of the
+     cost-weighted longest remaining dependence path) and the *class-count
+     bound* (ops of equal key in the same thread can never merge, so each
+     key needs at least ``max_t remaining_t(key)`` slots);
+   - **dominance memoization** — the scheduler state is exactly the set of
+     completed ops per thread; reaching a previously seen state at equal or
+     higher cost is cut;
+   - **maximal-merge restriction** (on by default, like the paper's
+     pruning) — only the widest slot per merge key is tried.  This keeps
+     the branching factor at the number of distinct ready keys; disabling it
+     (``maximal_merges_only=False``) restores exhaustive subset enumeration
+     for small inputs, which the tests use to measure the heuristic's gap;
+
+4. the greedy list schedule seeds the incumbent, making the search an
+   anytime algorithm: with a node budget it degrades gracefully toward the
+   greedy result instead of failing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.costmodel import CostModel
+from repro.core.dag import DependenceDAG, build_dags
+from repro.core.greedy import greedy_schedule
+from repro.core.ops import Region
+from repro.core.schedule import Schedule, Slot
+
+__all__ = ["SearchConfig", "SearchStats", "branch_and_bound"]
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Knobs for :func:`branch_and_bound` (defaults follow the paper)."""
+
+    node_budget: int = 200_000
+    maximal_merges_only: bool = True
+    branch_thread_choices: bool = False
+    respect_order: bool = False
+    use_cp_bound: bool = True
+    use_class_bound: bool = True
+    use_memo: bool = True
+    seed_with_greedy: bool = True
+
+    def __post_init__(self) -> None:
+        if self.node_budget < 1:
+            raise ValueError(f"node budget must be positive, got {self.node_budget}")
+
+
+@dataclass
+class SearchStats:
+    """Counters describing one search run."""
+
+    nodes_expanded: int = 0
+    children_generated: int = 0
+    pruned_by_bound: int = 0
+    pruned_by_memo: int = 0
+    best_cost: float = float("inf")
+    incumbent_updates: int = 0
+    optimal: bool = False
+    budget_exhausted: bool = False
+
+
+@dataclass
+class _SearchCtx:
+    region: Region
+    model: CostModel
+    dags: tuple[DependenceDAG, ...]
+    crit: tuple[tuple[float, ...], ...]
+    config: SearchConfig
+    stats: SearchStats
+    best_slots: list[Slot] = field(default_factory=list)
+    memo: dict[tuple[frozenset[int], ...], float] = field(default_factory=dict)
+
+
+def _lower_bound(
+    ctx: _SearchCtx,
+    done: list[frozenset[int]],
+    key_counts: dict[tuple, list[int]],
+) -> float:
+    bound = 0.0
+    if ctx.config.use_cp_bound:
+        for t, dset in enumerate(done):
+            ops_left = (ctx.crit[t][i] for i in range(len(ctx.dags[t])) if i not in dset)
+            bound = max(bound, max(ops_left, default=0.0))
+    if ctx.config.use_class_bound:
+        class_bound = 0.0
+        for key, counts in key_counts.items():
+            m = max(counts)
+            if m:
+                # key[0] is the opcode class by construction of merge_key.
+                class_bound += m * ctx.model.slot_cost(key[0])
+        bound = max(bound, class_bound)
+    return bound
+
+
+def _candidate_moves(
+    ctx: _SearchCtx,
+    done: list[frozenset[int]],
+) -> list[tuple[tuple, dict[int, int]]]:
+    """All (merge_key, picks) moves available from this state.
+
+    Per thread and key only the longest-critical-path ready op is offered
+    unless ``branch_thread_choices`` asks for all of them.
+    """
+    region, model, crit = ctx.region, ctx.model, ctx.crit
+    per_key: dict[tuple, dict[int, list[int]]] = {}
+    for t, dag in enumerate(ctx.dags):
+        for i in dag.ready(done[t]):
+            key = model.merge_key(region[t].ops[i])
+            per_key.setdefault(key, {}).setdefault(t, []).append(i)
+
+    moves: list[tuple[tuple, dict[int, int]]] = []
+    for key in sorted(per_key, key=repr):
+        threads = per_key[key]
+        choices: dict[int, list[int]] = {}
+        for t, idxs in threads.items():
+            if ctx.config.branch_thread_choices:
+                choices[t] = sorted(idxs)
+            else:
+                choices[t] = [max(idxs, key=lambda i: (crit[t][i], i))]
+        tids = sorted(choices)
+        if ctx.config.maximal_merges_only:
+            thread_subsets: list[tuple[int, ...]] = [tuple(tids)]
+        else:
+            thread_subsets = [
+                subset
+                for r in range(len(tids), 0, -1)
+                for subset in itertools.combinations(tids, r)
+            ]
+        for subset in thread_subsets:
+            for combo in itertools.product(*(choices[t] for t in subset)):
+                moves.append((key, dict(zip(subset, combo))))
+    return moves
+
+
+def _greedy_move_score(ctx: _SearchCtx, move: tuple[tuple, dict[int, int]]) -> tuple:
+    key, picks = move
+    saved = (len(picks) - 1) * ctx.model.slot_cost(key[0])
+    longest = max(ctx.crit[t][i] for t, i in picks.items())
+    return (saved, longest, len(picks))
+
+
+def _dfs(
+    ctx: _SearchCtx,
+    done: list[frozenset[int]],
+    key_counts: dict[tuple, list[int]],
+    cost: float,
+    slots: list[Slot],
+    remaining: int,
+) -> None:
+    stats, config = ctx.stats, ctx.config
+    if remaining == 0:
+        if cost < stats.best_cost:
+            stats.best_cost = cost
+            stats.incumbent_updates += 1
+            ctx.best_slots = list(slots)
+        return
+    if stats.nodes_expanded >= config.node_budget:
+        stats.budget_exhausted = True
+        return
+    stats.nodes_expanded += 1
+
+    if cost + _lower_bound(ctx, done, key_counts) >= stats.best_cost:
+        stats.pruned_by_bound += 1
+        return
+
+    if config.use_memo:
+        state = tuple(done)
+        prev = ctx.memo.get(state)
+        if prev is not None and prev <= cost:
+            stats.pruned_by_memo += 1
+            return
+        ctx.memo[state] = cost
+
+    moves = _candidate_moves(ctx, done)
+    moves.sort(key=lambda m: _greedy_move_score(ctx, m), reverse=True)
+    stats.children_generated += len(moves)
+
+    for key, picks in moves:
+        opclass = key[0]
+        slot_cost = ctx.model.slot_cost(opclass)
+        slots.append(Slot(opclass, picks))
+        new_done = list(done)
+        for t, i in picks.items():
+            new_done[t] = done[t] | {i}
+            key_counts[key][t] -= 1
+        _dfs(ctx, new_done, key_counts, cost + slot_cost, slots, remaining - len(picks))
+        for t in picks:
+            key_counts[key][t] += 1
+        slots.pop()
+        if stats.budget_exhausted:
+            return
+
+
+def branch_and_bound(
+    region: Region,
+    model: CostModel,
+    config: SearchConfig | None = None,
+    dags: tuple[DependenceDAG, ...] | None = None,
+) -> tuple[Schedule, SearchStats]:
+    """Run the CSI search; returns the best schedule found and statistics.
+
+    ``stats.optimal`` is true when the search ran to completion within its
+    node budget *and* no completeness-losing restriction could have hidden a
+    better schedule (i.e. the proof is exact for the configured move set;
+    with ``maximal_merges_only`` the claim is relative to maximal merges,
+    which the test-suite cross-checks against exhaustive mode on small
+    regions).
+    """
+    config = config or SearchConfig()
+    if dags is None:
+        dags = build_dags(region, respect_order=config.respect_order)
+    crit = tuple(dag.critical_path_costs(region[t], model) for t, dag in enumerate(dags))
+    stats = SearchStats()
+    ctx = _SearchCtx(region=region, model=model, dags=dags, crit=crit,
+                     config=config, stats=stats)
+
+    if config.seed_with_greedy:
+        incumbent = greedy_schedule(region, model, dags=dags)
+        stats.best_cost = incumbent.cost(model)
+        ctx.best_slots = list(incumbent.slots)
+
+    key_counts: dict[tuple, list[int]] = {}
+    for t, tc in enumerate(region.threads):
+        for op in tc.ops:
+            key = model.merge_key(op)
+            key_counts.setdefault(key, [0] * region.num_threads)[t] += 1
+
+    done = [frozenset() for _ in region.threads]
+    _dfs(ctx, done, key_counts, 0.0, [], region.num_ops)
+
+    stats.optimal = not stats.budget_exhausted
+    if not ctx.best_slots and region.num_ops:
+        raise RuntimeError("search produced no schedule (empty incumbent and no leaf reached)")
+    return Schedule(tuple(ctx.best_slots)), stats

@@ -1,0 +1,56 @@
+"""Baseline schedules without induction.
+
+Two baselines bracket what a SIMD machine does with MIMD threads when no
+common code is induced:
+
+- :func:`serial_schedule` — run each thread to completion in turn, every
+  operation in its own slot.  This is the worst case the CSI paper's
+  speedups are quoted against: total time is the *sum* of all threads.
+
+- :func:`lockstep_schedule` — the behaviour of the basic MIMD-on-SIMD
+  interpreter (supplied text §3.1.1): all threads advance one operation per
+  interpreter cycle; within a cycle, each distinct merge key present is
+  issued once with all threads needing it enabled.  This already shares
+  slots *accidentally* (when threads happen to be aligned) but never
+  reorders to create alignment — exactly the gap CSI closes.
+"""
+
+from __future__ import annotations
+
+from repro.core.costmodel import CostModel
+from repro.core.ops import Region
+from repro.core.schedule import Schedule, Slot
+
+__all__ = ["lockstep_schedule", "serial_schedule"]
+
+
+def serial_schedule(region: Region, model: CostModel) -> Schedule:
+    """One slot per operation, threads strictly one after another."""
+    slots: list[Slot] = []
+    for tc in region.threads:
+        for op in tc.ops:
+            slots.append(Slot(model.opcode_class(op.opcode), {tc.thread: op.index}))
+    return Schedule(tuple(slots))
+
+
+def lockstep_schedule(region: Region, model: CostModel) -> Schedule:
+    """Interpreter-style lockstep execution in program order.
+
+    Cycle ``k`` looks at operation ``k`` of every thread still running,
+    groups them by merge key, and issues one slot per group (deterministic
+    order: sorted by merge-key repr, so results are reproducible).
+    """
+    slots: list[Slot] = []
+    depth = max((len(tc) for tc in region.threads), default=0)
+    for k in range(depth):
+        groups: dict[tuple, dict[int, int]] = {}
+        for tc in region.threads:
+            if k < len(tc):
+                op = tc.ops[k]
+                groups.setdefault(model.merge_key(op), {})[tc.thread] = k
+        for key in sorted(groups, key=repr):
+            picks = groups[key]
+            any_thread = next(iter(picks))
+            opclass = model.opcode_class(region[any_thread].ops[picks[any_thread]].opcode)
+            slots.append(Slot(opclass, picks))
+    return Schedule(tuple(slots))

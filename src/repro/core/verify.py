@@ -1,0 +1,78 @@
+"""Independent schedule verification.
+
+The scheduler implementations are search code with pruning heuristics — the
+kind of code where a subtle bug silently produces an *invalid but cheap*
+schedule that looks like a great result.  This module is the defense: a
+from-first-principles checker used by the tests, the property-based suite
+and (optionally) the induction pipeline itself.
+
+A schedule is valid for (region, model) iff:
+
+1. every operation of the region appears in exactly one slot;
+2. each slot holds at most one operation per thread, all mergeable with each
+   other under the model (same merge key);
+3. the slot's declared opcode class matches its operations' class;
+4. for each thread, the order in which its operations appear respects the
+   thread's dependence DAG.
+"""
+
+from __future__ import annotations
+
+from repro.core.costmodel import CostModel
+from repro.core.dag import DependenceDAG, build_dags
+from repro.core.ops import Region
+from repro.core.schedule import Schedule
+
+__all__ = ["ScheduleError", "verify_schedule"]
+
+
+class ScheduleError(AssertionError):
+    """Raised when a schedule fails verification."""
+
+
+def verify_schedule(
+    schedule: Schedule,
+    region: Region,
+    model: CostModel,
+    dags: tuple[DependenceDAG, ...] | None = None,
+    respect_order: bool = False,
+) -> None:
+    """Raise :class:`ScheduleError` unless ``schedule`` is valid.
+
+    ``dags`` may be supplied to avoid recomputation; otherwise they are
+    rebuilt with ``respect_order``.
+    """
+    if dags is None:
+        dags = build_dags(region, respect_order=respect_order)
+
+    seen: set[tuple[int, int]] = set()
+    per_thread_order: dict[int, list[int]] = {t: [] for t in range(region.num_threads)}
+
+    for k, slot in enumerate(schedule.slots):
+        keys = set()
+        for t, i in slot.picks.items():
+            if not (0 <= t < region.num_threads):
+                raise ScheduleError(f"slot {k}: unknown thread {t}")
+            if not (0 <= i < len(region[t])):
+                raise ScheduleError(f"slot {k}: thread {t} has no op {i}")
+            op = region[t].ops[i]
+            if op.key in seen:
+                raise ScheduleError(f"slot {k}: op {op.key} scheduled twice")
+            seen.add(op.key)
+            if model.opcode_class(op.opcode) != slot.opclass:
+                raise ScheduleError(
+                    f"slot {k}: op {op.key} has class "
+                    f"{model.opcode_class(op.opcode)!r}, slot says {slot.opclass!r}")
+            keys.add(model.merge_key(op))
+            per_thread_order[t].append(i)
+        if len(keys) != 1:
+            raise ScheduleError(f"slot {k}: non-mergeable operations {sorted(keys)}")
+
+    total = region.num_ops
+    if len(seen) != total:
+        missing = {op.key for op in region.all_ops()} - seen
+        raise ScheduleError(f"schedule covers {len(seen)}/{total} ops; missing {sorted(missing)}")
+
+    for t, order in per_thread_order.items():
+        if not dags[t].is_valid_order(order):
+            raise ScheduleError(f"thread {t}: order {order} violates dependences")

@@ -1,0 +1,24 @@
+"""Deterministic discrete-event simulation kernel.
+
+A minimal generator-based process simulator (in the simpy style, built from
+scratch): processes are Python generators that yield commands — ``Timeout``
+to advance simulated time, channel ``get``/``put`` for message passing, or
+an ``Event`` to wait on.  All the "UNIX" execution models of
+:mod:`repro.models` (pipes, shared file, UDP sockets) and the load-dependent
+timing of :mod:`repro.sched` run on this kernel, so every experiment is
+reproducible to the tick.
+"""
+
+from repro.events.kernel import Event, Interrupt, Kernel, Process, Timeout
+from repro.events.channel import Channel
+from repro.events.resources import SharedCPU
+
+__all__ = [
+    "Channel",
+    "Event",
+    "Interrupt",
+    "Kernel",
+    "Process",
+    "SharedCPU",
+    "Timeout",
+]

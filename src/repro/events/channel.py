@@ -1,0 +1,59 @@
+"""FIFO message channels (the simulation's pipes and sockets)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.events.kernel import Event, Kernel
+
+__all__ = ["Channel"]
+
+
+class Channel:
+    """An ordered message queue with optional delivery latency.
+
+    ``put`` is non-blocking (UNIX pipe writes of packet size are atomic and
+    buffered, §3.2.1); a message becomes *visible* to ``get`` only
+    ``latency`` seconds after the put.  ``get()`` returns an Event a process
+    yields on; it resolves with the message.  Multiple concurrent getters
+    are served FIFO.
+    """
+
+    def __init__(self, kernel: Kernel, latency: float = 0.0, name: str = "chan"):
+        if latency < 0:
+            raise ValueError(f"negative latency {latency}")
+        self.kernel = kernel
+        self.latency = latency
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self.puts = 0
+        self.gets = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Send ``item``; it arrives after the channel latency."""
+        self.puts += 1
+        if self.latency:
+            self.kernel.call_later(self.latency, self._deliver, item)
+        else:
+            self._deliver(item)
+
+    def _deliver(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that resolves with the next message (yield it)."""
+        self.gets += 1
+        ev = Event(self.kernel)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev

@@ -1,0 +1,166 @@
+"""The event loop: time, processes, events.
+
+Processes are generators.  Yield values understood by the kernel:
+
+- ``Timeout(dt)`` — resume after ``dt`` simulated seconds;
+- ``Event`` — resume when the event is succeeded; the yield evaluates to
+  the event's value;
+- another ``Process`` — resume when that process terminates (join).
+
+Determinism: simultaneous callbacks run in schedule order (a monotonically
+increasing sequence number breaks ties), so runs are bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterator
+
+__all__ = ["Event", "Interrupt", "Kernel", "Process", "Timeout"]
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Timeout:
+    """Yieldable delay command."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.delay = delay
+
+
+class Event:
+    """A one-shot event processes can wait on.
+
+    ``succeed(value)`` resumes every waiter with ``value``.  Succeeding
+    twice is an error; waiting on an already-succeeded event resumes
+    immediately (same tick).
+    """
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: list[Process] = []
+
+    def succeed(self, value: Any = None) -> None:
+        if self.triggered:
+            raise RuntimeError("event succeeded twice")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.kernel.call_soon(proc._resume, value)
+
+    def _add_waiter(self, proc: "Process") -> None:
+        if self.triggered:
+            self.kernel.call_soon(proc._resume, self.value)
+        else:
+            self._waiters.append(proc)
+
+
+class Process:
+    """A running generator; itself waitable (join) like an Event."""
+
+    def __init__(self, kernel: "Kernel", gen: Generator, name: str = "proc"):
+        self.kernel = kernel
+        self.gen = gen
+        self.name = name
+        self.alive = True
+        self.result: Any = None
+        self.exit_event = Event(kernel)
+        self._interrupt: Interrupt | None = None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its next resume."""
+        if not self.alive:
+            return
+        self._interrupt = Interrupt(cause)
+        self.kernel.call_soon(self._resume, None)
+
+    # -- internal -----------------------------------------------------------
+
+    def _resume(self, value: Any) -> None:
+        if not self.alive:
+            return
+        try:
+            if self._interrupt is not None:
+                exc, self._interrupt = self._interrupt, None
+                command = self.gen.throw(exc)
+            else:
+                command = self.gen.send(value)
+        except StopIteration as stop:
+            self.alive = False
+            self.result = stop.value
+            self.exit_event.succeed(stop.value)
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Timeout):
+            self.kernel.call_later(command.delay, self._resume, None)
+        elif isinstance(command, Event):
+            command._add_waiter(self)
+        elif isinstance(command, Process):
+            command.exit_event._add_waiter(self)
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded {command!r}; expected "
+                f"Timeout, Event, or Process")
+
+
+class Kernel:
+    """The simulation clock and run queue."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._queue: list[tuple[float, int, Callable, tuple]] = []
+        self._seq = 0
+        self.events_processed = 0
+
+    def call_later(self, delay: float, fn: Callable, *args) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, fn, args))
+
+    def call_soon(self, fn: Callable, *args) -> None:
+        self.call_later(0.0, fn, *args)
+
+    def spawn(self, gen: Generator | Iterator, name: str = "proc") -> Process:
+        """Register a generator as a process; it starts on the next tick."""
+        proc = Process(self, gen, name)
+        self.call_soon(proc._resume, None)
+        return proc
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> float:
+        """Process queued work; returns the final simulated time.
+
+        Stops when the queue drains, simulated time would pass ``until``,
+        or ``max_events`` callbacks have run (runaway guard).
+        """
+        while self._queue:
+            if self.events_processed >= max_events:
+                raise RuntimeError(f"event budget {max_events} exhausted "
+                                   f"(livelocked model?)")
+            t, _seq, fn, args = self._queue[0]
+            if until is not None and t > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = t
+            self.events_processed += 1
+            fn(*args)
+        return self.now

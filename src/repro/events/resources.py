@@ -1,0 +1,109 @@
+"""Processor-sharing CPU model.
+
+The AHS load model (§4.1.2) says a machine executes slower "by a factor
+proportional to the number of processes currently sharing" it — the classic
+processor-sharing queue.  :class:`SharedCPU` implements it exactly: ``n``
+cores run ``k`` compute-bound jobs at rate ``min(1, n/k)`` each; whenever a
+job arrives or finishes, remaining work is re-scaled.
+
+External (background) load is modeled by ``set_background_jobs``: jobs that
+never finish but consume capacity, producing the "load average" the
+scheduler's database records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.events.kernel import Event, Kernel
+
+__all__ = ["SharedCPU"]
+
+
+@dataclass
+class _Job:
+    remaining: float
+    done: Event
+
+
+class SharedCPU:
+    """Processor-sharing CPU with a fixed core count and background load."""
+
+    def __init__(self, kernel: Kernel, cores: int = 1, background_jobs: float = 0.0):
+        if cores < 1:
+            raise ValueError(f"need at least one core, got {cores}")
+        if background_jobs < 0:
+            raise ValueError(f"negative background load {background_jobs}")
+        self.kernel = kernel
+        self.cores = cores
+        self.background_jobs = background_jobs
+        self._jobs: list[_Job] = []
+        self._last_update = 0.0
+        self._tick_scheduled: float | None = None
+        self.busy_time = 0.0
+
+    # -- public API --------------------------------------------------------------
+
+    def set_background_jobs(self, jobs: float) -> None:
+        """Change the external compute-bound load (may be fractional)."""
+        if jobs < 0:
+            raise ValueError(f"negative background load {jobs}")
+        self._advance()
+        self.background_jobs = jobs
+        self._reschedule()
+
+    def current_rate(self) -> float:
+        """Per-job execution rate right now (1.0 = full speed)."""
+        total = len(self._jobs) + self.background_jobs
+        if total <= self.cores:
+            return 1.0
+        return self.cores / total
+
+    def load_average(self) -> float:
+        """Jobs per core (the multiplicative slowdown the scheduler sees)."""
+        total = len(self._jobs) + self.background_jobs
+        return max(1.0, total / self.cores)
+
+    def compute(self, work: float) -> Event:
+        """Submit ``work`` seconds of single-core compute; yields when done."""
+        if work < 0:
+            raise ValueError(f"negative work {work}")
+        done = Event(self.kernel)
+        if work == 0:
+            done.succeed(None)
+            return done
+        self._advance()
+        self._jobs.append(_Job(remaining=work, done=done))
+        self._reschedule()
+        return done
+
+    # -- internals -----------------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Apply progress accrued since the last state change."""
+        dt = self.kernel.now - self._last_update
+        self._last_update = self.kernel.now
+        if dt <= 0 or not self._jobs:
+            return
+        rate = self.current_rate()
+        self.busy_time += dt * min(self.cores, len(self._jobs) + self.background_jobs)
+        finished: list[_Job] = []
+        for job in self._jobs:
+            job.remaining -= dt * rate
+            if job.remaining <= 1e-12:
+                finished.append(job)
+        for job in finished:
+            self._jobs.remove(job)
+            job.done.succeed(None)
+
+    def _reschedule(self) -> None:
+        """Schedule a tick at the next job completion."""
+        if not self._jobs:
+            return
+        rate = self.current_rate()
+        next_done = min(job.remaining for job in self._jobs) / rate
+        self.kernel.call_later(next_done, self._tick)
+
+    def _tick(self) -> None:
+        self._advance()
+        self._reschedule()

@@ -1,0 +1,50 @@
+"""Frequency biasing (§3.1.3.3).
+
+"Frequency biasing simply ignores some instructions for n out of every m
+interpreter cycles": expensive instruction types are serviced only on
+cycles where ``cycle % period == offset``, which (a) keeps the common-case
+cycle short and (b) temporally aligns expensive instructions that were an
+interpreter cycle or two apart, so one multiply issue serves several PEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DEFAULT_EXPENSIVE", "FrequencyBias"]
+
+#: Instruction types worth delaying: long ALU ops and router traffic.
+DEFAULT_EXPENSIVE: frozenset[str] = frozenset(
+    {"Mul", "Div", "Mod", "LdD", "StD", "StS",
+     "FAdd", "FSub", "FMul", "FDiv"})
+
+
+@dataclass(frozen=True)
+class FrequencyBias:
+    """Service ``expensive`` opcodes only every ``period``-th cycle."""
+
+    period: int = 4
+    offset: int = 0
+    expensive: frozenset[str] = field(default_factory=lambda: DEFAULT_EXPENSIVE)
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ValueError(f"period must be >= 1, got {self.period}")
+        if not (0 <= self.offset < self.period):
+            raise ValueError(f"offset {self.offset} outside [0, {self.period})")
+
+    def serviced(self, opcode: str, cycle: int) -> bool:
+        """May ``opcode`` execute on interpreter cycle ``cycle``?"""
+        if opcode not in self.expensive:
+            return True
+        return cycle % self.period == self.offset
+
+    def filter(self, present: list[str], cycle: int) -> list[str]:
+        """Opcodes allowed to run this cycle.
+
+        If *every* present opcode is deferred the full set is returned —
+        stalling all PEs would only slide the schedule, never help, and
+        could livelock a program built solely from expensive instructions.
+        """
+        allowed = [op for op in present if self.serviced(op, cycle)]
+        return allowed if allowed else list(present)

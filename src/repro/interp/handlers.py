@@ -1,0 +1,327 @@
+"""Vectorized instruction handlers.
+
+Each handler executes one opcode for all PEs in ``mask`` simultaneously
+(that is the SIMD machine's one-instruction-type-at-a-time rule) and
+advances those PEs' program counters.  Stack discipline: the stack lives in
+PE memory *below* the TOS register cache; pushes spill the old TOS, pops
+reload it.
+
+Handlers are semantics-only; all timing is charged by the interpreter loop,
+which knows whether shared micro-ops are factored.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interp.state import MIMDState
+from repro.simd.machine import _div_trunc, _mod_trunc
+from repro.simd.memory import PEMemory
+from repro.simd.router import Router
+
+__all__ = ["HANDLERS", "ExecContext"]
+
+
+class ExecContext:
+    """Everything a handler needs: state, memory, router, constants."""
+
+    def __init__(self, state: MIMDState, mem: PEMemory, router: Router,
+                 constants: np.ndarray):
+        self.state = state
+        self.mem = mem
+        self.router = router
+        self.constants = constants
+
+
+def _advance(state: MIMDState, mask: np.ndarray) -> None:
+    state.pc[mask] += 1
+
+
+def _spill_tos(ctx: ExecContext, mask: np.ndarray) -> None:
+    """Push the TOS cache onto the in-memory stack."""
+    st = ctx.state
+    st.sp[mask] += 1
+    st.check_stack(mask)
+    ctx.mem.scatter(st.sp, st.tos, mask)
+
+
+def _reload_tos(ctx: ExecContext, mask: np.ndarray) -> None:
+    """Pop the in-memory stack into the TOS cache."""
+    st = ctx.state
+    st.check_stack(mask)
+    vals = ctx.mem.gather(st.sp, mask)
+    st.tos[mask] = vals[mask]
+    st.sp[mask] -= 1
+
+
+def _pop_nos(ctx: ExecContext, mask: np.ndarray) -> np.ndarray:
+    """Fetch and pop next-on-stack; returns the full-width vector."""
+    st = ctx.state
+    st.check_stack(mask)
+    nos = ctx.mem.gather(st.sp, mask)
+    st.sp[mask] -= 1
+    return nos
+
+
+def _h_push(ctx: ExecContext, mask: np.ndarray, arg: np.ndarray) -> None:
+    _spill_tos(ctx, mask)
+    ctx.state.tos[mask] = arg[mask]
+    _advance(ctx.state, mask)
+
+
+def _h_pushc(ctx: ExecContext, mask: np.ndarray, arg: np.ndarray) -> None:
+    _spill_tos(ctx, mask)
+    ctx.state.tos[mask] = ctx.constants[arg[mask]]
+    _advance(ctx.state, mask)
+
+
+def _h_this(ctx: ExecContext, mask: np.ndarray, arg: np.ndarray) -> None:
+    _spill_tos(ctx, mask)
+    pe_ids = np.arange(ctx.state.num_pes, dtype=np.int64)
+    ctx.state.tos[mask] = pe_ids[mask]
+    _advance(ctx.state, mask)
+
+
+def _h_dup(ctx: ExecContext, mask: np.ndarray, arg: np.ndarray) -> None:
+    _spill_tos(ctx, mask)  # TOS unchanged; one copy now in memory
+    _advance(ctx.state, mask)
+
+
+def _h_pop(ctx: ExecContext, mask: np.ndarray, arg: np.ndarray) -> None:
+    _reload_tos(ctx, mask)
+    _advance(ctx.state, mask)
+
+
+def _h_swap(ctx: ExecContext, mask: np.ndarray, arg: np.ndarray) -> None:
+    st = ctx.state
+    st.check_stack(mask)
+    nos = ctx.mem.gather(st.sp, mask)
+    ctx.mem.scatter(st.sp, st.tos, mask)
+    st.tos[mask] = nos[mask]
+    _advance(st, mask)
+
+
+def _h_ld(ctx: ExecContext, mask: np.ndarray, arg: np.ndarray) -> None:
+    st = ctx.state
+    vals = ctx.mem.gather(st.tos, mask)
+    st.tos[mask] = vals[mask]
+    _advance(st, mask)
+
+
+def _h_st(ctx: ExecContext, mask: np.ndarray, arg: np.ndarray) -> None:
+    st = ctx.state
+    addr = _pop_nos(ctx, mask)
+    ctx.mem.scatter(addr, st.tos, mask)
+    _reload_tos(ctx, mask)
+    _advance(st, mask)
+
+
+def _h_sts(ctx: ExecContext, mask: np.ndarray, arg: np.ndarray) -> None:
+    # Mono store: among racing PEs the highest-numbered wins; the winner's
+    # value is broadcast into every PE's shadow copy of the mono variable.
+    st = ctx.state
+    addr = _pop_nos(ctx, mask)
+    winners: dict[int, int] = {}
+    for pe in np.flatnonzero(mask):
+        winners[int(addr[pe])] = int(pe)
+    winner_mask = np.zeros(st.num_pes, dtype=bool)
+    for pe in winners.values():
+        winner_mask[pe] = True
+    ctx.router.broadcast_store(addr, st.tos, winner_mask)
+    _reload_tos(ctx, mask)
+    _advance(st, mask)
+
+
+def _h_ldd(ctx: ExecContext, mask: np.ndarray, arg: np.ndarray) -> None:
+    # Stack: [..., pe, addr=TOS] -> value
+    st = ctx.state
+    pe = _pop_nos(ctx, mask)
+    vals, _cost = ctx.router.fetch(pe, st.tos, mask)
+    st.tos[mask] = vals[mask]
+    _advance(st, mask)
+
+
+def _h_std(ctx: ExecContext, mask: np.ndarray, arg: np.ndarray) -> None:
+    # Stack: [..., pe, addr, value=TOS]
+    st = ctx.state
+    addr = _pop_nos(ctx, mask)
+    pe = _pop_nos(ctx, mask)
+    ctx.router.store(pe, addr, st.tos, mask)
+    _reload_tos(ctx, mask)
+    _advance(st, mask)
+
+
+_BINOPS = {
+    "Add": lambda a, b: a + b,
+    "Sub": lambda a, b: a - b,
+    "Mul": lambda a, b: a * b,
+    "Div": _div_trunc,
+    "Mod": _mod_trunc,
+    "And": lambda a, b: ((a != 0) & (b != 0)).astype(np.int64),
+    "Or": lambda a, b: ((a != 0) | (b != 0)).astype(np.int64),
+    "Eq": lambda a, b: (a == b).astype(np.int64),
+    "Ne": lambda a, b: (a != b).astype(np.int64),
+    "Lt": lambda a, b: (a < b).astype(np.int64),
+    "Le": lambda a, b: (a <= b).astype(np.int64),
+    "Gt": lambda a, b: (a > b).astype(np.int64),
+    "Ge": lambda a, b: (a >= b).astype(np.int64),
+    "Shl": lambda a, b: a << (b & 63),
+    "Shr": lambda a, b: a >> (b & 63),
+}
+
+
+def _make_binop(name):
+    fn = _BINOPS[name]
+
+    def handler(ctx: ExecContext, mask: np.ndarray, arg: np.ndarray) -> None:
+        st = ctx.state
+        nos = _pop_nos(ctx, mask)
+        with np.errstate(over="ignore"):
+            result = fn(nos, st.tos)
+        st.tos[mask] = result[mask]
+        _advance(st, mask)
+
+    return handler
+
+
+def _as_float(bits: np.ndarray) -> np.ndarray:
+    return bits.view(np.float64)
+
+
+def _as_bits(floats: np.ndarray) -> np.ndarray:
+    return floats.view(np.int64)
+
+
+_FBINOPS = {
+    "FAdd": lambda a, b: _as_bits(_as_float(a) + _as_float(b)),
+    "FSub": lambda a, b: _as_bits(_as_float(a) - _as_float(b)),
+    "FMul": lambda a, b: _as_bits(_as_float(a) * _as_float(b)),
+    "FDiv": lambda a, b: _as_bits(
+        np.divide(_as_float(a), _as_float(b),
+                  out=np.zeros_like(_as_float(a)), where=_as_float(b) != 0)),
+    "FEq": lambda a, b: (_as_float(a) == _as_float(b)).astype(np.int64),
+    "FLt": lambda a, b: (_as_float(a) < _as_float(b)).astype(np.int64),
+    "FLe": lambda a, b: (_as_float(a) <= _as_float(b)).astype(np.int64),
+}
+
+
+def _make_fbinop(name):
+    fn = _FBINOPS[name]
+
+    def handler(ctx: ExecContext, mask: np.ndarray, arg: np.ndarray) -> None:
+        st = ctx.state
+        nos = _pop_nos(ctx, mask)
+        with np.errstate(over="ignore", invalid="ignore"):
+            result = fn(nos.copy(), st.tos.copy())
+        st.tos[mask] = result[mask]
+        _advance(st, mask)
+
+    return handler
+
+
+def _h_fneg(ctx: ExecContext, mask: np.ndarray, arg: np.ndarray) -> None:
+    st = ctx.state
+    st.tos[mask] = _as_bits(-_as_float(st.tos.copy()))[mask]
+    _advance(st, mask)
+
+
+def _h_itof(ctx: ExecContext, mask: np.ndarray, arg: np.ndarray) -> None:
+    st = ctx.state
+    st.tos[mask] = _as_bits(st.tos.astype(np.float64))[mask]
+    _advance(st, mask)
+
+
+def _h_ftoi(ctx: ExecContext, mask: np.ndarray, arg: np.ndarray) -> None:
+    st = ctx.state
+    with np.errstate(invalid="ignore"):
+        as_int = np.nan_to_num(_as_float(st.tos.copy()),
+                               nan=0.0, posinf=0.0, neginf=0.0)
+        st.tos[mask] = np.trunc(as_int).astype(np.int64)[mask]
+    _advance(st, mask)
+
+
+def _h_neg(ctx: ExecContext, mask: np.ndarray, arg: np.ndarray) -> None:
+    st = ctx.state
+    st.tos[mask] = -st.tos[mask]
+    _advance(st, mask)
+
+
+def _h_not(ctx: ExecContext, mask: np.ndarray, arg: np.ndarray) -> None:
+    st = ctx.state
+    st.tos[mask] = (st.tos[mask] == 0).astype(np.int64)
+    _advance(st, mask)
+
+
+def _h_jmp(ctx: ExecContext, mask: np.ndarray, arg: np.ndarray) -> None:
+    ctx.state.pc[mask] = arg[mask]
+
+
+def _h_jz(ctx: ExecContext, mask: np.ndarray, arg: np.ndarray) -> None:
+    st = ctx.state
+    cond = st.tos.copy()
+    _reload_tos(ctx, mask)
+    taken = mask & (cond == 0)
+    fall = mask & (cond != 0)
+    st.pc[taken] = arg[taken]
+    st.pc[fall] += 1
+
+
+def _h_call(ctx: ExecContext, mask: np.ndarray, arg: np.ndarray) -> None:
+    st = ctx.state
+    _spill_tos(ctx, mask)
+    st.tos[mask] = st.pc[mask] + 1  # return address in TOS
+    st.pc[mask] = arg[mask]
+
+
+def _h_ret(ctx: ExecContext, mask: np.ndarray, arg: np.ndarray) -> None:
+    st = ctx.state
+    ret_addr = st.tos.copy()
+    _reload_tos(ctx, mask)
+    st.pc[mask] = ret_addr[mask]
+
+
+def _h_wait(ctx: ExecContext, mask: np.ndarray, arg: np.ndarray) -> None:
+    st = ctx.state
+    st.waiting[mask] = True
+    st.barriers_passed[mask] += 1
+    _advance(st, mask)  # resume past the Wait once the barrier opens
+
+
+def _h_halt(ctx: ExecContext, mask: np.ndarray, arg: np.ndarray) -> None:
+    ctx.state.halted[mask] = True
+
+
+def _h_nop(ctx: ExecContext, mask: np.ndarray, arg: np.ndarray) -> None:
+    _advance(ctx.state, mask)
+
+
+HANDLERS = {
+    "Push": _h_push,
+    "PushC": _h_pushc,
+    "This": _h_this,
+    "Dup": _h_dup,
+    "Pop": _h_pop,
+    "Swap": _h_swap,
+    "Ld": _h_ld,
+    "St": _h_st,
+    "LdS": _h_ld,   # mono load == local load of the shadow copy (§3.1.4)
+    "StS": _h_sts,
+    "LdD": _h_ldd,
+    "StD": _h_std,
+    "Neg": _h_neg,
+    "Not": _h_not,
+    "Jmp": _h_jmp,
+    "Jz": _h_jz,
+    "Call": _h_call,
+    "Ret": _h_ret,
+    "Wait": _h_wait,
+    "Halt": _h_halt,
+    "Nop": _h_nop,
+    "FNeg": _h_fneg,
+    "ItoF": _h_itof,
+    "FtoI": _h_ftoi,
+}
+for _name in _BINOPS:
+    HANDLERS[_name] = _make_binop(_name)
+for _name in _FBINOPS:
+    HANDLERS[_name] = _make_fbinop(_name)

@@ -1,0 +1,223 @@
+"""The MIMD-on-SIMD interpreter main loop.
+
+Implements the basic interpreter of §3.1.1 with the three §3.1.3
+optimizations as switchable features, charging abstract SIMD cycles from the
+:mod:`repro.isa.opcodes` cost tables:
+
+==============  =============================================================
+component       charged
+==============  =============================================================
+fetch           per *instruction type* when unfactored; once per cycle when
+                ``factored`` (CSI merged the fetch/PC-increment prologue)
+shared micro    ``nos``/``imm``/``pool`` sequences: per type when
+                unfactored; once per cycle (if any present type uses them)
+                when ``factored``
+decode          monolithic: proportional to the full instruction set;
+                with ``subinterpreters``: a global-OR plus cost proportional
+                to the chosen subinterpreter's dispatch size
+handler         the private body cost, always once per present type
+barrier         a release step each time a barrier opens
+==============  =============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.interp.biasing import FrequencyBias
+from repro.interp.handlers import HANDLERS, ExecContext
+from repro.interp.state import MemoryLayout, MIMDState
+from repro.interp.subinterp import SubinterpreterFamily, default_groups
+from repro.isa.opcodes import ALL_OPCODES, OPCODE_INFO, SHARED_COSTS, opcode_number
+from repro.isa.program import Program
+from repro.simd.memory import PEMemory
+from repro.simd.router import Router
+from repro.simd.timing import SIMDTiming, mp1_timing
+
+__all__ = ["InterpStats", "InterpreterConfig", "MIMDInterpreter", "run_program"]
+
+
+@dataclass(frozen=True)
+class InterpreterConfig:
+    """Feature switches and decode-cost coefficients."""
+
+    factored: bool = True
+    subinterpreters: bool = True
+    bias: FrequencyBias | None = None
+    decode_base: float = 2.0
+    decode_per_op: float = 0.4
+    barrier_release_cost: float = 6.0
+    max_cycles: int = 2_000_000
+    #: record the set of instruction types present each cycle (fuel for
+    #: the subinterpreter-partition optimizer, §3.1.3.3)
+    record_present: bool = False
+
+
+@dataclass
+class InterpStats:
+    """Cycle accounting for one run."""
+
+    cycles: float = 0.0
+    cycle_count: int = 0
+    instructions_executed: int = 0
+    slots_issued: int = 0
+    breakdown: dict[str, float] = field(default_factory=lambda: {
+        "fetch": 0.0, "decode": 0.0, "shared": 0.0, "handlers": 0.0, "barrier": 0.0,
+    })
+    barriers_released: int = 0
+
+    def charge(self, component: str, cycles: float) -> None:
+        self.cycles += cycles
+        self.breakdown[component] += cycles
+
+    @property
+    def cycles_per_instruction(self) -> float:
+        if self.instructions_executed == 0:
+            return float("inf")
+        return self.cycles / self.instructions_executed
+
+    def pe_utilization(self, num_pes: int) -> float:
+        """Executed instructions / (interpreter cycles x PEs)."""
+        if self.cycle_count == 0:
+            return 0.0
+        return self.instructions_executed / (self.cycle_count * num_pes)
+
+
+class MIMDInterpreter:
+    """Executes one :class:`Program` SPMD over ``num_pes`` simulated PEs."""
+
+    def __init__(
+        self,
+        program: Program,
+        num_pes: int,
+        config: InterpreterConfig | None = None,
+        layout: MemoryLayout | None = None,
+        timing: SIMDTiming | None = None,
+        subinterpreters: SubinterpreterFamily | None = None,
+    ):
+        if len(program) == 0:
+            raise ValueError("cannot interpret an empty program")
+        self.program = program
+        self.config = config or InterpreterConfig()
+        self.layout = layout or MemoryLayout()
+        self.timing = timing or mp1_timing()
+        self.state = MIMDState(num_pes, self.layout)
+        self.mem = PEMemory(num_pes, self.layout.total_words)
+        self.router = Router(self.mem, self.timing)
+        self.stats = InterpStats()
+        self.subinterp = subinterpreters or SubinterpreterFamily(default_groups())
+        self.present_log: list[tuple[str, ...]] = []
+        # Shared (mono) code image: SPMD — one copy, per-PE PCs index it.
+        self.code_op = np.array(
+            [opcode_number(i.opcode) for i in program.instructions], dtype=np.int64)
+        self.code_arg = np.array(
+            [i.operand if i.operand is not None else 0 for i in program.instructions],
+            dtype=np.int64)
+        self.constants = np.array(program.constants or (0,), dtype=np.int64)
+        self._number_to_name = {opcode_number(n): n for n in ALL_OPCODES}
+        self._ctx = ExecContext(self.state, self.mem, self.router, self.constants)
+
+    # -- memory convenience ---------------------------------------------------
+
+    def poke_global(self, addr: int, value: int | np.ndarray) -> None:
+        """Initialize a poly global (scalar broadcast or per-PE vector)."""
+        if not (0 <= addr < self.layout.globals_words):
+            raise IndexError(f"global address {addr} out of range")
+        self.mem.data[:, addr] = value
+
+    def peek_global(self, addr: int) -> np.ndarray:
+        if not (0 <= addr < self.layout.globals_words):
+            raise IndexError(f"global address {addr} out of range")
+        return self.mem.data[:, addr].copy()
+
+    # -- main loop ---------------------------------------------------------------
+
+    def _charge_cycle_costs(self, present: list[str]) -> None:
+        cfg, stats = self.config, self.stats
+        if cfg.factored:
+            stats.charge("fetch", SHARED_COSTS["fetch"])
+            needed = {c for op in present for c in OPCODE_INFO[op].shared if c != "fetch"}
+            for comp in needed:
+                stats.charge("shared", SHARED_COSTS[comp])
+        else:
+            for op in present:
+                for comp in OPCODE_INFO[op].shared:
+                    stats.charge("shared" if comp != "fetch" else "fetch",
+                                 SHARED_COSTS[comp])
+        if cfg.subinterpreters:
+            _sid, understood = self.subinterp.select(set(present))
+            stats.charge("decode", self.timing.global_or
+                         + cfg.decode_base + cfg.decode_per_op * understood)
+        else:
+            stats.charge("decode", cfg.decode_base + cfg.decode_per_op * len(ALL_OPCODES))
+
+    def step(self) -> bool:
+        """One interpreter cycle; returns False when all PEs have halted."""
+        state, stats = self.state, self.stats
+        if state.all_done():
+            return False
+        runnable = state.runnable()
+        if not runnable.any():
+            # Everyone left alive sits at a barrier: open it.
+            if not state.waiting.any():
+                raise RuntimeError("interpreter wedged: no runnable, no waiting PEs")
+            state.waiting[:] = False
+            stats.charge("barrier", self.config.barrier_release_cost)
+            stats.barriers_released += 1
+            return True
+
+    # fetch: per-PE indirect read of the shared code image
+        pcs = state.pc
+        if (pcs[runnable] < 0).any() or (pcs[runnable] >= len(self.code_op)).any():
+            raise RuntimeError("PC out of code range (missing Halt?)")
+        # Halted/waiting PEs may hold a stale PC one past a trailing Wait;
+        # clamp for the vector fetch — their lanes are never enabled anyway.
+        pcs_safe = np.clip(pcs, 0, len(self.code_op) - 1)
+        ops = self.code_op[pcs_safe]
+        args = self.code_arg[pcs_safe]
+
+        present_nums = np.unique(ops[runnable])
+        present = [self._number_to_name[int(n)] for n in present_nums]
+        if self.config.bias is not None:
+            present = self.config.bias.filter(present, stats.cycle_count)
+
+        if self.config.record_present:
+            self.present_log.append(tuple(present))
+        self._charge_cycle_costs(present)
+
+        for name in sorted(present, key=opcode_number):
+            mask = runnable & (ops == opcode_number(name))
+            if not mask.any():
+                continue
+            HANDLERS[name](self._ctx, mask, args)
+            stats.charge("handlers", OPCODE_INFO[name].private_cost)
+            stats.instructions_executed += int(np.count_nonzero(mask))
+            stats.slots_issued += 1
+
+        stats.cycle_count += 1
+        return not state.all_done()
+
+    def run(self) -> InterpStats:
+        """Run to completion (all PEs halted); raises on cycle overrun."""
+        while self.step():
+            if self.stats.cycle_count > self.config.max_cycles:
+                raise RuntimeError(
+                    f"program exceeded {self.config.max_cycles} interpreter cycles")
+        return self.stats
+
+
+def run_program(
+    program: Program,
+    num_pes: int,
+    config: InterpreterConfig | None = None,
+    layout: MemoryLayout | None = None,
+    globals_init: dict[int, int | np.ndarray] | None = None,
+) -> tuple[MIMDInterpreter, InterpStats]:
+    """Convenience: build an interpreter, set globals, run to completion."""
+    interp = MIMDInterpreter(program, num_pes, config=config, layout=layout)
+    for addr, value in (globals_init or {}).items():
+        interp.poke_global(addr, value)
+    stats = interp.run()
+    return interp, stats

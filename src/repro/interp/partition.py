@@ -1,0 +1,125 @@
+"""Automatic subinterpreter generation (§3.1.3.3).
+
+"A C program automatically generates optimized subinterpreters.  By
+carefully encoding the MIMD instruction set, we can 'or' together the MIMD
+opcodes from all PEs to determine which MIMD instructions PEs want to
+execute in this interpreter cycle."
+
+The design variable is the *partition* of the instruction set into groups
+(the one-hot encoding).  Given a profile of which instruction types
+co-occur per interpreter cycle — recorded by running representative
+programs with ``InterpreterConfig(record_present=True)`` — the expected
+per-cycle decode cost of a partition is
+
+    E[cost] = global_or + decode_base
+              + decode_per_op * E[ sum of sizes of groups present ]
+
+:func:`optimize_partition` minimizes this by seeded steepest-descent local
+search over single-opcode moves, which in practice converges to partitions
+that put co-occurring opcodes together and isolate rare expensive ones.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.interp.subinterp import SubinterpreterFamily, default_groups
+from repro.isa.opcodes import ALL_OPCODES
+from repro.util.rng import make_rng
+
+__all__ = ["collect_profile", "expected_decode_cost", "optimize_partition"]
+
+
+def collect_profile(present_logs: Iterable[Sequence[str]]) -> Counter:
+    """Aggregate per-cycle present-sets into a weighted profile."""
+    profile: Counter = Counter()
+    for present in present_logs:
+        profile[frozenset(present)] += 1
+    if not profile:
+        raise ValueError("empty profile: record some interpreter cycles first")
+    return profile
+
+
+def expected_decode_cost(
+    groups: Mapping[str, int],
+    profile: Mapping[frozenset, int],
+    decode_base: float = 2.0,
+    decode_per_op: float = 0.4,
+    global_or: float = 2.0,
+) -> float:
+    """Mean per-cycle decode cost of ``groups`` under ``profile``."""
+    sizes: Counter = Counter(groups.values())
+    total_cycles = sum(profile.values())
+    if total_cycles == 0:
+        raise ValueError("profile has no cycles")
+    acc = 0.0
+    for present, weight in profile.items():
+        present_groups = {groups[op] for op in present if op in groups}
+        understood = sum(sizes[g] for g in present_groups)
+        acc += weight * (global_or + decode_base + decode_per_op * understood)
+    return acc / total_cycles
+
+
+def optimize_partition(
+    profile: Mapping[frozenset, int],
+    num_groups: int = 5,
+    seed: int | np.random.Generator | None = 0,
+    restarts: int = 3,
+    max_rounds: int = 50,
+    decode_base: float = 2.0,
+    decode_per_op: float = 0.4,
+    global_or: float = 2.0,
+) -> tuple[SubinterpreterFamily, float]:
+    """Search for a low-cost opcode partition; returns (family, cost).
+
+    Steepest descent over single-opcode group moves, restarted from the
+    default partition once and from random partitions ``restarts - 1``
+    times; the best local optimum wins.  Deterministic for a given seed.
+    """
+    if not 1 <= num_groups <= 8:
+        raise ValueError(f"num_groups must be in [1, 8], got {num_groups}")
+    rng = make_rng(seed)
+    opcodes = list(ALL_OPCODES)
+
+    def cost_of(groups: dict[str, int]) -> float:
+        return expected_decode_cost(groups, profile, decode_base,
+                                    decode_per_op, global_or)
+
+    def descend(groups: dict[str, int]) -> tuple[dict[str, int], float]:
+        current = cost_of(groups)
+        for _ in range(max_rounds):
+            best_move: tuple[str, int] | None = None
+            best_cost = current
+            for op in opcodes:
+                original = groups[op]
+                for g in range(num_groups):
+                    if g == original:
+                        continue
+                    groups[op] = g
+                    c = cost_of(groups)
+                    if c < best_cost - 1e-12:
+                        best_cost = c
+                        best_move = (op, g)
+                groups[op] = original
+            if best_move is None:
+                break
+            groups[best_move[0]] = best_move[1]
+            current = best_cost
+        return groups, current
+
+    # Start 1: the hand-built default (clipped into num_groups).
+    starts = [{op: g % num_groups for op, g in default_groups().items()}]
+    for _ in range(max(0, restarts - 1)):
+        starts.append({op: int(rng.integers(num_groups)) for op in opcodes})
+
+    best_groups: dict[str, int] | None = None
+    best_cost = float("inf")
+    for start in starts:
+        groups, c = descend(dict(start))
+        if c < best_cost:
+            best_groups, best_cost = groups, c
+    assert best_groups is not None
+    return SubinterpreterFamily(best_groups), best_cost

@@ -1,0 +1,87 @@
+"""Per-PE interpreter state and memory layout.
+
+State registers follow §3.1.3.1: simulated machine registers (PC, SP,
+instruction register) live in PE registers, and user data gets exactly one
+register — the top-of-stack cache (TOS) — averting an operand fetch and a
+store on every unary/binary operation.
+
+Memory layout per PE column (word addresses)::
+
+    [0, globals_words)                  poly globals + mono shadow copies
+    [globals_words, globals+stack)      the per-PE stack, growing upward
+
+The stack holds everything *below* the TOS cache: pushing spills the old
+TOS to memory, popping reloads it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MemoryLayout", "MIMDState"]
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """Word-address layout of each PE's local memory."""
+
+    globals_words: int = 64
+    stack_words: int = 256
+
+    def __post_init__(self) -> None:
+        if self.globals_words < 0 or self.stack_words < 8:
+            raise ValueError(f"bad layout: {self.globals_words} globals, "
+                             f"{self.stack_words} stack words")
+
+    @property
+    def stack_base(self) -> int:
+        return self.globals_words
+
+    @property
+    def total_words(self) -> int:
+        return self.globals_words + self.stack_words
+
+
+class MIMDState:
+    """Vectorized per-PE registers of the simulated MIMD machine."""
+
+    def __init__(self, num_pes: int, layout: MemoryLayout):
+        if num_pes < 1:
+            raise ValueError(f"need at least one PE, got {num_pes}")
+        self.layout = layout
+        self.pc = np.zeros(num_pes, dtype=np.int64)
+        # SP points at the last occupied stack word; empty = base - 1.
+        self.sp = np.full(num_pes, layout.stack_base - 1, dtype=np.int64)
+        self.tos = np.zeros(num_pes, dtype=np.int64)
+        self.halted = np.zeros(num_pes, dtype=bool)
+        self.waiting = np.zeros(num_pes, dtype=bool)
+        self.barriers_passed = np.zeros(num_pes, dtype=np.int64)
+
+    @property
+    def num_pes(self) -> int:
+        return self.pc.shape[0]
+
+    def runnable(self) -> np.ndarray:
+        """PEs that can execute this cycle (not halted, not at a barrier)."""
+        return ~self.halted & ~self.waiting
+
+    def all_done(self) -> bool:
+        return bool(self.halted.all())
+
+    def stack_depth(self) -> np.ndarray:
+        """Stack words in memory per PE (TOS cache not counted)."""
+        return self.sp - (self.layout.stack_base - 1)
+
+    def check_stack(self, mask: np.ndarray) -> None:
+        """Raise on overflow/underflow among PEs in ``mask``."""
+        sel = np.asarray(mask, dtype=bool)
+        if not sel.any():
+            return
+        sp = self.sp[sel]
+        base = self.layout.stack_base
+        if (sp < base - 1).any():
+            raise RuntimeError("PE stack underflow")
+        if (sp >= base + self.layout.stack_words).any():
+            raise RuntimeError("PE stack overflow")

@@ -1,0 +1,90 @@
+"""Subinterpreter selection (§3.1.3.3).
+
+Opcodes are partitioned into (at most) five groups and each opcode's group
+is one-hot encoded; the control unit ORs the encodings of all fetched
+instructions, yielding a 5-bit summary — i.e. one of 32 subinterpreters,
+each understanding only the union of its groups' opcodes.  Decode cost in a
+cycle is proportional to how many opcodes the *invoked* subinterpreter
+understands, so cycles that touch few groups decode much faster than the
+monolithic interpreter that always considers the whole instruction set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import ALL_OPCODES, BINARY_ALU
+
+__all__ = ["SubinterpreterFamily", "default_groups"]
+
+
+def default_groups() -> dict[str, int]:
+    """The 5-group partition used by the MasPar interpreter model.
+
+    0: stack/immediate traffic, 1: local memory, 2: cheap ALU,
+    3: expensive ALU + router + mono broadcast, 4: control flow.
+    """
+    groups: dict[str, int] = {}
+    for op in ("Push", "PushC", "This", "Dup", "Pop", "Swap", "Nop"):
+        groups[op] = 0
+    for op in ("Ld", "St", "LdS"):
+        groups[op] = 1
+    for op in sorted(BINARY_ALU - {"Mul", "Div", "Mod"}) + ["Neg", "Not"]:
+        groups[op] = 2
+    for op in ("Mul", "Div", "Mod", "LdD", "StD", "StS",
+               "FAdd", "FSub", "FMul", "FDiv", "FNeg",
+               "FEq", "FLt", "FLe", "ItoF", "FtoI"):
+        groups[op] = 3
+    for op in ("Jmp", "Jz", "Call", "Ret", "Wait", "Halt"):
+        groups[op] = 4
+    missing = set(ALL_OPCODES) - set(groups)
+    if missing:
+        raise AssertionError(f"opcodes missing a group: {sorted(missing)}")
+    return groups
+
+
+@dataclass(frozen=True)
+class SubinterpreterFamily:
+    """2**num_groups subinterpreters derived from an opcode partition."""
+
+    groups: dict[str, int]
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise ValueError("empty opcode partition")
+        ids = set(self.groups.values())
+        if min(ids) < 0 or max(ids) > 7:
+            raise ValueError("group ids must be in [0, 7] (one-hot word width)")
+
+    @property
+    def num_groups(self) -> int:
+        return max(self.groups.values()) + 1
+
+    @property
+    def num_subinterpreters(self) -> int:
+        return 2 ** self.num_groups
+
+    def group_sizes(self) -> list[int]:
+        sizes = [0] * self.num_groups
+        for g in self.groups.values():
+            sizes[g] += 1
+        return sizes
+
+    def encode(self, opcode: str) -> int:
+        """One-hot group encoding carried in the instruction word."""
+        return 1 << self.groups[opcode]
+
+    def select(self, present_opcodes: set[str] | frozenset[str]) -> tuple[int, int]:
+        """Choose the subinterpreter for a cycle.
+
+        Returns ``(subinterpreter_id, opcodes_understood)``: the id is the
+        ORed group summary; the count is the number of instruction types the
+        chosen subinterpreter must decode (its dispatch-table size) — the
+        cheapest subinterpreter understanding all present instructions.
+        """
+        summary = 0
+        for op in present_opcodes:
+            summary |= self.encode(op)
+        sizes = self.group_sizes()
+        understood = sum(sizes[g] for g in range(self.num_groups) if summary & (1 << g))
+        return summary, understood

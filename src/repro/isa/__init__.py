@@ -1,0 +1,37 @@
+"""The interpreted MIMD stack instruction set (AHS MasPar model, §2.4.2/§3.1.4).
+
+A tiny stack ISA whose operations model MIMDC directly: no frame pointer
+(locals are statically allocated), a single top-of-stack register cache, no
+distinction between int and float words, and dedicated instructions for the
+two shared-memory styles (mono access via ``LdS``/``StS``, parallel
+subscripting via ``LdD``/``StD``) plus barrier ``Wait``.
+"""
+
+from repro.isa.assembler import AssemblerError, assemble, disassemble
+from repro.isa.encoding import decode_object, encode_object
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    ALL_OPCODES,
+    BINARY_ALU,
+    OPCODE_INFO,
+    UNARY_ALU,
+    OpcodeInfo,
+    opcode_number,
+)
+from repro.isa.program import Program
+
+__all__ = [
+    "ALL_OPCODES",
+    "AssemblerError",
+    "BINARY_ALU",
+    "Instruction",
+    "OPCODE_INFO",
+    "OpcodeInfo",
+    "Program",
+    "UNARY_ALU",
+    "assemble",
+    "decode_object",
+    "disassemble",
+    "encode_object",
+    "opcode_number",
+]

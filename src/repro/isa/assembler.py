@@ -1,0 +1,124 @@
+"""Two-pass assembler / disassembler for the MIMD stack ISA (``mimda``).
+
+Assembly syntax::
+
+    ; comments run to end of line
+    start:
+        Push 0
+        St              ; address/value taken from the stack
+    loop:
+        PushC 0         ; constant pool entry 0
+        Jz   done
+        Jmp  loop
+    done:
+        Halt
+
+Labels are ``name:`` on their own line or before an instruction; branch
+operands may be labels or absolute addresses.  ``.const`` directives append
+to the constant pool::
+
+    .const 123456789
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OPCODE_INFO
+from repro.isa.program import Program
+
+__all__ = ["AssemblerError", "assemble", "disassemble"]
+
+_BRANCHES = ("Jmp", "Jz", "Call")
+
+
+class AssemblerError(ValueError):
+    """Raised on malformed assembly input."""
+
+
+def _strip(line: str) -> str:
+    return line.split(";", 1)[0].strip()
+
+
+def assemble(text: str) -> Program:
+    """Assemble ``text`` into a :class:`Program` (two passes: labels, emit)."""
+    labels: dict[str, int] = {}
+    constants: list[int] = []
+    items: list[tuple[int, str, str | None]] = []  # (lineno, opcode, operand-token)
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip(raw)
+        if not line:
+            continue
+        while ":" in line:
+            label, _, rest = line.partition(":")
+            label = label.strip()
+            if (not label or not label.replace("_", "").isalnum()
+                    or label[0].isdigit()):
+                raise AssemblerError(f"line {lineno}: bad label {label!r}")
+            if label in labels:
+                raise AssemblerError(f"line {lineno}: duplicate label {label!r}")
+            labels[label] = len(items)
+            line = rest.strip()
+        if not line:
+            continue
+        if line.startswith(".const"):
+            parts = line.split()
+            if len(parts) != 2:
+                raise AssemblerError(f"line {lineno}: .const takes one value")
+            try:
+                constants.append(int(parts[1], 0))
+            except ValueError as exc:
+                raise AssemblerError(f"line {lineno}: bad constant {parts[1]!r}") from exc
+            continue
+        parts = line.split()
+        opcode = parts[0]
+        if opcode not in OPCODE_INFO:
+            raise AssemblerError(f"line {lineno}: unknown opcode {opcode!r}")
+        info = OPCODE_INFO[opcode]
+        if info.has_operand:
+            if len(parts) != 2:
+                raise AssemblerError(f"line {lineno}: {opcode} needs exactly one operand")
+            items.append((lineno, opcode, parts[1]))
+        else:
+            if len(parts) != 1:
+                raise AssemblerError(f"line {lineno}: {opcode} takes no operand")
+            items.append((lineno, opcode, None))
+
+    instructions: list[Instruction] = []
+    for lineno, opcode, token in items:
+        operand: int | None = None
+        if token is not None:
+            if opcode in _BRANCHES and token in labels:
+                operand = labels[token]
+            else:
+                try:
+                    operand = int(token, 0)
+                except ValueError as exc:
+                    raise AssemblerError(
+                        f"line {lineno}: operand {token!r} is neither a number "
+                        f"nor a known label") from exc
+        try:
+            instructions.append(Instruction(opcode, operand))
+        except ValueError as exc:
+            raise AssemblerError(f"line {lineno}: {exc}") from exc
+
+    try:
+        return Program(tuple(instructions), tuple(constants), dict(labels))
+    except ValueError as exc:
+        raise AssemblerError(str(exc)) from exc
+
+
+def disassemble(program: Program) -> str:
+    """Render ``program`` back to assembly that reassembles identically."""
+    addr_to_label = {addr: label for label, addr in program.symbols.items()}
+    lines: list[str] = []
+    for value in program.constants:
+        lines.append(f".const {value}")
+    for addr, instr in enumerate(program.instructions):
+        if addr in addr_to_label:
+            lines.append(f"{addr_to_label[addr]}:")
+        if instr.opcode in _BRANCHES and instr.operand in addr_to_label:
+            lines.append(f"    {instr.opcode} {addr_to_label[instr.operand]}")
+        else:
+            lines.append(f"    {instr.render()}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,85 @@
+"""Binary object-file encoding (the "Intel-format absolute object file" of
+§3.1.4, modernized: a small framed binary format with checksums).
+
+Layout (little-endian)::
+
+    magic   4 bytes  b"MIMD"
+    version u16      currently 1
+    n_instr u32
+    n_const u32
+    per instruction: opcode u8, has_operand u8, operand i64
+    per constant:    value i64
+    checksum u32     sum of all preceding bytes mod 2**32
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OPCODE_NUMBERS, opcode_number
+from repro.isa.program import Program
+
+__all__ = ["ObjectFormatError", "decode_object", "encode_object"]
+
+_MAGIC = b"MIMD"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHII")
+_INSTR = struct.Struct("<BBq")
+_CONST = struct.Struct("<q")
+_SUM = struct.Struct("<I")
+
+
+class ObjectFormatError(ValueError):
+    """Raised when decoding a malformed object image."""
+
+
+def encode_object(program: Program) -> bytes:
+    """Serialize ``program`` (symbol table is debug-only and not encoded)."""
+    out = bytearray()
+    out += _HEADER.pack(_MAGIC, _VERSION, len(program.instructions), len(program.constants))
+    for instr in program.instructions:
+        has = instr.operand is not None
+        out += _INSTR.pack(opcode_number(instr.opcode), int(has), instr.operand or 0)
+    for value in program.constants:
+        out += _CONST.pack(value)
+    out += _SUM.pack(sum(out) & 0xFFFFFFFF)
+    return bytes(out)
+
+
+def decode_object(blob: bytes) -> Program:
+    """Inverse of :func:`encode_object`; validates framing and checksum."""
+    if len(blob) < _HEADER.size + _SUM.size:
+        raise ObjectFormatError("object image truncated")
+    body, (checksum,) = blob[:-_SUM.size], _SUM.unpack(blob[-_SUM.size:])
+    if sum(body) & 0xFFFFFFFF != checksum:
+        raise ObjectFormatError("checksum mismatch")
+    magic, version, n_instr, n_const = _HEADER.unpack_from(body, 0)
+    if magic != _MAGIC:
+        raise ObjectFormatError(f"bad magic {magic!r}")
+    if version != _VERSION:
+        raise ObjectFormatError(f"unsupported version {version}")
+    expected = _HEADER.size + n_instr * _INSTR.size + n_const * _CONST.size
+    if len(body) != expected:
+        raise ObjectFormatError(f"length {len(body)} != expected {expected}")
+    offset = _HEADER.size
+    instructions: list[Instruction] = []
+    for _ in range(n_instr):
+        num, has, operand = _INSTR.unpack_from(body, offset)
+        offset += _INSTR.size
+        name = OPCODE_NUMBERS.get(num)
+        if name is None:
+            raise ObjectFormatError(f"unknown opcode number {num}")
+        try:
+            instructions.append(Instruction(name, operand if has else None))
+        except ValueError as exc:
+            raise ObjectFormatError(str(exc)) from exc
+    constants: list[int] = []
+    for _ in range(n_const):
+        (value,) = _CONST.unpack_from(body, offset)
+        offset += _CONST.size
+        constants.append(value)
+    try:
+        return Program(tuple(instructions), tuple(constants))
+    except ValueError as exc:
+        raise ObjectFormatError(str(exc)) from exc

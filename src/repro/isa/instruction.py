@@ -1,0 +1,42 @@
+"""Instruction and validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import OPCODE_INFO, OpcodeInfo
+
+__all__ = ["Instruction"]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One MIMD instruction: opcode name plus optional inline operand.
+
+    Branch operands are absolute instruction addresses (the object format is
+    an "absolute object file", supplied text §3.1.4); ``Push`` carries a
+    signed 32-bit immediate; ``PushC`` a constant-pool index.
+    """
+
+    opcode: str
+    operand: int | None = None
+
+    def __post_init__(self) -> None:
+        info = OPCODE_INFO.get(self.opcode)
+        if info is None:
+            raise ValueError(f"unknown opcode {self.opcode!r}")
+        if info.has_operand and self.operand is None:
+            raise ValueError(f"{self.opcode} requires an operand")
+        if not info.has_operand and self.operand is not None:
+            raise ValueError(f"{self.opcode} takes no operand")
+        if self.operand is not None and not isinstance(self.operand, int):
+            raise ValueError(f"operand must be int, got {type(self.operand).__name__}")
+
+    @property
+    def info(self) -> OpcodeInfo:
+        return OPCODE_INFO[self.opcode]
+
+    def render(self) -> str:
+        if self.operand is None:
+            return self.opcode
+        return f"{self.opcode} {self.operand}"

@@ -1,0 +1,136 @@
+"""Opcode table for the interpreted MIMD instruction set.
+
+Each opcode carries:
+
+- a stable number (used by the binary object format and by the
+  subinterpreter one-hot encoding — numbers must stay < 64 so the global-OR
+  summary fits one word per bank of 32);
+- whether it takes an inline operand (immediate / address / branch target);
+- net stack effect (used by the assembler's static stack checker);
+- the interpreter cost in SIMD cycles, split into a *shared* part (micro-ops
+  CSI factors out of the handlers: instruction fetch, PC increment, NOS
+  fetch, immediate fetch, constant-pool lookup) and a *private* part
+  (the handler body proper).  The unfactored interpreter pays
+  ``shared + private`` per distinct opcode per cycle; the CSI-factored
+  interpreter pays each shared component once per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ALL_OPCODES",
+    "BINARY_ALU",
+    "CONTROL",
+    "MEMORY",
+    "OPCODE_INFO",
+    "OPCODE_NUMBERS",
+    "UNARY_ALU",
+    "OpcodeInfo",
+    "opcode_number",
+]
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static properties of one MIMD opcode."""
+
+    name: str
+    number: int
+    has_operand: bool
+    pops: int
+    pushes: int
+    #: shared micro-op components this handler uses (keys into SHARED_COSTS)
+    shared: tuple[str, ...]
+    #: cycles spent in the private handler body
+    private_cost: float
+    is_branch: bool = False
+
+    @property
+    def stack_delta(self) -> int:
+        return self.pushes - self.pops
+
+
+#: Cycle costs of the shared micro-op sequences (§3.1.3.2's factoring list).
+SHARED_COSTS: dict[str, float] = {
+    "fetch": 8.0,     # instruction fetch + PC increment
+    "nos": 7.0,       # next-on-stack fetch (stack memory read + SP update)
+    "imm": 3.0,       # 8-bit immediate extraction
+    "pool": 9.0,      # 32-bit constant-pool lookup
+}
+
+_TABLE: list[tuple[str, bool, int, int, tuple[str, ...], float, bool]] = [
+    # name,   operand, pops, pushes, shared,            private, branch
+    ("Push",   True,  0, 1, ("fetch", "imm"),            3.0, False),
+    ("PushC",  True,  0, 1, ("fetch", "imm", "pool"),    3.0, False),
+    ("This",   False, 0, 1, ("fetch",),                  1.0, False),
+    ("Dup",    False, 1, 2, ("fetch",),                  4.0, False),
+    ("Pop",    False, 1, 0, ("fetch", "nos"),            1.0, False),
+    ("Swap",   False, 2, 2, ("fetch", "nos"),            5.0, False),
+    ("Ld",     False, 1, 1, ("fetch",),                  8.0, False),
+    ("St",     False, 2, 0, ("fetch", "nos"),            8.0, False),
+    ("LdS",    False, 1, 1, ("fetch",),                  8.0, False),
+    ("StS",    False, 2, 0, ("fetch", "nos"),           22.0, False),
+    ("LdD",    False, 2, 1, ("fetch", "nos"),           30.0, False),
+    ("StD",    False, 3, 0, ("fetch", "nos"),           30.0, False),
+    ("Add",    False, 2, 1, ("fetch", "nos"),            3.0, False),
+    ("Sub",    False, 2, 1, ("fetch", "nos"),            3.0, False),
+    ("Mul",    False, 2, 1, ("fetch", "nos"),           24.0, False),
+    ("Div",    False, 2, 1, ("fetch", "nos"),           40.0, False),
+    ("Mod",    False, 2, 1, ("fetch", "nos"),           42.0, False),
+    ("And",    False, 2, 1, ("fetch", "nos"),            2.0, False),
+    ("Or",     False, 2, 1, ("fetch", "nos"),            2.0, False),
+    ("Eq",     False, 2, 1, ("fetch", "nos"),            3.0, False),
+    ("Ne",     False, 2, 1, ("fetch", "nos"),            3.0, False),
+    ("Lt",     False, 2, 1, ("fetch", "nos"),            3.0, False),
+    ("Le",     False, 2, 1, ("fetch", "nos"),            3.0, False),
+    ("Gt",     False, 2, 1, ("fetch", "nos"),            3.0, False),
+    ("Ge",     False, 2, 1, ("fetch", "nos"),            3.0, False),
+    ("Shl",    False, 2, 1, ("fetch", "nos"),            3.0, False),
+    ("Shr",    False, 2, 1, ("fetch", "nos"),            3.0, False),
+    ("Neg",    False, 1, 1, ("fetch",),                  2.0, False),
+    ("Not",    False, 1, 1, ("fetch",),                  2.0, False),
+    ("Jmp",    True,  0, 0, ("fetch", "imm"),            1.0, True),
+    ("Jz",     True,  1, 0, ("fetch", "imm"),            2.0, True),
+    ("Call",   True,  0, 1, ("fetch", "imm"),            4.0, True),
+    ("Ret",    False, 1, 0, ("fetch",),                  4.0, True),
+    ("Wait",   False, 0, 0, ("fetch",),                 10.0, False),
+    ("Halt",   False, 0, 0, ("fetch",),                  1.0, False),
+    ("Nop",    False, 0, 0, ("fetch",),                  0.5, False),
+    # Floating point: int and float are both one 32-bit word to the machine
+    # (supplied text §3.1.4); these handlers reinterpret the word.
+    ("FAdd",   False, 2, 1, ("fetch", "nos"),           30.0, False),
+    ("FSub",   False, 2, 1, ("fetch", "nos"),           30.0, False),
+    ("FMul",   False, 2, 1, ("fetch", "nos"),           36.0, False),
+    ("FDiv",   False, 2, 1, ("fetch", "nos"),           60.0, False),
+    ("FNeg",   False, 1, 1, ("fetch",),                  3.0, False),
+    ("FEq",    False, 2, 1, ("fetch", "nos"),            6.0, False),
+    ("FLt",    False, 2, 1, ("fetch", "nos"),            6.0, False),
+    ("FLe",    False, 2, 1, ("fetch", "nos"),            6.0, False),
+    ("ItoF",   False, 1, 1, ("fetch",),                  8.0, False),
+    ("FtoI",   False, 1, 1, ("fetch",),                  8.0, False),
+]
+
+OPCODE_INFO: dict[str, OpcodeInfo] = {
+    name: OpcodeInfo(name, num, operand, pops, pushes, shared, private, branch)
+    for num, (name, operand, pops, pushes, shared, private, branch) in enumerate(_TABLE)
+}
+
+OPCODE_NUMBERS: dict[int, str] = {info.number: name for name, info in OPCODE_INFO.items()}
+
+ALL_OPCODES: tuple[str, ...] = tuple(OPCODE_INFO)
+
+BINARY_ALU: frozenset[str] = frozenset({
+    "Add", "Sub", "Mul", "Div", "Mod", "And", "Or",
+    "Eq", "Ne", "Lt", "Le", "Gt", "Ge", "Shl", "Shr",
+    "FAdd", "FSub", "FMul", "FDiv", "FEq", "FLt", "FLe",
+})
+UNARY_ALU: frozenset[str] = frozenset({"Neg", "Not", "FNeg", "ItoF", "FtoI"})
+MEMORY: frozenset[str] = frozenset({"Ld", "St", "LdS", "StS", "LdD", "StD"})
+CONTROL: frozenset[str] = frozenset({"Jmp", "Jz", "Call", "Ret", "Wait", "Halt"})
+
+
+def opcode_number(name: str) -> int:
+    """Stable numeric encoding of ``name`` (raises KeyError if unknown)."""
+    return OPCODE_INFO[name].number

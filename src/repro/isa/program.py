@@ -1,0 +1,63 @@
+"""Programs: instruction sequences plus a constant pool.
+
+A :class:`Program` is the unit loaded into the MIMD-on-SIMD interpreter: the
+same code image on every PE (SPMD), diverging only through per-PE program
+counters.  The constant pool holds 32-bit values too wide for the 8-bit
+inline immediate (mirroring the MasPar interpreter's constant-pool lookup
+that CSI factored, §3.1.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+
+__all__ = ["Program"]
+
+
+@dataclass(frozen=True)
+class Program:
+    """Immutable executable image."""
+
+    instructions: tuple[Instruction, ...]
+    constants: tuple[int, ...] = ()
+    #: optional symbol table: label -> instruction address (for diagnostics)
+    symbols: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n = len(self.instructions)
+        for addr, instr in enumerate(self.instructions):
+            if instr.info.is_branch and instr.opcode in ("Jmp", "Jz", "Call"):
+                target = instr.operand
+                if not (0 <= target < n):
+                    raise ValueError(
+                        f"instruction {addr}: branch target {target} outside [0, {n})")
+            if instr.opcode == "PushC":
+                if not (0 <= instr.operand < len(self.constants)):
+                    raise ValueError(
+                        f"instruction {addr}: constant index {instr.operand} "
+                        f"outside pool of {len(self.constants)}")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, addr: int) -> Instruction:
+        return self.instructions[addr]
+
+    def opcode_histogram(self) -> dict[str, int]:
+        hist: dict[str, int] = {}
+        for instr in self.instructions:
+            hist[instr.opcode] = hist.get(instr.opcode, 0) + 1
+        return hist
+
+    def render(self) -> str:
+        addr_to_label = {addr: label for label, addr in self.symbols.items()}
+        lines: list[str] = []
+        for addr, instr in enumerate(self.instructions):
+            if addr in addr_to_label:
+                lines.append(f"{addr_to_label[addr]}:")
+            lines.append(f"    {addr:4d}  {instr.render()}")
+        if self.constants:
+            lines.append(f"; pool: {list(self.constants)}")
+        return "\n".join(lines)

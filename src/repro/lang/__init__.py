@@ -1,0 +1,40 @@
+"""MIMDC: the control-parallel C dialect of the AHS system (§2).
+
+A complete compiler pipeline for the language of the supplied text's
+figure-1 grammar: lexer, recursive-descent parser, semantic analysis
+(poly/mono storage classes, int/float coercion), constant folding and
+algebraic simplification, stack-code generation for the MIMD ISA, and the
+expected-execution-count analysis that drives AHS target selection (§4.2).
+
+Quick use::
+
+    from repro.lang import compile_mimdc
+    unit = compile_mimdc('''
+        poly int a;
+        int main() {
+            a = this * this;
+            wait;
+            return a;
+        }
+    ''')
+    unit.program        # repro.isa.Program, runnable on the interpreter
+    unit.counts         # expected execution count per opcode
+    unit.globals_map    # name -> word address
+"""
+
+from repro.lang.compiler import CompiledUnit, compile_mimdc
+from repro.lang.counts import expected_counts
+from repro.lang.errors import CompileError
+from repro.lang.fold import fold_program
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+
+__all__ = [
+    "CompileError",
+    "CompiledUnit",
+    "compile_mimdc",
+    "expected_counts",
+    "fold_program",
+    "parse",
+    "tokenize",
+]

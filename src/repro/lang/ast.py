@@ -1,0 +1,185 @@
+"""MIMDC abstract syntax tree.
+
+Nodes carry source positions for diagnostics.  Expression nodes gain a
+``type`` attribute (a :class:`Type`) during semantic analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Assign", "Binary", "Block", "Call", "CallStat", "Cast", "Expr",
+    "FloatLit", "FuncDef", "Halt", "If", "IntLit", "LValue", "Node",
+    "Param", "Program", "Return", "Stat", "Type", "Unary", "VarDecl",
+    "VarRef", "Wait", "While",
+]
+
+
+@dataclass(frozen=True)
+class Type:
+    """MIMDC static type: base type + storage class."""
+
+    base: str            # "int" | "float"
+    storage: str = "poly"  # "poly" | "mono"
+
+    def __post_init__(self) -> None:
+        if self.base not in ("int", "float"):
+            raise ValueError(f"bad base type {self.base!r}")
+        if self.storage not in ("poly", "mono"):
+            raise ValueError(f"bad storage class {self.storage!r}")
+
+    def __str__(self) -> str:
+        return f"{self.storage} {self.base}"
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, kw_only=True)
+    col: int = field(default=0, kw_only=True)
+
+
+# --- expressions ------------------------------------------------------------
+
+@dataclass
+class Expr(Node):
+    #: filled in by sema: the value's base type ("int"/"float")
+    type: Type | None = field(default=None, kw_only=True)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class VarRef(Expr):
+    """A (possibly subscripted) variable read: name[index][||pe]."""
+
+    name: str = ""
+    index: Expr | None = None
+    pe: Expr | None = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""           # "-" | "!"
+    operand: Expr | None = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Cast(Expr):
+    """Implicit coercion inserted by sema (int<->float)."""
+
+    target: str = ""       # "int" | "float"
+    operand: Expr | None = None
+
+
+# --- statements -------------------------------------------------------------
+
+@dataclass
+class Stat(Node):
+    pass
+
+
+@dataclass
+class LValue(Node):
+    """Assignment target: name[index][||pe]."""
+
+    name: str = ""
+    index: Expr | None = None
+    pe: Expr | None = None
+
+
+@dataclass
+class Assign(Stat):
+    target: LValue | None = None
+    value: Expr | None = None
+
+
+@dataclass
+class If(Stat):
+    cond: Expr | None = None
+    then: Stat | None = None
+    orelse: Stat | None = None
+
+
+@dataclass
+class While(Stat):
+    cond: Expr | None = None
+    body: Stat | None = None
+
+
+@dataclass
+class Return(Stat):
+    value: Expr | None = None
+
+
+@dataclass
+class Wait(Stat):
+    pass
+
+
+@dataclass
+class Halt(Stat):
+    pass
+
+
+@dataclass
+class CallStat(Stat):
+    """Extension: a bare call for its side effects (result discarded)."""
+
+    call: Call | None = None
+
+
+@dataclass
+class Block(Stat):
+    decls: list["VarDecl"] = field(default_factory=list)
+    stats: list[Stat] = field(default_factory=list)
+
+
+# --- declarations ---------------------------------------------------------------
+
+@dataclass
+class VarDecl(Node):
+    name: str = ""
+    type: Type | None = None
+    size: int | None = None     # array element count; None = scalar
+
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    type: Type | None = None
+
+
+@dataclass
+class FuncDef(Node):
+    name: str = ""
+    return_type: Type | None = None
+    params: list[Param] = field(default_factory=list)
+    body: Block | None = None
+
+
+@dataclass
+class Program(Node):
+    globals: list[VarDecl] = field(default_factory=list)
+    functions: list[FuncDef] = field(default_factory=list)

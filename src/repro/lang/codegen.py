@@ -1,0 +1,342 @@
+"""Stack-code generation for the MIMD ISA.
+
+Conventions (matching §2.4.2's MasPar stack code):
+
+- no frame pointer: every variable — global, parameter or local — has a
+  static word address in the PE-local globals area (consequence: recursion
+  is not supported, as in the prototype);
+- an expression leaves exactly one value in TOS;
+- ``St``/``StS``/``StD`` take (address, value) / (pe, address, value)
+  pushed in that order;
+- immediates in [-128, 127] use ``Push`` (the 8-bit inline immediate);
+  anything wider — and every float bit-pattern — goes through the constant
+  pool via ``PushC`` (§3.1.3.2's pool-lookup shared sequence);
+- calls: arguments are stored into the callee's static parameter slots,
+  ``Call`` pushes the return address into TOS, ``Return e`` evaluates
+  ``e``, swaps it under the return address and ``Ret``s, leaving the result
+  in TOS.
+
+While generating code the emitter simultaneously accumulates the *expected
+execution count* of every opcode using the §4.2 rules (then=51%, else=49%,
+loop bodies x100, loop conditions x101) — this is the "version of the
+compiler that does not generate code, but simply records expected execution
+counts", fused with the real one.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.isa.instruction import Instruction
+from repro.isa.program import Program
+from repro.lang import ast
+from repro.lang.errors import CompileError
+from repro.lang.sema import AnalyzedProgram, FuncSymbol, VarSymbol
+
+__all__ = ["GeneratedCode", "generate"]
+
+_IMM_MIN, _IMM_MAX = -128, 127
+
+_INT_BINOP = {
+    "+": "Add", "-": "Sub", "*": "Mul", "/": "Div", "%": "Mod",
+    "<<": "Shl", ">>": "Shr", "&&": "And", "||": "Or",
+    "==": "Eq", "!=": "Ne", "<": "Lt", "<=": "Le", ">": "Gt", ">=": "Ge",
+}
+#: float comparisons >: swap operands and use FLt (likewise >=)
+_FLOAT_BINOP = {
+    "+": "FAdd", "-": "FSub", "*": "FMul", "/": "FDiv",
+    "==": "FEq", "<": "FLt", "<=": "FLe",
+}
+
+
+def _float_bits(value: float) -> int:
+    """IEEE-754 bit pattern as the int64 the machine stores."""
+    return struct.unpack("<q", struct.pack("<d", float(value)))[0]
+
+
+@dataclass
+class GeneratedCode:
+    """Codegen output: the program plus maps the tooling needs."""
+
+    program: Program
+    counts: dict[str, float]
+    globals_map: dict[str, int]
+    function_entries: dict[str, int]
+    globals_words: int
+    #: §5 future work ("schedule individual functions"): per-function
+    #: expected execution counts, same rules as ``counts``
+    counts_by_function: dict[str, dict[str, float]] = None
+
+
+class _Emitter:
+    def __init__(self, analyzed: AnalyzedProgram):
+        self.analyzed = analyzed
+        self.instrs: list[tuple[str, int | str | None]] = []  # operand may be a label
+        self.labels: dict[str, int] = {}
+        self.pool: list[int] = []
+        self.pool_index: dict[int, int] = {}
+        self.counts: dict[str, float] = {}
+        self.counts_by_function: dict[str, dict[str, float]] = {}
+        self._fn_counts: dict[str, float] | None = None
+        self.weight = 1.0
+        self.label_counter = 0
+        self.current_fn: FuncSymbol | None = None
+
+    # -- low-level emission ---------------------------------------------------
+
+    def emit(self, opcode: str, operand: int | str | None = None) -> None:
+        self.instrs.append((opcode, operand))
+        self.counts[opcode] = self.counts.get(opcode, 0.0) + self.weight
+        if self._fn_counts is not None:
+            self._fn_counts[opcode] = self._fn_counts.get(opcode, 0.0) + self.weight
+
+    def new_label(self, hint: str) -> str:
+        self.label_counter += 1
+        return f"{hint}_{self.label_counter}"
+
+    def place(self, label: str) -> None:
+        if label in self.labels:
+            raise AssertionError(f"label {label} placed twice")
+        self.labels[label] = len(self.instrs)
+
+    def pool_const(self, value: int) -> int:
+        idx = self.pool_index.get(value)
+        if idx is None:
+            idx = len(self.pool)
+            self.pool.append(value)
+            self.pool_index[value] = idx
+        return idx
+
+    def push_int(self, value: int) -> None:
+        if _IMM_MIN <= value <= _IMM_MAX:
+            self.emit("Push", value)
+        else:
+            self.emit("PushC", self.pool_const(value))
+
+    # -- allocation ---------------------------------------------------------------
+
+    def allocate(self) -> dict[str, int]:
+        """Assign static word addresses: globals first, then per-function
+        params and locals.  Returns the name->addr map for globals."""
+        addr = 0
+        globals_map: dict[str, int] = {}
+        for sym in self.analyzed.globals:
+            sym.addr = addr
+            globals_map[sym.name] = addr
+            addr += sym.words
+        for fn in self.analyzed.functions.values():
+            for sym in fn.params + fn.locals:
+                sym.addr = addr
+                addr += sym.words
+        self.globals_words = addr
+        return globals_map
+
+    # -- addresses ----------------------------------------------------------------
+
+    def gen_address(self, sym: VarSymbol, index: ast.Expr | None) -> None:
+        """Leave the element address in TOS."""
+        if index is None:
+            self.push_int(sym.addr)
+        else:
+            self.push_int(sym.addr)
+            self.gen_expr(index)
+            self.emit("Add")
+
+    # -- expressions ---------------------------------------------------------------
+
+    def gen_expr(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.IntLit):
+            self.push_int(expr.value)
+        elif isinstance(expr, ast.FloatLit):
+            self.emit("PushC", self.pool_const(_float_bits(expr.value)))
+        elif isinstance(expr, ast.VarRef):
+            self._gen_varref(expr)
+        elif isinstance(expr, ast.Binary):
+            self._gen_binary(expr)
+        elif isinstance(expr, ast.Unary):
+            self.gen_expr(expr.operand)
+            if expr.op == "-":
+                self.emit("FNeg" if expr.type.base == "float" else "Neg")
+            else:
+                self.emit("Not")
+        elif isinstance(expr, ast.Cast):
+            self.gen_expr(expr.operand)
+            self.emit("ItoF" if expr.target == "float" else "FtoI")
+        elif isinstance(expr, ast.Call):
+            self._gen_call(expr)
+        else:  # pragma: no cover
+            raise CompileError(f"cannot generate {type(expr).__name__}",
+                               expr.line, expr.col, stage="codegen")
+
+    def _gen_varref(self, expr: ast.VarRef) -> None:
+        if expr.name == "this":
+            self.emit("This")
+            return
+        sym: VarSymbol = expr.symbol
+        if expr.pe is not None:
+            # x[||p] / x[i][||p]: LdD pops address then PE number.
+            self.gen_expr(expr.pe)
+            self.gen_address(sym, expr.index)
+            self.emit("LdD")
+            return
+        self.gen_address(sym, expr.index)
+        self.emit("LdS" if sym.type.storage == "mono" else "Ld")
+
+    def _gen_binary(self, expr: ast.Binary) -> None:
+        base = expr.left.type.base
+        op = expr.op
+        if base == "float":
+            if op in (">", ">="):
+                # a > b  ==  b < a: evaluate right first, then left.
+                self.gen_expr(expr.right)
+                self.gen_expr(expr.left)
+                self.emit("FLt" if op == ">" else "FLe")
+                return
+            self.gen_expr(expr.left)
+            self.gen_expr(expr.right)
+            if op == "!=":
+                self.emit("FEq")
+                self.emit("Not")
+                return
+            self.emit(_FLOAT_BINOP[op])
+            return
+        self.gen_expr(expr.left)
+        self.gen_expr(expr.right)
+        self.emit(_INT_BINOP[op])
+
+    def _gen_call(self, expr: ast.Call) -> None:
+        fn = self.analyzed.functions[expr.name]
+        for arg, param in zip(expr.args, fn.params):
+            self.push_int(param.addr)
+            self.gen_expr(arg)
+            self.emit("St")
+        self.emit("Call", f"fn_{expr.name}")
+
+    # -- statements -----------------------------------------------------------------
+
+    def gen_stat(self, stat: ast.Stat) -> None:
+        if isinstance(stat, ast.Block):
+            for s in stat.stats:
+                self.gen_stat(s)
+        elif isinstance(stat, ast.Assign):
+            self._gen_assign(stat)
+        elif isinstance(stat, ast.If):
+            self._gen_if(stat)
+        elif isinstance(stat, ast.While):
+            self._gen_while(stat)
+        elif isinstance(stat, ast.Return):
+            self.gen_expr(stat.value)
+            self.emit("Swap")
+            self.emit("Ret")
+        elif isinstance(stat, ast.Wait):
+            self.emit("Wait")
+        elif isinstance(stat, ast.Halt):
+            self.emit("Halt")
+        elif isinstance(stat, ast.CallStat):
+            self.gen_expr(stat.call)
+            self.emit("Pop")
+        else:  # pragma: no cover
+            raise CompileError(f"cannot generate {type(stat).__name__}",
+                               stat.line, stat.col, stage="codegen")
+
+    def _gen_assign(self, stat: ast.Assign) -> None:
+        target = stat.target
+        sym: VarSymbol = target.symbol
+        if target.pe is not None:
+            # StD pops value, address, pe — push pe, address, value.
+            self.gen_expr(target.pe)
+            self.gen_address(sym, target.index)
+            self.gen_expr(stat.value)
+            self.emit("StD")
+            return
+        self.gen_address(sym, target.index)
+        self.gen_expr(stat.value)
+        self.emit("StS" if sym.type.storage == "mono" else "St")
+
+    def _gen_if(self, stat: ast.If) -> None:
+        else_label = self.new_label("else")
+        end_label = self.new_label("endif")
+        self.gen_expr(stat.cond)
+        self.emit("Jz", else_label if stat.orelse is not None else end_label)
+        outer = self.weight
+        self.weight = outer * 0.51          # then-branch probability (§4.2)
+        self.gen_stat(stat.then)
+        if stat.orelse is not None:
+            self.emit("Jmp", end_label)
+            self.place(else_label)
+            self.weight = outer * 0.49
+            self.gen_stat(stat.orelse)
+        self.place(end_label)
+        self.weight = outer
+
+    def _gen_while(self, stat: ast.While) -> None:
+        loop_label = self.new_label("loop")
+        end_label = self.new_label("endwhile")
+        outer = self.weight
+        self.place(loop_label)
+        self.weight = outer * 101.0         # condition runs body+1 times (§4.2)
+        self.gen_expr(stat.cond)
+        self.emit("Jz", end_label)
+        self.weight = outer * 100.0         # loop bodies assumed x100 (§4.2)
+        self.gen_stat(stat.body)
+        self.emit("Jmp", loop_label)
+        self.place(end_label)
+        self.weight = outer
+
+    # -- functions -------------------------------------------------------------------
+
+    def gen_function(self, fn: FuncSymbol) -> None:
+        self.current_fn = fn
+        self.weight = 1.0                    # each function starts at 1.0 (§4.2)
+        self._fn_counts = self.counts_by_function.setdefault(fn.name, {})
+        self.place(f"fn_{fn.name}")
+        self.gen_stat(fn.node.body)
+        # Implicit `return 0` if control can run off the end.
+        self.emit("Push", 0)
+        self.emit("Swap")
+        self.emit("Ret")
+        self.current_fn = None
+        self._fn_counts = None
+
+    # -- assembly of the final Program --------------------------------------------------
+
+    def finish(self) -> Program:
+        instructions: list[Instruction] = []
+        for opcode, operand in self.instrs:
+            if isinstance(operand, str):
+                target = self.labels.get(operand)
+                if target is None:
+                    raise AssertionError(f"unresolved label {operand}")
+                instructions.append(Instruction(opcode, target))
+            else:
+                instructions.append(Instruction(opcode, operand))
+        return Program(tuple(instructions), tuple(self.pool), dict(self.labels))
+
+
+def generate(analyzed: AnalyzedProgram) -> GeneratedCode:
+    """Generate a complete executable image (entry stub + all functions)."""
+    if "main" not in analyzed.functions:
+        raise CompileError("program has no main()", stage="codegen")
+    main = analyzed.functions["main"]
+    if main.params:
+        raise CompileError("main() takes no parameters", main.node.line,
+                           main.node.col, stage="codegen")
+    emitter = _Emitter(analyzed)
+    globals_map = emitter.allocate()
+    emitter.emit("Call", "fn_main")
+    emitter.emit("Halt")    # main's return value stays in TOS, harmlessly
+    for fn in analyzed.functions.values():
+        emitter.gen_function(fn)
+    program = emitter.finish()
+    entries = {name: program.symbols[f"fn_{name}"]
+               for name in analyzed.functions}
+    return GeneratedCode(
+        program=program,
+        counts=dict(emitter.counts),
+        globals_map=globals_map,
+        function_entries=entries,
+        globals_words=emitter.globals_words,
+        counts_by_function={name: dict(c)
+                            for name, c in emitter.counts_by_function.items()},
+    )

@@ -1,0 +1,65 @@
+"""The MIMDC compiler driver: source -> executable unit."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.interp.state import MemoryLayout
+from repro.isa.program import Program
+from repro.lang.codegen import generate
+from repro.lang.fold import fold_program
+from repro.lang.parser import parse
+from repro.lang.sema import AnalyzedProgram, analyze
+
+__all__ = ["CompiledUnit", "compile_mimdc"]
+
+
+@dataclass(frozen=True)
+class CompiledUnit:
+    """Everything downstream tools need about one compiled MIMDC program.
+
+    ``counts`` is the §4.2 cost table: expected execution count per opcode,
+    consumed by the AHS target-selection scheduler.  ``layout`` sizes the
+    interpreter's PE memory to fit the statically allocated variables.
+    """
+
+    source: str
+    program: Program
+    counts: dict[str, float]
+    counts_by_function: dict[str, dict[str, float]]
+    globals_map: dict[str, int]
+    function_entries: dict[str, int]
+    layout: MemoryLayout
+    analyzed: AnalyzedProgram
+
+    def address_of(self, name: str) -> int:
+        """Word address of a global variable (KeyError if not a global)."""
+        return self.globals_map[name]
+
+
+def compile_mimdc(source: str, stack_words: int = 256,
+                  optimize: bool = True) -> CompiledUnit:
+    """Compile MIMDC ``source`` into a runnable :class:`CompiledUnit`.
+
+    ``optimize=False`` skips constant folding / algebraic simplification
+    (useful for testing the folder itself and for compiler ablations).
+    """
+    tree = parse(source)
+    analyzed = analyze(tree)
+    if optimize:
+        fold_program(tree)
+    gen = generate(analyzed)
+    layout = MemoryLayout(
+        globals_words=max(gen.globals_words, 1),
+        stack_words=stack_words,
+    )
+    return CompiledUnit(
+        source=source,
+        program=gen.program,
+        counts=gen.counts,
+        counts_by_function=gen.counts_by_function,
+        globals_map=gen.globals_map,
+        function_entries=gen.function_entries,
+        layout=layout,
+        analyzed=analyzed,
+    )

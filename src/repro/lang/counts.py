@@ -1,0 +1,44 @@
+"""Expected-execution-count analysis (the §4.2 cost formula input).
+
+The counts themselves are produced during code generation (the emitter
+weights every instruction by the static branch/loop heuristics: then=51%,
+else=49%, loop body x100, loop condition x101).  This module is the
+convenience wrapper the scheduler uses, plus the weighted-sum evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.lang.compiler import CompiledUnit, compile_mimdc
+
+__all__ = ["estimate_time", "expected_counts"]
+
+
+def expected_counts(source_or_unit: str | CompiledUnit) -> dict[str, float]:
+    """Expected execution count per opcode for a MIMDC program."""
+    if isinstance(source_or_unit, CompiledUnit):
+        return dict(source_or_unit.counts)
+    return dict(compile_mimdc(source_or_unit).counts)
+
+
+def estimate_time(
+    counts: Mapping[str, float],
+    op_times: Mapping[str, float],
+    unsupported_time: float = float("inf"),
+) -> float:
+    """The §4.2 weighted sum: sum over ops of count x per-op time.
+
+    Opcodes missing from ``op_times`` are unsupported on that target and
+    contribute ``unsupported_time`` (infinite by default, which forces the
+    selector to a different target — §4.1.1).
+    """
+    total = 0.0
+    for opcode, count in counts.items():
+        if count == 0.0:
+            continue
+        t = op_times.get(opcode)
+        if t is None:
+            return unsupported_time
+        total += count * t
+    return total

@@ -1,0 +1,20 @@
+"""Compiler diagnostics."""
+
+from __future__ import annotations
+
+__all__ = ["CompileError"]
+
+
+class CompileError(ValueError):
+    """A diagnostic with source position.
+
+    ``line``/``col`` are 1-based; ``stage`` names the pipeline stage that
+    rejected the program (lex, parse, sema, codegen).
+    """
+
+    def __init__(self, message: str, line: int = 0, col: int = 0, stage: str = "compile"):
+        self.line = line
+        self.col = col
+        self.stage = stage
+        where = f" at {line}:{col}" if line else ""
+        super().__init__(f"{stage} error{where}: {message}")

@@ -1,0 +1,200 @@
+"""Constant folding and algebraic simplification on typed ASTs.
+
+Mirrors §2.4.1: "nearly all the proof-of-concept compilers ... perform at
+least constant folding and algebraic simplification."  Runs after semantic
+analysis so coercion casts of literals fold too; preserves the ``type``
+annotations codegen relies on.
+
+Integer semantics are C-style (truncating division); ``&&``/``||`` are
+strict (MIMDC has no short-circuit — both sides always execute on a SIMD
+substrate anyway).
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+
+__all__ = ["fold_expr", "fold_program"]
+
+
+def _is_pure(expr: ast.Expr) -> bool:
+    """True if ``expr`` has no side effects (no calls)."""
+    if isinstance(expr, (ast.IntLit, ast.FloatLit)):
+        return True
+    if isinstance(expr, ast.VarRef):
+        return all(e is None or _is_pure(e) for e in (expr.index, expr.pe))
+    if isinstance(expr, ast.Binary):
+        return _is_pure(expr.left) and _is_pure(expr.right)
+    if isinstance(expr, ast.Unary):
+        return _is_pure(expr.operand)
+    if isinstance(expr, ast.Cast):
+        return _is_pure(expr.operand)
+    return False  # calls
+
+
+def _lit(value, base: str, node: ast.Expr) -> ast.Expr:
+    if base == "int":
+        out = ast.IntLit(value=int(value), line=node.line, col=node.col)
+        out.type = ast.Type("int")
+    else:
+        out = ast.FloatLit(value=float(value), line=node.line, col=node.col)
+        out.type = ast.Type("float")
+    return out
+
+
+def _lit_value(expr: ast.Expr):
+    if isinstance(expr, (ast.IntLit, ast.FloatLit)):
+        return expr.value
+    return None
+
+
+def _int_div(a: int, b: int) -> int:
+    if b == 0:
+        return 0  # the machine's defined divide-by-zero result
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _int_mod(a: int, b: int) -> int:
+    if b == 0:
+        return 0
+    return a - _int_div(a, b) * b
+
+
+def _eval_binary(op: str, a, b, base: str):
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        if base == "int":
+            return _int_div(a, b)
+        return a / b if b != 0 else 0.0
+    if op == "%":
+        return _int_mod(a, b)
+    if op == "<<":
+        return a << (b & 63)
+    if op == ">>":
+        return a >> (b & 63)
+    if op == "&&":
+        return int(bool(a) and bool(b))
+    if op == "||":
+        return int(bool(a) or bool(b))
+    if op == "==":
+        return int(a == b)
+    if op == "!=":
+        return int(a != b)
+    if op == "<":
+        return int(a < b)
+    if op == "<=":
+        return int(a <= b)
+    if op == ">":
+        return int(a > b)
+    if op == ">=":
+        return int(a >= b)
+    raise AssertionError(f"unknown operator {op!r}")
+
+
+def fold_expr(expr: ast.Expr) -> ast.Expr:
+    """Return a folded copy of ``expr`` (children folded recursively)."""
+    if isinstance(expr, ast.Binary):
+        expr.left = fold_expr(expr.left)
+        expr.right = fold_expr(expr.right)
+        lv, rv = _lit_value(expr.left), _lit_value(expr.right)
+        base = expr.left.type.base if expr.left.type else "int"
+        if lv is not None and rv is not None:
+            value = _eval_binary(expr.op, lv, rv, base)
+            return _lit(value, expr.type.base, expr)
+        # algebraic identities (int and float alike; all are exact)
+        op = expr.op
+        if op == "+" and lv == 0:
+            return expr.right
+        if op in ("+", "-") and rv == 0:
+            return expr.left
+        if op == "*" and lv == 1:
+            return expr.right
+        if op in ("*", "/") and rv == 1:
+            return expr.left
+        if op == "*" and (
+            (lv == 0 and _is_pure(expr.right)) or (rv == 0 and _is_pure(expr.left))
+        ):
+            return _lit(0, expr.type.base, expr)
+        if op in ("<<", ">>") and rv == 0:
+            return expr.left
+        return expr
+    if isinstance(expr, ast.Unary):
+        expr.operand = fold_expr(expr.operand)
+        v = _lit_value(expr.operand)
+        if v is not None:
+            if expr.op == "-":
+                return _lit(-v, expr.type.base, expr)
+            return _lit(int(v == 0), "int", expr)
+        # --x == x
+        if (expr.op == "-" and isinstance(expr.operand, ast.Unary)
+                and expr.operand.op == "-"):
+            return expr.operand.operand
+        return expr
+    if isinstance(expr, ast.Cast):
+        expr.operand = fold_expr(expr.operand)
+        v = _lit_value(expr.operand)
+        if v is not None:
+            return _lit(int(v) if expr.target == "int" else float(v),
+                        expr.target, expr)
+        return expr
+    if isinstance(expr, ast.VarRef):
+        if expr.index is not None:
+            expr.index = fold_expr(expr.index)
+        if expr.pe is not None:
+            expr.pe = fold_expr(expr.pe)
+        return expr
+    if isinstance(expr, ast.Call):
+        expr.args = [fold_expr(a) for a in expr.args]
+        return expr
+    return expr
+
+
+def _fold_stat(stat: ast.Stat) -> ast.Stat:
+    if isinstance(stat, ast.Block):
+        stat.stats = [_fold_stat(s) for s in stat.stats]
+        return stat
+    if isinstance(stat, ast.Assign):
+        if stat.target.index is not None:
+            stat.target.index = fold_expr(stat.target.index)
+        if stat.target.pe is not None:
+            stat.target.pe = fold_expr(stat.target.pe)
+        stat.value = fold_expr(stat.value)
+        return stat
+    if isinstance(stat, ast.If):
+        stat.cond = fold_expr(stat.cond)
+        stat.then = _fold_stat(stat.then)
+        if stat.orelse is not None:
+            stat.orelse = _fold_stat(stat.orelse)
+        cv = _lit_value(stat.cond)
+        if cv is not None:
+            if cv != 0:
+                return stat.then
+            return stat.orelse if stat.orelse is not None else ast.Block(
+                line=stat.line, col=stat.col)
+        return stat
+    if isinstance(stat, ast.While):
+        stat.cond = fold_expr(stat.cond)
+        stat.body = _fold_stat(stat.body)
+        if _lit_value(stat.cond) == 0:
+            return ast.Block(line=stat.line, col=stat.col)
+        return stat
+    if isinstance(stat, ast.Return):
+        stat.value = fold_expr(stat.value)
+        return stat
+    if isinstance(stat, ast.CallStat):
+        stat.call = fold_expr(stat.call)
+        return stat
+    return stat
+
+
+def fold_program(tree: ast.Program) -> ast.Program:
+    """Fold every function body in place; returns ``tree`` for chaining."""
+    for fn in tree.functions:
+        fn.body = _fold_stat(fn.body)
+    return tree

@@ -1,0 +1,134 @@
+"""MIMDC lexer.
+
+Token kinds follow the PCCTS grammar of the supplied text (figure 1):
+keywords ``poly mono int float if else while return wait halt``, integer
+and float literals, identifiers, and the operator set of the expression
+grammar.  The parallel-subscript opener ``[||`` is lexed as one token
+(``LPARSUB``), mirroring the grammar's ``"\\[\\|\\|"`` terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.errors import CompileError
+
+__all__ = ["KEYWORDS", "Token", "tokenize"]
+
+KEYWORDS = frozenset({
+    "poly", "mono", "int", "float", "if", "else", "while",
+    "return", "wait", "halt",
+})
+
+#: multi-character operators, longest first so maximal munch works
+_MULTI = ["[||", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||"]
+_SINGLE = set("+-*/%<>=!()[]{},;")
+
+
+@dataclass(frozen=True)
+class Token:
+    """kind is 'kw', 'ident', 'int', 'float', or the operator lexeme itself."""
+
+    kind: str
+    value: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind!r}, {self.value!r}, {self.line}:{self.col})"
+
+
+def tokenize(source: str, keywords: frozenset[str] = KEYWORDS) -> list[Token]:
+    """Lex ``source``; raises :class:`CompileError` on illegal characters.
+
+    ``keywords`` defaults to MIMDC's set; the SIMDC dialect passes its own
+    (the token stream is otherwise identical).
+    """
+    tokens: list[Token] = []
+    i, line, col = 0, 1, 1
+    n = len(source)
+
+    def error(msg: str) -> CompileError:
+        return CompileError(msg, line, col, stage="lex")
+
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        # comments: /* ... */ and // ...
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated comment")
+            skipped = source[i:end + 2]
+            line += skipped.count("\n")
+            col = (len(skipped) - skipped.rfind("\n")) if "\n" in skipped else col + len(skipped)
+            i = end + 2
+            continue
+        # numbers
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (source[j].isdigit() or (source[j] == "." and not seen_dot)):
+                if source[j] == ".":
+                    seen_dot = True
+                j += 1
+            # exponent part
+            if j < n and source[j] in "eE" and (seen_dot or True):
+                k = j + 1
+                if k < n and source[k] in "+-":
+                    k += 1
+                if k < n and source[k].isdigit():
+                    seen_dot = True
+                    j = k
+                    while j < n and source[j].isdigit():
+                        j += 1
+            text = source[i:j]
+            kind = "float" if seen_dot else "int"
+            tokens.append(Token(kind, text, line, col))
+            col += j - i
+            i = j
+            continue
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            tokens.append(Token("kw" if text in keywords else "ident", text, line, col))
+            col += j - i
+            i = j
+            continue
+        # operators
+        matched = False
+        for op in _MULTI:
+            if source.startswith(op, i):
+                kind = "[||" if op == "[||" else op
+                tokens.append(Token(kind, op, line, col))
+                i += len(op)
+                col += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _SINGLE:
+            tokens.append(Token(ch, ch, line, col))
+            i += 1
+            col += 1
+            continue
+        raise error(f"illegal character {ch!r}")
+
+    tokens.append(Token("eof", "", line, col))
+    return tokens

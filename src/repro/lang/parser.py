@@ -1,0 +1,287 @@
+"""Recursive-descent parser for MIMDC.
+
+Follows the PCCTS grammar of the supplied text (figure 1):
+
+- precedence (loosest first): ``||``, ``&&``, ``== !=``, ``< <= > >=``,
+  ``<< >>``, ``+ -``, ``* / %``, unary ``- !``;
+- statements: block, assignment, ``if``/``else``, ``while``, ``return``,
+  ``wait;``, ``halt;``, empty ``;`` — plus a call statement extension;
+- a top-level item is ``type IDENT`` followed either by declarators and
+  ``;`` (variable declaration) or by a parameter list and body (function).
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+from repro.lang.errors import CompileError
+from repro.lang.lexer import Token, tokenize
+
+__all__ = ["parse"]
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def error(self, msg: str, tok: Token | None = None) -> CompileError:
+        tok = tok or self.cur
+        return CompileError(msg, tok.line, tok.col, stage="parse")
+
+    def at(self, kind: str, value: str | None = None) -> bool:
+        t = self.cur
+        return t.kind == kind and (value is None or t.value == value)
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        if self.at(kind, value):
+            tok = self.cur
+            self.pos += 1
+            return tok
+        return None
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        tok = self.accept(kind, value)
+        if tok is None:
+            want = value or kind
+            raise self.error(f"expected {want!r}, found {self.cur.value!r}")
+        return tok
+
+    # -- types & declarations ---------------------------------------------------
+
+    def at_type(self) -> bool:
+        return self.at("kw", "poly") or self.at("kw", "mono") or \
+            self.at("kw", "int") or self.at("kw", "float")
+
+    def parse_type(self) -> ast.Type:
+        storage = "poly"  # the default storage class for all variables (§2.2)
+        if self.accept("kw", "poly"):
+            storage = "poly"
+        elif self.accept("kw", "mono"):
+            storage = "mono"
+        if self.accept("kw", "int"):
+            return ast.Type("int", storage)
+        if self.accept("kw", "float"):
+            return ast.Type("float", storage)
+        raise self.error("expected 'int' or 'float'")
+
+    def parse_program(self) -> ast.Program:
+        prog = ast.Program(line=1, col=1)
+        while not self.at("eof"):
+            ty = self.parse_type()
+            name_tok = self.expect("ident")
+            if self.at("("):
+                prog.functions.append(self._function_rest(ty, name_tok))
+            else:
+                prog.globals.extend(self._decl_rest(ty, name_tok))
+        names: set[str] = set()
+        for decl in prog.globals:
+            if decl.name in names:
+                raise CompileError(f"duplicate global {decl.name!r}",
+                                   decl.line, decl.col, stage="parse")
+            names.add(decl.name)
+        fn_names = set()
+        for fn in prog.functions:
+            if fn.name in fn_names or fn.name in names:
+                raise CompileError(f"duplicate definition of {fn.name!r}",
+                                   fn.line, fn.col, stage="parse")
+            fn_names.add(fn.name)
+        return prog
+
+    def _array_suffix(self) -> int | None:
+        if self.accept("["):
+            size_tok = self.expect("int")
+            self.expect("]")
+            size = int(size_tok.value)
+            if size < 1:
+                raise self.error(f"array size must be positive, got {size}", size_tok)
+            return size
+        return None
+
+    def _decl_rest(self, ty: ast.Type, first: Token) -> list[ast.VarDecl]:
+        decls = [ast.VarDecl(name=first.value, type=ty, size=self._array_suffix(),
+                             line=first.line, col=first.col)]
+        while self.accept(","):
+            tok = self.expect("ident")
+            decls.append(ast.VarDecl(name=tok.value, type=ty, size=self._array_suffix(),
+                                     line=tok.line, col=tok.col))
+        self.expect(";")
+        return decls
+
+    def _function_rest(self, ret: ast.Type, name_tok: Token) -> ast.FuncDef:
+        if ret.storage == "mono":
+            raise self.error("function return values are always poly (§2.2)", name_tok)
+        self.expect("(")
+        params: list[ast.Param] = []
+        if not self.at(")"):
+            while True:
+                pty = self.parse_type()
+                if pty.storage == "mono":
+                    raise self.error("function arguments are always poly (§2.2)")
+                ptok = self.expect("ident")
+                params.append(ast.Param(name=ptok.value, type=pty,
+                                        line=ptok.line, col=ptok.col))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        body = self.parse_block()
+        seen = set()
+        for p in params:
+            if p.name in seen:
+                raise CompileError(f"duplicate parameter {p.name!r}",
+                                   p.line, p.col, stage="parse")
+            seen.add(p.name)
+        return ast.FuncDef(name=name_tok.value, return_type=ret, params=params,
+                           body=body, line=name_tok.line, col=name_tok.col)
+
+    # -- statements ----------------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        open_tok = self.expect("{")
+        block = ast.Block(line=open_tok.line, col=open_tok.col)
+        # local declarations first (grammar: decls then stats)
+        while self.at_type():
+            ty = self.parse_type()
+            tok = self.expect("ident")
+            if ty.storage == "mono":
+                raise self.error("mono variables must be global "
+                                 "(they are never stack allocated, §2.2)", tok)
+            block.decls.extend(self._decl_rest(ty, tok))
+        while not self.at("}"):
+            block.stats.append(self.parse_stat())
+        self.expect("}")
+        return block
+
+    def parse_stat(self) -> ast.Stat:
+        tok = self.cur
+        if self.at("{"):
+            return self.parse_block()
+        if self.accept("kw", "if"):
+            cond = self.parse_expr()
+            then = self.parse_stat()
+            orelse = self.parse_stat() if self.accept("kw", "else") else None
+            return ast.If(cond=cond, then=then, orelse=orelse,
+                          line=tok.line, col=tok.col)
+        if self.accept("kw", "while"):
+            cond = self.parse_expr()
+            body = self.parse_stat()
+            return ast.While(cond=cond, body=body, line=tok.line, col=tok.col)
+        if self.accept("kw", "return"):
+            value = self.parse_expr()
+            self.expect(";")
+            return ast.Return(value=value, line=tok.line, col=tok.col)
+        if self.accept("kw", "wait"):
+            self.expect(";")
+            return ast.Wait(line=tok.line, col=tok.col)
+        if self.accept("kw", "halt"):
+            self.expect(";")
+            return ast.Halt(line=tok.line, col=tok.col)
+        if self.accept(";"):
+            return ast.Block(line=tok.line, col=tok.col)  # empty statement
+        # assignment or call statement
+        name = self.expect("ident")
+        if self.at("("):
+            call = self._call_rest(name)
+            self.expect(";")
+            return ast.CallStat(call=call, line=name.line, col=name.col)
+        lval = self._lvalue_rest(name)
+        self.expect("=")
+        value = self.parse_expr()
+        self.expect(";")
+        return ast.Assign(target=lval, value=value, line=name.line, col=name.col)
+
+    def _lvalue_rest(self, name: Token) -> ast.LValue:
+        index = None
+        pe = None
+        if self.accept("["):
+            index = self.parse_expr()
+            self.expect("]")
+        if self.accept("[||"):
+            pe = self.parse_expr()
+            self.expect("]")
+        return ast.LValue(name=name.value, index=index, pe=pe,
+                          line=name.line, col=name.col)
+
+    # -- expressions --------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self._binary(0)
+
+    _LEVELS: list[list[str]] = [
+        ["||"],
+        ["&&"],
+        ["==", "!="],
+        ["<", "<=", ">", ">="],
+        ["<<", ">>"],
+        ["+", "-"],
+        ["*", "/", "%"],
+    ]
+
+    def _binary(self, level: int) -> ast.Expr:
+        if level == len(self._LEVELS):
+            return self._unary()
+        left = self._binary(level + 1)
+        while any(self.at(op) for op in self._LEVELS[level]):
+            op_tok = self.cur
+            self.pos += 1
+            right = self._binary(level + 1)
+            left = ast.Binary(op=op_tok.value, left=left, right=right,
+                              line=op_tok.line, col=op_tok.col)
+        return left
+
+    def _unary(self) -> ast.Expr:
+        tok = self.cur
+        if self.accept("-"):
+            return ast.Unary(op="-", operand=self._unary(), line=tok.line, col=tok.col)
+        if self.accept("!"):
+            return ast.Unary(op="!", operand=self._unary(), line=tok.line, col=tok.col)
+        return self._primary()
+
+    def _call_rest(self, name: Token) -> ast.Call:
+        self.expect("(")
+        args: list[ast.Expr] = []
+        if not self.at(")"):
+            while True:
+                args.append(self.parse_expr())
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        return ast.Call(name=name.value, args=args, line=name.line, col=name.col)
+
+    def _primary(self) -> ast.Expr:
+        tok = self.cur
+        if self.accept("int"):
+            return ast.IntLit(value=int(tok.value), line=tok.line, col=tok.col)
+        if self.accept("float"):
+            return ast.FloatLit(value=float(tok.value), line=tok.line, col=tok.col)
+        if self.accept("("):
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+        name = self.accept("ident")
+        if name is None:
+            raise self.error(f"expected expression, found {tok.value!r}")
+        if self.at("("):
+            return self._call_rest(name)
+        index = None
+        pe = None
+        if self.accept("["):
+            index = self.parse_expr()
+            self.expect("]")
+        if self.accept("[||"):
+            pe = self.parse_expr()
+            self.expect("]")
+        return ast.VarRef(name=name.value, index=index, pe=pe,
+                          line=name.line, col=name.col)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse MIMDC source into an (untyped) AST."""
+    parser = _Parser(tokenize(source))
+    prog = parser.parse_program()
+    return prog

@@ -1,0 +1,285 @@
+"""Semantic analysis: symbols, storage classes, types, coercions.
+
+Enforces the MIMDC rules of §2.2–§2.3:
+
+- the default storage class is ``poly``; ``mono`` variables are global only
+  (never stack allocated, same apparent address in all processes);
+- function arguments and return values are always ``poly``;
+- parallel subscripting (``x[||pe]``) applies only to *global poly*
+  variables — locals could be stack allocated, so another process couldn't
+  locate them (§2.3);
+- ``this`` is the built-in poly int process number (read-only);
+- int/float coercions are inserted explicitly as :class:`repro.lang.ast.Cast`
+  nodes ("type coercion is also applied on the ASTs", §2.4.1);
+- ``%``, ``<<``, ``>>``, ``&&``, ``||`` and ``!`` require int operands
+  (language subset; C's float semantics for these are not reproduced).
+
+The analysis annotates AST nodes in place (``expr.type``, ``node.symbol``)
+and returns an :class:`AnalyzedProgram` for the code generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast
+from repro.lang.errors import CompileError
+
+__all__ = ["AnalyzedProgram", "FuncSymbol", "VarSymbol", "analyze"]
+
+_ARITH = {"+", "-", "*", "/"}
+_INT_ONLY = {"%", "<<", ">>", "&&", "||"}
+_COMPARE = {"==", "!=", "<", "<=", ">", ">="}
+
+
+@dataclass
+class VarSymbol:
+    """A declared variable (global, parameter, or function-local)."""
+
+    name: str
+    type: ast.Type
+    size: int | None          # array length; None = scalar
+    is_global: bool
+    owner: str | None = None  # function name for params/locals
+    addr: int = -1            # word address; assigned by the allocator
+
+    @property
+    def words(self) -> int:
+        return self.size if self.size is not None else 1
+
+    @property
+    def is_array(self) -> bool:
+        return self.size is not None
+
+
+@dataclass
+class FuncSymbol:
+    """A function: signature plus its statically allocated variables."""
+
+    name: str
+    return_type: ast.Type
+    params: list[VarSymbol] = field(default_factory=list)
+    locals: list[VarSymbol] = field(default_factory=list)
+    node: ast.FuncDef | None = None
+
+
+@dataclass
+class AnalyzedProgram:
+    """Sema output consumed by the code generator."""
+
+    tree: ast.Program
+    globals: list[VarSymbol]
+    functions: dict[str, FuncSymbol]
+
+
+def _err(msg: str, node: ast.Node) -> CompileError:
+    return CompileError(msg, node.line, node.col, stage="sema")
+
+
+class _Analyzer:
+    def __init__(self, tree: ast.Program):
+        self.tree = tree
+        self.globals: dict[str, VarSymbol] = {}
+        self.functions: dict[str, FuncSymbol] = {}
+        self.scope_stack: list[dict[str, VarSymbol]] = []
+        self.current: FuncSymbol | None = None
+
+    # -- symbol management ----------------------------------------------------
+
+    def lookup(self, name: str, node: ast.Node) -> VarSymbol:
+        for scope in reversed(self.scope_stack):
+            if name in scope:
+                return scope[name]
+        if name in self.globals:
+            return self.globals[name]
+        raise _err(f"undeclared variable {name!r}", node)
+
+    # -- program ----------------------------------------------------------------
+
+    def run(self) -> AnalyzedProgram:
+        for decl in self.tree.globals:
+            if decl.name == "this":
+                raise _err("'this' is the built-in process number", decl)
+            self.globals[decl.name] = VarSymbol(
+                decl.name, decl.type, decl.size, is_global=True)
+        for fn in self.tree.functions:
+            if fn.name in self.functions or fn.name in self.globals:
+                raise _err(f"duplicate definition {fn.name!r}", fn)
+            sym = FuncSymbol(fn.name, fn.return_type, node=fn)
+            for p in fn.params:
+                sym.params.append(VarSymbol(p.name, p.type, None,
+                                            is_global=False, owner=fn.name))
+            self.functions[fn.name] = sym
+        for fn in self.tree.functions:
+            self._function(fn)
+        return AnalyzedProgram(self.tree, list(self.globals.values()), self.functions)
+
+    def _function(self, fn: ast.FuncDef) -> None:
+        sym = self.functions[fn.name]
+        self.current = sym
+        self.scope_stack = [{p.name: p for p in sym.params}]
+        self._block(fn.body)
+        self.scope_stack = []
+        self.current = None
+
+    # -- statements ----------------------------------------------------------------
+
+    def _block(self, block: ast.Block) -> None:
+        scope: dict[str, VarSymbol] = {}
+        self.scope_stack.append(scope)
+        for decl in block.decls:
+            if decl.name == "this":
+                raise _err("'this' cannot be redeclared", decl)
+            if decl.name in scope:
+                raise _err(f"duplicate local {decl.name!r}", decl)
+            var = VarSymbol(decl.name, decl.type, decl.size,
+                            is_global=False, owner=self.current.name)
+            scope[decl.name] = var
+            self.current.locals.append(var)
+            decl.symbol = var
+        for stat in block.stats:
+            self._stat(stat)
+        self.scope_stack.pop()
+
+    def _stat(self, stat: ast.Stat) -> None:
+        if isinstance(stat, ast.Block):
+            self._block(stat)
+        elif isinstance(stat, ast.Assign):
+            self._assign(stat)
+        elif isinstance(stat, ast.If):
+            self._condition(stat, "cond")
+            self._stat(stat.then)
+            if stat.orelse is not None:
+                self._stat(stat.orelse)
+        elif isinstance(stat, ast.While):
+            self._condition(stat, "cond")
+            self._stat(stat.body)
+        elif isinstance(stat, ast.Return):
+            value_type = self._expr(stat.value)
+            stat.value = self._coerce(stat.value, self.current.return_type.base)
+        elif isinstance(stat, (ast.Wait, ast.Halt)):
+            pass
+        elif isinstance(stat, ast.CallStat):
+            self._expr(stat.call)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise _err(f"unknown statement {type(stat).__name__}", stat)
+
+    def _condition(self, stat, attr: str) -> None:
+        cond = getattr(stat, attr)
+        base = self._expr(cond)
+        if base != "int":
+            raise _err("condition must be int (compare the float explicitly)", cond)
+
+    def _subscript_checks(self, sym: VarSymbol, index, pe, node) -> None:
+        if index is not None and not sym.is_array:
+            raise _err(f"{sym.name!r} is not an array", node)
+        if index is None and sym.is_array and pe is None:
+            raise _err(f"array {sym.name!r} used without a subscript", node)
+        if index is not None and self._expr(index) != "int":
+            raise _err("array subscript must be int", index)
+        if pe is not None:
+            if sym.type.storage != "poly" or not sym.is_global:
+                raise _err("parallel subscripting needs a global poly "
+                           "variable (§2.3)", node)
+            if self._expr(pe) != "int":
+                raise _err("parallel subscript (PE number) must be int", pe)
+
+    def _assign(self, stat: ast.Assign) -> None:
+        target = stat.target
+        if target.name == "this":
+            raise _err("'this' is read-only", target)
+        sym = self.lookup(target.name, target)
+        target.symbol = sym
+        self._subscript_checks(sym, target.index, target.pe, target)
+        if sym.is_array and target.index is None and target.pe is not None:
+            raise _err("parallel subscript of a whole array needs an element "
+                       "index too", target)
+        self._expr(stat.value)
+        stat.value = self._coerce(stat.value, sym.type.base)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _coerce(self, expr: ast.Expr, target_base: str) -> ast.Expr:
+        if expr.type.base == target_base:
+            return expr
+        cast = ast.Cast(target=target_base, operand=expr,
+                        line=expr.line, col=expr.col)
+        cast.type = ast.Type(target_base, "poly")
+        return cast
+
+    def _expr(self, expr: ast.Expr) -> str:
+        """Type-check ``expr``; returns its base type and sets ``expr.type``."""
+        if isinstance(expr, ast.IntLit):
+            expr.type = ast.Type("int")
+        elif isinstance(expr, ast.FloatLit):
+            expr.type = ast.Type("float")
+        elif isinstance(expr, ast.VarRef):
+            self._varref(expr)
+        elif isinstance(expr, ast.Binary):
+            self._binary(expr)
+        elif isinstance(expr, ast.Unary):
+            base = self._expr(expr.operand)
+            if expr.op == "!" and base != "int":
+                raise _err("'!' requires an int operand", expr)
+            expr.type = ast.Type(base)
+        elif isinstance(expr, ast.Call):
+            self._call(expr)
+        elif isinstance(expr, ast.Cast):  # pragma: no cover - sema-inserted only
+            self._expr(expr.operand)
+            expr.type = ast.Type(expr.target)
+        else:  # pragma: no cover
+            raise _err(f"unknown expression {type(expr).__name__}", expr)
+        return expr.type.base
+
+    def _varref(self, expr: ast.VarRef) -> None:
+        if expr.name == "this":
+            if expr.index is not None or expr.pe is not None:
+                raise _err("'this' cannot be subscripted", expr)
+            expr.symbol = None
+            expr.type = ast.Type("int")
+            return
+        sym = self.lookup(expr.name, expr)
+        expr.symbol = sym
+        self._subscript_checks(sym, expr.index, expr.pe, expr)
+        if sym.is_array and expr.index is None and expr.pe is not None:
+            raise _err("parallel subscript of a whole array needs an element "
+                       "index too", expr)
+        expr.type = ast.Type(sym.type.base, sym.type.storage)
+
+    def _binary(self, expr: ast.Binary) -> None:
+        lbase = self._expr(expr.left)
+        rbase = self._expr(expr.right)
+        op = expr.op
+        if op in _INT_ONLY:
+            if lbase != "int" or rbase != "int":
+                raise _err(f"{op!r} requires int operands", expr)
+            expr.type = ast.Type("int")
+            return
+        common = "float" if "float" in (lbase, rbase) else "int"
+        expr.left = self._coerce(expr.left, common)
+        expr.right = self._coerce(expr.right, common)
+        if op in _COMPARE:
+            expr.type = ast.Type("int")
+        elif op in _ARITH:
+            expr.type = ast.Type(common)
+        else:  # pragma: no cover - parser emits only known ops
+            raise _err(f"unknown operator {op!r}", expr)
+
+    def _call(self, expr: ast.Call) -> None:
+        fn = self.functions.get(expr.name)
+        if fn is None:
+            raise _err(f"call to undefined function {expr.name!r}", expr)
+        if len(expr.args) != len(fn.params):
+            raise _err(f"{expr.name}() takes {len(fn.params)} argument(s), "
+                       f"got {len(expr.args)}", expr)
+        new_args = []
+        for arg, param in zip(expr.args, fn.params):
+            self._expr(arg)
+            new_args.append(self._coerce(arg, param.type.base))
+        expr.args = new_args
+        expr.type = ast.Type(fn.return_type.base)
+
+
+def analyze(tree: ast.Program) -> AnalyzedProgram:
+    """Run semantic analysis; raises :class:`CompileError` on violations."""
+    return _Analyzer(tree).run()

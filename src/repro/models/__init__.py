@@ -1,0 +1,41 @@
+"""The AHS execution models (§3.2–§3.3), simulated on the event kernel.
+
+Three models implement the same PE-script interface over very different
+mechanics, faithful to the supplied text:
+
+- :class:`repro.models.pipes.PipeModel` — n PE processes plus one control
+  process; all PEs write one shared request pipe, the control process
+  answers on per-PE reply pipes; PEs sleep on blocking reads (§3.2.1).
+- :class:`repro.models.sharedfile.FileModel` — no control process: one
+  shared file holds monos, poly shadow copies, and per-PE barrier counters
+  (§3.2.2).
+- :class:`repro.models.udp.UDPModel` — distributed PEs exchanging datagrams
+  with latency/jitter/loss; monos live on owner PEs; barrier via the
+  bitmask-gossip algorithm (or plain n² for comparison) (§3.3).
+
+A PE *script* is a generator taking ``(model, pe)`` and yielding from the
+model's primitives (``compute``, ``lds``, ``sts``, ``ldd``, ``barrier``):
+
+    def script(model, pe):
+        yield from model.compute(pe, ops=100)
+        v = yield from model.lds(pe, "x")
+        yield from model.sts(pe, "x", v + pe)
+        yield from model.barrier(pe)
+"""
+
+from repro.models.base import ExecutionStats, NetworkParams, UnixBoxParams
+from repro.models.daemon import DaemonModel
+from repro.models.pipes import PipeModel
+from repro.models.sharedfile import FileModel
+from repro.models.udp import BarrierStats, UDPModel
+
+__all__ = [
+    "BarrierStats",
+    "DaemonModel",
+    "ExecutionStats",
+    "FileModel",
+    "NetworkParams",
+    "PipeModel",
+    "UDPModel",
+    "UnixBoxParams",
+]

@@ -1,0 +1,147 @@
+"""Shared parameter sets and the execution-model base class."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.events import Kernel, SharedCPU
+
+__all__ = ["BaseExecutionModel", "ExecutionStats", "NetworkParams", "UnixBoxParams"]
+
+
+@dataclass(frozen=True)
+class UnixBoxParams:
+    """Timing constants of one UNIX host (seconds).
+
+    Defaults are in the ballpark of the supplied text's Table 1 for a
+    circa-1992 workstation: a basic interpreted operation takes ~1 µs, a
+    context switch ~100 µs, file-block operations tens of µs (UNIX buffers
+    file blocks in memory, §3.2.2).
+    """
+
+    name: str = "generic-unix"
+    cores: int = 1
+    add_time: float = 1.0e-6      # one basic interpreted operation (ADD)
+    context_switch: float = 1.0e-4
+    syscall: float = 2.0e-5
+    pipe_transfer: float = 3.0e-5  # one packet write into a pipe buffer
+    file_seek: float = 2.0e-5
+    file_read: float = 3.0e-5
+    file_write: float = 5.0e-5
+    poll_interval: float = 5.0e-4  # shared-file barrier polling backoff
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"{self.name}: need at least one core")
+        for f in ("add_time", "context_switch", "syscall", "pipe_transfer",
+                  "file_seek", "file_read", "file_write", "poll_interval"):
+            if getattr(self, f) <= 0:
+                raise ValueError(f"{self.name}: {f} must be positive")
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Ethernet/UDP timing (§3.3)."""
+
+    latency: float = 1.5e-4        # one-way wire+stack latency
+    jitter: float = 5.0e-5         # uniform +/- jitter on latency
+    loss: float = 0.0              # datagram loss probability
+    send_overhead: float = 5.0e-5  # sendto syscall + signal-driven recv
+    retransmit_timeout: float = 5.0e-3
+
+    def __post_init__(self) -> None:
+        if self.latency <= 0 or self.send_overhead <= 0:
+            raise ValueError("latency and send_overhead must be positive")
+        if self.jitter < 0 or self.jitter >= self.latency:
+            raise ValueError("jitter must be in [0, latency)")
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError(f"loss probability {self.loss} outside [0, 1)")
+        if self.retransmit_timeout <= self.latency * 2:
+            raise ValueError("retransmit timeout must exceed a round trip")
+
+
+@dataclass
+class ExecutionStats:
+    """Per-run accounting common to all models."""
+
+    ops_executed: int = 0
+    messages_sent: int = 0
+    barriers_completed: int = 0
+    finish_times: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        return max(self.finish_times.values()) if self.finish_times else 0.0
+
+
+class BaseExecutionModel:
+    """Common plumbing: a kernel, a per-machine shared CPU, stats.
+
+    Subclasses implement the primitives as generators that yield kernel
+    commands; ``run`` drives one script per PE to completion.
+    """
+
+    def __init__(self, kernel: Kernel, params: UnixBoxParams, n_pes: int):
+        if n_pes < 1:
+            raise ValueError(f"need at least one PE, got {n_pes}")
+        self.kernel = kernel
+        self.params = params
+        self.n_pes = n_pes
+        self.cpu = SharedCPU(kernel, cores=params.cores)
+        self.stats = ExecutionStats()
+
+    # -- common primitives ----------------------------------------------------
+
+    def compute(self, pe: int, ops: int = 1):
+        """Execute ``ops`` basic operations worth of compute on this host.
+
+        Contends for the host CPU (processor sharing), so co-resident PE
+        processes and background load slow each other down.
+        """
+        self.stats.ops_executed += ops
+        yield self.cpu.compute(ops * self.params.add_time)
+
+    def _pe_done(self, pe: int):
+        self.stats.finish_times[pe] = self.kernel.now
+        return
+        yield  # pragma: no cover - marks this as a generator
+
+    # -- driver -------------------------------------------------------------------
+
+    def run(self, scripts, until: float | None = None) -> ExecutionStats:
+        """Run one script per PE to completion; returns the stats.
+
+        ``scripts`` is either a single generator function applied to every
+        PE or a list of per-PE generator functions.
+        """
+        if callable(scripts):
+            scripts = [scripts] * self.n_pes
+        if len(scripts) != self.n_pes:
+            raise ValueError(f"{len(scripts)} scripts for {self.n_pes} PEs")
+
+        def wrap(script, pe):
+            yield from self.startup(pe)
+            yield from script(self, pe)
+            yield from self.shutdown(pe)
+            self.stats.finish_times[pe] = self.kernel.now
+
+        for pe, script in enumerate(scripts):
+            self.kernel.spawn(wrap(script, pe), name=f"pe{pe}")
+        self.kernel.run(until=until)
+        missing = set(range(self.n_pes)) - set(self.stats.finish_times)
+        if missing:
+            raise RuntimeError(f"PEs {sorted(missing)} never finished "
+                               f"(deadlocked model?)")
+        return self.stats
+
+    # -- hooks ---------------------------------------------------------------------
+
+    def startup(self, pe: int):
+        """Per-PE setup before the script runs (default: nothing)."""
+        return
+        yield  # pragma: no cover
+
+    def shutdown(self, pe: int):
+        """Per-PE teardown after the script ends (default: nothing)."""
+        return
+        yield  # pragma: no cover

@@ -1,0 +1,158 @@
+"""A PVM-style daemon execution model (the §3.3/§4.1.1 comparator).
+
+"Whereas PVM creates persistent 'daemon processes', and then uses them to
+mediate between PE processes, AHS uses no daemons."  This model implements
+the road not taken: every host runs a daemon; all communication is
+PE -> local daemon -> remote daemon -> PE, each daemon hop paying a context
+switch plus a pipe transfer, with the network leg in the middle (reliable,
+TCP-like — daemons handle sequencing).
+
+The supplied text quantifies the cost: an LdS through PVM measured about
+1.6e-3 s where AHS's direct UDP socket needed ~4e-4 s — and, tellingly,
+a PVM LdS of a variable *on the requesting machine* also took 1.6e-3 s,
+because "most of PVM's system overhead" is the daemon path itself, not the
+wire.  This model reproduces both facts (see its tests and E7's footnote).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.events import Channel, Kernel, SharedCPU
+from repro.models.base import BaseExecutionModel, NetworkParams, UnixBoxParams
+
+__all__ = ["DaemonModel"]
+
+
+class DaemonModel(BaseExecutionModel):
+    """Distributed PEs communicating only through per-host daemons."""
+
+    def __init__(self, kernel: Kernel, params: UnixBoxParams, n_pes: int,
+                 net: NetworkParams | None = None,
+                 marshal_overhead: float = 4.0e-4):
+        super().__init__(kernel, params, n_pes)
+        if marshal_overhead < 0:
+            raise ValueError(f"negative marshal overhead {marshal_overhead}")
+        self.net = net or NetworkParams()
+        #: per-hop daemon protocol cost (XDR marshalling, routing tables) —
+        #: "most of PVM's system overhead ... is the dominant portion of
+        #: the PVM communication time" (§4.1.1)
+        self.marshal_overhead = marshal_overhead
+        # One host per PE, as in the UDP model; each host runs one daemon.
+        self.cpus = [SharedCPU(kernel, cores=params.cores) for _ in range(n_pes)]
+        self.daemon_inbox = [Channel(kernel, name=f"daemon{i}") for i in range(n_pes)]
+        self.net_link = [Channel(kernel, latency=self.net.latency,
+                                 name=f"link{i}") for i in range(n_pes)]
+        self.pe_inbox = [Channel(kernel, name=f"pe{i}") for i in range(n_pes)]
+        self.mono: dict[str, Any] = {}          # master daemon (0) owns monos
+        self.published: dict[tuple[int, str], Any] = {}
+        self._barrier_waiting: list[int] = []
+        self.daemon_hops = 0
+        for host in range(n_pes):
+            kernel.spawn(self._daemon(host), name=f"daemon{host}")
+            kernel.spawn(self._net_pump(host), name=f"pump{host}")
+
+    # -- PE-side primitives ------------------------------------------------------
+
+    def compute(self, pe: int, ops: int = 1):
+        self.stats.ops_executed += ops
+        yield self.cpus[pe].compute(ops * self.params.add_time)
+
+    def _ask(self, pe: int, request: tuple):
+        """Send a request into the local daemon and await the reply."""
+        self.stats.messages_sent += 1
+        yield self.cpus[pe].compute(self.params.syscall + self.params.pipe_transfer)
+        self.daemon_inbox[pe].put(("req", pe) + request)
+        reply = yield self.pe_inbox[pe].get()
+        yield self.cpus[pe].compute(self.params.context_switch)
+        return reply
+
+    def lds(self, pe: int, name: str):
+        value = yield from self._ask(pe, ("lds", name))
+        return value
+
+    def sts(self, pe: int, name: str, value: Any):
+        yield from self._ask(pe, ("sts", name, value))
+
+    def publish(self, pe: int, name: str, value: Any):
+        yield from self._ask(pe, ("publish", name, value))
+
+    def ldd(self, pe: int, owner: int, name: str):
+        value = yield from self._ask(pe, ("ldd", owner, name))
+        return value
+
+    def barrier(self, pe: int):
+        yield from self._ask(pe, ("wait",))
+
+    # -- daemons --------------------------------------------------------------------
+
+    def _daemon(self, host: int):
+        """The per-host daemon: mediates every message (the PVM design)."""
+        master = 0
+        while True:
+            msg = yield self.daemon_inbox[host].get()
+            self.daemon_hops += 1
+            # Daemon wakes, reads, unmarshals, routes: context switch +
+            # syscall + protocol processing.
+            yield self.cpus[host].compute(
+                self.params.context_switch + self.params.syscall
+                + self.marshal_overhead)
+            kind = msg[0]
+            if kind == "req":
+                _, pe, *request = msg
+                if host == master:
+                    yield from self._serve(host, pe, tuple(request))
+                else:
+                    # Forward to the master daemon over the wire.
+                    yield self.cpus[host].compute(self.net.send_overhead)
+                    self.net_link[master].put(("fwd", host, pe) + tuple(request))
+            elif kind == "fwd":
+                _, origin_host, pe, *request = msg
+                yield from self._serve(origin_host, pe, tuple(request))
+            elif kind == "rep":
+                _, pe, value = msg
+                yield self.cpus[host].compute(self.params.pipe_transfer)
+                self.pe_inbox[pe].put(value)
+            else:  # pragma: no cover - internal protocol
+                raise RuntimeError(f"daemon {host}: unknown {msg!r}")
+
+    def _net_pump(self, host: int):
+        """Deliver wire traffic into the host's daemon inbox."""
+        while True:
+            msg = yield self.net_link[host].get()
+            self.daemon_inbox[host].put(msg)
+
+    def _serve(self, origin_host: int, pe: int, request: tuple):
+        """Master-daemon service of one request; reply goes back via the
+        origin host's daemon (never directly to the PE)."""
+        kind = request[0]
+        if kind == "lds":
+            value = self.mono.get(request[1], 0)
+        elif kind == "sts":
+            self.mono[request[1]] = request[2]
+            value = "ok"
+        elif kind == "publish":
+            self.published[(pe, request[1])] = request[2]
+            value = "ok"
+        elif kind == "ldd":
+            value = self.published.get((request[1], request[2]), 0)
+        elif kind == "wait":
+            self._barrier_waiting.append(pe)
+            if len(self._barrier_waiting) == self.n_pes:
+                waiting, self._barrier_waiting = self._barrier_waiting, []
+                self.stats.barriers_completed += 1
+                for waiter in waiting:
+                    yield from self._reply(waiter, "barrier-open")
+            return
+        else:  # pragma: no cover
+            raise RuntimeError(f"unknown request {request!r}")
+        yield from self._reply(pe, value, origin_host)
+
+    def _reply(self, pe: int, value: Any, origin_host: int | None = None):
+        host = origin_host if origin_host is not None else pe
+        master = 0
+        yield self.cpus[master].compute(self.net.send_overhead)
+        if host == master:
+            self.daemon_inbox[master].put(("rep", pe, value))
+        else:
+            self.net_link[host].put(("rep", pe, value))

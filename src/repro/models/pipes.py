@@ -1,0 +1,149 @@
+"""The pipe-based execution model (§3.2.1).
+
+n+1 processes: n PEs and one control process.  All PEs send packets into a
+single shared request pipe; the control process answers each PE on its own
+reply pipe (so the server needs no polling).  A PE performing a blocking
+read sleeps until the control process writes — each such sleep/wake pair
+costs a context switch, which is why LdS here costs "two reads, two writes,
+and two process context switches" (§3.2.2's comparison).
+
+Parallel subscripting is supported but deliberately slow: the control
+process cannot interrupt a PE, so a request for PE *p*'s poly value parks
+until *p* next communicates with the control process for some other reason
+(§3.2.1: "programs making use of parallel subscripting probably should not
+be run using this execution model").
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.events import Channel, Kernel
+from repro.models.base import BaseExecutionModel, UnixBoxParams
+
+__all__ = ["PipeModel"]
+
+
+class PipeModel(BaseExecutionModel):
+    """Control process + per-PE reply pipes over one shared request pipe."""
+
+    def __init__(self, kernel: Kernel, params: UnixBoxParams, n_pes: int):
+        super().__init__(kernel, params, n_pes)
+        self.request_pipe = Channel(kernel, name="requests")
+        self.reply_pipes = [Channel(kernel, name=f"reply{pe}") for pe in range(n_pes)]
+        self.mono: dict[str, Any] = {}
+        self.poly_published: dict[tuple[int, str], Any] = {}
+        self._waiting_at_barrier: list[int] = []
+        self._deaths = 0
+        #: parked parallel-subscript requests: owner pe -> [(requester, name)]
+        self._parked_ldd: dict[int, list[tuple[int, str]]] = {}
+        self._control = kernel.spawn(self._control_loop(), name="control")
+
+    # -- packet plumbing -------------------------------------------------------
+
+    def _send_request(self, pe: int, packet: tuple):
+        """One atomic packet write into the shared pipe (§3.2.1)."""
+        self.stats.messages_sent += 1
+        yield self.cpu.compute(self.params.syscall + self.params.pipe_transfer)
+        self.request_pipe.put(packet)
+
+    def _blocking_reply(self, pe: int):
+        """Blocking read on this PE's reply pipe (sleep + wake switch)."""
+        value = yield self.reply_pipes[pe].get()
+        yield self.cpu.compute(self.params.context_switch)
+        return value
+
+    def _reply(self, pe: int, value: Any):
+        """Control-side write of a reply packet."""
+        yield self.cpu.compute(self.params.pipe_transfer)
+        self.reply_pipes[pe].put(value)
+
+    # -- PE-side primitives ----------------------------------------------------------
+
+    def lds(self, pe: int, name: str):
+        """Mono load: request packet + blocking reply."""
+        yield from self._send_request(pe, ("lds", pe, name))
+        value = yield from self._blocking_reply(pe)
+        return value
+
+    def sts(self, pe: int, name: str, value: Any):
+        """Mono store: one-way packet (no acknowledgement needed)."""
+        yield from self._send_request(pe, ("sts", pe, name, value))
+
+    def publish(self, pe: int, name: str, value: Any):
+        """Record this PE's poly value so others may parallel-subscript it.
+
+        In the real model the value lives in the PE's own memory; here the
+        control process proxies it, which is exactly why LdD is slow.
+        """
+        yield from self._send_request(pe, ("publish", pe, name, value))
+
+    def ldd(self, pe: int, owner: int, name: str):
+        """Parallel subscript: read PE ``owner``'s poly ``name``.
+
+        Parks at the control process until the owner next communicates.
+        """
+        yield from self._send_request(pe, ("ldd", pe, owner, name))
+        value = yield from self._blocking_reply(pe)
+        return value
+
+    def barrier(self, pe: int):
+        """Send a wait packet, then sleep on the reply pipe (§3.2.1)."""
+        yield from self._send_request(pe, ("wait", pe))
+        yield from self._blocking_reply(pe)
+
+    def shutdown(self, pe: int):
+        """The "death" packet the control process tallies (§3.2.1)."""
+        yield from self._send_request(pe, ("death", pe))
+
+    # -- the control process -------------------------------------------------------
+
+    def _control_loop(self):
+        while self._deaths < self.n_pes:
+            packet = yield self.request_pipe.get()
+            # Waking up to service a packet costs the control process a
+            # context switch plus the read syscall.
+            yield self.cpu.compute(self.params.context_switch + self.params.syscall)
+            kind = packet[0]
+            if kind == "lds":
+                _, pe, name = packet
+                yield from self._reply(pe, self.mono.get(name, 0))
+            elif kind == "sts":
+                _, pe, name, value = packet
+                self.mono[name] = value
+            elif kind == "publish":
+                _, pe, name, value = packet
+                self.poly_published[(pe, name)] = value
+            elif kind == "ldd":
+                _, pe, owner, name = packet
+                if (owner, name) in self.poly_published:
+                    yield from self._reply(
+                        pe, self.poly_published[(owner, name)])
+                else:
+                    self._parked_ldd.setdefault(owner, []).append((pe, name))
+            elif kind == "wait":
+                _, pe = packet
+                self._waiting_at_barrier.append(pe)
+                if len(self._waiting_at_barrier) == self.n_pes - self._deaths:
+                    for waiter in self._waiting_at_barrier:
+                        yield from self._reply(waiter, "barrier-open")
+                    self._waiting_at_barrier.clear()
+                    self.stats.barriers_completed += 1
+            elif kind == "death":
+                _, pe = packet
+                self._deaths += 1
+                # A dead PE can no longer block a barrier.
+                if (self._waiting_at_barrier
+                        and len(self._waiting_at_barrier)
+                        == self.n_pes - self._deaths):
+                    for waiter in self._waiting_at_barrier:
+                        yield from self._reply(waiter, "barrier-open")
+                    self._waiting_at_barrier.clear()
+                    self.stats.barriers_completed += 1
+            else:  # pragma: no cover - internal protocol
+                raise RuntimeError(f"control: unknown packet {packet!r}")
+            # Serve parked LdD requests whose owner just communicated.
+            owner = packet[1]
+            for requester, name in self._parked_ldd.pop(owner, []):
+                yield from self._reply(
+                    requester, self.poly_published.get((owner, name), 0))

@@ -1,0 +1,101 @@
+"""The file-based execution model (§3.2.2).
+
+No control process: one shared file holds the combined state — mono
+variables, per-PE poly "shadow copies", and per-PE barrier counters.  A
+mono load is one ``lseek`` + ``read`` (much cheaper than the pipe model's
+two reads, two writes and two context switches); a mono store is an
+``lseek`` + ``write``.  Barrier synchronization increments this PE's
+counter and then polls the counter block until every live PE's counter has
+caught up (a PE's counter may run ahead by at most one, per the text's
+footnote — asserted here).
+
+Shadow copies for parallel subscripting are refreshed only when their owner
+publishes (or hits a barrier), so LdD may observe stale values — exactly
+the "not continually updated, hence somewhat inefficient" behaviour of the
+text.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.events import Kernel, Timeout
+from repro.models.base import BaseExecutionModel, UnixBoxParams
+
+__all__ = ["FileModel"]
+
+
+class FileModel(BaseExecutionModel):
+    """All PEs read/write one shared file; no mediating process."""
+
+    def __init__(self, kernel: Kernel, params: UnixBoxParams, n_pes: int):
+        super().__init__(kernel, params, n_pes)
+        # The "file": section -> contents.  UNIX buffers file blocks in
+        # memory, so accesses cost syscall-ish times, not disk times.
+        self.mono: dict[str, Any] = {}
+        self.shadow: dict[tuple[int, str], Any] = {}
+        self.barrier_counters = [0] * n_pes
+        self._local_barrier_count = [0] * n_pes
+        self.finished = [False] * n_pes
+        self.poll_count = 0
+
+    # -- file access costs -----------------------------------------------------
+
+    def _seek_read(self):
+        yield self.cpu.compute(self.params.syscall + self.params.file_seek
+                               + self.params.file_read)
+
+    def _seek_write(self):
+        yield self.cpu.compute(self.params.syscall + self.params.file_seek
+                               + self.params.file_write)
+
+    # -- primitives ----------------------------------------------------------------
+
+    def lds(self, pe: int, name: str):
+        """Mono load: just one lseek + read (§3.2.2)."""
+        yield from self._seek_read()
+        return self.mono.get(name, 0)
+
+    def sts(self, pe: int, name: str, value: Any):
+        """Mono store: lseek + write."""
+        yield from self._seek_write()
+        self.mono[name] = value
+
+    def publish(self, pe: int, name: str, value: Any):
+        """Update this PE's shadow copy in the shared file."""
+        yield from self._seek_write()
+        self.shadow[(pe, name)] = value
+
+    def ldd(self, pe: int, owner: int, name: str):
+        """Parallel subscript: read the owner's shadow copy (may be stale)."""
+        yield from self._seek_read()
+        return self.shadow.get((owner, name), 0)
+
+    def barrier(self, pe: int):
+        """Counter-based barrier over the shared file (§3.2.2)."""
+        self._local_barrier_count[pe] += 1
+        my_count = self._local_barrier_count[pe]
+        yield from self._seek_write()
+        self.barrier_counters[pe] = my_count
+        while True:
+            # Read the whole block of counters (one seek + read).
+            yield from self._seek_read()
+            self.poll_count += 1
+            live = [i for i in range(self.n_pes) if not self.finished[i]]
+            counters = [self.barrier_counters[i] for i in live]
+            # Invariant from the text's footnote: counters never differ by
+            # more than one.
+            if counters and max(counters) - min(counters) > 1:
+                raise RuntimeError("barrier counters diverged by more than 1")
+            if all(c >= my_count for c in counters):
+                if pe == min(live, default=pe):
+                    self.stats.barriers_completed += 1
+                return
+            yield Timeout(self.params.poll_interval)
+
+    def shutdown(self, pe: int):
+        """Flag this PE at 'the final barrier' (§3.2.2) and terminate."""
+        yield from self._seek_write()
+        self.finished[pe] = True
+        # Its counter no longer gates anyone: mark it permanently caught up.
+        self.barrier_counters[pe] = float("inf")

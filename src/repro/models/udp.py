@@ -1,0 +1,327 @@
+"""The UDP-socket distributed execution model (§3.3).
+
+Every PE process owns one socket; there are no daemons and no control
+process.  Communication is signal-driven: a handler coroutine per PE serves
+incoming datagrams (answering mono/poly requests against PE-local state)
+while the main script runs — the simulation twin of the compiler-generated
+"fairly complex signal-driven event handling code".
+
+Datagram realities modeled: one-way latency with jitter (hence reordering),
+independent loss, and retransmission timers on every request/reply exchange.
+Mono variables are each assigned to an owner PE (deterministic hash) and
+accessed with the same request/reply mechanism as parallel subscripting.
+
+Two barrier algorithms (E9):
+
+- ``plain`` — the usual n² method: broadcast "I arrived", wait to hear an
+  arrival from everyone, rebroadcast on a timer until complete;
+- ``gossip`` — the AHS variation: messages carry *bitmasks summarizing
+  which PEs the sender knows have arrived*, and replies carry the merged
+  mask back, so one message from b can tell c about a — knowledge spreads
+  transitively and recognition delay shrinks.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.events import Channel, Event, Kernel, SharedCPU
+from repro.models.base import BaseExecutionModel, NetworkParams, UnixBoxParams
+from repro.util.rng import make_rng
+
+__all__ = ["BarrierStats", "UDPModel"]
+
+
+@dataclass
+class BarrierStats:
+    """Accounting for one barrier episode."""
+
+    algorithm: str
+    messages: int = 0
+    started_at: float = 0.0
+    completed_at: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.completed_at - self.started_at
+
+
+@dataclass
+class _PEState:
+    mono: dict[str, Any] = field(default_factory=dict)
+    published: dict[str, Any] = field(default_factory=dict)
+    pending: dict[int, Event] = field(default_factory=dict)
+    seen_requests: set[int] = field(default_factory=set)
+    #: barrier round -> bitmask of PEs known to have arrived
+    bar_masks: dict[int, int] = field(default_factory=dict)
+    bar_done: dict[int, Event] = field(default_factory=dict)
+    round: int = 0
+
+
+class UDPModel(BaseExecutionModel):
+    """Distributed PEs over a lossy datagram network."""
+
+    def __init__(self, kernel: Kernel, params: UnixBoxParams, n_pes: int,
+                 net: NetworkParams | None = None,
+                 seed: int | np.random.Generator | None = 0,
+                 barrier_algorithm: str = "gossip"):
+        super().__init__(kernel, params, n_pes)
+        if barrier_algorithm not in ("gossip", "plain"):
+            raise ValueError(f"unknown barrier algorithm {barrier_algorithm!r}")
+        self.net = net or NetworkParams()
+        self.rng = make_rng(seed)
+        self.barrier_algorithm = barrier_algorithm
+        self.sockets = [Channel(kernel, name=f"sock{pe}") for pe in range(n_pes)]
+        self.pe_state = [_PEState() for _ in range(n_pes)]
+        # Distributed PEs each run on their own host.
+        self.cpus = [SharedCPU(kernel, cores=params.cores) for _ in range(n_pes)]
+        self._next_reqid = 0
+        self.datagrams_sent = 0
+        self.datagrams_lost = 0
+        self.barrier_log: list[BarrierStats] = []
+        self._episodes: dict[int, BarrierStats] = {}
+        self._episode_returns: dict[int, int] = {}
+        for pe in range(n_pes):
+            kernel.spawn(self._handler(pe), name=f"udp-handler{pe}")
+
+    # -- host CPU override (each PE has its own box) -----------------------------
+
+    def compute(self, pe: int, ops: int = 1):
+        self.stats.ops_executed += ops
+        yield self.cpus[pe].compute(ops * self.params.add_time)
+
+    # -- the wire ---------------------------------------------------------------
+
+    def owner_of(self, name: str) -> int:
+        """Deterministic mono-variable placement."""
+        return zlib.crc32(name.encode()) % self.n_pes
+
+    def _send(self, src: int, dst: int, msg: tuple):
+        """Transmit one datagram (may be lost; arrives with jitter)."""
+        self.datagrams_sent += 1
+        self.stats.messages_sent += 1
+        if msg[0] in ("bar", "arr"):
+            episode = self._episodes.get(msg[1])
+            if episode is not None:
+                episode.messages += 1
+        yield self.cpus[src].compute(self.net.send_overhead)
+        if float(self.rng.random()) < self.net.loss:
+            self.datagrams_lost += 1
+            return
+        delay = self.net.latency + float(self.rng.uniform(-1, 1)) * self.net.jitter
+        self.kernel.call_later(max(delay, 1e-9), self.sockets[dst].put, (src, msg))
+
+    def _request(self, pe: int, dst: int, kind: str, *payload):
+        """Reliable request/reply with retransmission; returns the reply."""
+        self._next_reqid += 1
+        reqid = self._next_reqid
+        done = Event(self.kernel)
+        self.pe_state[pe].pending[reqid] = done
+        attempts = 0
+        while not done.triggered:
+            yield from self._send(pe, dst, (kind, reqid, pe) + payload)
+            attempts += 1
+            if attempts > 200:
+                raise RuntimeError(f"PE {pe}: request to {dst} never answered")
+            timer = Event(self.kernel)
+            self.kernel.call_later(self.net.retransmit_timeout, self._expire, timer)
+            # Race the reply against the retransmit timer.
+            yield self._first_of(done, timer)
+        del self.pe_state[pe].pending[reqid]
+        return done.value
+
+    def _expire(self, timer: Event) -> None:
+        if not timer.triggered:
+            timer.succeed(None)
+
+    def _first_of(self, a: Event, b: Event) -> Event:
+        """Event that fires when either input fires."""
+        combo = Event(self.kernel)
+
+        def forward(value):
+            if not combo.triggered:
+                combo.succeed(value)
+
+        for ev in (a, b):
+            if ev.triggered:
+                self.kernel.call_soon(forward, ev.value)
+            else:
+                ev._waiters.append(_Waiter(forward))
+        return combo
+
+    # -- primitives --------------------------------------------------------------
+
+    def lds(self, pe: int, name: str):
+        """Mono load: local if this PE owns it, else request/reply."""
+        owner = self.owner_of(name)
+        if owner == pe:
+            yield from self.compute(pe, 1)
+            return self.pe_state[pe].mono.get(name, 0)
+        value = yield from self._request(pe, owner, "lds_req", name)
+        return value
+
+    def sts(self, pe: int, name: str, value: Any):
+        """Mono store: acknowledged so a lost datagram cannot drop it."""
+        owner = self.owner_of(name)
+        if owner == pe:
+            yield from self.compute(pe, 1)
+            self.pe_state[pe].mono[name] = value
+            return
+        yield from self._request(pe, owner, "sts_req", name, value)
+
+    def publish(self, pe: int, name: str, value: Any):
+        """Expose a poly value for parallel subscripting (PE-local)."""
+        yield from self.compute(pe, 1)
+        self.pe_state[pe].published[name] = value
+
+    def ldd(self, pe: int, owner: int, name: str):
+        """Parallel subscript: direct PE-to-PE request (§3.3 — handled by
+        signals, "reasonably efficient")."""
+        if owner == pe:
+            yield from self.compute(pe, 1)
+            return self.pe_state[pe].published.get(name, 0)
+        value = yield from self._request(pe, owner, "ldd_req", name)
+        return value
+
+    # -- barriers ---------------------------------------------------------------------
+
+    def barrier(self, pe: int):
+        if self.barrier_algorithm == "gossip":
+            yield from self._barrier_gossip(pe)
+        else:
+            yield from self._barrier_plain(pe)
+
+    def _begin_barrier_stats(self, rnd: int) -> BarrierStats:
+        episode = self._episodes.get(rnd)
+        if episode is None:
+            episode = BarrierStats(algorithm=self.barrier_algorithm,
+                                   started_at=self.kernel.now)
+            self._episodes[rnd] = episode
+            self._episode_returns[rnd] = 0
+            self.barrier_log.append(episode)
+        return episode
+
+    def _bar_state(self, pe: int, rnd: int) -> tuple[int, Event]:
+        st = self.pe_state[pe]
+        if rnd not in st.bar_masks:
+            st.bar_masks[rnd] = 0
+            st.bar_done[rnd] = Event(self.kernel)
+        return st.bar_masks[rnd], st.bar_done[rnd]
+
+    def _merge_mask(self, pe: int, rnd: int, bits: int) -> bool:
+        """OR ``bits`` into pe's round mask; returns True if info was new."""
+        old, done = self._bar_state(pe, rnd)
+        new = old | bits
+        self.pe_state[pe].bar_masks[rnd] = new
+        full = (1 << self.n_pes) - 1
+        if new == full and not done.triggered:
+            done.succeed(None)
+        return new != old
+
+    def _barrier_gossip(self, pe: int):
+        st = self.pe_state[pe]
+        rnd = st.round
+        st.round += 1
+        stats = self._begin_barrier_stats(rnd)
+        self._merge_mask(pe, rnd, 1 << pe)
+        _, done = self._bar_state(pe, rnd)
+        full = (1 << self.n_pes) - 1
+        # Announce to everyone once (acks carry back what they know), then
+        # retransmit only toward PEs we still haven't heard about.
+        first = True
+        while not done.triggered:
+            mask = st.bar_masks[rnd]
+            for other in range(self.n_pes):
+                if other == pe:
+                    continue
+                if first or not (mask >> other) & 1:
+                    yield from self._send(pe, other, ("bar", rnd, pe, mask))
+            first = False
+            timer = Event(self.kernel)
+            self.kernel.call_later(self.net.retransmit_timeout, self._expire, timer)
+            yield self._first_of(done, timer)
+        self._finish_barrier(rnd)
+
+    def _barrier_plain(self, pe: int):
+        st = self.pe_state[pe]
+        rnd = st.round
+        st.round += 1
+        stats = self._begin_barrier_stats(rnd)
+        self._merge_mask(pe, rnd, 1 << pe)
+        _, done = self._bar_state(pe, rnd)
+        while not done.triggered:
+            for other in range(self.n_pes):
+                if other != pe:
+                    # Plain n2: the message carries only this PE's arrival.
+                    yield from self._send(pe, other, ("arr", rnd, pe, False))
+            timer = Event(self.kernel)
+            self.kernel.call_later(self.net.retransmit_timeout, self._expire, timer)
+            yield self._first_of(done, timer)
+        self._finish_barrier(rnd)
+
+    def _finish_barrier(self, rnd: int) -> None:
+        episode = self._episodes[rnd]
+        episode.completed_at = max(episode.completed_at, self.kernel.now)
+        self._episode_returns[rnd] += 1
+        if self._episode_returns[rnd] == self.n_pes:
+            self.stats.barriers_completed += 1
+
+    # -- the signal-driven handler -----------------------------------------------------
+
+    def _handler(self, pe: int):
+        st = self.pe_state[pe]
+        while True:
+            src, msg = yield self.sockets[pe].get()
+            yield self.cpus[pe].compute(self.net.send_overhead)  # signal handling
+            kind = msg[0]
+            if kind == "lds_req":
+                _, reqid, requester, name = msg
+                yield from self._send(pe, src, ("rep", reqid,
+                                                st.mono.get(name, 0)))
+            elif kind == "sts_req":
+                _, reqid, requester, name, value = msg
+                if reqid not in st.seen_requests:
+                    st.seen_requests.add(reqid)
+                    st.mono[name] = value
+                yield from self._send(pe, src, ("rep", reqid, "ok"))
+            elif kind == "ldd_req":
+                _, reqid, requester, name = msg
+                yield from self._send(pe, src, ("rep", reqid,
+                                                st.published.get(name, 0)))
+            elif kind == "rep":
+                _, reqid, value = msg
+                ev = st.pending.get(reqid)
+                if ev is not None and not ev.triggered:
+                    ev.succeed(value)
+            elif kind == "bar":
+                _, rnd, sender, bits = msg
+                had_news = self._merge_mask(pe, rnd, bits)
+                my_mask = st.bar_masks[rnd]
+                if (bits | my_mask) != bits:
+                    # Ack carries information (§3.3): tell the sender what
+                    # we know that it did not.
+                    yield from self._send(pe, src, ("bar", rnd, pe, my_mask))
+            elif kind == "arr":
+                _, rnd, sender, is_ack = msg
+                self._merge_mask(pe, rnd, 1 << sender)
+                # Acknowledge a fresh announcement with our own arrival (if
+                # any) so a PE that stopped broadcasting can still be
+                # learned about after losses; never ack an ack.
+                if not is_ack and (st.bar_masks.get(rnd, 0) >> pe) & 1:
+                    yield from self._send(pe, src, ("arr", rnd, pe, True))
+            else:  # pragma: no cover - internal protocol
+                raise RuntimeError(f"PE {pe}: unknown datagram {msg!r}")
+
+
+class _Waiter:
+    """Adapter letting a plain callback sit in an Event's waiter list."""
+
+    def __init__(self, fn):
+        self._fn = fn
+
+    def _resume(self, value):
+        self._fn(value)

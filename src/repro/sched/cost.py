@@ -1,0 +1,44 @@
+"""The §4.2 cost formula.
+
+``predicted time = (sum over ops of op_time x expected_count) x adjusted
+load average``.  Operations the target does not list are treated as having
+infinite execution time, which forces a different target to be selected
+(§4.1.1).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.sched.database import TargetEntry
+
+__all__ = ["predict_time", "raw_work"]
+
+
+def raw_work(entry: TargetEntry, counts: Mapping[str, float]) -> float:
+    """Unloaded single-process execution time of the program on ``entry``."""
+    total = 0.0
+    for opcode, count in counts.items():
+        if count == 0.0:
+            continue
+        t = entry.op_times.get(opcode)
+        if t is None:
+            return float("inf")
+        total += count * t
+    return total
+
+
+def predict_time(
+    entry: TargetEntry,
+    counts: Mapping[str, float],
+    added_processes: float = 0.0,
+) -> float:
+    """Expected execution time after scheduling ``added_processes`` more
+    processes onto the machine (§4.2 steps 1.1–1.2 / 2.2.1–2.2.2)."""
+    if not entry.accessible:
+        return float("inf")
+    work = raw_work(entry, counts)
+    if work == float("inf"):
+        return work
+    adjusted_load = entry.load_average + added_processes * entry.load_increment
+    return work * max(1.0, adjusted_load)

@@ -1,0 +1,106 @@
+"""The execution-model-and-machine database (§4.1).
+
+One :class:`TargetEntry` per (machine, execution model) combination.  Width
+semantics follow the text exactly: a fixed-PE parallel machine records its
+real PE count; UNIX systems record width 0, meaning "essentially unlimited
+processes", and only width-0 machines may host PEs of the distributed
+(UDP) model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from types import MappingProxyType
+from typing import Iterable, Iterator, Mapping
+
+__all__ = ["MachineDatabase", "TargetEntry"]
+
+EXECUTION_MODELS = ("maspar", "pipes", "file", "udp")
+
+
+@dataclass(frozen=True)
+class TargetEntry:
+    """All vital information about one machine + execution model combo."""
+
+    name: str                       # typically the internet address
+    model: str                      # one of EXECUTION_MODELS
+    width: int                      # 0 = unlimited UNIX processes
+    op_times: Mapping[str, float]   # stable per-op seconds; absent = unsupported
+    load_average: float | None = 1.0  # None = machine currently inaccessible
+    load_increment: float = 1.0     # 1.0 uniproc, 1/n multiproc, 0.0 non-UNIX
+    cores: int = 1                  # backing detail for the simulator
+    run_script: str = ""            # "how to compile and run here" (descriptive)
+
+    def __post_init__(self) -> None:
+        if self.model not in EXECUTION_MODELS:
+            raise ValueError(f"{self.name}: unknown execution model {self.model!r}")
+        if self.width < 0:
+            raise ValueError(f"{self.name}: negative width")
+        if self.load_average is not None and self.load_average < 1.0:
+            raise ValueError(f"{self.name}: load average below 1.0 (idle)")
+        if self.load_increment < 0:
+            raise ValueError(f"{self.name}: negative load increment")
+        if self.width != 0 and self.load_increment != 0.0:
+            raise ValueError(
+                f"{self.name}: non-UNIX targets (width != 0) use increment 0.0 (§4.1.2)")
+        for op, t in self.op_times.items():
+            if t <= 0:
+                raise ValueError(f"{self.name}: non-positive time for {op}")
+        object.__setattr__(self, "op_times", MappingProxyType(dict(self.op_times)))
+
+    @property
+    def accessible(self) -> bool:
+        return self.load_average is not None
+
+    @property
+    def is_unix(self) -> bool:
+        return self.width == 0
+
+    def supports(self, opcode: str) -> bool:
+        """Unsupported ops are simply not listed; they cost +inf (§4.1.1)."""
+        return opcode in self.op_times
+
+    def with_load(self, load_average: float | None) -> "TargetEntry":
+        return replace(self, load_average=load_average)
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.name, self.model)
+
+
+class MachineDatabase:
+    """An ordered collection of target entries with load bookkeeping."""
+
+    def __init__(self, entries: Iterable[TargetEntry] = ()):
+        self._entries: dict[tuple[str, str], TargetEntry] = {}
+        for entry in entries:
+            self.add(entry)
+
+    def add(self, entry: TargetEntry) -> None:
+        if entry.key in self._entries:
+            raise ValueError(f"duplicate database entry {entry.key}")
+        self._entries[entry.key] = entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TargetEntry]:
+        return iter(self._entries.values())
+
+    def get(self, name: str, model: str) -> TargetEntry:
+        return self._entries[(name, model)]
+
+    def entries(self) -> list[TargetEntry]:
+        return list(self._entries.values())
+
+    def set_load(self, name: str, model: str, load_average: float | None) -> None:
+        """Record a new last-known load average (or None = inaccessible)."""
+        key = (name, model)
+        self._entries[key] = self._entries[key].with_load(load_average)
+
+    def machines(self) -> list[str]:
+        seen: list[str] = []
+        for entry in self._entries.values():
+            if entry.name not in seen:
+                seen.append(entry.name)
+        return seen

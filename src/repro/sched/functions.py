@@ -1,0 +1,137 @@
+"""Function-level target scheduling (the §5 future-work system).
+
+"That system will analyze and schedule individual functions within a
+program."  The model here: a program is a sequence of function *phases*
+(its functions in static call order); each phase may run on a different
+target, but moving the computation between targets costs a migration
+overhead (shipping state over the network — AHS never migrates running
+processes, so a switch means finishing one remote run and launching the
+next elsewhere, §4.3).
+
+Given per-function expected counts, the optimal assignment of targets to
+phases minimizes
+
+    sum_i time(phase_i on target(phase_i)) + switch_cost x #transitions
+
+which is solved exactly by dynamic programming over (phase, target).
+Whole-program selection (§4.2) is the special case switch_cost = infinity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.sched.cost import predict_time
+from repro.sched.database import MachineDatabase, TargetEntry
+
+__all__ = ["FunctionSchedule", "schedule_functions"]
+
+
+@dataclass(frozen=True)
+class FunctionSchedule:
+    """DP result: one target per phase plus the cost decomposition."""
+
+    phases: tuple[str, ...]
+    targets: tuple[TargetEntry, ...]
+    phase_times: tuple[float, ...]
+    switch_cost: float
+    transitions: int
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.phase_times) + self.switch_cost * self.transitions
+
+    @property
+    def is_single_target(self) -> bool:
+        keys = {t.key for t in self.targets}
+        return len(keys) == 1
+
+    def describe(self) -> str:
+        parts = [f"{phase}@{target.name}({target.model})"
+                 for phase, target in zip(self.phases, self.targets)]
+        return " -> ".join(parts)
+
+
+def schedule_functions(
+    db: MachineDatabase,
+    counts_by_function: Mapping[str, Mapping[str, float]],
+    n_pes: int,
+    switch_cost: float = 0.5,
+    phase_order: Sequence[str] | None = None,
+) -> FunctionSchedule:
+    """Assign each function phase a target, minimizing total expected time.
+
+    ``phase_order`` defaults to the mapping's insertion order (the
+    compiler emits functions in definition order).  Targets are the §4.2
+    step-1 candidates: wide-enough machines or pipe/file models.
+    """
+    if switch_cost < 0:
+        raise ValueError(f"negative switch cost {switch_cost}")
+    phases = list(phase_order) if phase_order is not None else list(counts_by_function)
+    if not phases:
+        raise ValueError("no function phases to schedule")
+    for phase in phases:
+        if phase not in counts_by_function:
+            raise KeyError(f"no counts for function {phase!r}")
+
+    candidates = [
+        entry for entry in db
+        if (entry.width >= n_pes and entry.width != 0)
+        or entry.model in ("pipes", "file")
+    ]
+    if not candidates:
+        raise RuntimeError("no eligible targets in the database")
+
+    # time[i][j]: phase i on candidate j
+    times = [
+        [predict_time(entry, counts_by_function[phase], added_processes=n_pes)
+         for entry in candidates]
+        for phase in phases
+    ]
+
+    inf = float("inf")
+    n_c = len(candidates)
+    best = list(times[0])
+    back: list[list[int | None]] = [[None] * n_c]
+    for i in range(1, len(phases)):
+        stay = best
+        order = sorted(range(n_c), key=lambda j: stay[j])
+        cheapest, second = order[0], (order[1] if n_c > 1 else order[0])
+        row = []
+        choice = []
+        for j in range(n_c):
+            src = cheapest if cheapest != j else second
+            same = stay[j]
+            moved = stay[src] + switch_cost
+            if same <= moved or src == j:
+                row.append(same + times[i][j])
+                choice.append(j)
+            else:
+                row.append(moved + times[i][j])
+                choice.append(src)
+        best = row
+        back.append(choice)
+
+    final = min(range(n_c), key=lambda j: best[j])
+    if best[final] == inf:
+        raise RuntimeError("no target can execute every phase "
+                           "(and switching could not route around it)")
+    # reconstruct
+    assignment = [0] * len(phases)
+    j = final
+    for i in range(len(phases) - 1, -1, -1):
+        assignment[i] = j
+        prev = back[i][j]
+        j = prev if prev is not None else j
+    targets = tuple(candidates[assignment[i]] for i in range(len(phases)))
+    phase_times = tuple(times[i][assignment[i]] for i in range(len(phases)))
+    transitions = sum(
+        1 for a, b in zip(targets, targets[1:]) if a.key != b.key)
+    return FunctionSchedule(
+        phases=tuple(phases),
+        targets=targets,
+        phase_times=phase_times,
+        switch_cost=switch_cost,
+        transitions=transitions,
+    )

@@ -1,0 +1,77 @@
+"""Load dynamics (§4.1.2).
+
+Machines carry background load that changes over time; AHS does *not* poll
+it continuously ("there are over 500 machines...") — the user explicitly
+issues a command to refresh the database.  :class:`LoadGenerator` produces
+per-machine load trajectories; :func:`update_load_averages` is that explicit
+refresh command, snapshotting current loads into the database.  A stale
+database is exactly what makes selection occasionally wrong — measured by
+experiment E8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sched.database import MachineDatabase
+from repro.util.rng import make_rng
+
+__all__ = ["LoadGenerator", "update_load_averages"]
+
+
+class LoadGenerator:
+    """Mean-reverting background load per machine.
+
+    Load (in runnable jobs beyond ours) follows a clipped AR(1) process:
+    ``x' = x + theta*(mean - x) + sigma*noise``, sampled whenever asked.
+    "Because not all programs are compute bound, the load average is rarely
+    an integer" — values are continuous.
+    """
+
+    def __init__(
+        self,
+        machines: list[str],
+        mean_load: float = 1.5,
+        volatility: float = 0.4,
+        reversion: float = 0.3,
+        seed: int | np.random.Generator | None = 0,
+        down_probability: float = 0.0,
+    ):
+        if mean_load < 0 or volatility < 0 or not 0 <= reversion <= 1:
+            raise ValueError("bad load-process parameters")
+        if not 0.0 <= down_probability < 1.0:
+            raise ValueError(f"bad down probability {down_probability}")
+        self.rng = make_rng(seed)
+        self.mean_load = mean_load
+        self.volatility = volatility
+        self.reversion = reversion
+        self.down_probability = down_probability
+        self._extra: dict[str, float] = {
+            m: max(0.0, float(self.rng.normal(mean_load, volatility)))
+            for m in machines
+        }
+
+    def step(self) -> None:
+        """Advance every machine's load one epoch."""
+        for m, x in self._extra.items():
+            drift = self.reversion * (self.mean_load - x)
+            noise = self.volatility * float(self.rng.normal())
+            self._extra[m] = max(0.0, x + drift + noise)
+
+    def current(self, machine: str) -> float | None:
+        """Load *average* (>= 1.0) or None if the machine is down."""
+        if self.down_probability and float(self.rng.random()) < self.down_probability:
+            return None
+        return 1.0 + self._extra[machine]
+
+    def background_jobs(self, machine: str) -> float:
+        """Background runnable jobs (for driving the SharedCPU simulator)."""
+        return self._extra[machine]
+
+
+def update_load_averages(db: MachineDatabase, loads: LoadGenerator) -> None:
+    """The explicit "update the load average database" command (§4.1.2)."""
+    for entry in db.entries():
+        if entry.load_increment == 0.0 and entry.width != 0:
+            continue  # non-UNIX machines: queue-based, load not sampled
+        db.set_load(entry.name, entry.model, loads.current(entry.name))

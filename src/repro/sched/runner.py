@@ -1,0 +1,86 @@
+"""Execute a selection and measure *actual* time (§4.3).
+
+AHS packages the program as a master shell script that re-selects a target
+at launch, ships source via ``rsh``, recompiles remotely, and runs —
+processes are never migrated.  The simulation equivalent: given a selection
+and the machines' *true* state (background load, true op times), compute the
+realized makespan on the event kernel with processor-sharing contention.
+
+This is what experiment E8 uses to score the selector: predictions come
+from the (possibly stale) database; actuals come from here.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.events import Kernel, SharedCPU
+from repro.sched.cost import raw_work
+from repro.sched.select import Selection
+
+__all__ = ["simulate_execution"]
+
+
+def simulate_execution(
+    selection: Selection,
+    counts: Mapping[str, float],
+    true_background_jobs: Mapping[str, float],
+    recompile_overhead: float = 0.5,
+    true_op_times: Mapping[tuple[str, str], Mapping[str, float]] | None = None,
+) -> float:
+    """Realized makespan of running ``counts`` on the selected target(s).
+
+    ``true_background_jobs`` maps machine name -> compute-bound background
+    jobs actually on the machine (which may differ from the stale database
+    the selector used).  ``true_op_times`` optionally overrides each
+    entry's stable times with ground truth.  ``recompile_overhead`` is the
+    §4.3 ship-source-and-recompile cost, "nearly always small compared to
+    the runtime".
+
+    For a non-UNIX target (width != 0, e.g. the MasPar) PEs run in parallel
+    at full speed: the makespan is one PE's work.  For UNIX targets all
+    assigned PE processes contend for the host's cores along with the
+    background jobs (processor sharing).
+    """
+    kernel = Kernel()
+    finish_times: list[float] = []
+
+    for entry in selection.targets:
+        pes = selection.assignments[entry.key]
+        times = (true_op_times or {}).get(entry.key, entry.op_times)
+        work = raw_work(entry.with_load(1.0), counts) if times is entry.op_times \
+            else _work_from(times, counts)
+        if work == float("inf"):
+            raise RuntimeError(f"{entry.name} cannot execute this program")
+        if entry.width != 0:
+            # Dedicated parallel hardware: queue delay is not modeled here;
+            # all PEs advance together.
+            finish_times.append(recompile_overhead + work)
+            continue
+        cpu = SharedCPU(kernel, cores=entry.cores,
+                        background_jobs=true_background_jobs.get(entry.name, 0.0))
+
+        def pe_proc(cpu=cpu, work=work):
+            done = cpu.compute(work)
+            yield done
+            finish_times.append(kernel.now + recompile_overhead)
+
+        for _pe in pes:
+            kernel.spawn(pe_proc())
+
+    kernel.run()
+    if not finish_times:
+        raise RuntimeError("selection assigned no PEs")
+    return max(finish_times)
+
+
+def _work_from(times: Mapping[str, float], counts: Mapping[str, float]) -> float:
+    total = 0.0
+    for opcode, count in counts.items():
+        if count == 0.0:
+            continue
+        t = times.get(opcode)
+        if t is None:
+            return float("inf")
+        total += count * t
+    return total

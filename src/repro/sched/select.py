@@ -1,0 +1,127 @@
+"""The Target Selection Algorithm (§4.2), implemented step for step.
+
+Step 1 picks the best *single* target among machines wide enough for the
+requested PE count (or using the pipe / shared-file models, which multiplex
+any number of processes).  Step 2 greedily places PE processes one at a
+time onto width-0 UDP targets, permanently bumping each chosen machine's
+load as it goes.  Step 3 keeps whichever of the two is faster; step 4
+converts the per-PE list into a per-target assignment map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.sched.cost import predict_time
+from repro.sched.database import MachineDatabase, TargetEntry
+
+__all__ = ["Selection", "select_target"]
+
+
+@dataclass(frozen=True)
+class Selection:
+    """The chosen target(s) and the evidence behind the choice."""
+
+    kind: str                                 # "single" | "distributed"
+    predicted_time: float
+    #: single: the one entry; distributed: entry per distinct machine
+    targets: tuple[TargetEntry, ...]
+    #: target key -> PE numbers assigned there (step 4's inverted list)
+    assignments: dict[tuple[str, str], tuple[int, ...]]
+    #: every candidate considered in step 1 with its predicted time
+    candidate_times: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    @property
+    def description(self) -> str:
+        if self.kind == "single":
+            t = self.targets[0]
+            return f"{t.name} ({t.model})"
+        parts = [f"{key[0]}x{len(pes)}" for key, pes in self.assignments.items()]
+        return "distributed: " + ", ".join(parts)
+
+
+def _best_single(
+    db: MachineDatabase, counts: Mapping[str, float], n_pes: int,
+) -> tuple[TargetEntry | None, float, dict[tuple[str, str], float]]:
+    best: TargetEntry | None = None
+    best_time = float("inf")
+    candidates: dict[tuple[str, str], float] = {}
+    for entry in db:
+        eligible = (entry.width >= n_pes and entry.width != 0) or \
+            entry.model in ("pipes", "file")
+        if not eligible:
+            continue
+        time = predict_time(entry, counts, added_processes=n_pes)
+        candidates[entry.key] = time
+        if time < best_time:
+            best, best_time = entry, time
+    return best, best_time, candidates
+
+
+def _best_distributed(
+    db: MachineDatabase, counts: Mapping[str, float], n_pes: int,
+) -> tuple[list[TargetEntry], float]:
+    """§4.2 step 2: place PEs one at a time, bumping loads as we commit."""
+    extra_load: dict[tuple[str, str], float] = {}
+    placement: list[TargetEntry] = []
+    last_best_time = float("inf")
+    candidates = [e for e in db if e.width == 0 and e.model == "udp"]
+    if not candidates:
+        return [], float("inf")
+    for _pe in range(n_pes):
+        best_entry: TargetEntry | None = None
+        best_time = float("inf")
+        for entry in candidates:
+            added = extra_load.get(entry.key, 0.0) + 1.0
+            time = predict_time(entry, counts, added_processes=added)
+            if time < best_time:
+                best_entry, best_time = entry, time
+        if best_entry is None or best_time == float("inf"):
+            return [], float("inf")
+        extra_load[best_entry.key] = extra_load.get(best_entry.key, 0.0) + 1.0
+        placement.append(best_entry)
+        last_best_time = best_time
+    # The program's time is the maximum over PEs, i.e. the last (worst)
+    # placement's predicted time (§4.2 step 3).
+    return placement, last_best_time
+
+
+def select_target(
+    db: MachineDatabase,
+    counts: Mapping[str, float],
+    n_pes: int,
+) -> Selection:
+    """Run the full §4.2 algorithm; raises if nothing can run the program."""
+    if n_pes < 1:
+        raise ValueError(f"need at least one PE, got {n_pes}")
+    single, single_time, candidates = _best_single(db, counts, n_pes)
+    placement, dist_time = _best_distributed(db, counts, n_pes)
+
+    if single_time == float("inf") and dist_time == float("inf"):
+        raise RuntimeError("no target in the database can execute this program")
+
+    if single_time <= dist_time:
+        assert single is not None
+        return Selection(
+            kind="single",
+            predicted_time=single_time,
+            targets=(single,),
+            assignments={single.key: tuple(range(n_pes))},
+            candidate_times=candidates,
+        )
+
+    assignments: dict[tuple[str, str], list[int]] = {}
+    for pe, entry in enumerate(placement):
+        assignments.setdefault(entry.key, []).append(pe)
+    distinct: list[TargetEntry] = []
+    for entry in placement:
+        if entry.key not in {d.key for d in distinct}:
+            distinct.append(entry)
+    return Selection(
+        kind="distributed",
+        predicted_time=dist_time,
+        targets=tuple(distinct),
+        assignments={k: tuple(v) for k, v in assignments.items()},
+        candidate_times=candidates,
+    )

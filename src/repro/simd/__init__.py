@@ -1,0 +1,24 @@
+"""MasPar-MP-1-flavoured SIMD machine simulator.
+
+A PE array with per-PE memory, an enable-mask stack, elementwise ALU,
+indirect (per-PE) addressing, a global-OR reduction into the control unit,
+and a message router — exactly the hardware features the MIMD-on-SIMD
+interpreter and CSI exploit (supplied text §3.1.2: the MP-1 has hardware
+indirect addressing and masking, which make efficient MIMD emulation
+possible).  Every primitive charges cycles to an attached timing model.
+"""
+
+from repro.simd.machine import SIMDMachine
+from repro.simd.masks import MaskStack
+from repro.simd.memory import PEMemory
+from repro.simd.router import Router
+from repro.simd.timing import SIMDTiming, mp1_timing
+
+__all__ = [
+    "MaskStack",
+    "PEMemory",
+    "Router",
+    "SIMDMachine",
+    "SIMDTiming",
+    "mp1_timing",
+]

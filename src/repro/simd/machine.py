@@ -1,0 +1,216 @@
+"""The SIMD machine: PE array + control unit.
+
+All timed behaviour goes through this class so experiments can read one
+``cycles`` counter.  The control unit (this object) broadcasts one operation
+at a time; PEs disabled by the mask stack are unaffected.  Vector operands
+and results are plain int64 numpy arrays of length ``num_pes`` — the
+"registers" of the machine.  Storage-and-addressing honesty (indirect
+access, masking, global OR, router) is what matters for the paper's
+experiments, not bit-exact MP-1 arithmetic; arithmetic is 64-bit two's
+complement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simd.masks import MaskStack
+from repro.simd.memory import PEMemory
+from repro.simd.router import Router
+from repro.simd.timing import SIMDTiming, mp1_timing
+
+__all__ = ["SIMDMachine"]
+
+_BINOPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "land": lambda a, b: ((a != 0) & (b != 0)).astype(np.int64),
+    "lor": lambda a, b: ((a != 0) | (b != 0)).astype(np.int64),
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << (b & 63),
+    "shr": lambda a, b: a >> (b & 63),
+    "eq": lambda a, b: (a == b).astype(np.int64),
+    "ne": lambda a, b: (a != b).astype(np.int64),
+    "lt": lambda a, b: (a < b).astype(np.int64),
+    "le": lambda a, b: (a <= b).astype(np.int64),
+    "gt": lambda a, b: (a > b).astype(np.int64),
+    "ge": lambda a, b: (a >= b).astype(np.int64),
+}
+
+_UNOPS = {
+    "neg": lambda a: -a,
+    "not": lambda a: (a == 0).astype(np.int64),
+    "mov": lambda a: a.copy(),
+}
+
+
+def _div_trunc(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """C-style truncating division; divide-by-zero yields 0 (PE traps are
+    not modeled; MIMDC programs dividing by zero get a defined value)."""
+    safe = np.where(b == 0, 1, b)
+    q = np.abs(a) // np.abs(safe)
+    q = np.where((a < 0) != (safe < 0), -q, q)
+    return np.where(b == 0, 0, q)
+
+
+def _mod_trunc(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.where(b == 0, 0, a - _div_trunc(a, b) * np.where(b == 0, 1, b))
+
+
+class SIMDMachine:
+    """A masked SIMD PE array with local memory, router and global OR."""
+
+    def __init__(self, num_pes: int, mem_words: int = 4096,
+                 timing: SIMDTiming | None = None):
+        self.timing = timing or mp1_timing()
+        self.masks = MaskStack(num_pes)
+        self.memory = PEMemory(num_pes, mem_words)
+        self.router = Router(self.memory, self.timing)
+        self.cycles: float = 0.0
+        self.issues: int = 0
+        self.pe_ids = np.arange(num_pes, dtype=np.int64)
+
+    @property
+    def num_pes(self) -> int:
+        return self.masks.num_pes
+
+    # -- helpers -----------------------------------------------------------
+
+    def _charge(self, cycles: float) -> None:
+        self.cycles += cycles
+        self.issues += 1
+
+    def tick(self, cycles: float) -> None:
+        """Charge control-unit work that has no PE-array primitive."""
+        if cycles < 0:
+            raise ValueError(f"negative cycle charge {cycles}")
+        self.cycles += cycles
+
+    def masked_assign(self, old: np.ndarray, new: np.ndarray) -> np.ndarray:
+        """Masked register move: enabled lanes take ``new`` (one mov issue)."""
+        self._charge(self.timing.alu_cost("mov"))
+        return np.where(self.masks.current, new, old)
+
+    def _blend(self, old: np.ndarray, new: np.ndarray) -> np.ndarray:
+        """Apply ``new`` only on enabled PEs."""
+        return np.where(self.masks.current, new, old)
+
+    def zeros(self) -> np.ndarray:
+        return np.zeros(self.num_pes, dtype=np.int64)
+
+    def const(self, value: int) -> np.ndarray:
+        """Broadcast an immediate from the control unit."""
+        self._charge(self.timing.broadcast)
+        return np.full(self.num_pes, value, dtype=np.int64)
+
+    # -- ALU ----------------------------------------------------------------
+
+    def alu2(self, op: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Masked elementwise binary op; disabled PEs pass ``a`` through."""
+        if op == "div":
+            result = _div_trunc(a, b)
+        elif op == "mod":
+            result = _mod_trunc(a, b)
+        elif op in _BINOPS:
+            with np.errstate(over="ignore"):
+                result = _BINOPS[op](a, b)
+        else:
+            raise ValueError(f"unknown binary ALU op {op!r}")
+        self._charge(self.timing.alu_cost(op))
+        return self._blend(a, result)
+
+    def alu1(self, op: str, a: np.ndarray) -> np.ndarray:
+        fn = _UNOPS.get(op)
+        if fn is None:
+            raise ValueError(f"unknown unary ALU op {op!r}")
+        self._charge(self.timing.alu_cost(op))
+        return self._blend(a, fn(a))
+
+    def select(self, cond: np.ndarray, if_true: np.ndarray, if_false: np.ndarray) -> np.ndarray:
+        """Masked elementwise select (one ALU issue)."""
+        self._charge(self.timing.alu_cost("mov"))
+        return self._blend(if_false, np.where(cond != 0, if_true, if_false))
+
+    # -- memory --------------------------------------------------------------
+
+    def load(self, addrs: np.ndarray) -> np.ndarray:
+        self._charge(self.timing.mem_load)
+        return self.memory.gather(addrs, self.masks.current)
+
+    def store(self, addrs: np.ndarray, values: np.ndarray) -> None:
+        self._charge(self.timing.mem_store)
+        self.memory.scatter(addrs, values, self.masks.current)
+
+    # -- router ----------------------------------------------------------------
+
+    def remote_load(self, pes: np.ndarray, addrs: np.ndarray) -> np.ndarray:
+        values, cost = self.router.fetch(pes, addrs, self.masks.current)
+        self._charge(cost or self.timing.router_base)
+        return values
+
+    def remote_store(self, pes: np.ndarray, addrs: np.ndarray, values: np.ndarray) -> None:
+        cost = self.router.store(pes, addrs, values, self.masks.current)
+        self._charge(cost or self.timing.router_base)
+
+    def mono_store(self, addrs: np.ndarray, values: np.ndarray) -> None:
+        """StS: per distinct address, pick a winner and broadcast its value.
+
+        The winner among racing PEs is the highest-numbered enabled PE
+        (deterministic resolution of the mono store race, §2.2).
+        """
+        mask = self.masks.current
+        enabled = np.flatnonzero(mask)
+        winner_mask = np.zeros(self.num_pes, dtype=bool)
+        best_for_addr: dict[int, int] = {}
+        for pe in enabled:
+            best_for_addr[int(addrs[pe])] = int(pe)  # later (higher) PE wins
+        for pe in best_for_addr.values():
+            winner_mask[pe] = True
+        cost = self.router.broadcast_store(addrs, values, winner_mask)
+        self._charge(cost or self.timing.broadcast)
+
+    # -- control unit -----------------------------------------------------------
+
+    def reduce(self, op: str, values: np.ndarray) -> int:
+        """Tree-reduce ``values`` over enabled PEs into the control unit.
+
+        Unlike the single-cycle global OR, general reductions run a log-depth
+        combining tree on the PE array: cost = alu(op) x ceil(log2(PEs)).
+        Disabled PEs contribute the identity. Supported: add, max, min, or.
+        """
+        import math
+        fns = {"add": np.sum, "max": np.max, "min": np.min,
+               "or": np.bitwise_or.reduce}
+        identity = {"add": 0, "max": np.iinfo(np.int64).min,
+                    "min": np.iinfo(np.int64).max, "or": 0}
+        if op not in fns:
+            raise ValueError(f"unknown reduction {op!r}")
+        depth = max(1, math.ceil(math.log2(self.num_pes)))
+        self._charge(self.timing.alu_cost("add" if op == "or" else op) * depth)
+        masked = values[self.masks.current]
+        if masked.size == 0:
+            return int(identity[op])
+        with np.errstate(over="ignore"):
+            return int(fns[op](masked))
+
+    def global_or(self, values: np.ndarray) -> int:
+        """OR-reduce ``values`` over enabled PEs into the control unit."""
+        self._charge(self.timing.global_or)
+        masked = values[self.masks.current]
+        return int(np.bitwise_or.reduce(masked)) if masked.size else 0
+
+    def any_enabled(self, cond: np.ndarray) -> bool:
+        """True iff some enabled PE has a nonzero ``cond`` (one global OR)."""
+        self._charge(self.timing.global_or)
+        return bool(np.any((cond != 0) & self.masks.current))
+
+    def push_mask(self, cond: np.ndarray) -> None:
+        self._charge(self.timing.mask_op)
+        self.masks.push(cond != 0)
+
+    def pop_mask(self) -> None:
+        self._charge(self.timing.mask_op)
+        self.masks.pop()

@@ -1,0 +1,69 @@
+"""PE enable-mask management.
+
+The SIMD control unit keeps a stack of enable masks: nested conditional
+contexts push refinements and pop back (the classic SIMD if/else
+discipline).  The *current* mask is the top of the stack; machine primitives
+only touch PEs enabled there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MaskStack"]
+
+
+class MaskStack:
+    """A stack of boolean PE enable masks."""
+
+    def __init__(self, num_pes: int):
+        if num_pes < 1:
+            raise ValueError(f"need at least one PE, got {num_pes}")
+        self._num_pes = num_pes
+        self._stack: list[np.ndarray] = [np.ones(num_pes, dtype=bool)]
+
+    @property
+    def num_pes(self) -> int:
+        return self._num_pes
+
+    @property
+    def current(self) -> np.ndarray:
+        """The active enable mask (do not mutate; copy-on-push semantics)."""
+        return self._stack[-1]
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def active_count(self) -> int:
+        return int(np.count_nonzero(self._stack[-1]))
+
+    def any_active(self) -> bool:
+        return bool(self._stack[-1].any())
+
+    def push(self, condition: np.ndarray) -> None:
+        """Refine the current mask: newly enabled = current AND condition."""
+        condition = np.asarray(condition, dtype=bool)
+        if condition.shape != (self._num_pes,):
+            raise ValueError(
+                f"condition shape {condition.shape} != ({self._num_pes},)")
+        self._stack.append(self._stack[-1] & condition)
+
+    def pop(self) -> np.ndarray:
+        """Restore the previous mask; returns the popped one."""
+        if len(self._stack) == 1:
+            raise IndexError("cannot pop the base enable mask")
+        return self._stack.pop()
+
+    def set_base(self, mask: np.ndarray) -> None:
+        """Replace the base (bottom) mask — used when PEs halt permanently.
+
+        Only legal at depth 1: halting inside a nested conditional context
+        would desynchronize the stack.
+        """
+        if len(self._stack) != 1:
+            raise IndexError("set_base only allowed at mask-stack depth 1")
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self._num_pes,):
+            raise ValueError(f"mask shape {mask.shape} != ({self._num_pes},)")
+        self._stack[0] = mask.copy()

@@ -1,0 +1,93 @@
+"""Per-PE local memory with indirect (per-PE address) access."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PEMemory"]
+
+
+class PEMemory:
+    """``num_pes`` x ``words`` array of 64-bit words with masked gather/scatter.
+
+    The MP-1's hardware indirect addressing is what makes MIMD emulation
+    feasible (supplied text §3.1.2); this class is that feature: each
+    enabled PE reads/writes its *own* address in its *own* memory column.
+    """
+
+    def __init__(self, num_pes: int, words: int):
+        if num_pes < 1 or words < 1:
+            raise ValueError(f"bad memory geometry {num_pes} x {words}")
+        self._data = np.zeros((num_pes, words), dtype=np.int64)
+        self._pe_ids = np.arange(num_pes)
+
+    @property
+    def num_pes(self) -> int:
+        return self._data.shape[0]
+
+    @property
+    def words(self) -> int:
+        return self._data.shape[1]
+
+    @property
+    def data(self) -> np.ndarray:
+        """The raw array (tests and loaders may write it directly)."""
+        return self._data
+
+    def _check_addrs(self, addrs: np.ndarray, mask: np.ndarray) -> None:
+        used = addrs[mask]
+        if used.size and (used.min() < 0 or used.max() >= self.words):
+            bad = used[(used < 0) | (used >= self.words)]
+            raise IndexError(f"PE memory access out of range: addresses {bad[:8]!r}")
+
+    def gather(self, addrs: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """``out[i] = mem[i, addrs[i]]`` for enabled ``i``; 0 elsewhere."""
+        addrs = np.asarray(addrs, dtype=np.int64)
+        mask = np.asarray(mask, dtype=bool)
+        self._check_addrs(addrs, mask)
+        out = np.zeros(self.num_pes, dtype=np.int64)
+        idx = self._pe_ids[mask]
+        out[idx] = self._data[idx, addrs[idx]]
+        return out
+
+    def scatter(self, addrs: np.ndarray, values: np.ndarray, mask: np.ndarray) -> None:
+        """``mem[i, addrs[i]] = values[i]`` for enabled ``i``."""
+        addrs = np.asarray(addrs, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        mask = np.asarray(mask, dtype=bool)
+        self._check_addrs(addrs, mask)
+        idx = self._pe_ids[mask]
+        self._data[idx, addrs[idx]] = values[idx]
+
+    def remote_gather(self, pes: np.ndarray, addrs: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """``out[i] = mem[pes[i], addrs[i]]`` for enabled ``i`` (router read)."""
+        pes = np.asarray(pes, dtype=np.int64)
+        addrs = np.asarray(addrs, dtype=np.int64)
+        mask = np.asarray(mask, dtype=bool)
+        used_pes = pes[mask]
+        if used_pes.size and (used_pes.min() < 0 or used_pes.max() >= self.num_pes):
+            raise IndexError("remote access to PE out of range")
+        self._check_addrs(addrs, mask)
+        out = np.zeros(self.num_pes, dtype=np.int64)
+        idx = self._pe_ids[mask]
+        out[idx] = self._data[pes[idx], addrs[idx]]
+        return out
+
+    def remote_scatter(self, pes: np.ndarray, addrs: np.ndarray, values: np.ndarray,
+                       mask: np.ndarray) -> None:
+        """``mem[pes[i], addrs[i]] = values[i]`` for enabled ``i`` (router write).
+
+        Write conflicts (two PEs targeting the same remote word) resolve by
+        "picking a winner" (supplied text §2.2): with numpy scatter
+        semantics the highest-numbered writing PE wins, deterministically.
+        """
+        pes = np.asarray(pes, dtype=np.int64)
+        addrs = np.asarray(addrs, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        mask = np.asarray(mask, dtype=bool)
+        used_pes = pes[mask]
+        if used_pes.size and (used_pes.min() < 0 or used_pes.max() >= self.num_pes):
+            raise IndexError("remote access to PE out of range")
+        self._check_addrs(addrs, mask)
+        idx = self._pe_ids[mask]
+        self._data[pes[idx], addrs[idx]] = values[idx]

@@ -1,0 +1,69 @@
+"""Native SIMD kernels: the peak-performance denominator for E5.
+
+Each kernel is written directly against :class:`repro.simd.SIMDMachine`
+primitives — what a native MPL programmer would get, with no interpreter
+fetch/decode overhead.  The interpreted MIMD versions of the same kernels
+live in :mod:`repro.workloads.programs`; E5 reports the ratio of the two
+cycle counts, which the supplied text pegs at 1/40 .. 1/5 of peak.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simd.machine import SIMDMachine
+
+__all__ = ["NATIVE_KERNELS", "native_axpy", "native_pairwise", "native_polynomial"]
+
+
+def native_axpy(machine: SIMDMachine, iters: int) -> np.ndarray:
+    """Per PE: ``s = s + a*x + i`` repeated ``iters`` times."""
+    a = machine.const(3)
+    x = machine.alu1("mov", machine.pe_ids)
+    s = machine.zeros()
+    for i in range(iters):
+        t = machine.alu2("mul", a, x)
+        s = machine.alu2("add", s, t)
+        s = machine.alu2("add", s, machine.const(i))
+    return s
+
+
+def native_polynomial(machine: SIMDMachine, iters: int) -> np.ndarray:
+    """Horner evaluation of a cubic at each PE id, ``iters`` times."""
+    x = machine.alu1("mov", machine.pe_ids)
+    acc = machine.zeros()
+    for _ in range(iters):
+        p = machine.const(2)
+        p = machine.alu2("mul", p, x)
+        p = machine.alu2("add", p, machine.const(5))
+        p = machine.alu2("mul", p, x)
+        p = machine.alu2("add", p, machine.const(7))
+        acc = machine.alu2("add", acc, p)
+    return acc
+
+
+def native_pairwise(machine: SIMDMachine, iters: int) -> np.ndarray:
+    """Neighbour exchange + accumulate: stresses the router path.
+
+    Per iteration each PE stores its value at address 0, fetches the
+    right neighbour's, and accumulates.
+    """
+    n = machine.num_pes
+    addr0 = machine.zeros()
+    neighbour = machine.alu2("mod", machine.alu2("add", machine.pe_ids, machine.const(1)),
+                             machine.const(n))
+    v = machine.alu1("mov", machine.pe_ids)
+    acc = machine.zeros()
+    for _ in range(iters):
+        machine.store(addr0, v)
+        got = machine.remote_load(neighbour, addr0)
+        acc = machine.alu2("add", acc, got)
+        v = machine.alu2("add", v, machine.const(1))
+    return acc
+
+
+NATIVE_KERNELS = {
+    "axpy": native_axpy,
+    "polynomial": native_polynomial,
+    "pairwise": native_pairwise,
+}

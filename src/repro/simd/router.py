@@ -1,0 +1,72 @@
+"""The global router: PE-to-PE word transfers.
+
+The MasPar's message-oriented, SIMD-controlled global router implements both
+parallel subscripting (LdD/StD) and mono broadcast (StS); under AHS "each
+message always holds one 32-bit word of data" (supplied text §3.1.4).
+
+Timing: a router transaction costs a base setup plus a congestion term
+proportional to the worst fan-in (multiple enabled PEs addressing the same
+destination serialize at that destination's port).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simd.memory import PEMemory
+from repro.simd.timing import SIMDTiming
+
+__all__ = ["Router"]
+
+
+class Router:
+    """Routes single-word messages between PEs over a PEMemory backing."""
+
+    def __init__(self, memory: PEMemory, timing: SIMDTiming):
+        self._memory = memory
+        self._timing = timing
+        self.transactions = 0
+
+    def _congestion(self, pes: np.ndarray, mask: np.ndarray) -> int:
+        """Worst fan-in among destination PEs (1 if traffic is conflict-free)."""
+        targets = pes[mask]
+        if targets.size == 0:
+            return 0
+        return int(np.bincount(targets.astype(np.int64)).max())
+
+    def fetch(self, pes: np.ndarray, addrs: np.ndarray, mask: np.ndarray) -> tuple[np.ndarray, float]:
+        """Remote read: returns (values, cycle cost)."""
+        mask = np.asarray(mask, dtype=bool)
+        values = self._memory.remote_gather(pes, addrs, mask)
+        conflicts = self._congestion(np.asarray(pes), mask)
+        cost = self._timing.router_base + self._timing.router_per_conflict * max(0, conflicts - 1)
+        self.transactions += int(np.count_nonzero(mask))
+        return values, cost if conflicts else 0.0
+
+    def store(self, pes: np.ndarray, addrs: np.ndarray, values: np.ndarray,
+              mask: np.ndarray) -> float:
+        """Remote write: returns cycle cost.  Conflicts pick a winner."""
+        mask = np.asarray(mask, dtype=bool)
+        conflicts = self._congestion(np.asarray(pes), mask)
+        self._memory.remote_scatter(pes, addrs, values, mask)
+        self.transactions += int(np.count_nonzero(mask))
+        return (self._timing.router_base
+                + self._timing.router_per_conflict * max(0, conflicts - 1)) if conflicts else 0.0
+
+    def broadcast_store(self, addr_per_pe: np.ndarray, value: np.ndarray,
+                        winner_mask: np.ndarray) -> float:
+        """StS second half: broadcast each winner's value to all PEs' copies.
+
+        ``winner_mask`` marks the PEs whose (addr, value) pairs won the race;
+        each winning pair is written at ``addr`` in *every* PE's memory.
+        Cost: one broadcast per winner.
+        """
+        winner_mask = np.asarray(winner_mask, dtype=bool)
+        winners = np.flatnonzero(winner_mask)
+        for w in winners:
+            addr = int(addr_per_pe[w])
+            if not (0 <= addr < self._memory.words):
+                raise IndexError(f"broadcast address {addr} out of range")
+            self._memory.data[:, addr] = int(value[w])
+        self.transactions += len(winners)
+        return self._timing.broadcast * len(winners)

@@ -1,0 +1,65 @@
+"""Cycle costs of SIMD machine primitives.
+
+Costs are abstract cycles; only *ratios* matter for every experiment (the
+target-selection database converts them to seconds per machine).  The MP-1
+preset reflects the architecture notes in the supplied text: 4-bit ALU
+slices (multiply/divide expensive), groups of 16 PEs sharing one 8-bit
+memory port (memory slow relative to register ALU), a fast global OR into
+the control unit, and a comparatively expensive global router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+__all__ = ["SIMDTiming", "mp1_timing"]
+
+
+@dataclass(frozen=True)
+class SIMDTiming:
+    """Cycle cost per machine primitive."""
+
+    alu: Mapping[str, float] = field(default_factory=dict)
+    default_alu: float = 2.0
+    mem_load: float = 6.0
+    mem_store: float = 6.0
+    router_base: float = 14.0
+    router_per_conflict: float = 4.0
+    global_or: float = 2.0
+    broadcast: float = 2.0
+    mask_op: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "alu", MappingProxyType(dict(self.alu)))
+        for name, value in [("default_alu", self.default_alu),
+                            ("mem_load", self.mem_load),
+                            ("mem_store", self.mem_store),
+                            ("router_base", self.router_base),
+                            ("global_or", self.global_or),
+                            ("broadcast", self.broadcast),
+                            ("mask_op", self.mask_op)]:
+            if value <= 0:
+                raise ValueError(f"timing field {name} must be positive, got {value}")
+        if self.router_per_conflict < 0:
+            raise ValueError("router_per_conflict must be non-negative")
+
+    def alu_cost(self, op: str) -> float:
+        return self.alu.get(op, self.default_alu)
+
+
+_MP1_ALU: dict[str, float] = {
+    "add": 3.0, "sub": 3.0, "neg": 2.0,
+    "and": 1.5, "or": 1.5, "not": 1.5, "xor": 1.5,
+    "land": 1.5, "lor": 1.5,
+    "shl": 3.0, "shr": 3.0,
+    "eq": 3.0, "ne": 3.0, "lt": 3.0, "le": 3.0, "gt": 3.0, "ge": 3.0,
+    "mul": 24.0, "div": 40.0, "mod": 42.0,
+    "mov": 1.0,
+}
+
+
+def mp1_timing() -> SIMDTiming:
+    """MasPar MP-1 relative-cost preset."""
+    return SIMDTiming(alu=dict(_MP1_ALU))

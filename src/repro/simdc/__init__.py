@@ -1,0 +1,38 @@
+"""SIMDC — the data-parallel dialect (the paper's stated work-in-progress).
+
+"We are currently extending AHS to support SIMDC, a data-parallel dialect
+of C" (§2).  This package implements that extension: a C-like language with
+*scalar* (control-unit) and *plural* (per-PE) data, scalar control flow,
+masked ``where``/``else`` vector contexts, reductions and a router shift —
+compiled to a small vector IR and executed natively on the
+:class:`repro.simd.SIMDMachine` (no interpretation, so SIMDC programs run
+at the machine's native SIMD speed; benchmark E5x compares the two dialects
+on identical kernels).
+
+Quick use::
+
+    from repro.simdc import compile_simdc, run_simdc
+    unit = compile_simdc('''
+        plural int x;
+        int total;
+        int main() {
+            x = this * this;
+            where (x % 2 == 0) x = x + 1;
+            total = reduceAdd(x);
+            return total;
+        }
+    ''')
+    machine, result = run_simdc(unit, num_pes=64)
+"""
+
+from repro.simdc.compiler import SimdcUnit, compile_simdc, run_simdc
+from repro.simdc.parser import parse_simdc
+from repro.simdc.vir import VirProgram
+
+__all__ = [
+    "SimdcUnit",
+    "VirProgram",
+    "compile_simdc",
+    "parse_simdc",
+    "run_simdc",
+]

@@ -1,0 +1,138 @@
+"""SIMDC abstract syntax tree.
+
+Two storage spaces replace MIMDC's poly/mono pair: ``scalar`` values live
+in the control unit (one copy, sequential semantics) and ``plural`` values
+live one-per-PE (MPL's terminology, which SIMDC borrows).  Only int data in
+this dialect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Assign", "Binary", "Block", "Expr", "If", "IntLit", "Node",
+    "Program", "Reduce", "Return", "Rotate", "Stat", "This", "Unary",
+    "VarDecl", "VarRef", "Where", "While",
+]
+
+#: builtin reductions: name -> machine reduce kind
+REDUCTIONS = {
+    "reduceAdd": "add",
+    "reduceMax": "max",
+    "reduceMin": "min",
+    "reduceOr": "or",
+}
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, kw_only=True)
+    col: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class Expr(Node):
+    #: "scalar" | "plural" — set by sema
+    space: str | None = field(default=None, kw_only=True)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class This(Expr):
+    pass
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+    index: Expr | None = None      # plural arrays only
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""                   # "-" | "!"
+    operand: Expr | None = None
+
+
+@dataclass
+class Reduce(Expr):
+    kind: str = ""                 # "add" | "max" | "min" | "or"
+    operand: Expr | None = None
+
+
+@dataclass
+class Rotate(Expr):
+    """rotate(v, k): each PE receives v from PE (this+k) mod nproc."""
+
+    operand: Expr | None = None
+    shift: Expr | None = None
+
+
+@dataclass
+class Stat(Node):
+    pass
+
+
+@dataclass
+class Assign(Stat):
+    name: str = ""
+    index: Expr | None = None
+    value: Expr | None = None
+
+
+@dataclass
+class If(Stat):
+    cond: Expr | None = None       # scalar
+    then: Stat | None = None
+    orelse: Stat | None = None
+
+
+@dataclass
+class While(Stat):
+    cond: Expr | None = None       # scalar
+    body: Stat | None = None
+
+
+@dataclass
+class Where(Stat):
+    """Masked vector context; cond is plural."""
+
+    cond: Expr | None = None
+    then: Stat | None = None
+    orelse: Stat | None = None
+
+
+@dataclass
+class Return(Stat):
+    value: Expr | None = None      # scalar
+
+
+@dataclass
+class Block(Stat):
+    decls: list["VarDecl"] = field(default_factory=list)
+    stats: list[Stat] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Node):
+    name: str = ""
+    space: str = "scalar"          # "scalar" | "plural"
+    size: int | None = None        # plural arrays only
+
+
+@dataclass
+class Program(Node):
+    globals: list[VarDecl] = field(default_factory=list)
+    body: Block | None = None      # main()'s body

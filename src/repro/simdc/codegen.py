@@ -1,0 +1,227 @@
+"""SIMDC AST -> VIR lowering.
+
+Register allocation is naive-but-sound: every declared variable gets a
+dedicated register (scalar -> sreg, plural value -> vreg) keyed by its
+sema uid, arrays get memory ranges (word 0 is reserved as the router
+scratch slot used by ``rotate``), and expression temporaries are fresh
+registers (vector state is cheap in the simulator; a real MP-1 backend
+would color them onto the 48 PE registers).
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import CompileError
+from repro.simdc import ast
+from repro.simdc.sema import SimdcSymbols
+from repro.simdc.vir import Instr, VirProgram
+
+__all__ = ["generate_vir"]
+
+_BIN_MAP = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod",
+    "<<": "shl", ">>": "shr", "==": "eq", "!=": "ne",
+    "<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+    "&&": "land", "||": "lor",   # logical, not bitwise (C semantics)
+}
+
+
+class _Gen:
+    def __init__(self, symbols: SimdcSymbols):
+        self.instrs: list[Instr] = []
+        self.labels: dict[str, int] = {}
+        self.label_counter = 0
+        self.sreg_of: dict[int, int] = {}
+        self.vreg_of: dict[int, int] = {}
+        self.arrays: dict[int, tuple[int, int]] = {}
+        next_addr = 1  # word 0 = rotate scratch
+        self.num_sregs = 0
+        self.num_vregs = 0
+        for info in symbols.all_vars:
+            if info.size is not None:
+                self.arrays[info.uid] = (next_addr, info.size)
+                next_addr += info.size
+            elif info.space == "scalar":
+                self.sreg_of[info.uid] = self._sreg()
+            else:
+                self.vreg_of[info.uid] = self._vreg()
+        self.mem_words = next_addr
+
+    def _sreg(self) -> int:
+        self.num_sregs += 1
+        return self.num_sregs - 1
+
+    def _vreg(self) -> int:
+        self.num_vregs += 1
+        return self.num_vregs - 1
+
+    def emit(self, op: str, *args) -> None:
+        self.instrs.append(Instr(op, tuple(args)))
+
+    def new_label(self, hint: str) -> str:
+        self.label_counter += 1
+        return f"{hint}_{self.label_counter}"
+
+    def place(self, label: str) -> None:
+        self.labels[label] = len(self.instrs)
+
+    # -- expressions --------------------------------------------------------------
+
+    def scalar_expr(self, expr: ast.Expr) -> int:
+        """Evaluate a scalar expression into a (possibly fresh) sreg."""
+        if isinstance(expr, ast.IntLit):
+            d = self._sreg()
+            self.emit("sconst", d, expr.value)
+            return d
+        if isinstance(expr, ast.VarRef):
+            return self.sreg_of[expr.info.uid]
+        if isinstance(expr, ast.Binary):
+            a = self.scalar_expr(expr.left)
+            b = self.scalar_expr(expr.right)
+            d = self._sreg()
+            self.emit("sbin", _BIN_MAP[expr.op], d, a, b)
+            return d
+        if isinstance(expr, ast.Unary):
+            a = self.scalar_expr(expr.operand)
+            d = self._sreg()
+            self.emit("sun", "neg" if expr.op == "-" else "not", d, a)
+            return d
+        if isinstance(expr, ast.Reduce):
+            a = self.vector_expr(expr.operand)
+            d = self._sreg()
+            self.emit("reduce", expr.kind, d, a)
+            return d
+        raise CompileError(f"cannot generate scalar {type(expr).__name__}",
+                           expr.line, expr.col, stage="codegen")
+
+    def vector_expr(self, expr: ast.Expr) -> int:
+        """Evaluate any expression into a vreg (scalars broadcast)."""
+        if expr.space == "scalar":
+            s = self.scalar_expr(expr)
+            d = self._vreg()
+            self.emit("vbroadcast", d, s)
+            return d
+        if isinstance(expr, ast.This):
+            d = self._vreg()
+            self.emit("vthis", d)
+            return d
+        if isinstance(expr, ast.VarRef):
+            if expr.index is None:
+                return self.vreg_of[expr.info.uid]
+            addr = self._array_addr(expr.info.uid, expr.index)
+            d = self._vreg()
+            self.emit("vload", d, addr)
+            return d
+        if isinstance(expr, ast.Binary):
+            a = self.vector_expr(expr.left)
+            b = self.vector_expr(expr.right)
+            d = self._vreg()
+            self.emit("vbin", _BIN_MAP[expr.op], d, a, b)
+            return d
+        if isinstance(expr, ast.Unary):
+            a = self.vector_expr(expr.operand)
+            d = self._vreg()
+            self.emit("vun", "neg" if expr.op == "-" else "not", d, a)
+            return d
+        if isinstance(expr, ast.Rotate):
+            a = self.vector_expr(expr.operand)
+            s = self.scalar_expr(expr.shift)
+            d = self._vreg()
+            self.emit("rotate", d, a, s)
+            return d
+        raise CompileError(f"cannot generate vector {type(expr).__name__}",
+                           expr.line, expr.col, stage="codegen")
+
+    def _array_addr(self, uid: int, index: ast.Expr) -> int:
+        """Element addresses (base + index) into a fresh vreg."""
+        base, _size = self.arrays[uid]
+        idx = self.vector_expr(index)
+        base_reg = self._vreg()
+        self.emit("vconst", base_reg, base)
+        addr = self._vreg()
+        self.emit("vbin", "add", addr, base_reg, idx)
+        return addr
+
+    # -- statements -----------------------------------------------------------------
+
+    def stat(self, node: ast.Stat) -> None:
+        if isinstance(node, ast.Block):
+            for s in node.stats:
+                self.stat(s)
+        elif isinstance(node, ast.Assign):
+            self._assign(node)
+        elif isinstance(node, ast.If):
+            self._if(node)
+        elif isinstance(node, ast.While):
+            self._while(node)
+        elif isinstance(node, ast.Where):
+            self._where(node)
+        elif isinstance(node, ast.Return):
+            s = self.scalar_expr(node.value)
+            self.emit("ret", s)
+        else:  # pragma: no cover
+            raise CompileError(f"cannot generate {type(node).__name__}",
+                               node.line, node.col, stage="codegen")
+
+    def _assign(self, node: ast.Assign) -> None:
+        info = node.info
+        if info.size is not None:
+            addr = self._array_addr(info.uid, node.index)
+            value = self.vector_expr(node.value)
+            self.emit("vstore", addr, value)
+        elif info.space == "scalar":
+            s = self.scalar_expr(node.value)
+            self.emit("sun", "mov", self.sreg_of[info.uid], s)
+        else:
+            value = self.vector_expr(node.value)
+            self.emit("vblend", self.vreg_of[info.uid], value)
+
+    def _if(self, node: ast.If) -> None:
+        cond = self.scalar_expr(node.cond)
+        else_label = self.new_label("else")
+        end_label = self.new_label("endif")
+        self.emit("jz", cond, else_label if node.orelse is not None else end_label)
+        self.stat(node.then)
+        if node.orelse is not None:
+            self.emit("jmp", end_label)
+            self.place(else_label)
+            self.stat(node.orelse)
+        self.place(end_label)
+
+    def _while(self, node: ast.While) -> None:
+        loop_label = self.new_label("loop")
+        end_label = self.new_label("endwhile")
+        self.place(loop_label)
+        cond = self.scalar_expr(node.cond)
+        self.emit("jz", cond, end_label)
+        self.stat(node.body)
+        self.emit("jmp", loop_label)
+        self.place(end_label)
+
+    def _where(self, node: ast.Where) -> None:
+        cond = self.vector_expr(node.cond)
+        self.emit("wpush", cond)
+        self.stat(node.then)
+        self.emit("wpop")
+        if node.orelse is not None:
+            inverted = self._vreg()
+            self.emit("vun", "not", inverted, cond)
+            self.emit("wpush", inverted)
+            self.stat(node.orelse)
+            self.emit("wpop")
+
+
+def generate_vir(tree: ast.Program, symbols: SimdcSymbols) -> VirProgram:
+    """Lower the analyzed AST to VIR (implicit ``return 0`` appended)."""
+    gen = _Gen(symbols)
+    gen.stat(tree.body)
+    zero = gen._sreg()
+    gen.emit("sconst", zero, 0)
+    gen.emit("ret", zero)
+    return VirProgram(
+        instrs=tuple(gen.instrs),
+        labels=dict(gen.labels),
+        num_sregs=gen.num_sregs,
+        num_vregs=gen.num_vregs,
+        arrays=dict(gen.arrays),
+        mem_words=gen.mem_words,
+    )

@@ -1,0 +1,63 @@
+"""SIMDC compiler driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simd.machine import SIMDMachine
+from repro.simdc.codegen import generate_vir
+from repro.simdc.executor import ExecResult, execute_vir
+from repro.simdc.parser import parse_simdc
+from repro.simdc.sema import SimdcSymbols, analyze_simdc
+from repro.simdc.vir import VirProgram
+
+__all__ = ["SimdcUnit", "compile_simdc", "run_simdc"]
+
+
+@dataclass(frozen=True)
+class SimdcUnit:
+    """A compiled SIMDC program.
+
+    ``vreg_names``/``array_bases`` map *first-declared* variables of each
+    name to their storage, letting tests and tools inspect machine state
+    after a run.
+    """
+
+    source: str
+    vir: VirProgram
+    symbols: SimdcSymbols
+    vreg_names: dict[str, int] = field(default_factory=dict)
+    array_bases: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    def vreg_of(self, name: str) -> int:
+        """Vreg index of a plural (non-array) variable."""
+        return self.vreg_names[name]
+
+
+def compile_simdc(source: str) -> SimdcUnit:
+    """Compile SIMDC source to VIR."""
+    tree = parse_simdc(source)
+    symbols = analyze_simdc(tree)
+    vir = generate_vir(tree, symbols)
+    # Variable vregs are allocated in uid order over plural scalars
+    # (mirrors codegen._Gen); record the first binding of each name.
+    vreg_names: dict[str, int] = {}
+    array_bases: dict[str, tuple[int, int]] = {}
+    idx = 0
+    for info in symbols.all_vars:
+        if info.size is not None:
+            array_bases.setdefault(info.name, vir.arrays[info.uid])
+        elif info.space == "plural":
+            vreg_names.setdefault(info.name, idx)
+            idx += 1
+    return SimdcUnit(source=source, vir=vir, symbols=symbols,
+                     vreg_names=vreg_names, array_bases=array_bases)
+
+
+def run_simdc(unit: SimdcUnit, num_pes: int,
+              machine: SIMDMachine | None = None) -> tuple[SIMDMachine, ExecResult]:
+    """Execute a compiled unit on a (fresh by default) SIMD machine."""
+    if machine is None:
+        machine = SIMDMachine(num_pes, mem_words=max(unit.vir.mem_words, 16))
+    result = execute_vir(unit.vir, machine)
+    return machine, result

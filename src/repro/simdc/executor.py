@@ -1,0 +1,167 @@
+"""VIR execution on the SIMD machine.
+
+Vector instructions go through :class:`repro.simd.SIMDMachine` primitives
+(each charging cycles); scalar instructions run on the control unit at a
+fixed small cost (the MP-1's front end overlaps the PE array, but decode
+and broadcast are not free).  ``where`` contexts map directly onto the
+machine's mask stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simd.machine import SIMDMachine, _div_trunc, _mod_trunc
+from repro.simdc.vir import VirProgram
+
+__all__ = ["ExecResult", "execute_vir"]
+
+#: control-unit cost per scalar instruction, in machine cycles
+SCALAR_OP_COST = 0.5
+#: safety valve: a SIMDC program may not execute more VIR steps than this
+DEFAULT_MAX_STEPS = 5_000_000
+
+
+@dataclass
+class ExecResult:
+    """Outcome of one SIMDC run."""
+
+    value: int
+    steps: int
+    cycles: float
+
+
+def _scalar_bin(op: str, a: int, b: int) -> int:
+    a64 = np.int64(a)
+    b64 = np.int64(b)
+    with np.errstate(over="ignore"):
+        if op == "add":
+            return int(a64 + b64)
+        if op == "sub":
+            return int(a64 - b64)
+        if op == "mul":
+            return int(a64 * b64)
+        if op == "div":
+            return int(_div_trunc(np.array([a64]), np.array([b64]))[0])
+        if op == "mod":
+            return int(_mod_trunc(np.array([a64]), np.array([b64]))[0])
+        if op == "shl":
+            return int(a64 << (b64 & np.int64(63)))
+        if op == "shr":
+            return int(a64 >> (b64 & np.int64(63)))
+        if op in ("and", "land"):
+            return int(bool(a) and bool(b))
+        if op in ("or", "lor"):
+            return int(bool(a) or bool(b))
+        if op == "eq":
+            return int(a == b)
+        if op == "ne":
+            return int(a != b)
+        if op == "lt":
+            return int(a < b)
+        if op == "le":
+            return int(a <= b)
+        if op == "gt":
+            return int(a > b)
+        if op == "ge":
+            return int(a >= b)
+    raise ValueError(f"unknown scalar op {op!r}")
+
+
+def execute_vir(
+    vir: VirProgram,
+    machine: SIMDMachine,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> ExecResult:
+    """Run ``vir`` to its ``ret``; returns the scalar result and step count.
+
+    The machine must have at least ``vir.mem_words`` words of PE memory
+    (word 0 is the rotate scratch slot).
+    """
+    if machine.memory.words < vir.mem_words:
+        raise ValueError(f"machine memory {machine.memory.words} words < "
+                         f"required {vir.mem_words}")
+    s = [0] * vir.num_sregs
+    v = [machine.zeros() for _ in range(vir.num_vregs)]
+    scratch = machine.zeros()  # address vector, all zeros = word 0
+
+    pc = 0
+    steps = 0
+    start_cycles = machine.cycles
+    n = len(vir.instrs)
+    while pc < n:
+        steps += 1
+        if steps > max_steps:
+            raise RuntimeError(f"SIMDC program exceeded {max_steps} VIR steps")
+        instr = vir.instrs[pc]
+        op, args = instr.op, instr.args
+        pc += 1
+        if op == "sconst":
+            machine.tick(SCALAR_OP_COST)
+            s[args[0]] = args[1]
+        elif op == "sbin":
+            machine.tick(SCALAR_OP_COST)
+            s[args[1]] = _scalar_bin(args[0], s[args[2]], s[args[3]])
+        elif op == "sun":
+            machine.tick(SCALAR_OP_COST)
+            kind, d, a = args
+            if kind == "neg":
+                s[d] = -s[a]
+            elif kind == "not":
+                s[d] = int(s[a] == 0)
+            else:  # mov
+                s[d] = s[a]
+        elif op == "vconst":
+            v[args[0]] = machine.const(args[1])
+        elif op == "vbroadcast":
+            v[args[0]] = machine.const(s[args[1]])
+        elif op == "vthis":
+            v[args[0]] = machine.alu1("mov", machine.pe_ids)
+        elif op == "vbin":
+            kind, d, a, b = args
+            v[d] = machine.alu2(kind, v[a], v[b])
+        elif op == "vun":
+            kind, d, a = args
+            v[d] = machine.alu1(kind, v[a])
+        elif op == "vblend":
+            d, a = args
+            v[d] = machine.masked_assign(v[d], v[a])
+        elif op == "vload":
+            d, addr = args
+            v[d] = machine.load(v[addr])
+        elif op == "vstore":
+            addr, src = args
+            machine.store(v[addr], v[src])
+        elif op == "reduce":
+            kind, d, a = args
+            s[d] = machine.reduce(kind, v[a])
+        elif op == "rotate":
+            d, a, sh = args
+            npes = machine.const(machine.num_pes)
+            shift = machine.const(s[sh])
+            idx = machine.alu2("add", machine.pe_ids, shift)
+            # Euclidean wrap: C-truncating mod would go negative for
+            # negative shifts, so add n before the second mod.
+            idx = machine.alu2("mod", idx, npes)
+            idx = machine.alu2("mod", machine.alu2("add", idx, npes), npes)
+            machine.store(scratch, v[a])
+            v[d] = machine.remote_load(idx, scratch)
+        elif op == "wpush":
+            machine.push_mask(v[args[0]])
+        elif op == "wpop":
+            machine.pop_mask()
+        elif op == "jmp":
+            machine.tick(SCALAR_OP_COST)
+            pc = vir.labels[args[0]]
+        elif op == "jz":
+            machine.tick(SCALAR_OP_COST)
+            if s[args[0]] == 0:
+                pc = vir.labels[args[1]]
+        elif op == "ret":
+            return ExecResult(value=s[args[0]], steps=steps,
+                              cycles=machine.cycles - start_cycles)
+        else:  # pragma: no cover - VIR validates opcodes
+            raise RuntimeError(f"unknown VIR op {op!r}")
+    raise RuntimeError("VIR fell off the end without ret")

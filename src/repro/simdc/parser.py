@@ -1,0 +1,228 @@
+"""SIMDC recursive-descent parser.
+
+Grammar (v1 subset, documented in the package docstring): globals are
+``[plural] int`` declarations (plural may carry an array size); exactly one
+function, ``int main()``, whose body uses scalar ``if``/``while``, plural
+``where``/``else``, assignments, and ``return``.  Expression grammar is
+MIMDC's with two builtin call forms: reductions and ``rotate``.
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import CompileError
+from repro.lang.lexer import Token, tokenize
+from repro.simdc import ast
+from repro.simdc.ast import REDUCTIONS
+
+__all__ = ["parse_simdc"]
+
+SIMDC_KEYWORDS = frozenset({
+    "plural", "int", "if", "else", "while", "where", "return",
+})
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def error(self, msg: str, tok: Token | None = None) -> CompileError:
+        tok = tok or self.cur
+        return CompileError(msg, tok.line, tok.col, stage="parse")
+
+    def at(self, kind: str, value: str | None = None) -> bool:
+        t = self.cur
+        return t.kind == kind and (value is None or t.value == value)
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        if self.at(kind, value):
+            tok = self.cur
+            self.pos += 1
+            return tok
+        return None
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        tok = self.accept(kind, value)
+        if tok is None:
+            raise self.error(f"expected {value or kind!r}, found {self.cur.value!r}")
+        return tok
+
+    # -- declarations --------------------------------------------------------
+
+    def at_type(self) -> bool:
+        return self.at("kw", "plural") or self.at("kw", "int")
+
+    def parse_space(self) -> str:
+        space = "plural" if self.accept("kw", "plural") else "scalar"
+        self.expect("kw", "int")
+        return space
+
+    def _decl_rest(self, space: str, first: Token) -> list[ast.VarDecl]:
+        decls = [self._one_decl(space, first)]
+        while self.accept(","):
+            decls.append(self._one_decl(space, self.expect("ident")))
+        self.expect(";")
+        return decls
+
+    def _one_decl(self, space: str, tok: Token) -> ast.VarDecl:
+        size = None
+        if self.accept("["):
+            size_tok = self.expect("int")
+            self.expect("]")
+            size = int(size_tok.value)
+            if size < 1:
+                raise self.error("array size must be positive", size_tok)
+            if space != "plural":
+                raise self.error("scalar arrays are not in the SIMDC subset", tok)
+        return ast.VarDecl(name=tok.value, space=space, size=size,
+                           line=tok.line, col=tok.col)
+
+    def parse_program(self) -> ast.Program:
+        prog = ast.Program(line=1, col=1)
+        while not self.at("eof"):
+            space_tok = self.cur
+            space = self.parse_space()
+            name = self.expect("ident")
+            if self.at("("):
+                if name.value != "main":
+                    raise self.error("SIMDC v1 supports a single main()", name)
+                if space != "scalar":
+                    raise self.error("main() returns a scalar int", space_tok)
+                self.expect("(")
+                self.expect(")")
+                prog.body = self.parse_block()
+                if not self.at("eof"):
+                    raise self.error("main() must be the last definition")
+                break
+            prog.globals.extend(self._decl_rest(space, name))
+        if prog.body is None:
+            raise CompileError("program has no main()", stage="parse")
+        seen: set[str] = set()
+        for decl in prog.globals:
+            if decl.name in seen:
+                raise CompileError(f"duplicate global {decl.name!r}",
+                                   decl.line, decl.col, stage="parse")
+            seen.add(decl.name)
+        return prog
+
+    # -- statements ------------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        open_tok = self.expect("{")
+        block = ast.Block(line=open_tok.line, col=open_tok.col)
+        while self.at_type():
+            space = self.parse_space()
+            tok = self.expect("ident")
+            block.decls.extend(self._decl_rest(space, tok))
+        while not self.at("}"):
+            block.stats.append(self.parse_stat())
+        self.expect("}")
+        return block
+
+    def parse_stat(self) -> ast.Stat:
+        tok = self.cur
+        if self.at("{"):
+            return self.parse_block()
+        if self.accept("kw", "if"):
+            cond = self.parse_expr()
+            then = self.parse_stat()
+            orelse = self.parse_stat() if self.accept("kw", "else") else None
+            return ast.If(cond=cond, then=then, orelse=orelse,
+                          line=tok.line, col=tok.col)
+        if self.accept("kw", "where"):
+            cond = self.parse_expr()
+            then = self.parse_stat()
+            orelse = self.parse_stat() if self.accept("kw", "else") else None
+            return ast.Where(cond=cond, then=then, orelse=orelse,
+                             line=tok.line, col=tok.col)
+        if self.accept("kw", "while"):
+            cond = self.parse_expr()
+            body = self.parse_stat()
+            return ast.While(cond=cond, body=body, line=tok.line, col=tok.col)
+        if self.accept("kw", "return"):
+            value = self.parse_expr()
+            self.expect(";")
+            return ast.Return(value=value, line=tok.line, col=tok.col)
+        if self.accept(";"):
+            return ast.Block(line=tok.line, col=tok.col)
+        name = self.expect("ident")
+        index = None
+        if self.accept("["):
+            index = self.parse_expr()
+            self.expect("]")
+        self.expect("=")
+        value = self.parse_expr()
+        self.expect(";")
+        return ast.Assign(name=name.value, index=index, value=value,
+                          line=name.line, col=name.col)
+
+    # -- expressions --------------------------------------------------------------
+
+    _LEVELS = [["||"], ["&&"], ["==", "!="], ["<", "<=", ">", ">="],
+               ["<<", ">>"], ["+", "-"], ["*", "/", "%"]]
+
+    def parse_expr(self) -> ast.Expr:
+        return self._binary(0)
+
+    def _binary(self, level: int) -> ast.Expr:
+        if level == len(self._LEVELS):
+            return self._unary()
+        left = self._binary(level + 1)
+        while any(self.at(op) for op in self._LEVELS[level]):
+            op_tok = self.cur
+            self.pos += 1
+            right = self._binary(level + 1)
+            left = ast.Binary(op=op_tok.value, left=left, right=right,
+                              line=op_tok.line, col=op_tok.col)
+        return left
+
+    def _unary(self) -> ast.Expr:
+        tok = self.cur
+        if self.accept("-"):
+            return ast.Unary(op="-", operand=self._unary(), line=tok.line, col=tok.col)
+        if self.accept("!"):
+            return ast.Unary(op="!", operand=self._unary(), line=tok.line, col=tok.col)
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        tok = self.cur
+        if self.accept("int"):
+            return ast.IntLit(value=int(tok.value), line=tok.line, col=tok.col)
+        if self.accept("("):
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+        name = self.accept("ident")
+        if name is None:
+            raise self.error(f"expected expression, found {tok.value!r}")
+        if name.value == "this":
+            return ast.This(line=name.line, col=name.col)
+        if name.value in REDUCTIONS:
+            self.expect("(")
+            operand = self.parse_expr()
+            self.expect(")")
+            return ast.Reduce(kind=REDUCTIONS[name.value], operand=operand,
+                              line=name.line, col=name.col)
+        if name.value == "rotate":
+            self.expect("(")
+            operand = self.parse_expr()
+            self.expect(",")
+            shift = self.parse_expr()
+            self.expect(")")
+            return ast.Rotate(operand=operand, shift=shift,
+                              line=name.line, col=name.col)
+        index = None
+        if self.accept("["):
+            index = self.parse_expr()
+            self.expect("]")
+        return ast.VarRef(name=name.value, index=index,
+                          line=name.line, col=name.col)
+
+
+def parse_simdc(source: str) -> ast.Program:
+    """Parse SIMDC source into an (untyped) AST."""
+    return _Parser(tokenize(source, keywords=SIMDC_KEYWORDS)).parse_program()

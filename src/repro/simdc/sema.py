@@ -1,0 +1,187 @@
+"""SIMDC semantic analysis.
+
+Space rules (the data-parallel discipline):
+
+- ``if``/``while`` conditions are *scalar* — control flow is sequential on
+  the control unit; ``where`` conditions are *plural* — they refine the PE
+  enable mask;
+- mixing scalar and plural in an operator broadcasts the scalar;
+- reductions take plural, yield scalar; ``rotate`` takes (plural, scalar);
+- inside a ``where`` context, assigning to a *scalar* (or returning) is
+  rejected: the control unit has one copy, masked writes to it are
+  meaningless;
+- arrays are plural-only in this subset; an array needs an index, and the
+  index itself may be scalar (same element everywhere) or plural (per-PE
+  gather — the MP-1's indirect addressing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.errors import CompileError
+from repro.simdc import ast
+
+__all__ = ["SimdcSymbols", "VarInfo", "analyze_simdc"]
+
+
+@dataclass
+class VarInfo:
+    name: str
+    space: str            # "scalar" | "plural"
+    size: int | None      # plural array length, None = scalar value
+    uid: int              # unique id across the program (for shadowing)
+
+
+@dataclass
+class SimdcSymbols:
+    """All declared variables in declaration order, uid-indexed."""
+
+    all_vars: list[VarInfo] = field(default_factory=list)
+
+    def new(self, decl: ast.VarDecl) -> VarInfo:
+        info = VarInfo(decl.name, decl.space, decl.size, uid=len(self.all_vars))
+        self.all_vars.append(info)
+        return info
+
+
+def _err(msg: str, node: ast.Node) -> CompileError:
+    return CompileError(msg, node.line, node.col, stage="sema")
+
+
+class _Analyzer:
+    def __init__(self, tree: ast.Program):
+        self.tree = tree
+        self.symbols = SimdcSymbols()
+        self.scopes: list[dict[str, VarInfo]] = []
+        self.where_depth = 0
+
+    def run(self) -> SimdcSymbols:
+        top: dict[str, VarInfo] = {}
+        for decl in self.tree.globals:
+            if decl.name == "this":
+                raise _err("'this' is the built-in PE number", decl)
+            top[decl.name] = self.symbols.new(decl)
+            decl.info = top[decl.name]
+        self.scopes = [top]
+        self._block(self.tree.body)
+        return self.symbols
+
+    def lookup(self, name: str, node: ast.Node) -> VarInfo:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        raise _err(f"undeclared variable {name!r}", node)
+
+    # -- statements -----------------------------------------------------------
+
+    def _block(self, block: ast.Block) -> None:
+        scope: dict[str, VarInfo] = {}
+        self.scopes.append(scope)
+        for decl in block.decls:
+            if decl.name == "this":
+                raise _err("'this' cannot be redeclared", decl)
+            if decl.name in scope:
+                raise _err(f"duplicate local {decl.name!r}", decl)
+            scope[decl.name] = self.symbols.new(decl)
+            decl.info = scope[decl.name]
+        for stat in block.stats:
+            self._stat(stat)
+        self.scopes.pop()
+
+    def _stat(self, stat: ast.Stat) -> None:
+        if isinstance(stat, ast.Block):
+            self._block(stat)
+        elif isinstance(stat, ast.Assign):
+            self._assign(stat)
+        elif isinstance(stat, ast.If):
+            if self._expr(stat.cond) != "scalar":
+                raise _err("if condition must be scalar (use 'where' for "
+                           "plural conditions)", stat.cond)
+            self._stat(stat.then)
+            if stat.orelse is not None:
+                self._stat(stat.orelse)
+        elif isinstance(stat, ast.While):
+            if self._expr(stat.cond) != "scalar":
+                raise _err("while condition must be scalar", stat.cond)
+            self._stat(stat.body)
+        elif isinstance(stat, ast.Where):
+            if self._expr(stat.cond) != "plural":
+                raise _err("where condition must be plural (use 'if' for "
+                           "scalar conditions)", stat.cond)
+            self.where_depth += 1
+            self._stat(stat.then)
+            if stat.orelse is not None:
+                self._stat(stat.orelse)
+            self.where_depth -= 1
+        elif isinstance(stat, ast.Return):
+            if self.where_depth:
+                raise _err("return inside 'where' is not allowed", stat)
+            if self._expr(stat.value) != "scalar":
+                raise _err("main() returns a scalar (reduce the plural first)",
+                           stat.value)
+        else:  # pragma: no cover
+            raise _err(f"unknown statement {type(stat).__name__}", stat)
+
+    def _assign(self, stat: ast.Assign) -> None:
+        if stat.name == "this":
+            raise _err("'this' is read-only", stat)
+        info = self.lookup(stat.name, stat)
+        stat.info = info
+        if info.size is not None and stat.index is None:
+            raise _err(f"array {info.name!r} needs an index", stat)
+        if info.size is None and stat.index is not None:
+            raise _err(f"{info.name!r} is not an array", stat)
+        if stat.index is not None:
+            self._expr(stat.index)
+        value_space = self._expr(stat.value)
+        if info.space == "scalar":
+            if value_space != "scalar":
+                raise _err("cannot assign a plural value to a scalar "
+                           "(reduce it first)", stat.value)
+            if self.where_depth:
+                raise _err("scalar assignment inside 'where' is not allowed",
+                           stat)
+        # plural targets accept either space (scalar broadcasts)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr) -> str:
+        if isinstance(expr, ast.IntLit):
+            expr.space = "scalar"
+        elif isinstance(expr, ast.This):
+            expr.space = "plural"
+        elif isinstance(expr, ast.VarRef):
+            info = self.lookup(expr.name, expr)
+            expr.info = info
+            if info.size is not None and expr.index is None:
+                raise _err(f"array {info.name!r} needs an index", expr)
+            if info.size is None and expr.index is not None:
+                raise _err(f"{info.name!r} is not an array", expr)
+            if expr.index is not None:
+                self._expr(expr.index)
+            expr.space = info.space
+        elif isinstance(expr, ast.Binary):
+            ls = self._expr(expr.left)
+            rs = self._expr(expr.right)
+            expr.space = "plural" if "plural" in (ls, rs) else "scalar"
+        elif isinstance(expr, ast.Unary):
+            expr.space = self._expr(expr.operand)
+        elif isinstance(expr, ast.Reduce):
+            if self._expr(expr.operand) != "plural":
+                raise _err("reduction needs a plural operand", expr)
+            expr.space = "scalar"
+        elif isinstance(expr, ast.Rotate):
+            if self._expr(expr.operand) != "plural":
+                raise _err("rotate needs a plural operand", expr)
+            if self._expr(expr.shift) != "scalar":
+                raise _err("rotate shift must be scalar", expr)
+            expr.space = "plural"
+        else:  # pragma: no cover
+            raise _err(f"unknown expression {type(expr).__name__}", expr)
+        return expr.space
+
+
+def analyze_simdc(tree: ast.Program) -> SimdcSymbols:
+    """Annotate spaces in place; returns the symbol table."""
+    return _Analyzer(tree).run()

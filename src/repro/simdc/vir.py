@@ -1,0 +1,92 @@
+"""The SIMDC vector IR.
+
+A flat instruction list over two virtual register files — ``s`` (scalar,
+control unit) and ``v`` (vector, one word per PE) — plus labels for scalar
+control flow and mask push/pop for ``where`` contexts.
+
+Instruction set (operands are register indices unless noted):
+
+==============  =============================================================
+``sconst``      s[d] = imm
+``sbin``        s[d] = s[a] op s[b]            (C-truncating / and %)
+``sun``         s[d] = op s[a]                 (neg / not)
+``vconst``      v[d] = broadcast imm
+``vbroadcast``  v[d] = broadcast s[a]
+``vthis``       v[d] = PE ids
+``vbin``        v[d] = v[a] op v[b]            (masked elementwise)
+``vun``         v[d] = op v[a]
+``vblend``      v[d] = enabled ? v[a] : v[d]   (masked assignment)
+``vload``       v[d] = mem[pe][v[a]]           (indirect gather)
+``vstore``      mem[pe][v[a]] = v[b]
+``reduce``      s[d] = reduce_<kind>(v[a])
+``rotate``      v[d] = v[a] from PE (this + s[b]) mod nproc
+``wpush``       push enable mask AND (v[a] != 0)
+``wpop``        pop enable mask
+``jmp``         goto label
+``jz``          if s[a] == 0 goto label
+``ret``         return s[a]
+==============  =============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Instr", "VirProgram"]
+
+_OPS = {
+    "sconst", "sbin", "sun", "vconst", "vbroadcast", "vthis", "vbin", "vun",
+    "vblend", "vload", "vstore", "reduce", "rotate", "wpush", "wpop",
+    "jmp", "jz", "ret",
+}
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One VIR instruction: opcode plus positional operands."""
+
+    op: str
+    args: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown VIR op {self.op!r}")
+
+    def render(self) -> str:
+        return f"{self.op} {' '.join(map(str, self.args))}".rstrip()
+
+
+@dataclass(frozen=True)
+class VirProgram:
+    """A compiled SIMDC unit."""
+
+    instrs: tuple[Instr, ...]
+    labels: dict[str, int]
+    num_sregs: int
+    num_vregs: int
+    #: plural arrays: uid -> (base word address, length)
+    arrays: dict[int, tuple[int, int]]
+    mem_words: int
+
+    def __post_init__(self) -> None:
+        for instr in self.instrs:
+            if instr.op in ("jmp", "jz"):
+                label = instr.args[-1]
+                if label not in self.labels:
+                    raise ValueError(f"undefined label {label!r}")
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def render(self) -> str:
+        addr_to_label: dict[int, list[str]] = {}
+        for label, addr in self.labels.items():
+            addr_to_label.setdefault(addr, []).append(label)
+        lines = []
+        for i, instr in enumerate(self.instrs):
+            for label in addr_to_label.get(i, ()):
+                lines.append(f"{label}:")
+            lines.append(f"    {i:4d}  {instr.render()}")
+        for label in addr_to_label.get(len(self.instrs), ()):
+            lines.append(f"{label}:")
+        return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Shared utilities: seeded RNG helpers, statistics, ASCII tables."""
+
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.stats import (
+    confidence_interval,
+    geometric_mean,
+    harmonic_mean,
+    median_filter,
+    summarize,
+)
+from repro.util.tables import format_table
+
+__all__ = [
+    "confidence_interval",
+    "format_table",
+    "geometric_mean",
+    "harmonic_mean",
+    "make_rng",
+    "median_filter",
+    "spawn_rngs",
+    "summarize",
+]

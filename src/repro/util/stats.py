@@ -1,0 +1,140 @@
+"""Small statistics helpers used by the timing and benchmark subsystems.
+
+The AHS prototype smooths noisy UNIX timings with 5-point median filtering
+(supplied text, §4.1.1); :func:`median_filter` reproduces that, and the
+remaining helpers are the usual summary statistics benchmark harnesses need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "Summary",
+    "confidence_interval",
+    "geometric_mean",
+    "harmonic_mean",
+    "median_filter",
+    "summarize",
+]
+
+
+def median_filter(samples: Sequence[float], width: int = 5) -> list[float]:
+    """Sliding-window median filter (default width 5, as in AHS's ``timer``).
+
+    Endpoints use a window truncated to the available samples, so the output
+    has the same length as the input.  ``width`` must be odd and positive.
+    """
+    if width < 1 or width % 2 == 0:
+        raise ValueError(f"filter width must be odd and >= 1, got {width}")
+    xs = list(samples)
+    if not xs:
+        return []
+    half = width // 2
+    out: list[float] = []
+    for i in range(len(xs)):
+        lo = max(0, i - half)
+        hi = min(len(xs), i + half + 1)
+        out.append(float(np.median(xs[lo:hi])))
+    return out
+
+
+def geometric_mean(samples: Sequence[float]) -> float:
+    """Geometric mean of strictly positive samples."""
+    xs = np.asarray(samples, dtype=float)
+    if xs.size == 0:
+        raise ValueError("geometric_mean of empty sequence")
+    if np.any(xs <= 0):
+        raise ValueError("geometric_mean requires strictly positive samples")
+    return float(np.exp(np.mean(np.log(xs))))
+
+
+def harmonic_mean(samples: Sequence[float]) -> float:
+    """Harmonic mean of strictly positive samples (rate averaging)."""
+    xs = np.asarray(samples, dtype=float)
+    if xs.size == 0:
+        raise ValueError("harmonic_mean of empty sequence")
+    if np.any(xs <= 0):
+        raise ValueError("harmonic_mean requires strictly positive samples")
+    return float(xs.size / np.sum(1.0 / xs))
+
+
+def confidence_interval(samples: Sequence[float], level: float = 0.95) -> tuple[float, float]:
+    """Normal-approximation confidence interval for the mean.
+
+    Uses the z critical value (1.96 for 95%); adequate for the >=30-sample
+    runs the benchmark harness produces, and dependency-free.
+    """
+    if not 0.0 < level < 1.0:
+        raise ValueError(f"confidence level must be in (0, 1), got {level}")
+    xs = np.asarray(samples, dtype=float)
+    if xs.size < 2:
+        raise ValueError("confidence_interval needs at least 2 samples")
+    mean = float(np.mean(xs))
+    sem = float(np.std(xs, ddof=1) / math.sqrt(xs.size))
+    # Abramowitz-Stegun approximation of the normal quantile.
+    z = _normal_quantile(0.5 + level / 2.0)
+    return (mean - z * sem, mean + z * sem)
+
+
+def _normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation)."""
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"quantile argument must be in (0, 1), got {p}")
+    # Coefficients for the central and tail regions.
+    a = [-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00]
+    b = [-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00]
+    p_low, p_high = 0.02425, 1 - 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    if p > p_high:
+        q = math.sqrt(-2 * math.log(1 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus-mean summary of a sample set."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - display only
+        return (f"n={self.n} mean={self.mean:.6g} std={self.std:.6g} "
+                f"min={self.minimum:.6g} med={self.median:.6g} max={self.maximum:.6g}")
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Summarize ``samples`` into a :class:`Summary`."""
+    xs = np.asarray(samples, dtype=float)
+    if xs.size == 0:
+        raise ValueError("summarize of empty sequence")
+    return Summary(
+        n=int(xs.size),
+        mean=float(np.mean(xs)),
+        std=float(np.std(xs, ddof=1)) if xs.size > 1 else 0.0,
+        minimum=float(np.min(xs)),
+        median=float(np.median(xs)),
+        maximum=float(np.max(xs)),
+    )

@@ -1,0 +1,68 @@
+"""ASCII table rendering for benchmark and experiment output.
+
+The benchmark harness prints tables mirroring the paper's; this keeps the
+formatting in one place so every experiment's output looks the same.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table"]
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as a boxed ASCII table.
+
+    Numeric cells are right-aligned; everything else left-aligned.  Raises if
+    a row's width disagrees with the header row, which catches most
+    experiment-harness bugs at the printing step.
+    """
+    cols = len(headers)
+    for i, row in enumerate(rows):
+        if len(row) != cols:
+            raise ValueError(f"row {i} has {len(row)} cells, expected {cols}")
+    rendered = [[_cell(v) for v in row] for row in rows]
+    numeric = [
+        all(isinstance(row[c], (int, float)) and not isinstance(row[c], bool) for row in rows)
+        if rows else False
+        for c in range(cols)
+    ]
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rendered)) if rendered else len(headers[c])
+        for c in range(cols)
+    ]
+
+    def line(ch: str = "-", joint: str = "+") -> str:
+        return joint + joint.join(ch * (w + 2) for w in widths) + joint
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for c, text in enumerate(cells):
+            parts.append(text.rjust(widths[c]) if numeric[c] else text.ljust(widths[c]))
+        return "| " + " | ".join(parts) + " |"
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(line())
+    out.append(fmt_row(list(headers)))
+    out.append(line("="))
+    for r in rendered:
+        out.append(fmt_row(r))
+    out.append(line())
+    return "\n".join(out)

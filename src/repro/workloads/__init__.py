@@ -1,0 +1,13 @@
+"""Synthetic workload generators for tests, examples and benchmarks."""
+
+from repro.workloads.threads import (
+    RandomRegionSpec,
+    interpreter_handler_region,
+    random_region,
+)
+
+__all__ = [
+    "RandomRegionSpec",
+    "interpreter_handler_region",
+    "random_region",
+]

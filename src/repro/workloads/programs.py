@@ -1,0 +1,176 @@
+"""MIMDC benchmark kernels.
+
+Each kernel pairs MIMDC source with the iteration knob the benchmarks
+sweep.  The ``axpy``/``polynomial``/``pairwise`` kernels mirror the native
+SIMD kernels of :mod:`repro.simd.native`, so experiment E5 can report
+interpreted-MIMD time as a fraction of native-SIMD time for identical work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["KERNELS", "MimdcKernel", "kernel_source"]
+
+
+@dataclass(frozen=True)
+class MimdcKernel:
+    """A parameterized MIMDC program."""
+
+    name: str
+    template: str
+    description: str
+
+    def source(self, iters: int = 100) -> str:
+        if iters < 1:
+            raise ValueError(f"need at least one iteration, got {iters}")
+        return self.template.replace("@ITERS@", str(iters))
+
+
+_AXPY = MimdcKernel(
+    "axpy",
+    """
+    int result;
+    int main() {
+        int i; int s; int x;
+        x = this;
+        s = 0;
+        i = 0;
+        while (i < @ITERS@) {
+            s = s + 3 * x;
+            s = s + i;
+            i = i + 1;
+        }
+        result = s;
+        return s;
+    }
+    """,
+    "per-PE multiply-accumulate (matches simd.native.native_axpy)",
+)
+
+_POLYNOMIAL = MimdcKernel(
+    "polynomial",
+    """
+    int result;
+    int main() {
+        int i; int acc; int p; int x;
+        x = this;
+        acc = 0;
+        i = 0;
+        while (i < @ITERS@) {
+            p = 2;
+            p = p * x + 5;
+            p = p * x + 7;
+            acc = acc + p;
+            i = i + 1;
+        }
+        result = acc;
+        return acc;
+    }
+    """,
+    "Horner cubic evaluation (matches simd.native.native_polynomial)",
+)
+
+_PAIRWISE = MimdcKernel(
+    "pairwise",
+    """
+    poly int v;
+    int result;
+    int nprocs;
+    int main() {
+        int i; int acc; int got;
+        acc = 0;
+        i = 0;
+        while (i < @ITERS@) {
+            v = this + i;
+            wait;
+            got = v[||(this + 1) % nprocs];
+            acc = acc + got;
+            wait;
+            i = i + 1;
+        }
+        result = acc;
+        return acc;
+    }
+    """,
+    "neighbour exchange + accumulate (matches simd.native.native_pairwise); "
+    "global 'nprocs' must be initialized to the PE count",
+)
+
+_DIVERGENT = MimdcKernel(
+    "divergent",
+    """
+    int result;
+    int main() {
+        int i; int s; int lane;
+        lane = this % 4;
+        s = 0;
+        i = 0;
+        while (i < @ITERS@) {
+            if (lane == 0)      s = s + i * 17;
+            else { if (lane == 1) s = s + (i << 2);
+            else { if (lane == 2) s = s + i / 3;
+            else                  s = s - i; } }
+            i = i + 1;
+        }
+        result = s;
+        return s;
+    }
+    """,
+    "four-way divergent control flow: stresses SIMD serialization",
+)
+
+_BARRIER_HEAVY = MimdcKernel(
+    "barrier_heavy",
+    """
+    mono int stage;
+    int result;
+    int main() {
+        int i; int s;
+        s = 0;
+        i = 0;
+        while (i < @ITERS@) {
+            if (this == 0) stage = i;
+            wait;
+            s = s + stage;
+            i = i + 1;
+        }
+        result = s;
+        return s;
+    }
+    """,
+    "mono broadcast + barrier every iteration: communication-bound",
+)
+
+_STAGGERED = MimdcKernel(
+    "staggered",
+    """
+    int result;
+    int main() {
+        int i; int s; int k;
+        k = this % 4;
+        s = 0;
+        i = 0;
+        while (i < k) { s = s + 1; i = i + 1; }
+        i = 0;
+        while (i < @ITERS@) {
+            s = s + (i + this) * (i + 3);
+            i = i + 1;
+        }
+        result = s;
+        return s;
+    }
+    """,
+    "PE groups enter a multiply loop a few interpreter cycles apart: the "
+    "workload frequency biasing is for (§3.1.3.3 temporal alignment)",
+)
+
+KERNELS: dict[str, MimdcKernel] = {
+    k.name: k for k in (_AXPY, _POLYNOMIAL, _PAIRWISE, _DIVERGENT,
+                        _BARRIER_HEAVY, _STAGGERED)
+}
+
+
+def kernel_source(name: str, iters: int = 100) -> str:
+    """Source text of kernel ``name`` with the iteration count filled in."""
+    return KERNELS[name].source(iters)

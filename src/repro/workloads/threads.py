@@ -1,0 +1,231 @@
+"""Thread-region generators for the CSI experiments.
+
+Two families:
+
+- :func:`random_region` — parameterized random straight-line code: thread
+  count, sequence length, opcode vocabulary size and an *overlap* knob that
+  controls how much opcode structure threads share (E1/E2/E3 workloads).
+
+- :func:`interpreter_handler_region` — the motivating workload from the
+  paper's setting: each thread is the *handler body* of one interpreted
+  MIMD instruction, expressed in micro-operations.  Handlers share an
+  instruction-fetch prologue, a next-on-stack fetch, immediate fetch and
+  constant-pool lookup (the exact subsequences §3.1.3.2 of the supplied
+  text reports were factored by CSI), plus a PC-increment epilogue; they
+  differ in the ALU micro-op in the middle.  CSI run on this region should
+  rediscover the factored interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.costmodel import CostModel
+from repro.core.ops import Operation, Region, ThreadCode
+from repro.util.rng import make_rng
+
+__all__ = [
+    "RandomRegionSpec",
+    "interpreter_handler_region",
+    "interpreter_micro_cost_model",
+    "random_region",
+]
+
+
+@dataclass(frozen=True)
+class RandomRegionSpec:
+    """Parameters for :func:`random_region`.
+
+    ``overlap`` is the probability that position ``k`` of a thread copies
+    opcode ``k`` of a shared template sequence; otherwise the opcode is
+    drawn from a thread-private slice of the vocabulary.  ``overlap=1``
+    makes all threads opcode-identical (perfect induction possible);
+    ``overlap=0`` with ``private_vocab=True`` makes them disjoint (no
+    induction possible).
+    """
+
+    num_threads: int = 4
+    min_len: int = 8
+    max_len: int = 16
+    vocab_size: int = 12
+    overlap: float = 0.5
+    private_vocab: bool = True
+    max_read_arity: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_threads < 1:
+            raise ValueError(f"need at least one thread, got {self.num_threads}")
+        if not (1 <= self.min_len <= self.max_len):
+            raise ValueError(f"bad length range [{self.min_len}, {self.max_len}]")
+        if self.vocab_size < 1:
+            raise ValueError(f"vocabulary must be non-empty, got {self.vocab_size}")
+        if not 0.0 <= self.overlap <= 1.0:
+            raise ValueError(f"overlap must be in [0, 1], got {self.overlap}")
+        if self.max_read_arity < 0:
+            raise ValueError(f"negative read arity {self.max_read_arity}")
+
+
+def random_region(spec: RandomRegionSpec, seed: int | np.random.Generator | None = 0) -> Region:
+    """Generate a random region per ``spec`` (deterministic for a given seed).
+
+    Dependences: each op writes a fresh per-thread temporary and reads up to
+    ``max_read_arity`` earlier temporaries of the same thread, giving DAGs
+    with genuine reordering freedom (not pure chains).
+    """
+    rng = make_rng(seed)
+    shared_vocab = [f"op{v}" for v in range(spec.vocab_size)]
+    template_len = spec.max_len
+    template = [shared_vocab[int(rng.integers(spec.vocab_size))] for _ in range(template_len)]
+
+    threads: list[ThreadCode] = []
+    for t in range(spec.num_threads):
+        if spec.private_vocab:
+            private = [f"t{t}_op{v}" for v in range(spec.vocab_size)]
+        else:
+            private = shared_vocab
+        length = int(rng.integers(spec.min_len, spec.max_len + 1))
+        ops: list[Operation] = []
+        for k in range(length):
+            if rng.random() < spec.overlap:
+                opcode = template[k]
+            else:
+                opcode = private[int(rng.integers(len(private)))]
+            n_reads = int(rng.integers(0, spec.max_read_arity + 1)) if k else 0
+            reads = tuple(
+                f"T{t}v{int(rng.integers(k))}" for _ in range(min(n_reads, k))
+            )
+            ops.append(Operation(t, k, opcode, reads, (f"T{t}v{k}",)))
+        threads.append(ThreadCode(t, tuple(ops)))
+    return Region(tuple(threads))
+
+
+# --- interpreter handler bodies -------------------------------------------
+
+# Micro-operation issue costs: memory-touching micro-ops dominate (the MP-1's
+# 16-PEs-per-port memory), ALU micro-ops vary with the emulated operation.
+_MICRO_COST: dict[str, float] = {
+    "fetch": 8.0,      # read instruction word at PC (indirect)
+    "incpc": 1.0,
+    "ldnos": 6.0,      # fetch next-on-stack from stack memory
+    "stnos": 6.0,
+    "decsp": 1.0,
+    "incsp": 1.0,
+    "spill": 6.0,      # write old top-of-stack cache to memory
+    "ldimm": 3.0,      # 8-bit immediate from instruction word
+    "ldpool": 9.0,     # 32-bit constant-pool lookup (indirect)
+    "ldmem": 8.0,      # local variable load
+    "stmem": 8.0,
+    "settos": 1.0,
+    "uadd": 2.0,
+    "usub": 2.0,
+    "uand": 1.5,
+    "uor": 1.5,
+    "ucmp": 2.0,
+    "ushl": 2.0,
+    "umul": 18.0,
+    "udiv": 32.0,
+    "uneg": 1.5,
+    "unot": 1.5,
+    "router": 20.0,    # LdD/StD global-router transaction
+    "vote": 12.0,      # StS pick-a-winner broadcast
+    "bar": 10.0,       # barrier bookkeeping
+}
+
+#: MIMD instructions representable as handler micro-op sequences.
+_BINARY_ALU = {
+    "Add": "uadd", "Sub": "usub", "Mul": "umul", "Div": "udiv",
+    "And": "uand", "Or": "uor", "Eq": "ucmp", "Ne": "ucmp",
+    "Gt": "ucmp", "Ge": "ucmp", "Shl": "ushl", "Shr": "ushl",
+}
+_UNARY_ALU = {"Neg": "uneg", "Not": "unot"}
+
+HANDLER_MNEMONICS: tuple[str, ...] = tuple(_BINARY_ALU) + tuple(_UNARY_ALU) + (
+    "Push", "PushC", "Ld", "St", "LdS", "StS", "LdD", "StD", "Wait",
+)
+
+
+def _handler_micro_ops(mnemonic: str) -> list[tuple[str, tuple[str, ...], tuple[str, ...]]]:
+    """Micro-op triples (opcode, reads, writes) for one handler body."""
+    pro = [("fetch", ("pc",), ("ir",)), ("incpc", ("pc",), ("pc",))]
+    if mnemonic in _BINARY_ALU:
+        alu = _BINARY_ALU[mnemonic]
+        body = [
+            ("ldnos", ("sp",), ("nos",)),
+            ("decsp", ("sp",), ("sp",)),
+            (alu, ("nos", "tos"), ("res",)),
+            ("settos", ("res",), ("tos",)),
+        ]
+    elif mnemonic in _UNARY_ALU:
+        alu = _UNARY_ALU[mnemonic]
+        body = [(alu, ("tos",), ("res",)), ("settos", ("res",), ("tos",))]
+    elif mnemonic == "Push":
+        body = [
+            ("ldimm", ("ir",), ("val",)),
+            ("incsp", ("sp",), ("sp",)),
+            ("spill", ("sp", "tos"), ()),
+            ("settos", ("val",), ("tos",)),
+        ]
+    elif mnemonic == "PushC":
+        body = [
+            ("ldimm", ("ir",), ("cidx",)),
+            ("ldpool", ("cidx",), ("val",)),
+            ("incsp", ("sp",), ("sp",)),
+            ("spill", ("sp", "tos"), ()),
+            ("settos", ("val",), ("tos",)),
+        ]
+    elif mnemonic == "Ld":
+        body = [("ldmem", ("tos",), ("val",)), ("settos", ("val",), ("tos",))]
+    elif mnemonic == "St":
+        body = [
+            ("ldnos", ("sp",), ("nos",)),
+            ("decsp", ("sp",), ("sp",)),
+            ("stmem", ("nos", "tos"), ()),
+            ("ldnos", ("sp",), ("val",)),
+            ("decsp", ("sp",), ("sp",)),
+            ("settos", ("val",), ("tos",)),
+        ]
+    elif mnemonic == "LdS":
+        # On the MP-1 a mono load is exactly a local load (supplied text §3.1.4).
+        body = [("ldmem", ("tos",), ("val",)), ("settos", ("val",), ("tos",))]
+    elif mnemonic == "StS":
+        body = [
+            ("ldnos", ("sp",), ("nos",)),
+            ("decsp", ("sp",), ("sp",)),
+            ("vote", ("nos", "tos"), ("val",)),
+            ("stmem", ("nos", "val"), ()),
+            ("settos", ("val",), ("tos",)),
+        ]
+    elif mnemonic == "LdD":
+        body = [("router", ("tos",), ("val",)), ("settos", ("val",), ("tos",))]
+    elif mnemonic == "StD":
+        body = [
+            ("ldnos", ("sp",), ("nos",)),
+            ("decsp", ("sp",), ("sp",)),
+            ("router", ("nos", "tos"), ()),
+            ("ldnos", ("sp",), ("val",)),
+            ("decsp", ("sp",), ("sp",)),
+            ("settos", ("val",), ("tos",)),
+        ]
+    elif mnemonic == "Wait":
+        body = [("bar", (), ())]
+    else:
+        raise ValueError(f"unknown MIMD mnemonic {mnemonic!r}")
+    return pro + body
+
+
+def interpreter_handler_region(mnemonics: tuple[str, ...] | list[str]) -> Region:
+    """Region whose thread ``i`` executes the handler body of ``mnemonics[i]``."""
+    if not mnemonics:
+        raise ValueError("need at least one handler mnemonic")
+    threads = []
+    for t, m in enumerate(mnemonics):
+        threads.append(ThreadCode.from_specs(t, _handler_micro_ops(m)))
+    return Region(tuple(threads))
+
+
+def interpreter_micro_cost_model(mask_overhead: float = 1.0) -> CostModel:
+    """Cost model for handler micro-operations."""
+    return CostModel(class_cost=dict(_MICRO_COST), mask_overhead=mask_overhead,
+                     default_cost=2.0)

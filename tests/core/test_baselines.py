@@ -1,0 +1,154 @@
+"""Tests for the serial, lockstep and factoring baselines."""
+
+import pytest
+
+from repro.core.costmodel import uniform_cost_model
+from repro.core.factor import factor_schedule
+from repro.core.ops import Region, parse_region
+from repro.core.serial import lockstep_schedule, serial_schedule
+from repro.core.verify import verify_schedule
+
+UNIT = uniform_cost_model(cost=1.0, mask_overhead=0.0)
+
+
+class TestSerial:
+    def test_cost_is_sum_of_all_ops(self):
+        region = parse_region("""
+        thread 0:
+            a = ld x
+            b = add a a
+        thread 1:
+            c = ld x
+        """)
+        s = serial_schedule(region, UNIT)
+        assert len(s) == 3
+        assert s.cost(UNIT) == 3.0
+        verify_schedule(s, region, UNIT)
+
+    def test_every_slot_width_one(self):
+        region = parse_region("thread 0:\n  a = ld x\nthread 1:\n  b = ld x")
+        assert all(slot.width == 1 for slot in serial_schedule(region, UNIT))
+
+    def test_empty_region(self):
+        region = Region.from_sequences([[], []])
+        assert len(serial_schedule(region, UNIT)) == 0
+
+
+class TestLockstep:
+    def test_aligned_threads_share_slots(self):
+        region = parse_region("""
+        thread 0:
+            a = ld x
+            b = add a a
+        thread 1:
+            c = ld x
+            d = add c c
+        """)
+        s = lockstep_schedule(region, UNIT)
+        assert len(s) == 2
+        assert all(slot.width == 2 for slot in s)
+        verify_schedule(s, region, UNIT)
+
+    def test_misaligned_threads_do_not_share(self):
+        # Same multiset of opcodes, shifted by one: lockstep finds nothing.
+        region = parse_region("""
+        thread 0:
+            a = ld x
+            b = add a a
+        thread 1:
+            c = add x x
+            d = ld c
+        """)
+        s = lockstep_schedule(region, UNIT)
+        assert len(s) == 4
+        verify_schedule(s, region, UNIT)
+
+    def test_threads_of_different_length(self):
+        region = parse_region("""
+        thread 0:
+            a = ld x
+        thread 1:
+            b = ld x
+            c = add b b
+        """)
+        s = lockstep_schedule(region, UNIT)
+        assert len(s) == 2
+        verify_schedule(s, region, UNIT)
+
+    def test_deterministic_group_order(self):
+        region = parse_region("""
+        thread 0:
+            a = zop x
+        thread 1:
+            b = aop x
+        """)
+        s1 = lockstep_schedule(region, UNIT)
+        s2 = lockstep_schedule(region, UNIT)
+        assert [slot.opclass for slot in s1] == [slot.opclass for slot in s2]
+
+
+class TestFactor:
+    def test_factors_common_prologue_and_epilogue(self):
+        region = parse_region("""
+        thread 0:
+            i = fetch pc
+            a = mul i i
+            p = incpc pc
+        thread 1:
+            j = fetch pc
+            b = add j j
+            q = incpc pc
+        """)
+        s = factor_schedule(region, UNIT)
+        verify_schedule(s, region, UNIT)
+        assert s.cost(UNIT) == 4.0  # fetch + mul + add + incpc
+        assert s[0].width == 2 and s[-1].width == 2
+
+    def test_no_commonality_degenerates_to_serial(self):
+        region = parse_region("""
+        thread 0:
+            a = ld x
+        thread 1:
+            b = mul x x
+        """)
+        s = factor_schedule(region, UNIT)
+        assert s.cost(UNIT) == 2.0
+
+    def test_identical_threads_fully_merge(self):
+        region = parse_region("""
+        thread 0:
+            a = ld x
+            b = add a a
+        thread 1:
+            c = ld x
+            d = add c c
+        """)
+        s = factor_schedule(region, UNIT)
+        assert s.cost(UNIT) == 2.0
+
+    def test_prefix_suffix_do_not_overlap(self):
+        # One-op threads sharing the single op: prefix takes it, suffix must
+        # not consume it again.
+        region = parse_region("""
+        thread 0:
+            a = ld x
+        thread 1:
+            b = ld x
+        """)
+        s = factor_schedule(region, UNIT)
+        verify_schedule(s, region, UNIT)
+        assert len(s) == 1
+
+    def test_unequal_lengths(self):
+        region = parse_region("""
+        thread 0:
+            i = fetch pc
+            p = incpc pc
+        thread 1:
+            j = fetch pc
+            b = add j j
+            q = incpc pc
+        """)
+        s = factor_schedule(region, UNIT)
+        verify_schedule(s, region, UNIT)
+        assert s.cost(UNIT) == 3.0

@@ -1,0 +1,102 @@
+"""Tests for the SIMD cost model (repro.core.costmodel)."""
+
+import pytest
+
+from repro.core.costmodel import CostModel, maspar_cost_model, uniform_cost_model
+from repro.core.ops import Operation
+
+
+def op(thread, opcode, imm=None):
+    return Operation(thread, 0, opcode, imm=imm)
+
+
+class TestClassification:
+    def test_unmapped_opcode_is_own_class(self):
+        m = CostModel()
+        assert m.opcode_class("frobnicate") == "frobnicate"
+
+    def test_mapped_opcode(self):
+        m = CostModel(class_of={"addi": "alu", "subi": "alu"})
+        assert m.opcode_class("addi") == "alu" == m.opcode_class("subi")
+
+    def test_merge_key_groups_by_class(self):
+        m = CostModel(class_of={"addi": "alu", "subi": "alu"})
+        assert m.merge_key(op(0, "addi")) == m.merge_key(op(1, "subi"))
+
+
+class TestCosts:
+    def test_default_cost_for_unknown_class(self):
+        m = CostModel(default_cost=5.0)
+        assert m.cost_of_class("whatever") == 5.0
+
+    def test_slot_cost_adds_mask_overhead(self):
+        m = CostModel(class_cost={"mul": 24.0}, mask_overhead=1.5)
+        assert m.slot_cost("mul") == 25.5
+
+    def test_op_cost(self):
+        m = CostModel(class_cost={"mul": 24.0})
+        assert m.op_cost(op(0, "mul")) == 24.0
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(mask_overhead=-1.0),
+        dict(default_cost=0.0),
+        dict(class_cost={"x": -2.0}),
+    ])
+    def test_invalid_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            CostModel(**kwargs)
+
+
+class TestMergeability:
+    def test_same_thread_never_merges(self):
+        m = CostModel()
+        a = Operation(0, 0, "add")
+        b = Operation(0, 1, "add")
+        assert not m.mergeable(a, b)
+
+    def test_same_class_different_threads(self):
+        m = CostModel()
+        assert m.mergeable(op(0, "add"), op(1, "add"))
+
+    def test_different_class_rejected(self):
+        m = CostModel()
+        assert not m.mergeable(op(0, "add"), op(1, "mul"))
+
+    def test_immediates_ignored_by_default(self):
+        m = CostModel()
+        assert m.mergeable(op(0, "push", imm=1), op(1, "push", imm=2))
+
+    def test_require_equal_imm(self):
+        m = CostModel(require_equal_imm=True)
+        assert not m.mergeable(op(0, "push", imm=1), op(1, "push", imm=2))
+        assert m.mergeable(op(0, "push", imm=1), op(1, "push", imm=1))
+
+    def test_merge_key_consistent_with_mergeable(self):
+        for m in (CostModel(), CostModel(require_equal_imm=True)):
+            pairs = [
+                (op(0, "add", imm=1), op(1, "add", imm=1)),
+                (op(0, "add", imm=1), op(1, "add", imm=2)),
+                (op(0, "add"), op(1, "mul")),
+            ]
+            for a, b in pairs:
+                assert m.mergeable(a, b) == (m.merge_key(a) == m.merge_key(b))
+
+
+class TestPresets:
+    def test_maspar_relative_costs(self):
+        m = maspar_cost_model()
+        # Router traffic and mono broadcast dominate; add is cheap; mono
+        # load equals local load on the MP-1.
+        assert m.cost_of_class("ldd") > m.cost_of_class("lds")
+        assert m.cost_of_class("sts") > m.cost_of_class("lds")
+        assert m.cost_of_class("mul") > m.cost_of_class("add")
+        assert m.cost_of_class("lds") == m.cost_of_class("ld")
+
+    def test_uniform(self):
+        m = uniform_cost_model(cost=1.0, mask_overhead=0.0)
+        assert m.slot_cost("anything") == 1.0
+
+    def test_model_mappings_immutable(self):
+        m = maspar_cost_model()
+        with pytest.raises(TypeError):
+            m.class_cost["add"] = 0.1

@@ -1,0 +1,108 @@
+"""Tests for dependence-DAG construction (repro.core.dag)."""
+
+import pytest
+
+from repro.core.costmodel import uniform_cost_model
+from repro.core.dag import build_dags
+from repro.core.ops import Region, parse_region
+
+
+def single_thread(text: str):
+    region = parse_region("thread 0:\n" + "\n".join("    " + l for l in text.splitlines()))
+    return region, build_dags(region)[0]
+
+
+class TestDependences:
+    def test_flow_dependence(self):
+        _, dag = single_thread("a = ld x\nb = add a a")
+        assert dag.preds[1] == (0,)
+
+    def test_anti_dependence(self):
+        # op0 reads a; op1 writes a -> op1 must follow op0.
+        _, dag = single_thread("b = add a a\na = ld x")
+        assert 0 in dag.preds[1]
+
+    def test_output_dependence(self):
+        _, dag = single_thread("a = ld x\na = ld y")
+        assert 0 in dag.preds[1]
+
+    def test_independent_ops_unordered(self):
+        _, dag = single_thread("a = ld x\nb = ld y")
+        assert dag.preds[0] == () and dag.preds[1] == ()
+
+    def test_read_then_write_same_op(self):
+        # 'a = add a a' after 'a = ld x': flow dep only, no self edge.
+        _, dag = single_thread("a = ld x\na = add a a")
+        assert dag.preds[1] == (0,)
+        assert all(i not in dag.preds[i] for i in range(2))
+
+    def test_succs_mirror_preds(self):
+        _, dag = single_thread("a = ld x\nb = add a a\nc = add b a")
+        for i, ps in enumerate(dag.preds):
+            for p in ps:
+                assert i in dag.succs[p]
+
+    def test_respect_order_builds_chain(self):
+        region = parse_region("thread 0:\n  a = ld x\n  b = ld y\n  c = ld z")
+        dag = build_dags(region, respect_order=True)[0]
+        assert dag.preds == ((), (0,), (1,))
+
+
+class TestReady:
+    def test_initial_ready_set(self):
+        _, dag = single_thread("a = ld x\nb = ld y\nc = add a b")
+        assert dag.ready(frozenset()) == [0, 1]
+
+    def test_ready_after_completion(self):
+        _, dag = single_thread("a = ld x\nb = ld y\nc = add a b")
+        assert dag.ready(frozenset({0, 1})) == [2]
+
+    def test_done_ops_not_ready(self):
+        _, dag = single_thread("a = ld x")
+        assert dag.ready(frozenset({0})) == []
+
+
+class TestValidOrder:
+    def test_program_order_always_valid(self):
+        _, dag = single_thread("a = ld x\nb = add a a\nst y b")
+        assert dag.is_valid_order([0, 1, 2])
+
+    def test_swap_of_independent_ok(self):
+        _, dag = single_thread("a = ld x\nb = ld y")
+        assert dag.is_valid_order([1, 0])
+
+    def test_violating_order_rejected(self):
+        _, dag = single_thread("a = ld x\nb = add a a")
+        assert not dag.is_valid_order([1, 0])
+
+    def test_incomplete_order_rejected(self):
+        _, dag = single_thread("a = ld x\nb = add a a")
+        assert not dag.is_valid_order([0])
+
+    def test_duplicate_rejected(self):
+        _, dag = single_thread("a = ld x\nb = add a a")
+        assert not dag.is_valid_order([0, 0, 1])
+
+    def test_out_of_range_rejected(self):
+        _, dag = single_thread("a = ld x")
+        assert not dag.is_valid_order([0, 5])
+
+
+class TestCriticalPath:
+    def test_chain_costs_accumulate(self):
+        region, dag = single_thread("a = ld x\nb = add a a\nst y b")
+        model = uniform_cost_model(cost=2.0, mask_overhead=1.0)
+        cp = dag.critical_path_costs(region[0], model)
+        # Each slot costs 3; chain of 3 ops.
+        assert cp == (9.0, 6.0, 3.0)
+
+    def test_parallel_ops_take_max(self):
+        region, dag = single_thread("a = ld x\nb = ld y\nc = add a b")
+        model = uniform_cost_model(cost=1.0, mask_overhead=0.0)
+        cp = dag.critical_path_costs(region[0], model)
+        assert cp == (2.0, 2.0, 1.0)
+
+    def test_empty_thread(self):
+        region = Region.from_sequences([[]])
+        dag = build_dags(region)[0]
+        assert dag.critical_path_costs(region[0], uniform_cost_model()) == ()

@@ -1,0 +1,98 @@
+"""Tests for the greedy list-scheduling inducer."""
+
+import pytest
+
+from repro.core.costmodel import CostModel, uniform_cost_model
+from repro.core.greedy import greedy_schedule
+from repro.core.ops import parse_region
+from repro.core.serial import lockstep_schedule, serial_schedule
+from repro.core.verify import verify_schedule
+from repro.workloads import RandomRegionSpec, random_region
+
+UNIT = uniform_cost_model(cost=1.0, mask_overhead=0.0)
+
+
+def test_identical_threads_collapse_to_one_sequence():
+    region = parse_region("""
+    thread 0:
+        a = ld x
+        b = add a a
+        st y b
+    thread 1:
+        c = ld x
+        d = add c c
+        st y d
+    """)
+    s = greedy_schedule(region, UNIT)
+    verify_schedule(s, region, UNIT)
+    assert s.cost(UNIT) == 3.0
+
+
+def test_reorders_to_align_merges():
+    # Thread 1's ops are independent and reversed; lockstep cannot merge,
+    # greedy can by reordering within the dependence DAG.
+    region = parse_region("""
+    thread 0:
+        a = ld x
+        b = mul y y
+    thread 1:
+        c = mul z z
+        d = ld w
+    """)
+    greedy = greedy_schedule(region, UNIT)
+    verify_schedule(greedy, region, UNIT)
+    assert greedy.cost(UNIT) == 2.0
+    assert lockstep_schedule(region, UNIT).cost(UNIT) == 4.0
+
+
+def test_never_worse_than_serial_on_random_regions():
+    for seed in range(12):
+        region = random_region(RandomRegionSpec(num_threads=5, min_len=6, max_len=12,
+                                                overlap=0.5), seed=seed)
+        greedy = greedy_schedule(region, UNIT)
+        verify_schedule(greedy, region, UNIT)
+        assert greedy.cost(UNIT) <= serial_schedule(region, UNIT).cost(UNIT)
+
+
+def test_prefers_expensive_merges():
+    # Both threads have a mul and an add ready; merging the mul first is
+    # strictly better if only one merge ends up possible.
+    model = CostModel(class_cost={"mul": 10.0, "add": 1.0}, mask_overhead=0.0)
+    region = parse_region("""
+    thread 0:
+        a = mul x x
+        b = add x x
+    thread 1:
+        c = add y y
+        d = mul y y
+    """)
+    s = greedy_schedule(region, model)
+    verify_schedule(s, region, model)
+    # Optimal here: merge mul (10) and merge add (1) = 11.
+    assert s.cost(model) == 11.0
+
+
+def test_empty_region():
+    region = parse_region("thread 0:\nthread 1:\n  a = ld x\n")
+    s = greedy_schedule(region, UNIT)
+    verify_schedule(s, region, UNIT)
+    assert s.cost(UNIT) == 1.0
+
+
+def test_single_thread_costs_its_length():
+    region = parse_region("thread 0:\n  a = ld x\n  b = add a a\n  st y b")
+    s = greedy_schedule(region, UNIT)
+    assert s.cost(UNIT) == 3.0
+
+
+def test_respect_order_mode_is_valid():
+    region = random_region(RandomRegionSpec(num_threads=3, min_len=5, max_len=8), seed=3)
+    s = greedy_schedule(region, UNIT, respect_order=True)
+    verify_schedule(s, region, UNIT, respect_order=True)
+
+
+def test_deterministic():
+    region = random_region(RandomRegionSpec(num_threads=4, min_len=6, max_len=10), seed=9)
+    a = greedy_schedule(region, UNIT)
+    b = greedy_schedule(region, UNIT)
+    assert [tuple(s) for s in a] == [tuple(s) for s in b]

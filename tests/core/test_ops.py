@@ -1,0 +1,126 @@
+"""Tests for the CSI IR (repro.core.ops)."""
+
+import pytest
+
+from repro.core.ops import Operation, Region, RegionParseError, ThreadCode, parse_region
+
+
+class TestOperation:
+    def test_fields(self):
+        op = Operation(0, 1, "add", ("a", "b"), ("c",), imm=None)
+        assert op.key == (0, 1)
+        assert op.reads == ("a", "b")
+
+    def test_render_with_writes(self):
+        op = Operation(0, 0, "add", ("a",), ("c",), imm=3)
+        assert op.render() == "c = add a #3"
+
+    def test_render_without_writes(self):
+        op = Operation(0, 0, "st", ("y", "v"), ())
+        assert op.render() == "st y v"
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(thread=-1, index=0, opcode="x"),
+        dict(thread=0, index=-1, opcode="x"),
+        dict(thread=0, index=0, opcode=""),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            Operation(**kwargs)
+
+
+class TestThreadCode:
+    def test_from_specs_assigns_indices(self):
+        tc = ThreadCode.from_specs(2, [("ld", ["x"], ["a"]), ("st", ["y", "a"], [])])
+        assert [op.index for op in tc] == [0, 1]
+        assert all(op.thread == 2 for op in tc)
+
+    def test_wrong_thread_rejected(self):
+        op = Operation(1, 0, "add")
+        with pytest.raises(ValueError):
+            ThreadCode(0, (op,))
+
+    def test_wrong_index_rejected(self):
+        op = Operation(0, 5, "add")
+        with pytest.raises(ValueError):
+            ThreadCode(0, (op,))
+
+    def test_from_specs_reindexes_operations(self):
+        src = Operation(9, 9, "add", ("a",), ("b",))
+        tc = ThreadCode.from_specs(0, [src])
+        assert tc.ops[0].key == (0, 0)
+        assert tc.ops[0].opcode == "add"
+
+
+class TestRegion:
+    def test_from_sequences(self):
+        region = Region.from_sequences([
+            [("ld", ["x"], ["a"])],
+            [("ld", ["x"], ["b"]), ("st", ["y", "b"], [])],
+        ])
+        assert region.num_threads == 2
+        assert region.num_ops == 3
+        assert region.opcodes() == {"ld", "st"}
+
+    def test_thread_position_must_match_id(self):
+        tc = ThreadCode.from_specs(1, [("ld", ["x"], ["a"])])
+        with pytest.raises(ValueError):
+            Region((tc,))
+
+    def test_render_roundtrip_through_parser(self):
+        region = Region.from_sequences([
+            [("ld", ["x"], ["a"]), ("add", ["a", "a"], ["b"])],
+            [("mul", ["x", "x"], ["c"])],
+        ])
+        again = parse_region(region.render())
+        assert again.num_ops == region.num_ops
+        assert [op.opcode for op in again.all_ops()] == [op.opcode for op in region.all_ops()]
+
+
+class TestParseRegion:
+    def test_basic(self):
+        region = parse_region("""
+            thread 0:
+                t0 = ld x
+                st y t0
+            thread 1:
+                u0 = add x #2
+        """)
+        assert region.num_threads == 2
+        op = region[1].ops[0]
+        assert op.opcode == "add" and op.imm == 2 and op.reads == ("x",)
+
+    def test_comments_and_blank_lines(self):
+        region = parse_region("""
+            ; whole-line comment
+            thread 0:
+                t0 = ld x   ; trailing comment
+
+                st y t0
+        """)
+        assert len(region[0]) == 2
+
+    def test_float_immediate(self):
+        region = parse_region("thread 0:\n  a = push #2.5\n")
+        assert region[0].ops[0].imm == pytest.approx(2.5)
+
+    def test_multiple_writes(self):
+        region = parse_region("thread 0:\n  a, b = divmod x y\n")
+        assert region[0].ops[0].writes == ("a", "b")
+
+    @pytest.mark.parametrize("text", [
+        "t0 = ld x",                      # op before thread header
+        "thread 1:\n  a = ld x",          # wrong first thread id
+        "thread 0:\nthread 0:\n",         # repeated id
+        "thread 0:\n  a = ld #1 #2\n",    # two immediates
+        "thread 0:\n   = ld x\n",         # empty writes
+        "",                               # nothing at all
+        "thread zero:\n  a = ld x\n",     # bad id
+    ])
+    def test_malformed(self, text):
+        with pytest.raises(RegionParseError):
+            parse_region(text)
+
+    def test_empty_thread_allowed(self):
+        region = parse_region("thread 0:\nthread 1:\n  a = ld x\n")
+        assert len(region[0]) == 0 and len(region[1]) == 1

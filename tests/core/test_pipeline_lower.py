@@ -1,0 +1,116 @@
+"""Tests for the induce() pipeline and schedule lowering."""
+
+import pytest
+
+from repro.core import (
+    InductionResult,
+    induce,
+    lower_schedule,
+    render_simd_code,
+    uniform_cost_model,
+)
+from repro.core.lower import MaskedInstruction
+from repro.core.ops import parse_region
+from repro.core.search import SearchConfig
+from repro.workloads import RandomRegionSpec, interpreter_handler_region, random_region
+from repro.workloads.threads import interpreter_micro_cost_model
+
+UNIT = uniform_cost_model(cost=1.0, mask_overhead=0.0)
+
+REGION = parse_region("""
+thread 0:
+    a = ld x
+    b = mul a a
+    st y b
+thread 1:
+    c = ld x
+    d = add c c
+    st y d
+""")
+
+
+class TestInduce:
+    @pytest.mark.parametrize("method", ["search", "greedy", "factor", "lockstep", "serial"])
+    def test_all_methods_produce_valid_results(self, method):
+        r = induce(REGION, UNIT, method=method)
+        assert isinstance(r, InductionResult)
+        assert r.cost > 0
+        assert r.serial_cost == 6.0
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            induce(REGION, UNIT, method="magic")
+
+    def test_search_cost_ordering(self):
+        costs = {m: induce(REGION, UNIT, method=m).cost
+                 for m in ("search", "greedy", "serial")}
+        assert costs["search"] <= costs["greedy"] <= costs["serial"]
+
+    def test_speedups(self):
+        r = induce(REGION, UNIT, method="search")
+        assert r.speedup_vs_serial == pytest.approx(r.serial_cost / r.cost)
+        assert r.speedup_vs_lockstep == pytest.approx(r.lockstep_cost / r.cost)
+
+    def test_stats_only_for_search(self):
+        assert induce(REGION, UNIT, method="search").stats is not None
+        assert induce(REGION, UNIT, method="greedy").stats is None
+
+    def test_config_respected(self):
+        region = random_region(
+            RandomRegionSpec(num_threads=6, min_len=10, max_len=14, overlap=0.5),
+            seed=2)
+        r = induce(region, UNIT, method="search", config=SearchConfig(node_budget=10))
+        assert r.stats.budget_exhausted and not r.stats.optimal
+
+    def test_interpreter_region_end_to_end(self):
+        region = interpreter_handler_region(("Add", "Sub", "Mul", "Push"))
+        model = interpreter_micro_cost_model()
+        search = induce(region, model, method="search",
+                        config=SearchConfig(node_budget=50_000))
+        factor = induce(region, model, method="factor")
+        serial = induce(region, model, method="serial")
+        # CSI must at least rediscover the hand factoring, and beat serial
+        # clearly (the §3.1.3.2 "several times slower without factoring").
+        assert search.cost <= factor.cost <= serial.cost
+        assert search.speedup_vs_serial > 1.5
+
+
+class TestLowering:
+    def test_lowered_code_matches_schedule(self):
+        r = induce(REGION, UNIT, method="search")
+        code = lower_schedule(r.schedule, REGION, UNIT)
+        assert len(code) == len(r.schedule)
+        assert sum(instr.cost for instr in code) == pytest.approx(r.cost)
+        assert sum(instr.width for instr in code) == REGION.num_ops
+
+    def test_bindings_are_real_operations(self):
+        r = induce(REGION, UNIT, method="greedy")
+        for instr in lower_schedule(r.schedule, REGION, UNIT):
+            for t, op in instr.bindings.items():
+                assert op.thread == t
+                assert REGION[t].ops[op.index] is op
+
+    def test_mask_bindings_consistency_enforced(self):
+        op = REGION[0].ops[0]
+        with pytest.raises(ValueError):
+            MaskedInstruction("ld", frozenset({0, 1}), {0: op}, cost=1.0)
+
+    def test_render_shows_masks_and_total(self):
+        r = induce(REGION, UNIT, method="search")
+        text = render_simd_code(lower_schedule(r.schedule, REGION, UNIT), REGION.num_threads)
+        assert "total cost" in text
+        assert "|" in text and ("X." in text or "XX" in text or ".X" in text)
+
+
+class TestRandomEndToEnd:
+    @pytest.mark.parametrize("overlap", [0.0, 0.5, 1.0])
+    def test_speedup_monotone_in_overlap_tendency(self, overlap):
+        region = random_region(
+            RandomRegionSpec(num_threads=4, min_len=6, max_len=6, overlap=overlap),
+            seed=11)
+        r = induce(region, UNIT, method="greedy")
+        if overlap == 0.0:
+            assert r.speedup_vs_serial == pytest.approx(1.0)
+        if overlap == 1.0:
+            # Equal-length, identical opcode template -> near-total collapse.
+            assert r.speedup_vs_serial > 2.0

@@ -1,0 +1,150 @@
+"""Property-based tests (hypothesis) for the CSI core invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.costmodel import CostModel, uniform_cost_model
+from repro.core.dag import build_dags
+from repro.core.factor import factor_schedule
+from repro.core.greedy import greedy_schedule
+from repro.core.ops import Operation, Region, ThreadCode
+from repro.core.search import SearchConfig, branch_and_bound
+from repro.core.serial import lockstep_schedule, serial_schedule
+from repro.core.verify import verify_schedule
+
+UNIT = uniform_cost_model(cost=1.0, mask_overhead=0.0)
+MASKED = uniform_cost_model(cost=2.0, mask_overhead=1.0)
+
+OPCODES = ["ld", "st", "add", "mul", "shl", "neg"]
+
+
+@st.composite
+def regions(draw, max_threads=4, max_len=6):
+    """Random small regions with genuine dependence structure."""
+    num_threads = draw(st.integers(1, max_threads))
+    threads = []
+    for t in range(num_threads):
+        n = draw(st.integers(0, max_len))
+        ops = []
+        for k in range(n):
+            opcode = draw(st.sampled_from(OPCODES))
+            n_reads = draw(st.integers(0, min(2, k)))
+            reads = tuple(f"T{t}v{draw(st.integers(0, k - 1))}" for _ in range(n_reads)) if k else ()
+            imm = draw(st.one_of(st.none(), st.integers(0, 3)))
+            ops.append(Operation(t, k, opcode, reads, (f"T{t}v{k}",), imm))
+        threads.append(ThreadCode(t, tuple(ops)))
+    return Region(tuple(threads))
+
+
+COMMON = settings(max_examples=60, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+@given(regions())
+@COMMON
+def test_all_methods_produce_verifiable_schedules(region):
+    for builder in (serial_schedule, lockstep_schedule, factor_schedule):
+        verify_schedule(builder(region, MASKED), region, MASKED)
+    verify_schedule(greedy_schedule(region, MASKED), region, MASKED)
+    sched, _ = branch_and_bound(region, MASKED, SearchConfig(node_budget=20_000))
+    verify_schedule(sched, region, MASKED)
+
+
+@given(regions())
+@COMMON
+def test_cost_sandwich(region):
+    """search <= greedy <= serial and lockstep <= serial, always."""
+    serial_cost = serial_schedule(region, MASKED).cost(MASKED)
+    greedy_cost = greedy_schedule(region, MASKED).cost(MASKED)
+    search_cost = branch_and_bound(
+        region, MASKED, SearchConfig(node_budget=20_000))[0].cost(MASKED)
+    lockstep_cost = lockstep_schedule(region, MASKED).cost(MASKED)
+    assert search_cost <= greedy_cost + 1e-9
+    assert greedy_cost <= serial_cost + 1e-9
+    assert lockstep_cost <= serial_cost + 1e-9
+
+
+@given(regions(max_threads=3, max_len=4))
+@COMMON
+def test_schedule_cost_lower_bounded_by_max_thread(region):
+    """No schedule can beat the longest single thread's serial cost."""
+    sched, _ = branch_and_bound(region, MASKED, SearchConfig(node_budget=20_000))
+    longest = max(
+        (sum(MASKED.slot_cost(MASKED.opcode_class(op.opcode)) for op in tc.ops)
+         for tc in region.threads),
+        default=0.0,
+    )
+    assert sched.cost(MASKED) >= longest - 1e-9
+
+
+@given(regions(max_threads=3, max_len=4))
+@COMMON
+def test_thread_permutation_invariance(region):
+    """Renumbering threads must not change the induced cost."""
+    perm_threads = []
+    order = list(reversed(range(region.num_threads)))
+    for new_t, old_t in enumerate(order):
+        ops = tuple(
+            Operation(new_t, op.index, op.opcode, op.reads, op.writes, op.imm)
+            for op in region[old_t].ops
+        )
+        perm_threads.append(ThreadCode(new_t, ops))
+    permuted = Region(tuple(perm_threads))
+    a = branch_and_bound(region, UNIT, SearchConfig(node_budget=20_000))[0].cost(UNIT)
+    b = branch_and_bound(permuted, UNIT, SearchConfig(node_budget=20_000))[0].cost(UNIT)
+    assert a == pytest.approx(b)
+
+
+@given(regions(max_threads=2, max_len=4))
+@COMMON
+def test_duplicating_a_thread_adds_no_cost_in_unit_model(region):
+    """A cloned thread can ride along in existing slots for free
+    (unit model, no masking overhead, no immediate constraints)."""
+    if region.num_threads == 0:
+        return
+    clone_src = region[0]
+    new_t = region.num_threads
+    clone = ThreadCode(new_t, tuple(
+        Operation(new_t, op.index, op.opcode,
+                  tuple(r.replace("T0", f"T{new_t}") for r in op.reads),
+                  tuple(w.replace("T0", f"T{new_t}") for w in op.writes),
+                  op.imm)
+        for op in clone_src.ops
+    ))
+    bigger = Region(region.threads + (clone,))
+    base = branch_and_bound(region, UNIT, SearchConfig(node_budget=40_000))
+    grown = branch_and_bound(bigger, UNIT, SearchConfig(node_budget=40_000))
+    if base[1].optimal and grown[1].optimal:
+        assert grown[0].cost(UNIT) <= base[0].cost(UNIT) + 1e-9
+
+
+@given(regions(max_threads=3, max_len=5), st.floats(0.0, 3.0))
+@COMMON
+def test_mask_overhead_monotone(region, overhead):
+    """Raising mask overhead can only raise (or keep) the optimal cost."""
+    lo = uniform_cost_model(cost=1.0, mask_overhead=0.0)
+    hi = uniform_cost_model(cost=1.0, mask_overhead=overhead)
+    a = branch_and_bound(region, lo, SearchConfig(node_budget=20_000))[0].cost(lo)
+    b = branch_and_bound(region, hi, SearchConfig(node_budget=20_000))[0].cost(hi)
+    assert b >= a - 1e-9
+
+
+@given(regions(max_threads=3, max_len=5))
+@COMMON
+def test_schedule_slot_count_bounds(region):
+    """Slots are between max thread length and total op count."""
+    sched, _ = branch_and_bound(region, UNIT, SearchConfig(node_budget=20_000))
+    max_len = max((len(tc) for tc in region.threads), default=0)
+    assert max_len <= len(sched) <= region.num_ops or region.num_ops == 0
+
+
+@given(regions(max_threads=3, max_len=4))
+@COMMON
+def test_require_equal_imm_never_cheaper(region):
+    """The stricter merge rule can only cost more."""
+    loose = CostModel(mask_overhead=0.0, default_cost=1.0, require_equal_imm=False)
+    strict = CostModel(mask_overhead=0.0, default_cost=1.0, require_equal_imm=True)
+    a = branch_and_bound(region, loose, SearchConfig(node_budget=20_000))[0].cost(loose)
+    b = branch_and_bound(region, strict, SearchConfig(node_budget=20_000))[0].cost(strict)
+    assert b >= a - 1e-9

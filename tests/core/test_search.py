@@ -1,0 +1,192 @@
+"""Tests for the branch-and-bound CSI search."""
+
+import pytest
+
+from repro.core.costmodel import CostModel, uniform_cost_model
+from repro.core.greedy import greedy_schedule
+from repro.core.ops import parse_region
+from repro.core.search import SearchConfig, branch_and_bound
+from repro.core.serial import serial_schedule
+from repro.core.verify import verify_schedule
+from repro.workloads import RandomRegionSpec, random_region
+
+UNIT = uniform_cost_model(cost=1.0, mask_overhead=0.0)
+
+
+def exact_config(**kw):
+    """Fully exhaustive configuration (no completeness-losing pruning)."""
+    defaults = dict(maximal_merges_only=False, branch_thread_choices=True,
+                    node_budget=2_000_000)
+    defaults.update(kw)
+    return SearchConfig(**defaults)
+
+
+class TestBasics:
+    def test_identical_threads_cost_one_thread(self):
+        region = parse_region("""
+        thread 0:
+            a = ld x
+            b = add a a
+            st y b
+        thread 1:
+            c = ld x
+            d = add c c
+            st y d
+        thread 2:
+            e = ld x
+            f = add e e
+            st y f
+        """)
+        sched, stats = branch_and_bound(region, UNIT)
+        verify_schedule(sched, region, UNIT)
+        assert sched.cost(UNIT) == 3.0
+        assert stats.optimal
+
+    def test_disjoint_threads_cost_sum(self):
+        region = parse_region("""
+        thread 0:
+            a = aa x
+            b = bb x
+        thread 1:
+            c = cc x
+            d = dd x
+        """)
+        sched, stats = branch_and_bound(region, UNIT)
+        assert sched.cost(UNIT) == 4.0
+
+    def test_single_thread(self):
+        region = parse_region("thread 0:\n  a = ld x\n  b = add a a")
+        sched, _ = branch_and_bound(region, UNIT)
+        assert sched.cost(UNIT) == 2.0
+
+    def test_empty_region(self):
+        region = parse_region("thread 0:\n")
+        sched, stats = branch_and_bound(region, UNIT)
+        assert len(sched) == 0 and stats.best_cost == 0.0
+
+    def test_search_beats_lockstep_on_shifted_code(self):
+        # The classic case: same code, off by one op; alignment needs reorder.
+        region = parse_region("""
+        thread 0:
+            a = ld x
+            b = mul a a
+            c = add b b
+        thread 1:
+            d = mul y y
+            e = add d d
+            f = ld z
+        """)
+        sched, stats = branch_and_bound(region, UNIT)
+        verify_schedule(sched, region, UNIT)
+        assert sched.cost(UNIT) == 3.0  # ld, mul, add each merged
+        assert stats.optimal
+
+
+class TestOptimality:
+    def test_never_worse_than_greedy(self):
+        for seed in range(10):
+            region = random_region(
+                RandomRegionSpec(num_threads=4, min_len=4, max_len=8, overlap=0.5),
+                seed=seed)
+            sched, _ = branch_and_bound(region, UNIT)
+            assert sched.cost(UNIT) <= greedy_schedule(region, UNIT).cost(UNIT) + 1e-9
+
+    def test_maximal_merge_matches_exhaustive_on_small_regions(self):
+        # The paper's pruning keeps only maximal merges; on small random
+        # regions we check it against the fully exhaustive search.
+        mismatches = 0
+        for seed in range(8):
+            region = random_region(
+                RandomRegionSpec(num_threads=3, min_len=3, max_len=5, overlap=0.6),
+                seed=seed)
+            pruned, _ = branch_and_bound(region, UNIT)
+            exact, stats = branch_and_bound(region, UNIT, exact_config())
+            assert stats.optimal
+            verify_schedule(exact, region, UNIT)
+            assert pruned.cost(UNIT) >= exact.cost(UNIT) - 1e-9
+            if pruned.cost(UNIT) > exact.cost(UNIT) + 1e-9:
+                mismatches += 1
+        # maximal-merge is a heuristic; allow rare gaps but not systematic ones.
+        assert mismatches <= 2
+
+    def test_weighted_costs_drive_choices(self):
+        # With expensive mul, the optimum merges muls even at the price of
+        # extra cheap slots.
+        model = CostModel(class_cost={"mul": 20.0, "ld": 1.0}, mask_overhead=0.0)
+        region = parse_region("""
+        thread 0:
+            a = ld p
+            b = mul a a
+        thread 1:
+            c = mul q q
+            d = ld c
+        """)
+        sched, _ = branch_and_bound(region, model, exact_config())
+        verify_schedule(sched, region, model)
+        assert sched.cost(model) == 22.0  # merged mul + two lds
+
+
+class TestPruningAndBudget:
+    def test_node_budget_respected_and_anytime(self):
+        region = random_region(
+            RandomRegionSpec(num_threads=6, min_len=10, max_len=14, overlap=0.5),
+            seed=2)
+        sched, stats = branch_and_bound(region, UNIT, SearchConfig(node_budget=50))
+        verify_schedule(sched, region, UNIT)
+        assert stats.budget_exhausted and not stats.optimal
+        # Anytime: at least as good as the greedy seed.
+        assert sched.cost(UNIT) <= greedy_schedule(region, UNIT).cost(UNIT) + 1e-9
+
+    @pytest.mark.parametrize("disabled", ["cp", "class", "memo"])
+    def test_each_pruning_rule_preserves_result(self, disabled):
+        region = random_region(
+            RandomRegionSpec(num_threads=3, min_len=4, max_len=6, overlap=0.5),
+            seed=5)
+        base, _ = branch_and_bound(region, UNIT)
+        cfg = SearchConfig(
+            use_cp_bound=disabled != "cp",
+            use_class_bound=disabled != "class",
+            use_memo=disabled != "memo",
+        )
+        alt, _ = branch_and_bound(region, UNIT, cfg)
+        assert alt.cost(UNIT) == pytest.approx(base.cost(UNIT))
+
+    def test_pruning_reduces_nodes(self):
+        region = random_region(
+            RandomRegionSpec(num_threads=4, min_len=5, max_len=7, overlap=0.6),
+            seed=7)
+        _, with_pruning = branch_and_bound(region, UNIT)
+        cfg = SearchConfig(use_cp_bound=False, use_class_bound=False, use_memo=False,
+                           node_budget=2_000_000)
+        _, without = branch_and_bound(region, UNIT, cfg)
+        assert with_pruning.nodes_expanded < without.nodes_expanded
+
+    def test_without_greedy_seed_still_finds_solution(self):
+        region = random_region(RandomRegionSpec(num_threads=3, min_len=3, max_len=5), seed=1)
+        with_seed, _ = branch_and_bound(region, UNIT)
+        without_seed, _ = branch_and_bound(
+            region, UNIT, SearchConfig(seed_with_greedy=False))
+        assert without_seed.cost(UNIT) == pytest.approx(with_seed.cost(UNIT))
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ValueError):
+            SearchConfig(node_budget=0)
+
+
+class TestStats:
+    def test_stats_populated(self):
+        region = random_region(RandomRegionSpec(num_threads=3, min_len=4, max_len=6), seed=0)
+        _, stats = branch_and_bound(region, UNIT)
+        assert stats.nodes_expanded > 0
+        assert stats.best_cost < float("inf")
+        # Either the root was bound-pruned outright (greedy seed already
+        # provably optimal) or children were generated.
+        assert stats.children_generated > 0 or stats.pruned_by_bound > 0
+
+    def test_serial_upper_bound_always_holds(self):
+        for seed in range(6):
+            region = random_region(
+                RandomRegionSpec(num_threads=4, min_len=4, max_len=8, overlap=0.3),
+                seed=seed)
+            sched, _ = branch_and_bound(region, UNIT)
+            assert sched.cost(UNIT) <= serial_schedule(region, UNIT).cost(UNIT)

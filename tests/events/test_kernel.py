@@ -1,0 +1,337 @@
+"""Tests for the discrete-event kernel, channels and shared CPU."""
+
+import pytest
+
+from repro.events import Channel, Event, Interrupt, Kernel, SharedCPU, Timeout
+
+
+class TestKernel:
+    def test_time_advances_with_timeouts(self):
+        k = Kernel()
+        log = []
+
+        def proc():
+            yield Timeout(1.5)
+            log.append(k.now)
+            yield Timeout(2.0)
+            log.append(k.now)
+
+        k.spawn(proc())
+        k.run()
+        assert log == [1.5, 3.5]
+
+    def test_processes_interleave_deterministically(self):
+        k = Kernel()
+        log = []
+
+        def proc(name, delay):
+            yield Timeout(delay)
+            log.append(name)
+
+        k.spawn(proc("slow", 2.0))
+        k.spawn(proc("fast", 1.0))
+        k.spawn(proc("tie_a", 1.0))
+        k.run()
+        assert log == ["fast", "tie_a", "slow"]
+
+    def test_join_process(self):
+        k = Kernel()
+        log = []
+
+        def child():
+            yield Timeout(3.0)
+            return 42
+
+        def parent():
+            result = yield k.spawn(child())
+            log.append((k.now, result))
+
+        k.spawn(parent())
+        k.run()
+        assert log == [(3.0, 42)]
+
+    def test_event_wakes_all_waiters(self):
+        k = Kernel()
+        ev = k.event()
+        woke = []
+
+        def waiter(name):
+            value = yield ev
+            woke.append((name, value))
+
+        def trigger():
+            yield Timeout(1.0)
+            ev.succeed("go")
+
+        k.spawn(waiter("a"))
+        k.spawn(waiter("b"))
+        k.spawn(trigger())
+        k.run()
+        assert woke == [("a", "go"), ("b", "go")]
+
+    def test_wait_on_triggered_event_resumes_immediately(self):
+        k = Kernel()
+        ev = k.event()
+        ev.succeed(7)
+        got = []
+
+        def waiter():
+            got.append((yield ev))
+
+        k.spawn(waiter())
+        k.run()
+        assert got == [7]
+
+    def test_event_double_succeed_rejected(self):
+        k = Kernel()
+        ev = k.event()
+        ev.succeed()
+        with pytest.raises(RuntimeError):
+            ev.succeed()
+
+    def test_run_until_stops_clock(self):
+        k = Kernel()
+
+        def proc():
+            yield Timeout(10.0)
+
+        k.spawn(proc())
+        assert k.run(until=3.0) == 3.0
+        assert k.now == 3.0
+
+    def test_interrupt(self):
+        k = Kernel()
+        log = []
+
+        def victim():
+            try:
+                yield Timeout(100.0)
+            except Interrupt as exc:
+                log.append(("interrupted", exc.cause, k.now))
+
+        def attacker(v):
+            yield Timeout(2.0)
+            v.interrupt("stop")
+
+        v = k.spawn(victim())
+        k.spawn(attacker(v))
+        k.run()
+        assert log == [("interrupted", "stop", 2.0)]
+
+    def test_bad_yield_rejected(self):
+        k = Kernel()
+
+        def proc():
+            yield "junk"
+
+        k.spawn(proc())
+        with pytest.raises(TypeError):
+            k.run()
+
+    def test_event_budget_guard(self):
+        k = Kernel()
+
+        def spinner():
+            while True:
+                yield Timeout(0.0)
+
+        k.spawn(spinner())
+        with pytest.raises(RuntimeError, match="budget"):
+            k.run(max_events=100)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+        with pytest.raises(ValueError):
+            Kernel().call_later(-1.0, lambda: None)
+
+
+class TestChannel:
+    def test_put_then_get(self):
+        k = Kernel()
+        ch = Channel(k)
+        got = []
+
+        def consumer():
+            got.append((yield ch.get()))
+
+        ch.put("msg")
+        k.spawn(consumer())
+        k.run()
+        assert got == ["msg"]
+
+    def test_get_blocks_until_put(self):
+        k = Kernel()
+        ch = Channel(k)
+        got = []
+
+        def consumer():
+            got.append(((yield ch.get()), k.now))
+
+        def producer():
+            yield Timeout(5.0)
+            ch.put("late")
+
+        k.spawn(consumer())
+        k.spawn(producer())
+        k.run()
+        assert got == [("late", 5.0)]
+
+    def test_latency_delays_delivery(self):
+        k = Kernel()
+        ch = Channel(k, latency=2.5)
+        got = []
+
+        def consumer():
+            got.append(((yield ch.get()), k.now))
+
+        ch.put("x")
+        k.spawn(consumer())
+        k.run()
+        assert got == [("x", 2.5)]
+
+    def test_fifo_order(self):
+        k = Kernel()
+        ch = Channel(k)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                got.append((yield ch.get()))
+
+        for i in range(3):
+            ch.put(i)
+        k.spawn(consumer())
+        k.run()
+        assert got == [0, 1, 2]
+
+    def test_multiple_getters_fifo(self):
+        k = Kernel()
+        ch = Channel(k)
+        got = []
+
+        def consumer(name):
+            got.append((name, (yield ch.get())))
+
+        k.spawn(consumer("first"))
+        k.spawn(consumer("second"))
+
+        def producer():
+            yield Timeout(1.0)
+            ch.put("a")
+            ch.put("b")
+
+        k.spawn(producer())
+        k.run()
+        assert got == [("first", "a"), ("second", "b")]
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Channel(Kernel(), latency=-1.0)
+
+
+class TestSharedCPU:
+    def test_single_job_runs_at_full_speed(self):
+        k = Kernel()
+        cpu = SharedCPU(k, cores=1)
+        done_at = []
+
+        def proc():
+            yield cpu.compute(5.0)
+            done_at.append(k.now)
+
+        k.spawn(proc())
+        k.run()
+        assert done_at == [pytest.approx(5.0)]
+
+    def test_two_jobs_share_one_core(self):
+        k = Kernel()
+        cpu = SharedCPU(k, cores=1)
+        done_at = {}
+
+        def proc(name):
+            yield cpu.compute(5.0)
+            done_at[name] = k.now
+
+        k.spawn(proc("a"))
+        k.spawn(proc("b"))
+        k.run()
+        assert done_at["a"] == pytest.approx(10.0)
+        assert done_at["b"] == pytest.approx(10.0)
+
+    def test_multicore_runs_jobs_in_parallel(self):
+        k = Kernel()
+        cpu = SharedCPU(k, cores=2)
+        done_at = {}
+
+        def proc(name):
+            yield cpu.compute(5.0)
+            done_at[name] = k.now
+
+        k.spawn(proc("a"))
+        k.spawn(proc("b"))
+        k.run()
+        assert done_at["a"] == pytest.approx(5.0)
+        assert done_at["b"] == pytest.approx(5.0)
+
+    def test_background_load_slows_jobs(self):
+        k = Kernel()
+        cpu = SharedCPU(k, cores=1, background_jobs=1.0)
+        done_at = []
+
+        def proc():
+            yield cpu.compute(5.0)
+            done_at.append(k.now)
+
+        k.spawn(proc())
+        k.run()
+        assert done_at == [pytest.approx(10.0)]
+
+    def test_staggered_arrival_piecewise_rates(self):
+        k = Kernel()
+        cpu = SharedCPU(k, cores=1)
+        done_at = {}
+
+        def first():
+            yield cpu.compute(4.0)
+            done_at["first"] = k.now
+
+        def second():
+            yield Timeout(2.0)
+            yield cpu.compute(1.0)
+            done_at["second"] = k.now
+
+        k.spawn(first())
+        k.spawn(second())
+        k.run()
+        # first runs alone 2s (2 units done), shares 2s (1 more unit),
+        # second finishes its 1 unit at t=4, first's last unit alone by t=5.
+        assert done_at["second"] == pytest.approx(4.0)
+        assert done_at["first"] == pytest.approx(5.0)
+
+    def test_load_average(self):
+        k = Kernel()
+        cpu = SharedCPU(k, cores=2, background_jobs=4.0)
+        assert cpu.load_average() == pytest.approx(2.0)
+
+    def test_zero_work_completes_instantly(self):
+        k = Kernel()
+        cpu = SharedCPU(k, cores=1)
+        done = []
+
+        def proc():
+            yield cpu.compute(0.0)
+            done.append(k.now)
+
+        k.spawn(proc())
+        k.run()
+        assert done == [0.0]
+
+    def test_validation(self):
+        k = Kernel()
+        with pytest.raises(ValueError):
+            SharedCPU(k, cores=0)
+        with pytest.raises(ValueError):
+            SharedCPU(k, background_jobs=-1)
+        with pytest.raises(ValueError):
+            SharedCPU(k).compute(-1.0)

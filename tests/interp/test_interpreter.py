@@ -1,0 +1,278 @@
+"""Tests for the MIMD-on-SIMD interpreter: semantics."""
+
+import numpy as np
+import pytest
+
+from repro.interp import InterpreterConfig, MemoryLayout, MIMDInterpreter, run_program
+from repro.isa import assemble
+
+
+def run(src: str, num_pes: int = 4, **kw):
+    return run_program(assemble(src), num_pes, **kw)
+
+
+class TestArithmetic:
+    def test_push_add_store(self):
+        interp, _ = run("Push 0\nPush 2\nPush 3\nAdd\nSt\nHalt\n")
+        assert list(interp.peek_global(0)) == [5, 5, 5, 5]
+
+    def test_this_differs_per_pe(self):
+        interp, _ = run("Push 0\nThis\nSt\nHalt\n")
+        assert list(interp.peek_global(0)) == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("op, a, b, expected", [
+        ("Sub", 7, 3, 4),
+        ("Mul", 6, 7, 42),
+        ("Div", 7, 2, 3),
+        ("Div", -7, 2, -3),
+        ("Mod", 7, 3, 1),
+        ("Mod", -7, 3, -1),
+        ("And", 1, 0, 0),
+        ("Or", 1, 0, 1),
+        ("Eq", 3, 3, 1),
+        ("Ne", 3, 3, 0),
+        ("Lt", 2, 3, 1),
+        ("Le", 3, 3, 1),
+        ("Gt", 2, 3, 0),
+        ("Ge", 3, 3, 1),
+        ("Shl", 1, 4, 16),
+        ("Shr", 16, 2, 4),
+    ])
+    def test_binary_ops(self, op, a, b, expected):
+        interp, _ = run(f"Push 0\nPush {a}\nPush {b}\n{op}\nSt\nHalt\n")
+        assert interp.peek_global(0)[0] == expected
+
+    def test_neg_not(self):
+        interp, _ = run("Push 0\nPush 5\nNeg\nSt\nPush 1\nPush 0\nNot\nSt\nHalt\n")
+        assert interp.peek_global(0)[0] == -5
+        assert interp.peek_global(1)[0] == 1
+
+    def test_constant_pool(self):
+        interp, _ = run(".const 123456789\nPush 0\nPushC 0\nSt\nHalt\n")
+        assert interp.peek_global(0)[0] == 123456789
+
+
+class TestStackOps:
+    def test_dup(self):
+        interp, _ = run("Push 3\nDup\nMul\nPush 0\nSwap\nSt\nHalt\n")
+        assert interp.peek_global(0)[0] == 9
+
+    def test_swap(self):
+        interp, _ = run("Push 0\nPush 10\nPush 3\nSwap\nSub\nSt\nHalt\n")
+        # stack: addr=0, 10, 3 -> swap -> 10 on top: 3 - 10 = -7
+        assert interp.peek_global(0)[0] == -7
+
+    def test_pop(self):
+        interp, _ = run("Push 0\nPush 42\nPush 99\nPop\nSt\nHalt\n")
+        assert interp.peek_global(0)[0] == 42
+
+    def test_stack_overflow_detected(self):
+        layout = MemoryLayout(globals_words=4, stack_words=8)
+        src = "loop:\nPush 1\nJmp loop\n"
+        with pytest.raises(RuntimeError, match="overflow"):
+            run(src, layout=layout)
+
+    def test_stack_underflow_detected(self):
+        with pytest.raises(RuntimeError, match="underflow"):
+            run("Pop\nPop\nHalt\n")
+
+
+class TestMemoryOps:
+    def test_ld_indirect(self):
+        interp, _ = run("Push 1\nPush 7\nSt\nPush 0\nPush 1\nLd\nSt\nHalt\n")
+        assert interp.peek_global(0)[0] == 7
+
+    def test_globals_init(self):
+        interp, _ = run("Push 1\nPush 0\nLd\nSt\nHalt\n",
+                        globals_init={0: np.array([5, 6, 7, 8])})
+        assert list(interp.peek_global(1)) == [5, 6, 7, 8]
+
+    def test_lds_reads_local_shadow(self):
+        interp, _ = run("Push 0\nPush 1\nLdS\nSt\nHalt\n", globals_init={1: 33})
+        assert list(interp.peek_global(0)) == [33] * 4
+
+    def test_sts_broadcasts_winner(self):
+        # Every PE stores its id into mono var at addr 2: highest PE wins.
+        interp, _ = run("Push 2\nThis\nStS\nHalt\n")
+        assert list(interp.peek_global(2)) == [3, 3, 3, 3]
+
+    def test_ldd_parallel_subscript(self):
+        # mem[0] = this*10; then each PE reads left neighbour's mem[0].
+        src = """
+            Push 0
+            This
+            Push 10
+            Mul
+            St
+            Wait
+            This
+            Push 3
+            Add
+            Push 4
+            Mod
+            Push 0
+            LdD
+            Push 1
+            Swap
+            St
+            Halt
+        """
+        interp, _ = run(src)
+        assert list(interp.peek_global(1)) == [30, 0, 10, 20]
+
+    def test_std_remote_store(self):
+        # PE i writes i*2 into PE ((i+1)%4)'s mem[3].
+        src = """
+            This
+            Push 1
+            Add
+            Push 4
+            Mod
+            Push 3
+            This
+            Push 2
+            Mul
+            StD
+            Wait
+            Halt
+        """
+        interp, _ = run(src)
+        assert list(interp.peek_global(3)) == [6, 0, 2, 4]
+
+
+class TestControlFlow:
+    def test_loop_counts(self):
+        src = """
+            Push 1
+            Push 5
+            St
+        loop:
+            Push 1
+            Ld
+            Jz done
+            Push 0
+            Push 0
+            Ld
+            Push 2
+            Add
+            St
+            Push 1
+            Push 1
+            Ld
+            Push 1
+            Sub
+            St
+            Jmp loop
+        done:
+            Halt
+        """
+        interp, _ = run(src)
+        assert interp.peek_global(0)[0] == 10
+
+    def test_divergent_branches(self):
+        src = """
+            This
+            Push 2
+            Mod
+            Jz even
+            Push 0
+            Push 111
+            St
+            Jmp out
+        even:
+            Push 0
+            Push 222
+            St
+        out:
+            Halt
+        """
+        interp, _ = run(src)
+        assert list(interp.peek_global(0)) == [222, 111, 222, 111]
+
+    def test_call_ret(self):
+        src = """
+            Call fn
+            Push 0
+            Swap
+            St
+            Halt
+        fn:
+            ; stack: return addr in TOS; compute 7*6 under it
+            Push 7
+            Push 6
+            Mul
+            Swap
+            Ret
+        """
+        interp, _ = run(src)
+        assert interp.peek_global(0)[0] == 42
+
+    def test_missing_halt_detected(self):
+        with pytest.raises(RuntimeError, match="PC out of code range"):
+            run("Push 1\nPop\n")
+
+    def test_max_cycles_guard(self):
+        with pytest.raises(RuntimeError, match="exceeded"):
+            run("loop: Jmp loop\n", config=InterpreterConfig(max_cycles=100))
+
+
+class TestBarrier:
+    def test_barrier_synchronizes(self):
+        # Odd PEs spin longer before the barrier; all must arrive before any
+        # passes. After the barrier each PE reads the mono flag that the
+        # last-arriving PE set.
+        src = """
+            This
+            Push 2
+            Mod
+            Jz atbar
+            Push 3
+            This
+            StS       ; slow path: odd PEs publish into mono 3 before barrier
+        atbar:
+            Wait
+            Push 0
+            Push 3
+            LdS
+            St
+            Halt
+        """
+        interp, stats = run(src)
+        assert stats.barriers_released == 1
+        vals = interp.peek_global(0)
+        assert len(set(vals.tolist())) == 1  # all PEs agree post-barrier
+
+    def test_multiple_barriers(self):
+        interp, stats = run("Wait\nWait\nWait\nHalt\n")
+        assert stats.barriers_released == 3
+        assert list(interp.state.barriers_passed) == [3, 3, 3, 3]
+
+    def test_halted_pes_do_not_block_barrier(self):
+        # PE 0 halts immediately; the rest pass a barrier without it.
+        src = """
+            This
+            Jz out
+            Wait
+            Push 0
+            Push 1
+            St
+        out:
+            Halt
+        """
+        interp, stats = run(src)
+        assert stats.barriers_released == 1
+        assert list(interp.peek_global(0)) == [0, 1, 1, 1]
+
+
+class TestValidation:
+    def test_empty_program_rejected(self):
+        from repro.isa import Program
+        with pytest.raises(ValueError):
+            MIMDInterpreter(Program(()), 2)
+
+    def test_poke_bounds(self):
+        interp, _ = run("Halt\n")
+        with pytest.raises(IndexError):
+            interp.poke_global(10_000, 1)
+        with pytest.raises(IndexError):
+            interp.peek_global(-1)

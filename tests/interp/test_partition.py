@@ -1,0 +1,119 @@
+"""Tests for the subinterpreter-partition optimizer."""
+
+from collections import Counter
+
+import pytest
+
+from repro.interp import (
+    InterpreterConfig,
+    MIMDInterpreter,
+    SubinterpreterFamily,
+    collect_profile,
+    default_groups,
+    expected_decode_cost,
+    optimize_partition,
+)
+from repro.isa import ALL_OPCODES
+from repro.lang import compile_mimdc
+from repro.workloads.programs import kernel_source
+
+
+def profile_of(kernel: str, iters: int = 10, pes: int = 32) -> Counter:
+    unit = compile_mimdc(kernel_source(kernel, iters))
+    interp = MIMDInterpreter(unit.program, pes,
+                             config=InterpreterConfig(record_present=True),
+                             layout=unit.layout)
+    interp.run()
+    return collect_profile(interp.present_log)
+
+
+class TestProfileCollection:
+    def test_recording_off_by_default(self):
+        unit = compile_mimdc(kernel_source("axpy", 3))
+        interp = MIMDInterpreter(unit.program, 4, layout=unit.layout)
+        interp.run()
+        assert interp.present_log == []
+
+    def test_recording_captures_every_cycle(self):
+        unit = compile_mimdc(kernel_source("axpy", 3))
+        interp = MIMDInterpreter(unit.program, 4,
+                                 config=InterpreterConfig(record_present=True),
+                                 layout=unit.layout)
+        stats = interp.run()
+        # Barrier-release cycles execute no instructions and are not logged.
+        assert len(interp.present_log) == stats.cycle_count - stats.barriers_released
+
+    def test_collect_profile_weights(self):
+        profile = collect_profile([("Add",), ("Add",), ("Mul", "Add")])
+        assert profile[frozenset({"Add"})] == 2
+        assert profile[frozenset({"Mul", "Add"})] == 1
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ValueError, match="empty profile"):
+            collect_profile([])
+
+
+class TestExpectedCost:
+    def test_single_group_costs_whole_isa(self):
+        groups = {op: 0 for op in ALL_OPCODES}
+        profile = Counter({frozenset({"Add"}): 1})
+        cost = expected_decode_cost(groups, profile, decode_base=0.0,
+                                    decode_per_op=1.0, global_or=0.0)
+        assert cost == len(ALL_OPCODES)
+
+    def test_isolating_the_hot_opcode_helps(self):
+        profile = Counter({frozenset({"Add"}): 99, frozenset({"Mul"}): 1})
+        lumped = {op: 0 for op in ALL_OPCODES}
+        isolated = dict(lumped)
+        isolated["Add"] = 1
+        assert expected_decode_cost(isolated, profile) < \
+            expected_decode_cost(lumped, profile)
+
+    def test_weighted_mean(self):
+        groups = {"Add": 0, "Mul": 1}
+        profile = Counter({frozenset({"Add"}): 3, frozenset({"Add", "Mul"}): 1})
+        cost = expected_decode_cost(groups, profile, decode_base=0.0,
+                                    decode_per_op=1.0, global_or=0.0)
+        assert cost == pytest.approx((3 * 1 + 1 * 2) / 4)
+
+
+class TestOptimizer:
+    def test_beats_default_on_a_narrow_kernel(self):
+        profile = profile_of("axpy")
+        default_cost = expected_decode_cost(default_groups(), profile)
+        fam, opt_cost = optimize_partition(profile, restarts=2)
+        assert opt_cost <= default_cost
+        assert isinstance(fam, SubinterpreterFamily)
+        assert set(fam.groups) == set(ALL_OPCODES)
+
+    def test_deterministic_given_seed(self):
+        profile = profile_of("divergent", iters=5)
+        f1, c1 = optimize_partition(profile, seed=7, restarts=2)
+        f2, c2 = optimize_partition(profile, seed=7, restarts=2)
+        assert c1 == c2 and f1.groups == f2.groups
+
+    def test_optimized_family_runs_and_saves_decode(self):
+        unit = compile_mimdc(kernel_source("divergent", 10))
+        interp = MIMDInterpreter(unit.program, 32,
+                                 config=InterpreterConfig(record_present=True),
+                                 layout=unit.layout)
+        interp.run()
+        fam, _ = optimize_partition(collect_profile(interp.present_log),
+                                    restarts=2)
+        opt = MIMDInterpreter(unit.program, 32, layout=unit.layout,
+                              subinterpreters=fam)
+        opt_stats = opt.run()
+        ref = MIMDInterpreter(unit.program, 32, layout=unit.layout)
+        ref_stats = ref.run()
+        assert opt_stats.breakdown["decode"] < ref_stats.breakdown["decode"]
+        # Semantics unchanged.
+        import numpy as np
+        assert np.array_equal(opt.peek_global(unit.address_of("result")),
+                              ref.peek_global(unit.address_of("result")))
+
+    def test_validation(self):
+        profile = Counter({frozenset({"Add"}): 1})
+        with pytest.raises(ValueError, match="num_groups"):
+            optimize_partition(profile, num_groups=0)
+        with pytest.raises(ValueError, match="num_groups"):
+            optimize_partition(profile, num_groups=9)

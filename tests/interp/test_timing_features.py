@@ -1,0 +1,203 @@
+"""Tests for interpreter timing: factoring, subinterpreters, biasing."""
+
+import pytest
+
+from repro.interp import (
+    FrequencyBias,
+    InterpreterConfig,
+    SubinterpreterFamily,
+    default_groups,
+    run_program,
+)
+from repro.interp.biasing import DEFAULT_EXPENSIVE
+from repro.isa import ALL_OPCODES, assemble
+from repro.isa.opcodes import OPCODE_INFO
+
+# Highly divergent program: each PE takes a different path through
+# different instruction mixes, so many instruction types coexist per cycle.
+DIVERGENT = """
+    This
+    Push 4
+    Mod
+    Dup
+    Jz p0
+    Push 1
+    Sub
+    Dup
+    Jz p1
+    Push 1
+    Sub
+    Jz p2
+    Push 0
+    This
+    Push 17
+    Mul
+    St
+    Jmp out
+p0:
+    Pop
+    Push 0
+    This
+    Push 3
+    Add
+    St
+    Jmp out
+p1:
+    Pop
+    Push 0
+    This
+    Push 5
+    Shl
+    St
+    Jmp out
+p2:
+    Push 0
+    This
+    Push 3
+    Div
+    St
+out:
+    Wait
+    Halt
+"""
+
+
+def run_with(config, num_pes=8):
+    return run_program(assemble(DIVERGENT), num_pes, config=config)
+
+
+class TestFactoring:
+    def test_factored_never_slower(self):
+        _, fac = run_with(InterpreterConfig(factored=True, subinterpreters=False))
+        _, unfac = run_with(InterpreterConfig(factored=False, subinterpreters=False))
+        assert fac.cycles < unfac.cycles
+
+    def test_semantics_identical(self):
+        i1, _ = run_with(InterpreterConfig(factored=True))
+        i2, _ = run_with(InterpreterConfig(factored=False))
+        assert list(i1.peek_global(0)) == list(i2.peek_global(0))
+
+    def test_factored_fetch_charged_once_per_cycle(self):
+        from repro.isa.opcodes import SHARED_COSTS
+        _, stats = run_with(InterpreterConfig(factored=True, subinterpreters=False))
+        assert stats.breakdown["fetch"] == pytest.approx(
+            stats.cycle_count * SHARED_COSTS["fetch"])
+
+    def test_unfactored_fetch_charged_per_type(self):
+        from repro.isa.opcodes import SHARED_COSTS
+        _, stats = run_with(InterpreterConfig(factored=False, subinterpreters=False))
+        assert stats.breakdown["fetch"] > stats.cycle_count * SHARED_COSTS["fetch"]
+
+
+class TestSubinterpreters:
+    def test_subinterpreters_cut_decode_cost(self):
+        _, with_sub = run_with(InterpreterConfig(subinterpreters=True))
+        _, without = run_with(InterpreterConfig(subinterpreters=False))
+        assert with_sub.breakdown["decode"] < without.breakdown["decode"]
+        assert with_sub.cycles < without.cycles
+
+    def test_family_covers_isa(self):
+        fam = SubinterpreterFamily(default_groups())
+        assert set(fam.groups) == set(ALL_OPCODES)
+        assert fam.num_subinterpreters == 32
+
+    def test_select_minimal_cover(self):
+        fam = SubinterpreterFamily(default_groups())
+        sid, understood = fam.select({"Add", "Sub"})
+        assert sid == 1 << fam.groups["Add"]
+        sizes = fam.group_sizes()
+        assert understood == sizes[fam.groups["Add"]]
+
+    def test_select_unions_groups(self):
+        fam = SubinterpreterFamily(default_groups())
+        _, only_alu = fam.select({"Add"})
+        _, alu_and_mul = fam.select({"Add", "Mul"})
+        assert alu_and_mul > only_alu
+
+    def test_full_set_selects_everything(self):
+        fam = SubinterpreterFamily(default_groups())
+        sid, understood = fam.select(set(ALL_OPCODES))
+        assert sid == fam.num_subinterpreters - 1
+        assert understood == len(ALL_OPCODES)
+
+    def test_empty_partition_rejected(self):
+        with pytest.raises(ValueError):
+            SubinterpreterFamily({})
+
+    def test_group_id_range_checked(self):
+        with pytest.raises(ValueError):
+            SubinterpreterFamily({"Add": 9})
+
+
+class TestFrequencyBias:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrequencyBias(period=0)
+        with pytest.raises(ValueError):
+            FrequencyBias(period=2, offset=2)
+
+    def test_cheap_ops_always_serviced(self):
+        bias = FrequencyBias(period=4)
+        assert all(bias.serviced("Add", c) for c in range(8))
+
+    def test_expensive_ops_gated(self):
+        bias = FrequencyBias(period=4)
+        serviced = [bias.serviced("Mul", c) for c in range(8)]
+        assert serviced == [True, False, False, False, True, False, False, False]
+
+    def test_filter_never_empty(self):
+        bias = FrequencyBias(period=4)
+        assert bias.filter(["Mul", "Div"], cycle=1) == ["Mul", "Div"]
+
+    def test_filter_drops_deferred(self):
+        bias = FrequencyBias(period=4)
+        assert bias.filter(["Mul", "Add"], cycle=1) == ["Add"]
+
+    def test_default_expensive_are_truly_expensive(self):
+        cheap_max = max(OPCODE_INFO[op].private_cost
+                        for op in ALL_OPCODES if op not in DEFAULT_EXPENSIVE
+                        and op not in ("Wait",))
+        for op in DEFAULT_EXPENSIVE:
+            assert OPCODE_INFO[op].private_cost >= cheap_max
+
+    def test_bias_preserves_semantics(self):
+        base, _ = run_with(InterpreterConfig(bias=None))
+        biased, stats = run_with(InterpreterConfig(bias=FrequencyBias(period=3)))
+        assert list(base.peek_global(0)) == list(biased.peek_global(0))
+
+    def test_bias_aligns_expensive_ops(self):
+        # PEs reach their Mul one cycle apart (staggered by a This/Jz prefix
+        # of different length); biasing groups them into one issue.
+        src = """
+            This
+            Jz go
+            Nop
+        go:
+            Push 0
+            This
+            Push 7
+            Mul
+            St
+            Halt
+        """
+        prog = assemble(src)
+        _, plain = run_program(prog, 8, config=InterpreterConfig(bias=None))
+        _, biased = run_program(
+            prog, 8, config=InterpreterConfig(bias=FrequencyBias(period=4)))
+        mul_issues = lambda s: s.slots_issued
+        # Biased run must not issue more slots, and semantics hold above.
+        assert biased.slots_issued <= plain.slots_issued
+
+
+class TestStatsAccounting:
+    def test_breakdown_sums_to_total(self):
+        _, stats = run_with(InterpreterConfig())
+        assert sum(stats.breakdown.values()) == pytest.approx(stats.cycles)
+
+    def test_cpi_positive(self):
+        _, stats = run_with(InterpreterConfig())
+        assert 0 < stats.cycles_per_instruction < 1000
+
+    def test_utilization_bounds(self):
+        _, stats = run_with(InterpreterConfig())
+        assert 0 < stats.pe_utilization(8) <= 1.0

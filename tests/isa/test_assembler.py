@@ -1,0 +1,137 @@
+"""Tests for the assembler, disassembler, Program and object encoding."""
+
+import pytest
+
+from repro.isa import (
+    AssemblerError,
+    Instruction,
+    Program,
+    assemble,
+    decode_object,
+    disassemble,
+    encode_object,
+)
+from repro.isa.encoding import ObjectFormatError
+
+GOOD = """
+; a tiny loop
+.const 1000000
+start:
+    PushC 0
+loop:
+    Push 1
+    Sub
+    Dup
+    Jz done
+    Jmp loop
+done:
+    Pop
+    Halt
+"""
+
+
+class TestAssemble:
+    def test_basic_program(self):
+        prog = assemble(GOOD)
+        assert prog.constants == (1000000,)
+        assert prog.symbols["start"] == 0
+        assert prog.instructions[0] == Instruction("PushC", 0)
+        assert prog.instructions[-1] == Instruction("Halt")
+
+    def test_label_resolution(self):
+        prog = assemble(GOOD)
+        jz = next(i for i in prog.instructions if i.opcode == "Jz")
+        assert prog.instructions[jz.operand] == Instruction("Pop")
+
+    def test_numeric_branch_target(self):
+        prog = assemble("Jmp 1\nHalt\n")
+        assert prog.instructions[0].operand == 1
+
+    def test_hex_immediates(self):
+        prog = assemble("Push 0x10\nHalt\n")
+        assert prog.instructions[0].operand == 16
+
+    def test_label_and_instruction_on_one_line(self):
+        prog = assemble("go: Halt\n")
+        assert prog.symbols["go"] == 0
+
+    @pytest.mark.parametrize("text, match", [
+        ("Frob\n", "unknown opcode"),
+        ("Push\n", "needs exactly one operand"),
+        ("Halt 3\n", "takes no operand"),
+        ("Jmp nowhere\nHalt\n", "neither a number nor a known label"),
+        ("x:\nx: Halt\n", "duplicate label"),
+        (".const\n", ".const takes one value"),
+        (".const zebra\n", "bad constant"),
+        ("1bad: Halt\n", None),  # label starting with digit but not number
+    ])
+    def test_malformed(self, text, match):
+        with pytest.raises(AssemblerError, match=match):
+            assemble(text)
+
+    def test_branch_out_of_range_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("Jmp 99\nHalt\n")
+
+    def test_pushc_without_pool_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("PushC 0\nHalt\n")
+
+    def test_comments_ignored(self):
+        prog = assemble("; nothing\nHalt ; stop\n")
+        assert len(prog) == 1
+
+
+class TestDisassemble:
+    def test_roundtrip(self):
+        prog = assemble(GOOD)
+        again = assemble(disassemble(prog))
+        assert again.instructions == prog.instructions
+        assert again.constants == prog.constants
+
+    def test_labels_preserved_for_branches(self):
+        text = disassemble(assemble(GOOD))
+        assert "Jz done" in text and "Jmp loop" in text
+
+
+class TestProgram:
+    def test_opcode_histogram(self):
+        prog = assemble("Push 1\nPush 2\nAdd\nHalt\n")
+        assert prog.opcode_histogram() == {"Push": 2, "Add": 1, "Halt": 1}
+
+    def test_render_contains_addresses(self):
+        assert "0" in assemble("Halt\n").render()
+
+    def test_validation_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            Program((Instruction("Jmp", 5),))
+
+
+class TestObjectEncoding:
+    def test_roundtrip(self):
+        prog = assemble(GOOD)
+        again = decode_object(encode_object(prog))
+        assert again.instructions == prog.instructions
+        assert again.constants == prog.constants
+
+    def test_checksum_detects_corruption(self):
+        blob = bytearray(encode_object(assemble("Halt\n")))
+        blob[10] ^= 0xFF
+        with pytest.raises(ObjectFormatError):
+            decode_object(bytes(blob))
+
+    def test_truncation_detected(self):
+        blob = encode_object(assemble("Halt\n"))
+        with pytest.raises(ObjectFormatError):
+            decode_object(blob[:6])
+
+    def test_bad_magic(self):
+        blob = bytearray(encode_object(assemble("Halt\n")))
+        blob[0] = ord("X")
+        with pytest.raises(ObjectFormatError):
+            decode_object(bytes(blob))
+
+    def test_negative_operands_survive(self):
+        prog = Program((Instruction("Push", -123456), Instruction("Halt")))
+        again = decode_object(encode_object(prog))
+        assert again.instructions[0].operand == -123456

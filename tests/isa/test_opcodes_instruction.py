@@ -1,0 +1,77 @@
+"""Tests for the opcode table and Instruction validation."""
+
+import pytest
+
+from repro.isa import ALL_OPCODES, BINARY_ALU, Instruction, OPCODE_INFO, opcode_number
+from repro.isa.opcodes import CONTROL, MEMORY, SHARED_COSTS, UNARY_ALU
+
+
+class TestOpcodeTable:
+    def test_numbers_unique_and_dense(self):
+        numbers = [info.number for info in OPCODE_INFO.values()]
+        assert sorted(numbers) == list(range(len(OPCODE_INFO)))
+
+    def test_numbers_fit_encoding(self):
+        assert max(info.number for info in OPCODE_INFO.values()) < 64
+
+    def test_groups_are_disjoint_known_opcodes(self):
+        for group in (BINARY_ALU, UNARY_ALU, MEMORY, CONTROL):
+            assert group <= set(ALL_OPCODES)
+        assert not (BINARY_ALU & UNARY_ALU)
+        assert not (MEMORY & CONTROL)
+
+    def test_all_binary_alu_pop_two_push_one(self):
+        for name in BINARY_ALU:
+            info = OPCODE_INFO[name]
+            assert (info.pops, info.pushes) == (2, 1)
+
+    def test_every_opcode_fetches(self):
+        for info in OPCODE_INFO.values():
+            assert "fetch" in info.shared
+
+    def test_shared_components_exist(self):
+        for info in OPCODE_INFO.values():
+            for comp in info.shared:
+                assert comp in SHARED_COSTS
+
+    def test_costs_positive(self):
+        assert all(info.private_cost > 0 for info in OPCODE_INFO.values())
+        assert all(v > 0 for v in SHARED_COSTS.values())
+
+    def test_relative_costs_sensible(self):
+        assert OPCODE_INFO["Mul"].private_cost > OPCODE_INFO["Add"].private_cost
+        assert OPCODE_INFO["Div"].private_cost > OPCODE_INFO["Mul"].private_cost
+        assert OPCODE_INFO["LdD"].private_cost > OPCODE_INFO["Ld"].private_cost
+
+    def test_opcode_number_roundtrip(self):
+        for name in ALL_OPCODES:
+            assert OPCODE_INFO[name].number == opcode_number(name)
+
+    def test_unknown_opcode_number_raises(self):
+        with pytest.raises(KeyError):
+            opcode_number("Bogus")
+
+
+class TestInstruction:
+    def test_operand_required(self):
+        with pytest.raises(ValueError, match="requires an operand"):
+            Instruction("Push")
+
+    def test_operand_forbidden(self):
+        with pytest.raises(ValueError, match="takes no operand"):
+            Instruction("Add", 3)
+
+    def test_unknown_opcode(self):
+        with pytest.raises(ValueError, match="unknown opcode"):
+            Instruction("Frob")
+
+    def test_non_int_operand(self):
+        with pytest.raises(ValueError):
+            Instruction("Push", 1.5)
+
+    def test_render(self):
+        assert Instruction("Push", 5).render() == "Push 5"
+        assert Instruction("Halt").render() == "Halt"
+
+    def test_info_accessor(self):
+        assert Instruction("Jmp", 0).info.is_branch

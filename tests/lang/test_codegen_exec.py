@@ -1,0 +1,368 @@
+"""End-to-end tests: compile MIMDC, run on the interpreter, check results."""
+
+import numpy as np
+import pytest
+
+from repro.interp import run_program
+from repro.lang import CompileError, compile_mimdc
+
+
+def run(src, num_pes=4, globals_init=None, unit=None):
+    unit = unit or compile_mimdc(src)
+    init = {}
+    for name, val in (globals_init or {}).items():
+        init[unit.address_of(name)] = val
+    interp, stats = run_program(unit.program, num_pes, layout=unit.layout,
+                                globals_init=init)
+
+    def read(name):
+        return list(interp.peek_global(unit.address_of(name)))
+
+    return read, stats, unit
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        read, _, _ = run("int r; int main() { r = (2+3)*4 - 18/3; return 0; }")
+        assert read("r") == [14] * 4
+
+    def test_this(self):
+        read, _, _ = run("int r; int main() { r = this * 2; return 0; }")
+        assert read("r") == [0, 2, 4, 6]
+
+    def test_wide_constants_via_pool(self):
+        unit = compile_mimdc("int r; int main() { r = 1000000; return 0; }")
+        assert any(i.opcode == "PushC" for i in unit.program.instructions)
+        read, _, _ = run("", unit=unit)
+        assert read("r") == [1000000] * 4
+
+    def test_small_constants_inline(self):
+        unit = compile_mimdc("int r; int main() { r = 100; return 0; }")
+        opcodes = {i.opcode for i in unit.program.instructions}
+        assert "PushC" not in opcodes
+
+    def test_logical_ops_strict(self):
+        read, _, _ = run("int r; int main() { r = (this > 0) && (this < 3); return 0; }")
+        assert read("r") == [0, 1, 1, 0]
+
+    def test_unary(self):
+        read, _, _ = run("int a, b; int main() { a = -this; b = !this; return 0; }")
+        assert read("a") == [0, -1, -2, -3]
+        assert read("b") == [1, 0, 0, 0]
+
+    def test_shifts(self):
+        read, _, _ = run("int r; int main() { r = (1 << this) >> 1; return 0; }")
+        assert read("r") == [0, 1, 2, 4]
+
+    def test_mod_c_semantics(self):
+        read, _, _ = run("int r; int main() { r = (0 - 7) % 3; return 0; }")
+        assert read("r") == [-1] * 4
+
+
+class TestFloat:
+    def test_float_arithmetic(self):
+        read, _, _ = run("int r; float f; int main() { f = 2.5 * 4.0; r = f; return 0; }")
+        assert read("r") == [10] * 4
+
+    def test_coercion_int_to_float(self):
+        read, _, _ = run("int r; float f; int main() { f = this; f = f / 2.0; "
+                         "r = f * 10.0; return 0; }")
+        assert read("r") == [0, 5, 10, 15]
+
+    def test_float_compares(self):
+        src = """
+        int lt, gt, ge, ne;
+        int main() {
+            float x;
+            x = this;
+            lt = x < 1.5;
+            gt = x > 1.5;
+            ge = x >= 1.0;
+            ne = x != 2.0;
+            return 0;
+        }
+        """
+        read, _, _ = run(src)
+        assert read("lt") == [1, 1, 0, 0]
+        assert read("gt") == [0, 0, 1, 1]
+        assert read("ge") == [0, 1, 1, 1]
+        assert read("ne") == [1, 1, 0, 1]
+
+    def test_float_neg(self):
+        read, _, _ = run("int r; float f; int main() { f = 2.5; r = (-f) * 2.0; return 0; }")
+        assert read("r") == [-5] * 4
+
+
+class TestControlFlow:
+    def test_if_else_divergent(self):
+        src = """
+        int r;
+        int main() {
+            if (this % 2 == 0) r = 100 + this;
+            else r = 200 + this;
+            return 0;
+        }
+        """
+        read, _, _ = run(src)
+        assert read("r") == [100, 201, 102, 203]
+
+    def test_while_loop(self):
+        src = """
+        int r;
+        int main() {
+            int i;
+            i = 0;
+            r = 0;
+            while (i < 10) { r = r + i; i = i + 1; }
+            return 0;
+        }
+        """
+        read, _, _ = run(src)
+        assert read("r") == [45] * 4
+
+    def test_per_pe_loop_counts(self):
+        src = """
+        int r;
+        int main() {
+            int i;
+            i = 0; r = 0;
+            while (i < this + 1) { r = r + 2; i = i + 1; }
+            return 0;
+        }
+        """
+        read, _, _ = run(src)
+        assert read("r") == [2, 4, 6, 8]
+
+    def test_nested_loops(self):
+        src = """
+        int r;
+        int main() {
+            int i, j;
+            r = 0; i = 0;
+            while (i < 3) {
+                j = 0;
+                while (j < 4) { r = r + 1; j = j + 1; }
+                i = i + 1;
+            }
+            return 0;
+        }
+        """
+        read, _, _ = run(src)
+        assert read("r") == [12] * 4
+
+
+class TestFunctions:
+    def test_call_with_args(self):
+        src = """
+        int r;
+        int add3(int a, int b, int c) { return a + b + c; }
+        int main() { r = add3(this, 10, 100); return 0; }
+        """
+        read, _, _ = run(src)
+        assert read("r") == [110, 111, 112, 113]
+
+    def test_nested_calls(self):
+        src = """
+        int r;
+        int dbl(int x) { return x * 2; }
+        int main() { r = dbl(dbl(dbl(1))); return 0; }
+        """
+        read, _, _ = run(src)
+        assert read("r") == [8] * 4
+
+    def test_call_in_expression(self):
+        src = """
+        int r;
+        int five() { return 5; }
+        int main() { r = 1 + five() * 2; return 0; }
+        """
+        read, _, _ = run(src)
+        assert read("r") == [11] * 4
+
+    def test_call_statement_discards(self):
+        src = """
+        int g;
+        int bump() { g = g + 1; return g; }
+        int main() { bump(); bump(); return 0; }
+        """
+        read, _, _ = run(src)
+        assert read("g") == [2] * 4
+
+    def test_implicit_return_zero(self):
+        src = """
+        int r;
+        int nothing() { ; }
+        int main() { r = nothing() + 7; return 0; }
+        """
+        read, _, _ = run(src)
+        assert read("r") == [7] * 4
+
+    def test_early_return(self):
+        src = """
+        int r;
+        int pick(int x) { if (x > 1) return 99; return 11; }
+        int main() { r = pick(this); return 0; }
+        """
+        read, _, _ = run(src)
+        assert read("r") == [11, 11, 99, 99]
+
+
+class TestArrays:
+    def test_array_store_load(self):
+        src = """
+        int a[8]; int r;
+        int main() {
+            int i;
+            i = 0;
+            while (i < 8) { a[i] = i * i; i = i + 1; }
+            r = a[3] + a[7];
+            return 0;
+        }
+        """
+        read, _, _ = run(src)
+        assert read("r") == [58] * 4
+
+    def test_local_array(self):
+        src = """
+        int r;
+        int main() {
+            int t[4];
+            t[0] = 5; t[1] = 6;
+            r = t[0] * t[1];
+            return 0;
+        }
+        """
+        read, _, _ = run(src)
+        assert read("r") == [30] * 4
+
+
+class TestPolyMonoComms:
+    def test_mono_broadcast(self):
+        src = """
+        mono int m; int r;
+        int main() {
+            if (this == 2) m = 77;
+            wait;
+            r = m;
+            return 0;
+        }
+        """
+        read, _, _ = run(src)
+        assert read("r") == [77] * 4
+
+    def test_mono_race_picks_winner(self):
+        src = """
+        mono int m; int r;
+        int main() { m = this; wait; r = m; return 0; }
+        """
+        read, _, _ = run(src)
+        vals = read("r")
+        assert len(set(vals)) == 1 and vals[0] in (0, 1, 2, 3)
+
+    def test_parallel_subscript_read(self):
+        src = """
+        poly int v; int r;
+        int main() {
+            v = this * 10;
+            wait;
+            r = v[||(this + 1) % 4];
+            return 0;
+        }
+        """
+        read, _, _ = run(src)
+        assert read("r") == [10, 20, 30, 0]
+
+    def test_parallel_subscript_write(self):
+        # Figure 2 of the supplied text: process 0 stores 5 into process 1's a.
+        src = """
+        poly int a;
+        int main() {
+            a = 0 - 1;
+            wait;
+            if (this == 0) a[||1] = 5;
+            wait;
+            return 0;
+        }
+        """
+        read, _, _ = run(src)
+        assert read("a") == [-1, 5, -1, -1]
+
+    def test_parallel_subscript_array_element(self):
+        src = """
+        poly int buf[4]; int r;
+        int main() {
+            buf[2] = this + 100;
+            wait;
+            r = buf[2][||0];
+            return 0;
+        }
+        """
+        read, _, _ = run(src)
+        assert read("r") == [100] * 4
+
+    def test_barrier_orders_phases(self):
+        src = """
+        poly int v; int r;
+        int main() {
+            v = this;
+            wait;
+            r = v[||(this + 1) % 4] + v[||(this + 3) % 4];
+            return 0;
+        }
+        """
+        read, _, _ = run(src)
+        assert read("r") == [1 + 3, 2 + 0, 3 + 1, 0 + 2]
+
+    def test_halt_statement(self):
+        src = """
+        int r;
+        int main() {
+            r = 1;
+            if (this == 0) halt;
+            r = 2;
+            return 0;
+        }
+        """
+        read, _, _ = run(src)
+        assert read("r") == [1, 2, 2, 2]
+
+
+class TestCompilerDriver:
+    def test_missing_main_rejected(self):
+        with pytest.raises(CompileError, match="no main"):
+            compile_mimdc("int f() { return 0; }")
+
+    def test_main_with_params_rejected(self):
+        with pytest.raises(CompileError, match="no parameters"):
+            compile_mimdc("int main(int x) { return x; }")
+
+    def test_layout_covers_globals(self):
+        unit = compile_mimdc("int a[100]; int b; int main() { return 0; }")
+        assert unit.layout.globals_words >= 101
+
+    def test_optimize_flag_changes_code(self):
+        src = "int r; int main() { r = 2 * 3 + 0; return 0; }"
+        opt = compile_mimdc(src, optimize=True)
+        raw = compile_mimdc(src, optimize=False)
+        assert len(opt.program) < len(raw.program)
+        for unit in (opt, raw):
+            read, _, _ = run("", unit=unit)
+            assert read("r") == [6] * 4
+
+    def test_counts_loop_weighting(self):
+        unit = compile_mimdc(
+            "int r; int main() { int i; i = 0; while (i < 3) i = i + 1; return 0; }")
+        # loop-body ops weighted x100
+        assert unit.counts["Jmp"] == pytest.approx(100.0)
+        assert unit.counts["Jz"] == pytest.approx(101.0)
+
+    def test_counts_branch_weighting(self):
+        unit = compile_mimdc(
+            "int r; int main() { if (this) r = 1; else r = 2; return 0; }")
+        assert unit.counts["St"] == pytest.approx(0.51 + 0.49)
+
+    def test_globals_init_roundtrip(self):
+        read, _, _ = run(
+            "int seed; int r; int main() { r = seed * 2; return 0; }",
+            globals_init={"seed": np.array([1, 2, 3, 4])})
+        assert read("r") == [2, 4, 6, 8]

@@ -1,0 +1,57 @@
+"""Tests for the expected-counts API (repro.lang.counts)."""
+
+import pytest
+
+from repro.lang import compile_mimdc, expected_counts
+from repro.lang.counts import estimate_time
+
+SRC = """
+int r;
+int main() {
+    int i;
+    i = 0;
+    while (i < 5) { r = r + i; i = i + 1; }
+    wait;
+    return r;
+}
+"""
+
+
+class TestExpectedCounts:
+    def test_from_source(self):
+        counts = expected_counts(SRC)
+        assert counts["Wait"] == 1.0
+        assert counts["Jmp"] == pytest.approx(100.0)
+
+    def test_from_unit(self):
+        unit = compile_mimdc(SRC)
+        assert expected_counts(unit) == unit.counts
+
+    def test_returns_copy(self):
+        unit = compile_mimdc(SRC)
+        counts = expected_counts(unit)
+        counts["Add"] = -1
+        assert unit.counts["Add"] != -1
+
+
+class TestEstimateTime:
+    TIMES = {"Add": 1e-6, "Ld": 2e-6, "Wait": 1e-4}
+
+    def test_weighted_sum(self):
+        counts = {"Add": 100.0, "Wait": 2.0}
+        assert estimate_time(counts, self.TIMES) == pytest.approx(
+            100e-6 + 2e-4)
+
+    def test_missing_op_infinite_by_default(self):
+        assert estimate_time({"StD": 1.0}, self.TIMES) == float("inf")
+
+    def test_missing_op_custom_penalty(self):
+        assert estimate_time({"StD": 1.0}, self.TIMES,
+                             unsupported_time=99.0) == 99.0
+
+    def test_zero_counts_skip_missing_ops(self):
+        assert estimate_time({"StD": 0.0, "Add": 1.0}, self.TIMES) == \
+            pytest.approx(1e-6)
+
+    def test_empty_counts(self):
+        assert estimate_time({}, self.TIMES) == 0.0

@@ -1,0 +1,148 @@
+"""Property-based tests for MIMDC floating point.
+
+Random float expression trees are compiled+interpreted and compared with a
+direct numpy float64 evaluation.  The machine stores float64 bit patterns
+in its 64-bit words, so results must agree bit-for-bit (NaN handling is the
+machine's documented divide-by-zero convention: x/0.0 == 0.0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.interp import run_program
+from repro.lang import compile_mimdc
+
+NUM_PES = 4
+
+# expr spec: ("lit", v) | ("this",) | ("bin", op, a, b) | ("neg", a)
+_FOPS = ["+", "-", "*", "/"]
+_CMP = ["<", "<=", ">", ">=", "==", "!="]
+
+
+@st.composite
+def fexprs(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        kind = draw(st.sampled_from(["lit", "lit", "this"]))
+        if kind == "lit":
+            # exact dyadic rationals keep == comparisons meaningful
+            mantissa = draw(st.integers(-64, 64))
+            return ("lit", mantissa / 4.0)
+        return ("this",)
+    if draw(st.integers(0, 4)) == 0:
+        return ("neg", draw(fexprs(depth=depth + 1)))
+    op = draw(st.sampled_from(_FOPS))
+    return ("bin", op, draw(fexprs(depth=depth + 1)),
+            draw(fexprs(depth=depth + 1)))
+
+
+def render(e) -> str:
+    kind = e[0]
+    if kind == "lit":
+        v = e[1]
+        return f"(0.0 - {-v!r})" if v < 0 else repr(v)
+    if kind == "this":
+        return "fthis"
+    if kind == "neg":
+        return f"(-{render(e[1])})"
+    _, op, a, b = e
+    return f"({render(a)} {op} {render(b)})"
+
+
+def evaluate(e) -> np.ndarray:
+    kind = e[0]
+    if kind == "lit":
+        return np.full(NUM_PES, np.float64(e[1]))
+    if kind == "this":
+        return np.arange(NUM_PES, dtype=np.float64)
+    if kind == "neg":
+        return -evaluate(e[1])
+    _, op, a, b = e
+    x, y = evaluate(a), evaluate(b)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        if op == "+":
+            return x + y
+        if op == "-":
+            return x - y
+        if op == "*":
+            return x * y
+        # machine convention: /0.0 -> 0.0
+        return np.divide(x, y, out=np.zeros_like(x), where=y != 0)
+
+
+COMMON = settings(max_examples=30, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+def run_float_program(expr_text: str) -> np.ndarray:
+    """Compile a program computing the expr; return float bits out via FtoI
+    of (expr * 1024) so fractional parts survive the int gateway."""
+    src = f"""
+    int result;
+    float fthis;
+    int main() {{
+        fthis = this;
+        result = ({expr_text}) * 1024.0;
+        return result;
+    }}
+    """
+    unit = compile_mimdc(src)
+    interp, _ = run_program(unit.program, NUM_PES, layout=unit.layout)
+    return interp.peek_global(unit.address_of("result"))
+
+
+@given(fexprs())
+@COMMON
+def test_float_arithmetic_matches_numpy(spec):
+    got = run_float_program(render(spec))
+    expected_f = evaluate(spec) * 1024.0
+    expected_f = np.nan_to_num(expected_f, nan=0.0, posinf=0.0, neginf=0.0)
+    expected = np.trunc(expected_f).astype(np.int64)
+    assert np.array_equal(got, expected), render(spec)
+
+
+@given(fexprs(), st.sampled_from(_CMP))
+@COMMON
+def test_float_comparisons_match_numpy(spec, cmp_op):
+    lhs = render(spec)
+    src = f"""
+    int result;
+    float fthis;
+    int main() {{
+        fthis = this;
+        result = ({lhs}) {cmp_op} 1.5;
+        return result;
+    }}
+    """
+    unit = compile_mimdc(src)
+    interp, _ = run_program(unit.program, NUM_PES, layout=unit.layout)
+    got = interp.peek_global(unit.address_of("result"))
+    x = evaluate(spec)
+    ops = {"<": np.less, "<=": np.less_equal, ">": np.greater,
+           ">=": np.greater_equal, "==": np.equal, "!=": np.not_equal}
+    with np.errstate(invalid="ignore"):
+        expected = ops[cmp_op](x, 1.5).astype(np.int64)
+    assert np.array_equal(got, expected), f"{lhs} {cmp_op} 1.5"
+
+
+@given(fexprs())
+@COMMON
+def test_float_fold_preserves_semantics(spec):
+    text = render(spec)
+    src = f"""
+    int result;
+    float fthis;
+    int main() {{
+        fthis = this;
+        result = ({text}) * 1024.0;
+        return result;
+    }}
+    """
+    opt = compile_mimdc(src, optimize=True)
+    raw = compile_mimdc(src, optimize=False)
+    i1, _ = run_program(opt.program, NUM_PES, layout=opt.layout)
+    i2, _ = run_program(raw.program, NUM_PES, layout=raw.layout)
+    assert np.array_equal(i1.peek_global(opt.address_of("result")),
+                          i2.peek_global(raw.address_of("result"))), text

@@ -1,0 +1,112 @@
+"""Tests for constant folding and algebraic simplification."""
+
+import pytest
+
+from repro.lang import ast, parse
+from repro.lang.fold import fold_expr, fold_program
+from repro.lang.sema import analyze
+
+
+def folded_return(src):
+    tree = parse(src)
+    analyze(tree)
+    fold_program(tree)
+    return tree.functions[-1].body.stats[-1].value
+
+
+class TestConstantFolding:
+    @pytest.mark.parametrize("expr, expected", [
+        ("1 + 2 * 3", 7),
+        ("10 / 3", 3),
+        ("-10 / 3", -3),          # C truncation
+        ("-10 % 3", -1),
+        ("10 / 0", 0),            # the machine's defined result
+        ("1 << 4", 16),
+        ("7 == 7", 1),
+        ("3 < 2", 0),
+        ("1 && 0", 0),
+        ("0 || 5", 1),
+        ("!3", 0),
+        ("-(4)", -4),
+    ])
+    def test_int_folds(self, expr, expected):
+        out = folded_return(f"int main() {{ return {expr}; }}")
+        assert isinstance(out, ast.IntLit) and out.value == expected
+
+    def test_float_fold(self):
+        out = folded_return("float main() { return 1.5 * 2.0; }")
+        assert isinstance(out, ast.FloatLit) and out.value == 3.0
+
+    def test_cast_of_literal_folds(self):
+        out = folded_return("float main() { return 3; }")
+        assert isinstance(out, ast.FloatLit) and out.value == 3.0
+
+    def test_mixed_coercion_folds(self):
+        out = folded_return("float main() { return 1 + 0.5; }")
+        assert isinstance(out, ast.FloatLit) and out.value == 1.5
+
+
+class TestAlgebraicSimplification:
+    @pytest.mark.parametrize("expr", ["x + 0", "0 + x", "x - 0", "x * 1",
+                                      "1 * x", "x / 1", "x << 0", "x >> 0"])
+    def test_identity_removed(self, expr):
+        out = folded_return(f"int x; int main() {{ return {expr}; }}")
+        assert isinstance(out, ast.VarRef) and out.name == "x"
+
+    def test_mul_by_zero_pure(self):
+        out = folded_return("int x; int main() { return x * 0; }")
+        assert isinstance(out, ast.IntLit) and out.value == 0
+
+    def test_mul_by_zero_impure_kept(self):
+        # f() has side effects (could halt, touch monos): 0*f() must stay.
+        out = folded_return(
+            "int f() { return 1; } int main() { return f() * 0; }")
+        assert isinstance(out, ast.Binary)
+
+    def test_double_negation(self):
+        out = folded_return("int x; int main() { return -(-x); }")
+        assert isinstance(out, ast.VarRef)
+
+
+class TestStatementFolding:
+    def test_if_true_keeps_then(self):
+        tree = parse("int a; int main() { if (1) a = 1; else a = 2; return a; }")
+        analyze(tree)
+        fold_program(tree)
+        stat = tree.functions[0].body.stats[0]
+        assert isinstance(stat, ast.Assign) and stat.value.value == 1
+
+    def test_if_false_keeps_else(self):
+        tree = parse("int a; int main() { if (0) a = 1; else a = 2; return a; }")
+        analyze(tree)
+        fold_program(tree)
+        stat = tree.functions[0].body.stats[0]
+        assert isinstance(stat, ast.Assign) and stat.value.value == 2
+
+    def test_if_false_no_else_becomes_empty(self):
+        tree = parse("int a; int main() { if (0) a = 1; return a; }")
+        analyze(tree)
+        fold_program(tree)
+        stat = tree.functions[0].body.stats[0]
+        assert isinstance(stat, ast.Block) and not stat.stats
+
+    def test_while_false_removed(self):
+        tree = parse("int a; int main() { while (0) a = 1; return a; }")
+        analyze(tree)
+        fold_program(tree)
+        stat = tree.functions[0].body.stats[0]
+        assert isinstance(stat, ast.Block) and not stat.stats
+
+    def test_condition_folded_inside_while(self):
+        tree = parse("int a; int main() { while (a < 2 + 3) a = 1; return a; }")
+        analyze(tree)
+        fold_program(tree)
+        cond = tree.functions[0].body.stats[0].cond
+        assert isinstance(cond.right, ast.IntLit) and cond.right.value == 5
+
+    def test_nested_fold_through_blocks(self):
+        tree = parse("int a; int main() { { a = 2 * 3; } return a; }")
+        analyze(tree)
+        fold_program(tree)
+        inner = tree.functions[0].body.stats[0].stats[0]
+        assert inner.value.value == 6

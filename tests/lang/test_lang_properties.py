@@ -1,0 +1,298 @@
+"""Property-based tests for the whole MIMDC pipeline.
+
+Hypothesis generates random (terminating) MIMDC programs; each is executed
+three ways:
+
+1. compiled with optimizations and interpreted,
+2. compiled without optimizations and interpreted,
+3. evaluated by an independent reference interpreter written directly over
+   the AST semantics (numpy int64 per PE, C-truncating division).
+
+All three must agree on every global, for every PE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.interp import run_program
+from repro.lang import compile_mimdc
+
+NUM_PES = 4
+NUM_VARS = 3
+VARS = [f"g{i}" for i in range(NUM_VARS)]
+
+
+# --- program generator -------------------------------------------------------
+
+@st.composite
+def expressions(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        kind = draw(st.sampled_from(["lit", "var", "this"]))
+        if kind == "lit":
+            return str(draw(st.integers(-20, 20)))
+        if kind == "var":
+            return draw(st.sampled_from(VARS))
+        return "this"
+    op = draw(st.sampled_from(["+", "-", "*", "/", "%", "<", "==", "&&"]))
+    left = draw(expressions(depth=depth + 1))
+    right = draw(expressions(depth=depth + 1))
+    return f"({left} {op} {right})"
+
+
+@st.composite
+def statements(draw, depth=0):
+    kind = draw(st.sampled_from(
+        ["assign", "assign", "assign", "if", "while"] if depth < 2 else ["assign"]))
+    if kind == "assign":
+        var = draw(st.sampled_from(VARS))
+        expr = draw(expressions())
+        return f"{var} = {expr};"
+    if kind == "if":
+        cond = draw(expressions())
+        then = draw(statements(depth=depth + 1))
+        if draw(st.booleans()):
+            orelse = draw(statements(depth=depth + 1))
+            return f"if ({cond}) {{ {then} }} else {{ {orelse} }}"
+        return f"if ({cond}) {{ {then} }}"
+    # bounded while: a counter dedicated to this nesting depth (sharing
+    # one counter across nested loops would never terminate)
+    trips = draw(st.integers(1, 4))
+    body = draw(statements(depth=depth + 1))
+    c = f"i{depth}"
+    return (f"{c} = 0; while (({c} < {trips})) {{ {body} {c} = ({c} + 1); }}")
+
+
+@st.composite
+def programs(draw):
+    n_stats = draw(st.integers(1, 5))
+    body = "\n        ".join(draw(statements()) for _ in range(n_stats))
+    decls = "".join(f"int {v};\n" for v in VARS)
+    return f"""
+    {decls}
+    int main() {{
+        int i0; int i1; int i2;
+        {body}
+        return 0;
+    }}
+    """
+
+
+# --- reference interpreter over source semantics ------------------------------
+
+def _div_trunc(a, b):
+    safe = np.where(b == 0, 1, b)
+    q = np.abs(a) // np.abs(safe)
+    q = np.where((a < 0) != (safe < 0), -q, q)
+    return np.where(b == 0, 0, q)
+
+
+class _Reference:
+    """Executes the generated source shapes directly (not via repro.lang)."""
+
+    def __init__(self, num_pes):
+        self.vars = {v: np.zeros(num_pes, dtype=np.int64) for v in VARS}
+        for c in ("i0", "i1", "i2"):
+            self.vars[c] = np.zeros(num_pes, dtype=np.int64)
+        self.this = np.arange(num_pes, dtype=np.int64)
+
+    def eval(self, expr: str) -> np.ndarray:
+        return self._parse_expr(expr)
+
+    def _parse_expr(self, text: str) -> np.ndarray:
+        text = text.strip()
+        if text.startswith("("):
+            # strip the outermost parens, split on the top-level operator
+            depth = 0
+            inner = text[1:-1]
+            for i, ch in enumerate(inner):
+                if ch == "(":
+                    depth += 1
+                elif ch == ")":
+                    depth -= 1
+                elif depth == 0 and ch == " ":
+                    # operators are always space-delimited by the generator
+                    rest = inner[i + 1:]
+                    op, right_text = rest.split(" ", 1)
+                    left = self._parse_expr(inner[:i])
+                    right = self._parse_expr(right_text)
+                    return self._apply(op, left, right)
+            raise AssertionError(f"unparseable {text!r}")
+        if text == "this":
+            return self.this.copy()
+        if text in self.vars:
+            return self.vars[text].copy()
+        return np.full(len(self.this), int(text), dtype=np.int64)
+
+    def _apply(self, op, a, b):
+        with np.errstate(over="ignore"):
+            if op == "+":
+                return a + b
+            if op == "-":
+                return a - b
+            if op == "*":
+                return a * b
+            if op == "/":
+                return _div_trunc(a, b)
+            if op == "%":
+                return np.where(b == 0, 0,
+                                a - _div_trunc(a, b) * np.where(b == 0, 1, b))
+            if op == "<":
+                return (a < b).astype(np.int64)
+            if op == "==":
+                return (a == b).astype(np.int64)
+            if op == "&&":
+                return ((a != 0) & (b != 0)).astype(np.int64)
+        raise AssertionError(op)
+
+    def run_block(self, stats: list[str], mask: np.ndarray) -> None:
+        for stat in stats:
+            self.run_stat(stat, mask)
+
+    def run_stat(self, stat: str, mask: np.ndarray) -> None:
+        stat = stat.strip()
+        if stat.startswith("if"):
+            cond_text, rest = _split_cond(stat[2:].strip())
+            then_block, orelse_block = _split_if_bodies(rest)
+            cond = self.eval(cond_text) != 0
+            self._run_text(then_block, mask & cond)
+            if orelse_block is not None:
+                self._run_text(orelse_block, mask & ~cond)
+            return
+        if stat.startswith("while"):
+            cond_text, rest = _split_cond(stat[5:].strip())
+            body = rest.strip()
+            assert body.startswith("{") and body.endswith("}")
+            body = body[1:-1]
+            while True:
+                active = mask & (self.eval(cond_text) != 0)
+                if not active.any():
+                    break
+                self._run_text(body, active)
+            return
+        # assignment
+        var, expr = stat.rstrip(";").split("=", 1)
+        var = var.strip()
+        value = self.eval(expr)
+        self.vars[var] = np.where(mask, value, self.vars[var])
+
+    def _run_text(self, text: str, mask: np.ndarray) -> None:
+        for stat in _split_statements(text):
+            self.run_stat(stat, mask)
+
+
+def _split_cond(text: str) -> tuple[str, str]:
+    assert text.startswith("(")
+    depth = 0
+    for i, ch in enumerate(text):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                return text[1:i], text[i + 1:].strip()
+    raise AssertionError(f"unbalanced {text!r}")
+
+
+def _split_if_bodies(text: str) -> tuple[str, str | None]:
+    assert text.startswith("{")
+    depth = 0
+    for i, ch in enumerate(text):
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth == 0:
+                then = text[1:i]
+                rest = text[i + 1:].strip()
+                if rest.startswith("else"):
+                    orelse = rest[4:].strip()
+                    assert orelse.startswith("{") and orelse.endswith("}")
+                    return then, orelse[1:-1]
+                return then, None
+    raise AssertionError(f"unbalanced {text!r}")
+
+
+def _split_statements(text: str) -> list[str]:
+    out = []
+    depth = 0
+    current = []
+    for ch in text:
+        current.append(ch)
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth == 0 and "".join(current).lstrip().startswith(("if", "while", "else")):
+                out.append("".join(current))
+                current = []
+        elif ch == ";" and depth == 0:
+            out.append("".join(current))
+            current = []
+    leftover = "".join(current).strip()
+    if leftover:
+        out.append(leftover)
+    pieces = [s for s in (x.strip() for x in out) if s]
+    # Re-attach `else { ... }` to its if (the scan flushes at the then-brace).
+    merged: list[str] = []
+    for piece in pieces:
+        if piece.startswith("else"):
+            merged[-1] = merged[-1] + " " + piece
+        else:
+            merged.append(piece)
+    return merged
+
+
+def _reference_run(source: str) -> dict[str, np.ndarray]:
+    # extract main body between the braces of main()
+    body = source.split("int main() {", 1)[1]
+    body = body.rsplit("return 0;", 1)[0]
+    body = body.replace("int i0; int i1; int i2;", "")
+    ref = _Reference(NUM_PES)
+    ref._run_text(body, np.ones(NUM_PES, dtype=bool))
+    return ref.vars
+
+
+# --- the properties -----------------------------------------------------------
+
+# Each example compiles twice and interprets nested loops — keep counts
+# modest so the suite stays fast.
+COMMON = settings(max_examples=15, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+@given(programs())
+@COMMON
+def test_optimized_and_unoptimized_agree(source):
+    results = {}
+    for optimize in (True, False):
+        unit = compile_mimdc(source, optimize=optimize)
+        interp, _ = run_program(unit.program, NUM_PES, layout=unit.layout)
+        results[optimize] = {v: interp.peek_global(unit.address_of(v))
+                             for v in VARS}
+    for v in VARS:
+        assert np.array_equal(results[True][v], results[False][v]), v
+
+
+@given(programs())
+@COMMON
+def test_compiled_matches_reference(source):
+    unit = compile_mimdc(source)
+    interp, _ = run_program(unit.program, NUM_PES, layout=unit.layout)
+    expected = _reference_run(source)
+    for v in VARS:
+        got = interp.peek_global(unit.address_of(v))
+        assert np.array_equal(got, expected[v]), \
+            f"{v}: compiled={got} reference={expected[v]}\n{source}"
+
+
+@given(programs())
+@COMMON
+def test_counts_are_positive_and_cover_code(source):
+    unit = compile_mimdc(source)
+    assert all(c >= 0 for c in unit.counts.values())
+    emitted = {i.opcode for i in unit.program.instructions}
+    assert emitted <= set(unit.counts)

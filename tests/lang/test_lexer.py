@@ -1,0 +1,86 @@
+"""Tests for the MIMDC lexer."""
+
+import pytest
+
+from repro.lang import CompileError, tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)[:-1]]  # drop eof
+
+
+def values(src):
+    return [t.value for t in tokenize(src)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_vs_identifiers(self):
+        toks = tokenize("poly int x while whileish")
+        assert [t.kind for t in toks[:-1]] == ["kw", "kw", "ident", "kw", "ident"]
+
+    def test_int_literal(self):
+        tok = tokenize("1234")[0]
+        assert tok.kind == "int" and tok.value == "1234"
+
+    def test_float_literals(self):
+        assert tokenize("3.25")[0].kind == "float"
+        assert tokenize("1e6")[0].kind == "float"
+        assert tokenize("2.5e-3")[0].kind == "float"
+
+    def test_int_not_float(self):
+        assert tokenize("42")[0].kind == "int"
+
+    def test_eof_token(self):
+        assert tokenize("")[0].kind == "eof"
+
+
+class TestOperators:
+    def test_parallel_subscript_token(self):
+        assert kinds("a[||b]") == ["ident", "[||", "ident", "]"]
+
+    def test_plain_bracket_then_pipes(self):
+        # '[' followed later by '||' in an expression context
+        assert kinds("a[b||c]") == ["ident", "[", "ident", "||", "ident", "]"]
+
+    def test_maximal_munch(self):
+        assert kinds("a<=b<<c==d") == ["ident", "<=", "ident", "<<",
+                                       "ident", "==", "ident"]
+
+    def test_all_single_chars(self):
+        chars = "+ - * / % < > = ! ( ) { } ; ,"
+        assert kinds(chars) == chars.split()
+
+
+class TestCommentsAndPositions:
+    def test_line_comment(self):
+        assert values("x // junk\ny") == ["x", "y"]
+
+    def test_block_comment(self):
+        assert values("x /* junk\nmore */ y") == ["x", "y"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(CompileError, match="unterminated"):
+            tokenize("/* oops")
+
+    def test_positions_track_lines(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_position_after_block_comment(self):
+        toks = tokenize("/* x\ny */ z")
+        assert toks[0].value == "z" and toks[0].line == 2
+
+
+class TestErrors:
+    def test_illegal_character(self):
+        with pytest.raises(CompileError, match="illegal character"):
+            tokenize("a $ b")
+
+    def test_error_position_reported(self):
+        try:
+            tokenize("ab\n  @")
+        except CompileError as e:
+            assert e.line == 2 and e.stage == "lex"
+        else:
+            pytest.fail("expected CompileError")

@@ -1,0 +1,145 @@
+"""Tests for the MIMDC parser and semantic analyzer."""
+
+import pytest
+
+from repro.lang import CompileError, parse
+from repro.lang import ast
+from repro.lang.sema import analyze
+
+
+def analyze_src(src):
+    return analyze(parse(src))
+
+
+MINIMAL = "int main() { return 0; }"
+
+
+class TestParser:
+    def test_minimal_program(self):
+        tree = parse(MINIMAL)
+        assert len(tree.functions) == 1
+        assert tree.functions[0].name == "main"
+
+    def test_globals_with_arrays_and_lists(self):
+        tree = parse("poly int a, b[8];\nmono float m;\n" + MINIMAL)
+        assert [g.name for g in tree.globals] == ["a", "b", "m"]
+        assert tree.globals[1].size == 8
+        assert tree.globals[2].type.storage == "mono"
+
+    def test_default_storage_is_poly(self):
+        tree = parse("int g;\n" + MINIMAL)
+        assert tree.globals[0].type.storage == "poly"
+
+    def test_precedence(self):
+        tree = parse("int main() { return 1 + 2 * 3 == 7 && 1; }")
+        ret = tree.functions[0].body.stats[0]
+        assert ret.value.op == "&&"
+        assert ret.value.left.op == "=="
+
+    def test_unary_binds_tighter(self):
+        tree = parse("int main() { return -1 + 2; }")
+        assert tree.functions[0].body.stats[0].value.op == "+"
+
+    def test_if_else_dangling(self):
+        tree = parse("int main() { if (1) if (2) wait; else halt; return 0; }")
+        outer = tree.functions[0].body.stats[0]
+        assert outer.orelse is None
+        assert isinstance(outer.then.orelse, ast.Halt)
+
+    def test_parallel_subscript_forms(self):
+        tree = parse("poly int x, arr[4];\nint main() { x[||1] = 2; arr[1][||0] = 3; return 0; }")
+        a0, a1 = tree.functions[0].body.stats[:2]
+        assert a0.target.pe is not None and a0.target.index is None
+        assert a1.target.pe is not None and a1.target.index is not None
+
+    def test_call_statement_extension(self):
+        tree = parse("int f() { return 1; } int main() { f(); return 0; }")
+        assert isinstance(tree.functions[1].body.stats[0], ast.CallStat)
+
+    def test_empty_statement(self):
+        parse("int main() { ; ; return 0; }")
+
+    @pytest.mark.parametrize("src, match", [
+        ("int main() { return 0 }", "expected"),
+        ("int main( { return 0; }", "expected"),
+        ("int 3x() { return 0; }", "expected"),
+        ("mono int f() { return 0; }", "always poly"),
+        ("int f(mono int x) { return x; }", "always poly"),
+        ("int x; int x; " + MINIMAL, "duplicate"),
+        ("int f(int a, int a) { return a; }", "duplicate parameter"),
+        ("int a[0]; " + MINIMAL, "positive"),
+        ("int main() { mono int m; return 0; }", "must be global"),
+    ])
+    def test_parse_errors(self, src, match):
+        with pytest.raises(CompileError, match=match):
+            parse(src)
+
+
+class TestSema:
+    def test_this_is_poly_int(self):
+        analyzed = analyze_src("int main() { return this; }")
+        ret = analyzed.tree.functions[0].body.stats[0]
+        assert ret.value.type.base == "int"
+
+    def test_int_float_coercion_inserted(self):
+        analyzed = analyze_src("float f; int main() { f = 1 + 2.5; return 0; }")
+        assign = analyzed.tree.functions[0].body.stats[0]
+        # 1 is cast to float inside the addition
+        assert isinstance(assign.value.left, ast.Cast)
+        assert assign.value.left.target == "float"
+
+    def test_assignment_coerces_to_target(self):
+        analyzed = analyze_src("int i; int main() { i = 2.5; return 0; }")
+        assign = analyzed.tree.functions[0].body.stats[0]
+        assert isinstance(assign.value, ast.Cast) and assign.value.target == "int"
+
+    def test_return_coerced(self):
+        analyzed = analyze_src("float f() { return 1; } int main() { return 0; }")
+        ret = analyzed.tree.functions[0].body.stats[0]
+        assert isinstance(ret.value, ast.Cast)
+
+    def test_call_args_coerced(self):
+        analyzed = analyze_src(
+            "int f(float x) { return 0; } int main() { return f(3); }")
+        call = analyzed.tree.functions[1].body.stats[0].value
+        assert isinstance(call.args[0], ast.Cast)
+
+    def test_locals_tracked_per_function(self):
+        analyzed = analyze_src("int main() { int a; { int b; b = 1; } a = 2; return a; }")
+        assert [v.name for v in analyzed.functions["main"].locals] == ["a", "b"]
+
+    def test_shadowing_allowed_in_nested_blocks(self):
+        analyze_src("int a; int main() { int a; a = 1; return a; }")
+
+    @pytest.mark.parametrize("src, match", [
+        ("int main() { return x; }", "undeclared"),
+        ("int main() { x = 1; return 0; }", "undeclared"),
+        ("int main() { this = 1; return 0; }", "read-only"),
+        ("int main() { return this[1]; }", "subscripted"),
+        ("int a; int main() { return a[1]; }", "not an array"),
+        ("int a[4]; int main() { return a; }", "without a subscript"),
+        ("int a[4]; int main() { return a[1.5]; }", "must be int"),
+        ("mono int m; int main() { return m[||0]; }", "global poly"),
+        ("int main() { int x; return x[||0]; }", "global poly"),
+        ("int main() { return f(); }", "undefined function"),
+        ("int f(int a) { return a; } int main() { return f(); }", "takes 1"),
+        ("float f; int main() { if (f) wait; return 0; }", "condition must be int"),
+        ("float f; int main() { while (f) wait; return 0; }", "condition must be int"),
+        ("float f; int main() { return f % 2.0; }", "requires int"),
+        ("float f; int main() { return f && 1.0; }", "requires int"),
+        ("float f; int main() { return !f; }", "int operand"),
+        ("int this; " + MINIMAL, "built-in"),
+        ("int main() { int this; return 0; }", "redeclared"),
+        ("int a[4]; int main() { return a[||2]; }", "element"),
+    ])
+    def test_sema_errors(self, src, match):
+        with pytest.raises(CompileError, match=match):
+            analyze_src(src)
+
+    def test_float_compare_yields_int(self):
+        analyzed = analyze_src("float f; int main() { if (f < 1.0) wait; return 0; }")
+        cond = analyzed.tree.functions[0].body.stats[0].cond
+        assert cond.type.base == "int"
+
+    def test_mono_readable_everywhere(self):
+        analyze_src("mono int m; int main() { return m + this; }")

@@ -1,0 +1,96 @@
+"""Tests for the PVM-style daemon model."""
+
+import pytest
+
+from repro.events import Kernel
+from repro.models import DaemonModel, UDPModel, UnixBoxParams
+
+PARAMS = UnixBoxParams()
+
+
+def make(n_pes=4, **kw):
+    return DaemonModel(Kernel(), PARAMS, n_pes, **kw)
+
+
+class TestSemantics:
+    def test_mono_store_load(self):
+        model = make()
+        results = {}
+
+        def script(m, pe):
+            if pe == 2:
+                yield from m.sts(pe, "x", 99)
+            yield from m.barrier(pe)
+            results[pe] = yield from m.lds(pe, "x")
+
+        model.run(script)
+        assert results == {pe: 99 for pe in range(4)}
+
+    def test_parallel_subscript(self):
+        model = make()
+        results = {}
+
+        def script(m, pe):
+            yield from m.publish(pe, "v", pe + 10)
+            yield from m.barrier(pe)
+            results[pe] = yield from m.ldd(pe, (pe + 1) % 4, "v")
+
+        model.run(script)
+        assert results == {0: 11, 1: 12, 2: 13, 3: 10}
+
+    def test_multiple_barriers(self):
+        model = make()
+
+        def script(m, pe):
+            for _ in range(3):
+                yield from m.barrier(pe)
+
+        stats = model.run(script)
+        assert stats.barriers_completed == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="marshal"):
+            make(marshal_overhead=-1.0)
+
+
+class TestPVMObservations:
+    """The two §4.1.1 facts about PVM this model exists to reproduce."""
+
+    def _lds_time(self, model_cls, reps=20, var="remote_var", only_pe=None, **kw):
+        kernel = Kernel()
+        model = model_cls(kernel, PARAMS, 2, **kw)
+
+        def script(m, pe):
+            if only_pe is not None and pe != only_pe:
+                return
+            for _ in range(reps):
+                _ = yield from m.lds(pe, var)
+
+        stats = model.run(script)
+        finished = (stats.finish_times[only_pe]
+                    if only_pe is not None else stats.makespan)
+        return finished / reps
+
+    def test_daemon_path_several_times_slower_than_udp(self):
+        daemon = self._lds_time(DaemonModel)
+        udp = self._lds_time(UDPModel, seed=0)
+        # The text's numbers: 1.6e-3 vs ~4e-4, i.e. about 4x.
+        assert 2.5 < daemon / udp < 10
+
+    def test_local_variable_also_slow_through_daemons(self):
+        # "using PVM for an LDS of a variable that resides on the
+        # requesting machine also yields a time of about 1.6e-3 s":
+        # the daemon path, not the wire, dominates.
+        remote = self._lds_time(DaemonModel, only_pe=1)   # master owns monos
+        local = self._lds_time(DaemonModel, only_pe=0)
+        assert local > 0.3 * remote        # same order of magnitude
+        assert local > 5 * PARAMS.context_switch
+
+    def test_daemon_hops_counted(self):
+        model = make(n_pes=2)
+
+        def script(m, pe):
+            _ = yield from m.lds(pe, "x")
+
+        model.run(script)
+        assert model.daemon_hops >= 4  # req + rep per PE at minimum

@@ -1,0 +1,139 @@
+"""Property-based tests: the three execution models agree semantically.
+
+A random script of mono stores/loads and barriers must leave identical
+shared state and produce identical read values on the pipe, shared-file and
+UDP models (including a lossy UDP network) — the execution model may change
+*timing*, never *meaning*.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.events import Kernel
+from repro.models import FileModel, NetworkParams, PipeModel, UDPModel, UnixBoxParams
+
+PARAMS = UnixBoxParams()
+N_PES = 3
+VARS = ("x", "y", "z")
+
+# A phase is what each PE does between barriers: a list of (op, var) pairs.
+_OPS = st.sampled_from(["sts", "lds", "compute"])
+_PHASE = st.lists(st.tuples(_OPS, st.sampled_from(VARS)), min_size=0, max_size=3)
+_SCRIPT = st.lists(_PHASE, min_size=1, max_size=3)
+
+
+def make_script(phases, results, pe_offset):
+    def script(model, pe):
+        for phase_no, phase in enumerate(phases):
+            for op, var in phase:
+                if op == "sts":
+                    # Deterministic value per (phase, var, pe).
+                    yield from model.sts(pe, var, phase_no * 100 + pe_offset + pe)
+                elif op == "lds":
+                    value = yield from model.lds(pe, var)
+                    results.append((pe, phase_no, var, value))
+                else:
+                    yield from model.compute(pe, 5)
+            yield from model.barrier(pe)
+    return script
+
+
+def run_on(model_cls, phases, **kw):
+    kernel = Kernel()
+    model = model_cls(kernel, PARAMS, N_PES, **kw)
+    results: list = []
+    model.run(make_script(phases, results, pe_offset=0))
+    mono = dict(model.mono) if hasattr(model, "mono") else {
+        v: None for v in VARS}
+    if isinstance(model, UDPModel):
+        mono = {}
+        for v in VARS:
+            owner = model.owner_of(v)
+            mono[v] = model.pe_state[owner].mono.get(v)
+    else:
+        mono = {v: model.mono.get(v) for v in VARS}
+    return sorted(results), mono
+
+
+COMMON = settings(max_examples=25, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+@given(_SCRIPT)
+@COMMON
+def test_models_agree_on_final_mono_state(phases):
+    """Final mono values match across all three models.
+
+    Note: *read* values within a phase may legitimately differ across
+    models when two PEs race a store and a load between the same barriers;
+    final state after the last barrier is what the language defines (the
+    race is resolved by picking a winner, and our winners are
+    deterministic per model only for racing *stores*).
+    """
+    _, pipe_mono = run_on(PipeModel, phases)
+    _, file_mono = run_on(FileModel, phases)
+    _, udp_mono = run_on(UDPModel, phases, seed=0)
+    # Stores in the same phase race; the winner may be model-specific.
+    # But *which variables were ever written* and the writing phase are
+    # deterministic: check value modulo the PE-id component.
+    for v in VARS:
+        vals = [pipe_mono[v], file_mono[v], udp_mono[v]]
+        assert all((x is None) == (vals[0] is None) for x in vals), (v, vals)
+        if vals[0] is not None:
+            phases_written = {x // 100 for x in vals}
+            assert len(phases_written) == 1, (v, vals)
+
+
+@given(_SCRIPT)
+@COMMON
+def test_lossy_udp_matches_lossless(phases):
+    """Retransmission must hide datagram loss up to race outcomes.
+
+    Which racing store wins may legitimately change when datagrams are
+    delayed/lost (the language only promises *a* winner), but the set of
+    variables written, the phase whose stores win, and the set of reads
+    performed must be identical.
+    """
+    clean_results, clean_mono = run_on(UDPModel, phases, seed=1)
+    lossy_results, lossy_mono = run_on(
+        UDPModel, phases, seed=1, net=NetworkParams(loss=0.25))
+    for v, clean_val in clean_mono.items():
+        lossy_val = lossy_mono[v]
+        assert (clean_val is None) == (lossy_val is None)
+        if clean_val is not None:
+            assert clean_val // 100 == lossy_val // 100      # same phase won
+            assert 0 <= lossy_val % 100 < N_PES              # a real writer
+    assert {r[:3] for r in clean_results} == {r[:3] for r in lossy_results}
+
+
+@given(_SCRIPT)
+@COMMON
+def test_reads_after_barrier_identical_across_models(phases):
+    """Constrain scripts so stores and loads are in different phases: then
+    every model must return identical read values."""
+    # Rewrite: stores only on even phases, loads only on odd phases.
+    filtered = []
+    for i, phase in enumerate(phases):
+        keep = "sts" if i % 2 == 0 else "lds"
+        filtered.append([(op, v) for op, v in phase if op in (keep, "compute")])
+    a, _ = run_on(PipeModel, filtered)
+    b, _ = run_on(FileModel, filtered)
+    c, _ = run_on(UDPModel, filtered, seed=2)
+    # Racing stores pick a winner: winner identity may differ per model,
+    # but all PEs within one model must read one consistent value, and the
+    # phase component must agree across models.
+    def normalize(results):
+        return [(pe, phase, var, value // 100) for pe, phase, var, value in results]
+
+    assert normalize(a) == normalize(b) == normalize(c)
+
+    def reads_consistent(results):
+        seen = {}
+        for _pe, phase, var, value in results:
+            key = (phase, var)
+            if key in seen and seen[key] != value:
+                return False
+            seen[key] = value
+        return True
+
+    assert reads_consistent(a) and reads_consistent(b) and reads_consistent(c)

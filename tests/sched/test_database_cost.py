@@ -1,0 +1,103 @@
+"""Tests for the machine database and the §4.2 cost formula."""
+
+import pytest
+
+from repro.sched import MachineDatabase, TargetEntry, predict_time
+from repro.sched.cost import raw_work
+
+OPS = {"Add": 1e-6, "Ld": 2e-6, "LdS": 1e-4, "Wait": 2e-4}
+
+
+def entry(**kw):
+    defaults = dict(name="box", model="file", width=0, op_times=OPS,
+                    load_average=1.0, load_increment=1.0)
+    defaults.update(kw)
+    return TargetEntry(**defaults)
+
+
+class TestTargetEntry:
+    def test_basic_fields(self):
+        e = entry()
+        assert e.is_unix and e.accessible
+        assert e.supports("Add") and not e.supports("StD")
+
+    def test_with_load(self):
+        e = entry().with_load(3.5)
+        assert e.load_average == 3.5
+        assert entry().load_average == 1.0  # original untouched
+
+    def test_inaccessible(self):
+        assert not entry(load_average=None).accessible
+
+    @pytest.mark.parametrize("kw, match", [
+        (dict(model="quantum"), "unknown execution model"),
+        (dict(width=-1), "negative width"),
+        (dict(load_average=0.5), "below 1.0"),
+        (dict(load_increment=-1.0), "negative load increment"),
+        (dict(width=4, load_increment=1.0), "increment 0.0"),
+        (dict(op_times={"Add": 0.0}), "non-positive"),
+    ])
+    def test_validation(self, kw, match):
+        with pytest.raises(ValueError, match=match):
+            entry(**kw)
+
+    def test_op_times_frozen(self):
+        with pytest.raises(TypeError):
+            entry().op_times["Add"] = 1.0
+
+
+class TestMachineDatabase:
+    def test_add_and_get(self):
+        db = MachineDatabase([entry()])
+        assert db.get("box", "file").name == "box"
+        assert len(db) == 1
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            MachineDatabase([entry(), entry()])
+
+    def test_same_machine_different_models_ok(self):
+        db = MachineDatabase([entry(model="file"), entry(model="pipes")])
+        assert len(db) == 2
+        assert db.machines() == ["box"]
+
+    def test_set_load(self):
+        db = MachineDatabase([entry()])
+        db.set_load("box", "file", 4.0)
+        assert db.get("box", "file").load_average == 4.0
+        db.set_load("box", "file", None)
+        assert not db.get("box", "file").accessible
+
+
+class TestCostFormula:
+    def test_raw_work_weighted_sum(self):
+        counts = {"Add": 1000.0, "LdS": 10.0}
+        assert raw_work(entry(), counts) == pytest.approx(1000 * 1e-6 + 10 * 1e-4)
+
+    def test_unsupported_op_infinite(self):
+        assert raw_work(entry(), {"StD": 1.0}) == float("inf")
+
+    def test_zero_count_unsupported_op_ignored(self):
+        assert raw_work(entry(), {"StD": 0.0, "Add": 1.0}) == pytest.approx(1e-6)
+
+    def test_load_multiplies(self):
+        counts = {"Add": 1000.0}
+        base = predict_time(entry(), counts, added_processes=0.0)
+        loaded = predict_time(entry(load_average=2.0), counts, added_processes=0.0)
+        assert loaded == pytest.approx(2 * base)
+
+    def test_added_processes_scale_by_increment(self):
+        counts = {"Add": 1000.0}
+        uni = predict_time(entry(load_increment=1.0), counts, added_processes=4)
+        quad = predict_time(entry(load_increment=0.25, cores=4), counts,
+                            added_processes=4)
+        assert uni == pytest.approx(5 * 1e-3)
+        assert quad == pytest.approx(2 * 1e-3)
+
+    def test_fixed_width_machine_ignores_added_processes(self):
+        e = entry(width=1024, load_increment=0.0, model="maspar")
+        counts = {"Add": 1000.0}
+        assert predict_time(e, counts, 500) == predict_time(e, counts, 0)
+
+    def test_inaccessible_machine_infinite(self):
+        assert predict_time(entry(load_average=None), {"Add": 1.0}) == float("inf")

@@ -1,0 +1,159 @@
+"""Tests for function-level target scheduling (§5 future work)."""
+
+import pytest
+
+from repro.lang import compile_mimdc
+from repro.sched import MachineDatabase, TargetEntry
+from repro.sched.functions import FunctionSchedule, schedule_functions
+
+COMPUTE = {"Add": 1e-6, "Sub": 1e-6, "Mul": 3e-6, "Ld": 2e-6, "St": 2e-6,
+           "Push": 1e-6, "PushC": 2e-6, "Jz": 1e-6, "Jmp": 1e-6,
+           "Call": 2e-6, "Ret": 2e-6, "Swap": 1e-6, "This": 1e-6,
+           "Halt": 1e-6, "Pop": 1e-6, "Lt": 1e-6, "Le": 1e-6, "Gt": 1e-6,
+           "Ge": 1e-6, "Eq": 1e-6, "Ne": 1e-6}
+
+
+def box(name, scale=1.0, extra=None, load=1.0):
+    times = {op: t * scale for op, t in COMPUTE.items()}
+    times.update(extra or {})
+    return TargetEntry(name=name, model="file", width=0, op_times=times,
+                       load_average=load, load_increment=1.0)
+
+
+# Two synthetic phases: 'crunch' is pure compute, 'talk' is mono-heavy.
+CRUNCH = {"Mul": 50_000.0, "Add": 50_000.0}
+TALK = {"LdS": 5_000.0, "Add": 1_000.0}
+
+
+class TestScheduleFunctions:
+    def test_single_good_machine_hosts_everything(self):
+        db = MachineDatabase([
+            box("allround", extra={"LdS": 5e-5}),
+            box("slow", scale=10.0, extra={"LdS": 5e-4}),
+        ])
+        sched = schedule_functions(db, {"crunch": CRUNCH, "talk": TALK}, 1)
+        assert sched.is_single_target
+        assert sched.targets[0].name == "allround"
+        assert sched.transitions == 0
+
+    def test_splits_when_specialists_exist(self):
+        # 'cruncher' computes 10x faster but communicates terribly;
+        # 'talker' the reverse; tiny switch cost => split.
+        db = MachineDatabase([
+            box("cruncher", scale=0.1, extra={"LdS": 1e-2}),
+            box("talker", scale=1.0, extra={"LdS": 1e-5}),
+        ])
+        sched = schedule_functions(db, {"crunch": CRUNCH, "talk": TALK}, 1,
+                                   switch_cost=1e-4)
+        assert not sched.is_single_target
+        by_phase = dict(zip(sched.phases, sched.targets))
+        assert by_phase["crunch"].name == "cruncher"
+        assert by_phase["talk"].name == "talker"
+        assert sched.transitions == 1
+
+    def test_high_switch_cost_forces_single_target(self):
+        db = MachineDatabase([
+            box("cruncher", scale=0.1, extra={"LdS": 1e-2}),
+            box("talker", scale=1.0, extra={"LdS": 1e-5}),
+        ])
+        sched = schedule_functions(db, {"crunch": CRUNCH, "talk": TALK}, 1,
+                                   switch_cost=1e9)
+        assert sched.is_single_target
+
+    def test_total_time_accounts_switches(self):
+        db = MachineDatabase([
+            box("a", extra={"LdS": 1e-4}),
+            box("b", extra={"LdS": 1e-4}),
+        ])
+        sched = schedule_functions(db, {"crunch": CRUNCH, "talk": TALK}, 1,
+                                   switch_cost=0.25)
+        assert sched.total_time == pytest.approx(
+            sum(sched.phase_times) + 0.25 * sched.transitions)
+
+    def test_dp_beats_greedy_per_phase_when_switches_cost(self):
+        # Three phases A,B,A-like; per-phase greedy would bounce between
+        # specialists paying two switches; DP weighs that against staying.
+        db = MachineDatabase([
+            box("cruncher", scale=0.5, extra={"LdS": 2e-3}),
+            box("talker", scale=1.0, extra={"LdS": 1e-5}),
+        ])
+        phases = {"c1": CRUNCH, "t": TALK, "c2": CRUNCH}
+        bouncing = schedule_functions(db, phases, 1, switch_cost=1e-6)
+        sticky = schedule_functions(db, phases, 1, switch_cost=10.0)
+        assert bouncing.transitions >= 2
+        assert sticky.transitions == 0
+        # Each is optimal for its own switch cost:
+        assert bouncing.total_time <= sticky.total_time + 3 * 1e-6
+        sticky_cost_under_high = sum(sticky.phase_times)
+        bouncing_cost_under_high = sum(bouncing.phase_times) + 10.0 * bouncing.transitions
+        assert sticky_cost_under_high <= bouncing_cost_under_high
+
+    def test_unsupported_phase_routed_elsewhere(self):
+        # 'crippled' cannot run 'talk' (no LdS listed) but is free for
+        # compute; with cheap switches the schedule routes around it.
+        db = MachineDatabase([
+            box("crippled", scale=0.01),
+            box("complete", scale=1.0, extra={"LdS": 1e-5}),
+        ])
+        sched = schedule_functions(db, {"crunch": CRUNCH, "talk": TALK}, 1,
+                                   switch_cost=1e-4)
+        by_phase = dict(zip(sched.phases, sched.targets))
+        assert by_phase["crunch"].name == "crippled"
+        assert by_phase["talk"].name == "complete"
+
+    def test_phase_order_respected(self):
+        db = MachineDatabase([box("a", extra={"LdS": 1e-4})])
+        sched = schedule_functions(db, {"x": CRUNCH, "y": TALK}, 1,
+                                   phase_order=["y", "x"])
+        assert sched.phases == ("y", "x")
+
+    def test_validation(self):
+        db = MachineDatabase([box("a", extra={"LdS": 1e-4})])
+        with pytest.raises(ValueError, match="negative switch"):
+            schedule_functions(db, {"f": CRUNCH}, 1, switch_cost=-1.0)
+        with pytest.raises(ValueError, match="no function phases"):
+            schedule_functions(db, {}, 1)
+        with pytest.raises(KeyError):
+            schedule_functions(db, {"f": CRUNCH}, 1, phase_order=["ghost"])
+
+    def test_no_eligible_targets(self):
+        db = MachineDatabase([TargetEntry(
+            name="narrow", model="maspar", width=2,
+            op_times={"Add": 1e-6}, load_increment=0.0)])
+        with pytest.raises(RuntimeError, match="no eligible"):
+            schedule_functions(db, {"f": CRUNCH}, 100)
+
+
+class TestWithRealCompiler:
+    def test_per_function_counts_flow_through(self):
+        unit = compile_mimdc("""
+            mono int m;
+            int crunch(int x) {
+                int i; int s;
+                s = 0; i = 0;
+                while (i < 100) { s = s + x * x; i = i + 1; }
+                return s;
+            }
+            int talk(int x) {
+                int i;
+                i = 0;
+                while (i < 100) { m = x; i = i + 1; }
+                return m;
+            }
+            int main() { return crunch(this) + talk(this); }
+        """)
+        assert set(unit.counts_by_function) == {"crunch", "talk", "main"}
+        assert unit.counts_by_function["crunch"].get("Mul", 0) > 50
+        assert unit.counts_by_function["talk"].get("StS", 0) > 50
+        assert "Mul" not in unit.counts_by_function["talk"]
+
+        db = MachineDatabase([
+            box("cruncher", scale=0.05, extra={"LdS": 1e-2, "StS": 1e-2}),
+            box("talker", scale=1.0, extra={"LdS": 1e-5, "StS": 1e-5}),
+        ])
+        sched = schedule_functions(
+            db, unit.counts_by_function, 4, switch_cost=1e-5,
+            phase_order=["crunch", "talk"])
+        by_phase = dict(zip(sched.phases, sched.targets))
+        assert by_phase["crunch"].name == "cruncher"
+        assert by_phase["talk"].name == "talker"

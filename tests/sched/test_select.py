@@ -1,0 +1,170 @@
+"""Tests for the Target Selection Algorithm (§4.2)."""
+
+import pytest
+
+from repro.sched import MachineDatabase, Selection, TargetEntry, select_target
+
+FAST = {"Add": 1e-6, "Ld": 1e-6, "LdS": 1e-4, "Wait": 1e-4}
+SLOW = {"Add": 1e-5, "Ld": 1e-5, "LdS": 1e-3, "Wait": 1e-3}
+COUNTS = {"Add": 10_000.0, "LdS": 10.0}
+
+
+def unix(name, model="pipes", times=FAST, load=1.0, cores=1):
+    return TargetEntry(name=name, model=model, width=0, op_times=times,
+                       load_average=load, load_increment=1.0 / cores, cores=cores)
+
+
+def maspar(times=None, load=1.0, width=16384):
+    return TargetEntry(name="mp1", model="maspar", width=width,
+                       op_times=times or {"Add": 5e-6, "Ld": 5e-6,
+                                          "LdS": 6e-6, "Wait": 8e-6},
+                       load_average=load, load_increment=0.0)
+
+
+class TestSingleSelection:
+    def test_picks_fastest_machine(self):
+        db = MachineDatabase([unix("fast", times=FAST), unix("slow", times=SLOW)])
+        sel = select_target(db, COUNTS, 2)
+        assert sel.kind == "single"
+        assert sel.targets[0].name == "fast"
+
+    def test_load_flips_choice(self):
+        db = MachineDatabase([
+            unix("fast", times=FAST, load=20.0),
+            unix("slow", times=SLOW, load=1.0),
+        ])
+        sel = select_target(db, COUNTS, 1)
+        # fast box: 1e-2*... times (20+1) ; slow box: 1e-1 * 2 — loaded
+        # fast machine still wins here? compute: fast work ~ 0.011 * 21 = .231;
+        # slow work ~ 0.11 * 2 = .22 -> slow wins.
+        assert sel.targets[0].name == "slow"
+
+    def test_width_gate(self):
+        # A 4-PE machine cannot host an 8-PE program; pipes/file can.
+        db = MachineDatabase([
+            TargetEntry(name="quad", model="maspar", width=4,
+                        op_times=FAST, load_increment=0.0),
+            unix("anybox", times=SLOW),
+        ])
+        sel = select_target(db, COUNTS, 8)
+        assert sel.targets[0].name == "anybox"
+        sel = select_target(db, COUNTS, 4)
+        assert sel.targets[0].name == "quad"
+
+    def test_added_processes_counted(self):
+        # Requesting many PEs on a uniprocessor multiplies its load.
+        db = MachineDatabase([
+            unix("uni", times=FAST, cores=1),
+            maspar(),
+        ])
+        small = select_target(db, COUNTS, 1)
+        large = select_target(db, COUNTS, 256)
+        assert small.targets[0].name == "uni"
+        assert large.targets[0].name == "mp1"
+
+    def test_unsupported_op_forces_other_target(self):
+        no_lds = {"Add": 1e-7}
+        db = MachineDatabase([
+            unix("crippled", times=no_lds),
+            unix("complete", times=SLOW),
+        ])
+        sel = select_target(db, COUNTS, 1)
+        assert sel.targets[0].name == "complete"
+
+    def test_inaccessible_machine_skipped(self):
+        db = MachineDatabase([
+            unix("down", times=FAST, load=None),
+            unix("up", times=SLOW),
+        ])
+        sel = select_target(db, {"Add": 1.0}, 1)
+        assert sel.targets[0].name == "up"
+
+    def test_no_capable_target_raises(self):
+        db = MachineDatabase([unix("crippled", times={"Add": 1e-7})])
+        with pytest.raises(RuntimeError, match="no target"):
+            select_target(db, {"StD": 5.0}, 1)
+
+    def test_bad_pe_count(self):
+        db = MachineDatabase([unix("a")])
+        with pytest.raises(ValueError):
+            select_target(db, COUNTS, 0)
+
+    def test_candidate_times_reported(self):
+        db = MachineDatabase([unix("a", times=FAST), unix("b", times=SLOW)])
+        sel = select_target(db, COUNTS, 1)
+        assert ("a", "pipes") in sel.candidate_times
+        assert ("b", "pipes") in sel.candidate_times
+
+
+class TestDistributedSelection:
+    def test_distribution_beats_overloading_one_box(self):
+        # Compute-heavy program, 8 PEs, several idle uniprocessor
+        # workstations with UDP: spreading wins over stacking.
+        db = MachineDatabase([
+            unix(f"ws{i}", model="udp", times=FAST) for i in range(8)
+        ] + [unix("bigbox", model="pipes", times=FAST)])
+        sel = select_target(db, {"Add": 100_000.0}, 8)
+        assert sel.kind == "distributed"
+        assert len(sel.assignments) == 8
+        assert all(len(pes) == 1 for pes in sel.assignments.values())
+
+    def test_greedy_fills_fast_machines_first(self):
+        db = MachineDatabase([
+            unix("fast4", model="udp", times=FAST, cores=4),
+            unix("slow", model="udp", times=SLOW),
+        ])
+        sel = select_target(db, {"Add": 100_000.0}, 4)
+        assert sel.kind == "distributed"
+        assert sel.assignments[("fast4", "udp")] == (0, 1, 2, 3)
+
+    def test_every_pe_assigned_exactly_once(self):
+        db = MachineDatabase([
+            unix(f"ws{i}", model="udp", times=FAST, cores=2) for i in range(3)
+        ])
+        sel = select_target(db, {"Add": 100_000.0}, 7)
+        all_pes = sorted(pe for pes in sel.assignments.values() for pe in pes)
+        assert all_pes == list(range(7))
+
+    def test_communication_heavy_prefers_single_machine(self):
+        # Heavy mono traffic: UDP's 4e-4 LdS makes distribution lose to the
+        # file model on one box.
+        heavy = {"Add": 1000.0, "LdS": 5000.0}
+        file_times = dict(FAST, LdS=7e-5)
+        udp_times = dict(FAST, LdS=4e-4)
+        db = MachineDatabase([
+            unix("bigbox", model="file", times=file_times, cores=4),
+            unix("ws0", model="udp", times=udp_times),
+            unix("ws1", model="udp", times=udp_times),
+        ])
+        sel = select_target(db, heavy, 2)
+        assert sel.kind == "single"
+        assert sel.targets[0].name == "bigbox"
+
+    def test_only_width_zero_udp_hosts_distributed_pes(self):
+        db = MachineDatabase([maspar(load=1000.0), unix("ws", model="udp")])
+        sel = select_target(db, {"Add": 100.0}, 2)
+        if sel.kind == "distributed":
+            assert all(key[1] == "udp" for key in sel.assignments)
+
+    def test_distributed_prediction_is_worst_pe(self):
+        db = MachineDatabase([
+            unix("a", model="udp", times=FAST),
+            unix("b", model="udp", times=FAST),
+        ])
+        sel = select_target(db, {"Add": 100_000.0}, 4)
+        assert sel.kind == "distributed"
+        # 2 PEs per box, so worst-case load = 1 + 2: time = work * 3
+        assert sel.predicted_time == pytest.approx(100_000 * 1e-6 * 3.0)
+
+
+class TestSelectionObject:
+    def test_description_single(self):
+        db = MachineDatabase([unix("solo")])
+        sel = select_target(db, {"Add": 1.0}, 1)
+        assert "solo" in sel.description
+
+    def test_description_distributed(self):
+        db = MachineDatabase([unix(f"w{i}", model="udp") for i in range(2)])
+        sel = select_target(db, {"Add": 1e6}, 2)
+        if sel.kind == "distributed":
+            assert "distributed" in sel.description

@@ -1,0 +1,179 @@
+"""Tests for the timer, load dynamics, runner and machine archetypes."""
+
+import pytest
+
+from repro.lang import compile_mimdc
+from repro.sched import (
+    LoadGenerator,
+    MachineDatabase,
+    TargetEntry,
+    measure_op_times,
+    select_target,
+    simulate_execution,
+    update_load_averages,
+)
+from repro.workloads.machines import (
+    ARCHETYPES,
+    measure_entry_op_times,
+    table1_database,
+)
+
+
+class TestTimer:
+    TRUE = {"Add": 1.2e-6, "LdS": 2.4e-4, "Wait": 6.0e-4}
+
+    def test_estimates_within_ten_percent(self):
+        est = measure_op_times(self.TRUE, seed=0)
+        for op, true_t in self.TRUE.items():
+            assert est[op] == pytest.approx(true_t, rel=0.10)
+
+    def test_deterministic_given_seed(self):
+        assert measure_op_times(self.TRUE, seed=5) == measure_op_times(self.TRUE, seed=5)
+
+    def test_noise_varies_with_seed(self):
+        a = measure_op_times(self.TRUE, seed=1)
+        b = measure_op_times(self.TRUE, seed=2)
+        assert a != b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_op_times(self.TRUE, runs=0)
+        with pytest.raises(ValueError):
+            measure_op_times({"Add": -1.0})
+        with pytest.raises(ValueError):
+            measure_op_times(self.TRUE, quantum=0)
+
+
+class TestLoadGenerator:
+    def test_loads_at_least_one(self):
+        gen = LoadGenerator(["a", "b"], seed=0)
+        for _ in range(20):
+            gen.step()
+            assert gen.current("a") >= 1.0
+
+    def test_update_command_refreshes_database(self):
+        db = MachineDatabase([TargetEntry(
+            name="a", model="file", width=0, op_times={"Add": 1e-6},
+            load_average=1.0, load_increment=1.0)])
+        gen = LoadGenerator(["a"], mean_load=3.0, seed=1)
+        gen.step()
+        update_load_averages(db, gen)
+        assert db.get("a", "file").load_average != 1.0
+
+    def test_non_unix_entries_not_touched(self):
+        db = MachineDatabase([TargetEntry(
+            name="mp1", model="maspar", width=128, op_times={"Add": 1e-6},
+            load_average=7.0, load_increment=0.0)])
+        gen = LoadGenerator(["mp1"], seed=0)
+        update_load_averages(db, gen)
+        assert db.get("mp1", "maspar").load_average == 7.0
+
+    def test_down_machines_report_none(self):
+        gen = LoadGenerator(["a"], seed=0, down_probability=0.999)
+        assert gen.current("a") is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadGenerator(["a"], mean_load=-1)
+        with pytest.raises(ValueError):
+            LoadGenerator(["a"], down_probability=1.5)
+
+
+class TestRunner:
+    COUNTS = {"Add": 1_000_000.0}
+
+    def entry(self, cores=1):
+        return TargetEntry(name="box", model="file", width=0,
+                           op_times={"Add": 1e-6}, load_average=1.0,
+                           load_increment=1.0 / cores, cores=cores)
+
+    def test_single_pe_unloaded(self):
+        db = MachineDatabase([self.entry()])
+        sel = select_target(db, self.COUNTS, 1)
+        t = simulate_execution(sel, self.COUNTS, {"box": 0.0},
+                               recompile_overhead=0.0)
+        assert t == pytest.approx(1.0, rel=1e-6)
+
+    def test_contention_slows_actual_time(self):
+        db = MachineDatabase([self.entry()])
+        sel = select_target(db, self.COUNTS, 4)
+        t = simulate_execution(sel, self.COUNTS, {"box": 0.0},
+                               recompile_overhead=0.0)
+        assert t == pytest.approx(4.0, rel=1e-6)  # 4 procs share 1 core
+
+    def test_background_load_slows(self):
+        db = MachineDatabase([self.entry()])
+        sel = select_target(db, self.COUNTS, 1)
+        t = simulate_execution(sel, self.COUNTS, {"box": 1.0},
+                               recompile_overhead=0.0)
+        assert t == pytest.approx(2.0, rel=1e-6)
+
+    def test_prediction_matches_actual_when_db_fresh(self):
+        db = MachineDatabase([self.entry(cores=2)])
+        db.set_load("box", "file", 1.0)
+        sel = select_target(db, self.COUNTS, 2)
+        actual = simulate_execution(sel, self.COUNTS, {"box": 0.0},
+                                    recompile_overhead=0.0)
+        # §4.2 prediction: work * (load + n*inc) = 1.0 * (1 + 2*0.5) = 2.0;
+        # actual: 2 procs on 2 cores = 1.0 each.  The formula is pessimistic
+        # for multiprocessors with free cores, but bounded by 2x here.
+        assert actual <= sel.predicted_time <= 2 * actual + 1e-9
+
+    def test_recompile_overhead_added(self):
+        db = MachineDatabase([self.entry()])
+        sel = select_target(db, self.COUNTS, 1)
+        t = simulate_execution(sel, self.COUNTS, {"box": 0.0},
+                               recompile_overhead=0.5)
+        assert t == pytest.approx(1.5, rel=1e-6)
+
+    def test_fixed_width_machine_parallel(self):
+        db = MachineDatabase([TargetEntry(
+            name="mp1", model="maspar", width=1024,
+            op_times={"Add": 1e-5}, load_increment=0.0)])
+        sel = select_target(db, self.COUNTS, 512)
+        t = simulate_execution(sel, self.COUNTS, {}, recompile_overhead=0.0)
+        assert t == pytest.approx(10.0, rel=1e-6)  # one PE's work, all parallel
+
+
+class TestTable1Fleet:
+    def test_database_entry_counts(self):
+        db = table1_database()
+        # 8 unix boxes x 3 models + maspar + network udp = 26
+        assert len(db) == 26
+
+    def test_lds_dominates_add_except_maspar(self):
+        for entry in table1_database():
+            ratio = entry.op_times["LdS"] / entry.op_times["Add"]
+            if entry.model == "maspar":
+                assert ratio < 5
+            else:
+                assert ratio > 20
+
+    def test_pipe_model_does_not_list_parallel_subscripting(self):
+        db = table1_database()
+        for entry in db:
+            if entry.model == "pipes":
+                assert not entry.supports("LdD")
+            if entry.model == "file":
+                assert entry.supports("LdD")
+
+    def test_wide_program_selects_maspar(self):
+        unit = compile_mimdc(
+            "int main() { int i; i = 0; while (i < 100) i = i + 1; return i; }")
+        sel = select_target(table1_database(), unit.counts, 1024)
+        assert sel.targets[0].name == "maspar-mp1"
+
+    def test_parallel_subscript_program_avoids_pipes(self):
+        unit = compile_mimdc("""
+            poly int v;
+            int main() { v = this; wait; v = v[||(this+1)%4]; return v; }
+        """)
+        sel = select_target(table1_database(), unit.counts, 4)
+        assert sel.targets[0].model != "pipes"
+
+    def test_measured_pipe_lds_slower_than_file(self):
+        arch = ARCHETYPES[2]  # sun4-490
+        pipes = measure_entry_op_times(arch, "pipes", reps=10)
+        file_ = measure_entry_op_times(arch, "file", reps=10)
+        assert pipes["LdS"] > file_["LdS"]
+        assert file_["StS"] < pipes["LdS"]

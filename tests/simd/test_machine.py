@@ -1,0 +1,190 @@
+"""Tests for the SIMD machine simulator."""
+
+import numpy as np
+import pytest
+
+from repro.simd import MaskStack, PEMemory, SIMDMachine, SIMDTiming, mp1_timing
+
+
+class TestMaskStack:
+    def test_initially_all_enabled(self):
+        ms = MaskStack(4)
+        assert ms.active_count() == 4
+
+    def test_push_refines(self):
+        ms = MaskStack(4)
+        ms.push(np.array([True, False, True, False]))
+        assert ms.active_count() == 2
+        ms.push(np.array([True, True, False, False]))
+        assert ms.active_count() == 1
+
+    def test_pop_restores(self):
+        ms = MaskStack(3)
+        ms.push(np.array([True, False, False]))
+        ms.pop()
+        assert ms.active_count() == 3
+
+    def test_cannot_pop_base(self):
+        with pytest.raises(IndexError):
+            MaskStack(2).pop()
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError):
+            MaskStack(2).push(np.array([True]))
+
+    def test_set_base_only_at_depth_one(self):
+        ms = MaskStack(2)
+        ms.push(np.array([True, False]))
+        with pytest.raises(IndexError):
+            ms.set_base(np.array([False, False]))
+
+    def test_zero_pes_rejected(self):
+        with pytest.raises(ValueError):
+            MaskStack(0)
+
+
+class TestPEMemory:
+    def test_gather_scatter_masked(self):
+        mem = PEMemory(4, 8)
+        addrs = np.array([0, 1, 2, 3])
+        vals = np.array([10, 20, 30, 40])
+        mask = np.array([True, False, True, False])
+        mem.scatter(addrs, vals, mask)
+        out = mem.gather(addrs, np.ones(4, dtype=bool))
+        assert list(out) == [10, 0, 30, 0]
+
+    def test_disabled_lanes_read_zero(self):
+        mem = PEMemory(2, 4)
+        mem.data[:, 0] = 7
+        out = mem.gather(np.zeros(2, dtype=int), np.array([False, True]))
+        assert list(out) == [0, 7]
+
+    def test_bounds_checked_only_for_enabled(self):
+        mem = PEMemory(2, 4)
+        addrs = np.array([99, 0])
+        mask = np.array([False, True])
+        mem.gather(addrs, mask)  # disabled out-of-range lane is fine
+        with pytest.raises(IndexError):
+            mem.gather(addrs, np.array([True, True]))
+
+    def test_remote_gather(self):
+        mem = PEMemory(3, 4)
+        mem.data[2, 1] = 99
+        out = mem.remote_gather(np.array([2, 2, 2]), np.array([1, 1, 1]),
+                                np.ones(3, dtype=bool))
+        assert list(out) == [99, 99, 99]
+
+    def test_remote_scatter_conflict_highest_pe_wins(self):
+        mem = PEMemory(3, 4)
+        pes = np.array([0, 0, 0])
+        addrs = np.array([2, 2, 2])
+        vals = np.array([111, 222, 333])
+        mem.remote_scatter(pes, addrs, vals, np.ones(3, dtype=bool))
+        assert mem.data[0, 2] == 333
+
+    def test_remote_pe_bounds(self):
+        mem = PEMemory(2, 4)
+        with pytest.raises(IndexError):
+            mem.remote_gather(np.array([5, 0]), np.zeros(2, dtype=int),
+                              np.ones(2, dtype=bool))
+
+
+class TestTiming:
+    def test_mp1_ratios(self):
+        t = mp1_timing()
+        assert t.alu_cost("mul") > t.alu_cost("add")
+        assert t.alu_cost("div") > t.alu_cost("mul")
+        assert t.router_base > t.mem_load
+
+    def test_default_alu_for_unknown(self):
+        t = SIMDTiming(default_alu=9.0)
+        assert t.alu_cost("weird") == 9.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SIMDTiming(mem_load=0.0)
+        with pytest.raises(ValueError):
+            SIMDTiming(router_per_conflict=-1.0)
+
+
+class TestSIMDMachine:
+    def test_alu2_masked_passthrough(self):
+        m = SIMDMachine(4)
+        a = np.array([1, 2, 3, 4], dtype=np.int64)
+        b = np.array([10, 10, 10, 10], dtype=np.int64)
+        m.push_mask(np.array([1, 0, 1, 0]))
+        out = m.alu2("add", a, b)
+        assert list(out) == [11, 2, 13, 4]
+
+    def test_cycles_accumulate(self):
+        m = SIMDMachine(2)
+        before = m.cycles
+        m.alu2("mul", m.zeros(), m.zeros())
+        assert m.cycles == before + m.timing.alu_cost("mul")
+
+    def test_div_by_zero_defined(self):
+        m = SIMDMachine(2)
+        out = m.alu2("div", np.array([5, -7]), np.array([0, 2]))
+        assert list(out) == [0, -3]  # C-style truncation
+
+    def test_mod_matches_c_semantics(self):
+        m = SIMDMachine(4)
+        a = np.array([7, -7, 7, -7])
+        b = np.array([3, 3, -3, -3])
+        out = m.alu2("mod", a, b)
+        assert list(out) == [1, -1, 1, -1]
+
+    def test_global_or_over_enabled_only(self):
+        m = SIMDMachine(4)
+        vals = np.array([1, 2, 4, 8], dtype=np.int64)
+        m.push_mask(np.array([1, 1, 0, 0]))
+        assert m.global_or(vals) == 3
+
+    def test_global_or_empty_mask(self):
+        m = SIMDMachine(2)
+        m.push_mask(np.array([0, 0]))
+        assert m.global_or(np.array([1, 2], dtype=np.int64)) == 0
+
+    def test_load_store_roundtrip(self):
+        m = SIMDMachine(3, mem_words=16)
+        addrs = np.array([1, 2, 3])
+        m.store(addrs, np.array([7, 8, 9], dtype=np.int64))
+        assert list(m.load(addrs)) == [7, 8, 9]
+
+    def test_remote_load(self):
+        m = SIMDMachine(4, mem_words=8)
+        m.memory.data[:, 0] = np.arange(4) * 100
+        right = (m.pe_ids + 1) % 4
+        out = m.remote_load(right, m.zeros())
+        assert list(out) == [100, 200, 300, 0]
+
+    def test_mono_store_broadcasts_winner(self):
+        m = SIMDMachine(4, mem_words=8)
+        addrs = np.full(4, 5, dtype=np.int64)
+        vals = np.array([10, 20, 30, 40], dtype=np.int64)
+        m.mono_store(addrs, vals)
+        # Highest-numbered PE wins the race; all copies updated.
+        assert list(m.memory.data[:, 5]) == [40, 40, 40, 40]
+
+    def test_mono_store_respects_mask(self):
+        m = SIMDMachine(4, mem_words=8)
+        m.push_mask(np.array([1, 1, 0, 0]))
+        m.mono_store(np.full(4, 3, dtype=np.int64), np.array([5, 6, 7, 8], dtype=np.int64))
+        assert list(m.memory.data[:, 3]) == [6, 6, 6, 6]
+
+    def test_router_congestion_costs_more(self):
+        conflict_free = SIMDMachine(8, mem_words=4)
+        right = (conflict_free.pe_ids + 1) % 8
+        conflict_free.remote_load(right, conflict_free.zeros())
+        hotspot = SIMDMachine(8, mem_words=4)
+        hotspot.remote_load(hotspot.zeros(), hotspot.zeros())  # all hit PE 0
+        assert hotspot.cycles > conflict_free.cycles
+
+    def test_select(self):
+        m = SIMDMachine(3)
+        out = m.select(np.array([1, 0, 1]), np.array([10, 20, 30]), np.array([-1, -2, -3]))
+        assert list(out) == [10, -2, 30]
+
+    def test_const_broadcast(self):
+        m = SIMDMachine(3)
+        assert list(m.const(42)) == [42, 42, 42]

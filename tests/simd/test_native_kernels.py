@@ -1,0 +1,106 @@
+"""Tests for the native SIMD kernels (the E5/E11 peak baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.simd import SIMDMachine
+from repro.simd.native import (
+    NATIVE_KERNELS,
+    native_axpy,
+    native_pairwise,
+    native_polynomial,
+)
+
+
+class TestNativeKernels:
+    def test_axpy_values(self):
+        m = SIMDMachine(8)
+        out = native_axpy(m, iters=3)
+        pe = np.arange(8)
+        expected = 3 * (3 * pe) + (0 + 1 + 2)
+        assert np.array_equal(out, expected)
+
+    def test_polynomial_values(self):
+        m = SIMDMachine(4)
+        out = native_polynomial(m, iters=2)
+        x = np.arange(4)
+        p = (2 * x + 5) * x + 7
+        assert np.array_equal(out, 2 * p)
+
+    def test_pairwise_values(self):
+        m = SIMDMachine(4, mem_words=8)
+        out = native_pairwise(m, iters=2)
+        # iteration 1: receive right neighbour's pe id; iteration 2: id+1.
+        pe = np.arange(4)
+        right = (pe + 1) % 4
+        expected = right + (right + 1)
+        assert np.array_equal(out, expected)
+
+    def test_cycles_scale_with_iterations(self):
+        m1 = SIMDMachine(8)
+        native_axpy(m1, iters=5)
+        m2 = SIMDMachine(8)
+        native_axpy(m2, iters=10)
+        assert m2.cycles > 1.5 * m1.cycles
+
+    def test_registry_complete(self):
+        assert set(NATIVE_KERNELS) == {"axpy", "polynomial", "pairwise"}
+        for fn in NATIVE_KERNELS.values():
+            m = SIMDMachine(4, mem_words=8)
+            out = fn(m, 1)
+            assert out.shape == (4,)
+
+
+class TestMachineReduce:
+    @pytest.mark.parametrize("op, expected", [
+        ("add", 6), ("max", 3), ("min", 0), ("or", 3),
+    ])
+    def test_reductions(self, op, expected):
+        m = SIMDMachine(4)
+        assert m.reduce(op, np.arange(4, dtype=np.int64)) == expected
+
+    def test_reduce_respects_mask(self):
+        m = SIMDMachine(4)
+        m.push_mask(np.array([0, 1, 1, 0]))
+        assert m.reduce("add", np.arange(4, dtype=np.int64)) == 3
+
+    def test_reduce_empty_mask_identities(self):
+        m = SIMDMachine(4)
+        m.push_mask(np.zeros(4))
+        vals = np.arange(4, dtype=np.int64)
+        assert m.reduce("add", vals) == 0
+        assert m.reduce("or", vals) == 0
+
+    def test_reduce_cost_logarithmic(self):
+        small = SIMDMachine(4)
+        small.reduce("add", small.zeros())
+        big = SIMDMachine(1024)
+        big.reduce("add", big.zeros())
+        assert big.cycles == pytest.approx(small.cycles * 10 / 2)
+
+    def test_unknown_reduction(self):
+        m = SIMDMachine(2)
+        with pytest.raises(ValueError):
+            m.reduce("xor", m.zeros())
+
+    def test_logical_alu_ops(self):
+        m = SIMDMachine(3)
+        a = np.array([0, 2, -1], dtype=np.int64)
+        b = np.array([5, 0, 3], dtype=np.int64)
+        assert list(m.alu2("land", a, b)) == [0, 0, 1]
+        assert list(m.alu2("lor", a, b)) == [1, 1, 1]
+
+    def test_masked_assign(self):
+        m = SIMDMachine(3)
+        m.push_mask(np.array([1, 0, 1]))
+        out = m.masked_assign(np.array([9, 9, 9], dtype=np.int64),
+                              np.array([1, 2, 3], dtype=np.int64))
+        assert list(out) == [1, 9, 3]
+
+    def test_tick_validates(self):
+        m = SIMDMachine(2)
+        before = m.cycles
+        m.tick(2.5)
+        assert m.cycles == before + 2.5
+        with pytest.raises(ValueError):
+            m.tick(-1.0)

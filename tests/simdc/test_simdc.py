@@ -1,0 +1,239 @@
+"""Tests for the SIMDC data-parallel dialect."""
+
+import pytest
+
+from repro.lang.errors import CompileError
+from repro.simd import SIMDMachine
+from repro.simdc import compile_simdc, run_simdc
+
+
+def run(src, num_pes=8):
+    unit = compile_simdc(src)
+    machine, result = run_simdc(unit, num_pes)
+    return unit, machine, result
+
+
+class TestScalarSide:
+    def test_scalar_arithmetic(self):
+        _, _, r = run("int main() { int n; n = (2 + 3) * 4 - 18 / 3; return n; }")
+        assert r.value == 14
+
+    def test_scalar_while(self):
+        _, _, r = run("""
+        int main() {
+            int n; int acc;
+            acc = 0; n = 0;
+            while (n < 10) { acc = acc + n; n = n + 1; }
+            return acc;
+        }""")
+        assert r.value == 45
+
+    def test_scalar_if_else(self):
+        _, _, r = run("int main() { int n; if (0) n = 1; else n = 2; return n; }")
+        assert r.value == 2
+
+    def test_implicit_return_zero(self):
+        _, _, r = run("int main() { int n; n = 5; }")
+        assert r.value == 0
+
+    def test_division_c_semantics(self):
+        _, _, r = run("int main() { return (0 - 7) / 2; }")
+        assert r.value == -3
+
+    def test_mod_by_zero_defined(self):
+        _, _, r = run("int main() { return 7 % 0; }")
+        assert r.value == 0
+
+
+class TestPluralSide:
+    def test_reduce_add_of_this(self):
+        _, _, r = run("int main() { return reduceAdd(this); }", num_pes=8)
+        assert r.value == sum(range(8))
+
+    def test_reduce_max_min(self):
+        _, _, r = run("int main() { return reduceMax(this * 2) + "
+                      "reduceMin(this - 3); }", num_pes=8)
+        assert r.value == 14 + (-3)
+
+    def test_reduce_or(self):
+        _, _, r = run("int main() { return reduceOr(1 << this); }", num_pes=4)
+        assert r.value == 0b1111
+
+    def test_scalar_broadcast_into_plural(self):
+        _, _, r = run("""
+        plural int x;
+        int main() {
+            int k;
+            k = 7;
+            x = k + this;
+            return reduceAdd(x);
+        }""", num_pes=4)
+        assert r.value == 7 * 4 + 6
+
+    def test_where_masks_assignment(self):
+        _, _, r = run("""
+        plural int x;
+        int main() {
+            x = this;
+            where (x % 2 == 0) x = 100;
+            return reduceAdd(x);
+        }""", num_pes=4)
+        assert r.value == 100 + 1 + 100 + 3
+
+    def test_where_else(self):
+        _, _, r = run("""
+        plural int x;
+        int main() {
+            where (this < 2) x = 10; else x = 20;
+            return reduceAdd(x);
+        }""", num_pes=4)
+        assert r.value == 10 + 10 + 20 + 20
+
+    def test_nested_where(self):
+        _, _, r = run("""
+        plural int x;
+        int main() {
+            x = 0;
+            where (this < 3) {
+                where (this > 0) x = 5;
+            }
+            return reduceAdd(x);
+        }""", num_pes=4)
+        assert r.value == 10  # PEs 1 and 2 only
+
+    def test_rotate(self):
+        _, _, r = run("""
+        plural int x, y;
+        int main() {
+            x = this * 10;
+            y = rotate(x, 1);
+            return reduceAdd(y * (this == 0));
+        }""", num_pes=4)
+        # PE0 receives PE1's value = 10
+        assert r.value == 10
+
+    def test_rotate_negative_shift(self):
+        _, _, r = run("""
+        plural int x, y;
+        int main() {
+            x = this;
+            y = rotate(x, 0 - 1);
+            return reduceAdd(y * (this == 0));
+        }""", num_pes=4)
+        assert r.value == 3  # PE0 receives PE (0-1) mod 4 = 3
+
+    def test_plural_arrays(self):
+        _, _, r = run("""
+        plural int buf[4];
+        int n;
+        int main() {
+            n = 0;
+            while (n < 4) { buf[n] = this + n * 100; n = n + 1; }
+            return reduceAdd(buf[2]);
+        }""", num_pes=4)
+        assert r.value == 200 * 4 + 6
+
+    def test_plural_index_gather(self):
+        _, _, r = run("""
+        plural int buf[4], x;
+        int n;
+        int main() {
+            n = 0;
+            while (n < 4) { buf[n] = n * 10; n = n + 1; }
+            x = buf[this % 4];       /* per-PE index */
+            return reduceAdd(x);
+        }""", num_pes=4)
+        assert r.value == 0 + 10 + 20 + 30
+
+    def test_scalar_loop_with_plural_body(self):
+        _, _, r = run("""
+        plural int x;
+        int n;
+        int main() {
+            x = 0;
+            n = 0;
+            while (n < 5) { x = x + this; n = n + 1; }
+            return reduceAdd(x);
+        }""", num_pes=4)
+        assert r.value == 5 * (0 + 1 + 2 + 3)
+
+
+class TestCycleAccounting:
+    def test_cycles_charged(self):
+        _, machine, r = run("plural int x; int main() { x = this * this; "
+                            "return reduceAdd(x); }")
+        assert r.cycles > 0
+        assert machine.cycles == r.cycles
+
+    def test_where_costs_mask_ops(self):
+        _, _, plain = run("plural int x; int main() { x = 1; return 0; }")
+        _, _, masked = run("plural int x; int main() { "
+                           "where (this < 2) x = 1; return 0; }")
+        assert masked.cycles > plain.cycles
+
+    def test_mul_costs_more_than_add(self):
+        _, _, add = run("plural int x; int main() { x = this + this; return 0; }")
+        _, _, mul = run("plural int x; int main() { x = this * this; return 0; }")
+        assert mul.cycles > add.cycles
+
+
+class TestErrors:
+    @pytest.mark.parametrize("src, match", [
+        ("int main() { return this; }", "scalar"),
+        ("plural int x; int main() { if (x) x = 1; return 0; }", "must be scalar"),
+        ("int main() { while (this) { } return 0; }", "must be scalar"),
+        ("int n; int main() { where (n == 1) { } return 0; }", "must be plural"),
+        ("int n; int main() { where (this == 1) n = 2; return 0; }",
+         "scalar assignment inside"),
+        ("int main() { where (this == 1) return 1; return 0; }", "return inside"),
+        ("int n; int main() { n = this; return 0; }", "plural value to a scalar"),
+        ("int main() { return reduceAdd(3); }", "plural operand"),
+        ("int main() { return undeclared; }", "undeclared"),
+        ("plural int a[2]; int main() { a = 1; return 0; }", "needs an index"),
+        ("plural int x; int main() { x[0] = 1; return 0; }", "not an array"),
+        ("int main() { int x; int x; return 0; }", "duplicate local"),
+        ("plural int x; int f() { return 0; }", "single main"),
+        ("int a[3]; int main() { return 0; }", "scalar arrays"),
+        ("plural int main() { return 0; }", "returns a scalar"),
+        ("int x; int x; int main() { return 0; }", "duplicate global"),
+        ("int main() { return rotate(this, this); }", "shift must be scalar"),
+    ])
+    def test_rejected(self, src, match):
+        with pytest.raises(CompileError, match=match):
+            compile_simdc(src)
+
+    def test_no_main(self):
+        with pytest.raises(CompileError, match="no main"):
+            compile_simdc("int x;")
+
+    def test_runaway_guard(self):
+        unit = compile_simdc("int main() { int n; n = 1; "
+                             "while (n) { n = 1; } return 0; }")
+        machine = SIMDMachine(4, mem_words=16)
+        from repro.simdc.executor import execute_vir
+        with pytest.raises(RuntimeError, match="exceeded"):
+            execute_vir(unit.vir, machine, max_steps=1000)
+
+
+class TestVirStructure:
+    def test_render_roundtrip_info(self):
+        unit = compile_simdc("plural int x; int main() { x = this; return 0; }")
+        text = unit.vir.render()
+        assert "vthis" in text and "ret" in text
+
+    def test_undefined_label_rejected(self):
+        from repro.simdc.vir import Instr, VirProgram
+        with pytest.raises(ValueError, match="undefined label"):
+            VirProgram(instrs=(Instr("jmp", ("nowhere",)),), labels={},
+                       num_sregs=0, num_vregs=0, arrays={}, mem_words=1)
+
+    def test_unknown_op_rejected(self):
+        from repro.simdc.vir import Instr
+        with pytest.raises(ValueError, match="unknown VIR op"):
+            Instr("frobnicate", ())
+
+    def test_vreg_name_map(self):
+        unit = compile_simdc("plural int a, b; int main() { a = 1; b = 2; return 0; }")
+        assert unit.vreg_of("a") != unit.vreg_of("b")
+        with pytest.raises(KeyError):
+            unit.vreg_of("zzz")

@@ -1,0 +1,220 @@
+"""Property-based tests for SIMDC.
+
+Random programs are generated as spec trees, rendered to SIMDC source, and
+executed two ways: through the full compiler + VIR executor, and by a
+direct numpy evaluator of the spec (with an explicit mask stack).  The
+reduceAdd of every plural variable must agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.simdc import compile_simdc, run_simdc
+
+NUM_PES = 8
+PLURALS = ["x", "y"]
+SCALARS = ["n"]
+
+# --- spec generation ---------------------------------------------------------
+# expr spec: ("lit", v) | ("this",) | ("pvar", name) | ("svar", name)
+#          | ("bin", op, a, b)
+# stat spec: ("passign", var, expr) | ("sassign", var, scalar_expr)
+#          | ("where", cond_expr, [stats], [stats] | None)
+#          | ("loop", trips, [stats])
+
+_OPS = ["+", "-", "*", "/", "%", "<", "==", "&&"]
+
+
+@st.composite
+def exprs(draw, depth=0, plural_ok=True):
+    choices = ["lit", "this", "pvar", "svar"] if plural_ok else ["lit", "svar"]
+    if depth < 2 and draw(st.booleans()):
+        op = draw(st.sampled_from(_OPS))
+        a = draw(exprs(depth=depth + 1, plural_ok=plural_ok))
+        b = draw(exprs(depth=depth + 1, plural_ok=plural_ok))
+        return ("bin", op, a, b)
+    kind = draw(st.sampled_from(choices))
+    if kind == "lit":
+        return ("lit", draw(st.integers(-10, 10)))
+    if kind == "this":
+        return ("this",)
+    if kind == "pvar":
+        return ("pvar", draw(st.sampled_from(PLURALS)))
+    return ("svar", draw(st.sampled_from(SCALARS)))
+
+
+@st.composite
+def stats(draw, depth=0, in_where=False):
+    kinds = ["passign", "passign"]
+    if not in_where:
+        kinds.append("sassign")
+    if depth < 2:
+        kinds.extend(["where", "loop" if not in_where else "where"])
+    kind = draw(st.sampled_from(kinds))
+    if kind == "passign":
+        return ("passign", draw(st.sampled_from(PLURALS)), draw(exprs()))
+    if kind == "sassign":
+        return ("sassign", SCALARS[0], draw(exprs(plural_ok=False)))
+    if kind == "where":
+        cond = ("bin", draw(st.sampled_from(["<", "==", "%"])),
+                ("this",), ("lit", draw(st.integers(1, 5))))
+        then = draw(st.lists(stats(depth=depth + 1, in_where=True),
+                             min_size=1, max_size=2))
+        orelse = draw(st.one_of(st.none(), st.lists(
+            stats(depth=depth + 1, in_where=True), min_size=1, max_size=2)))
+        return ("where", cond, then, orelse)
+    trips = draw(st.integers(1, 3))
+    body = draw(st.lists(stats(depth=depth + 1, in_where=in_where),
+                         min_size=1, max_size=2))
+    return ("loop", trips, body, depth)
+
+
+@st.composite
+def programs(draw):
+    return draw(st.lists(stats(), min_size=1, max_size=4))
+
+
+# --- rendering to SIMDC source -------------------------------------------------
+
+def render_expr(e) -> str:
+    kind = e[0]
+    if kind == "lit":
+        return f"({e[1]})" if e[1] < 0 else str(e[1])
+    if kind == "this":
+        return "this"
+    if kind in ("pvar", "svar"):
+        return e[1]
+    _, op, a, b = e
+    return f"({render_expr(a)} {op} {render_expr(b)})"
+
+
+def render_stat(s, counter_depth=0) -> str:
+    kind = s[0]
+    if kind == "passign":
+        return f"{s[1]} = {render_expr(s[2])};"
+    if kind == "sassign":
+        return f"{s[1]} = {render_expr(s[2])};"
+    if kind == "where":
+        _, cond, then, orelse = s
+        text = (f"where ({render_expr(cond)}) "
+                f"{{ {' '.join(render_stat(t) for t in then)} }}")
+        if orelse is not None:
+            text += f" else {{ {' '.join(render_stat(t) for t in orelse)} }}"
+        return text
+    _, trips, body, depth = s
+    c = f"c{depth}"
+    inner = " ".join(render_stat(b) for b in body)
+    return f"{c} = 0; while ({c} < {trips}) {{ {inner} {c} = {c} + 1; }}"
+
+
+def render_program(spec) -> str:
+    body = "\n        ".join(render_stat(s) for s in spec)
+    return f"""
+    plural int x, y;
+    int n;
+    int main() {{
+        int c0; int c1; int c2;
+        {body}
+        return reduceAdd(x) + reduceAdd(y) * 1000 + n;
+    }}
+    """
+
+
+# --- direct numpy reference ------------------------------------------------------
+
+def _div(a, b):
+    safe = np.where(b == 0, 1, b)
+    q = np.abs(a) // np.abs(safe)
+    q = np.where((a < 0) != (safe < 0), -q, q)
+    return np.where(b == 0, 0, q)
+
+
+class _Ref:
+    def __init__(self):
+        self.p = {v: np.zeros(NUM_PES, dtype=np.int64) for v in PLURALS}
+        self.s = {v: 0 for v in SCALARS}
+        self.this = np.arange(NUM_PES, dtype=np.int64)
+
+    def eval(self, e) -> np.ndarray:
+        kind = e[0]
+        if kind == "lit":
+            return np.full(NUM_PES, e[1], dtype=np.int64)
+        if kind == "this":
+            return self.this.copy()
+        if kind == "pvar":
+            return self.p[e[1]].copy()
+        if kind == "svar":
+            return np.full(NUM_PES, self.s[e[1]], dtype=np.int64)
+        _, op, a, b = e
+        x, y = self.eval(a), self.eval(b)
+        with np.errstate(over="ignore"):
+            if op == "+":
+                return x + y
+            if op == "-":
+                return x - y
+            if op == "*":
+                return x * y
+            if op == "/":
+                return _div(x, y)
+            if op == "%":
+                return np.where(y == 0, 0, x - _div(x, y) * np.where(y == 0, 1, y))
+            if op == "<":
+                return (x < y).astype(np.int64)
+            if op == "==":
+                return (x == y).astype(np.int64)
+            return ((x != 0) & (y != 0)).astype(np.int64)
+
+    def run(self, spec, mask) -> None:
+        for s in spec:
+            kind = s[0]
+            if kind == "passign":
+                value = self.eval(s[2])
+                self.p[s[1]] = np.where(mask, value, self.p[s[1]])
+            elif kind == "sassign":
+                # only at full mask by construction
+                self.s[s[1]] = int(self.eval(s[2])[0])
+            elif kind == "where":
+                _, cond, then, orelse = s
+                c = self.eval(cond) != 0
+                self.run(then, mask & c)
+                if orelse is not None:
+                    self.run(orelse, mask & ~c)
+            else:
+                _, trips, body, _depth = s
+                for _ in range(trips):
+                    self.run(body, mask)
+
+
+def reference_value(spec) -> int:
+    ref = _Ref()
+    ref.run(spec, np.ones(NUM_PES, dtype=bool))
+    return int(int(ref.p["x"].sum()) + int(ref.p["y"].sum()) * 1000 + ref.s["n"])
+
+
+# --- the properties ------------------------------------------------------------
+
+COMMON = settings(max_examples=30, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+@given(programs())
+@COMMON
+def test_simdc_matches_numpy_reference(spec):
+    source = render_program(spec)
+    unit = compile_simdc(source)
+    _machine, result = run_simdc(unit, NUM_PES)
+    expected = reference_value(spec)
+    assert result.value == expected, source
+
+
+@given(programs())
+@COMMON
+def test_simdc_deterministic(spec):
+    source = render_program(spec)
+    unit = compile_simdc(source)
+    _, r1 = run_simdc(unit, NUM_PES)
+    _, r2 = run_simdc(unit, NUM_PES)
+    assert r1.value == r2.value and r1.cycles == r2.cycles

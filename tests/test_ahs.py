@@ -1,0 +1,70 @@
+"""Tests for the end-to-end AHS flow (§4.3)."""
+
+import pytest
+
+from repro.ahs import AhsReport, run_ahs
+from repro.sched import LoadGenerator
+from repro.workloads.machines import table1_database
+from repro.workloads.programs import kernel_source
+
+SMALL = kernel_source("axpy", 20)
+
+
+class TestRunAhs:
+    def test_small_job_runs_on_unix_box(self):
+        report = run_ahs(SMALL, n_pes=2)
+        assert isinstance(report, AhsReport)
+        assert not report.executed_on_interpreter
+        assert report.actual_seconds > 0
+        assert report.selection.kind in ("single", "distributed")
+
+    def test_wide_job_actually_interpreted_on_maspar(self):
+        report = run_ahs(SMALL, n_pes=1024, db=table1_database(include_udp=False))
+        assert report.executed_on_interpreter
+        assert report.selection.targets[0].model == "maspar"
+        assert report.interpreter_cycles and report.interpreter_cycles > 0
+
+    def test_prediction_within_order_of_magnitude(self):
+        for n_pes in (1, 8, 512):
+            report = run_ahs(SMALL, n_pes=n_pes,
+                             db=table1_database(include_udp=False))
+            assert 0.1 < report.prediction_ratio < 10.0, report.describe()
+
+    def test_loads_refresh_and_drive_actuals(self):
+        db = table1_database()
+        loads = LoadGenerator(db.machines(), mean_load=3.0, seed=5)
+        loads.step()
+        idle = run_ahs(SMALL, n_pes=4)
+        busy = run_ahs(SMALL, n_pes=4, db=db, loads=loads)
+        assert busy.actual_seconds >= idle.actual_seconds
+
+    def test_recompile_overhead_in_both_numbers(self):
+        cheap = run_ahs(SMALL, n_pes=2, recompile_overhead=0.0)
+        pricey = run_ahs(SMALL, n_pes=2, recompile_overhead=1.0)
+        assert pricey.actual_seconds >= cheap.actual_seconds + 1.0 - 1e-9
+        assert pricey.predicted_seconds >= cheap.predicted_seconds + 1.0 - 1e-9
+
+    def test_globals_init_reaches_interpreter(self):
+        src = """
+        int seed; int result;
+        int main() { result = seed * 2; return result; }
+        """
+        report = run_ahs(src, n_pes=64, db=table1_database(include_udp=False),
+                         globals_init={"seed": 21})
+        assert report.executed_on_interpreter
+
+    def test_maspar_queue_inflates_actual(self):
+        fast = run_ahs(SMALL, n_pes=1024,
+                       db=table1_database(include_udp=False, maspar_load=1.0))
+        queued = run_ahs(SMALL, n_pes=1024,
+                         db=table1_database(include_udp=False, maspar_load=3.0))
+        if queued.executed_on_interpreter and fast.executed_on_interpreter:
+            assert queued.actual_seconds > fast.actual_seconds
+
+    def test_describe_mentions_target(self):
+        report = run_ahs(SMALL, n_pes=2)
+        assert "predicted" in report.describe()
+
+    def test_bad_pes(self):
+        with pytest.raises(ValueError):
+            run_ahs(SMALL, n_pes=0)

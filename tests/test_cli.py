@@ -1,0 +1,151 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+MIMDC = """
+mono int total;
+int result;
+int main() {
+    result = this * 2;
+    if (this == 0) total = 7;
+    wait;
+    return result;
+}
+"""
+
+REGION = """
+thread 0:
+    a = ld x
+    b = mul a a
+thread 1:
+    c = ld x
+    d = mul c c
+"""
+
+
+@pytest.fixture
+def src(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text(MIMDC)
+    return str(path)
+
+
+@pytest.fixture
+def region_file(tmp_path):
+    path = tmp_path / "region.txt"
+    path.write_text(REGION)
+    return str(path)
+
+
+class TestCompile:
+    def test_asm_listing(self, src, capsys):
+        assert main(["compile", src, "--asm"]) == 0
+        out = capsys.readouterr().out
+        assert "Halt" in out and "Call" in out
+
+    def test_object_output_roundtrips(self, src, tmp_path, capsys):
+        obj = str(tmp_path / "prog.mobj")
+        assert main(["compile", src, "-o", obj]) == 0
+        from repro.isa import decode_object
+        program = decode_object(open(obj, "rb").read())
+        assert len(program) > 0
+
+    def test_counts_flag(self, src, capsys):
+        main(["compile", src, "--counts"])
+        out = capsys.readouterr().out
+        assert "StS" in out
+
+    def test_no_optimize(self, src, capsys):
+        assert main(["compile", src, "--asm", "--no-optimize"]) == 0
+
+
+class TestRun:
+    def test_run_source(self, src, capsys):
+        assert main(["run", src, "--pes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4 PEs" in out
+        assert "total = 7" in out
+        assert "result = [0, 2, 4, 6]" in out
+
+    def test_run_object(self, src, tmp_path, capsys):
+        obj = str(tmp_path / "prog.mobj")
+        main(["compile", src, "-o", obj])
+        capsys.readouterr()
+        assert main(["run", obj, "--pes", "4"]) == 0
+        assert "SIMD cycles" in capsys.readouterr().out
+
+    def test_interpreter_flags(self, src, capsys):
+        assert main(["run", src, "--pes", "4", "--no-factoring",
+                     "--no-subinterpreters", "--bias", "4"]) == 0
+
+
+class TestInduce:
+    def test_search(self, region_file, capsys):
+        assert main(["induce", region_file]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "total cost" in out
+
+    @pytest.mark.parametrize("method", ["greedy", "serial", "lockstep", "factor"])
+    def test_methods(self, region_file, method, capsys):
+        assert main(["induce", region_file, "--method", method]) == 0
+
+    def test_uniform_model(self, region_file, capsys):
+        assert main(["induce", region_file, "--model", "uniform"]) == 0
+
+
+class TestSelect:
+    def test_basic(self, src, capsys):
+        assert main(["select", src, "--pes", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "would run on" in out and "ms" in out
+
+    def test_verbose_lists_candidates(self, src, capsys):
+        assert main(["select", src, "--pes", "8", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "candidates considered" in out
+        assert "maspar" in out
+
+    def test_loaded_maspar(self, src, capsys):
+        assert main(["select", src, "--pes", "1024", "--maspar-load", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "would run on" in out
+
+
+class TestSimdc:
+    @pytest.fixture
+    def sc_src(self, tmp_path):
+        path = tmp_path / "kernel.sc"
+        path.write_text("""
+            plural int x, buf[2];
+            int main() {
+                x = this * this;
+                buf[0] = x;
+                buf[1] = x + 1;
+                where (x % 2 == 0) x = x + 1;
+                return reduceAdd(x);
+            }
+        """)
+        return str(path)
+
+    def test_run(self, sc_src, capsys):
+        assert main(["simdc", sc_src, "--pes", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "result =" in out and "SIMD cycles" in out
+        assert "buf[0:2]" in out
+
+    def test_vir_listing(self, sc_src, capsys):
+        assert main(["simdc", sc_src, "--vir"]) == 0
+        out = capsys.readouterr().out
+        assert "vthis" in out and "reduce" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["explode"])

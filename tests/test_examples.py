@@ -1,0 +1,33 @@
+"""Smoke tests: every example must run and print its headline output.
+
+Examples are the quickstart surface of the library; breaking one silently
+is worse than a slow test.  Each runs in-process via runpy (sharing the
+session's interpreter) with stdout captured.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": ["CSI schedule", "speedup vs serial"],
+    "csi_interpreter_factoring.py": ["fetch merged across all", "slower"],
+    "mimd_on_simd.py": ["native SIMD peak", "interpreted MIMD runs at"],
+    "heterogeneous_scheduling.py": ["function-level schedule", "end-to-end"],
+    "simdc_dataparallel.py": ["results agree", "dialect gap"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script, capsys, monkeypatch):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    for needle in CASES[script]:
+        assert needle in out, f"{script}: {needle!r} not in output"

@@ -1,0 +1,45 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util import make_rng, spawn_rngs
+
+
+def test_make_rng_from_int_is_deterministic():
+    a = make_rng(42).integers(0, 1_000_000, size=10)
+    b = make_rng(42).integers(0, 1_000_000, size=10)
+    assert np.array_equal(a, b)
+
+
+def test_make_rng_passthrough_generator():
+    gen = np.random.default_rng(7)
+    assert make_rng(gen) is gen
+
+
+def test_make_rng_none_gives_generator():
+    assert isinstance(make_rng(None), np.random.Generator)
+
+
+def test_spawn_rngs_independent_and_deterministic():
+    kids1 = spawn_rngs(3, 4)
+    kids2 = spawn_rngs(3, 4)
+    assert len(kids1) == 4
+    for a, b in zip(kids1, kids2):
+        assert np.array_equal(a.integers(0, 10**9, size=5), b.integers(0, 10**9, size=5))
+
+
+def test_spawn_rngs_children_differ():
+    kids = spawn_rngs(0, 2)
+    a = kids[0].integers(0, 10**9, size=16)
+    b = kids[1].integers(0, 10**9, size=16)
+    assert not np.array_equal(a, b)
+
+
+def test_spawn_rngs_zero():
+    assert spawn_rngs(1, 0) == []
+
+
+def test_spawn_rngs_negative_raises():
+    with pytest.raises(ValueError):
+        spawn_rngs(1, -1)

@@ -1,0 +1,119 @@
+"""Tests for repro.util.stats."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import (
+    confidence_interval,
+    geometric_mean,
+    harmonic_mean,
+    median_filter,
+    summarize,
+)
+
+
+class TestMedianFilter:
+    def test_empty(self):
+        assert median_filter([]) == []
+
+    def test_constant_sequence_unchanged(self):
+        assert median_filter([2.0] * 7) == [2.0] * 7
+
+    def test_removes_single_spike(self):
+        xs = [1.0, 1.0, 1.0, 100.0, 1.0, 1.0, 1.0]
+        assert median_filter(xs, width=5)[3] == 1.0
+
+    def test_preserves_length(self):
+        xs = list(range(11))
+        assert len(median_filter(xs)) == len(xs)
+
+    def test_width_one_is_identity(self):
+        xs = [3.0, 1.0, 4.0, 1.0, 5.0]
+        assert median_filter(xs, width=1) == xs
+
+    @pytest.mark.parametrize("width", [0, 2, 4, -1])
+    def test_bad_width(self, width):
+        with pytest.raises(ValueError):
+            median_filter([1.0], width=width)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=40))
+    def test_output_within_input_range(self, xs):
+        out = median_filter(xs)
+        assert min(xs) <= min(out) and max(out) <= max(xs)
+
+
+class TestMeans:
+    def test_geometric_mean_exact(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+
+    def test_geometric_mean_single(self):
+        assert geometric_mean([5.0]) == pytest.approx(5.0)
+
+    def test_harmonic_mean_exact(self):
+        assert harmonic_mean([1, 1, 2]) == pytest.approx(3 / 2.5)
+
+    @pytest.mark.parametrize("fn", [geometric_mean, harmonic_mean])
+    def test_empty_raises(self, fn):
+        with pytest.raises(ValueError):
+            fn([])
+
+    @pytest.mark.parametrize("fn", [geometric_mean, harmonic_mean])
+    def test_nonpositive_raises(self, fn):
+        with pytest.raises(ValueError):
+            fn([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=1e-3, max_value=1e3), min_size=1, max_size=30))
+    def test_hm_le_gm_le_am(self, xs):
+        am = float(np.mean(xs))
+        assert harmonic_mean(xs) <= geometric_mean(xs) + 1e-9
+        assert geometric_mean(xs) <= am + 1e-9
+
+
+class TestConfidenceInterval:
+    def test_symmetric_about_mean(self):
+        lo, hi = confidence_interval([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert lo < 3.0 < hi
+        assert (3.0 - lo) == pytest.approx(hi - 3.0)
+
+    def test_narrows_with_more_samples(self):
+        rng = np.random.default_rng(0)
+        small = rng.normal(size=10)
+        big = rng.normal(size=1000)
+        lo_s, hi_s = confidence_interval(small)
+        lo_b, hi_b = confidence_interval(big)
+        assert (hi_b - lo_b) < (hi_s - lo_s)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0])
+
+    @pytest.mark.parametrize("level", [0.0, 1.0, -0.5, 2.0])
+    def test_bad_level(self, level):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0, 2.0], level=level)
+
+    def test_known_z_for_95(self):
+        # For unit-variance samples the half-width must match 1.96 * sem.
+        xs = [0.0, 2.0]  # mean 1, std sqrt(2)
+        lo, hi = confidence_interval(xs, level=0.95)
+        sem = float(np.std(xs, ddof=1)) / math.sqrt(2)
+        assert (hi - lo) / 2 == pytest.approx(1.959964 * sem, rel=1e-4)
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0 and s.maximum == 3.0 and s.median == 2.0
+
+    def test_single_sample_zero_std(self):
+        assert summarize([4.0]).std == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])

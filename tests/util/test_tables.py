@@ -1,0 +1,43 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util import format_table
+
+
+def test_basic_render_contains_cells():
+    out = format_table(["name", "time"], [["add", 1.5], ["mul", 24.0]])
+    assert "name" in out and "add" in out and "24" in out
+
+
+def test_title_line_first():
+    out = format_table(["a"], [[1]], title="Table 1")
+    assert out.splitlines()[0] == "Table 1"
+
+
+def test_row_width_mismatch_raises():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_numeric_right_alignment():
+    out = format_table(["v"], [[1], [100]])
+    rows = [l for l in out.splitlines() if l.startswith("|") and "v" not in l and "=" not in l and "-" not in l]
+    # the one-digit entry is right-aligned to the width of "100"
+    assert any("  1 " in r for r in rows)
+
+
+def test_empty_rows_ok():
+    out = format_table(["col"], [])
+    assert "col" in out
+
+
+def test_scientific_notation_for_small_floats():
+    out = format_table(["t"], [[1.6e-05]])
+    assert "e-05" in out
+
+
+def test_consistent_line_widths():
+    out = format_table(["alpha", "b"], [["x", 2], ["longer-cell", 30000]])
+    widths = {len(l) for l in out.splitlines()}
+    assert len(widths) == 1
