@@ -1,0 +1,132 @@
+"""E13 — the schedule cache and parallel window fan-out.
+
+The windowed search (E12) makes large regions tractable; this experiment
+measures the two scale features layered on top of it:
+
+- *content-addressed caching*: SPMD traces repeat the same windows
+  constantly, so a warm cache answers ``induce()`` in O(lookup) — we
+  report the cold/warm wall-time ratio and the cache hit rate, and assert
+  the acceptance criterion that a warm repeat is >= 10x faster;
+- *process-pool fan-out* (``jobs > 1``): windows are embarrassingly
+  parallel; we report wall time serial vs parallel on a region large
+  enough that the search dominates the fork/pickle overhead, and assert
+  the schedules are identical.
+
+Honest accounting: parallel speedup depends on core count and workload
+size — on tiny regions the pool overhead loses (which is why
+``windowed_induce`` falls back to serial there, covered by unit tests),
+and on a single-core machine the fan-out cannot beat the serial loop at
+all.  The table reports whatever this machine delivers, alongside its
+core count, rather than asserting a ratio.
+"""
+
+import os
+import time
+
+import pytest
+
+from conftest import record_table
+from repro.core import (
+    ScheduleCache,
+    induce,
+    maspar_cost_model,
+    windowed_induce,
+)
+from repro.core.search import SearchConfig
+from repro.util import format_table
+from repro.workloads import RandomRegionSpec, random_region
+
+MODEL = maspar_cost_model()
+BUDGET = 60_000
+
+
+def dense_region(seed=0, threads=5, length=10):
+    return random_region(
+        RandomRegionSpec(num_threads=threads, min_len=length, max_len=length,
+                         vocab_size=8, overlap=0.6, private_vocab=False),
+        seed=seed)
+
+
+def wide_region(seed=1):
+    return random_region(
+        RandomRegionSpec(num_threads=8, min_len=64, max_len=64,
+                         vocab_size=12, overlap=0.6, private_vocab=False),
+        seed=seed)
+
+
+def run_experiment():
+    rows = []
+    data = {}
+
+    # -- Caching: cold search vs warm lookup on a dense whole region. -----
+    cache = ScheduleCache()
+    region = dense_region()
+    cfg = SearchConfig(node_budget=BUDGET)
+    cold = induce(region, MODEL, config=cfg, cache=cache)
+    warm_walls = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        warm = induce(region, MODEL, config=cfg, cache=cache)
+        warm_walls.append(time.perf_counter() - t0)
+    assert warm.cache_hit and warm.cost == cold.cost
+    warm_wall = min(warm_walls)
+    ratio = cold.wall_s / warm_wall if warm_wall else float("inf")
+    data["cache_ratio"] = ratio
+    rows.append(["induce() cold (search)", f"{cold.wall_s * 1e3:.1f} ms", "-"])
+    rows.append(["induce() warm (cache hit)", f"{warm_wall * 1e3:.3f} ms",
+                 f"{ratio:.0f}x faster"])
+
+    # -- Caching across a windowed run: hit rate on repeat. ---------------
+    wcache = ScheduleCache()
+    wregion = wide_region()
+    wcfg = SearchConfig(node_budget=3_000)
+    t0 = time.perf_counter()
+    wcold = windowed_induce(wregion, MODEL, window_size=8, config=wcfg,
+                            cache=wcache)
+    cold_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    wwarm = windowed_induce(wregion, MODEL, window_size=8, config=wcfg,
+                            cache=wcache)
+    warm_wall_w = time.perf_counter() - t0
+    assert wwarm.schedule == wcold.schedule
+    data["windowed_hit_rate"] = wwarm.cache_hits / wwarm.num_windows
+    rows.append(["windowed cold (8 windows)", f"{cold_wall * 1e3:.1f} ms",
+                 f"hit rate {wcache.hit_rate:.0%}"])
+    rows.append(["windowed warm", f"{warm_wall_w * 1e3:.1f} ms",
+                 f"{wwarm.cache_hits}/{wwarm.num_windows} windows hit"])
+
+    # -- Parallel fan-out: serial vs jobs=4 with search-dominated windows.
+    pcfg = SearchConfig(node_budget=40_000)
+    t0 = time.perf_counter()
+    serial = windowed_induce(wregion, MODEL, window_size=8, config=pcfg)
+    serial_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = windowed_induce(wregion, MODEL, window_size=8, config=pcfg,
+                               jobs=4)
+    parallel_wall = time.perf_counter() - t0
+    assert parallel.schedule == serial.schedule
+    data["parallel_identical"] = parallel.schedule == serial.schedule
+    data["jobs_used"] = parallel.jobs_used
+    speedup = serial_wall / parallel_wall if parallel_wall else float("inf")
+    rows.append(["windowed serial (jobs=1)", f"{serial_wall * 1e3:.1f} ms", "-"])
+    rows.append([f"windowed parallel (jobs={parallel.jobs_used})",
+                 f"{parallel_wall * 1e3:.1f} ms", f"{speedup:.2f}x"])
+
+    text = format_table(
+        ["configuration", "wall time", "effect"],
+        rows,
+        title=f"E13: schedule cache and parallel windows "
+              f"({os.cpu_count()} cores)")
+    record_table("E13_cache_parallel", text)
+    return data
+
+
+def test_e13_cache_parallel(benchmark):
+    data = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    # Acceptance criterion: a warm cache repeat is at least 10x faster.
+    assert data["cache_ratio"] >= 10.0
+    # A repeated windowed run hits on every window.
+    assert data["windowed_hit_rate"] == 1.0
+    # Parallel fan-out engaged and produced the identical schedule.
+    assert data["parallel_identical"]
+    assert data["jobs_used"] > 1

@@ -6,7 +6,12 @@ Mirrors the user-facing surface of the 1992 prototype:
   (the ``mimda`` step of §3.1.4);
 - ``run``      — execute MIMDC source or an object file on the simulated
   MasPar through the MIMD-on-SIMD interpreter;
-- ``induce``   — run CSI (or a baseline) on a textual region file;
+- ``induce``   — run CSI (or a baseline) on a textual region file, with
+  optional windowing (``--window``), parallel window fan-out (``--jobs``),
+  a persistent content-addressed schedule cache (``--cache-dir``) and a
+  JSONL search trace (``--trace``);
+- ``stats``    — summarize a ``--trace`` file (nodes, prunes, cache hit
+  rate, wall time);
 - ``select``   — the "master shell script" step of §4.3: compute expected
   op counts, consult the machine database, and report where the program
   should run.
@@ -83,23 +88,65 @@ def _cmd_run(args) -> int:
 
 def _cmd_induce(args) -> int:
     from repro.core import (
-        induce, lower_schedule, maspar_cost_model, parse_region,
-        render_simd_code, uniform_cost_model,
+        ScheduleCache, induce, lower_schedule, maspar_cost_model, parse_region,
+        render_simd_code, serial_schedule, uniform_cost_model, windowed_induce,
     )
     from repro.core.search import SearchConfig
+    from repro.obs import JsonlTracer
 
     region = parse_region(open(args.region).read())
     model = maspar_cost_model() if args.model == "maspar" else uniform_cost_model()
-    result = induce(region, model, method=args.method,
-                    config=SearchConfig(node_budget=args.budget))
-    print(f"method={args.method} cost={result.cost:.1f} "
-          f"serial={result.serial_cost:.1f} "
-          f"speedup={result.speedup_vs_serial:.2f}x")
-    if result.stats is not None:
-        print(f"search: {result.stats.nodes_expanded} nodes, "
-              f"optimal={result.stats.optimal}")
-    print(render_simd_code(lower_schedule(result.schedule, region, model),
+    config = SearchConfig(node_budget=args.budget)
+    cache = ScheduleCache(cache_dir=args.cache_dir) if args.cache_dir else None
+    tracer = JsonlTracer(args.trace) if args.trace else None
+    try:
+        if args.window:
+            if args.method != "search":
+                raise SystemExit("--window only applies to --method search")
+            wres = windowed_induce(region, model, window_size=args.window,
+                                   config=config, jobs=args.jobs,
+                                   cache=cache, tracer=tracer)
+            schedule = wres.schedule
+            cost = schedule.cost(model)
+            serial_cost = serial_schedule(region, model).cost(model)
+            speedup = serial_cost / cost if cost else 1.0
+            print(f"method=search/windowed cost={cost:.1f} "
+                  f"serial={serial_cost:.1f} speedup={speedup:.2f}x")
+            print(f"windows: {wres.num_windows} (size {wres.window_size}), "
+                  f"{wres.total_nodes} nodes, jobs={wres.jobs_used}, "
+                  f"cache_hits={wres.cache_hits}, "
+                  f"all_optimal={wres.all_optimal}, wall={wres.wall_s:.3f}s")
+        else:
+            result = induce(region, model, method=args.method, config=config,
+                            cache=cache, tracer=tracer)
+            schedule = result.schedule
+            print(f"method={args.method} cost={result.cost:.1f} "
+                  f"serial={result.serial_cost:.1f} "
+                  f"speedup={result.speedup_vs_serial:.2f}x")
+            if result.stats is not None:
+                print(f"search: {result.stats.nodes_expanded} nodes, "
+                      f"optimal={result.stats.optimal}")
+            if cache is not None:
+                print(f"cache: {'hit' if result.cache_hit else 'miss'}")
+        if cache is not None:
+            snap = cache.counters.snapshot()
+            print(f"cache counters: hits={snap.get('hits', 0):.0f} "
+                  f"misses={snap.get('misses', 0):.0f} "
+                  f"stores={snap.get('stores', 0):.0f}")
+        if tracer is not None:
+            print(f"trace: {tracer.events_written} events -> {tracer.path}")
+    finally:
+        if tracer is not None:
+            tracer.close()
+    print(render_simd_code(lower_schedule(schedule, region, model),
                            region.num_threads))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.obs import render_trace_summary, summarize_trace
+
+    print(render_trace_summary(summarize_trace(args.trace)))
     return 0
 
 
@@ -170,7 +217,19 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["search", "greedy", "anneal", "factor", "lockstep", "serial"])
     p.add_argument("--model", default="maspar", choices=["maspar", "uniform"])
     p.add_argument("--budget", type=int, default=100_000)
+    p.add_argument("--window", type=int, default=0, metavar="SIZE",
+                   help="induce window-by-window at this window size (0 = whole region)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel window searches (0 = all cores; needs --window)")
+    p.add_argument("--trace", metavar="FILE",
+                   help="append one JSONL trace event per search/window to FILE")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="persistent schedule cache directory (content-addressed)")
     p.set_defaults(fn=_cmd_induce)
+
+    p = sub.add_parser("stats", help="summarize a JSONL trace file")
+    p.add_argument("trace", help="trace file written by --trace")
+    p.set_defaults(fn=_cmd_stats)
 
     p = sub.add_parser("simdc", help="compile and run a SIMDC (data-parallel) program")
     p.add_argument("source", help="SIMDC source file")

@@ -12,9 +12,19 @@ Public entry points:
 - :class:`repro.core.costmodel.CostModel` — SIMD timing/mergeability model.
 - :class:`repro.core.schedule.Schedule` — the result, verifiable with
   :func:`repro.core.verify.verify_schedule`.
+- :class:`repro.core.cache.ScheduleCache` — content-addressed memoization
+  of finished schedules (in-memory LRU + optional on-disk tier).
+- :func:`repro.core.window.windowed_induce` — windowed induction with
+  optional process-pool fan-out, caching and tracing.
 """
 
 from repro.core.anneal import AnnealStats, anneal_schedule
+from repro.core.cache import (
+    ScheduleCache,
+    region_fingerprint,
+    schedule_from_payload,
+    schedule_to_payload,
+)
 from repro.core.costmodel import CostModel, maspar_cost_model, uniform_cost_model
 from repro.core.dag import DependenceDAG, build_dags
 from repro.core.factor import factor_schedule
@@ -37,6 +47,7 @@ __all__ = [
     "Operation",
     "Region",
     "Schedule",
+    "ScheduleCache",
     "ScheduleError",
     "SearchStats",
     "Slot",
@@ -51,7 +62,10 @@ __all__ = [
     "lower_schedule",
     "maspar_cost_model",
     "parse_region",
+    "region_fingerprint",
     "render_simd_code",
+    "schedule_from_payload",
+    "schedule_to_payload",
     "serial_schedule",
     "uniform_cost_model",
     "verify_schedule",

@@ -27,7 +27,30 @@ from typing import Mapping
 
 from repro.core.ops import Operation
 
-__all__ = ["CostModel", "maspar_cost_model", "uniform_cost_model"]
+__all__ = ["CostModel", "maspar_cost_model", "merge_key_sort_key",
+           "uniform_cost_model"]
+
+
+def merge_key_sort_key(key: tuple) -> tuple:
+    """Canonical total order for merge keys, independent of ``repr``.
+
+    Merge keys are ``(class,)`` or ``(class, imm)`` tuples with
+    ``imm: int | float | None``.  Sorting them by ``repr`` — the scheduler's
+    original tie-break — makes exploration order depend on float formatting
+    and is fragile against dict-insertion accidents, which changes
+    budget-exhausted search results between equivalent regions.  This key
+    compares each component structurally instead: by type rank, then by
+    numeric value (``1`` and ``1.0`` order identically) or string value.
+    """
+    canon = []
+    for part in key:
+        if part is None:
+            canon.append((0, 0.0, ""))
+        elif isinstance(part, (int, float)) and not isinstance(part, bool):
+            canon.append((1, float(part), ""))
+        else:
+            canon.append((2, 0.0, str(part)))
+    return (len(key), tuple(canon))
 
 
 @dataclass(frozen=True)
@@ -71,6 +94,23 @@ class CostModel:
         # by identity of contents.
         object.__setattr__(self, "class_of", MappingProxyType(dict(self.class_of)))
         object.__setattr__(self, "class_cost", MappingProxyType(dict(self.class_cost)))
+
+    def __getstate__(self) -> dict:
+        # MappingProxyType is not picklable; ship plain dicts so cost models
+        # cross process boundaries (parallel windowed induction).
+        return {
+            "class_of": dict(self.class_of),
+            "class_cost": dict(self.class_cost),
+            "mask_overhead": self.mask_overhead,
+            "default_cost": self.default_cost,
+            "require_equal_imm": self.require_equal_imm,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        object.__setattr__(self, "class_of", MappingProxyType(dict(state["class_of"])))
+        object.__setattr__(self, "class_cost", MappingProxyType(dict(state["class_cost"])))
 
     def opcode_class(self, opcode: str) -> str:
         """Class name for ``opcode`` (singleton class if unmapped)."""

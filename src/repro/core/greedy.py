@@ -19,7 +19,7 @@ first).
 
 from __future__ import annotations
 
-from repro.core.costmodel import CostModel
+from repro.core.costmodel import CostModel, merge_key_sort_key
 from repro.core.dag import DependenceDAG, build_dags
 from repro.core.ops import Region
 from repro.core.schedule import Schedule, Slot
@@ -64,7 +64,7 @@ def greedy_schedule(
             opclass = model.opcode_class(region[any_t].ops[picks[any_t]].opcode)
             saved = (len(picks) - 1) * model.slot_cost(opclass)
             longest = max(crit[t][i] for t, i in picks.items())
-            return (saved, longest, len(picks), repr(key))
+            return (saved, longest, len(picks), merge_key_sort_key(key))
 
         key, picks = max(buckets.items(), key=score)
         any_t = next(iter(picks))

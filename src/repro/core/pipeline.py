@@ -4,6 +4,15 @@
 resulting schedule against the independent checker, and reports its cost
 next to the serialization baseline, so callers get a paper-style
 "speedup over serial MIMD emulation" number out of one call.
+
+The entry point is also where the induction *service* features attach:
+
+- pass a :class:`repro.core.cache.ScheduleCache` to memoize finished
+  schedules under a content fingerprint of (region, model, config, method)
+  — repeated regions, the common case for interpreter handler sets, then
+  return in O(lookup) instead of re-running the exponential search;
+- pass a :class:`repro.obs.Tracer` to get one structured trace event per
+  call (search counters, costs, cache disposition, wall time).
 """
 
 from __future__ import annotations
@@ -11,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.anneal import anneal_schedule
+from repro.core.cache import ScheduleCache, region_fingerprint
 from repro.core.costmodel import CostModel
 from repro.core.dag import build_dags
 from repro.core.factor import factor_schedule
@@ -20,6 +30,7 @@ from repro.core.schedule import Schedule
 from repro.core.search import SearchConfig, SearchStats, branch_and_bound
 from repro.core.serial import lockstep_schedule, serial_schedule
 from repro.core.verify import verify_schedule
+from repro.obs import NULL_TRACER, StopWatch, Tracer
 
 __all__ = ["InductionResult", "METHODS", "induce"]
 
@@ -36,39 +47,38 @@ class InductionResult:
     serial_cost: float
     lockstep_cost: float
     stats: SearchStats | None = None
+    cache_hit: bool = False
+    wall_s: float = 0.0
 
     @property
     def speedup_vs_serial(self) -> float:
         """Paper-style speedup: serialized-MIMD time / induced time."""
-        return self.serial_cost / self.cost if self.cost else float("inf")
+        return _speedup(self.serial_cost, self.cost)
 
     @property
     def speedup_vs_lockstep(self) -> float:
         """Speedup over the naive lockstep interpreter schedule."""
-        return self.lockstep_cost / self.cost if self.cost else float("inf")
+        return _speedup(self.lockstep_cost, self.cost)
 
 
-def induce(
+def _speedup(baseline: float, cost: float) -> float:
+    """``baseline / cost`` with the empty-region case pinned to 1.0.
+
+    An empty schedule measured against an empty baseline is a no-op versus
+    a no-op — neither faster nor slower — so 0.0/0.0 reports 1.0 rather
+    than falling into the infinite-speedup branch.
+    """
+    if cost:
+        return baseline / cost
+    return 1.0 if not baseline else float("inf")
+
+
+def _build_schedule(
     region: Region,
     model: CostModel,
-    method: str = "search",
-    config: SearchConfig | None = None,
-    verify: bool = True,
-) -> InductionResult:
-    """Run CSI (``method='search'``) or a baseline on ``region``.
-
-    Methods: ``search`` (branch-and-bound CSI), ``greedy`` (list-scheduling
-    heuristic), ``anneal`` (simulated annealing over op priorities),
-    ``factor`` (common prefix/suffix hand-factoring), ``lockstep`` (naive
-    interpreter), ``serial`` (thread-at-a-time).
-
-    With ``verify=True`` (default) the schedule is checked by the
-    independent verifier before being returned; an invalid schedule is a
-    library bug and raises :class:`repro.core.verify.ScheduleError`.
-    """
-    if method not in METHODS:
-        raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
-
+    method: str,
+    config: SearchConfig | None,
+) -> tuple[Schedule, SearchStats | None]:
     respect_order = bool(config and config.respect_order)
     stats: SearchStats | None = None
     if method == "search":
@@ -84,20 +94,99 @@ def induce(
         schedule = lockstep_schedule(region, model)
     else:
         schedule = serial_schedule(region, model)
+    return schedule, stats
 
-    if verify:
-        # Baselines built in program order are valid under any dependence
-        # structure; reordering methods are checked against the real DAGs.
-        dags = build_dags(region, respect_order=respect_order)
-        verify_schedule(schedule, region, model, dags=dags)
 
-    serial_cost = serial_schedule(region, model).cost(model)
-    lockstep_cost = lockstep_schedule(region, model).cost(model)
+def induce(
+    region: Region,
+    model: CostModel,
+    method: str = "search",
+    config: SearchConfig | None = None,
+    verify: bool = True,
+    cache: ScheduleCache | None = None,
+    tracer: Tracer | None = None,
+) -> InductionResult:
+    """Run CSI (``method='search'``) or a baseline on ``region``.
+
+    Methods: ``search`` (branch-and-bound CSI), ``greedy`` (list-scheduling
+    heuristic), ``anneal`` (simulated annealing over op priorities),
+    ``factor`` (common prefix/suffix hand-factoring), ``lockstep`` (naive
+    interpreter), ``serial`` (thread-at-a-time).
+
+    With ``verify=True`` (default) a freshly computed schedule is checked by
+    the independent verifier before being returned; an invalid schedule is a
+    library bug and raises :class:`repro.core.verify.ScheduleError`.  Cache
+    hits return the previously verified schedule without re-checking — that
+    skip is the point of the cache.
+
+    ``cache`` memoizes (schedule, stats) under a content fingerprint;
+    ``tracer`` receives one ``induce`` event per call.
+    """
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
+    tracer = tracer or NULL_TRACER
+    watch = StopWatch().start()
+
+    fingerprint = None
+    schedule: Schedule | None = None
+    stats: SearchStats | None = None
+    if cache is not None:
+        fingerprint = region_fingerprint(region, model, config, method=method)
+        hit = cache.get(fingerprint)
+        if hit is not None:
+            schedule, stats = hit
+    cache_hit = schedule is not None
+
+    if schedule is None:
+        schedule, stats = _build_schedule(region, model, method, config)
+        if verify:
+            # Baselines built in program order are valid under any dependence
+            # structure; reordering methods are checked against the real DAGs.
+            respect_order = bool(config and config.respect_order)
+            dags = build_dags(region, respect_order=respect_order)
+            verify_schedule(schedule, region, model, dags=dags)
+        if cache is not None:
+            cache.put(fingerprint, schedule, stats)
+
+    cost = schedule.cost(model)
+    # Reuse the schedule we just built when it *is* the baseline, and pay
+    # each baseline construction exactly once.
+    serial_cost = cost if method == "serial" else \
+        serial_schedule(region, model).cost(model)
+    lockstep_cost = cost if method == "lockstep" else \
+        lockstep_schedule(region, model).cost(model)
+    wall_s = watch.stop()
+
+    if tracer.enabled:
+        event: dict = {
+            "method": method,
+            "threads": region.num_threads,
+            "ops": region.num_ops,
+            "slots": len(schedule),
+            "cost": cost,
+            "serial_cost": serial_cost,
+            "lockstep_cost": lockstep_cost,
+            "cache": "hit" if cache_hit else ("miss" if cache is not None else "off"),
+            "wall_s": wall_s,
+        }
+        if stats is not None:
+            event.update(
+                nodes=stats.nodes_expanded,
+                pruned_bound=stats.pruned_by_bound,
+                pruned_memo=stats.pruned_by_memo,
+                incumbent_updates=stats.incumbent_updates,
+                optimal=stats.optimal,
+                budget_exhausted=stats.budget_exhausted,
+            )
+        tracer.emit("induce", **event)
+
     return InductionResult(
         method=method,
         schedule=schedule,
-        cost=schedule.cost(model),
+        cost=cost,
         serial_cost=serial_cost,
         lockstep_cost=lockstep_cost,
         stats=stats,
+        cache_hit=cache_hit,
+        wall_s=wall_s,
     )

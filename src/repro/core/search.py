@@ -35,8 +35,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from time import perf_counter
 
-from repro.core.costmodel import CostModel
+from repro.core.costmodel import CostModel, merge_key_sort_key
 from repro.core.dag import DependenceDAG, build_dags
 from repro.core.greedy import greedy_schedule
 from repro.core.ops import Region
@@ -75,6 +76,7 @@ class SearchStats:
     incumbent_updates: int = 0
     optimal: bool = False
     budget_exhausted: bool = False
+    wall_s: float = 0.0
 
 
 @dataclass
@@ -127,7 +129,10 @@ def _candidate_moves(
             per_key.setdefault(key, {}).setdefault(t, []).append(i)
 
     moves: list[tuple[tuple, dict[int, int]]] = []
-    for key in sorted(per_key, key=repr):
+    # Canonical structured order (not repr order): exploration — and hence
+    # any budget-exhausted result — must not depend on float formatting or
+    # dict insertion history.
+    for key in sorted(per_key, key=merge_key_sort_key):
         threads = per_key[key]
         choices: dict[int, list[int]] = {}
         for t, idxs in threads.items():
@@ -224,6 +229,7 @@ def branch_and_bound(
     which the test-suite cross-checks against exhaustive mode on small
     regions).
     """
+    t_start = perf_counter()
     config = config or SearchConfig()
     if dags is None:
         dags = build_dags(region, respect_order=config.respect_order)
@@ -247,6 +253,7 @@ def branch_and_bound(
     _dfs(ctx, done, key_counts, 0.0, [], region.num_ops)
 
     stats.optimal = not stats.budget_exhausted
+    stats.wall_s = perf_counter() - t_start
     if not ctx.best_slots and region.num_ops:
         raise RuntimeError("search produced no schedule (empty incumbent and no leaf reached)")
     return Schedule(tuple(ctx.best_slots)), stats

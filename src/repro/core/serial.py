@@ -17,7 +17,7 @@ common code is induced:
 
 from __future__ import annotations
 
-from repro.core.costmodel import CostModel
+from repro.core.costmodel import CostModel, merge_key_sort_key
 from repro.core.ops import Region
 from repro.core.schedule import Schedule, Slot
 
@@ -38,7 +38,8 @@ def lockstep_schedule(region: Region, model: CostModel) -> Schedule:
 
     Cycle ``k`` looks at operation ``k`` of every thread still running,
     groups them by merge key, and issues one slot per group (deterministic
-    order: sorted by merge-key repr, so results are reproducible).
+    order: the canonical merge-key order, so results are reproducible and
+    independent of float formatting).
     """
     slots: list[Slot] = []
     depth = max((len(tc) for tc in region.threads), default=0)
@@ -48,7 +49,7 @@ def lockstep_schedule(region: Region, model: CostModel) -> Schedule:
             if k < len(tc):
                 op = tc.ops[k]
                 groups.setdefault(model.merge_key(op), {})[tc.thread] = k
-        for key in sorted(groups, key=repr):
+        for key in sorted(groups, key=merge_key_sort_key):
             picks = groups[key]
             any_thread = next(iter(picks))
             opclass = model.opcode_class(region[any_thread].ops[picks[any_thread]].opcode)

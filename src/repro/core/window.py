@@ -15,18 +15,38 @@ Cost: windowing can only lose optimality at the seams (an op in window k
 cannot share a slot with an op in window k+1), trading schedule quality
 for search time in a controlled way.  The E3-style sweep in the tests
 quantifies the trade.
+
+Scale features (windows are embarrassingly parallel and highly repetitive):
+
+- ``jobs`` fans the per-window searches out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` with ordered reassembly
+  and per-window stats preserved; small inputs, single-window runs and
+  pool-less environments fall back to the serial loop;
+- ``cache`` consults a :class:`repro.core.cache.ScheduleCache` per window
+  — traces of SPMD code repeat the same windows constantly, so warm runs
+  skip the search entirely;
+- ``tracer`` receives one ``window`` event per window plus a ``windowed``
+  aggregate event.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import os
 from dataclasses import dataclass
 
+from repro.core.cache import ScheduleCache, region_fingerprint
 from repro.core.costmodel import CostModel
 from repro.core.ops import Operation, Region, ThreadCode
 from repro.core.schedule import Schedule, Slot
 from repro.core.search import SearchConfig, SearchStats, branch_and_bound
+from repro.obs import NULL_TRACER, StopWatch, Tracer
 
 __all__ = ["WindowedResult", "windowed_induce"]
+
+#: Below this many total miss ops the pool's fork/pickle overhead dwarfs the
+#: search itself; stay serial.
+_MIN_PARALLEL_OPS = 32
 
 
 @dataclass(frozen=True)
@@ -37,6 +57,9 @@ class WindowedResult:
     window_size: int
     num_windows: int
     stats: tuple[SearchStats, ...]
+    cache_hits: int = 0
+    jobs_used: int = 1
+    wall_s: float = 0.0
 
     @property
     def total_nodes(self) -> int:
@@ -66,11 +89,44 @@ def _window_region(region: Region, start: int, size: int) -> tuple[Region, dict]
     return Region(tuple(threads)), back
 
 
+def _search_window(task: tuple[Region, CostModel, SearchConfig]):
+    """Process-pool entry point: induce one window region."""
+    sub, model, config = task
+    return branch_and_bound(sub, model, config)
+
+
+def _resolve_jobs(jobs: int) -> int:
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0 (0 = all cores), got {jobs}")
+    return jobs or (os.cpu_count() or 1)
+
+
+def _run_windows_parallel(
+    tasks: list[tuple[Region, CostModel, SearchConfig]],
+    jobs: int,
+) -> list[tuple[Schedule, SearchStats]] | None:
+    """Fan the window searches out over a process pool, order preserved.
+
+    Returns None when no pool can be created (restricted environments,
+    missing OS primitives) so the caller degrades to the serial loop.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            return list(pool.map(_search_window, tasks))
+    except (OSError, PermissionError, ImportError, RuntimeError):
+        return None
+
+
 def windowed_induce(
     region: Region,
     model: CostModel,
     window_size: int = 8,
     config: SearchConfig | None = None,
+    jobs: int = 1,
+    cache: ScheduleCache | None = None,
+    tracer: Tracer | None = None,
 ) -> WindowedResult:
     """Induce ``region`` window by window; returns the stitched schedule.
 
@@ -78,27 +134,128 @@ def windowed_induce(
     per-window ``config``); dependences are recomputed inside each window,
     and since windows respect program order, cross-window dependences are
     honoured by construction.
+
+    ``jobs > 1`` (or 0 for all cores) searches cache-missed windows in a
+    process pool; the stitched schedule is identical to the serial path's
+    because every window search is deterministic and reassembly is ordered.
     """
     if window_size < 1:
         raise ValueError(f"window size must be positive, got {window_size}")
     config = config or SearchConfig()
+    tracer = tracer or NULL_TRACER
+    jobs = _resolve_jobs(jobs)
+    watch = StopWatch().start()
+
     longest = max((len(tc) for tc in region.threads), default=0)
-    slots: list[Slot] = []
-    stats: list[SearchStats] = []
-    num_windows = 0
+    windows: list[tuple[int, Region, dict]] = []
     for start in range(0, longest, window_size):
         sub, back = _window_region(region, start, window_size)
-        if sub.num_ops == 0:
-            continue
-        num_windows += 1
-        sched, st = branch_and_bound(sub, model, config)
+        if sub.num_ops:
+            windows.append((start, sub, back))
+
+    # Pass 1: cache lookups (always in the parent — the cache is not shared
+    # with workers).  ``results`` is indexed by window position.
+    results: list[tuple[Schedule, SearchStats] | None] = [None] * len(windows)
+    fingerprints: list[str | None] = [None] * len(windows)
+    cache_hits = 0
+    if cache is not None:
+        for w, (_start, sub, _back) in enumerate(windows):
+            fingerprints[w] = region_fingerprint(sub, model, config)
+            hit = cache.get(fingerprints[w])
+            if hit is not None and hit[1] is not None:
+                results[w] = (hit[0], hit[1])
+                cache_hits += 1
+
+    # Pass 2: search the misses — deduplicated by fingerprint (SPMD traces
+    # repeat windows constantly, so equal windows are searched once per run)
+    # and fanned out over a process pool when it pays off.
+    miss_idx = [w for w, r in enumerate(results) if r is None]
+    unique_idx: list[int] = []
+    duplicate_of: dict[int, int] = {}
+    first_with: dict[str, int] = {}
+    for w in miss_idx:
+        fp = fingerprints[w]
+        if fp is not None and fp in first_with:
+            duplicate_of[w] = first_with[fp]
+        else:
+            if fp is not None:
+                first_with[fp] = w
+            unique_idx.append(w)
+
+    tasks = [(windows[w][1], model, config) for w in unique_idx]
+    jobs_used = 1
+    if jobs > 1 and len(tasks) > 1 and \
+            sum(t[0].num_ops for t in tasks) >= _MIN_PARALLEL_OPS:
+        parallel = _run_windows_parallel(tasks, jobs)
+        if parallel is not None:
+            jobs_used = min(jobs, len(tasks))
+            for w, outcome in zip(unique_idx, parallel):
+                results[w] = outcome
+    for pos, w in enumerate(unique_idx):
+        if results[w] is None:
+            results[w] = _search_window(tasks[pos])
+    if cache is not None:
+        for w in unique_idx:
+            sched, st = results[w]
+            cache.put(fingerprints[w], sched, st)
+    for w, source in duplicate_of.items():
+        sched, st = results[source]
+        results[w] = (sched, dataclasses.replace(st))
+        cache_hits += 1
+
+    # Pass 3: ordered reassembly through each window's back-map.  Windows
+    # resolved without a fresh search (cache or in-run duplicate) are "hit".
+    miss_set = set(unique_idx)
+    slots: list[Slot] = []
+    stats: list[SearchStats] = []
+    for w, (start, sub, back) in enumerate(windows):
+        sched, st = results[w]
         stats.append(st)
         for slot in sched:
             slots.append(Slot(slot.opclass,
                               {t: back[(t, i)] for t, i in slot.picks.items()}))
-    return WindowedResult(
+        if tracer.enabled:
+            tracer.emit(
+                "window",
+                index=w,
+                start=start,
+                ops=sub.num_ops,
+                slots=len(sched),
+                cost=sched.cost(model),
+                nodes=st.nodes_expanded,
+                pruned_bound=st.pruned_by_bound,
+                pruned_memo=st.pruned_by_memo,
+                incumbent_updates=st.incumbent_updates,
+                optimal=st.optimal,
+                budget_exhausted=st.budget_exhausted,
+                wall_s=st.wall_s,
+                cache="off" if cache is None else
+                      ("miss" if w in miss_set else "hit"),
+            )
+
+    wall_s = watch.stop()
+    result = WindowedResult(
         schedule=Schedule(tuple(slots)),
         window_size=window_size,
-        num_windows=num_windows,
+        num_windows=len(windows),
         stats=tuple(stats),
+        cache_hits=cache_hits,
+        jobs_used=jobs_used,
+        wall_s=wall_s,
     )
+    if tracer.enabled:
+        tracer.emit(
+            "windowed",
+            windows=result.num_windows,
+            window_size=window_size,
+            jobs=jobs_used,
+            ops=region.num_ops,
+            threads=region.num_threads,
+            cost=result.schedule.cost(model),
+            nodes=result.total_nodes,
+            cache_hits=cache_hits,
+            all_optimal=result.all_optimal,
+            budget_exhausted=sum(1 for s in stats if s.budget_exhausted),
+            wall_s=wall_s,
+        )
+    return result

@@ -26,6 +26,14 @@ from repro.interp.interpreter import InterpreterConfig, InterpStats, MIMDInterpr
 from repro.interp.partition import collect_profile, expected_decode_cost, optimize_partition
 from repro.interp.state import MemoryLayout, MIMDState
 from repro.interp.subinterp import SubinterpreterFamily, default_groups
+from repro.interp.trace import (
+    TraceBundle,
+    TraceInduction,
+    induce_traces,
+    interp_cost_model,
+    region_from_traces,
+    trace_program,
+)
 
 __all__ = [
     "FrequencyBias",
@@ -35,8 +43,14 @@ __all__ = [
     "MIMDState",
     "MemoryLayout",
     "SubinterpreterFamily",
+    "TraceBundle",
+    "TraceInduction",
     "collect_profile",
     "default_groups",
+    "induce_traces",
+    "interp_cost_model",
+    "region_from_traces",
+    "trace_program",
     "expected_decode_cost",
     "optimize_partition",
     "run_program",

@@ -18,13 +18,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.cache import ScheduleCache
 from repro.core.costmodel import CostModel
 from repro.core.ops import Operation, Region, ThreadCode
+from repro.core.search import SearchConfig
+from repro.core.serial import lockstep_schedule, serial_schedule
+from repro.core.window import WindowedResult, windowed_induce
 from repro.interp.interpreter import InterpreterConfig, MIMDInterpreter
 from repro.isa.opcodes import OPCODE_INFO, SHARED_COSTS
 from repro.isa.program import Program
+from repro.obs import Tracer
 
-__all__ = ["TraceBundle", "interp_cost_model", "region_from_traces", "trace_program"]
+__all__ = ["TraceBundle", "TraceInduction", "induce_traces",
+           "interp_cost_model", "region_from_traces", "trace_program"]
 
 
 @dataclass(frozen=True)
@@ -97,6 +103,61 @@ def region_from_traces(streams) -> Region:
             ops.append(Operation(t, k, opcode, reads, (f"T{t}s{k}",)))
         threads.append(ThreadCode(t, tuple(ops)))
     return Region(tuple(threads))
+
+
+@dataclass(frozen=True)
+class TraceInduction:
+    """Windowed CSI over a trace bundle, next to its interpreter baselines."""
+
+    bundle: TraceBundle
+    result: WindowedResult
+    induced_cost: float
+    lockstep_cost: float
+    serial_cost: float
+
+    @property
+    def speedup_vs_serial(self) -> float:
+        """Induced SIMD time vs serializing the distinct streams."""
+        if self.induced_cost:
+            return self.serial_cost / self.induced_cost
+        return 1.0 if not self.serial_cost else float("inf")
+
+    @property
+    def speedup_vs_lockstep(self) -> float:
+        """Induced SIMD time vs the naive lockstep interpreter."""
+        if self.induced_cost:
+            return self.lockstep_cost / self.induced_cost
+        return 1.0 if not self.lockstep_cost else float("inf")
+
+
+def induce_traces(
+    bundle: TraceBundle,
+    model: CostModel | None = None,
+    window_size: int = 16,
+    config: SearchConfig | None = None,
+    jobs: int = 1,
+    cache: ScheduleCache | None = None,
+    tracer: Tracer | None = None,
+) -> TraceInduction:
+    """Induce a traced program's distinct streams through the cached service.
+
+    The production loop this models: trace a running program, hand the
+    distinct streams to windowed CSI — repeated windows hit the schedule
+    ``cache``, fresh ones fan out over ``jobs`` workers — and compare the
+    induced cost against the serial and lockstep interpreter baselines.
+    """
+    model = model or interp_cost_model()
+    region = bundle.region()
+    result = windowed_induce(region, model, window_size=window_size,
+                             config=config, jobs=jobs, cache=cache,
+                             tracer=tracer)
+    return TraceInduction(
+        bundle=bundle,
+        result=result,
+        induced_cost=result.schedule.cost(model),
+        lockstep_cost=lockstep_schedule(region, model).cost(model),
+        serial_cost=serial_schedule(region, model).cost(model),
+    )
 
 
 def interp_cost_model(mask_overhead: float = 1.0) -> CostModel:

@@ -1,0 +1,39 @@
+"""Observability for the induction service: timers, counters, traces.
+
+Three small pieces, used together by :mod:`repro.core.pipeline`,
+:mod:`repro.core.window` and :mod:`repro.core.cache`:
+
+- :class:`StopWatch` / :func:`timed` — monotonic wall-clock timing;
+- :class:`Counters` — named counters (cache hits, stores, ...);
+- :class:`Tracer` sinks — :data:`NULL_TRACER` (disabled, near-zero
+  overhead), :class:`MemoryTracer` (tests), :class:`JsonlTracer`
+  (one structured JSON event per search/window, appended to a file).
+
+Traces written by :class:`JsonlTracer` are summarized by
+:func:`summarize_trace` / :func:`render_trace_summary`, which back the
+``repro stats`` CLI subcommand.
+"""
+
+from repro.obs.counters import Counters
+from repro.obs.summary import (
+    KindSummary,
+    TraceSummary,
+    render_trace_summary,
+    summarize_trace,
+)
+from repro.obs.timing import StopWatch, timed
+from repro.obs.tracer import JsonlTracer, MemoryTracer, NULL_TRACER, Tracer
+
+__all__ = [
+    "Counters",
+    "JsonlTracer",
+    "KindSummary",
+    "MemoryTracer",
+    "NULL_TRACER",
+    "StopWatch",
+    "Tracer",
+    "TraceSummary",
+    "render_trace_summary",
+    "summarize_trace",
+    "timed",
+]

@@ -1,0 +1,50 @@
+"""String-keyed counters shared by the cache and trace summarizer.
+
+A :class:`Counters` is a tiny mapping of name -> number with O(1)
+increment and no per-bump allocation beyond the dict entry — cheap enough
+to leave enabled on hot paths.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+__all__ = ["Counters"]
+
+
+class Counters:
+    """Monotonic named counters (ints or floats)."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, initial: Mapping[str, float] | None = None) -> None:
+        self._counts: dict[str, float] = dict(initial or {})
+
+    def bump(self, name: str, amount: float = 1) -> float:
+        """Add ``amount`` to ``name`` (created at 0) and return the new value."""
+        value = self._counts.get(name, 0) + amount
+        self._counts[name] = value
+        return value
+
+    def merge(self, other: "Counters | Mapping[str, float]") -> None:
+        """Fold another counter set (e.g. a worker's) into this one."""
+        items = other.snapshot().items() if isinstance(other, Counters) else other.items()
+        for name, amount in items:
+            self.bump(name, amount)
+
+    def snapshot(self) -> dict[str, float]:
+        """Point-in-time copy, sorted by name for stable output."""
+        return dict(sorted(self._counts.items()))
+
+    def __getitem__(self, name: str) -> float:
+        return self._counts.get(name, 0)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._counts))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"Counters({body})"

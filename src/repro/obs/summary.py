@@ -1,0 +1,152 @@
+"""Trace-file summarization backing the ``repro stats`` subcommand.
+
+Reads a JSONL trace written by :class:`repro.obs.JsonlTracer` and
+aggregates it per event kind: event counts, sums of every numeric field,
+counts of every string field's values (e.g. how many events had
+``cache="hit"``).  The renderer turns that into the ASCII tables the rest
+of the toolkit prints.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.util.tables import format_table
+
+__all__ = ["KindSummary", "TraceSummary", "render_trace_summary", "summarize_trace"]
+
+#: Bookkeeping keys that are not workload fields.
+_META_FIELDS = frozenset({"ts", "kind"})
+
+
+@dataclass
+class KindSummary:
+    """Aggregate over all events of one kind."""
+
+    kind: str
+    count: int = 0
+    sums: dict[str, float] = field(default_factory=dict)
+    labels: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def add(self, event: dict[str, Any]) -> None:
+        self.count += 1
+        for name, value in event.items():
+            if name in _META_FIELDS:
+                continue
+            if isinstance(value, bool):
+                self.sums[name] = self.sums.get(name, 0) + int(value)
+            elif isinstance(value, (int, float)):
+                self.sums[name] = self.sums.get(name, 0) + value
+            else:
+                per_value = self.labels.setdefault(name, {})
+                per_value[str(value)] = per_value.get(str(value), 0) + 1
+
+    def mean(self, name: str) -> float:
+        return self.sums.get(name, 0.0) / self.count if self.count else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Whole-trace aggregate: per-kind summaries plus parse bookkeeping."""
+
+    path: str
+    events: int = 0
+    malformed_lines: int = 0
+    kinds: dict[str, KindSummary] = field(default_factory=dict)
+
+    def kind(self, name: str) -> KindSummary:
+        return self.kinds.get(name, KindSummary(name))
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(ks.labels.get("cache", {}).get("hit", 0)
+                   for ks in self.kinds.values())
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(ks.labels.get("cache", {}).get("miss", 0)
+                   for ks in self.kinds.values())
+
+    @property
+    def cache_hit_rate(self) -> float:
+        looked_up = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked_up if looked_up else 0.0
+
+    def _sum_excluding_aggregates(self, field_name: str) -> float:
+        # "windowed" aggregate events re-count their member "window" events.
+        return sum(ks.sums.get(field_name, 0)
+                   for name, ks in self.kinds.items() if name != "windowed")
+
+    @property
+    def total_nodes(self) -> float:
+        return self._sum_excluding_aggregates("nodes")
+
+    @property
+    def total_wall_s(self) -> float:
+        return self._sum_excluding_aggregates("wall_s")
+
+    @property
+    def budget_exhaustions(self) -> float:
+        return self._sum_excluding_aggregates("budget_exhausted")
+
+
+def _iter_events(lines: Iterable[str], summary: TraceSummary) -> Iterable[dict]:
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            summary.malformed_lines += 1
+            continue
+        if not isinstance(event, dict) or "kind" not in event:
+            summary.malformed_lines += 1
+            continue
+        yield event
+
+
+def summarize_trace(path: str | Path) -> TraceSummary:
+    """Aggregate the JSONL trace at ``path`` (tolerates truncated lines)."""
+    path = Path(path)
+    summary = TraceSummary(path=str(path))
+    with open(path, encoding="utf-8") as fh:
+        for event in _iter_events(fh, summary):
+            summary.events += 1
+            kind = str(event["kind"])
+            summary.kinds.setdefault(kind, KindSummary(kind)).add(event)
+    return summary
+
+
+def render_trace_summary(summary: TraceSummary) -> str:
+    """Render a :class:`TraceSummary` as the ``repro stats`` report."""
+    head = [
+        ["events", summary.events],
+        ["event kinds", ", ".join(sorted(summary.kinds)) or "-"],
+        ["search nodes expanded", int(summary.total_nodes)],
+        ["budget exhaustions", int(summary.budget_exhaustions)],
+        ["cache hits / misses", f"{summary.cache_hits} / {summary.cache_misses}"],
+        ["cache hit rate", f"{summary.cache_hit_rate:.1%}"],
+        ["instrumented wall time", f"{summary.total_wall_s:.3f} s"],
+    ]
+    if summary.malformed_lines:
+        head.append(["malformed lines skipped", summary.malformed_lines])
+    blocks = [format_table(["metric", "value"], head,
+                           title=f"trace summary: {summary.path}")]
+
+    for kind in sorted(summary.kinds):
+        ks = summary.kinds[kind]
+        rows = [[name, round(total, 6), round(ks.mean(name), 6)]
+                for name, total in sorted(ks.sums.items())]
+        for name, per_value in sorted(ks.labels.items()):
+            for value, count in sorted(per_value.items()):
+                rows.append([f"{name}={value}", count, "-"])
+        if not rows:
+            continue
+        blocks.append(format_table(
+            ["field", "total", "mean"], rows,
+            title=f"{kind}: {ks.count} event{'s' if ks.count != 1 else ''}"))
+    return "\n\n".join(blocks)

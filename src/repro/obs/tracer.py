@@ -1,0 +1,96 @@
+"""Structured trace sinks: one JSONL event per search / window.
+
+The induction entry points accept an optional tracer; when none is given
+they fall back to :data:`NULL_TRACER`, whose ``emit`` is a no-op ``pass``
+— the disabled path costs one attribute call per *search*, not per node,
+so tracing off is effectively free.
+
+Event schema (all sinks): every event is a flat JSON object with
+
+- ``ts``    — seconds on a monotonic clock (not wall-clock time of day);
+- ``kind``  — event type: ``induce`` (one per :func:`repro.core.induce`
+  call), ``window`` (one per window of a windowed run), ``windowed``
+  (one aggregate per :func:`repro.core.windowed_induce` call);
+- remaining keys are kind-specific numeric or string fields (search
+  counters, costs, cache disposition, wall time).
+
+``repro stats <trace.jsonl>`` summarizes a trace file; see
+:mod:`repro.obs.summary`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from time import perf_counter
+from typing import Any, TextIO
+
+__all__ = ["JsonlTracer", "MemoryTracer", "NULL_TRACER", "Tracer"]
+
+
+class Tracer:
+    """No-op base tracer; also the disabled implementation."""
+
+    enabled = False
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Record one structured event (no-op here)."""
+
+    def close(self) -> None:
+        """Release any underlying resources (no-op here)."""
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+#: Shared disabled tracer; ``tracer or NULL_TRACER`` is the idiom callees use.
+NULL_TRACER = Tracer()
+
+
+class MemoryTracer(Tracer):
+    """Collects events in a list — for tests and in-process inspection."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        self.events.append({"ts": perf_counter(), "kind": kind, **fields})
+
+    def of_kind(self, kind: str) -> list[dict[str, Any]]:
+        return [e for e in self.events if e["kind"] == kind]
+
+
+class JsonlTracer(Tracer):
+    """Appends one JSON object per event to a file.
+
+    Events are flushed as they are written so a crashed or killed run
+    still leaves a readable trace; emission happens only in the parent
+    process (workers report stats back), so no cross-process interleaving
+    can corrupt a line.
+    """
+
+    enabled = True
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: TextIO | None = open(self.path, "a", encoding="utf-8")
+        self.events_written = 0
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        if self._fh is None:
+            raise ValueError(f"tracer for {self.path} is closed")
+        record = {"ts": round(perf_counter(), 6), "kind": kind, **fields}
+        self._fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        self._fh.flush()
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None

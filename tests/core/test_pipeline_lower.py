@@ -75,6 +75,81 @@ class TestInduce:
         assert search.speedup_vs_serial > 1.5
 
 
+class TestBaselineReuse:
+    def test_serial_method_reuses_its_own_schedule_as_baseline(self):
+        r = induce(REGION, UNIT, method="serial")
+        assert r.serial_cost == r.cost
+        assert r.speedup_vs_serial == pytest.approx(1.0)
+
+    def test_lockstep_method_reuses_its_own_schedule_as_baseline(self):
+        r = induce(REGION, UNIT, method="lockstep")
+        assert r.lockstep_cost == r.cost
+        assert r.speedup_vs_lockstep == pytest.approx(1.0)
+
+    def test_baselines_built_once_per_call(self, monkeypatch):
+        import repro.core.pipeline as pipeline
+        calls = {"serial": 0, "lockstep": 0}
+        real_serial, real_lockstep = pipeline.serial_schedule, pipeline.lockstep_schedule
+
+        def counting_serial(region, model):
+            calls["serial"] += 1
+            return real_serial(region, model)
+
+        def counting_lockstep(region, model):
+            calls["lockstep"] += 1
+            return real_lockstep(region, model)
+
+        monkeypatch.setattr(pipeline, "serial_schedule", counting_serial)
+        monkeypatch.setattr(pipeline, "lockstep_schedule", counting_lockstep)
+
+        induce(REGION, UNIT, method="serial")
+        assert calls == {"serial": 1, "lockstep": 1}
+        calls.update(serial=0, lockstep=0)
+        induce(REGION, UNIT, method="lockstep")
+        assert calls == {"serial": 1, "lockstep": 1}
+        calls.update(serial=0, lockstep=0)
+        induce(REGION, UNIT, method="greedy")
+        assert calls == {"serial": 1, "lockstep": 1}
+
+
+class TestEmptyRegionSpeedup:
+    def test_empty_region_reports_speedup_one(self):
+        # 0.0/0.0 used to fall into the `if self.cost else inf` branch; an
+        # empty schedule against an empty baseline is a 1.0x "speedup".
+        empty = parse_region("thread 0:\nthread 1:\n")
+        for method in ("search", "greedy", "serial", "lockstep"):
+            r = induce(empty, UNIT, method=method)
+            assert r.cost == 0.0 and r.serial_cost == 0.0
+            assert r.speedup_vs_serial == 1.0
+            assert r.speedup_vs_lockstep == 1.0
+
+    def test_zero_cost_vs_positive_baseline_still_infinite(self):
+        from repro.core import InductionResult as IR
+        from repro.core import Schedule
+        r = IR(method="search", schedule=Schedule(()), cost=0.0,
+               serial_cost=5.0, lockstep_cost=0.0)
+        assert r.speedup_vs_serial == float("inf")
+        assert r.speedup_vs_lockstep == 1.0
+
+
+class TestInduceTracing:
+    def test_induce_emits_one_event(self):
+        from repro.obs import MemoryTracer
+        tracer = MemoryTracer()
+        r = induce(REGION, UNIT, method="search", tracer=tracer)
+        (event,) = tracer.of_kind("induce")
+        assert event["method"] == "search"
+        assert event["cost"] == pytest.approx(r.cost)
+        assert event["cache"] == "off"
+        assert event["nodes"] == r.stats.nodes_expanded
+        assert event["wall_s"] >= 0.0
+
+    def test_no_tracer_means_no_overhead_path(self):
+        # Just the API contract: tracer=None is accepted and ignored.
+        r = induce(REGION, UNIT, method="greedy", tracer=None)
+        assert r.cost > 0
+
+
 class TestLowering:
     def test_lowered_code_matches_schedule(self):
         r = induce(REGION, UNIT, method="search")

@@ -173,6 +173,59 @@ class TestPruningAndBudget:
             SearchConfig(node_budget=0)
 
 
+class TestDeterminism:
+    def test_tiny_budget_returns_greedy_incumbent_not_optimal(self):
+        # With a budget too small to improve anything, the search must
+        # degrade to exactly the greedy seed and admit it is not optimal.
+        region = random_region(
+            RandomRegionSpec(num_threads=6, min_len=10, max_len=14, overlap=0.5),
+            seed=2)
+        sched, stats = branch_and_bound(region, UNIT, SearchConfig(node_budget=1))
+        assert stats.budget_exhausted and not stats.optimal
+        assert sched == greedy_schedule(region, UNIT)
+
+    def test_move_order_canonical_for_float_merge_keys(self):
+        from repro.core.costmodel import merge_key_sort_key
+        # repr order would put ("add", 10.0) before ("add", 2.0); the
+        # canonical order compares immediates numerically.
+        keys = [("add", 10.0), ("add", 2), ("add", 2.5), ("add", None), ("ld",)]
+        ordered = sorted(keys, key=merge_key_sort_key)
+        assert ordered == [("ld",), ("add", None), ("add", 2), ("add", 2.5),
+                           ("add", 10.0)]
+
+    @pytest.mark.parametrize("budget", [25, 200_000])
+    def test_permuted_equal_regions_search_identically(self, budget):
+        # Regression: exploration order must not depend on dict-insertion
+        # accidents, so a thread-permuted copy of a region explores an
+        # isomorphic tree and lands on the same schedule — even when the
+        # budget runs out mid-search.
+        from repro.core.ops import Region, ThreadCode, Operation
+
+        model = CostModel(class_cost={"add": 3.0, "mul": 24.0, "ld": 6.0},
+                          require_equal_imm=True)
+        base = random_region(
+            RandomRegionSpec(num_threads=4, min_len=6, max_len=6,
+                             vocab_size=4, overlap=0.5, private_vocab=False),
+            seed=9)
+        perm = [2, 0, 3, 1]
+        permuted = Region(tuple(
+            ThreadCode(t, tuple(
+                Operation(t, op.index, op.opcode, op.reads, op.writes, op.imm)
+                for op in base[perm[t]].ops))
+            for t in range(base.num_threads)))
+
+        cfg = SearchConfig(node_budget=budget)
+        s1, st1 = branch_and_bound(base, model, cfg)
+        s2, st2 = branch_and_bound(permuted, model, cfg)
+        assert s1.cost(model) == pytest.approx(s2.cost(model))
+        assert [slot.opclass for slot in s1] == [slot.opclass for slot in s2]
+        assert st1.nodes_expanded == st2.nodes_expanded
+        # The permuted schedule is the original one relabelled.
+        relabel = {perm[t]: t for t in range(len(perm))}
+        assert [{relabel[t]: i for t, i in slot.picks.items()} for slot in s1] \
+            == [dict(slot.picks) for slot in s2]
+
+
 class TestStats:
     def test_stats_populated(self):
         region = random_region(RandomRegionSpec(num_threads=3, min_len=4, max_len=6), seed=0)

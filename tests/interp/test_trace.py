@@ -81,3 +81,28 @@ class TestRegionFromTraces:
         for name in ALL_OPCODES:
             assert model.cost_of_class(name) > 0
         assert model.cost_of_class("Mul") > model.cost_of_class("Add")
+
+
+class TestInduceTraces:
+    def test_windowed_induction_over_bundle(self):
+        from repro.interp import induce_traces
+        unit = compile_mimdc(kernel_source("divergent", 3))
+        bundle = trace_program(unit.program, 8, max_ops_per_pe=24)
+        induction = induce_traces(bundle, window_size=8)
+        assert induction.bundle is bundle
+        assert induction.result.num_windows >= 1
+        assert induction.induced_cost == pytest.approx(
+            induction.result.schedule.cost(interp_cost_model()))
+        assert induction.speedup_vs_serial >= 1.0 - 1e-9
+        assert induction.speedup_vs_lockstep >= 1.0 - 1e-9
+
+    def test_cache_reused_across_bundles(self):
+        from repro.core import ScheduleCache
+        from repro.interp import induce_traces
+        unit = compile_mimdc(kernel_source("divergent", 3))
+        bundle = trace_program(unit.program, 8, max_ops_per_pe=24)
+        cache = ScheduleCache()
+        cold = induce_traces(bundle, window_size=8, cache=cache)
+        warm = induce_traces(bundle, window_size=8, cache=cache)
+        assert warm.result.cache_hits == warm.result.num_windows
+        assert warm.induced_cost == pytest.approx(cold.induced_cost)

@@ -94,6 +94,46 @@ class TestInduce:
     def test_uniform_model(self, region_file, capsys):
         assert main(["induce", region_file, "--model", "uniform"]) == 0
 
+    def test_trace_flag_writes_jsonl(self, region_file, tmp_path, capsys):
+        import json
+        trace = tmp_path / "trace.jsonl"
+        assert main(["induce", region_file, "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "trace: 1 events" in out
+        (line,) = trace.read_text().splitlines()
+        event = json.loads(line)
+        assert event["kind"] == "induce" and event["method"] == "search"
+
+    def test_cache_dir_second_run_hits(self, region_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["induce", region_file, "--cache-dir", cache_dir]) == 0
+        assert "cache: miss" in capsys.readouterr().out
+        assert main(["induce", region_file, "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "cache: hit" in out
+        assert "hits=1" in out
+
+    def test_windowed_with_jobs(self, region_file, capsys):
+        assert main(["induce", region_file, "--window", "1", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "method=search/windowed" in out
+        assert "windows: 2" in out and "all_optimal=True" in out
+
+    def test_window_requires_search_method(self, region_file):
+        with pytest.raises(SystemExit):
+            main(["induce", region_file, "--window", "2", "--method", "greedy"])
+
+
+class TestStats:
+    def test_summarizes_trace(self, region_file, tmp_path, capsys):
+        trace = str(tmp_path / "trace.jsonl")
+        main(["induce", region_file, "--window", "1", "--trace", trace])
+        capsys.readouterr()
+        assert main(["stats", trace]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        assert "window: 2 events" in out
+
 
 class TestSelect:
     def test_basic(self, src, capsys):
