@@ -11,8 +11,8 @@ Two design choices DESIGN.md calls out:
 
 import pytest
 
-from conftest import record_table
-from repro.core import CostModel, induce
+from conftest import api_induce, record_table
+from repro.core import CostModel
 from repro.core.search import SearchConfig
 from repro.util import format_table, geometric_mean
 from repro.workloads import RandomRegionSpec, random_region
@@ -50,7 +50,7 @@ def run_experiment():
     for strict in (False, True):
         model = CostModel(mask_overhead=1.0, default_cost=3.0,
                           require_equal_imm=strict)
-        speedups = [induce(r, model, method="search", config=CONFIG).speedup_vs_serial
+        speedups = [api_induce(r, model, method="search", config=CONFIG).speedup_vs_serial
                     for r in _regions(imm_heavy=True)]
         data[("imm", strict)] = geometric_mean(speedups)
         rows.append([f"require_equal_imm={strict}", "-",
@@ -63,7 +63,7 @@ def run_experiment():
     for overhead in (0.0, 1.0, 3.0, 10.0, 30.0):
         model = CostModel(class_cost=het_costs, mask_overhead=overhead,
                           default_cost=3.0)
-        speedups = [induce(r, model, method="search", config=CONFIG).speedup_vs_serial
+        speedups = [api_induce(r, model, method="search", config=CONFIG).speedup_vs_serial
                     for r in _regions(imm_heavy=False)]
         data[("mask", overhead)] = geometric_mean(speedups)
         rows.append(["mask overhead sweep", overhead,

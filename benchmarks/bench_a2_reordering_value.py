@@ -10,8 +10,8 @@ reordering is impossible by construction — the lower bound of this axis).
 
 import pytest
 
-from conftest import record_table
-from repro.core import induce, uniform_cost_model
+from conftest import api_induce, record_table
+from repro.core import uniform_cost_model
 from repro.core.search import SearchConfig
 from repro.interp.trace import interp_cost_model, trace_program
 from repro.lang import compile_mimdc
@@ -36,9 +36,9 @@ def run_experiment():
                                  vocab_size=8, overlap=0.6,
                                  private_vocab=False, max_read_arity=arity),
                 seed=seed)
-            dag = induce(region, MODEL, method="search",
+            dag = api_induce(region, MODEL, method="search",
                          config=SearchConfig(node_budget=BUDGET))
-            order = induce(region, MODEL, method="search",
+            order = api_induce(region, MODEL, method="search",
                            config=SearchConfig(node_budget=BUDGET,
                                                respect_order=True))
             dag_speedups.append(dag.speedup_vs_serial)
@@ -51,7 +51,7 @@ def run_experiment():
     # Traced interpreter streams: strict chains, alignment only.
     unit = compile_mimdc(kernel_source("divergent", 4))
     bundle = trace_program(unit.program, 32, max_ops_per_pe=24)
-    traced = induce(bundle.region(), interp_cost_model(), method="search",
+    traced = api_induce(bundle.region(), interp_cost_model(), method="search",
                     config=SearchConfig(node_budget=BUDGET))
     data["traced chains"] = (traced.speedup_vs_serial, traced.speedup_vs_serial)
     rows.append(["traced interpreter streams",

@@ -20,14 +20,13 @@ Two regimes, both reported:
 
 import pytest
 
-from conftest import record_table
+from conftest import api_induce, record_table
 from repro.core import (
     anneal_schedule,
     greedy_schedule,
     maspar_cost_model,
     serial_schedule,
     verify_schedule,
-    windowed_induce,
 )
 from repro.core.search import SearchConfig
 from repro.util import format_table
@@ -67,7 +66,7 @@ def run_experiment():
                  f"{serial_cost / annealed.cost(MODEL):.2f}x", "-"])
 
     for w in WINDOWS:
-        result = windowed_induce(region, MODEL, window_size=w,
+        result = api_induce(region, MODEL, window_size=w,
                                  config=SearchConfig(node_budget=BUDGET))
         verify_schedule(result.schedule, region, MODEL)
         cost = result.schedule.cost(MODEL)
@@ -90,7 +89,7 @@ def run_experiment():
                          vocab_size=8, overlap=0.6, private_vocab=False),
         seed=42)
     g2 = greedy_schedule(moderate, MODEL).cost(MODEL)
-    w2 = windowed_induce(moderate, MODEL, window_size=10,
+    w2 = api_induce(moderate, MODEL, window_size=10,
                          config=SearchConfig(node_budget=300_000))
     verify_schedule(w2.schedule, moderate, MODEL)
     data["moderate"] = (g2, w2.schedule.cost(MODEL), w2.all_optimal)

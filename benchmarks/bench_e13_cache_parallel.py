@@ -25,12 +25,10 @@ import time
 
 import pytest
 
-from conftest import record_table
+from conftest import api_induce, record_table
 from repro.core import (
     ScheduleCache,
-    induce,
     maspar_cost_model,
-    windowed_induce,
 )
 from repro.core.search import SearchConfig
 from repro.util import format_table
@@ -62,11 +60,11 @@ def run_experiment():
     cache = ScheduleCache()
     region = dense_region()
     cfg = SearchConfig(node_budget=BUDGET)
-    cold = induce(region, MODEL, config=cfg, cache=cache)
+    cold = api_induce(region, MODEL, config=cfg, cache=cache)
     warm_walls = []
     for _ in range(3):
         t0 = time.perf_counter()
-        warm = induce(region, MODEL, config=cfg, cache=cache)
+        warm = api_induce(region, MODEL, config=cfg, cache=cache)
         warm_walls.append(time.perf_counter() - t0)
     assert warm.cache_hit and warm.cost == cold.cost
     warm_wall = min(warm_walls)
@@ -81,11 +79,11 @@ def run_experiment():
     wregion = wide_region()
     wcfg = SearchConfig(node_budget=3_000)
     t0 = time.perf_counter()
-    wcold = windowed_induce(wregion, MODEL, window_size=8, config=wcfg,
+    wcold = api_induce(wregion, MODEL, window_size=8, config=wcfg,
                             cache=wcache)
     cold_wall = time.perf_counter() - t0
     t0 = time.perf_counter()
-    wwarm = windowed_induce(wregion, MODEL, window_size=8, config=wcfg,
+    wwarm = api_induce(wregion, MODEL, window_size=8, config=wcfg,
                             cache=wcache)
     warm_wall_w = time.perf_counter() - t0
     assert wwarm.schedule == wcold.schedule
@@ -98,10 +96,10 @@ def run_experiment():
     # -- Parallel fan-out: serial vs jobs=4 with search-dominated windows.
     pcfg = SearchConfig(node_budget=40_000)
     t0 = time.perf_counter()
-    serial = windowed_induce(wregion, MODEL, window_size=8, config=pcfg)
+    serial = api_induce(wregion, MODEL, window_size=8, config=pcfg)
     serial_wall = time.perf_counter() - t0
     t0 = time.perf_counter()
-    parallel = windowed_induce(wregion, MODEL, window_size=8, config=pcfg,
+    parallel = api_induce(wregion, MODEL, window_size=8, config=pcfg,
                                jobs=4)
     parallel_wall = time.perf_counter() - t0
     assert parallel.schedule == serial.schedule

@@ -9,8 +9,8 @@ search >= greedy >= 1 everywhere.
 
 import pytest
 
-from conftest import record_table
-from repro.core import induce, maspar_cost_model
+from conftest import api_induce, record_table
+from repro.core import maspar_cost_model
 from repro.core.search import SearchConfig
 from repro.util import format_table, geometric_mean
 from repro.workloads import RandomRegionSpec, random_region
@@ -35,7 +35,7 @@ def run_experiment() -> dict[str, dict[int, float]]:
         for t in THREAD_COUNTS:
             vals = []
             for seed in SEEDS:
-                r = induce(region_for(t, seed), MODEL, method=method,
+                r = api_induce(region_for(t, seed), MODEL, method=method,
                            config=CONFIG if method == "search" else None)
                 vals.append(r.speedup_vs_serial)
             by_method[method][t] = geometric_mean(vals)

@@ -9,8 +9,8 @@ monotonically (up to sampling noise) between the two extremes.
 
 import pytest
 
-from conftest import record_table
-from repro.core import induce, maspar_cost_model
+from conftest import api_induce, record_table
+from repro.core import maspar_cost_model
 from repro.core.search import SearchConfig
 from repro.util import format_table, geometric_mean
 from repro.workloads import RandomRegionSpec, random_region
@@ -34,7 +34,7 @@ def run_experiment():
                                  private_vocab=True),
                 seed=seed)
             for method in ("greedy", "search"):
-                r = induce(region, MODEL, method=method,
+                r = api_induce(region, MODEL, method=method,
                            config=CONFIG if method == "search" else None)
                 per_method[method].append(r.speedup_vs_serial)
                 if method == "search":

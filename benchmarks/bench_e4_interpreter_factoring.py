@@ -12,8 +12,7 @@ would be several times slower"):
 
 import pytest
 
-from conftest import record_table
-from repro.core import induce
+from conftest import api_induce, record_table
 from repro.core.search import SearchConfig
 from repro.interp import InterpreterConfig, run_program
 from repro.lang import compile_mimdc
@@ -38,9 +37,9 @@ def run_experiment():
     data = {}
     for label, mix in MIXES.items():
         region = interpreter_handler_region(mix)
-        serial = induce(region, model, method="serial")
-        factor = induce(region, model, method="factor")
-        search = induce(region, model, method="search",
+        serial = api_induce(region, model, method="serial")
+        factor = api_induce(region, model, method="factor")
+        search = api_induce(region, model, method="search",
                         config=SearchConfig(node_budget=100_000))
         data[label] = (serial.cost, factor.cost, search.cost)
         rows.append([label, round(serial.cost, 0), round(factor.cost, 0),

@@ -24,6 +24,20 @@ def record_table(name: str, text: str) -> None:
     _TABLES.append(text)
 
 
+def api_induce(region, model, *, window_size: int = 0, **kwargs):
+    """Benchmark entry point for induction, routed through ``repro.api``.
+
+    Accepts the old keyword spelling (``window_size``) so experiment code
+    reads like the paper; everything else maps 1:1 onto
+    :class:`repro.api.InductionRequest`.
+    """
+    from repro import api
+
+    request = api.InductionRequest(region=region, model=model,
+                                   window=window_size, **kwargs)
+    return api.induce(request)
+
+
 @pytest.hookimpl(trylast=True)
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     if not _TABLES:

@@ -1,0 +1,157 @@
+"""The unified induction facade: one request type, one entry point.
+
+Before this module callers picked between three positional signatures —
+:func:`repro.core.pipeline.induce`, :func:`repro.core.window.windowed_induce`
+and (now) the service client — each with its own argument order and result
+shape.  The facade collapses that to::
+
+    from repro import api
+
+    request = api.InductionRequest(region, model="maspar", window=8, jobs=4)
+    result = api.induce(request)            # local execution
+    result = api.induce(request, client="/tmp/repro.sock")   # via the service
+
+Routing rules, in order:
+
+1. ``client`` given (a :class:`repro.service.ServiceClient` or an address
+   string) — the request is submitted to a running ``repro serve`` daemon;
+2. ``deadline_s`` set — the request runs in a supervised one-shot worker
+   process that is killed at the deadline, degrading to the greedy
+   schedule (``degraded=True``, never an error);
+3. ``window > 0`` — windowed induction with optional process-pool fan-out;
+4. otherwise — one-shot induction.
+
+Every route returns an object implementing the unified result protocol
+(:class:`repro.core.result.ResultBase`), so callers never special-case
+where the schedule came from.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.core.cache import ScheduleCache, region_fingerprint
+from repro.core.costmodel import CostModel, maspar_cost_model, uniform_cost_model
+from repro.core.ops import Region, parse_region
+from repro.core.pipeline import METHODS, InductionResult, _induce_impl
+from repro.core.result import ResultBase
+from repro.core.search import SearchConfig
+from repro.core.window import WindowedResult, _windowed_induce_impl
+from repro.obs import Tracer
+
+__all__ = ["InductionRequest", "induce"]
+
+#: Named cost models accepted anywhere a :class:`CostModel` is expected
+#: (including over the service wire).
+NAMED_MODELS = ("maspar", "uniform")
+
+
+@dataclass
+class InductionRequest:
+    """Everything one induction needs, in one value.
+
+    ``region`` and ``model`` accept either the parsed object or its
+    textual/named form (``parse_region`` syntax, ``"maspar"``/``"uniform"``)
+    so CLI, tests and the service build requests the same way.  ``budget``
+    is a shorthand for ``config=SearchConfig(node_budget=...)``; an explicit
+    ``config`` wins.  ``cache`` and ``tracer`` are live handles and stay
+    local — they never cross a process boundary.
+    """
+
+    region: Region | str
+    model: CostModel | str = "maspar"
+    method: str = "search"
+    window: int = 0
+    jobs: int = 1
+    config: SearchConfig | None = None
+    budget: int | None = None
+    deadline_s: float | None = None
+    verify: bool = True
+    cache: ScheduleCache | None = None
+    tracer: Tracer | None = None
+
+    def __post_init__(self) -> None:
+        if self.method not in METHODS:
+            raise ValueError(
+                f"unknown method {self.method!r}; expected one of {METHODS}")
+        if self.window < 0:
+            raise ValueError(f"window must be >= 0, got {self.window}")
+        if self.window and self.method != "search":
+            raise ValueError("window > 0 only applies to method='search'")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline_s}")
+
+    def resolved_region(self) -> Region:
+        return parse_region(self.region) if isinstance(self.region, str) \
+            else self.region
+
+    def resolved_model(self) -> CostModel:
+        if isinstance(self.model, CostModel):
+            return self.model
+        if self.model == "maspar":
+            return maspar_cost_model()
+        if self.model == "uniform":
+            return uniform_cost_model()
+        raise ValueError(
+            f"unknown model {self.model!r}; expected one of {NAMED_MODELS} "
+            "or a CostModel")
+
+    def resolved_config(self) -> SearchConfig:
+        if self.config is not None:
+            return self.config
+        if self.budget is not None:
+            return SearchConfig(node_budget=self.budget)
+        return SearchConfig()
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of the *request* — the service's dedup key.
+
+        Two requests agree iff they must produce the same schedule, so
+        ``jobs``, ``deadline_s`` and the local handles are excluded while
+        ``window`` (which changes the schedule at seams) is folded in.
+        """
+        tag = f"{self.method}+w{self.window}" if self.window else self.method
+        return region_fingerprint(self.resolved_region(), self.resolved_model(),
+                                  self.resolved_config(), method=tag)
+
+    def replace(self, **changes) -> "InductionRequest":
+        return dataclasses.replace(self, **changes)
+
+
+def _execute_local(request: InductionRequest) -> InductionResult | WindowedResult:
+    """Run the request in this process (routes window vs one-shot)."""
+    region = request.resolved_region()
+    model = request.resolved_model()
+    config = request.resolved_config()
+    if request.window:
+        return _windowed_induce_impl(
+            region, model, window_size=request.window, config=config,
+            jobs=request.jobs, cache=request.cache, tracer=request.tracer)
+    return _induce_impl(
+        region, model, method=request.method, config=config,
+        verify=request.verify, cache=request.cache, tracer=request.tracer)
+
+
+def induce(request: InductionRequest, client=None) -> ResultBase:
+    """Route ``request`` to the right induction engine (see module doc).
+
+    ``client`` may be a :class:`repro.service.ServiceClient` or an address
+    string (unix-socket path or ``host:port``); either sends the request to
+    a running ``repro serve`` daemon and returns its reply.
+    """
+    if not isinstance(request, InductionRequest):
+        raise TypeError(
+            f"repro.api.induce takes an InductionRequest, got "
+            f"{type(request).__name__}; the old positional signatures live "
+            "in repro.core (deprecated)")
+    if client is not None:
+        if isinstance(client, str):
+            from repro.service.client import ServiceClient
+            with ServiceClient(client) as live:
+                return live.submit(request)
+        return client.submit(request)
+    if request.deadline_s is not None:
+        from repro.service.workers import run_local_with_deadline
+        return run_local_with_deadline(request)
+    return _execute_local(request)

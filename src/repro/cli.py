@@ -86,49 +86,53 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _describe_result(result) -> list[str]:
+    """Uniform result rendering via the unified result protocol."""
+    d = result.as_dict()
+    head = "method=search/windowed" if d["kind"] == "windowed" \
+        else f"method={d['method']}"
+    lines = [f"{head} cost={d['cost']:.1f} serial={d['serial_cost']:.1f} "
+             f"speedup={d['speedup_vs_serial']:.2f}x"
+             + (" [degraded]" if d["degraded"] else "")]
+    if d["kind"] == "windowed":
+        lines.append(f"windows: {d['windows']} (size {d['window_size']}), "
+                     f"{d['nodes']} nodes, jobs={d['jobs']}, "
+                     f"cache_hits={d['cache_hits']}, "
+                     f"all_optimal={d['optimal']}, wall={d['wall_s']:.3f}s")
+    elif result.search_stats:
+        lines.append(f"search: {d['nodes']} nodes, optimal={d['optimal']}")
+    return lines
+
+
+def _build_request(args, region_text: str):
+    """Shared ``induce``/``submit`` request construction (same flags)."""
+    from repro import api
+
+    try:
+        return api.InductionRequest(
+            region=region_text, model=args.model, method=args.method,
+            window=args.window, jobs=args.jobs, budget=args.budget,
+            deadline_s=args.deadline)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
 def _cmd_induce(args) -> int:
-    from repro.core import (
-        ScheduleCache, induce, lower_schedule, maspar_cost_model, parse_region,
-        render_simd_code, serial_schedule, uniform_cost_model, windowed_induce,
-    )
-    from repro.core.search import SearchConfig
+    from repro import api
+    from repro.core import ScheduleCache, lower_schedule, render_simd_code
     from repro.obs import JsonlTracer
 
-    region = parse_region(open(args.region).read())
-    model = maspar_cost_model() if args.model == "maspar" else uniform_cost_model()
-    config = SearchConfig(node_budget=args.budget)
     cache = ScheduleCache(cache_dir=args.cache_dir) if args.cache_dir else None
     tracer = JsonlTracer(args.trace) if args.trace else None
+    request = _build_request(args, open(args.region).read())
+    request.cache = cache
+    request.tracer = tracer
     try:
-        if args.window:
-            if args.method != "search":
-                raise SystemExit("--window only applies to --method search")
-            wres = windowed_induce(region, model, window_size=args.window,
-                                   config=config, jobs=args.jobs,
-                                   cache=cache, tracer=tracer)
-            schedule = wres.schedule
-            cost = schedule.cost(model)
-            serial_cost = serial_schedule(region, model).cost(model)
-            speedup = serial_cost / cost if cost else 1.0
-            print(f"method=search/windowed cost={cost:.1f} "
-                  f"serial={serial_cost:.1f} speedup={speedup:.2f}x")
-            print(f"windows: {wres.num_windows} (size {wres.window_size}), "
-                  f"{wres.total_nodes} nodes, jobs={wres.jobs_used}, "
-                  f"cache_hits={wres.cache_hits}, "
-                  f"all_optimal={wres.all_optimal}, wall={wres.wall_s:.3f}s")
-        else:
-            result = induce(region, model, method=args.method, config=config,
-                            cache=cache, tracer=tracer)
-            schedule = result.schedule
-            print(f"method={args.method} cost={result.cost:.1f} "
-                  f"serial={result.serial_cost:.1f} "
-                  f"speedup={result.speedup_vs_serial:.2f}x")
-            if result.stats is not None:
-                print(f"search: {result.stats.nodes_expanded} nodes, "
-                      f"optimal={result.stats.optimal}")
-            if cache is not None:
-                print(f"cache: {'hit' if result.cache_hit else 'miss'}")
+        result = api.induce(request)
+        for line in _describe_result(result):
+            print(line)
         if cache is not None:
+            print(f"cache: {'hit' if result.cache_hit else 'miss'}")
             snap = cache.counters.snapshot()
             print(f"cache counters: hits={snap.get('hits', 0):.0f} "
                   f"misses={snap.get('misses', 0):.0f} "
@@ -138,9 +142,111 @@ def _cmd_induce(args) -> int:
     finally:
         if tracer is not None:
             tracer.close()
-    print(render_simd_code(lower_schedule(schedule, region, model),
-                           region.num_threads))
+    region = request.resolved_region()
+    print(render_simd_code(
+        lower_schedule(result.schedule, region, request.resolved_model()),
+        region.num_threads))
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.core import ScheduleCache
+    from repro.obs import JsonlTracer
+    from repro.service import InductionServer, ServerConfig, ServiceClient
+
+    if args.status or args.stop:
+        client = ServiceClient(args.socket)
+        if args.status:
+            print(f"service at {args.socket}:")
+            for name, value in sorted(client.stats().items()):
+                print(f"  {name:24s} {value:g}")
+        if args.stop:
+            client.shutdown(drain=True)
+            print("server drained and stopped")
+        return 0
+
+    cache = ScheduleCache(cache_dir=args.cache_dir) if args.cache_dir \
+        else ScheduleCache()
+    tracer = JsonlTracer(args.trace) if args.trace else None
+    import os
+    config = ServerConfig(
+        address=args.socket,
+        workers=args.jobs or (os.cpu_count() or 1),
+        queue_size=args.queue_size,
+        batch_max=args.batch_max,
+        default_deadline_s=args.deadline,
+        allow_chaos=args.allow_chaos,
+    )
+    server = InductionServer(config, cache=cache, tracer=tracer)
+    print(f"induction service listening on {server.address} "
+          f"(workers={config.workers}, queue={config.queue_size})", flush=True)
+    try:
+        while not server.wait_stopped(0.5):
+            pass
+    except KeyboardInterrupt:
+        print("draining in-flight requests...")
+        server.shutdown(drain=True)
+    finally:
+        if tracer is not None:
+            tracer.close()
+    print("server stopped")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import time
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.obs import JsonlTracer
+    from repro.service import ServiceBusy, ServiceClient
+
+    requests = []
+    for path in args.region:
+        request = _build_request(args, open(path).read())
+        for i in range(args.repeat):
+            requests.append((f"{path}" + (f"[{i}]" if args.repeat > 1 else ""),
+                             request))
+    client = ServiceClient(args.socket)
+    tracer = JsonlTracer(args.trace) if args.trace else None
+
+    def one(item):
+        label, request = item
+        try:
+            return label, client.submit(request), None
+        except ServiceBusy as exc:
+            return label, None, exc
+
+    start = time.monotonic()
+    if args.concurrency > 1:
+        with ThreadPoolExecutor(max_workers=args.concurrency) as pool:
+            outcomes = list(pool.map(one, requests))
+    else:
+        outcomes = [one(item) for item in requests]
+    wall = time.monotonic() - start
+
+    ok = busy = 0
+    try:
+        for label, result, exc in outcomes:
+            if result is None:
+                busy += 1
+                print(f"{label}: busy ({exc})")
+                continue
+            ok += 1
+            d = result.as_dict()
+            print(f"{label}: cost={d['cost']:.1f} "
+                  f"speedup={d['speedup_vs_serial']:.2f}x "
+                  f"disposition={result.extras.get('disposition', '?')}"
+                  + (" [degraded]" if d["degraded"] else ""))
+            if tracer is not None:
+                fields = {k: v for k, v in d.items() if k != "kind"}
+                tracer.emit("submit", label=label, **fields)
+        rate = ok / wall if wall else float("inf")
+        print(f"submitted {len(outcomes)} requests: {ok} ok, {busy} busy, "
+              f"{wall:.3f}s ({rate:.1f} req/s)")
+    finally:
+        if tracer is not None:
+            tracer.close()
+    return 0 if busy == 0 else 1
 
 
 def _cmd_stats(args) -> int:
@@ -221,11 +327,62 @@ def build_parser() -> argparse.ArgumentParser:
                    help="induce window-by-window at this window size (0 = whole region)")
     p.add_argument("--jobs", type=int, default=1,
                    help="parallel window searches (0 = all cores; needs --window)")
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="wall-clock budget; on expiry degrade to the greedy "
+                        "schedule (flagged degraded, never an error)")
     p.add_argument("--trace", metavar="FILE",
                    help="append one JSONL trace event per search/window to FILE")
     p.add_argument("--cache-dir", metavar="DIR",
                    help="persistent schedule cache directory (content-addressed)")
     p.set_defaults(fn=_cmd_induce)
+
+    p = sub.add_parser(
+        "serve", help="run (or query) the long-running induction service")
+    p.add_argument("--socket", default="/tmp/repro.sock", metavar="ADDR",
+                   help="unix-socket path, or host:port for TCP loopback")
+    p.add_argument("--jobs", type=int, default=0,
+                   help="worker processes (0 = all cores)")
+    p.add_argument("--queue-size", type=int, default=64,
+                   help="admission-control bound; excess requests get 'busy'")
+    p.add_argument("--batch-max", type=int, default=16,
+                   help="max requests batched/deduplicated per dispatch")
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="default per-request deadline (requests may override)")
+    p.add_argument("--trace", metavar="FILE",
+                   help="append one JSONL trace event per service batch/request")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="persistent schedule cache directory (content-addressed)")
+    p.add_argument("--allow-chaos", action="store_true",
+                   help="honour client fault injection (tests only)")
+    p.add_argument("--status", action="store_true",
+                   help="print a running server's metrics and exit")
+    p.add_argument("--stop", action="store_true",
+                   help="drain and stop a running server, then exit")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit region files to a running induction service")
+    p.add_argument("region", nargs="+", help="region file(s) (parse_region syntax)")
+    p.add_argument("--socket", default="/tmp/repro.sock", metavar="ADDR",
+                   help="service address (unix-socket path or host:port)")
+    p.add_argument("--method", default="search",
+                   choices=["search", "greedy", "anneal", "factor",
+                            "lockstep", "serial"])
+    p.add_argument("--model", default="maspar", choices=["maspar", "uniform"])
+    p.add_argument("--budget", type=int, default=100_000)
+    p.add_argument("--window", type=int, default=0, metavar="SIZE",
+                   help="induce window-by-window at this window size (0 = whole region)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel window searches server-side (needs --window)")
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="per-request deadline; server degrades to greedy on expiry")
+    p.add_argument("--trace", metavar="FILE",
+                   help="append one JSONL event per reply to FILE")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="submit each region this many times (dedup/cache demo)")
+    p.add_argument("--concurrency", type=int, default=1,
+                   help="client threads submitting in parallel")
+    p.set_defaults(fn=_cmd_submit)
 
     p = sub.add_parser("stats", help="summarize a JSONL trace file")
     p.add_argument("trace", help="trace file written by --trace")

@@ -32,6 +32,12 @@ from repro.core.greedy import greedy_schedule
 from repro.core.lower import MaskedInstruction, lower_schedule, render_simd_code
 from repro.core.ops import Operation, Region, ThreadCode, parse_region
 from repro.core.pipeline import InductionResult, induce
+from repro.core.result import (
+    ResultBase,
+    ServiceResult,
+    result_from_payload,
+    result_to_payload,
+)
 from repro.core.schedule import Schedule, Slot
 from repro.core.search import SearchStats, branch_and_bound
 from repro.core.serial import lockstep_schedule, serial_schedule
@@ -64,6 +70,10 @@ __all__ = [
     "parse_region",
     "region_fingerprint",
     "render_simd_code",
+    "result_from_payload",
+    "result_to_payload",
+    "ResultBase",
+    "ServiceResult",
     "schedule_from_payload",
     "schedule_to_payload",
     "serial_schedule",

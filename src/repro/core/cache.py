@@ -30,6 +30,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -126,6 +127,11 @@ class ScheduleCache:
 
     Counter names: ``hits``, ``memory_hits``, ``disk_hits``, ``misses``,
     ``stores``, ``evictions``, ``disk_errors``.
+
+    Thread-safe: the induction server's connection handlers and batcher
+    share one cache, so the memory tier is guarded by an :class:`RLock`
+    (the disk tier was already safe — atomic replace on write, torn reads
+    degrade to a miss).
     """
 
     def __init__(self, capacity: int = 1024,
@@ -137,10 +143,12 @@ class ScheduleCache:
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
         self._memory: OrderedDict[str, _Entry] = OrderedDict()
+        self._lock = threading.RLock()
         self.counters = Counters()
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     @property
     def hit_rate(self) -> float:
@@ -149,15 +157,17 @@ class ScheduleCache:
 
     def get(self, fingerprint: str) -> tuple[Schedule, SearchStats | None] | None:
         """Schedule + stats stored under ``fingerprint``, or None on miss."""
-        entry = self._memory.get(fingerprint)
-        if entry is not None:
-            self._memory.move_to_end(fingerprint)
-            self.counters.bump("hits")
-            self.counters.bump("memory_hits")
-            return entry.schedule, self._copy_stats(entry.stats)
+        with self._lock:
+            entry = self._memory.get(fingerprint)
+            if entry is not None:
+                self._memory.move_to_end(fingerprint)
+                self.counters.bump("hits")
+                self.counters.bump("memory_hits")
+                return entry.schedule, self._copy_stats(entry.stats)
         entry = self._disk_get(fingerprint)
         if entry is not None:
-            self._remember(fingerprint, entry)
+            with self._lock:
+                self._remember(fingerprint, entry)
             self.counters.bump("hits")
             self.counters.bump("disk_hits")
             return entry.schedule, self._copy_stats(entry.stats)
@@ -168,7 +178,8 @@ class ScheduleCache:
             stats: SearchStats | None = None) -> None:
         """Store a finished schedule in both tiers."""
         entry = _Entry(schedule, self._copy_stats(stats))
-        self._remember(fingerprint, entry)
+        with self._lock:
+            self._remember(fingerprint, entry)
         self.counters.bump("stores")
         if self.cache_dir is not None:
             self._disk_put(fingerprint, entry)
@@ -176,6 +187,7 @@ class ScheduleCache:
     # -- memory tier ------------------------------------------------------
 
     def _remember(self, fingerprint: str, entry: _Entry) -> None:
+        # Caller holds the lock.
         self._memory[fingerprint] = entry
         self._memory.move_to_end(fingerprint)
         while len(self._memory) > self.capacity:

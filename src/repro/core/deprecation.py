@@ -1,0 +1,30 @@
+"""Warn-once plumbing for the pre-``repro.api`` entry points.
+
+The positional ``induce(region, model, ...)`` / ``windowed_induce(...)``
+signatures predate the :mod:`repro.api` facade and stay as thin shims.
+Each shim warns exactly once per process — property-based tests call the
+old names thousands of times and a warning per call would drown real
+output — keyed by shim name so distinct shims still each get their one
+warning.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["reset_warned", "warn_once"]
+
+_WARNED: set[str] = set()
+
+
+def warn_once(key: str, message: str) -> None:
+    """Emit ``DeprecationWarning`` the first time ``key`` is seen."""
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def reset_warned() -> None:
+    """Forget which shims have warned (tests only)."""
+    _WARNED.clear()

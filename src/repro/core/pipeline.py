@@ -23,9 +23,11 @@ from repro.core.anneal import anneal_schedule
 from repro.core.cache import ScheduleCache, region_fingerprint
 from repro.core.costmodel import CostModel
 from repro.core.dag import build_dags
+from repro.core.deprecation import warn_once
 from repro.core.factor import factor_schedule
 from repro.core.greedy import greedy_schedule
 from repro.core.ops import Region
+from repro.core.result import ResultBase
 from repro.core.schedule import Schedule
 from repro.core.search import SearchConfig, SearchStats, branch_and_bound
 from repro.core.serial import lockstep_schedule, serial_schedule
@@ -38,8 +40,8 @@ METHODS = ("search", "greedy", "anneal", "factor", "lockstep", "serial")
 
 
 @dataclass(frozen=True)
-class InductionResult:
-    """Outcome of one induction run."""
+class InductionResult(ResultBase):
+    """Outcome of one induction run (unified result protocol)."""
 
     method: str
     schedule: Schedule
@@ -49,28 +51,9 @@ class InductionResult:
     stats: SearchStats | None = None
     cache_hit: bool = False
     wall_s: float = 0.0
+    degraded: bool = False
 
-    @property
-    def speedup_vs_serial(self) -> float:
-        """Paper-style speedup: serialized-MIMD time / induced time."""
-        return _speedup(self.serial_cost, self.cost)
-
-    @property
-    def speedup_vs_lockstep(self) -> float:
-        """Speedup over the naive lockstep interpreter schedule."""
-        return _speedup(self.lockstep_cost, self.cost)
-
-
-def _speedup(baseline: float, cost: float) -> float:
-    """``baseline / cost`` with the empty-region case pinned to 1.0.
-
-    An empty schedule measured against an empty baseline is a no-op versus
-    a no-op — neither faster nor slower — so 0.0/0.0 reports 1.0 rather
-    than falling into the infinite-speedup branch.
-    """
-    if cost:
-        return baseline / cost
-    return 1.0 if not baseline else float("inf")
+    kind = "induce"
 
 
 def _build_schedule(
@@ -98,6 +81,31 @@ def _build_schedule(
 
 
 def induce(
+    region: Region,
+    model: CostModel,
+    method: str = "search",
+    config: SearchConfig | None = None,
+    verify: bool = True,
+    cache: ScheduleCache | None = None,
+    tracer: Tracer | None = None,
+) -> InductionResult:
+    """Deprecated positional entry point; use :func:`repro.api.induce`.
+
+    Behaves exactly like the original ``induce`` and warns once per
+    process.  New code should build a :class:`repro.api.InductionRequest`
+    and call :func:`repro.api.induce`, which routes between one-shot,
+    windowed and service execution.
+    """
+    warn_once(
+        "core.induce",
+        "repro.core.induce(region, model, ...) is deprecated; build a "
+        "repro.api.InductionRequest and call repro.api.induce(request)",
+    )
+    return _induce_impl(region, model, method=method, config=config,
+                        verify=verify, cache=cache, tracer=tracer)
+
+
+def _induce_impl(
     region: Region,
     model: CostModel,
     method: str = "search",

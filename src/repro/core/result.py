@@ -1,0 +1,178 @@
+"""The unified induction-result protocol.
+
+Induction produces results through three doors — one-shot
+:class:`repro.core.pipeline.InductionResult`, windowed
+:class:`repro.core.window.WindowedResult`, and replies from the induction
+service (:class:`ServiceResult`) — and before this module each had its own
+shape, so every consumer (CLI, benchmarks, the service wire format)
+special-cased them.  :class:`ResultBase` gives all three one surface:
+
+- ``method``, ``schedule``, ``cost``, ``serial_cost``, ``lockstep_cost``;
+- ``speedup_vs_serial`` / ``speedup_vs_lockstep`` (paper-style ratios);
+- ``search_stats`` — always a tuple, empty for baselines, one entry per
+  window for windowed runs;
+- ``cache_hit`` — True when the *whole* result came from the cache;
+- ``optimal`` — every search involved completed within budget and the
+  result was not degraded;
+- ``degraded`` — the service (or a local deadline) fell back to the
+  greedy/incumbent schedule instead of finishing the search;
+- ``wall_s`` and ``as_dict()`` — one JSON-able serialization for traces,
+  the service protocol and table printers.
+
+:func:`result_to_payload` / :func:`result_from_payload` round-trip any
+result through JSON; the reconstructed side is a :class:`ServiceResult`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.cache import schedule_from_payload, schedule_to_payload
+from repro.core.schedule import Schedule
+from repro.core.search import SearchStats
+
+__all__ = [
+    "ResultBase",
+    "ServiceResult",
+    "result_from_payload",
+    "result_to_payload",
+    "speedup",
+]
+
+
+def speedup(baseline: float, cost: float) -> float:
+    """``baseline / cost`` with the empty-region case pinned to 1.0.
+
+    An empty schedule measured against an empty baseline is a no-op versus
+    a no-op — neither faster nor slower — so 0.0/0.0 reports 1.0 rather
+    than falling into the infinite-speedup branch.
+    """
+    if cost:
+        return baseline / cost
+    return 1.0 if not baseline else float("inf")
+
+
+class ResultBase:
+    """Mixin implementing the unified result protocol.
+
+    Subclasses provide ``method``, ``schedule``, ``cost``, ``serial_cost``,
+    ``lockstep_cost``, ``stats``, ``cache_hit``, ``wall_s`` and
+    ``degraded`` (as fields, properties or class attributes); the mixin
+    derives the rest.
+    """
+
+    #: Discriminator used by :func:`result_to_payload` (overridden per class).
+    kind = "result"
+
+    @property
+    def speedup_vs_serial(self) -> float:
+        """Paper-style speedup: serialized-MIMD time / induced time."""
+        return speedup(self.serial_cost, self.cost)
+
+    @property
+    def speedup_vs_lockstep(self) -> float:
+        """Speedup over the naive lockstep interpreter schedule."""
+        return speedup(self.lockstep_cost, self.cost)
+
+    @property
+    def search_stats(self) -> tuple[SearchStats, ...]:
+        """Per-search statistics as a tuple, however many searches ran."""
+        stats = getattr(self, "stats", None)
+        if stats is None:
+            return ()
+        if isinstance(stats, SearchStats):
+            return (stats,)
+        return tuple(stats)
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(s.nodes_expanded for s in self.search_stats)
+
+    @property
+    def optimal(self) -> bool:
+        """Every search completed within budget and nothing was degraded.
+
+        Baseline methods (no search ran) count as optimal for *their*
+        method — the schedule is exactly what the method produces.
+        """
+        if self.degraded:
+            return False
+        stats = self.search_stats
+        return all(s.optimal for s in stats) if stats else True
+
+    def as_dict(self, include_schedule: bool = False) -> dict[str, Any]:
+        """Uniform JSON-able summary shared by CLI, benchmarks and service."""
+        out: dict[str, Any] = {
+            "kind": self.kind,
+            "method": self.method,
+            "cost": self.cost,
+            "serial_cost": self.serial_cost,
+            "lockstep_cost": self.lockstep_cost,
+            "speedup_vs_serial": self.speedup_vs_serial,
+            "speedup_vs_lockstep": self.speedup_vs_lockstep,
+            "slots": len(self.schedule),
+            "nodes": self.total_nodes,
+            "cache_hit": bool(self.cache_hit),
+            "optimal": self.optimal,
+            "degraded": bool(self.degraded),
+            "wall_s": self.wall_s,
+        }
+        if include_schedule:
+            out["schedule"] = schedule_to_payload(self.schedule)
+        return out
+
+
+@dataclass(frozen=True)
+class ServiceResult(ResultBase):
+    """A result reconstructed from the wire (or synthesized by the server).
+
+    ``extras`` carries server-side context that has no local analogue:
+    batch size, dedup disposition, retry count, queue wait.
+    """
+
+    method: str
+    schedule: Schedule
+    cost: float
+    serial_cost: float
+    lockstep_cost: float
+    stats: tuple[SearchStats, ...] = ()
+    cache_hit: bool = False
+    wall_s: float = 0.0
+    degraded: bool = False
+    extras: Mapping[str, Any] = field(default_factory=dict)
+
+    kind = "service"
+
+
+def result_to_payload(result: ResultBase) -> dict[str, Any]:
+    """Full wire form of any result implementing the protocol."""
+    payload = result.as_dict(include_schedule=True)
+    payload["stats"] = [dataclasses.asdict(s) for s in result.search_stats]
+    return payload
+
+
+def result_from_payload(payload: Mapping[str, Any]) -> ServiceResult:
+    """Rebuild a :class:`ServiceResult` from :func:`result_to_payload` output.
+
+    Unknown keys are preserved in ``extras`` so protocol additions degrade
+    gracefully for older clients.
+    """
+    known = {
+        "kind", "method", "cost", "serial_cost", "lockstep_cost",
+        "speedup_vs_serial", "speedup_vs_lockstep", "slots", "nodes",
+        "cache_hit", "optimal", "degraded", "wall_s", "schedule", "stats",
+    }
+    return ServiceResult(
+        method=payload["method"],
+        schedule=schedule_from_payload(payload["schedule"]),
+        cost=float(payload["cost"]),
+        serial_cost=float(payload["serial_cost"]),
+        lockstep_cost=float(payload["lockstep_cost"]),
+        stats=tuple(SearchStats(**s) for s in payload.get("stats", ())),
+        cache_hit=bool(payload.get("cache_hit", False)),
+        wall_s=float(payload.get("wall_s", 0.0)),
+        degraded=bool(payload.get("degraded", False)),
+        extras={k: v for k, v in payload.items() if k not in known},
+    )

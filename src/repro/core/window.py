@@ -37,9 +37,12 @@ from dataclasses import dataclass
 
 from repro.core.cache import ScheduleCache, region_fingerprint
 from repro.core.costmodel import CostModel
+from repro.core.deprecation import warn_once
 from repro.core.ops import Operation, Region, ThreadCode
+from repro.core.result import ResultBase
 from repro.core.schedule import Schedule, Slot
 from repro.core.search import SearchConfig, SearchStats, branch_and_bound
+from repro.core.serial import lockstep_schedule, serial_schedule
 from repro.obs import NULL_TRACER, StopWatch, Tracer
 
 __all__ = ["WindowedResult", "windowed_induce"]
@@ -50,8 +53,13 @@ _MIN_PARALLEL_OPS = 32
 
 
 @dataclass(frozen=True)
-class WindowedResult:
-    """Concatenated schedule plus per-window search statistics."""
+class WindowedResult(ResultBase):
+    """Concatenated schedule plus per-window search statistics.
+
+    Implements the unified result protocol: ``cost``/``serial_cost``/
+    ``lockstep_cost`` are whole-region numbers, so speedups are directly
+    comparable with one-shot :class:`repro.core.pipeline.InductionResult`.
+    """
 
     schedule: Schedule
     window_size: int
@@ -60,15 +68,30 @@ class WindowedResult:
     cache_hits: int = 0
     jobs_used: int = 1
     wall_s: float = 0.0
+    cost: float = 0.0
+    serial_cost: float = 0.0
+    lockstep_cost: float = 0.0
+    degraded: bool = False
 
-    @property
-    def total_nodes(self) -> int:
-        return sum(s.nodes_expanded for s in self.stats)
+    kind = "windowed"
+    #: Windowed induction always runs the branch-and-bound per window.
+    method = "search"
 
     @property
     def all_optimal(self) -> bool:
         """True if every window's search completed within budget."""
         return all(s.optimal for s in self.stats)
+
+    @property
+    def cache_hit(self) -> bool:
+        """True when every window was served without a fresh search."""
+        return self.num_windows > 0 and self.cache_hits >= self.num_windows
+
+    def as_dict(self, include_schedule: bool = False) -> dict:
+        out = super().as_dict(include_schedule=include_schedule)
+        out.update(windows=self.num_windows, window_size=self.window_size,
+                   cache_hits=self.cache_hits, jobs=self.jobs_used)
+        return out
 
 
 def _window_region(region: Region, start: int, size: int) -> tuple[Region, dict]:
@@ -120,6 +143,31 @@ def _run_windows_parallel(
 
 
 def windowed_induce(
+    region: Region,
+    model: CostModel,
+    window_size: int = 8,
+    config: SearchConfig | None = None,
+    jobs: int = 1,
+    cache: ScheduleCache | None = None,
+    tracer: Tracer | None = None,
+) -> WindowedResult:
+    """Deprecated positional entry point; use :func:`repro.api.induce`.
+
+    Behaves exactly like the original ``windowed_induce`` and warns once
+    per process.  New code should build a :class:`repro.api.InductionRequest`
+    with ``window > 0`` and call :func:`repro.api.induce`.
+    """
+    warn_once(
+        "core.windowed_induce",
+        "repro.core.windowed_induce(region, model, ...) is deprecated; build "
+        "a repro.api.InductionRequest and call repro.api.induce(request)",
+    )
+    return _windowed_induce_impl(region, model, window_size=window_size,
+                                 config=config, jobs=jobs, cache=cache,
+                                 tracer=tracer)
+
+
+def _windowed_induce_impl(
     region: Region,
     model: CostModel,
     window_size: int = 8,
@@ -233,15 +281,19 @@ def windowed_induce(
                       ("miss" if w in miss_set else "hit"),
             )
 
+    schedule = Schedule(tuple(slots))
     wall_s = watch.stop()
     result = WindowedResult(
-        schedule=Schedule(tuple(slots)),
+        schedule=schedule,
         window_size=window_size,
         num_windows=len(windows),
         stats=tuple(stats),
         cache_hits=cache_hits,
         jobs_used=jobs_used,
         wall_s=wall_s,
+        cost=schedule.cost(model),
+        serial_cost=serial_schedule(region, model).cost(model),
+        lockstep_cost=lockstep_schedule(region, model).cost(model),
     )
     if tracer.enabled:
         tracer.emit(
@@ -251,7 +303,7 @@ def windowed_induce(
             jobs=jobs_used,
             ops=region.num_ops,
             threads=region.num_threads,
-            cost=result.schedule.cost(model),
+            cost=result.cost,
             nodes=result.total_nodes,
             cache_hits=cache_hits,
             all_optimal=result.all_optimal,

@@ -23,7 +23,7 @@ from repro.core.costmodel import CostModel
 from repro.core.ops import Operation, Region, ThreadCode
 from repro.core.search import SearchConfig
 from repro.core.serial import lockstep_schedule, serial_schedule
-from repro.core.window import WindowedResult, windowed_induce
+from repro.core.window import WindowedResult, _windowed_induce_impl
 from repro.interp.interpreter import InterpreterConfig, MIMDInterpreter
 from repro.isa.opcodes import OPCODE_INFO, SHARED_COSTS
 from repro.isa.program import Program
@@ -148,9 +148,9 @@ def induce_traces(
     """
     model = model or interp_cost_model()
     region = bundle.region()
-    result = windowed_induce(region, model, window_size=window_size,
-                             config=config, jobs=jobs, cache=cache,
-                             tracer=tracer)
+    result = _windowed_induce_impl(
+        region, model, window_size=window_size, config=config, jobs=jobs,
+        cache=cache, tracer=tracer)
     return TraceInduction(
         bundle=bundle,
         result=result,

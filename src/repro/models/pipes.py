@@ -12,6 +12,11 @@ process cannot interrupt a PE, so a request for PE *p*'s poly value parks
 until *p* next communicates with the control process for some other reason
 (§3.2.1: "programs making use of parallel subscripting probably should not
 be run using this execution model").
+
+The *real-transport* counterpart of this control-process/request-pipe shape
+is the induction service (:mod:`repro.service`): one shared stream carries
+framed requests to a supervising parent, which answers each caller on its
+own connection.
 """
 
 from __future__ import annotations

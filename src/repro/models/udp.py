@@ -19,6 +19,9 @@ Two barrier algorithms (E9):
   which PEs the sender knows have arrived*, and replies carry the merged
   mask back, so one message from b can tell c about a — knowledge spreads
   transitively and recognition delay shrinks.
+
+See :mod:`repro.service.protocol` for the real (non-simulated) transport
+that reuses this pipe-vs-datagram address split for induction requests.
 """
 
 from __future__ import annotations

@@ -1,30 +1,42 @@
-"""String-keyed counters shared by the cache and trace summarizer.
+"""String-keyed counters shared by the cache, service and trace summarizer.
 
 A :class:`Counters` is a tiny mapping of name -> number with O(1)
 increment and no per-bump allocation beyond the dict entry — cheap enough
-to leave enabled on hot paths.
+to leave enabled on hot paths.  Updates are guarded by a lock so the
+induction server's handler/batcher/worker-supervisor threads can share one
+instance; :meth:`set` records gauge-style values (queue depth, workers
+alive) next to the monotonic counts.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator, Mapping
 
 __all__ = ["Counters"]
 
 
 class Counters:
-    """Monotonic named counters (ints or floats)."""
+    """Named counters and gauges (ints or floats), thread-safe."""
 
-    __slots__ = ("_counts",)
+    __slots__ = ("_counts", "_lock")
 
     def __init__(self, initial: Mapping[str, float] | None = None) -> None:
         self._counts: dict[str, float] = dict(initial or {})
+        self._lock = threading.Lock()
 
     def bump(self, name: str, amount: float = 1) -> float:
         """Add ``amount`` to ``name`` (created at 0) and return the new value."""
-        value = self._counts.get(name, 0) + amount
-        self._counts[name] = value
-        return value
+        with self._lock:
+            value = self._counts.get(name, 0) + amount
+            self._counts[name] = value
+            return value
+
+    def set(self, name: str, value: float) -> float:
+        """Record a gauge: overwrite ``name`` with ``value``."""
+        with self._lock:
+            self._counts[name] = value
+            return value
 
     def merge(self, other: "Counters | Mapping[str, float]") -> None:
         """Fold another counter set (e.g. a worker's) into this one."""
@@ -34,7 +46,8 @@ class Counters:
 
     def snapshot(self) -> dict[str, float]:
         """Point-in-time copy, sorted by name for stable output."""
-        return dict(sorted(self._counts.items()))
+        with self._lock:
+            return dict(sorted(self._counts.items()))
 
     def __getitem__(self, name: str) -> float:
         return self._counts.get(name, 0)

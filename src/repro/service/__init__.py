@@ -1,0 +1,31 @@
+"""The induction service: ``repro serve`` / ``repro submit``.
+
+The paper's CSI search is the expensive step of running MIMD code on SIMD
+hardware; this package turns it from a one-shot library call into a
+long-running local daemon, the "compile service" shape that MASIM- and
+ComPar-style schedulers assume when they throw many kernels at one
+backend.  Layout:
+
+- :mod:`repro.service.protocol` — framed-JSON wire format over a unix or
+  TCP socket (the real-transport counterpart of the simulated pipe/UDP
+  models in :mod:`repro.models`);
+- :mod:`repro.service.workers`  — supervised worker processes: per-request
+  deadlines enforced by killing the worker, crash retry with backoff,
+  graceful degradation to the greedy schedule;
+- :mod:`repro.service.server`   — admission control (bounded queue, clear
+  ``busy`` shed), fingerprint-deduplicating batcher, drain-on-shutdown,
+  :mod:`repro.obs` counters as service metrics;
+- :mod:`repro.service.client`   — blocking client used by
+  :func:`repro.api.induce` and the CLI.
+"""
+
+from repro.service.client import ServiceBusy, ServiceClient, ServiceError
+from repro.service.server import InductionServer, ServerConfig
+
+__all__ = [
+    "InductionServer",
+    "ServerConfig",
+    "ServiceBusy",
+    "ServiceClient",
+    "ServiceError",
+]

@@ -1,0 +1,92 @@
+"""Blocking client for the induction service.
+
+One :class:`ServiceClient` per caller; each call opens, uses and closes a
+short-lived connection, so a client object is safe to share across threads
+(the benchmark's submit pool does exactly that).  Admission-control sheds
+surface as :class:`ServiceBusy` — a clear, retryable signal distinct from
+:class:`ServiceError` (malformed request or genuine server-side bug).
+Degraded results are *not* errors: they come back as ordinary results with
+``degraded=True``, per the service's graceful-degradation contract.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Mapping
+
+from repro.api import InductionRequest
+from repro.core.result import ServiceResult, result_from_payload
+from repro.service import protocol
+
+__all__ = ["ServiceBusy", "ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The server rejected the request or the protocol broke."""
+
+
+class ServiceBusy(ServiceError):
+    """Admission control shed the request (queue full or shutting down)."""
+
+
+class ServiceClient:
+    """Submit induction requests to a running ``repro serve`` daemon."""
+
+    def __init__(self, address: str, timeout: float | None = 600.0) -> None:
+        self.address = address
+        self.timeout = timeout
+
+    # Context-manager form mirrors the tracer API; connections are
+    # per-call, so there is nothing to tear down.
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+    def _roundtrip(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        try:
+            with protocol.connect(self.address, timeout=self.timeout) as sock:
+                protocol.send_message(sock, message)
+                reply = protocol.recv_message(sock)
+        except (OSError, protocol.ProtocolError) as exc:
+            raise ServiceError(
+                f"service at {self.address!r} unreachable: {exc}") from exc
+        if reply is None:
+            raise ServiceError(
+                f"service at {self.address!r} closed the connection")
+        return reply
+
+    def submit(self, request: InductionRequest,
+               chaos: Mapping[str, Any] | None = None) -> ServiceResult:
+        """Run one request on the service; blocks until the reply.
+
+        ``chaos`` injects test faults (crash/sleep) and is honoured only by
+        servers started with ``allow_chaos=True``.
+        """
+        reply = self._roundtrip(protocol.request_to_wire(request, chaos=chaos))
+        status = reply.get("status")
+        if status == "busy":
+            raise ServiceBusy(
+                f"service busy: {reply.get('reason', 'unspecified')}")
+        if status != "ok":
+            raise ServiceError(reply.get("error", f"bad reply {reply!r}"))
+        return result_from_payload(reply["result"])
+
+    def stats(self) -> dict[str, Any]:
+        reply = self._roundtrip({"op": "stats"})
+        if reply.get("status") != "stats":
+            raise ServiceError(f"bad stats reply {reply!r}")
+        return reply["stats"]
+
+    def ping(self) -> bool:
+        try:
+            return self._roundtrip({"op": "ping"}).get("status") == "pong"
+        except (ServiceError, socket.timeout):
+            return False
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Ask the server to stop; returns after the drain completes."""
+        reply = self._roundtrip({"op": "shutdown", "drain": drain})
+        if reply.get("status") != "ok":
+            raise ServiceError(f"shutdown failed: {reply!r}")

@@ -1,0 +1,204 @@
+"""Wire protocol for the induction service.
+
+Framing: every message is one length-prefixed JSON object — a 4-byte
+big-endian length followed by that many UTF-8 bytes.  The transport is a
+connected stream socket, either ``AF_UNIX`` (the default — an address is a
+filesystem path) or ``AF_INET`` on loopback (an address containing a colon,
+``host:port``).  This is the real-transport sibling of the *simulated*
+IPC models in :mod:`repro.models`: requests flow over a shared stream like
+:class:`~repro.models.pipes.PipeModel`'s request pipe, and the address
+syntax mirrors the pipe-vs-datagram split of §3.2/§3.3.
+
+Requests are flat JSON objects with an ``op``:
+
+- ``submit`` — one induction request (region text, model payload or name,
+  method, window, jobs, budget/config, deadline, optional ``chaos`` fault
+  injection honoured only by test servers);
+- ``stats`` — service metrics snapshot;
+- ``ping`` — liveness probe;
+- ``shutdown`` — drain in-flight requests, then stop (reply arrives after
+  the drain completes).
+
+Replies carry ``status``: ``ok`` (with a unified result payload), ``busy``
+(admission control shed the request), ``error`` (malformed request — never
+used for deadline expiry or worker crashes, which degrade instead),
+``pong``, ``stats``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import socket
+import struct
+from typing import Any, Mapping
+
+from repro.api import InductionRequest
+from repro.core.costmodel import CostModel
+from repro.core.search import SearchConfig
+
+__all__ = [
+    "ProtocolError",
+    "model_from_payload",
+    "model_to_payload",
+    "parse_address",
+    "recv_message",
+    "request_from_wire",
+    "request_to_wire",
+    "send_message",
+]
+
+_LEN = struct.Struct(">I")
+
+#: Upper bound on one frame; a region would have to be absurd to hit it,
+#: so anything larger is a protocol violation, not data.
+MAX_FRAME = 16 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """Raised on malformed frames or payloads."""
+
+
+# -- framing ---------------------------------------------------------------
+
+
+def send_message(sock: socket.socket, obj: Mapping[str, Any]) -> None:
+    """Write one framed JSON message."""
+    body = json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds {MAX_FRAME}")
+    sock.sendall(_LEN.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> dict[str, Any] | None:
+    """Read one framed JSON message; None on clean EOF."""
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME}")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed mid-frame")
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad frame: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"frame is {type(obj).__name__}, expected object")
+    return obj
+
+
+# -- addresses -------------------------------------------------------------
+
+
+def parse_address(spec: str) -> tuple[str, Any]:
+    """``("unix", path)`` or ``("tcp", (host, port))`` from an address string.
+
+    A spec containing a colon is ``host:port`` (empty host = loopback);
+    anything else is a unix-socket path.
+    """
+    if ":" in spec:
+        host, _, port = spec.rpartition(":")
+        try:
+            return ("tcp", (host or "127.0.0.1", int(port)))
+        except ValueError as exc:
+            raise ProtocolError(f"bad tcp address {spec!r}") from exc
+    if not spec:
+        raise ProtocolError("empty service address")
+    return ("unix", spec)
+
+
+def connect(spec: str, timeout: float | None = None) -> socket.socket:
+    """Open a client connection to a service address."""
+    family, address = parse_address(spec)
+    sock = socket.socket(
+        socket.AF_UNIX if family == "unix" else socket.AF_INET,
+        socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    sock.connect(address)
+    return sock
+
+
+# -- request (de)serialization --------------------------------------------
+
+
+def model_to_payload(model: CostModel | str) -> dict | str:
+    """Named models travel as their name; custom models as full parameters."""
+    if isinstance(model, str):
+        return model
+    return {
+        "class_of": dict(model.class_of),
+        "class_cost": dict(model.class_cost),
+        "mask_overhead": model.mask_overhead,
+        "default_cost": model.default_cost,
+        "require_equal_imm": model.require_equal_imm,
+    }
+
+
+def model_from_payload(payload: Mapping[str, Any] | str) -> CostModel | str:
+    if isinstance(payload, str):
+        return payload
+    try:
+        return CostModel(
+            class_of=dict(payload["class_of"]),
+            class_cost=dict(payload["class_cost"]),
+            mask_overhead=float(payload["mask_overhead"]),
+            default_cost=float(payload["default_cost"]),
+            require_equal_imm=bool(payload["require_equal_imm"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad model payload: {exc}") from exc
+
+
+def request_to_wire(request: InductionRequest,
+                    chaos: Mapping[str, Any] | None = None) -> dict[str, Any]:
+    """Wire form of a submit; live handles (cache/tracer) stay local."""
+    wire: dict[str, Any] = {
+        "op": "submit",
+        "region": request.resolved_region().render(),
+        "model": model_to_payload(request.model),
+        "method": request.method,
+        "window": request.window,
+        "jobs": request.jobs,
+        "config": dataclasses.asdict(request.resolved_config()),
+        "verify": request.verify,
+    }
+    if request.deadline_s is not None:
+        wire["deadline_s"] = request.deadline_s
+    if chaos:
+        wire["chaos"] = dict(chaos)
+    return wire
+
+
+def request_from_wire(wire: Mapping[str, Any]) -> InductionRequest:
+    """Rebuild an :class:`InductionRequest` server-side (validating)."""
+    try:
+        config = SearchConfig(**wire["config"]) if "config" in wire else None
+        return InductionRequest(
+            region=wire["region"],
+            model=model_from_payload(wire.get("model", "maspar")),
+            method=wire.get("method", "search"),
+            window=int(wire.get("window", 0)),
+            jobs=int(wire.get("jobs", 1)),
+            config=config,
+            deadline_s=wire.get("deadline_s"),
+            verify=bool(wire.get("verify", True)),
+        )
+    except ProtocolError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad submit payload: {exc}") from exc

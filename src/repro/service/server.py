@@ -1,0 +1,481 @@
+"""The induction server: batching, dedup, admission control, drain.
+
+One :class:`InductionServer` owns a listening socket and three layers of
+threads:
+
+- *handlers* (one per connection) parse frames, apply admission control
+  and wait for their ticket's response;
+- the *batcher* gathers admitted tickets, joins duplicates onto in-flight
+  groups, groups the rest by request fingerprint (the dedup key) and
+  dispatches each unique group once;
+- *dispatchers* (as many as there are workers) run a group through the
+  request-level cache and the supervised :class:`~repro.service.workers.WorkerPool`,
+  then respond to every member.
+
+Robustness contract (the point of the service):
+
+- a full queue sheds load with a clear ``busy`` reply — never a hang;
+- a deadline that expires degrades to the verified greedy schedule with
+  ``degraded=True`` — never an error;
+- a worker death is retried with backoff; only exhausted retries degrade;
+- shutdown stops admitting, *drains* every in-flight ticket, then stops.
+
+Deduplicated requests share one search: the effective deadline of a group
+is the earliest member deadline at dispatch, so a degraded group degrades
+together (each member still gets a valid, verified schedule).
+
+Metrics are plain :class:`repro.obs.Counters` — ``requests``, ``ok``,
+``shed``, ``degraded_deadline``, ``degraded_retries``, ``dedup_hits``,
+``cache_hits``, ``batches``, ``batched_tickets``, ``retries``,
+``worker_deaths`` — plus gauges ``queue_depth``/``inflight``; the
+``stats`` op returns a snapshot, and a :class:`repro.obs.Tracer` (if
+given) receives one ``service_batch`` event per batch and one
+``service_request`` event per response.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.cache import ScheduleCache, schedule_from_payload
+from repro.core.result import result_to_payload
+from repro.core.search import SearchStats
+from repro.obs import NULL_TRACER, Counters, Tracer
+from repro.service import protocol
+from repro.service.workers import (
+    DeadlineExpired,
+    RetriesExhausted,
+    WorkerPool,
+    WorkerTaskError,
+    build_result,
+    degraded_result,
+)
+
+__all__ = ["InductionServer", "ServerConfig"]
+
+
+@dataclass
+class ServerConfig:
+    """Tunables for one :class:`InductionServer`."""
+
+    address: str
+    workers: int = 1
+    queue_size: int = 64
+    batch_max: int = 16
+    batch_wait_s: float = 0.01
+    default_deadline_s: float | None = None
+    max_retries: int = 2
+    backoff_s: float = 0.05
+    #: Honour ``chaos`` fault-injection in requests (tests/CI only).
+    allow_chaos: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_size < 1:
+            raise ValueError(f"queue size must be >= 1, got {self.queue_size}")
+        if self.batch_max < 1:
+            raise ValueError(f"batch max must be >= 1, got {self.batch_max}")
+
+
+class _Ticket:
+    """One admitted submit: wire payload plus its response rendezvous."""
+
+    __slots__ = ("wire", "fingerprint", "deadline", "enqueued_at",
+                 "event", "response")
+
+    def __init__(self, wire: dict, fingerprint: str,
+                 deadline: float | None) -> None:
+        self.wire = wire
+        self.fingerprint = fingerprint
+        self.deadline = deadline
+        self.enqueued_at = time.monotonic()
+        self.event = threading.Event()
+        self.response: dict[str, Any] | None = None
+
+    def respond(self, response: dict[str, Any]) -> None:
+        self.response = response
+        self.event.set()
+
+
+class _Group:
+    """All tickets deduplicated onto one search."""
+
+    def __init__(self, fingerprint: str, first: _Ticket) -> None:
+        self.fingerprint = fingerprint
+        self.tickets = [first]
+        self.lock = threading.Lock()
+        self.done = False
+
+    def try_join(self, ticket: _Ticket) -> bool:
+        with self.lock:
+            if self.done:
+                return False
+            self.tickets.append(ticket)
+            return True
+
+    def members(self) -> list[_Ticket]:
+        with self.lock:
+            self.done = True
+            return list(self.tickets)
+
+
+class InductionServer:
+    """Long-running induction daemon (see module docstring)."""
+
+    def __init__(self, config: ServerConfig,
+                 cache: ScheduleCache | None = None,
+                 tracer: Tracer | None = None) -> None:
+        self.config = config
+        self.cache = cache
+        self.tracer = tracer or NULL_TRACER
+        self.counters = Counters()
+        self.pool = WorkerPool(
+            workers=config.workers, max_retries=config.max_retries,
+            backoff_s=config.backoff_s, counters=self.counters)
+        self._queue: queue.Queue[_Ticket] = queue.Queue(maxsize=config.queue_size)
+        # Dispatch concurrency is bounded by the worker count so that when
+        # every worker is busy the queue genuinely backs up and admission
+        # control (queue_size) is the thing that sheds load.
+        self._dispatch_slots = threading.BoundedSemaphore(config.workers)
+        self._inflight: dict[str, _Group] = {}
+        self._inflight_lock = threading.Lock()
+        self._open_tickets = 0
+        self._open_lock = threading.Lock()
+        self._drained = threading.Event()
+        self._drained.set()
+        self._stopping = False
+        self._stopped = threading.Event()
+        self._unix_path: str | None = None
+        self._listener = self._bind(config.address)
+        self._accept_thread = self._spawn(self._accept_loop, "serve-accept")
+        self._batcher_thread = self._spawn(self._batch_loop, "serve-batch")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _bind(self, address: str) -> socket.socket:
+        family, target = protocol.parse_address(address)
+        if family == "unix":
+            import os
+            try:
+                os.unlink(target)
+            except FileNotFoundError:
+                pass
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.bind(target)
+            self._unix_path = target
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind(target)
+        sock.listen(64)
+        return sock
+
+    @property
+    def address(self) -> str:
+        """The bound address (with the real port for ``host:0`` binds)."""
+        if self._unix_path is not None:
+            return self._unix_path
+        host, port = self._listener.getsockname()
+        return f"{host}:{port}"
+
+    @staticmethod
+    def _spawn(target, name: str) -> threading.Thread:
+        thread = threading.Thread(target=target, name=name, daemon=True)
+        thread.start()
+        return thread
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop the server; with ``drain`` every admitted ticket finishes.
+
+        Without ``drain``, queued-but-undispatched tickets are shed with a
+        ``busy`` reply (dispatched groups still complete — workers are
+        never abandoned mid-write).
+        """
+        self._drain_phase(drain)
+        self._finalize()
+
+    def _drain_phase(self, drain: bool) -> None:
+        self._stopping = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if not drain:
+            while True:
+                try:
+                    ticket = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                self._respond(ticket, {"status": "busy", "reason": "shutdown"})
+        self._drained.wait(timeout=600.0)
+
+    def _finalize(self) -> None:
+        # _stopped is set LAST: a foreground `repro serve` exits (killing
+        # daemon threads) the moment wait_stopped() returns, so the socket
+        # unlink and worker teardown must already be done by then.
+        if self._unix_path is not None:
+            import os
+            try:
+                os.unlink(self._unix_path)
+            except OSError:
+                pass
+        self.pool.close()
+        self._stopped.set()
+
+    def wait_stopped(self, timeout: float | None = None) -> bool:
+        return self._stopped.wait(timeout)
+
+    # -- connection handling -----------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return
+            self._spawn(lambda c=conn: self._handle(c), "serve-conn")
+
+    def _handle(self, conn: socket.socket) -> None:
+        with conn:
+            while True:
+                try:
+                    msg = protocol.recv_message(conn)
+                except protocol.ProtocolError as exc:
+                    self._send(conn, {"status": "error", "error": str(exc)})
+                    return
+                except OSError:
+                    return
+                if msg is None:
+                    return
+                try:
+                    reply = self._dispatch_op(msg)
+                except protocol.ProtocolError as exc:
+                    reply = {"status": "error", "error": str(exc)}
+                sent = self._send(conn, reply)
+                if msg.get("op") == "shutdown" and reply.get("status") == "ok":
+                    # Finalize only after the drained-ack is on the wire, so
+                    # a foreground `repro serve` doesn't exit (killing this
+                    # daemon thread) before the client hears back.
+                    self._finalize()
+                    return
+                if not sent:
+                    return
+
+    def _send(self, conn: socket.socket, obj: dict) -> bool:
+        try:
+            protocol.send_message(conn, obj)
+            return True
+        except OSError:
+            return False
+
+    def _dispatch_op(self, msg: dict) -> dict:
+        op = msg.get("op")
+        if op == "submit":
+            return self._admit(msg)
+        if op == "stats":
+            return {"status": "stats", "stats": self.stats()}
+        if op == "ping":
+            return {"status": "pong"}
+        if op == "shutdown":
+            self._drain_phase(drain=bool(msg.get("drain", True)))
+            return {"status": "ok", "drained": True}
+        raise protocol.ProtocolError(f"unknown op {op!r}")
+
+    # -- admission ---------------------------------------------------------
+
+    def _admit(self, wire: dict) -> dict:
+        self.counters.bump("requests")
+        if not self.config.allow_chaos:
+            wire.pop("chaos", None)
+        # Validate now so a malformed region is an error on the client's
+        # connection, not a crash in the batcher.
+        request = protocol.request_from_wire(wire)
+        fingerprint = request.fingerprint()
+        deadline_s = request.deadline_s if request.deadline_s is not None \
+            else self.config.default_deadline_s
+        deadline = None if deadline_s is None \
+            else time.monotonic() + float(deadline_s)
+        ticket = _Ticket(wire, fingerprint, deadline)
+        if self._stopping:
+            self.counters.bump("shed")
+            return {"status": "busy", "reason": "shutdown"}
+        with self._open_lock:
+            self._open_tickets += 1
+            self._drained.clear()
+        try:
+            self._queue.put_nowait(ticket)
+        except queue.Full:
+            self._ticket_closed()
+            self.counters.bump("shed")
+            return {"status": "busy", "reason": "queue full",
+                    "queue_depth": self._queue.qsize()}
+        self.counters.set("queue_depth", self._queue.qsize())
+        wait = None if ticket.deadline is None \
+            else max(1.0, deadline_s) + 600.0
+        if not ticket.event.wait(timeout=wait or 3600.0):
+            return {"status": "error", "error": "response timed out in server"}
+        return ticket.response
+
+    def _ticket_closed(self) -> None:
+        with self._open_lock:
+            self._open_tickets -= 1
+            if self._open_tickets == 0:
+                self._drained.set()
+
+    def _respond(self, ticket: _Ticket, response: dict) -> None:
+        try:
+            ticket.respond(response)
+        finally:
+            self._ticket_closed()
+
+    # -- batching ----------------------------------------------------------
+
+    def _batch_loop(self) -> None:
+        while True:
+            try:
+                first = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                if self._stopped.is_set():
+                    return
+                continue
+            batch = [first]
+            cutoff = time.monotonic() + self.config.batch_wait_s
+            while len(batch) < self.config.batch_max:
+                wait = cutoff - time.monotonic()
+                try:
+                    batch.append(self._queue.get(
+                        timeout=max(0.0, wait)) if wait > 0
+                        else self._queue.get_nowait())
+                except queue.Empty:
+                    break
+            self.counters.set("queue_depth", self._queue.qsize())
+            self._form_groups(batch)
+
+    def _form_groups(self, batch: list[_Ticket]) -> None:
+        self.counters.bump("batches")
+        self.counters.bump("batched_tickets", len(batch))
+        fresh: dict[str, _Group] = {}
+        for ticket in batch:
+            live = self._inflight.get(ticket.fingerprint)
+            if live is not None and live.try_join(ticket):
+                self.counters.bump("dedup_hits")
+                continue
+            group = fresh.get(ticket.fingerprint)
+            if group is not None:
+                group.tickets.append(ticket)
+                self.counters.bump("dedup_hits")
+                continue
+            fresh[ticket.fingerprint] = _Group(ticket.fingerprint, ticket)
+        if self.tracer.enabled:
+            self.tracer.emit("service_batch", tickets=len(batch),
+                             groups=len(fresh),
+                             deduped=len(batch) - len(fresh))
+        for group in fresh.values():
+            self._dispatch_slots.acquire()
+            with self._inflight_lock:
+                self._inflight[group.fingerprint] = group
+            self.counters.set("inflight", len(self._inflight))
+            self._spawn(lambda g=group: self._run_group(g), "serve-dispatch")
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _run_group(self, group: _Group) -> None:
+        try:
+            self._run_group_inner(group)
+        finally:
+            self._dispatch_slots.release()
+            with self._inflight_lock:
+                # Identity check: a successor group for the same fingerprint
+                # may already have replaced this one.
+                if self._inflight.get(group.fingerprint) is group:
+                    del self._inflight[group.fingerprint]
+                self.counters.set("inflight", len(self._inflight))
+
+    def _run_group_inner(self, group: _Group) -> None:
+        first = group.tickets[0]
+        request = protocol.request_from_wire(first.wire)
+        started = time.monotonic()
+
+        payload: dict | None = None
+        disposition = "miss"
+        if self.cache is not None:
+            hit = self.cache.get(group.fingerprint)
+            if hit is not None:
+                result = build_result(request, hit[0], hit[1], cache_hit=True,
+                                      wall_s=time.monotonic() - started)
+                payload = result_to_payload(result)
+                disposition = "cache"
+                self.counters.bump("cache_hits")
+
+        if payload is None:
+            deadlines = [t.deadline for t in group.tickets
+                         if t.deadline is not None]
+            effective = min(deadlines) if deadlines else None
+            try:
+                payload, meta = self.pool.run(first.wire, effective)
+                payload["retries"] = meta["retries"]
+                if self.cache is not None and not payload.get("degraded"):
+                    stats_list = payload.get("stats") or []
+                    stats = SearchStats(**stats_list[0]) \
+                        if len(stats_list) == 1 else None
+                    self.cache.put(group.fingerprint,
+                                   schedule_from_payload(payload["schedule"]),
+                                   stats)
+            except DeadlineExpired:
+                disposition = "deadline"
+                self.counters.bump("degraded_deadline")
+                payload = result_to_payload(degraded_result(
+                    request, wall_s=time.monotonic() - started))
+            except RetriesExhausted:
+                disposition = "retries"
+                self.counters.bump("degraded_retries")
+                payload = result_to_payload(degraded_result(
+                    request, wall_s=time.monotonic() - started))
+            except WorkerTaskError as exc:
+                self.counters.bump("task_errors")
+                for ticket in group.members():
+                    self._respond(ticket, {"status": "error",
+                                           "error": str(exc)})
+                return
+
+        members = group.members()
+        now = time.monotonic()
+        for position, ticket in enumerate(members):
+            extras = {
+                "batch": len(members),
+                "deduped": position > 0,
+                "queue_wait_s": round(started - ticket.enqueued_at, 6),
+                "server_wall_s": round(now - ticket.enqueued_at, 6),
+                "disposition": disposition,
+            }
+            self._respond(ticket,
+                          {"status": "ok", "result": {**payload, **extras}})
+            if position:
+                self.counters.bump("dedup_served")
+            self.counters.bump("ok")
+            if self.tracer.enabled:
+                self.tracer.emit("service_request",
+                                 disposition=disposition,
+                                 degraded=bool(payload.get("degraded")),
+                                 batch=len(members), deduped=position > 0,
+                                 wall_s=extras["server_wall_s"])
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict:
+        snap = self.counters.snapshot()
+        snap["queue_depth"] = self._queue.qsize()
+        snap["workers"] = self.pool.workers
+        snap["inline_pool"] = int(self.pool.inline)
+        with self._open_lock:
+            snap["open_tickets"] = self._open_tickets
+        if self.cache is not None:
+            snap.update({f"cache_{k}": v
+                         for k, v in self.cache.counters.snapshot().items()})
+        return snap

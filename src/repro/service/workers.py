@@ -1,0 +1,341 @@
+"""Supervised worker processes for the induction service.
+
+The exponential search must not run on the server's accept path: it can
+blow a deadline, exhaust memory, or (on real deployments) segfault in
+native code.  So every search runs in a *worker process* joined to the
+parent by a :mod:`multiprocessing` pipe — the same control-process/PE-pipe
+shape as :class:`repro.models.pipes.PipeModel`, but real.  The supervisor
+gives the service its robustness guarantees:
+
+- **deadlines** — the parent waits on the pipe with a timeout; on expiry
+  the worker is killed and respawned, and the caller degrades to the
+  greedy schedule (``degraded=True``, never an error);
+- **crash retry** — a worker that dies mid-search (EOF on the pipe) is
+  respawned and the task retried with exponential backoff, up to
+  ``max_retries``; only then does the task degrade;
+- **inline fallback** — environments that cannot fork run tasks in-process
+  with best-effort (pre-start) deadline checks, so the service still
+  functions everywhere the library does.
+
+Fault injection for tests rides the wire: a ``chaos`` object may request
+``crash_attempts`` (die with ``os._exit`` on the first N attempts) or
+``sleep_s`` (stall before searching).  Servers strip ``chaos`` unless
+explicitly constructed with ``allow_chaos=True``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import queue
+import threading
+import time
+from typing import Any, Mapping
+
+from repro.api import InductionRequest, _execute_local
+from repro.core.pipeline import InductionResult, _induce_impl
+from repro.core.result import ResultBase, result_from_payload, result_to_payload
+from repro.core.schedule import Schedule
+from repro.core.search import SearchStats
+from repro.core.serial import lockstep_schedule, serial_schedule
+from repro.obs import Counters
+
+__all__ = [
+    "DeadlineExpired",
+    "RetriesExhausted",
+    "WorkerPool",
+    "WorkerTaskError",
+    "degraded_result",
+    "run_local_with_deadline",
+]
+
+
+class DeadlineExpired(Exception):
+    """The task's deadline passed before a worker finished it."""
+
+
+class RetriesExhausted(Exception):
+    """Workers died more times than the retry budget allows."""
+
+
+class WorkerTaskError(Exception):
+    """The task itself raised inside the worker (not a worker death)."""
+
+
+class _WorkerDied(Exception):
+    """Internal: the worker process exited without replying."""
+
+
+def _worker_main(conn) -> None:
+    """Child process loop: ``(wire, attempt)`` in, ``(status, payload)`` out."""
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            return
+        if msg is None:
+            return
+        wire, attempt = msg
+        chaos = wire.get("chaos") or {}
+        if attempt < int(chaos.get("crash_attempts", 0)):
+            os._exit(3)
+        sleep_s = float(chaos.get("sleep_s", 0.0))
+        if sleep_s:
+            time.sleep(sleep_s)
+        try:
+            from repro.service.protocol import request_from_wire
+            request = request_from_wire(wire).replace(
+                deadline_s=None, cache=None, tracer=None)
+            result = _execute_local(request)
+            conn.send(("ok", result_to_payload(result)))
+        except Exception as exc:  # noqa: BLE001 - reported to the parent
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+
+
+class _WorkerHandle:
+    """One supervised worker process plus its request/reply pipe."""
+
+    def __init__(self, ctx) -> None:
+        self._ctx = ctx
+        self._spawn()
+
+    def _spawn(self) -> None:
+        parent, child = self._ctx.Pipe()
+        self.conn = parent
+        self.proc = self._ctx.Process(
+            target=_worker_main, args=(child,), daemon=True)
+        self.proc.start()
+        child.close()
+
+    def _respawn(self) -> None:
+        self._kill()
+        self._spawn()
+
+    def _kill(self) -> None:
+        try:
+            if self.proc.is_alive():
+                self.proc.terminate()
+            self.proc.join(timeout=2.0)
+        finally:
+            self.conn.close()
+
+    def run(self, wire: Mapping[str, Any], attempt: int,
+            timeout: float | None) -> dict:
+        """One task round-trip; respawns the worker on timeout or death."""
+        try:
+            self.conn.send((dict(wire), attempt))
+        except (BrokenPipeError, OSError) as exc:
+            self._respawn()
+            raise _WorkerDied(str(exc)) from exc
+        if not self.conn.poll(timeout):
+            self._respawn()
+            raise DeadlineExpired(f"no reply within {timeout:.3f}s")
+        try:
+            status, payload = self.conn.recv()
+        except (EOFError, OSError) as exc:
+            self._respawn()
+            raise _WorkerDied(str(exc)) from exc
+        if status != "ok":
+            raise WorkerTaskError(payload)
+        return payload
+
+    def close(self) -> None:
+        try:
+            self.conn.send(None)
+            self.proc.join(timeout=2.0)
+        except (BrokenPipeError, OSError):
+            pass
+        self._kill()
+
+
+class _InlineHandle:
+    """Fallback when processes are unavailable: run in this process.
+
+    Deadlines are best-effort (checked before the search starts, not
+    during) and chaos crash injection is ignored — there is no worker to
+    kill.
+    """
+
+    def run(self, wire: Mapping[str, Any], attempt: int,
+            timeout: float | None) -> dict:
+        if timeout is not None and timeout <= 0:
+            raise DeadlineExpired("deadline expired before inline start")
+        from repro.service.protocol import request_from_wire
+        request = request_from_wire(wire).replace(
+            deadline_s=None, cache=None, tracer=None)
+        try:
+            return result_to_payload(_execute_local(request))
+        except Exception as exc:  # noqa: BLE001 - mirror the worker contract
+            raise WorkerTaskError(f"{type(exc).__name__}: {exc}") from exc
+
+    def close(self) -> None:
+        pass
+
+
+class WorkerPool:
+    """A fixed set of supervised workers with retry/backoff/deadline logic.
+
+    ``counters`` (optional, shared with the server) receives
+    ``worker_deaths``, ``worker_respawns``, ``retries`` and
+    ``degraded_tasks`` as supervision events happen.
+    """
+
+    def __init__(self, workers: int = 1, max_retries: int = 2,
+                 backoff_s: float = 0.05,
+                 counters: Counters | None = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.counters = counters if counters is not None else Counters()
+        self.inline = False
+        self._handles: queue.Queue = queue.Queue()
+        self._all: list = []
+        self._lock = threading.Lock()
+        self._closed = False
+        try:
+            ctx = multiprocessing.get_context()
+            for _ in range(workers):
+                handle = _WorkerHandle(ctx)
+                self._all.append(handle)
+                self._handles.put(handle)
+        except (OSError, PermissionError, ImportError, RuntimeError):
+            for handle in self._all:
+                handle.close()
+            self._all = []
+            self._handles = queue.Queue()
+            self.inline = True
+            for _ in range(workers):
+                handle = _InlineHandle()
+                self._all.append(handle)
+                self._handles.put(handle)
+        self.workers = workers
+
+    def run(self, wire: Mapping[str, Any],
+            deadline: float | None = None) -> tuple[dict, dict]:
+        """Run one task to completion, surviving worker deaths.
+
+        ``deadline`` is an absolute :func:`time.monotonic` instant.  Returns
+        ``(result_payload, meta)`` where meta counts retries/deaths; raises
+        :class:`DeadlineExpired` / :class:`RetriesExhausted` (callers
+        degrade) or :class:`WorkerTaskError` (a genuine task bug).
+        """
+        meta = {"attempts": 0, "retries": 0, "worker_deaths": 0}
+        attempt = 0
+        while True:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                raise DeadlineExpired("deadline expired while queued")
+            handle = self._handles.get()
+            try:
+                meta["attempts"] += 1
+                payload = handle.run(wire, attempt, remaining)
+                return payload, meta
+            except _WorkerDied as exc:
+                meta["worker_deaths"] += 1
+                self.counters.bump("worker_deaths")
+                self.counters.bump("worker_respawns")
+                if attempt >= self.max_retries:
+                    raise RetriesExhausted(
+                        f"worker died {attempt + 1}x: {exc}") from exc
+                backoff = self.backoff_s * (2 ** attempt)
+                if deadline is not None:
+                    backoff = min(backoff,
+                                  max(0.0, deadline - time.monotonic()))
+                time.sleep(backoff)
+                attempt += 1
+                meta["retries"] += 1
+                self.counters.bump("retries")
+            finally:
+                self._handles.put(handle)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for handle in self._all:
+            handle.close()
+
+
+# -- result assembly -------------------------------------------------------
+
+
+def build_result(request: InductionRequest, schedule: Schedule,
+                 stats: SearchStats | None, cache_hit: bool,
+                 wall_s: float, degraded: bool = False,
+                 method: str | None = None) -> InductionResult:
+    """Assemble a protocol-shaped result around an already-built schedule.
+
+    Used for request-level cache hits and degraded fallbacks, where no
+    induction entry point ran end-to-end to produce the result for us.
+    """
+    region = request.resolved_region()
+    model = request.resolved_model()
+    return InductionResult(
+        method=method or request.method,
+        schedule=schedule,
+        cost=schedule.cost(model),
+        serial_cost=serial_schedule(region, model).cost(model),
+        lockstep_cost=lockstep_schedule(region, model).cost(model),
+        stats=stats,
+        cache_hit=cache_hit,
+        wall_s=wall_s,
+        degraded=degraded,
+    )
+
+
+def degraded_result(request: InductionRequest,
+                    wall_s: float = 0.0) -> InductionResult:
+    """The graceful-degradation fallback: a verified greedy schedule.
+
+    Greedy list-scheduling is linear-ish and deterministic, so it always
+    beats the deadline that the search just blew; the result is flagged
+    ``degraded=True`` and is *verified* like any fresh schedule.
+    """
+    res = _induce_impl(
+        request.resolved_region(), request.resolved_model(), method="greedy",
+        config=request.resolved_config(), verify=request.verify)
+    return dataclasses.replace(res, degraded=True, wall_s=wall_s or res.wall_s)
+
+
+def run_local_with_deadline(request: InductionRequest) -> ResultBase:
+    """Local (serverless) execution of a request that carries a deadline.
+
+    Spawns one supervised worker for the duration of the call; on deadline
+    expiry or repeated worker death the greedy fallback is returned with
+    ``degraded=True``.  A request-level cache hit skips the worker
+    entirely; a fresh result is written back to the cache in the parent
+    (handles never cross the process boundary).
+    """
+    from repro.service.protocol import request_to_wire
+
+    start = time.monotonic()
+    fingerprint = None
+    if request.cache is not None:
+        fingerprint = request.fingerprint()
+        hit = request.cache.get(fingerprint)
+        if hit is not None:
+            return build_result(request, hit[0], hit[1], cache_hit=True,
+                                wall_s=time.monotonic() - start)
+
+    pool = WorkerPool(workers=1, max_retries=1)
+    try:
+        deadline = start + float(request.deadline_s)
+        try:
+            payload, _meta = pool.run(
+                request_to_wire(request.replace(deadline_s=None)), deadline)
+        except (DeadlineExpired, RetriesExhausted):
+            return degraded_result(request, wall_s=time.monotonic() - start)
+    finally:
+        pool.close()
+    result = result_from_payload(payload)
+    if request.cache is not None and not result.degraded:
+        stats = result.search_stats[0] if len(result.search_stats) == 1 else None
+        request.cache.put(fingerprint, result.schedule, stats)
+    if request.tracer is not None and request.tracer.enabled:
+        request.tracer.emit("deadline_run", **result.as_dict())
+    return result

@@ -1,0 +1,175 @@
+"""Tests for the unified induction facade (`repro.api`)."""
+
+import warnings
+
+import pytest
+
+from repro import api
+from repro.core import (
+    InductionResult, ScheduleCache, WindowedResult, induce as core_induce,
+    maspar_cost_model, parse_region, verify_schedule, windowed_induce,
+)
+from repro.core.cache import region_fingerprint
+from repro.core.deprecation import reset_warned
+from repro.core.result import result_from_payload, result_to_payload
+from repro.core.search import SearchConfig
+
+REGION = """
+thread 0:
+    a = ld x
+    b = mul a a
+    c = add b a
+thread 1:
+    d = ld x
+    e = mul d d
+    f = add e d
+"""
+
+
+@pytest.fixture
+def region():
+    return parse_region(REGION)
+
+
+class TestInductionRequest:
+    def test_accepts_text_and_named_model(self):
+        request = api.InductionRequest(region=REGION, model="maspar")
+        assert request.resolved_region().num_threads == 2
+        assert request.resolved_model().mask_overhead == \
+            maspar_cost_model().mask_overhead
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            api.InductionRequest(region=REGION, method="magic")
+
+    def test_rejects_window_with_non_search(self):
+        with pytest.raises(ValueError, match="window"):
+            api.InductionRequest(region=REGION, window=2, method="greedy")
+
+    def test_rejects_nonpositive_deadline(self):
+        with pytest.raises(ValueError, match="deadline"):
+            api.InductionRequest(region=REGION, deadline_s=0.0)
+
+    def test_budget_shorthand(self):
+        request = api.InductionRequest(region=REGION, budget=123)
+        assert request.resolved_config().node_budget == 123
+
+    def test_explicit_config_wins_over_budget(self):
+        config = SearchConfig(node_budget=77)
+        request = api.InductionRequest(region=REGION, config=config, budget=5)
+        assert request.resolved_config().node_budget == 77
+
+    def test_fingerprint_ignores_jobs_and_deadline(self):
+        base = api.InductionRequest(region=REGION)
+        assert base.replace(jobs=8).fingerprint() == base.fingerprint()
+        assert base.replace(deadline_s=5.0).fingerprint() == base.fingerprint()
+
+    def test_fingerprint_folds_window_in(self):
+        base = api.InductionRequest(region=REGION)
+        assert base.replace(window=2).fingerprint() != base.fingerprint()
+
+    def test_fingerprint_matches_library_cache_key_when_unwindowed(self, region):
+        request = api.InductionRequest(region=REGION)
+        assert request.fingerprint() == region_fingerprint(
+            region, request.resolved_model(), request.resolved_config(),
+            method="search")
+
+
+class TestRouting:
+    def test_rejects_positional_region(self):
+        with pytest.raises(TypeError, match="InductionRequest"):
+            api.induce(REGION)
+
+    def test_one_shot_route(self):
+        result = api.induce(api.InductionRequest(region=REGION))
+        assert isinstance(result, InductionResult)
+        assert result.kind == "induce"
+        assert result.cost > 0 and not result.degraded
+
+    def test_windowed_route(self):
+        result = api.induce(api.InductionRequest(region=REGION, window=2))
+        assert isinstance(result, WindowedResult)
+        assert result.kind == "windowed"
+        assert result.num_windows >= 1
+
+    def test_cache_handle_stays_local(self, tmp_path):
+        cache = ScheduleCache(cache_dir=str(tmp_path / "cache"))
+        request = api.InductionRequest(region=REGION, cache=cache)
+        first = api.induce(request)
+        second = api.induce(request)
+        assert not first.cache_hit and second.cache_hit
+        assert second.cost == first.cost
+
+
+class TestResultProtocol:
+    CORE_KEYS = {"kind", "method", "cost", "serial_cost", "lockstep_cost",
+                 "speedup_vs_serial", "speedup_vs_lockstep", "slots", "nodes",
+                 "cache_hit", "optimal", "degraded", "wall_s"}
+
+    def test_uniform_as_dict_across_kinds(self):
+        one = api.induce(api.InductionRequest(region=REGION))
+        win = api.induce(api.InductionRequest(region=REGION, window=2))
+        for result in (one, win):
+            d = result.as_dict()
+            assert self.CORE_KEYS <= set(d)
+            assert d["speedup_vs_serial"] == pytest.approx(
+                result.serial_cost / result.cost)
+
+    def test_search_stats_always_a_tuple(self):
+        greedy = api.induce(api.InductionRequest(region=REGION, method="greedy"))
+        search = api.induce(api.InductionRequest(region=REGION))
+        win = api.induce(api.InductionRequest(region=REGION, window=2))
+        assert greedy.search_stats == ()
+        assert len(search.search_stats) == 1
+        assert len(win.search_stats) == win.num_windows
+
+    def test_payload_round_trip(self, region):
+        request = api.InductionRequest(region=REGION)
+        result = api.induce(request)
+        back = result_from_payload(result_to_payload(result))
+        assert back.kind == "service"
+        assert back.cost == result.cost
+        assert back.serial_cost == result.serial_cost
+        assert not back.degraded
+        assert len(back.search_stats) == len(result.search_stats)
+        verify_schedule(back.schedule, region, request.resolved_model())
+
+    def test_optimal_false_when_degraded(self):
+        result = api.induce(api.InductionRequest(region=REGION))
+        payload = result_to_payload(result)
+        payload["degraded"] = True
+        assert result_from_payload(payload).optimal is False
+
+
+class TestDeprecatedShims:
+    def test_core_induce_warns_exactly_once(self, region):
+        reset_warned()
+        model = maspar_cost_model()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            core_induce(region, model)
+            core_induce(region, model)
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "repro.api" in str(deprecations[0].message)
+
+    def test_windowed_induce_warns_exactly_once(self, region):
+        reset_warned()
+        model = maspar_cost_model()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            windowed_induce(region, model, window_size=2)
+            windowed_induce(region, model, window_size=2)
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+
+    def test_shim_results_match_api(self, region):
+        reset_warned()
+        model = maspar_cost_model()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            old = core_induce(region, model)
+        new = api.induce(api.InductionRequest(region=region, model=model))
+        assert old.cost == new.cost

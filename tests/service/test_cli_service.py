@@ -1,0 +1,82 @@
+"""CLI wiring tests for ``repro submit`` and ``repro serve --status/--stop``.
+
+The server runs in-process (the ``serve`` foreground loop itself is
+exercised by the CI smoke job); the CLI talks to it over the real socket.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.service import InductionServer, ServerConfig
+
+REGION = """
+thread 0:
+    a = ld x
+    b = mul a a
+thread 1:
+    c = ld x
+    d = mul c c
+"""
+
+
+@pytest.fixture
+def region_file(tmp_path):
+    path = tmp_path / "region.txt"
+    path.write_text(REGION)
+    return str(path)
+
+
+@pytest.fixture
+def server(tmp_path):
+    server = InductionServer(ServerConfig(
+        address=str(tmp_path / "svc.sock"), workers=1))
+    yield server
+    if not server.wait_stopped(0.0):
+        server.shutdown()
+
+
+def test_submit_repeat_and_summary(server, region_file, capsys):
+    assert main(["submit", region_file, "--socket", server.address,
+                 "--repeat", "3", "--concurrency", "3",
+                 "--budget", "10000"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("cost=") == 3
+    assert "3 ok, 0 busy" in out
+    assert "disposition=" in out
+
+
+def test_submit_windowed_flags_match_induce(server, region_file, capsys):
+    assert main(["submit", region_file, "--socket", server.address,
+                 "--window", "1", "--jobs", "2", "--budget", "10000"]) == 0
+    assert "1 ok" in capsys.readouterr().out
+
+
+def test_submit_rejects_window_with_greedy(server, region_file):
+    with pytest.raises(SystemExit):
+        main(["submit", region_file, "--socket", server.address,
+              "--window", "2", "--method", "greedy"])
+
+
+def test_serve_status_prints_metrics(server, region_file, capsys):
+    main(["submit", region_file, "--socket", server.address,
+          "--budget", "10000"])
+    assert main(["serve", "--socket", server.address, "--status"]) == 0
+    out = capsys.readouterr().out
+    assert "requests" in out and "workers" in out
+
+
+def test_serve_stop_drains(server, capsys):
+    assert main(["serve", "--socket", server.address, "--stop"]) == 0
+    assert "drained and stopped" in capsys.readouterr().out
+    assert server.wait_stopped(5.0)
+
+
+def test_submit_trace_writes_events(server, region_file, tmp_path, capsys):
+    trace = str(tmp_path / "trace.jsonl")
+    assert main(["submit", region_file, "--socket", server.address,
+                 "--budget", "10000", "--trace", trace]) == 0
+    import json
+    events = [json.loads(line) for line in open(trace)]
+    assert len(events) == 1
+    assert events[0]["kind"] == "submit"
+    assert events[0]["cost"] > 0

@@ -1,0 +1,137 @@
+"""Tests for the service wire protocol (framing, addresses, payloads)."""
+
+import socket
+
+import pytest
+
+from repro.api import InductionRequest
+from repro.core.costmodel import CostModel, maspar_cost_model
+from repro.service import protocol
+
+REGION = """
+thread 0:
+    a = ld x
+    b = mul a a
+thread 1:
+    c = ld x
+    d = mul c c
+"""
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFraming:
+    def test_round_trip(self, pair):
+        a, b = pair
+        protocol.send_message(a, {"op": "ping", "n": 3})
+        assert protocol.recv_message(b) == {"op": "ping", "n": 3}
+
+    def test_multiple_messages_in_order(self, pair):
+        a, b = pair
+        for i in range(5):
+            protocol.send_message(a, {"i": i})
+        assert [protocol.recv_message(b)["i"] for _ in range(5)] == list(range(5))
+
+    def test_clean_eof_is_none(self, pair):
+        a, b = pair
+        a.close()
+        assert protocol.recv_message(b) is None
+
+    def test_mid_frame_eof_is_error(self, pair):
+        a, b = pair
+        a.sendall(b"\x00\x00\x00\x10partial")
+        a.close()
+        with pytest.raises(protocol.ProtocolError, match="mid-frame"):
+            protocol.recv_message(b)
+
+    def test_oversize_header_rejected(self, pair):
+        a, b = pair
+        a.sendall(b"\xff\xff\xff\xff")
+        with pytest.raises(protocol.ProtocolError, match="exceeds"):
+            protocol.recv_message(b)
+
+    def test_non_object_frame_rejected(self, pair):
+        a, b = pair
+        body = b"[1,2]"
+        a.sendall(len(body).to_bytes(4, "big") + body)
+        with pytest.raises(protocol.ProtocolError, match="expected object"):
+            protocol.recv_message(b)
+
+    def test_bad_json_rejected(self, pair):
+        a, b = pair
+        body = b"{nope"
+        a.sendall(len(body).to_bytes(4, "big") + body)
+        with pytest.raises(protocol.ProtocolError, match="bad frame"):
+            protocol.recv_message(b)
+
+
+class TestAddresses:
+    def test_path_is_unix(self):
+        assert protocol.parse_address("/tmp/x.sock") == ("unix", "/tmp/x.sock")
+
+    def test_host_port_is_tcp(self):
+        assert protocol.parse_address("127.0.0.1:9999") == \
+            ("tcp", ("127.0.0.1", 9999))
+
+    def test_bare_port_defaults_to_loopback(self):
+        assert protocol.parse_address(":0") == ("tcp", ("127.0.0.1", 0))
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_address("host:abc")
+
+    def test_empty_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_address("")
+
+
+class TestModelPayload:
+    def test_named_model_passes_through(self):
+        assert protocol.model_to_payload("uniform") == "uniform"
+        assert protocol.model_from_payload("uniform") == "uniform"
+
+    def test_custom_model_round_trips(self):
+        model = maspar_cost_model()
+        back = protocol.model_from_payload(protocol.model_to_payload(model))
+        assert isinstance(back, CostModel)
+        assert back.class_of == model.class_of
+        assert back.mask_overhead == model.mask_overhead
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.model_from_payload({"class_of": {}})
+
+
+class TestRequestWire:
+    def test_round_trip_preserves_fingerprint(self):
+        request = InductionRequest(region=REGION, window=2, jobs=3,
+                                   budget=5000, deadline_s=9.0)
+        back = protocol.request_from_wire(protocol.request_to_wire(request))
+        assert back.fingerprint() == request.fingerprint()
+        assert back.window == 2 and back.jobs == 3
+        assert back.deadline_s == 9.0
+        assert back.resolved_config().node_budget == 5000
+
+    def test_chaos_rides_separately(self):
+        request = InductionRequest(region=REGION)
+        wire = protocol.request_to_wire(request, chaos={"sleep_s": 1.0})
+        assert wire["chaos"] == {"sleep_s": 1.0}
+        assert "chaos" not in protocol.request_to_wire(request)
+
+    def test_invalid_wire_is_protocol_error(self):
+        wire = protocol.request_to_wire(InductionRequest(region=REGION))
+        wire["method"] = "magic"
+        with pytest.raises(protocol.ProtocolError, match="bad submit"):
+            protocol.request_from_wire(wire)
+
+    def test_bad_deadline_is_protocol_error(self):
+        wire = protocol.request_to_wire(InductionRequest(region=REGION))
+        wire["deadline_s"] = -1
+        with pytest.raises(protocol.ProtocolError):
+            protocol.request_from_wire(wire)

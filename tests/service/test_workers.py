@@ -1,0 +1,143 @@
+"""Tests for the supervised worker pool and the local deadline route."""
+
+import time
+
+import pytest
+
+from repro import api
+from repro.core import maspar_cost_model, verify_schedule
+from repro.core.search import SearchConfig
+from repro.service import protocol
+from repro.service.workers import (
+    DeadlineExpired, RetriesExhausted, WorkerPool, WorkerTaskError,
+    degraded_result, run_local_with_deadline,
+)
+from repro.workloads.threads import RandomRegionSpec, random_region
+
+REGION = """
+thread 0:
+    a = ld x
+    b = mul a a
+thread 1:
+    c = ld x
+    d = mul c c
+"""
+
+#: Empirically slow search (budget-exhausting at 400k nodes, >10s): enough
+#: threads and only moderate overlap, so branch-and-bound has no easy cuts.
+SLOW_SPEC = RandomRegionSpec(num_threads=8, min_len=10, max_len=10,
+                             vocab_size=12, overlap=0.4, private_vocab=False)
+
+
+def wire_for(region=REGION, chaos=None, **kwargs):
+    request = api.InductionRequest(region=region, **kwargs)
+    return protocol.request_to_wire(request, chaos=chaos)
+
+
+class TestWorkerPool:
+    def test_runs_a_task(self):
+        pool = WorkerPool(workers=1)
+        try:
+            payload, meta = pool.run(wire_for(budget=10_000))
+            assert payload["cost"] > 0
+            assert meta["worker_deaths"] == 0
+        finally:
+            pool.close()
+
+    def test_retries_after_crash_with_backoff(self):
+        pool = WorkerPool(workers=1, max_retries=2, backoff_s=0.01)
+        try:
+            payload, meta = pool.run(
+                wire_for(budget=10_000, chaos={"crash_attempts": 2}))
+            assert payload["cost"] > 0
+            assert meta["retries"] == 2
+            assert meta["worker_deaths"] == 2
+            assert pool.counters.snapshot()["worker_respawns"] == 2
+        finally:
+            pool.close()
+
+    def test_retries_exhausted(self):
+        pool = WorkerPool(workers=1, max_retries=1, backoff_s=0.01)
+        try:
+            with pytest.raises(RetriesExhausted):
+                pool.run(wire_for(budget=10_000, chaos={"crash_attempts": 99}))
+        finally:
+            pool.close()
+
+    def test_deadline_kills_stalled_worker(self):
+        pool = WorkerPool(workers=1)
+        try:
+            start = time.monotonic()
+            with pytest.raises(DeadlineExpired):
+                pool.run(wire_for(budget=10_000, chaos={"sleep_s": 10.0}),
+                         deadline=time.monotonic() + 0.2)
+            assert time.monotonic() - start < 5.0
+            # The respawned worker is healthy afterwards.
+            payload, _ = pool.run(wire_for(budget=10_000))
+            assert payload["cost"] > 0
+        finally:
+            pool.close()
+
+    def test_task_error_is_not_retried(self):
+        pool = WorkerPool(workers=1, max_retries=3)
+        try:
+            wire = wire_for(budget=10_000)
+            wire["region"] = "this is not a region"
+            with pytest.raises(WorkerTaskError):
+                pool.run(wire)
+        finally:
+            pool.close()
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=0)
+        with pytest.raises(ValueError):
+            WorkerPool(max_retries=-1)
+
+
+class TestDegradedResult:
+    def test_is_verified_greedy_and_flagged(self):
+        request = api.InductionRequest(region=REGION)
+        result = degraded_result(request, wall_s=1.23)
+        assert result.degraded
+        assert result.method == "greedy"
+        assert result.optimal is False
+        assert result.wall_s == 1.23
+        verify_schedule(result.schedule, request.resolved_region(),
+                        maspar_cost_model())
+
+
+class TestLocalDeadlineRoute:
+    def test_fast_search_beats_deadline(self):
+        request = api.InductionRequest(region=REGION, budget=10_000,
+                                       deadline_s=60.0)
+        result = api.induce(request)
+        assert not result.degraded
+        assert result.cost > 0
+
+    def test_slow_search_degrades_within_deadline(self):
+        region = random_region(SLOW_SPEC, seed=5)
+        request = api.InductionRequest(
+            region=region, config=SearchConfig(node_budget=50_000_000),
+            deadline_s=0.5)
+        start = time.monotonic()
+        result = api.induce(request)
+        elapsed = time.monotonic() - start
+        assert result.degraded
+        assert result.method == "greedy"
+        assert elapsed < 10.0  # killed the search, did not wait out 50M nodes
+        verify_schedule(result.schedule, region, request.resolved_model())
+
+    def test_cache_short_circuits_the_worker(self, tmp_path):
+        from repro.core import ScheduleCache
+
+        cache = ScheduleCache(cache_dir=str(tmp_path / "cache"))
+        request = api.InductionRequest(region=REGION, budget=10_000,
+                                       deadline_s=60.0, cache=cache)
+        first = api.induce(request)
+        start = time.monotonic()
+        second = api.induce(request)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert time.monotonic() - start < 2.0  # no worker spawn
+        assert second.cost == first.cost
