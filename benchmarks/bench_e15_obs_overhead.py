@@ -1,0 +1,84 @@
+"""E15 — observability overhead: spans, metrics and JSONL tracing.
+
+The instrumentation added for the induction service (hierarchical spans,
+histogram metrics, structured trace events) runs on the hot path of every
+``induce()`` call, so it must be cheap enough to leave on.  This
+experiment measures the same branch-and-bound workload under increasing
+observability:
+
+- *off*       — no tracer: spans still propagate trace ids (the code
+  never branches on whether tracing is on) but nothing is emitted;
+- *memory*    — a :class:`MemoryTracer` sink (what workers use to record
+  spans for replay across the process boundary);
+- *jsonl*     — a :class:`JsonlTracer` writing every span and event to
+  disk under its interleave-safe lock.
+
+Each row reports mean wall time per call and the overhead ratio against
+the uninstrumented baseline.  Honest accounting: the ratios depend on
+how search-heavy the region is — a huge search amortizes instrumentation
+to nothing, an all-cache-hit run is dominated by it — so the table
+reports a small-but-real search where overhead is most visible, rather
+than asserting a machine-dependent ratio.  The one hard assertion is
+functional: the JSONL run must leave a parseable span tree behind.
+"""
+
+import time
+
+from conftest import api_induce, record_table
+from repro.core import maspar_cost_model
+from repro.core.search import SearchConfig
+from repro.obs import JsonlTracer, MemoryTracer, build_traces, load_span_events
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.util import format_table
+from repro.workloads import RandomRegionSpec, random_region
+
+MODEL = maspar_cost_model()
+CALLS = 40
+
+
+def bench_region(seed=7):
+    return random_region(
+        RandomRegionSpec(num_threads=4, min_len=6, max_len=6,
+                         vocab_size=8, overlap=0.6, private_vocab=False),
+        seed=seed)
+
+
+def timed_calls(region, tracer=None):
+    cfg = SearchConfig(node_budget=20_000)
+    walls = []
+    with use_registry(MetricsRegistry()):  # fresh registry per variant
+        for _ in range(CALLS):
+            t0 = time.perf_counter()
+            api_induce(region, MODEL, config=cfg, tracer=tracer)
+            walls.append(time.perf_counter() - t0)
+    return sum(walls) / len(walls)
+
+
+def run_experiment(tmp_path):
+    region = bench_region()
+    timed_calls(region)  # warm imports and allocator before measuring
+
+    off = timed_calls(region)
+    memory = timed_calls(region, MemoryTracer())
+    jsonl_path = tmp_path / "bench_trace.jsonl"
+    with JsonlTracer(jsonl_path) as tracer:
+        jsonl = timed_calls(region, tracer)
+
+    trees = build_traces(load_span_events(jsonl_path))
+    assert len(trees) == CALLS
+    assert all(t.roots[0].name == "induce" for t in trees)
+
+    rows = [
+        ["off (ids only)", f"{off * 1e3:.3f}", "1.00x"],
+        ["memory sink", f"{memory * 1e3:.3f}", f"{memory / off:.2f}x"],
+        ["jsonl sink", f"{jsonl * 1e3:.3f}", f"{jsonl / off:.2f}x"],
+    ]
+    table = format_table(
+        ["tracing", "mean wall (ms/call)", "vs off"], rows,
+        title=f"E15: observability overhead ({CALLS} induce() calls, "
+              f"{region.num_ops} ops)")
+    record_table("e15_obs_overhead", table)
+
+
+def test_e15_obs_overhead(tmp_path):
+    run_experiment(tmp_path)

@@ -11,7 +11,9 @@ Mirrors the user-facing surface of the 1992 prototype:
   a persistent content-addressed schedule cache (``--cache-dir``) and a
   JSONL search trace (``--trace``);
 - ``stats``    — summarize a ``--trace`` file (nodes, prunes, cache hit
-  rate, wall time);
+  rate, wall time, per-field p50/p90/p99);
+- ``trace``    — render the hierarchical span trees in a ``--trace`` file
+  (one tree per trace id, with per-phase self-time percentages);
 - ``select``   — the "master shell script" step of §4.3: compute expected
   op counts, consult the machine database, and report where the program
   should run.
@@ -154,12 +156,14 @@ def _cmd_serve(args) -> int:
     from repro.obs import JsonlTracer
     from repro.service import InductionServer, ServerConfig, ServiceClient
 
-    if args.status or args.stop:
+    if args.status or args.stop or args.metrics:
         client = ServiceClient(args.socket)
         if args.status:
             print(f"service at {args.socket}:")
             for name, value in sorted(client.stats().items()):
-                print(f"  {name:24s} {value:g}")
+                print(f"  {name:32s} {value:g}")
+        if args.metrics:
+            print(client.metrics(), end="")
         if args.stop:
             client.shutdown(drain=True)
             print("server drained and stopped")
@@ -180,6 +184,11 @@ def _cmd_serve(args) -> int:
     server = InductionServer(config, cache=cache, tracer=tracer)
     print(f"induction service listening on {server.address} "
           f"(workers={config.workers}, queue={config.queue_size})", flush=True)
+    if args.metrics_port is not None:
+        from repro.obs import start_metrics_server
+        http = start_metrics_server(server.render_metrics, args.metrics_port)
+        print(f"metrics endpoint on http://127.0.0.1:{http.port}/metrics",
+              flush=True)
     try:
         while not server.wait_stopped(0.5):
             pass
@@ -253,6 +262,19 @@ def _cmd_stats(args) -> int:
     from repro.obs import render_trace_summary, summarize_trace
 
     print(render_trace_summary(summarize_trace(args.trace)))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import build_traces, load_span_events, render_trace_trees
+
+    events = load_span_events(args.trace)
+    trees = build_traces(events)
+    if not trees:
+        print(f"no span events in {args.trace}")
+        return 1
+    print(render_trace_trees(trees, trace_id=args.trace_id,
+                             last_only=args.last))
     return 0
 
 
@@ -354,8 +376,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="persistent schedule cache directory (content-addressed)")
     p.add_argument("--allow-chaos", action="store_true",
                    help="honour client fault injection (tests only)")
+    p.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                   help="serve Prometheus metrics over HTTP on this "
+                        "loopback port (0 = pick a free port)")
     p.add_argument("--status", action="store_true",
-                   help="print a running server's metrics and exit")
+                   help="print a running server's stats snapshot and exit")
+    p.add_argument("--metrics", action="store_true",
+                   help="print a running server's Prometheus metrics and exit")
     p.add_argument("--stop", action="store_true",
                    help="drain and stop a running server, then exit")
     p.set_defaults(fn=_cmd_serve)
@@ -387,6 +414,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="summarize a JSONL trace file")
     p.add_argument("trace", help="trace file written by --trace")
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser(
+        "trace", help="render span trees from a JSONL trace file")
+    p.add_argument("trace", help="trace file written by --trace")
+    p.add_argument("--trace-id", metavar="ID",
+                   help="show only the trace whose id starts with ID")
+    p.add_argument("--last", action="store_true",
+                   help="show only the most recent trace")
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser("simdc", help="compile and run a SIMDC (data-parallel) program")
     p.add_argument("source", help="SIMDC source file")

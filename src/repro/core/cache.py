@@ -35,11 +35,14 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
+from time import perf_counter
+
 from repro.core.costmodel import CostModel
 from repro.core.ops import Region
 from repro.core.schedule import Schedule, Slot
 from repro.core.search import SearchConfig, SearchStats
 from repro.obs import Counters
+from repro.obs.metrics import get_registry
 
 __all__ = [
     "ScheduleCache",
@@ -157,12 +160,15 @@ class ScheduleCache:
 
     def get(self, fingerprint: str) -> tuple[Schedule, SearchStats | None] | None:
         """Schedule + stats stored under ``fingerprint``, or None on miss."""
+        start = perf_counter()
         with self._lock:
             entry = self._memory.get(fingerprint)
             if entry is not None:
                 self._memory.move_to_end(fingerprint)
                 self.counters.bump("hits")
                 self.counters.bump("memory_hits")
+                get_registry().observe("cache_hit_seconds",
+                                       perf_counter() - start)
                 return entry.schedule, self._copy_stats(entry.stats)
         entry = self._disk_get(fingerprint)
         if entry is not None:
@@ -170,8 +176,10 @@ class ScheduleCache:
                 self._remember(fingerprint, entry)
             self.counters.bump("hits")
             self.counters.bump("disk_hits")
+            get_registry().observe("cache_hit_seconds", perf_counter() - start)
             return entry.schedule, self._copy_stats(entry.stats)
         self.counters.bump("misses")
+        get_registry().observe("cache_miss_seconds", perf_counter() - start)
         return None
 
     def put(self, fingerprint: str, schedule: Schedule,

@@ -32,7 +32,8 @@ from repro.core.schedule import Schedule
 from repro.core.search import SearchConfig, SearchStats, branch_and_bound
 from repro.core.serial import lockstep_schedule, serial_schedule
 from repro.core.verify import verify_schedule
-from repro.obs import NULL_TRACER, StopWatch, Tracer
+from repro.obs import NULL_TRACER, StopWatch, Tracer, span
+from repro.obs.metrics import get_registry
 
 __all__ = ["InductionResult", "METHODS", "induce"]
 
@@ -133,37 +134,53 @@ def _induce_impl(
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
     tracer = tracer or NULL_TRACER
+    metrics = get_registry()
     watch = StopWatch().start()
 
-    fingerprint = None
-    schedule: Schedule | None = None
-    stats: SearchStats | None = None
-    if cache is not None:
-        fingerprint = region_fingerprint(region, model, config, method=method)
-        hit = cache.get(fingerprint)
-        if hit is not None:
-            schedule, stats = hit
-    cache_hit = schedule is not None
-
-    if schedule is None:
-        schedule, stats = _build_schedule(region, model, method, config)
-        if verify:
-            # Baselines built in program order are valid under any dependence
-            # structure; reordering methods are checked against the real DAGs.
-            respect_order = bool(config and config.respect_order)
-            dags = build_dags(region, respect_order=respect_order)
-            verify_schedule(schedule, region, model, dags=dags)
+    with span("induce", tracer, method=method, ops=region.num_ops) as live:
+        fingerprint = None
+        schedule: Schedule | None = None
+        stats: SearchStats | None = None
         if cache is not None:
-            cache.put(fingerprint, schedule, stats)
+            fingerprint = region_fingerprint(region, model, config,
+                                             method=method)
+            hit = cache.get(fingerprint)
+            if hit is not None:
+                schedule, stats = hit
+        cache_hit = schedule is not None
 
-    cost = schedule.cost(model)
-    # Reuse the schedule we just built when it *is* the baseline, and pay
-    # each baseline construction exactly once.
-    serial_cost = cost if method == "serial" else \
-        serial_schedule(region, model).cost(model)
-    lockstep_cost = cost if method == "lockstep" else \
-        lockstep_schedule(region, model).cost(model)
-    wall_s = watch.stop()
+        if schedule is None:
+            with span("induce.build", tracer, method=method):
+                schedule, stats = _build_schedule(region, model, method, config)
+            if verify:
+                # Baselines built in program order are valid under any
+                # dependence structure; reordering methods are checked
+                # against the real DAGs.
+                with span("induce.verify", tracer):
+                    respect_order = bool(config and config.respect_order)
+                    dags = build_dags(region, respect_order=respect_order)
+                    verify_schedule(schedule, region, model, dags=dags)
+            if cache is not None:
+                cache.put(fingerprint, schedule, stats)
+
+        cost = schedule.cost(model)
+        # Reuse the schedule we just built when it *is* the baseline, and pay
+        # each baseline construction exactly once.
+        serial_cost = cost if method == "serial" else \
+            serial_schedule(region, model).cost(model)
+        lockstep_cost = cost if method == "lockstep" else \
+            lockstep_schedule(region, model).cost(model)
+        wall_s = watch.stop()
+        live.set(cost=cost,
+                 cache="hit" if cache_hit
+                 else ("miss" if cache is not None else "off"))
+
+    metrics.inc("induce_total")
+    metrics.observe("induce_wall_seconds", wall_s)
+    if cache_hit:
+        metrics.inc("induce_cache_hits_total")
+    elif method == "search" and stats is not None:
+        metrics.observe("search_wall_seconds", stats.wall_s or wall_s)
 
     if tracer.enabled:
         event: dict = {

@@ -43,7 +43,17 @@ from repro.core.result import ResultBase
 from repro.core.schedule import Schedule, Slot
 from repro.core.search import SearchConfig, SearchStats, branch_and_bound
 from repro.core.serial import lockstep_schedule, serial_schedule
-from repro.obs import NULL_TRACER, StopWatch, Tracer
+from repro.obs import (
+    MemoryTracer,
+    NULL_TRACER,
+    StopWatch,
+    Tracer,
+    attach_context,
+    current_context,
+    replay_events,
+    span,
+)
+from repro.obs.metrics import get_registry
 
 __all__ = ["WindowedResult", "windowed_induce"]
 
@@ -112,10 +122,27 @@ def _window_region(region: Region, start: int, size: int) -> tuple[Region, dict]
     return Region(tuple(threads)), back
 
 
-def _search_window(task: tuple[Region, CostModel, SearchConfig]):
-    """Process-pool entry point: induce one window region."""
-    sub, model, config = task
-    return branch_and_bound(sub, model, config)
+def _search_window(task: tuple[Region, CostModel, SearchConfig, dict | None]):
+    """Process-pool entry point: induce one window region.
+
+    Runs under the parent's span context (shipped as a plain dict so it
+    pickles) and records its own ``window.search`` span into a
+    :class:`MemoryTracer`; the recorded events and a nested counter
+    snapshot ride back with the schedule so the parent can stitch one
+    trace and merge per-worker counts.  ``perf_counter`` is
+    CLOCK_MONOTONIC on Linux, so worker span timestamps are directly
+    comparable with the parent's.
+    """
+    sub, model, config, ctx = task
+    recorder = MemoryTracer()
+    with attach_context(ctx):
+        with span("window.search", recorder, ops=sub.num_ops,
+                  pid=os.getpid()) as live:
+            schedule, stats = branch_and_bound(sub, model, config)
+            live.set(nodes=stats.nodes_expanded, cost=schedule.cost(model))
+    snap = {"window": {"searches": 1, "nodes": stats.nodes_expanded,
+                       "wall_s": stats.wall_s}}
+    return schedule, stats, recorder.events, snap
 
 
 def _resolve_jobs(jobs: int) -> int:
@@ -125,9 +152,9 @@ def _resolve_jobs(jobs: int) -> int:
 
 
 def _run_windows_parallel(
-    tasks: list[tuple[Region, CostModel, SearchConfig]],
+    tasks: list[tuple[Region, CostModel, SearchConfig, dict | None]],
     jobs: int,
-) -> list[tuple[Schedule, SearchStats]] | None:
+) -> list[tuple[Schedule, SearchStats, list, dict]] | None:
     """Fan the window searches out over a process pool, order preserved.
 
     Returns None when no pool can be created (restricted environments,
@@ -187,6 +214,29 @@ def _windowed_induce_impl(
     process pool; the stitched schedule is identical to the serial path's
     because every window search is deterministic and reassembly is ordered.
     """
+    tracer = tracer or NULL_TRACER
+    with span("windowed_induce", tracer, ops=region.num_ops,
+              threads=region.num_threads, window_size=window_size) as live:
+        result = _windowed_body(region, model, window_size=window_size,
+                                config=config, jobs=jobs, cache=cache,
+                                tracer=tracer)
+        live.set(cost=result.cost, windows=result.num_windows,
+                 cache_hits=result.cache_hits, jobs=result.jobs_used)
+    return result
+
+
+def _windowed_body(
+    region: Region,
+    model: CostModel,
+    window_size: int = 8,
+    config: SearchConfig | None = None,
+    jobs: int = 1,
+    cache: ScheduleCache | None = None,
+    tracer: Tracer | None = None,
+) -> WindowedResult:
+    # The real work; runs under _windowed_induce_impl's "windowed_induce"
+    # span so per-window "window.search" spans (local or worker-side) hang
+    # off one parent.
     if window_size < 1:
         raise ValueError(f"window size must be positive, got {window_size}")
     config = config or SearchConfig()
@@ -230,7 +280,8 @@ def _windowed_induce_impl(
                 first_with[fp] = w
             unique_idx.append(w)
 
-    tasks = [(windows[w][1], model, config) for w in unique_idx]
+    ctx = current_context()
+    tasks = [(windows[w][1], model, config, ctx) for w in unique_idx]
     jobs_used = 1
     if jobs > 1 and len(tasks) > 1 and \
             sum(t[0].num_ops for t in tasks) >= _MIN_PARALLEL_OPS:
@@ -242,6 +293,17 @@ def _windowed_induce_impl(
     for pos, w in enumerate(unique_idx):
         if results[w] is None:
             results[w] = _search_window(tasks[pos])
+    # Freshly searched windows come back as 4-tuples carrying the worker's
+    # recorded spans and a nested counter snapshot: replay the spans into
+    # the parent sink (one stitched trace) and merge the counts, then
+    # normalize to the (schedule, stats) shape the passes below expect.
+    metrics = get_registry()
+    for w in unique_idx:
+        sched, st, events, snap = results[w]
+        replay_events(events, tracer)
+        metrics.counters.merge(snap)
+        metrics.observe("window_search_seconds", st.wall_s)
+        results[w] = (sched, st)
     if cache is not None:
         for w in unique_idx:
             sched, st = results[w]

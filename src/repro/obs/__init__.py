@@ -1,20 +1,52 @@
-"""Observability for the induction service: timers, counters, traces.
+"""Observability for the induction service: spans, metrics, counters, traces.
 
-Three small pieces, used together by :mod:`repro.core.pipeline`,
-:mod:`repro.core.window` and :mod:`repro.core.cache`:
+Four coordinated pieces, used together by :mod:`repro.core.pipeline`,
+:mod:`repro.core.window`, :mod:`repro.core.cache` and
+:mod:`repro.service.server`:
 
 - :class:`StopWatch` / :func:`timed` — monotonic wall-clock timing;
-- :class:`Counters` — named counters (cache hits, stores, ...);
-- :class:`Tracer` sinks — :data:`NULL_TRACER` (disabled, near-zero
-  overhead), :class:`MemoryTracer` (tests), :class:`JsonlTracer`
-  (one structured JSON event per search/window, appended to a file).
+- :class:`Counters` — named counters (cache hits, stores, ...), now with
+  nested-snapshot merge for worker fan-out;
+- **spans** — :func:`span` opens a hierarchical, trace-id-carrying timed
+  phase; :func:`current_context` / :func:`attach_context` propagate a
+  trace across thread and process boundaries, and :func:`replay_events`
+  stitches worker-recorded spans back into the parent's sink;
+- **metrics** — :class:`MetricsRegistry` holds counters, gauges and
+  fixed-bucket :class:`Histogram` latency distributions (``p50/p90/p99``),
+  thread-safe and mergeable across workers; :func:`render_prometheus`
+  emits the text exposition served by the ``metrics`` op and
+  ``--metrics-port`` (:func:`start_metrics_server`).
 
-Traces written by :class:`JsonlTracer` are summarized by
-:func:`summarize_trace` / :func:`render_trace_summary`, which back the
-``repro stats`` CLI subcommand.
+Tracer sinks are unchanged in spirit: :data:`NULL_TRACER` (disabled,
+near-zero overhead), :class:`MemoryTracer` (tests and worker-side span
+recording), :class:`JsonlTracer` (structured JSONL, interleave-safe).
+
+Traces are consumed by :func:`summarize_trace` / :func:`render_trace_summary`
+(the ``repro stats`` CLI) and by :func:`build_traces` /
+:func:`render_trace_trees` (the ``repro trace`` span-tree view).
 """
 
 from repro.obs.counters import Counters
+from repro.obs.httpexp import MetricsHTTPServer, start_metrics_server
+from repro.obs.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    DEFAULT_VALUE_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    render_prometheus,
+    use_registry,
+)
+from repro.obs.spans import (
+    Span,
+    SpanContext,
+    attach_context,
+    current_context,
+    new_trace_id,
+    replay_events,
+    span,
+)
 from repro.obs.summary import (
     KindSummary,
     TraceSummary,
@@ -23,17 +55,48 @@ from repro.obs.summary import (
 )
 from repro.obs.timing import StopWatch, timed
 from repro.obs.tracer import JsonlTracer, MemoryTracer, NULL_TRACER, Tracer
+from repro.obs.tracetree import (
+    SpanNode,
+    TraceTree,
+    build_traces,
+    load_span_events,
+    render_trace_tree,
+    render_trace_trees,
+)
 
 __all__ = [
     "Counters",
+    "DEFAULT_SIZE_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_VALUE_BUCKETS",
+    "Histogram",
     "JsonlTracer",
     "KindSummary",
     "MemoryTracer",
+    "MetricsHTTPServer",
+    "MetricsRegistry",
     "NULL_TRACER",
+    "Span",
+    "SpanContext",
+    "SpanNode",
     "StopWatch",
-    "Tracer",
     "TraceSummary",
+    "TraceTree",
+    "Tracer",
+    "attach_context",
+    "build_traces",
+    "current_context",
+    "get_registry",
+    "load_span_events",
+    "new_trace_id",
+    "render_prometheus",
     "render_trace_summary",
+    "render_trace_tree",
+    "render_trace_trees",
+    "replay_events",
+    "span",
+    "start_metrics_server",
     "summarize_trace",
     "timed",
+    "use_registry",
 ]

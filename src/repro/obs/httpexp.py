@@ -1,0 +1,82 @@
+"""Optional HTTP exposition endpoint for live metrics.
+
+``repro serve --metrics-port N`` starts one of these next to the induction
+server: a tiny threaded :mod:`http.server` serving
+
+- ``GET /metrics``  — Prometheus text exposition (the same output as the
+  service protocol's ``metrics`` op);
+- ``GET /healthz``  — liveness probe (``ok``).
+
+The render callable is evaluated per request, so scrapes always see the
+live registry.  The server runs on a daemon thread and is bound to
+loopback by default — this is an operator port, not a public one.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+__all__ = ["MetricsHTTPServer", "start_metrics_server"]
+
+#: Content type mandated by the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server carrying the metrics render callable."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int],
+                 render: Callable[[], str]) -> None:
+        super().__init__(address, _MetricsHandler)
+        self.render = render
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` ephemeral binds)."""
+        return self.server_address[1]
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    server: MetricsHTTPServer
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path.split("?", 1)[0] == "/metrics":
+            try:
+                body = self.server.render().encode("utf-8")
+            except Exception as exc:  # noqa: BLE001 - surface as a 500
+                self._reply(500, f"metrics render failed: {exc}\n".encode())
+                return
+            self._reply(200, body, PROMETHEUS_CONTENT_TYPE)
+        elif self.path.split("?", 1)[0] == "/healthz":
+            self._reply(200, b"ok\n")
+        else:
+            self._reply(404, b"not found; try /metrics or /healthz\n")
+
+    def _reply(self, status: int, body: bytes,
+               content_type: str = "text/plain; charset=utf-8") -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Scrapes are high-frequency noise; stay quiet."""
+
+
+def start_metrics_server(render: Callable[[], str], port: int,
+                         host: str = "127.0.0.1") -> MetricsHTTPServer:
+    """Serve ``render()`` at ``http://host:port/metrics`` on a daemon thread.
+
+    ``port=0`` binds an ephemeral port (tests); read it back from
+    :attr:`MetricsHTTPServer.port`.  Call :meth:`shutdown` to stop.
+    """
+    server = MetricsHTTPServer((host, port), render)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="metrics-http", daemon=True)
+    thread.start()
+    return server

@@ -3,8 +3,11 @@
 Reads a JSONL trace written by :class:`repro.obs.JsonlTracer` and
 aggregates it per event kind: event counts, sums of every numeric field,
 counts of every string field's values (e.g. how many events had
-``cache="hit"``).  The renderer turns that into the ASCII tables the rest
-of the toolkit prints.
+``cache="hit"``).  Numeric fields additionally feed per-field
+:class:`repro.obs.metrics.Histogram` instances, so the report shows
+``p50/p90/p99`` next to total and mean — totals say how much, percentiles
+say how bad the tail is.  The renderer turns all of that into the ASCII
+tables the rest of the toolkit prints.
 """
 
 from __future__ import annotations
@@ -14,12 +17,17 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable
 
+from repro.obs.metrics import DEFAULT_VALUE_BUCKETS, Histogram
 from repro.util.tables import format_table
 
 __all__ = ["KindSummary", "TraceSummary", "render_trace_summary", "summarize_trace"]
 
 #: Bookkeeping keys that are not workload fields.
 _META_FIELDS = frozenset({"ts", "kind"})
+
+#: Span identity fields: unique per event, so aggregating them as labels
+#: would add one row per span to the report.  ``repro trace`` renders them.
+_SPAN_ID_FIELDS = frozenset({"trace", "span", "parent"})
 
 
 @dataclass
@@ -30,22 +38,34 @@ class KindSummary:
     count: int = 0
     sums: dict[str, float] = field(default_factory=dict)
     labels: dict[str, dict[str, int]] = field(default_factory=dict)
+    hists: dict[str, Histogram] = field(default_factory=dict)
 
     def add(self, event: dict[str, Any]) -> None:
         self.count += 1
         for name, value in event.items():
-            if name in _META_FIELDS:
+            if name in _META_FIELDS or \
+                    (self.kind == "span" and name in _SPAN_ID_FIELDS):
                 continue
             if isinstance(value, bool):
                 self.sums[name] = self.sums.get(name, 0) + int(value)
             elif isinstance(value, (int, float)):
                 self.sums[name] = self.sums.get(name, 0) + value
+                hist = self.hists.get(name)
+                if hist is None:
+                    hist = self.hists[name] = Histogram(DEFAULT_VALUE_BUCKETS)
+                if value >= 0:  # negatives are out of bucket range; sums keep them
+                    hist.observe(value)
             else:
                 per_value = self.labels.setdefault(name, {})
                 per_value[str(value)] = per_value.get(str(value), 0) + 1
 
     def mean(self, name: str) -> float:
         return self.sums.get(name, 0.0) / self.count if self.count else 0.0
+
+    def percentile(self, name: str, q: float) -> float:
+        """Interpolated quantile of a numeric field (0.0 if never seen)."""
+        hist = self.hists.get(name)
+        return hist.percentile(q) if hist is not None else 0.0
 
 
 @dataclass
@@ -139,14 +159,17 @@ def render_trace_summary(summary: TraceSummary) -> str:
 
     for kind in sorted(summary.kinds):
         ks = summary.kinds[kind]
-        rows = [[name, round(total, 6), round(ks.mean(name), 6)]
+        rows = [[name, round(total, 6), round(ks.mean(name), 6),
+                 round(ks.percentile(name, 0.50), 6),
+                 round(ks.percentile(name, 0.90), 6),
+                 round(ks.percentile(name, 0.99), 6)]
                 for name, total in sorted(ks.sums.items())]
         for name, per_value in sorted(ks.labels.items()):
             for value, count in sorted(per_value.items()):
-                rows.append([f"{name}={value}", count, "-"])
+                rows.append([f"{name}={value}", count, "-", "-", "-", "-"])
         if not rows:
             continue
         blocks.append(format_table(
-            ["field", "total", "mean"], rows,
+            ["field", "total", "mean", "p50", "p90", "p99"], rows,
             title=f"{kind}: {ks.count} event{'s' if ks.count != 1 else ''}"))
     return "\n\n".join(blocks)

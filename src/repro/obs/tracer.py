@@ -21,6 +21,8 @@ Event schema (all sinks): every event is a flat JSON object with
 from __future__ import annotations
 
 import json
+import os
+import threading
 from pathlib import Path
 from time import perf_counter
 from typing import Any, TextIO
@@ -32,6 +34,8 @@ class Tracer:
     """No-op base tracer; also the disabled implementation."""
 
     enabled = False
+    #: Events recorded so far (live on real sinks; 0 on the disabled one).
+    events_written = 0
 
     def emit(self, kind: str, **fields: Any) -> None:
         """Record one structured event (no-op here)."""
@@ -61,6 +65,10 @@ class MemoryTracer(Tracer):
     def emit(self, kind: str, **fields: Any) -> None:
         self.events.append({"ts": perf_counter(), "kind": kind, **fields})
 
+    @property
+    def events_written(self) -> int:
+        return len(self.events)
+
     def of_kind(self, kind: str) -> list[dict[str, Any]]:
         return [e for e in self.events if e["kind"] == kind]
 
@@ -69,9 +77,13 @@ class JsonlTracer(Tracer):
     """Appends one JSON object per event to a file.
 
     Events are flushed as they are written so a crashed or killed run
-    still leaves a readable trace; emission happens only in the parent
-    process (workers report stats back), so no cross-process interleaving
-    can corrupt a line.
+    still leaves a readable trace.  Emission happens only in the parent
+    process (workers record in memory and report events back over the
+    pipe), but *within* the process the induction server's handler,
+    batcher and dispatcher threads share one sink — so the lock is held
+    across serialize+write, keeping every line whole.  ``close`` fsyncs
+    before releasing the descriptor so a trace survives a power-cut-style
+    kill of whatever reads it next.
     """
 
     enabled = True
@@ -80,17 +92,27 @@ class JsonlTracer(Tracer):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh: TextIO | None = open(self.path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
         self.events_written = 0
 
     def emit(self, kind: str, **fields: Any) -> None:
-        if self._fh is None:
-            raise ValueError(f"tracer for {self.path} is closed")
-        record = {"ts": round(perf_counter(), 6), "kind": kind, **fields}
-        self._fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
-        self._fh.flush()
-        self.events_written += 1
+        with self._lock:
+            if self._fh is None:
+                raise ValueError(f"tracer for {self.path} is closed")
+            record = {"ts": round(perf_counter(), 6), "kind": kind, **fields}
+            self._fh.write(
+                json.dumps(record, sort_keys=True, default=str) + "\n")
+            self._fh.flush()
+            self.events_written += 1
 
     def close(self) -> None:
-        if self._fh is not None:
+        with self._lock:
+            if self._fh is None:
+                return
+            try:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+            except (OSError, ValueError):
+                pass  # best effort: closing beats crashing on a dead fd
             self._fh.close()
             self._fh = None

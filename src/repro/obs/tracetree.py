@@ -1,0 +1,171 @@
+"""Span-tree reconstruction and rendering for ``repro trace``.
+
+Reads the flat ``span`` events written by :func:`repro.obs.span` through a
+:class:`repro.obs.JsonlTracer`, regroups them by ``trace`` id, rebuilds the
+parent/child tree and renders one ASCII tree per trace with wall time,
+share-of-trace and *self-time* (time not accounted to child spans) per
+phase — the "which phase of which request was slow" view.
+
+Spans whose parent never reached the file (a worker died before replying,
+a truncated trace) are kept as extra roots of their trace rather than
+dropped, so partial traces still render.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = ["SpanNode", "TraceTree", "build_traces", "load_span_events",
+           "render_trace_tree", "render_trace_trees"]
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span plus its children."""
+
+    span_id: str
+    parent_id: str | None
+    name: str
+    start_s: float
+    wall_s: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def self_s(self) -> float:
+        """Wall time not covered by direct children (clamped at zero)."""
+        return max(0.0, self.wall_s - sum(c.wall_s for c in self.children))
+
+
+@dataclass
+class TraceTree:
+    """All spans of one trace id, as a forest of roots."""
+
+    trace_id: str
+    roots: list[SpanNode]
+    span_count: int
+
+    @property
+    def wall_s(self) -> float:
+        """End-to-end wall time: earliest start to latest end over all spans."""
+        spans = list(self._walk())
+        if not spans:
+            return 0.0
+        start = min(s.start_s for s in spans)
+        end = max(s.start_s + s.wall_s for s in spans)
+        return max(0.0, end - start)
+
+    def _walk(self):
+        stack = list(self.roots)
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children)
+
+
+_SPAN_FIELDS = frozenset({"ts", "kind", "trace", "span", "parent", "name",
+                          "start_s", "wall_s"})
+
+
+def load_span_events(path: str | Path) -> list[dict[str, Any]]:
+    """The ``span`` events of a JSONL trace file (malformed lines skipped)."""
+    events: list[dict[str, Any]] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(event, dict) and event.get("kind") == "span" \
+                    and "trace" in event and "span" in event:
+                events.append(event)
+    return events
+
+
+def build_traces(events: Iterable[dict[str, Any]]) -> list[TraceTree]:
+    """Group span events by trace id and rebuild each call tree.
+
+    Traces come back in first-appearance order; children are sorted by
+    start time so the rendered tree reads chronologically.
+    """
+    by_trace: dict[str, list[SpanNode]] = {}
+    for event in events:
+        node = SpanNode(
+            span_id=str(event["span"]),
+            parent_id=event.get("parent"),
+            name=str(event.get("name", "?")),
+            start_s=float(event.get("start_s", 0.0)),
+            wall_s=float(event.get("wall_s", 0.0)),
+            attrs={k: v for k, v in event.items() if k not in _SPAN_FIELDS},
+        )
+        by_trace.setdefault(str(event["trace"]), []).append(node)
+
+    trees: list[TraceTree] = []
+    for trace_id, nodes in by_trace.items():
+        by_id = {node.span_id: node for node in nodes}
+        roots: list[SpanNode] = []
+        for node in nodes:
+            parent = by_id.get(node.parent_id) if node.parent_id else None
+            if parent is not None and parent is not node:
+                parent.children.append(node)
+            else:
+                roots.append(node)
+        for node in nodes:
+            node.children.sort(key=lambda child: child.start_s)
+        roots.sort(key=lambda root: root.start_s)
+        trees.append(TraceTree(trace_id, roots, len(nodes)))
+    return trees
+
+
+def _format_attrs(attrs: dict[str, Any]) -> str:
+    if not attrs:
+        return ""
+    body = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+    return f"  [{body}]"
+
+
+def render_trace_tree(tree: TraceTree) -> str:
+    """One trace as an indented span tree with per-phase self-time shares."""
+    total = tree.wall_s or 1e-12
+    header = (f"trace {tree.trace_id}  "
+              f"({tree.span_count} span{'s' if tree.span_count != 1 else ''}, "
+              f"{tree.wall_s * 1e3:.3f} ms)")
+    lines = [header]
+
+    def walk(node: SpanNode, prefix: str, branch: str, last: bool) -> None:
+        share = node.wall_s / total
+        self_share = node.self_s / total
+        lines.append(
+            f"{prefix}{branch}{node.name:<28s} "
+            f"{node.wall_s * 1e3:9.3f} ms  "
+            f"{share:6.1%} of trace  {self_share:6.1%} self"
+            f"{_format_attrs(node.attrs)}")
+        child_prefix = prefix + ("   " if last else "│  ") if branch else prefix
+        for index, child in enumerate(node.children):
+            child_last = index == len(node.children) - 1
+            marker = "└─ " if child_last else "├─ "
+            walk(child, child_prefix, marker, child_last)
+
+    for root in tree.roots:
+        walk(root, "", "", True)
+    return "\n".join(lines)
+
+
+def render_trace_trees(trees: Iterable[TraceTree],
+                       trace_id: str | None = None,
+                       last_only: bool = False) -> str:
+    """Render many traces; optionally filter by id prefix or keep the last."""
+    selected = [t for t in trees
+                if trace_id is None or t.trace_id.startswith(trace_id)]
+    if last_only and selected:
+        selected = selected[-1:]
+    if not selected:
+        return "no span events" + (f" matching trace id {trace_id!r}"
+                                   if trace_id else "")
+    return "\n\n".join(render_trace_tree(tree) for tree in selected)

@@ -79,6 +79,13 @@ class ServiceClient:
             raise ServiceError(f"bad stats reply {reply!r}")
         return reply["stats"]
 
+    def metrics(self) -> str:
+        """Prometheus text exposition from the server's ``metrics`` op."""
+        reply = self._roundtrip({"op": "metrics"})
+        if reply.get("status") != "metrics":
+            raise ServiceError(f"bad metrics reply {reply!r}")
+        return reply["metrics"]
+
     def ping(self) -> bool:
         try:
             return self._roundtrip({"op": "ping"}).get("status") == "pong"

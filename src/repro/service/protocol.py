@@ -36,6 +36,7 @@ from typing import Any, Mapping
 from repro.api import InductionRequest
 from repro.core.costmodel import CostModel
 from repro.core.search import SearchConfig
+from repro.obs import current_context
 
 __all__ = [
     "ProtocolError",
@@ -181,6 +182,11 @@ def request_to_wire(request: InductionRequest,
         wire["deadline_s"] = request.deadline_s
     if chaos:
         wire["chaos"] = dict(chaos)
+    # Span context rides the wire so a client-side trace continues through
+    # the server's threads and worker processes as one trace id.
+    ctx = current_context()
+    if ctx is not None:
+        wire["trace_ctx"] = ctx
     return wire
 
 

@@ -45,13 +45,27 @@ from typing import Any
 from repro.core.cache import ScheduleCache, schedule_from_payload
 from repro.core.result import result_to_payload
 from repro.core.search import SearchStats
-from repro.obs import NULL_TRACER, Counters, Tracer
+from repro.obs import (
+    NULL_TRACER,
+    Counters,
+    Tracer,
+    attach_context,
+    current_context,
+    span,
+)
+from repro.obs.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+    render_prometheus,
+    use_registry,
+)
 from repro.service import protocol
 from repro.service.workers import (
     DeadlineExpired,
     RetriesExhausted,
     WorkerPool,
     WorkerTaskError,
+    absorb_obs,
     build_result,
     degraded_result,
 )
@@ -87,7 +101,7 @@ class _Ticket:
     """One admitted submit: wire payload plus its response rendezvous."""
 
     __slots__ = ("wire", "fingerprint", "deadline", "enqueued_at",
-                 "event", "response")
+                 "event", "response", "trace_ctx")
 
     def __init__(self, wire: dict, fingerprint: str,
                  deadline: float | None) -> None:
@@ -97,6 +111,9 @@ class _Ticket:
         self.enqueued_at = time.monotonic()
         self.event = threading.Event()
         self.response: dict[str, Any] | None = None
+        #: Span context of this ticket's ``service.request`` span, so the
+        #: dispatcher thread can parent its work onto the right trace.
+        self.trace_ctx: dict | None = None
 
     def respond(self, response: dict[str, Any]) -> None:
         self.response = response
@@ -130,11 +147,14 @@ class InductionServer:
 
     def __init__(self, config: ServerConfig,
                  cache: ScheduleCache | None = None,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.config = config
         self.cache = cache
         self.tracer = tracer or NULL_TRACER
         self.counters = Counters()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._started = time.monotonic()
         self.pool = WorkerPool(
             workers=config.workers, max_retries=config.max_retries,
             backoff_s=config.backoff_s, counters=self.counters)
@@ -280,6 +300,8 @@ class InductionServer:
             return self._admit(msg)
         if op == "stats":
             return {"status": "stats", "stats": self.stats()}
+        if op == "metrics":
+            return {"status": "metrics", "metrics": self.render_metrics()}
         if op == "ping":
             return {"status": "pong"}
         if op == "shutdown":
@@ -302,25 +324,37 @@ class InductionServer:
         deadline = None if deadline_s is None \
             else time.monotonic() + float(deadline_s)
         ticket = _Ticket(wire, fingerprint, deadline)
-        if self._stopping:
-            self.counters.bump("shed")
-            return {"status": "busy", "reason": "shutdown"}
-        with self._open_lock:
-            self._open_tickets += 1
-            self._drained.clear()
-        try:
-            self._queue.put_nowait(ticket)
-        except queue.Full:
-            self._ticket_closed()
-            self.counters.bump("shed")
-            return {"status": "busy", "reason": "queue full",
-                    "queue_depth": self._queue.qsize()}
-        self.counters.set("queue_depth", self._queue.qsize())
-        wait = None if ticket.deadline is None \
-            else max(1.0, deadline_s) + 600.0
-        if not ticket.event.wait(timeout=wait or 3600.0):
-            return {"status": "error", "error": "response timed out in server"}
-        return ticket.response
+        # The handler thread owns the request's server-side span: it covers
+        # queue wait, dispatch and response, and continues the client's
+        # trace when the wire carried a context.
+        with attach_context(wire.get("trace_ctx")), \
+                span("service.request", self.tracer, method=wire.get(
+                    "method", "search")) as live:
+            ticket.trace_ctx = current_context()
+            if self._stopping:
+                self.counters.bump("shed")
+                live.set(status="busy")
+                return {"status": "busy", "reason": "shutdown"}
+            with self._open_lock:
+                self._open_tickets += 1
+                self._drained.clear()
+            try:
+                self._queue.put_nowait(ticket)
+            except queue.Full:
+                self._ticket_closed()
+                self.counters.bump("shed")
+                live.set(status="busy")
+                return {"status": "busy", "reason": "queue full",
+                        "queue_depth": self._queue.qsize()}
+            self.counters.set("queue_depth", self._queue.qsize())
+            wait = None if ticket.deadline is None \
+                else max(1.0, deadline_s) + 600.0
+            if not ticket.event.wait(timeout=wait or 3600.0):
+                live.set(status="error")
+                return {"status": "error",
+                        "error": "response timed out in server"}
+            live.set(status=ticket.response.get("status", "ok"))
+            return ticket.response
 
     def _ticket_closed(self) -> None:
         with self._open_lock:
@@ -360,6 +394,8 @@ class InductionServer:
     def _form_groups(self, batch: list[_Ticket]) -> None:
         self.counters.bump("batches")
         self.counters.bump("batched_tickets", len(batch))
+        self.metrics.observe("service_batch_size", len(batch),
+                             buckets=DEFAULT_SIZE_BUCKETS)
         fresh: dict[str, _Group] = {}
         for ticket in batch:
             live = self._inflight.get(ticket.fingerprint)
@@ -387,7 +423,11 @@ class InductionServer:
 
     def _run_group(self, group: _Group) -> None:
         try:
-            self._run_group_inner(group)
+            # Everything the dispatch does — cache lookups, degraded
+            # fallback searches, worker supervision — records into the
+            # server's registry, not the process default.
+            with use_registry(self.metrics):
+                self._run_group_inner(group)
         finally:
             self._dispatch_slots.release()
             with self._inflight_lock:
@@ -402,51 +442,76 @@ class InductionServer:
         request = protocol.request_from_wire(first.wire)
         started = time.monotonic()
 
-        payload: dict | None = None
-        disposition = "miss"
-        if self.cache is not None:
-            hit = self.cache.get(group.fingerprint)
-            if hit is not None:
-                result = build_result(request, hit[0], hit[1], cache_hit=True,
-                                      wall_s=time.monotonic() - started)
-                payload = result_to_payload(result)
-                disposition = "cache"
-                self.counters.bump("cache_hits")
+        # The dispatch span hangs off the first member's service.request
+        # span; worker-side spans hang off the dispatch via the context
+        # injected into the wire below, completing the stitched trace.
+        with attach_context(first.trace_ctx), \
+                span("service.dispatch", self.tracer,
+                     tickets=len(group.tickets)) as live:
+            payload: dict | None = None
+            disposition = "miss"
+            if self.cache is not None:
+                hit = self.cache.get(group.fingerprint)
+                if hit is not None:
+                    result = build_result(request, hit[0], hit[1],
+                                          cache_hit=True,
+                                          wall_s=time.monotonic() - started)
+                    payload = result_to_payload(result)
+                    disposition = "cache"
+                    self.counters.bump("cache_hits")
 
-        if payload is None:
-            deadlines = [t.deadline for t in group.tickets
-                         if t.deadline is not None]
-            effective = min(deadlines) if deadlines else None
-            try:
-                payload, meta = self.pool.run(first.wire, effective)
-                payload["retries"] = meta["retries"]
-                if self.cache is not None and not payload.get("degraded"):
-                    stats_list = payload.get("stats") or []
-                    stats = SearchStats(**stats_list[0]) \
-                        if len(stats_list) == 1 else None
-                    self.cache.put(group.fingerprint,
-                                   schedule_from_payload(payload["schedule"]),
-                                   stats)
-            except DeadlineExpired:
-                disposition = "deadline"
-                self.counters.bump("degraded_deadline")
-                payload = result_to_payload(degraded_result(
-                    request, wall_s=time.monotonic() - started))
-            except RetriesExhausted:
-                disposition = "retries"
-                self.counters.bump("degraded_retries")
-                payload = result_to_payload(degraded_result(
-                    request, wall_s=time.monotonic() - started))
-            except WorkerTaskError as exc:
-                self.counters.bump("task_errors")
-                for ticket in group.members():
-                    self._respond(ticket, {"status": "error",
-                                           "error": str(exc)})
-                return
+            if payload is None:
+                deadlines = [t.deadline for t in group.tickets
+                             if t.deadline is not None]
+                effective = min(deadlines) if deadlines else None
+                wire = dict(first.wire)
+                ctx = current_context()
+                if ctx is not None:
+                    wire["trace_ctx"] = ctx
+                try:
+                    with self.metrics.time("service_worker_seconds"):
+                        payload, meta = self.pool.run(wire, effective)
+                    absorb_obs(payload, tracer=self.tracer,
+                               registry=self.metrics)
+                    payload["retries"] = meta["retries"]
+                    if meta["retries"]:
+                        self.metrics.observe("service_worker_retries",
+                                             meta["retries"],
+                                             buckets=DEFAULT_SIZE_BUCKETS)
+                    if self.cache is not None and not payload.get("degraded"):
+                        stats_list = payload.get("stats") or []
+                        stats = SearchStats(**stats_list[0]) \
+                            if len(stats_list) == 1 else None
+                        self.cache.put(
+                            group.fingerprint,
+                            schedule_from_payload(payload["schedule"]),
+                            stats)
+                except DeadlineExpired:
+                    disposition = "deadline"
+                    self.counters.bump("degraded_deadline")
+                    payload = result_to_payload(degraded_result(
+                        request, wall_s=time.monotonic() - started))
+                except RetriesExhausted:
+                    disposition = "retries"
+                    self.counters.bump("degraded_retries")
+                    payload = result_to_payload(degraded_result(
+                        request, wall_s=time.monotonic() - started))
+                except WorkerTaskError as exc:
+                    self.counters.bump("task_errors")
+                    live.set(disposition="error")
+                    for ticket in group.members():
+                        self._respond(ticket, {"status": "error",
+                                               "error": str(exc)})
+                    return
+            live.set(disposition=disposition)
 
         members = group.members()
         now = time.monotonic()
         for position, ticket in enumerate(members):
+            self.metrics.observe("service_queue_wait_seconds",
+                                 max(0.0, started - ticket.enqueued_at))
+            self.metrics.observe("service_request_seconds",
+                                 now - ticket.enqueued_at)
             extras = {
                 "batch": len(members),
                 "deduped": position > 0,
@@ -468,14 +533,52 @@ class InductionServer:
 
     # -- introspection -----------------------------------------------------
 
+    #: Stats keys that are point-in-time gauges rather than monotonic
+    #: counters; the Prometheus exposition types them accordingly.
+    _GAUGE_STATS = frozenset({
+        "queue_depth", "inflight", "workers", "inline_pool",
+        "open_tickets", "uptime_s", "trace_events",
+    })
+
     def stats(self) -> dict:
-        snap = self.counters.snapshot()
-        snap["queue_depth"] = self._queue.qsize()
-        snap["workers"] = self.pool.workers
-        snap["inline_pool"] = int(self.pool.inline)
+        """One consistent snapshot: counters, gauges, latency percentiles.
+
+        The live gauges (queue depth, open tickets, uptime, tracer output)
+        are written and the counters copied under a single lock acquisition
+        (:meth:`Counters.snapshot_with`), so a snapshot taken mid-burst
+        cannot pair a new counter value with a stale gauge.
+        """
         with self._open_lock:
-            snap["open_tickets"] = self._open_tickets
+            open_tickets = self._open_tickets
+        gauges = {
+            "queue_depth": self._queue.qsize(),
+            "workers": self.pool.workers,
+            "inline_pool": int(self.pool.inline),
+            "open_tickets": open_tickets,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "trace_events": self.tracer.events_written,
+        }
+        snap = self.counters.snapshot_with(gauges)
         if self.cache is not None:
             snap.update({f"cache_{k}": v
                          for k, v in self.cache.counters.snapshot().items()})
+        snap.update(self.metrics.percentiles())
         return snap
+
+    def render_metrics(self) -> str:
+        """Prometheus text exposition covering the whole server.
+
+        Histograms come straight from the registry; the legacy
+        :class:`Counters` snapshot folds in as counter series, split from
+        the gauge-typed stats by :data:`_GAUGE_STATS`.  Served by the
+        ``metrics`` op and by ``repro serve --metrics-port``.
+        """
+        stats = self.stats()
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        for name, value in stats.items():
+            if name.endswith(("_p50", "_p90", "_p99")):
+                continue  # re-emitted from the histograms themselves
+            (gauges if name in self._GAUGE_STATS else counters)[name] = value
+        return render_prometheus(self.metrics, extra_counters=counters,
+                                 extra_gauges=gauges)

@@ -39,13 +39,15 @@ from repro.core.result import ResultBase, result_from_payload, result_to_payload
 from repro.core.schedule import Schedule
 from repro.core.search import SearchStats
 from repro.core.serial import lockstep_schedule, serial_schedule
-from repro.obs import Counters
+from repro.obs import Counters, MemoryTracer, attach_context, replay_events, span
+from repro.obs.metrics import MetricsRegistry, get_registry, use_registry
 
 __all__ = [
     "DeadlineExpired",
     "RetriesExhausted",
     "WorkerPool",
     "WorkerTaskError",
+    "absorb_obs",
     "degraded_result",
     "run_local_with_deadline",
 ]
@@ -67,6 +69,54 @@ class _WorkerDied(Exception):
     """Internal: the worker process exited without replying."""
 
 
+def _execute_wire(wire: Mapping[str, Any]) -> dict:
+    """Execute a wire-form submit with worker-side observability.
+
+    The request runs under a fresh :class:`MetricsRegistry` and a
+    :class:`MemoryTracer` recorder, attached to the parent's span context
+    shipped in ``wire["trace_ctx"]`` (if any) so the ``worker.execute``
+    span — and everything the induction emits beneath it — stays on the
+    caller's trace.  The recorded events and the registry snapshot ride
+    back inside the payload's ``obs`` key; the supervising process replays
+    the spans into its own sink and merges the metrics, so nothing is
+    double-counted and nothing is lost at the process boundary.
+    """
+    from repro.service.protocol import request_from_wire
+
+    recorder = MemoryTracer()
+    registry = MetricsRegistry()
+    request = request_from_wire(wire).replace(
+        deadline_s=None, cache=None, tracer=recorder)
+    with use_registry(registry), attach_context(wire.get("trace_ctx")):
+        with span("worker.execute", recorder, pid=os.getpid(),
+                  method=request.method):
+            result = _execute_local(request)
+    payload = result_to_payload(result)
+    payload["obs"] = {"spans": recorder.events,
+                      "metrics": registry.snapshot()}
+    return payload
+
+
+def absorb_obs(payload: dict, tracer=None,
+               registry: MetricsRegistry | None = None) -> None:
+    """Pop a payload's ``obs`` key and fold it into this process.
+
+    Spans recorded in the worker are replayed into ``tracer`` (when given
+    and enabled); the worker's metrics snapshot merges into ``registry``
+    (default: the registry in scope).  Safe to call on payloads without
+    ``obs`` — older workers, degraded fallbacks.
+    """
+    obs = payload.pop("obs", None)
+    if not obs:
+        return
+    events = obs.get("spans") or []
+    if events and tracer is not None:
+        replay_events(events, tracer)
+    snapshot = obs.get("metrics")
+    if snapshot:
+        (registry if registry is not None else get_registry()).merge(snapshot)
+
+
 def _worker_main(conn) -> None:
     """Child process loop: ``(wire, attempt)`` in, ``(status, payload)`` out."""
     while True:
@@ -84,11 +134,7 @@ def _worker_main(conn) -> None:
         if sleep_s:
             time.sleep(sleep_s)
         try:
-            from repro.service.protocol import request_from_wire
-            request = request_from_wire(wire).replace(
-                deadline_s=None, cache=None, tracer=None)
-            result = _execute_local(request)
-            conn.send(("ok", result_to_payload(result)))
+            conn.send(("ok", _execute_wire(wire)))
         except Exception as exc:  # noqa: BLE001 - reported to the parent
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
 
@@ -161,11 +207,8 @@ class _InlineHandle:
             timeout: float | None) -> dict:
         if timeout is not None and timeout <= 0:
             raise DeadlineExpired("deadline expired before inline start")
-        from repro.service.protocol import request_from_wire
-        request = request_from_wire(wire).replace(
-            deadline_s=None, cache=None, tracer=None)
         try:
-            return result_to_payload(_execute_local(request))
+            return _execute_wire(wire)
         except Exception as exc:  # noqa: BLE001 - mirror the worker contract
             raise WorkerTaskError(f"{type(exc).__name__}: {exc}") from exc
 
@@ -332,6 +375,7 @@ def run_local_with_deadline(request: InductionRequest) -> ResultBase:
             return degraded_result(request, wall_s=time.monotonic() - start)
     finally:
         pool.close()
+    absorb_obs(payload, tracer=request.tracer)
     result = result_from_payload(payload)
     if request.cache is not None and not result.degraded:
         stats = result.search_stats[0] if len(result.search_stats) == 1 else None

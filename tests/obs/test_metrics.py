@@ -1,0 +1,186 @@
+"""Tests for the metrics registry: histograms, merge, Prometheus text."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    render_prometheus,
+    use_registry,
+)
+
+
+class TestHistogramPercentiles:
+    def test_empty_histogram_reports_zero(self):
+        h = Histogram((1.0, 2.0, 4.0))
+        assert h.percentile(0.50) == 0.0
+        assert h.percentile(0.99) == 0.0
+        summary = h.summary()
+        assert summary["count"] == 0 and summary["sum"] == 0.0
+        assert summary["min"] == 0.0 and summary["max"] == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        h = Histogram((1.0, 2.0, 4.0))
+        h.observe(1.7)
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert h.percentile(q) == pytest.approx(1.7)
+
+    def test_sample_above_largest_bucket_reports_true_max(self):
+        h = Histogram((1.0, 2.0, 4.0, 8.0))
+        h.observe(3.0)
+        h.observe(100.0)  # lands in the +Inf overflow bucket
+        assert h.percentile(0.99) == pytest.approx(100.0)
+        assert h.summary()["max"] == pytest.approx(100.0)
+
+    def test_percentiles_clamped_to_observed_range(self):
+        h = Histogram((10.0, 20.0))
+        h.observe(12.0)
+        h.observe(13.0)
+        # Interpolation inside (10, 20] would undershoot/overshoot the
+        # observed range without the min/max clamp.
+        assert 12.0 <= h.percentile(0.01) <= 13.0
+        assert 12.0 <= h.percentile(0.99) <= 13.0
+
+    def test_interpolated_median_orders_samples(self):
+        h = Histogram((0.001, 0.01, 0.1, 1.0))
+        for v in (0.002, 0.003, 0.2, 0.3, 0.4):
+            h.observe(v)
+        assert h.percentile(0.10) < h.percentile(0.90)
+        assert h.percentile(1.0) == pytest.approx(0.4)
+
+    def test_rejects_bad_quantile_and_empty_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        h = Histogram((1.0,))
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+
+class TestHistogramMerge:
+    def test_merge_snapshot_accumulates(self):
+        a = Histogram((1.0, 2.0))
+        b = Histogram((1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(9.0)
+        a.merge(b.snapshot())
+        assert a.count == 3
+        assert a.summary()["max"] == pytest.approx(9.0)
+        assert a.summary()["min"] == pytest.approx(0.5)
+
+    def test_merge_requires_identical_bounds(self):
+        a = Histogram((1.0, 2.0))
+        b = Histogram((1.0, 4.0))
+        with pytest.raises(ValueError):
+            a.merge(b.snapshot())
+
+    def test_snapshot_is_jsonable_and_detached(self):
+        import json
+        h = Histogram((1.0,))
+        h.observe(0.5)
+        snap = h.snapshot()
+        json.dumps(snap)  # must not raise
+        snap["counts"][0] = 99
+        assert h.counts[0] == 1
+
+
+class TestMetricsRegistry:
+    def test_counters_gauges_histograms(self):
+        reg = MetricsRegistry()
+        reg.inc("requests")
+        reg.inc("requests", 2)
+        reg.set_gauge("queue_depth", 7)
+        reg.observe("latency_seconds", 0.02)
+        assert reg.counters["requests"] == 3
+        assert reg.gauges["queue_depth"] == 7
+        assert reg.histogram("latency_seconds").count == 1
+
+    def test_time_context_manager_observes(self):
+        reg = MetricsRegistry()
+        with reg.time("phase_seconds"):
+            pass
+        assert reg.histogram("phase_seconds").count == 1
+
+    def test_percentiles_skips_empty_histograms(self):
+        reg = MetricsRegistry()
+        reg.histogram("never_observed")
+        reg.observe("seen", 0.5)
+        keys = reg.percentiles()
+        assert "seen_p99" in keys and "never_observed_p99" not in keys
+
+    def test_snapshot_merge_round_trip(self):
+        worker = MetricsRegistry()
+        worker.inc("searches", 2)
+        worker.observe("search_seconds", 0.1)
+        parent = MetricsRegistry()
+        parent.inc("searches", 1)
+        parent.merge(worker.snapshot())
+        assert parent.counters["searches"] == 3
+        assert parent.histogram("search_seconds").count == 1
+
+    def test_use_registry_scopes_get_registry(self):
+        scoped = MetricsRegistry()
+        default = get_registry()
+        with use_registry(scoped):
+            assert get_registry() is scoped
+            get_registry().inc("inside")
+        assert get_registry() is default
+        assert scoped.counters["inside"] == 1
+
+    def test_use_registry_is_thread_local(self):
+        scoped = MetricsRegistry()
+        seen = []
+
+        def other_thread():
+            seen.append(get_registry() is scoped)
+
+        with use_registry(scoped):
+            t = threading.Thread(target=other_thread)
+            t.start()
+            t.join()
+        assert seen == [False]  # contextvars do not leak across threads
+
+
+class TestRenderPrometheus:
+    def test_counter_gauge_histogram_series(self):
+        reg = MetricsRegistry()
+        reg.inc("requests", 3)
+        reg.set_gauge("queue_depth", 2)
+        reg.observe("batch_size", 3, buckets=DEFAULT_SIZE_BUCKETS)
+        text = render_prometheus(reg)
+        assert "# TYPE repro_requests_total counter" in text
+        assert "repro_requests_total 3" in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "# TYPE repro_batch_size histogram" in text
+        assert 'repro_batch_size_bucket{le="4"} 1' in text
+        assert 'repro_batch_size_bucket{le="+Inf"} 1' in text
+        assert "repro_batch_size_sum 3" in text
+        assert "repro_batch_size_count 1" in text
+        assert "repro_batch_size_p99" in text
+
+    def test_bucket_counts_are_cumulative(self):
+        reg = MetricsRegistry()
+        for v in (1, 2, 4, 200):
+            reg.observe("sizes", v, buckets=DEFAULT_SIZE_BUCKETS)
+        text = render_prometheus(reg)
+        assert 'repro_sizes_bucket{le="2"} 2' in text
+        assert 'repro_sizes_bucket{le="128"} 3' in text
+        assert 'repro_sizes_bucket{le="+Inf"} 4' in text
+
+    def test_extras_fold_in_with_type_split(self):
+        reg = MetricsRegistry()
+        text = render_prometheus(reg, extra_counters={"hits": 5},
+                                 extra_gauges={"uptime_s": 1.25})
+        assert "repro_hits_total 5" in text
+        assert "repro_uptime_s 1.25" in text
+        assert "# TYPE repro_uptime_s gauge" in text
+
+    def test_names_sanitized(self):
+        reg = MetricsRegistry()
+        reg.inc("cache.hit-rate")
+        text = render_prometheus(reg)
+        assert "repro_cache_hit_rate_total 1" in text

@@ -258,3 +258,65 @@ def test_malformed_region_is_an_error_not_a_crash(tmp_path, request_):
         assert client.ping()
     finally:
         server.shutdown()
+
+
+def test_stats_gauges_and_percentiles(tmp_path, request_):
+    server = make_server(tmp_path)
+    try:
+        client = ServiceClient(server.address)
+        client.submit(request_)
+        stats = client.stats()
+        assert stats["uptime_s"] > 0
+        assert stats["open_tickets"] == 0
+        assert stats["trace_events"] == 0          # no tracer configured
+        assert stats["service_request_seconds_p99"] > 0
+        assert stats["service_queue_wait_seconds_p50"] >= 0
+    finally:
+        server.shutdown()
+
+
+def test_metrics_op_returns_prometheus_text(tmp_path, request_):
+    server = make_server(tmp_path)
+    try:
+        client = ServiceClient(server.address)
+        client.submit(request_)
+        client.submit(request_)
+        text = client.metrics()
+        assert "# TYPE repro_requests_total counter" in text
+        assert "repro_requests_total 2" in text
+        assert "# TYPE repro_service_request_seconds histogram" in text
+        assert 'repro_service_request_seconds_bucket{le="+Inf"} 2' in text
+        p99 = [line for line in text.splitlines()
+               if line.startswith("repro_service_request_seconds_p99 ")]
+        assert p99 and float(p99[0].split()[1]) > 0
+        # Every line is "# ..." or "name value" — the scrapable contract.
+        for line in text.strip().splitlines():
+            assert line.startswith("# ") or len(line.split()) == 2
+    finally:
+        server.shutdown()
+
+
+def test_service_round_trip_is_one_stitched_trace(tmp_path, request_):
+    from repro.obs import MemoryTracer, build_traces
+
+    tracer = MemoryTracer()
+    server = InductionServer(
+        ServerConfig(address=str(tmp_path / "svc.sock"), workers=1,
+                     batch_wait_s=0.005), tracer=tracer)
+    try:
+        with ServiceClient(server.address) as client:
+            assert not client.submit(request_).degraded
+    finally:
+        server.shutdown()
+
+    spans = [e for e in tracer.events if e["kind"] == "span"]
+    assert len({e["trace"] for e in spans}) == 1
+    (tree,) = build_traces(spans)
+    assert [r.name for r in tree.roots] == ["service.request"]
+    (dispatch,) = tree.roots[0].children
+    assert dispatch.name == "service.dispatch"
+    names = {n.name for n in tree._walk()}
+    # Worker-process spans made it back with links intact (unless the
+    # environment forced the inline pool, where they are still present).
+    assert {"service.request", "service.dispatch",
+            "worker.execute", "induce"} <= names

@@ -99,10 +99,14 @@ class TestInduce:
         trace = tmp_path / "trace.jsonl"
         assert main(["induce", region_file, "--trace", str(trace)]) == 0
         out = capsys.readouterr().out
-        assert "trace: 1 events" in out
-        (line,) = trace.read_text().splitlines()
-        event = json.loads(line)
-        assert event["kind"] == "induce" and event["method"] == "search"
+        assert "trace: 4 events" in out  # 1 induce + 3 spans
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        kinds = sorted(e["kind"] for e in events)
+        assert kinds == ["induce", "span", "span", "span"]
+        (induce_event,) = (e for e in events if e["kind"] == "induce")
+        assert induce_event["method"] == "search"
+        assert {e["name"] for e in events if e["kind"] == "span"} == \
+            {"induce", "induce.build", "induce.verify"}
 
     def test_cache_dir_second_run_hits(self, region_file, tmp_path, capsys):
         cache_dir = str(tmp_path / "cache")
@@ -133,6 +137,45 @@ class TestStats:
         out = capsys.readouterr().out
         assert "trace summary" in out
         assert "window: 2 events" in out
+
+    def test_percentile_columns(self, region_file, tmp_path, capsys):
+        trace = str(tmp_path / "trace.jsonl")
+        main(["induce", region_file, "--trace", trace])
+        capsys.readouterr()
+        assert main(["stats", trace]) == 0
+        out = capsys.readouterr().out
+        assert "p50" in out and "p99" in out
+
+
+class TestTrace:
+    def test_renders_span_tree(self, region_file, tmp_path, capsys):
+        trace = str(tmp_path / "trace.jsonl")
+        main(["induce", region_file, "--trace", trace])
+        capsys.readouterr()
+        assert main(["trace", trace]) == 0
+        out = capsys.readouterr().out
+        assert "trace " in out and "% of trace" in out and "% self" in out
+        assert "induce" in out and "induce.build" in out
+
+    def test_last_and_id_filters(self, region_file, tmp_path, capsys):
+        trace = str(tmp_path / "trace.jsonl")
+        main(["induce", region_file, "--trace", trace])
+        main(["induce", region_file, "--trace", trace])
+        capsys.readouterr()
+        assert main(["trace", trace, "--last"]) == 0
+        out = capsys.readouterr().out
+        headers = [line for line in out.splitlines()
+                   if line.startswith("trace ")]
+        assert len(headers) == 1
+        trace_id = headers[0].split()[1]
+        assert main(["trace", trace, "--trace-id", trace_id[:8]]) == 0
+        assert trace_id in capsys.readouterr().out
+
+    def test_no_spans_is_exit_1(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace", str(empty)]) == 1
+        assert "no span events" in capsys.readouterr().out
 
 
 class TestSelect:
