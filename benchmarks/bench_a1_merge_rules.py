@@ -71,7 +71,7 @@ def run_experiment():
     text = format_table(
         ["ablation", "mask overhead", "search speedup vs serial"],
         rows, title="A1: merge-rule and masking-overhead ablation (6 threads)")
-    record_table("A1_merge_rules", text)
+    record_table("A1_merge_rules", text, data={"rows": rows})
     return data
 
 

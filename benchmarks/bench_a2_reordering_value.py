@@ -61,7 +61,7 @@ def run_experiment():
         ["workload", "DAG reordering", "program order only",
          "reordering gain"],
         rows, title="A2: value of intra-thread reordering (speedup vs serial)")
-    record_table("A2_reordering_value", text)
+    record_table("A2_reordering_value", text, data={"rows": rows})
     return data
 
 

@@ -74,7 +74,7 @@ def run_experiment():
          "tuned for other kernel", "tuned gain"],
         rows,
         title=f"A3: decode cycles by subinterpreter partition ({NUM_PES} PEs)")
-    record_table("A3_partition_optimizer", text)
+    record_table("A3_partition_optimizer", text, data={"rows": rows})
     return results
 
 

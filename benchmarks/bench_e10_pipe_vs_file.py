@@ -73,7 +73,7 @@ def run_experiment():
         rows,
         title=f"E10: per-op cost, pipe vs shared-file model "
               f"({PARAMS.cores}-core box, {REPS} reps)")
-    record_table("E10_pipe_vs_file", text)
+    record_table("E10_pipe_vs_file", text, data={"rows": rows})
     return data
 
 

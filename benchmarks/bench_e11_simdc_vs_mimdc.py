@@ -104,7 +104,7 @@ def run_experiment():
         rows,
         title=f"E11: data-parallel vs control-parallel dialect on the same "
               f"machine ({NUM_PES} PEs)")
-    record_table("E11_simdc_vs_mimdc", text)
+    record_table("E11_simdc_vs_mimdc", text, data={"rows": rows})
     return gaps
 
 

@@ -81,7 +81,8 @@ def run_experiment():
         rows,
         title=f"E12a: induction on a long {THREADS}x{LENGTH}-op region "
               f"(serial cost {serial_cost:.0f})")
-    record_table("E12a_windowed_scaling", text)
+    record_table("E12a_windowed_scaling", text,
+                 data={"rows": rows, "serial_cost": serial_cost})
 
     # Moderate dense region: one exact window vs greedy.
     moderate = random_region(
@@ -96,7 +97,9 @@ def run_experiment():
     record_table("E12b_moderate_region",
                  f"E12b: moderate 3x10 region — greedy {g2:.0f} vs "
                  f"exact-window {w2.schedule.cost(MODEL):.0f} "
-                 f"(optimal={w2.all_optimal})")
+                 f"(optimal={w2.all_optimal})",
+                 data={"greedy": g2, "window": w2.schedule.cost(MODEL),
+                       "optimal": w2.all_optimal})
     return serial_cost, data
 
 

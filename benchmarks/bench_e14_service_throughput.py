@@ -95,7 +95,9 @@ def run_experiment():
         rows,
         title=f"E14: service throughput, {len(SEEDS)} unique regions x "
               f"{REPEATS} repeats ({os.cpu_count()} cores)")
-    record_table("E14_service_throughput", text)
+    record_table("E14_service_throughput", text,
+                 data={"rows": rows, "seq_wall": seq_wall,
+                       "svc_wall": svc_wall, "ratio": ratio})
     return {"ratio": ratio, "searches": searches,
             "dedup_hits": stats["dedup_hits"]}
 

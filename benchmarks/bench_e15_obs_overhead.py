@@ -77,7 +77,7 @@ def run_experiment(tmp_path):
         ["tracing", "mean wall (ms/call)", "vs off"], rows,
         title=f"E15: observability overhead ({CALLS} induce() calls, "
               f"{region.num_ops} ops)")
-    record_table("e15_obs_overhead", table)
+    record_table("e15_obs_overhead", table, data={"rows": rows})
 
 
 def test_e15_obs_overhead(tmp_path):

@@ -45,7 +45,7 @@ def run_experiment() -> dict[str, dict[int, float]]:
         ["threads", "lockstep", "prefix/suffix", "greedy CSI", "search CSI"],
         rows,
         title="E1: speedup over serialized MIMD emulation (geomean, 3 seeds)")
-    record_table("E1_speedup_vs_threads", text)
+    record_table("E1_speedup_vs_threads", text, data={"rows": rows})
     return by_method
 
 

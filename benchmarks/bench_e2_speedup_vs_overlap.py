@@ -50,7 +50,7 @@ def run_experiment():
         ["overlap", "greedy speedup", "search speedup", "ops per slot"],
         rows,
         title=f"E2: CSI speedup vs inter-thread similarity ({THREADS} threads)")
-    record_table("E2_speedup_vs_overlap", text)
+    record_table("E2_speedup_vs_overlap", text, data={"rows": rows})
     return results
 
 

@@ -57,7 +57,10 @@ def run_experiment():
         ["region"] + list(CONFIGS) + ["greedy/optimal cost"],
         rows,
         title="E3: nodes expanded by the CSI search (3 threads)")
-    record_table("E3_search_pruning", text)
+    record_table("E3_search_pruning", text,
+                 data={"budget": BUDGET, "rows": rows,
+                       "nodes": {f"{s}/{n}": v
+                                 for (s, n), v in data.items()}})
     return data
 
 

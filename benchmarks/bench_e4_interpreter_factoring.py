@@ -62,7 +62,7 @@ def run_experiment():
          "CSI speedup"],
         rows,
         title="E4: factoring interpreter handlers (micro-op cycle costs)")
-    record_table("E4_interpreter_factoring", text)
+    record_table("E4_interpreter_factoring", text, data={"rows": rows})
     return data, cycles
 
 

@@ -49,7 +49,7 @@ def run_experiment():
         rows,
         title=f"E5: MIMD-on-SIMD vs native SIMD ({NUM_PES} PEs, "
               f"{ITERS} iterations)")
-    record_table("E5_fraction_of_peak", text)
+    record_table("E5_fraction_of_peak", text, data={"rows": rows})
     return fractions
 
 

@@ -49,7 +49,7 @@ def run_experiment():
         ["kernel"] + list(VARIANTS) + ["subinterp gain"],
         rows,
         title=f"E6: decode-reduction ablation ({NUM_PES} PEs, SIMD cycles)")
-    record_table("E6_subinterpreters", text)
+    record_table("E6_subinterpreters", text, data={"rows": rows})
     return data
 
 

@@ -78,7 +78,7 @@ def run_experiment():
         title="E7 (Table 1): measured basic-operation times per target\n"
               "(*daemon = the PVM-style path AHS avoids; §4.1.1 reports "
               "~1.6e-3 s for it)")
-    record_table("E7_operation_times", text)
+    record_table("E7_operation_times", text, data={"rows": rows})
     return data
 
 

@@ -46,7 +46,7 @@ def crossover_sweep():
     text = format_table(
         ["MasPar queue depth", "selected target", "predicted time"],
         rows, title="E8a: 128-PE program, MasPar load crossover")
-    record_table("E8a_crossover", text)
+    record_table("E8a_crossover", text, data={"rows": rows, "flip": flip})
     return flip
 
 
@@ -84,7 +84,8 @@ def selection_regret(n_scenarios=6):
     text = format_table(
         ["scenario", "chosen", "actual", "oracle best", "regret"],
         rows, title="E8b: selection quality under random load (8 PEs)")
-    record_table("E8b_selection_regret", text)
+    record_table("E8b_selection_regret", text,
+                 data={"rows": rows, "regrets": regrets})
     return regrets
 
 
@@ -133,7 +134,8 @@ def run_experiment():
     degraded, trials = noise_robustness()
     record_table("E8c_noise_robustness",
                  f"E8c: with +/-50% op-time noise, {degraded}/{trials} trials "
-                 f"picked a target >1.5x worse than the noise-free choice")
+                 f"picked a target >1.5x worse than the noise-free choice",
+                 data={"degraded": degraded, "trials": trials})
     return flip, regrets, degraded, trials
 
 

@@ -64,7 +64,7 @@ def run_experiment():
         rows,
         title="E9: barrier completion, bitmask gossip vs plain n^2 "
               "(staggered arrivals, mean of 5 seeds)")
-    record_table("E9_barrier_gossip", text)
+    record_table("E9_barrier_gossip", text, data={"rows": rows})
     return data
 
 

@@ -4,11 +4,19 @@ Every experiment prints its paper-style table through :func:`record_table`,
 which also persists it under ``benchmarks/results/`` so EXPERIMENTS.md can
 cite stable numbers; the console copy is emitted at session end through the
 terminal reporter (pytest captures ordinary prints).
+
+Each experiment additionally lands a machine-readable
+``benchmarks/results/<name>.json`` (the rendered table plus whatever
+structured ``data`` the experiment passes — config, wall times, nodes/sec),
+which is what the CI regression check diffs against committed snapshots.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import platform
+import sys
 
 import pytest
 
@@ -17,10 +25,37 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 _TABLES: list[str] = []
 
 
-def record_table(name: str, text: str) -> None:
-    """Persist one experiment table and queue it for terminal output."""
+def _jsonable(value):
+    """Best-effort conversion to something ``json.dump`` accepts."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def record_table(name: str, text: str, data: dict | None = None) -> None:
+    """Persist one experiment table (+ JSON twin) and queue terminal output.
+
+    ``data`` is the experiment's structured payload (config, wall times,
+    throughput); the JSON twin always carries the rendered table so even
+    data-less experiments stay machine-diffable.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    payload = {
+        "name": name,
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "table": text,
+    }
+    if data is not None:
+        payload["data"] = _jsonable(data)
+    with (RESULTS_DIR / f"{name}.json").open("w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
     _TABLES.append(text)
 
 

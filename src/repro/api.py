@@ -36,7 +36,7 @@ from repro.core.costmodel import CostModel, maspar_cost_model, uniform_cost_mode
 from repro.core.ops import Region, parse_region
 from repro.core.pipeline import METHODS, InductionResult, _induce_impl
 from repro.core.result import ResultBase
-from repro.core.search import SearchConfig
+from repro.core.search import ENGINES, SearchConfig
 from repro.core.window import WindowedResult, _windowed_induce_impl
 from repro.obs import Tracer
 
@@ -55,8 +55,11 @@ class InductionRequest:
     textual/named form (``parse_region`` syntax, ``"maspar"``/``"uniform"``)
     so CLI, tests and the service build requests the same way.  ``budget``
     is a shorthand for ``config=SearchConfig(node_budget=...)``; an explicit
-    ``config`` wins.  ``cache`` and ``tracer`` are live handles and stay
-    local — they never cross a process boundary.
+    ``config`` wins.  ``engine`` overrides the search engine on whatever
+    config is resolved ("bitmask", the default, or "legacy" — the reference
+    implementation kept as an escape hatch and equivalence oracle).
+    ``cache`` and ``tracer`` are live handles and stay local — they never
+    cross a process boundary.
     """
 
     region: Region | str
@@ -66,6 +69,7 @@ class InductionRequest:
     jobs: int = 1
     config: SearchConfig | None = None
     budget: int | None = None
+    engine: str | None = None
     deadline_s: float | None = None
     verify: bool = True
     cache: ScheduleCache | None = None
@@ -81,6 +85,10 @@ class InductionRequest:
             raise ValueError("window > 0 only applies to method='search'")
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ValueError(f"deadline must be positive, got {self.deadline_s}")
+        if self.engine is not None and self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown search engine {self.engine!r}; expected one of "
+                f"{ENGINES}")
 
     def resolved_region(self) -> Region:
         return parse_region(self.region) if isinstance(self.region, str) \
@@ -99,10 +107,14 @@ class InductionRequest:
 
     def resolved_config(self) -> SearchConfig:
         if self.config is not None:
-            return self.config
-        if self.budget is not None:
-            return SearchConfig(node_budget=self.budget)
-        return SearchConfig()
+            config = self.config
+        elif self.budget is not None:
+            config = SearchConfig(node_budget=self.budget)
+        else:
+            config = SearchConfig()
+        if self.engine is not None and self.engine != config.engine:
+            config = dataclasses.replace(config, engine=self.engine)
+        return config
 
     def fingerprint(self) -> str:
         """Content fingerprint of the *request* — the service's dedup key.

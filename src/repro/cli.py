@@ -114,6 +114,7 @@ def _build_request(args, region_text: str):
         return api.InductionRequest(
             region=region_text, model=args.model, method=args.method,
             window=args.window, jobs=args.jobs, budget=args.budget,
+            engine=getattr(args, "engine", None),
             deadline_s=args.deadline)
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
@@ -345,6 +346,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["search", "greedy", "anneal", "factor", "lockstep", "serial"])
     p.add_argument("--model", default="maspar", choices=["maspar", "uniform"])
     p.add_argument("--budget", type=int, default=100_000)
+    p.add_argument("--engine", default=None, choices=["bitmask", "legacy"],
+                   help="branch-and-bound engine (default bitmask; legacy is "
+                        "the reference implementation)")
     p.add_argument("--window", type=int, default=0, metavar="SIZE",
                    help="induce window-by-window at this window size (0 = whole region)")
     p.add_argument("--jobs", type=int, default=1,
@@ -397,6 +401,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "lockstep", "serial"])
     p.add_argument("--model", default="maspar", choices=["maspar", "uniform"])
     p.add_argument("--budget", type=int, default=100_000)
+    p.add_argument("--engine", default=None, choices=["bitmask", "legacy"],
+                   help="branch-and-bound engine (default bitmask; legacy is "
+                        "the reference implementation)")
     p.add_argument("--window", type=int, default=0, metavar="SIZE",
                    help="induce window-by-window at this window size (0 = whole region)")
     p.add_argument("--jobs", type=int, default=1,

@@ -25,10 +25,10 @@ from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Mapping
 
-from repro.core.ops import Operation
+from repro.core.ops import Operation, Region
 
-__all__ = ["CostModel", "maspar_cost_model", "merge_key_sort_key",
-           "uniform_cost_model"]
+__all__ = ["CostModel", "MergeKeyTable", "maspar_cost_model",
+           "merge_key_sort_key", "uniform_cost_model"]
 
 
 def merge_key_sort_key(key: tuple) -> tuple:
@@ -152,6 +152,39 @@ class CostModel:
         if self.require_equal_imm:
             return (self.opcode_class(op.opcode), op.imm)
         return (self.opcode_class(op.opcode),)
+
+
+class MergeKeyTable:
+    """Per-search interning of merge keys to dense small ints.
+
+    The schedulers bucket operations by :meth:`CostModel.merge_key` at every
+    step; hashing and comparing those ``(class, imm)`` tuples is a large
+    slice of per-node cost.  This table computes each op's key once per
+    search and hands the hot loops plain ints instead: id order equals the
+    canonical :func:`merge_key_sort_key` order, so iterating ids ascending
+    *is* the schedulers' canonical key exploration order, and per-key
+    lookups (slot cost, opcode class) become tuple indexing.
+    """
+
+    __slots__ = ("keys", "ids_by_thread", "opclasses", "slot_costs")
+
+    def __init__(self, model: CostModel, region: Region) -> None:
+        raw = [[model.merge_key(op) for op in tc.ops] for tc in region.threads]
+        keys = sorted({key for row in raw for key in row}, key=merge_key_sort_key)
+        index = {key: kid for kid, key in enumerate(keys)}
+        #: Interned keys in canonical order; ``keys[kid]`` is the tuple form.
+        self.keys: tuple[tuple, ...] = tuple(keys)
+        #: ``ids_by_thread[t][i]`` — key id of op ``i`` of thread ``t``.
+        self.ids_by_thread: tuple[tuple[int, ...], ...] = tuple(
+            tuple(index[key] for key in row) for row in raw)
+        #: ``opclasses[kid]`` — the key's opcode class (``key[0]``).
+        self.opclasses: tuple[str, ...] = tuple(key[0] for key in keys)
+        #: ``slot_costs[kid]`` — ``model.slot_cost(key[0])``, precomputed.
+        self.slot_costs: tuple[float, ...] = tuple(
+            model.slot_cost(key[0]) for key in keys)
+
+    def __len__(self) -> int:
+        return len(self.keys)
 
 
 #: Relative issue costs loosely calibrated to the MasPar MP-1's interpreted

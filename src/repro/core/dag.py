@@ -11,26 +11,48 @@ over straight-line code:
 The DAG also precomputes, for a given cost model, each operation's *remaining
 critical path* (longest cost-weighted path to any sink), which the
 branch-and-bound search uses as an admissible lower bound.
+
+Two structures here serve the bitmask search engine
+(:mod:`repro.core.search`):
+
+- :attr:`DependenceDAG.pred_masks` — each op's predecessor set packed into a
+  plain ``int`` bitmask, so readiness is one ``&``/``==`` pair instead of a
+  per-predecessor membership test;
+- :class:`ReadyIndex` — a mutable ready-ops-by-merge-key index maintained
+  *incrementally* as ops complete/uncomplete, shared by the greedy list
+  scheduler and the branch-and-bound push/pop loop so neither ever rescans
+  the whole DAG per step.
+
+Construction applies *transitive reduction* by default: a direct edge
+``p -> i`` is dropped when another predecessor ``q`` of ``i`` is reachable
+from ``p`` (the path ``p -> .. -> q -> i`` already orders them).  For the
+downward-closed done-sets every scheduler maintains (ops complete only when
+all predecessors have), ready sets are identical with or without the
+redundant edges, and since every op cost is positive the remaining critical
+paths are identical too — the reduction only shrinks the masks the hot loop
+touches.  ``transitive_reduction=False`` restores the verbatim edge set.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterable
 
-from repro.core.costmodel import CostModel
+from repro.core.costmodel import CostModel, MergeKeyTable
 from repro.core.ops import Region, ThreadCode
 
-__all__ = ["DependenceDAG", "build_dags"]
+__all__ = ["DependenceDAG", "ReadyIndex", "build_dags"]
 
 
 @dataclass(frozen=True)
 class DependenceDAG:
     """Immutable dependence DAG of one thread's operation sequence.
 
-    ``preds[i]``/``succs[i]`` are tuples of operation indices.  Transitive
-    edges are not removed — correctness never depends on minimality, and
-    keeping them makes construction obviously right.
+    ``preds[i]``/``succs[i]`` are tuples of operation indices.  By default
+    edges are transitively reduced (see the module docstring); correctness
+    never depends on minimality, but the bitmask engine's bound and ready
+    maintenance get cheaper with smaller masks.
     """
 
     thread: int
@@ -39,6 +61,22 @@ class DependenceDAG:
 
     def __len__(self) -> int:
         return len(self.preds)
+
+    @cached_property
+    def pred_masks(self) -> tuple[int, ...]:
+        """``pred_masks[i]``: predecessor set of op ``i`` as an int bitmask.
+
+        Readiness of ``i`` against a done-bitmask ``d`` is then
+        ``pred_masks[i] & d == pred_masks[i]`` — pure int ops, no set
+        objects, which is what the search hot path runs per push/pop.
+        """
+        masks = []
+        for ps in self.preds:
+            m = 0
+            for p in ps:
+                m |= 1 << p
+            masks.append(m)
+        return tuple(masks)
 
     def ready(self, done: frozenset[int]) -> list[int]:
         """Indices whose predecessors are all in ``done`` and not done."""
@@ -74,7 +112,28 @@ class DependenceDAG:
         return tuple(cp)
 
 
-def _build_one(tc: ThreadCode, serialize: bool) -> DependenceDAG:
+def _transitive_reduce(preds: list[set[int]]) -> list[set[int]]:
+    """Drop every edge implied by a longer path.
+
+    Ops are in program order and every dependence points backward, so the
+    index order is topological: one forward pass accumulating each op's
+    full ancestor bitmask suffices.  Edge ``p -> i`` is redundant iff ``p``
+    is an ancestor of some other predecessor of ``i``.
+    """
+    ancestors = [0] * len(preds)
+    reduced: list[set[int]] = []
+    for i, ps in enumerate(preds):
+        above = 0
+        full = 0
+        for p in ps:
+            above |= ancestors[p]
+            full |= ancestors[p] | (1 << p)
+        reduced.append({p for p in ps if not (above >> p) & 1})
+        ancestors[i] = full
+    return reduced
+
+
+def _build_one(tc: ThreadCode, serialize: bool, reduce: bool = True) -> DependenceDAG:
     n = len(tc.ops)
     preds: list[set[int]] = [set() for _ in range(n)]
     if serialize:
@@ -98,6 +157,8 @@ def _build_one(tc: ThreadCode, serialize: bool) -> DependenceDAG:
                 readers_since_write[sym] = []
             # An op both reading and writing sym: the read is of the old
             # value, handled above because reads were processed first.
+        if reduce:
+            preds = _transitive_reduce(preds)
     succs: list[list[int]] = [[] for _ in range(n)]
     for i, ps in enumerate(preds):
         for p in ps:
@@ -109,11 +170,115 @@ def _build_one(tc: ThreadCode, serialize: bool) -> DependenceDAG:
     )
 
 
-def build_dags(region: Region, respect_order: bool = False) -> tuple[DependenceDAG, ...]:
+def build_dags(
+    region: Region,
+    respect_order: bool = False,
+    transitive_reduction: bool = True,
+) -> tuple[DependenceDAG, ...]:
     """Build one dependence DAG per thread.
 
     With ``respect_order=True`` every op depends on its predecessor —
     i.e. program order is kept verbatim (a chain), which is both a useful
-    baseline and a much cheaper search space.
+    baseline and a much cheaper search space.  ``transitive_reduction``
+    (default on) drops redundant edges; see the module docstring for why
+    this is behaviour-preserving for every scheduler in this package.
     """
-    return tuple(_build_one(tc, respect_order) for tc in region.threads)
+    return tuple(
+        _build_one(tc, respect_order, reduce=transitive_reduction)
+        for tc in region.threads
+    )
+
+
+class ReadyIndex:
+    """Incremental ready-ops-by-merge-key index over bitmask thread state.
+
+    The index the bitmask engine and the greedy list scheduler share.  For
+    every (merge-key id, thread) pair it keeps a bitmask of that thread's
+    *ready* ops of that key, plus a per-key total so empty keys are skipped
+    in O(1).  :meth:`complete`/:meth:`uncomplete` maintain the structure as
+    ops finish and un-finish (branch-and-bound backtracking), touching only
+    the finished op's successors — there is no per-step ``ready()`` rescan
+    and no per-step dict building anywhere.
+
+    Layout: ``ready[kid * num_threads + t]`` is the bitmask for merge key
+    ``kid`` in thread ``t``; key ids come from a :class:`MergeKeyTable`
+    whose id order equals the canonical merge-key order, so iterating ids
+    ascending reproduces the schedulers' canonical key exploration order.
+    """
+
+    __slots__ = ("num_threads", "table", "key_of", "pred_masks", "succs",
+                 "done", "ready", "ready_count")
+
+    def __init__(self, region: Region, dags: tuple[DependenceDAG, ...],
+                 table: MergeKeyTable) -> None:
+        num_threads = region.num_threads
+        self.num_threads = num_threads
+        self.table = table
+        self.key_of = table.ids_by_thread
+        self.pred_masks = tuple(dag.pred_masks for dag in dags)
+        self.succs = tuple(dag.succs for dag in dags)
+        self.done = [0] * num_threads
+        self.ready = [0] * (len(table) * num_threads)
+        self.ready_count = [0] * len(table)
+        for t in range(num_threads):
+            key_of = self.key_of[t]
+            for i, mask in enumerate(self.pred_masks[t]):
+                if mask == 0:
+                    self.ready[key_of[i] * num_threads + t] |= 1 << i
+                    self.ready_count[key_of[i]] += 1
+
+    def complete(self, t: int, i: int) -> list[int]:
+        """Mark op ``i`` of thread ``t`` done; returns the ops that became
+        ready (the exact undo token :meth:`uncomplete` needs)."""
+        num_threads = self.num_threads
+        key_of = self.key_of[t]
+        bit = 1 << i
+        self.done[t] |= bit
+        done_t = self.done[t]
+        self.ready[key_of[i] * num_threads + t] &= ~bit
+        self.ready_count[key_of[i]] -= 1
+        newly: list[int] = []
+        pred_masks = self.pred_masks[t]
+        for s in self.succs[t][i]:
+            mask = pred_masks[s]
+            if mask & done_t == mask:
+                self.ready[key_of[s] * num_threads + t] |= 1 << s
+                self.ready_count[key_of[s]] += 1
+                newly.append(s)
+        return newly
+
+    def uncomplete(self, t: int, i: int, newly: list[int]) -> None:
+        """Exact inverse of :meth:`complete` (backtracking)."""
+        num_threads = self.num_threads
+        key_of = self.key_of[t]
+        for s in newly:
+            self.ready[key_of[s] * num_threads + t] &= ~(1 << s)
+            self.ready_count[key_of[s]] -= 1
+        self.done[t] &= ~(1 << i)
+        self.ready[key_of[i] * num_threads + t] |= 1 << i
+        self.ready_count[key_of[i]] += 1
+
+    def pick_orders(self, crit: tuple[tuple[float, ...], ...],
+                    prefer_low_index: bool = False) -> list[tuple[int, ...]]:
+        """Per (key, thread) op-candidate order for ready-pick selection.
+
+        Ordered by remaining critical path descending; ties break toward
+        the higher op index (the search's ``max(idxs, key=(crit, i))``)
+        unless ``prefer_low_index`` (the greedy's first-max policy).  The
+        first candidate whose ready bit is set is the pick — almost always
+        the first probe, so selection is O(1) without any per-step sort.
+        """
+        num_threads = self.num_threads
+        orders: list[tuple[int, ...]] = [()] * (len(self.table) * num_threads)
+        for t in range(num_threads):
+            crit_t = crit[t]
+            buckets: dict[int, list[int]] = {}
+            for i, kid in enumerate(self.key_of[t]):
+                buckets.setdefault(kid, []).append(i)
+            for kid, idxs in buckets.items():
+                if prefer_low_index:
+                    idxs.sort(key=lambda i: (-crit_t[i], i))
+                else:
+                    idxs.sort(key=lambda i: (-crit_t[i], -i))
+                orders[kid * num_threads + t] = tuple(idxs)
+        return orders

@@ -14,13 +14,20 @@ bucket with the greatest immediate payoff:
 
 When a thread has several ready ops with the same merge key, the one with
 the longest remaining critical path is induced (free the critical chain
-first).
+first; earliest op on critical-path ties).
+
+The implementation runs on the same incremental machinery as the
+branch-and-bound hot path — :class:`repro.core.dag.ReadyIndex` over int
+bitmasks with merge keys interned by :class:`~repro.core.costmodel.MergeKeyTable`
+— so there is no per-step ``ready()`` rescan or bucket-dict rebuild here
+either, and the two schedulers cannot drift in how they enumerate ready
+work.
 """
 
 from __future__ import annotations
 
-from repro.core.costmodel import CostModel, merge_key_sort_key
-from repro.core.dag import DependenceDAG, build_dags
+from repro.core.costmodel import CostModel, MergeKeyTable
+from repro.core.dag import DependenceDAG, ReadyIndex, build_dags
 from repro.core.ops import Region
 from repro.core.schedule import Schedule, Slot
 
@@ -39,39 +46,52 @@ def greedy_schedule(
     crit = tuple(
         dag.critical_path_costs(region[t], model) for t, dag in enumerate(dags)
     )
-    done: list[set[int]] = [set() for _ in region.threads]
+    table = MergeKeyTable(model, region)
+    index = ReadyIndex(region, dags, table)
+    orders = index.pick_orders(crit, prefer_low_index=True)
+    num_threads = region.num_threads
+    num_keys = len(table)
+    ready = index.ready
+    ready_count = index.ready_count
+    slot_costs = table.slot_costs
+    opclasses = table.opclasses
+
     remaining = region.num_ops
     slots: list[Slot] = []
-
     while remaining:
-        buckets: dict[tuple, dict[int, int]] = {}
-        for t, dag in enumerate(dags):
-            ready = dag.ready(frozenset(done[t]))
-            best_per_key: dict[tuple, int] = {}
-            for i in ready:
-                key = model.merge_key(region[t].ops[i])
-                prev = best_per_key.get(key)
-                if prev is None or crit[t][i] > crit[t][prev]:
-                    best_per_key[key] = i
-            for key, i in best_per_key.items():
-                buckets.setdefault(key, {})[t] = i
-        if not buckets:
+        best_score: tuple[float, float, int] | None = None
+        best_kid = -1
+        best_picks: list[tuple[int, int]] | None = None
+        for kid in range(num_keys):
+            if not ready_count[kid]:
+                continue
+            base = kid * num_threads
+            picks: list[tuple[int, int]] = []
+            longest = 0.0
+            for t in range(num_threads):
+                bits = ready[base + t]
+                if not bits:
+                    continue
+                for i in orders[base + t]:
+                    if (bits >> i) & 1:
+                        break
+                picks.append((t, i))
+                c = crit[t][i]
+                if c > longest:
+                    longest = c
+            width = len(picks)
+            score = ((width - 1) * slot_costs[kid], longest, width)
+            # >= while scanning kids ascending == max() with the canonical
+            # merge-key order as the final tie-break (kid order is canonical).
+            if best_score is None or score >= best_score:
+                best_score = score
+                best_kid = kid
+                best_picks = picks
+        if best_picks is None:
             raise RuntimeError("no ready operations but work remains (cyclic DAG?)")
-
-        def score(item: tuple[tuple, dict[int, int]]) -> tuple:
-            key, picks = item
-            any_t = next(iter(picks))
-            opclass = model.opcode_class(region[any_t].ops[picks[any_t]].opcode)
-            saved = (len(picks) - 1) * model.slot_cost(opclass)
-            longest = max(crit[t][i] for t, i in picks.items())
-            return (saved, longest, len(picks), merge_key_sort_key(key))
-
-        key, picks = max(buckets.items(), key=score)
-        any_t = next(iter(picks))
-        opclass = model.opcode_class(region[any_t].ops[picks[any_t]].opcode)
-        slots.append(Slot(opclass, picks))
-        for t, i in picks.items():
-            done[t].add(i)
-        remaining -= len(picks)
+        slots.append(Slot(opclasses[best_kid], dict(best_picks)))
+        for t, i in best_picks:
+            index.complete(t, i)
+        remaining -= len(best_picks)
 
     return Schedule(tuple(slots))

@@ -33,7 +33,7 @@ from repro.core.search import SearchConfig, SearchStats, branch_and_bound
 from repro.core.serial import lockstep_schedule, serial_schedule
 from repro.core.verify import verify_schedule
 from repro.obs import NULL_TRACER, StopWatch, Tracer, span
-from repro.obs.metrics import get_registry
+from repro.obs.metrics import get_registry, observe_search_throughput
 
 __all__ = ["InductionResult", "METHODS", "induce"]
 
@@ -181,6 +181,7 @@ def _induce_impl(
         metrics.inc("induce_cache_hits_total")
     elif method == "search" and stats is not None:
         metrics.observe("search_wall_seconds", stats.wall_s or wall_s)
+        observe_search_throughput(metrics, stats)
 
     if tracer.enabled:
         event: dict = {
@@ -196,6 +197,8 @@ def _induce_impl(
         }
         if stats is not None:
             event.update(
+                engine=stats.engine,
+                nodes_per_s=round(stats.nodes_per_second, 1),
                 nodes=stats.nodes_expanded,
                 pruned_bound=stats.pruned_by_bound,
                 pruned_memo=stats.pruned_by_memo,

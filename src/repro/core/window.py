@@ -53,13 +53,24 @@ from repro.obs import (
     replay_events,
     span,
 )
-from repro.obs.metrics import get_registry
+from repro.obs.metrics import get_registry, observe_search_throughput
 
 __all__ = ["WindowedResult", "windowed_induce"]
 
-#: Below this many total miss ops the pool's fork/pickle overhead dwarfs the
-#: search itself; stay serial.
-_MIN_PARALLEL_OPS = 32
+#: Structural floor for even considering the pool: total estimated search
+#: work over the missed windows, scored as ops x threads per window (the
+#: branching factor of a window search grows with both).  Below it the
+#: fork/pickle overhead dwarfs the search itself; stay serial.
+_MIN_PARALLEL_SCORE = 128
+
+#: A process pool cannot beat the serial loop without at least this many
+#: cores to spread the windows over.
+_MIN_PARALLEL_CPUS = 2
+
+#: Estimated remaining serial search time (first missed window's measured
+#: wall times the number of remaining windows) below which pool startup
+#: (~tens of ms per fork) is not worth paying.
+_PARALLEL_MIN_EST_S = 0.25
 
 
 @dataclass(frozen=True)
@@ -283,13 +294,25 @@ def _windowed_body(
     ctx = current_context()
     tasks = [(windows[w][1], model, config, ctx) for w in unique_idx]
     jobs_used = 1
-    if jobs > 1 and len(tasks) > 1 and \
-            sum(t[0].num_ops for t in tasks) >= _MIN_PARALLEL_OPS:
-        parallel = _run_windows_parallel(tasks, jobs)
-        if parallel is not None:
-            jobs_used = min(jobs, len(tasks))
-            for w, outcome in zip(unique_idx, parallel):
-                results[w] = outcome
+    if (jobs > 1 and len(tasks) > 1
+            and (os.cpu_count() or 1) >= _MIN_PARALLEL_CPUS
+            and sum(t[0].num_ops * t[0].num_threads for t in tasks)
+                >= _MIN_PARALLEL_SCORE):
+        # Adaptive fan-out: search the first missed window serially — it is
+        # work we must do anyway and it prices a window search on this
+        # machine for this config.  Only when the estimated remaining
+        # serial time clears the pool's startup overhead does the pool get
+        # the rest; otherwise the serial loop below finishes the job and
+        # small runs never pay fork/pickle for nothing (E13 regression:
+        # jobs=4 was 0.8x serial on sub-second workloads).
+        results[unique_idx[0]] = _search_window(tasks[0])
+        first_wall = results[unique_idx[0]][1].wall_s
+        if first_wall * (len(tasks) - 1) >= _PARALLEL_MIN_EST_S:
+            parallel = _run_windows_parallel(tasks[1:], jobs)
+            if parallel is not None:
+                jobs_used = min(jobs, len(tasks) - 1)
+                for w, outcome in zip(unique_idx[1:], parallel):
+                    results[w] = outcome
     for pos, w in enumerate(unique_idx):
         if results[w] is None:
             results[w] = _search_window(tasks[pos])
@@ -303,6 +326,7 @@ def _windowed_body(
         replay_events(events, tracer)
         metrics.counters.merge(snap)
         metrics.observe("window_search_seconds", st.wall_s)
+        observe_search_throughput(metrics, st)
         results[w] = (sched, st)
     if cache is not None:
         for w in unique_idx:
@@ -332,6 +356,8 @@ def _windowed_body(
                 ops=sub.num_ops,
                 slots=len(sched),
                 cost=sched.cost(model),
+                engine=st.engine,
+                nodes_per_s=round(st.nodes_per_second, 1),
                 nodes=st.nodes_expanded,
                 pruned_bound=st.pruned_by_bound,
                 pruned_memo=st.pruned_by_memo,

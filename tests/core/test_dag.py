@@ -88,6 +88,80 @@ class TestValidOrder:
         assert not dag.is_valid_order([0, 5])
 
 
+class TestTransitiveReduction:
+    def test_redundant_edge_dropped(self):
+        # a -> b -> c plus the implied a -> c: reduction keeps only the
+        # covering chain (c's anti/flow dep on a is implied through b).
+        _, dag = single_thread("a = ld x\nb = add a a\nc = add b a")
+        assert dag.preds[1] == (0,)
+        assert dag.preds[2] == (1,)        # direct 0 -> 2 edge reduced away
+
+    def test_reduction_can_be_disabled(self):
+        region = parse_region(
+            "thread 0:\n  a = ld x\n  b = add a a\n  c = add b a")
+        dag = build_dags(region, transitive_reduction=False)[0]
+        assert dag.preds[2] == (0, 1)      # redundant edge kept
+
+    def test_respect_order_chain_is_already_reduced(self):
+        region = parse_region("thread 0:\n  a = ld x\n  b = ld y\n  c = ld z")
+        dag = build_dags(region, respect_order=True)[0]
+        assert dag.preds == ((), (0,), (1,))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_identical_ready_sets_on_random_regions(self, seed):
+        # Reduction must not change reachability: for any downward-closed
+        # done-set (the only kind a scheduler produces) the ready sets of
+        # the reduced and unreduced DAGs are identical.
+        import random
+
+        from repro.workloads import RandomRegionSpec, random_region
+
+        region = random_region(
+            RandomRegionSpec(num_threads=3, min_len=6, max_len=10,
+                             vocab_size=5, overlap=0.5, private_vocab=False),
+            seed=seed)
+        rng = random.Random(seed)
+        reduced = build_dags(region)
+        full = build_dags(region, transitive_reduction=False)
+        for dag_r, dag_f in zip(reduced, full):
+            n = len(dag_r)
+            done: set[int] = set()
+            while True:
+                assert dag_r.ready(frozenset(done)) == \
+                    dag_f.ready(frozenset(done)), f"done={done}"
+                ready = dag_r.ready(frozenset(done))
+                if not ready:
+                    break
+                # Complete a random nonempty subset of the ready ops,
+                # keeping the done-set downward closed.
+                for op in ready:
+                    if not done or rng.random() < 0.7:
+                        done.add(op)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_identical_critical_paths(self, seed):
+        from repro.core.costmodel import maspar_cost_model
+        from repro.workloads import RandomRegionSpec, random_region
+
+        region = random_region(
+            RandomRegionSpec(num_threads=2, min_len=5, max_len=8,
+                             vocab_size=5, overlap=0.5, private_vocab=False),
+            seed=100 + seed)
+        model = maspar_cost_model()
+        reduced = build_dags(region)
+        full = build_dags(region, transitive_reduction=False)
+        for tc, dag_r, dag_f in zip(region.threads, reduced, full):
+            assert dag_r.critical_path_costs(tc, model) == \
+                dag_f.critical_path_costs(tc, model)
+
+
+class TestPredMasks:
+    def test_masks_mirror_preds(self):
+        _, dag = single_thread("a = ld x\nb = add a a\nc = add b a")
+        for i, ps in enumerate(dag.preds):
+            assert dag.pred_masks[i] == sum(1 << p for p in ps)
+
+
 class TestCriticalPath:
     def test_chain_costs_accumulate(self):
         region, dag = single_thread("a = ld x\nb = add a a\nst y b")

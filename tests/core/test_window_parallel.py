@@ -41,7 +41,13 @@ class TestParallelEquivalence:
             [s.nodes_expanded for s in serial.stats]
         verify_schedule(parallel.schedule, region, UNIT)
 
-    def test_parallel_used_when_work_is_large_enough(self):
+    def test_parallel_used_when_work_is_large_enough(self, monkeypatch):
+        # Force the adaptive gates open (single-CPU CI boxes and fast
+        # searches would otherwise — correctly — stay serial) to check the
+        # fan-out path itself: first window timed serially, pool on the rest.
+        from repro.core import window as window_mod
+        monkeypatch.setattr(window_mod, "_MIN_PARALLEL_CPUS", 1)
+        monkeypatch.setattr(window_mod, "_PARALLEL_MIN_EST_S", 0.0)
         region = big_region(threads=8, length=48)
         result = windowed_induce(region, UNIT, window_size=8,
                                  config=SearchConfig(node_budget=2_000), jobs=3)
@@ -52,6 +58,18 @@ class TestParallelEquivalence:
         result = windowed_induce(region, UNIT, window_size=2,
                                  config=SearchConfig(node_budget=2_000), jobs=4)
         assert result.jobs_used == 1          # below the parallel threshold
+        verify_schedule(result.schedule, region, UNIT)
+
+    def test_cheap_windows_stay_serial_despite_structural_size(self, monkeypatch):
+        # Structurally big enough for the pool, but the first window's
+        # measured search time prices the remainder below the pool's
+        # startup cost — the adaptive gate must keep the serial loop.
+        from repro.core import window as window_mod
+        monkeypatch.setattr(window_mod, "_MIN_PARALLEL_CPUS", 1)
+        region = big_region(threads=8, length=48)
+        result = windowed_induce(region, UNIT, window_size=8,
+                                 config=SearchConfig(node_budget=2_000), jobs=3)
+        assert result.jobs_used == 1
         verify_schedule(result.schedule, region, UNIT)
 
     def test_jobs_zero_means_all_cores(self):
