@@ -10,7 +10,7 @@ reordering is impossible by construction — the lower bound of this axis).
 
 import pytest
 
-from conftest import api_induce, record_table
+from conftest import api_induce, bench_seed, record_table
 from repro.core import uniform_cost_model
 from repro.core.search import SearchConfig
 from repro.interp.trace import interp_cost_model, trace_program
@@ -19,7 +19,8 @@ from repro.util import format_table, geometric_mean
 from repro.workloads import RandomRegionSpec, random_region
 from repro.workloads.programs import kernel_source
 
-SEEDS = (0, 1, 2)
+_BASE = bench_seed(0)
+SEEDS = (_BASE, _BASE + 1, _BASE + 2)
 MODEL = uniform_cost_model(cost=3.0, mask_overhead=1.0)
 BUDGET = 30_000
 

@@ -25,7 +25,7 @@ import time
 
 import pytest
 
-from conftest import api_induce, record_table
+from conftest import api_induce, bench_seed, record_table
 from repro.core import (
     ScheduleCache,
     maspar_cost_model,
@@ -42,14 +42,14 @@ def dense_region(seed=0, threads=5, length=10):
     return random_region(
         RandomRegionSpec(num_threads=threads, min_len=length, max_len=length,
                          vocab_size=8, overlap=0.6, private_vocab=False),
-        seed=seed)
+        seed=bench_seed(seed))
 
 
 def wide_region(seed=1):
     return random_region(
         RandomRegionSpec(num_threads=8, min_len=64, max_len=64,
                          vocab_size=12, overlap=0.6, private_vocab=False),
-        seed=seed)
+        seed=bench_seed(seed))
 
 
 def run_experiment():

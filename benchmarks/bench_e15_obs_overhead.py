@@ -24,7 +24,7 @@ functional: the JSONL run must leave a parseable span tree behind.
 
 import time
 
-from conftest import api_induce, record_table
+from conftest import api_induce, bench_seed, record_table
 from repro.core import maspar_cost_model
 from repro.core.search import SearchConfig
 from repro.obs import JsonlTracer, MemoryTracer, build_traces, load_span_events
@@ -40,7 +40,7 @@ def bench_region(seed=7):
     return random_region(
         RandomRegionSpec(num_threads=4, min_len=6, max_len=6,
                          vocab_size=8, overlap=0.6, private_vocab=False),
-        seed=seed)
+        seed=bench_seed(seed))
 
 
 def timed_calls(region, tracer=None):

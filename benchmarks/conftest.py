@@ -59,6 +59,20 @@ def record_table(name: str, text: str, data: dict | None = None) -> None:
     _TABLES.append(text)
 
 
+def bench_seed(default: int = 0) -> int:
+    """Workload seed for one experiment: ``$REPRO_SEED`` when set, else
+    ``default``.
+
+    Benchmarks keep their historical per-experiment defaults (so committed
+    result snapshots stay comparable), but a single environment variable
+    reseeds every randomized workload at once — the same knob ``repro
+    fuzz`` resolves, so a seed printed by either tool reproduces in both.
+    """
+    from repro.util.rng import resolve_seed
+
+    return resolve_seed(default=default)
+
+
 def api_induce(region, model, *, window_size: int = 0, **kwargs):
     """Benchmark entry point for induction, routed through ``repro.api``.
 

@@ -279,6 +279,85 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    import json
+    import os
+    import tempfile
+
+    from repro.fuzz import (FuzzConfig, case_from_payload, check_case,
+                            fuzz_run, load_corpus)
+    from repro.obs import JsonlTracer
+
+    engines = ("bitmask", "legacy") if args.engine == "both" else (args.engine,)
+
+    if args.replay:
+        try:
+            if os.path.isdir(args.replay):
+                entries = load_corpus(args.replay)
+            else:
+                payload = json.loads(open(args.replay).read())
+                entries = [(args.replay, case_from_payload(payload["case"]))]
+        except Exception as exc:
+            print(f"error: cannot load corpus from {args.replay}: {exc}")
+            return 1
+        if not entries:
+            print(f"no corpus entries under {args.replay}")
+            return 1
+        bad = 0
+        for path, case in entries:
+            found = check_case(case, engines=engines)
+            status = "ok" if not found else "FAIL"
+            print(f"{status}  {path}  [{case.describe()}]")
+            for failure in found:
+                print(f"      {failure}")
+            bad += bool(found)
+        print(f"replayed {len(entries)} corpus entries, {bad} failing")
+        return 1 if bad else 0
+
+    tracer = JsonlTracer(args.trace) if args.trace else None
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-fuzz-") as workdir:
+            config = FuzzConfig(
+                seed=args.seed,
+                cases=args.cases,
+                max_ops=args.max_ops,
+                max_threads=args.max_threads,
+                time_budget_s=args.time_budget,
+                engines=engines,
+                program_fraction=args.program_fraction,
+                shrink=not args.no_shrink,
+                corpus_dir=args.corpus_dir,
+                fail_fast=args.fail_fast,
+                workdir=workdir,
+            )
+            report = fuzz_run(config, tracer=tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
+
+    rate = report.cases_run / report.wall_s if report.wall_s > 0 else 0.0
+    print(f"fuzz: seed={report.seed} cases={report.cases_run} "
+          f"(regions={report.region_cases}, programs={report.program_cases}) "
+          f"engines={','.join(engines)}")
+    print(f"fuzz: {report.wall_s:.2f}s ({rate:.1f} cases/s), "
+          f"stopped by {report.stopped_by}")
+    if tracer is not None:
+        print(f"trace: {args.trace} (summarize with `repro stats {args.trace}`)")
+    if report.ok:
+        print("fuzz: all oracles agree")
+        return 0
+    print(f"fuzz: {len(report.failures)} FAILING case(s)")
+    for failure in report.failures:
+        print(f"  {failure.summary()}")
+        for oracle_failure in failure.failures:
+            print(f"      {oracle_failure}")
+        print(f"      reproduce: repro fuzz --seed {report.seed} "
+              f"--cases {failure.case.index + 1}")
+    for path in report.corpus_paths:
+        print(f"  saved: {path}")
+    return 1
+
+
 def _cmd_select(args) -> int:
     from repro.lang import compile_mimdc
     from repro.sched import select_target
@@ -430,6 +509,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--last", action="store_true",
                    help="show only the most recent trace")
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: generated cases vs independent oracles")
+    p.add_argument("--seed", type=int, default=None,
+                   help="root seed (default: $REPRO_SEED, else fresh entropy)")
+    p.add_argument("--cases", type=int, default=200,
+                   help="maximum number of generated cases")
+    p.add_argument("--max-ops", type=int, default=24,
+                   help="maximum total ops per generated region")
+    p.add_argument("--max-threads", type=int, default=4,
+                   help="maximum threads per generated region")
+    p.add_argument("--time-budget", type=float, default=None, metavar="SECONDS",
+                   help="stop after this much wall time even if cases remain")
+    p.add_argument("--engine", choices=("both", "bitmask", "legacy"),
+                   default="both",
+                   help="search engine(s); 'both' asserts cross-engine parity")
+    p.add_argument("--program-fraction", type=float, default=0.15,
+                   help="fraction of cases that are MIMDC programs")
+    p.add_argument("--corpus-dir",
+                   help="persist failing cases as JSON under this directory")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="skip delta-debugging of failing cases")
+    p.add_argument("--fail-fast", action="store_true",
+                   help="stop at the first failing case")
+    p.add_argument("--trace", help="write fuzz spans/events to a JSONL trace")
+    p.add_argument("--replay", metavar="PATH",
+                   help="replay a corpus entry (or directory) instead of "
+                        "generating new cases")
+    p.set_defaults(fn=_cmd_fuzz)
 
     p = sub.add_parser("simdc", help="compile and run a SIMDC (data-parallel) program")
     p.add_argument("source", help="SIMDC source file")

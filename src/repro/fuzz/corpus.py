@@ -1,0 +1,129 @@
+"""The persistent regression corpus: fuzz findings as JSON files.
+
+Every failing case the runner sees is written under ``tests/corpus/`` as one
+self-contained JSON file — the (shrunk) region text or program source, the
+cost model and search config, the oracle failures observed, and the exact
+``repro fuzz`` command line that regenerates the original case from its
+root seed.  A tier-1 test (``tests/fuzz/test_corpus_replay.py``) replays the
+whole directory on every run, so a fuzz-found bug that gets fixed can never
+silently come back.
+
+The file format is versioned and deliberately human-triageable: ``region``
+is the textual syntax from :func:`repro.core.ops.Region.render`, not an
+opaque pickle, so a corpus entry can be read, edited and minimized by hand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.core.costmodel import CostModel
+from repro.core.ops import parse_region
+from repro.core.search import SearchConfig
+from repro.fuzz.generators import FuzzCase
+from repro.fuzz.oracles import OracleFailure
+from repro.service.protocol import model_from_payload, model_to_payload
+
+__all__ = ["case_from_payload", "case_to_payload", "load_corpus", "save_failure"]
+
+#: Bumped when the payload shape changes incompatibly.
+CORPUS_VERSION = 1
+
+
+def case_to_payload(case: FuzzCase) -> dict[str, Any]:
+    """JSON-able form of a case (inverse of :func:`case_from_payload`)."""
+    payload: dict[str, Any] = {
+        "version": CORPUS_VERSION,
+        "kind": case.kind,
+        "seed": case.seed,
+        "index": case.index,
+        "note": case.note,
+    }
+    if case.kind == "region":
+        payload["region"] = case.region.render()
+        payload["model"] = model_to_payload(case.model)
+        payload["config"] = dataclasses.asdict(case.config)
+    else:
+        payload["source"] = case.source
+    if case.shrunk_from_ops is not None:
+        payload["shrunk_from_ops"] = case.shrunk_from_ops
+    return payload
+
+
+def case_from_payload(payload: Mapping[str, Any]) -> FuzzCase:
+    """Rebuild a :class:`FuzzCase` from :func:`case_to_payload` output."""
+    version = int(payload.get("version", 0))
+    if version != CORPUS_VERSION:
+        raise ValueError(f"unsupported corpus payload version {version}")
+    kind = payload["kind"]
+    common = dict(
+        kind=kind,
+        seed=int(payload.get("seed", 0)),
+        index=int(payload.get("index", 0)),
+        note=str(payload.get("note", "corpus")),
+        shrunk_from_ops=payload.get("shrunk_from_ops"),
+    )
+    if kind == "program":
+        return FuzzCase(source=payload["source"], **common)
+    model = model_from_payload(payload["model"])
+    if not isinstance(model, CostModel):
+        raise ValueError(f"corpus model must be explicit, got {model!r}")
+    return FuzzCase(
+        region=parse_region(payload["region"]),
+        model=model,
+        config=SearchConfig(**payload["config"]),
+        **common,
+    )
+
+
+def _entry_name(case: FuzzCase, blob: str) -> str:
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:8]
+    return f"fuzz-{case.seed}-{case.index}-{digest}.json"
+
+
+def save_failure(corpus_dir: str | os.PathLike, case: FuzzCase,
+                 failures: Iterable[OracleFailure],
+                 shrunk: FuzzCase | None = None) -> Path:
+    """Persist a failing case (and its shrunk form) as one corpus file.
+
+    Returns the path written.  The write is atomic (tmp file + replace) so
+    a killed fuzz run never leaves a truncated corpus entry behind.
+    """
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    minimal = shrunk if shrunk is not None else case
+    payload: dict[str, Any] = {
+        "version": CORPUS_VERSION,
+        "case": case_to_payload(minimal),
+        "failures": [{"oracle": f.oracle, "detail": f.detail} for f in failures],
+        "reproduce": f"repro fuzz --seed {case.seed} --cases {case.index + 1}",
+    }
+    if shrunk is not None and shrunk is not case:
+        payload["original"] = case_to_payload(case)
+    blob = json.dumps(payload, indent=2, sort_keys=True)
+    path = corpus_dir / _entry_name(case, blob)
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(blob + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def load_corpus(corpus_dir: str | os.PathLike) -> list[tuple[Path, FuzzCase]]:
+    """Load every corpus entry, sorted by file name for deterministic replay.
+
+    A malformed entry raises — a corrupt corpus should fail the replay test
+    loudly, not shrink it quietly.
+    """
+    corpus_dir = Path(corpus_dir)
+    if not corpus_dir.is_dir():
+        return []
+    entries: list[tuple[Path, FuzzCase]] = []
+    for path in sorted(corpus_dir.glob("*.json")):
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        entries.append((path, case_from_payload(payload["case"])))
+    return entries

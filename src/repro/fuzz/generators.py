@@ -1,0 +1,336 @@
+"""Seeded random case generators for the differential fuzzer.
+
+Three case families, all deterministic for a given ``(seed, index)`` pair:
+
+- **random regions** — straight-line multi-thread code with controllable
+  thread count, op count, dependence density (how often an op reads or
+  rewrites earlier symbols, creating flow/anti/output dependences) and
+  merge-class skew (a Zipf-flavoured opcode draw, so some classes are hot
+  and induction actually has something to merge);
+- **handler regions** — random subsets of the interpreter handler bodies
+  from :mod:`repro.workloads.threads`, the paper's motivating workload;
+- **MIMDC programs** — either a :mod:`repro.workloads.programs` kernel
+  template with a small iteration count, or a synthesized straight-line
+  function of random integer expressions (the thing that exercises
+  :mod:`repro.lang.fold` on shapes nobody hand-wrote).
+
+Cost models and search configurations are randomized too, within the
+envelope the engines promise to agree on: slot costs are kept exactly
+representable (ints and halves) so bitmask/legacy counter parity is exact,
+and the exhaustive/all-choices ablations are only enabled on regions small
+enough that the legacy oracle finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.costmodel import CostModel, maspar_cost_model, uniform_cost_model
+from repro.core.ops import Operation, Region, ThreadCode
+from repro.core.search import SearchConfig
+from repro.util.rng import derive_rng
+from repro.workloads.threads import (
+    HANDLER_MNEMONICS,
+    interpreter_handler_region,
+    interpreter_micro_cost_model,
+)
+
+__all__ = ["FuzzCase", "GeneratorSpec", "generate_case"]
+
+
+@dataclass(frozen=True)
+class GeneratorSpec:
+    """Knobs for :func:`generate_case` (the fuzzer's search space)."""
+
+    max_threads: int = 4
+    max_ops: int = 24            # total across threads
+    #: Exhaustive subset enumeration / all-thread-choices ablations are only
+    #: drawn for regions at or below this many ops (legacy blows up beyond).
+    max_ops_exhaustive: int = 8
+    dependence_density: float = 0.6
+    merge_skew: float = 1.1      # Zipf exponent over the opcode pool
+    imm_probability: float = 0.35
+    #: Fraction of cases that are MIMDC programs rather than regions.
+    program_fraction: float = 0.15
+    #: Fraction of region cases drawn from interpreter handler subsets.
+    handler_fraction: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.max_threads < 1:
+            raise ValueError(f"need at least one thread, got {self.max_threads}")
+        if self.max_ops < 1:
+            raise ValueError(f"need at least one op, got {self.max_ops}")
+        if not 0.0 <= self.program_fraction <= 1.0:
+            raise ValueError(f"bad program fraction {self.program_fraction}")
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated (or corpus-loaded) input to the differential oracles.
+
+    ``kind`` is ``"region"`` (region + model + config, fed to the search
+    engines) or ``"program"`` (MIMDC ``source``, fed to the compiler and
+    interpreter with folding on vs off).  ``seed``/``index`` identify the
+    case under the run's root seed; ``note`` says which generator family
+    produced it.
+    """
+
+    kind: str
+    seed: int
+    index: int
+    region: Region | None = None
+    model: CostModel | None = None
+    config: SearchConfig | None = None
+    source: str | None = None
+    note: str = ""
+    # Populated by the shrinker so reports can show the reduction.
+    shrunk_from_ops: int | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("region", "program"):
+            raise ValueError(f"unknown case kind {self.kind!r}")
+        if self.kind == "region" and (self.region is None or self.model is None
+                                      or self.config is None):
+            raise ValueError("region case needs region, model and config")
+        if self.kind == "program" and not self.source:
+            raise ValueError("program case needs MIMDC source")
+
+    @property
+    def num_ops(self) -> int:
+        return self.region.num_ops if self.region is not None else 0
+
+    def describe(self) -> str:
+        if self.kind == "region":
+            return (f"region[{self.note}] threads={self.region.num_threads} "
+                    f"ops={self.region.num_ops} "
+                    f"engine-knobs=(budget={self.config.node_budget}, "
+                    f"maximal={self.config.maximal_merges_only}, "
+                    f"choices={self.config.branch_thread_choices})")
+        lines = len(self.source.strip().splitlines())
+        return f"program[{self.note}] lines={lines}"
+
+
+# --- opcode / symbol pools -------------------------------------------------
+
+#: A pool wide enough to stress class bucketing, narrow enough to merge.
+_OPCODES = ("ld", "st", "add", "sub", "mul", "div", "and", "or",
+            "shl", "eq", "mov", "cmp")
+
+#: Immediates include equal-valued int/float pairs so ``require_equal_imm``
+#: and the cache's int-vs-float canonicalization both get exercised.
+_IMMEDIATES = (0, 1, 2, 3, -1, 7, 1.5, 2.5, 1.0, 2)
+
+
+def _zipf_weights(n: int, skew: float) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=float)
+    w = ranks ** -max(skew, 0.0)
+    return w / w.sum()
+
+
+def _random_region(rng: np.random.Generator, spec: GeneratorSpec) -> Region:
+    """Random straight-line region with genuine dependence structure.
+
+    Per thread, each op mostly writes a fresh temp; with probability tied
+    to ``dependence_density`` it reads earlier temps (flow deps), rewrites
+    an existing temp (output deps, and anti deps against its readers), or
+    writes a thread-shared accumulator symbol.
+    """
+    num_threads = int(rng.integers(1, spec.max_threads + 1))
+    total = int(rng.integers(num_threads, spec.max_ops + 1))
+    # Distribute ops over threads: at least one each, lengths uneven, and
+    # the sum never exceeds the drawn total (so max_ops is a hard cap).
+    lengths = [1] * num_threads
+    for _ in range(total - num_threads):
+        lengths[int(rng.integers(num_threads))] += 1
+
+    weights = _zipf_weights(len(_OPCODES), spec.merge_skew)
+    threads: list[ThreadCode] = []
+    for t, length in enumerate(lengths):
+        ops: list[Operation] = []
+        written: list[str] = []
+        for k in range(length):
+            opcode = str(rng.choice(_OPCODES, p=weights))
+            reads: tuple[str, ...] = ()
+            if written and rng.random() < spec.dependence_density:
+                n_reads = int(rng.integers(1, min(2, len(written)) + 1))
+                picks = rng.choice(len(written), size=n_reads, replace=False)
+                reads = tuple(written[int(i)] for i in picks)
+            if written and rng.random() < spec.dependence_density * 0.4:
+                # Rewrite an existing symbol: output + anti dependences.
+                writes = (written[int(rng.integers(len(written)))],)
+            elif rng.random() < 0.15:
+                writes = (f"T{t}acc",)
+                if writes[0] not in written:
+                    written.append(writes[0])
+            else:
+                writes = (f"T{t}v{k}",)
+                written.append(writes[0])
+            imm = None
+            if rng.random() < spec.imm_probability:
+                imm = _IMMEDIATES[int(rng.integers(len(_IMMEDIATES)))]
+            ops.append(Operation(t, k, opcode, reads, writes, imm))
+        threads.append(ThreadCode(t, tuple(ops)))
+    return Region(tuple(threads))
+
+
+def _random_model(rng: np.random.Generator, region: Region) -> CostModel:
+    """Random cost model with exactly-representable slot costs.
+
+    Costs are multiples of 0.5 so every per-node float accumulation is
+    exact and the engines' counter parity holds bit-for-bit (see the
+    :mod:`repro.core.search` docstring).
+    """
+    roll = rng.random()
+    if roll < 0.3:
+        return maspar_cost_model(
+            mask_overhead=float(rng.integers(0, 5)) / 2.0,
+            require_equal_imm=bool(rng.random() < 0.5))
+    if roll < 0.5:
+        return uniform_cost_model(
+            cost=float(rng.integers(1, 7)) / 2.0 + 0.5,
+            mask_overhead=float(rng.integers(0, 3)) / 2.0)
+    opcodes = sorted(region.opcodes())
+    # Randomly alias some opcodes into shared classes (merge-class skew at
+    # the model level: distinct opcodes that still merge).
+    classes = [f"c{j}" for j in range(max(1, len(opcodes) // 2))]
+    class_of = {
+        op: classes[int(rng.integers(len(classes)))]
+        for op in opcodes if rng.random() < 0.5
+    }
+    used_classes = set(class_of.values()) | {
+        op for op in opcodes if op not in class_of}
+    class_cost = {
+        cls: float(rng.integers(1, 25)) / 2.0 + 0.5
+        for cls in used_classes if rng.random() < 0.8
+    }
+    return CostModel(
+        class_of=class_of,
+        class_cost=class_cost,
+        mask_overhead=float(rng.integers(0, 5)) / 2.0,
+        default_cost=float(rng.integers(1, 7)) / 2.0 + 0.5,
+        require_equal_imm=bool(rng.random() < 0.4),
+    )
+
+
+def _random_config(rng: np.random.Generator, region: Region,
+                   spec: GeneratorSpec) -> SearchConfig:
+    """Random search knobs inside the engines' agreement envelope."""
+    small = region.num_ops <= spec.max_ops_exhaustive
+    budget = int(rng.choice((64, 300, 1500, 6000)))
+    return SearchConfig(
+        node_budget=budget,
+        maximal_merges_only=not (small and rng.random() < 0.3),
+        branch_thread_choices=bool(small and rng.random() < 0.2),
+        respect_order=bool(rng.random() < 0.15),
+        use_cp_bound=bool(rng.random() >= 0.15),
+        use_class_bound=bool(rng.random() >= 0.15),
+        use_memo=bool(rng.random() >= 0.15),
+        # Without the greedy incumbent the first DFS descent still reaches a
+        # leaf within num_ops expansions, well inside every budget above.
+        seed_with_greedy=bool(rng.random() >= 0.2),
+    )
+
+
+def _handler_case_region(rng: np.random.Generator,
+                         spec: GeneratorSpec) -> tuple[Region, CostModel]:
+    count = int(rng.integers(2, min(5, spec.max_threads) + 1))
+    picks = rng.choice(len(HANDLER_MNEMONICS), size=count, replace=False)
+    mnemonics = [HANDLER_MNEMONICS[int(i)] for i in picks]
+    model = interpreter_micro_cost_model(
+        mask_overhead=float(rng.integers(0, 3)) / 2.0)
+    return interpreter_handler_region(mnemonics), model
+
+
+# --- MIMDC program synthesis ----------------------------------------------
+
+#: Kernel templates safe to run without extra global initialization.
+_SAFE_KERNELS = ("axpy", "polynomial", "divergent", "staggered")
+
+_INT_BINOPS = ("+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=",
+               "&&", "||")
+
+
+def _random_int_expr(rng: np.random.Generator, names: list[str],
+                     depth: int) -> str:
+    """Random int-typed MIMDC expression over ``names`` and small literals.
+
+    Literals stay small and shift amounts bounded so optimized (folded,
+    arbitrary-precision python ints) and unoptimized (64-bit interpreter
+    arithmetic) evaluation cannot diverge through overflow — any remaining
+    difference is a genuine folding bug.
+    """
+    roll = rng.random()
+    if depth <= 0 or roll < 0.35:
+        if names and rng.random() < 0.55:
+            return names[int(rng.integers(len(names)))]
+        if rng.random() < 0.15:
+            return "this"
+        return str(int(rng.integers(-8, 9)))
+    if roll < 0.45:
+        inner = _random_int_expr(rng, names, depth - 1)
+        return f"(-({inner}))" if rng.random() < 0.5 else f"(!({inner}))"
+    if roll < 0.55:
+        inner = _random_int_expr(rng, names, depth - 1)
+        shift = int(rng.integers(0, 7))
+        op = "<<" if rng.random() < 0.5 else ">>"
+        return f"(({inner}) {op} {shift})"
+    op = _INT_BINOPS[int(rng.integers(len(_INT_BINOPS)))]
+    left = _random_int_expr(rng, names, depth - 1)
+    right = _random_int_expr(rng, names, depth - 1)
+    return f"(({left}) {op} ({right}))"
+
+
+def _random_program(rng: np.random.Generator) -> tuple[str, str]:
+    """Random MIMDC source; returns (source, generator note)."""
+    if rng.random() < 0.4:
+        from repro.workloads.programs import kernel_source
+        name = _SAFE_KERNELS[int(rng.integers(len(_SAFE_KERNELS)))]
+        iters = int(rng.integers(2, 6))
+        return kernel_source(name, iters=iters), f"kernel:{name}x{iters}"
+    names: list[str] = []
+    body: list[str] = []
+    for name in ("a", "b", "c"):
+        body.append(f"    int {name};")
+    for name in ("a", "b", "c"):
+        body.append(f"    {name} = {_random_int_expr(rng, names, 3)};")
+        names.append(name)
+    for _ in range(int(rng.integers(1, 4))):
+        target = names[int(rng.integers(len(names)))]
+        if rng.random() < 0.3:
+            cond = _random_int_expr(rng, names, 2)
+            then = _random_int_expr(rng, names, 2)
+            body.append(f"    if ({cond}) {target} = {then};")
+        else:
+            body.append(f"    {target} = {_random_int_expr(rng, names, 3)};")
+    body.append(f"    result = {_random_int_expr(rng, names, 2)};")
+    body.append("    return result;")
+    source = "int result;\nint main() {\n" + "\n".join(body) + "\n}\n"
+    return source, "synth"
+
+
+def generate_case(seed: int, index: int,
+                  spec: GeneratorSpec | None = None) -> FuzzCase:
+    """Deterministically generate case ``index`` of the run seeded ``seed``.
+
+    The per-case stream is derived as ``derive_rng(seed, index)``, so any
+    case reproduces from the root seed alone regardless of how many cases
+    ran before it or how many draws each consumed.
+    """
+    spec = spec or GeneratorSpec()
+    rng = derive_rng(seed, index)
+    if rng.random() < spec.program_fraction:
+        source, note = _random_program(rng)
+        return FuzzCase(kind="program", seed=seed, index=index,
+                        source=source, note=note)
+    if rng.random() < spec.handler_fraction:
+        region, model = _handler_case_region(rng, spec)
+        note = "handlers"
+    else:
+        region = _random_region(rng, spec)
+        model = _random_model(rng, region)
+        note = "random"
+    config = _random_config(rng, region, spec)
+    return FuzzCase(kind="region", seed=seed, index=index, region=region,
+                    model=model, config=config, note=note)

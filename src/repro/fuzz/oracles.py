@@ -1,0 +1,273 @@
+"""Differential oracles: every way a generated case can prove a bug.
+
+A *region* case is pushed through both search engines and a battery of
+independent checks, each of which holds for **any** correct implementation:
+
+- **engine parity** — ``bitmask`` and ``legacy`` must return the identical
+  slot sequence, cost, and every pruning counter (the repo's core contract,
+  see :mod:`repro.core.search`);
+- **validity** — every schedule passes :func:`repro.core.verify.verify_schedule`,
+  the from-first-principles checker;
+- **cost recomputation** — ``stats.best_cost`` equals the schedule's cost
+  recomputed slot-by-slot from the model;
+- **bounds** — search ≤ greedy (when seeded or proven optimal) and every
+  schedule ≤ the serialized-MIMD baseline; merging can only remove slots,
+  so a violation means a cost or search bug, not a modeling choice;
+- **round-trips** — region text render/parse, fingerprint determinism,
+  cache put/get (memory and, given a ``workdir``, the disk tier), and the
+  result wire payload must all reproduce their input exactly;
+- **windowed stitching** — the windowed pipeline's stitched schedule must
+  be valid for the *full* region's dependence DAGs.
+
+A *program* case is compiled with folding on and off and interpreted both
+ways; all global memory must match (:mod:`repro.lang.fold` may only change
+the instruction stream, never the answer).
+
+Failures come back as :class:`OracleFailure` records — the oracle name is
+stable so the shrinker can insist a reduced case still fails the *same*
+check.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.cache import ScheduleCache, region_fingerprint, schedule_to_payload
+from repro.core.dag import build_dags
+from repro.core.greedy import greedy_schedule
+from repro.core.ops import parse_region
+from repro.core.pipeline import InductionResult
+from repro.core.result import result_from_payload, result_to_payload
+from repro.core.search import branch_and_bound
+from repro.core.serial import lockstep_schedule, serial_schedule
+from repro.core.verify import ScheduleError, verify_schedule
+from repro.core.window import _windowed_induce_impl
+from repro.fuzz.generators import FuzzCase
+
+__all__ = ["OracleFailure", "check_case"]
+
+_EPS = 1e-9
+
+#: SearchStats fields the engines must agree on exactly (wall time and the
+#: engine tag legitimately differ).
+_PARITY_COUNTERS = (
+    "nodes_expanded", "children_generated", "pruned_by_bound",
+    "pruned_by_memo", "best_cost", "incumbent_updates", "optimal",
+    "budget_exhausted",
+)
+
+
+@dataclass(frozen=True)
+class OracleFailure:
+    """One oracle disagreement: which check failed and the evidence."""
+
+    oracle: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.oracle}] {self.detail}"
+
+
+def _slots_payload(schedule) -> list:
+    return schedule_to_payload(schedule)
+
+
+def _check_engine_parity(case: FuzzCase, dags,
+                         engines: tuple[str, ...]) -> tuple[list[OracleFailure], dict]:
+    """Run the requested engines; return failures plus (schedule, stats) each."""
+    failures: list[OracleFailure] = []
+    runs: dict[str, tuple] = {}
+    for engine in engines:
+        cfg = dataclasses.replace(case.config, engine=engine)
+        schedule, stats = branch_and_bound(case.region, case.model, cfg, dags=dags)
+        runs[engine] = (schedule, stats)
+
+    if len(engines) < 2:
+        return failures, runs
+    ref = engines[0]
+    ref_sched, ref_stats = runs[ref]
+    for other in engines[1:]:
+        o_sched, o_stats = runs[other]
+        if _slots_payload(ref_sched) != _slots_payload(o_sched):
+            failures.append(OracleFailure(
+                "engine_schedule",
+                f"{ref}={_slots_payload(ref_sched)} {other}={_slots_payload(o_sched)}"))
+        for name in _PARITY_COUNTERS:
+            rv, ov = getattr(ref_stats, name), getattr(o_stats, name)
+            if rv != ov:
+                failures.append(OracleFailure(
+                    "engine_counters", f"{name}: {ref}={rv!r} {other}={ov!r}"))
+    return failures, runs
+
+
+def _check_region(case: FuzzCase, workdir: Path | None,
+                  engines: tuple[str, ...]) -> list[OracleFailure]:
+    region, model, config = case.region, case.model, case.config
+    dags = build_dags(region, respect_order=config.respect_order)
+
+    failures, runs = _check_engine_parity(case, dags, engines)
+    schedule, stats = runs[engines[0]]
+
+    # Independent validity check, for both engines' schedules.
+    for engine, (sched, _) in runs.items():
+        try:
+            verify_schedule(sched, region, model, dags=dags,
+                            respect_order=config.respect_order)
+        except ScheduleError as exc:
+            failures.append(OracleFailure(f"verify:{engine}", str(exc)))
+
+    # Cost recomputation: the reported best cost is the schedule's cost.
+    for engine, (sched, st) in runs.items():
+        recomputed = sched.cost(model)
+        if abs(recomputed - st.best_cost) > _EPS:
+            failures.append(OracleFailure(
+                f"cost_recompute:{engine}",
+                f"stats.best_cost={st.best_cost!r} recomputed={recomputed!r}"))
+
+    # Upper bounds.  Slot cost includes masking for every slot, so merging
+    # strictly removes cost: any leaf ≤ serial, and greedy ≤ serial too.
+    greedy = greedy_schedule(region, model, dags=dags)
+    serial = serial_schedule(region, model)
+    greedy_cost = greedy.cost(model)
+    serial_cost = serial.cost(model)
+    if greedy_cost > serial_cost + _EPS:
+        failures.append(OracleFailure(
+            "bound_greedy_serial", f"greedy={greedy_cost!r} > serial={serial_cost!r}"))
+    if stats.best_cost > serial_cost + _EPS:
+        failures.append(OracleFailure(
+            "bound_search_serial",
+            f"search={stats.best_cost!r} > serial={serial_cost!r}"))
+    if (config.seed_with_greedy or stats.optimal) and \
+            stats.best_cost > greedy_cost + _EPS:
+        failures.append(OracleFailure(
+            "bound_search_greedy",
+            f"search={stats.best_cost!r} > greedy={greedy_cost!r} "
+            f"(seeded={config.seed_with_greedy}, optimal={stats.optimal})"))
+
+    # Region text round-trip + fingerprint determinism.
+    fingerprint = region_fingerprint(region, model, config)
+    try:
+        reparsed = parse_region(region.render())
+    except Exception as exc:
+        failures.append(OracleFailure("region_roundtrip", f"parse failed: {exc}"))
+    else:
+        if reparsed != region:
+            failures.append(OracleFailure(
+                "region_roundtrip", "parse(render()) != region"))
+        elif region_fingerprint(reparsed, model, config) != fingerprint:
+            failures.append(OracleFailure(
+                "fingerprint", "re-parsed region fingerprints differently"))
+
+    # Cache round-trip: memory tier always, disk tier when given a workdir.
+    cache_dir = (workdir / "cache") if workdir is not None else None
+    cache = ScheduleCache(capacity=4, cache_dir=cache_dir)
+    cache.put(fingerprint, schedule, stats)
+    hit = cache.get(fingerprint)
+    if hit is None:
+        failures.append(OracleFailure("cache_roundtrip", "put then get missed"))
+    else:
+        cached_sched, cached_stats = hit
+        if _slots_payload(cached_sched) != _slots_payload(schedule):
+            failures.append(OracleFailure(
+                "cache_roundtrip", "cached schedule differs from stored"))
+        if cached_stats is None or \
+                dataclasses.asdict(cached_stats) != dataclasses.asdict(stats):
+            failures.append(OracleFailure(
+                "cache_roundtrip", "cached stats differ from stored"))
+    if cache_dir is not None:
+        disk_hit = ScheduleCache(capacity=4, cache_dir=cache_dir).get(fingerprint)
+        if disk_hit is None or \
+                _slots_payload(disk_hit[0]) != _slots_payload(schedule):
+            failures.append(OracleFailure(
+                "cache_disk_roundtrip", "disk tier lost or changed the schedule"))
+
+    # Result wire round-trip: payload → JSON text → payload must be a
+    # fixed point (modulo the kind discriminator, which becomes "service").
+    result = InductionResult(
+        method="search", schedule=schedule, cost=stats.best_cost,
+        serial_cost=serial_cost, lockstep_cost=lockstep_schedule(region, model).cost(model),
+        stats=stats, wall_s=stats.wall_s)
+    payload = result_to_payload(result)
+    rebuilt = result_from_payload(json.loads(json.dumps(payload, sort_keys=True)))
+    payload2 = result_to_payload(rebuilt)
+    a = {k: v for k, v in payload.items() if k != "kind"}
+    b = {k: v for k, v in payload2.items() if k != "kind"}
+    if a != b:
+        diff = {k for k in set(a) | set(b) if a.get(k) != b.get(k)}
+        failures.append(OracleFailure(
+            "wire_roundtrip", f"payload changed through the wire: {sorted(diff)}"))
+
+    # Windowed stitching: the stitched schedule must be valid against the
+    # FULL region's DAGs (no cost claim — windowing restricts the space).
+    if region.num_ops >= 2:
+        windowed = _windowed_induce_impl(region, model, window_size=4,
+                                         config=config)
+        try:
+            verify_schedule(windowed.schedule, region, model, dags=dags,
+                            respect_order=config.respect_order)
+        except ScheduleError as exc:
+            failures.append(OracleFailure("windowed_valid", str(exc)))
+        recomputed = windowed.schedule.cost(model)
+        if abs(recomputed - windowed.cost) > _EPS:
+            failures.append(OracleFailure(
+                "windowed_cost",
+                f"windowed.cost={windowed.cost!r} recomputed={recomputed!r}"))
+
+    return failures
+
+
+def _check_program(case: FuzzCase) -> list[OracleFailure]:
+    """Folding on vs off must agree on every global after execution."""
+    from repro.interp import MIMDInterpreter
+    from repro.lang import compile_mimdc
+
+    failures: list[OracleFailure] = []
+    units = {}
+    for optimize in (True, False):
+        units[optimize] = compile_mimdc(case.source, optimize=optimize)
+
+    for optimize, unit in units.items():
+        for opcode, count in unit.counts.items():
+            if not (count >= 0.0 and np.isfinite(count)):
+                failures.append(OracleFailure(
+                    "counts_sane",
+                    f"optimize={optimize}: count[{opcode}]={count!r}"))
+
+    interps = {}
+    for optimize, unit in units.items():
+        interp = MIMDInterpreter(unit.program, 4, layout=unit.layout)
+        interp.run()
+        interps[optimize] = interp
+
+    for name, addr in units[True].globals_map.items():
+        folded = interps[True].peek_global(addr)
+        plain = interps[False].peek_global(units[False].globals_map[name])
+        if not np.array_equal(folded, plain):
+            failures.append(OracleFailure(
+                "fold_differential",
+                f"global {name!r}: folded={list(folded)} plain={list(plain)}"))
+    return failures
+
+
+def check_case(case: FuzzCase, workdir: Path | None = None,
+               engines: tuple[str, ...] = ("bitmask", "legacy")) -> list[OracleFailure]:
+    """Run every applicable oracle; an empty list means the case passed.
+
+    ``engines`` picks the search implementations a region case runs through;
+    cross-engine parity is only asserted when more than one is given.  Any
+    exception inside an oracle is itself a failure (generated inputs must
+    never crash the stack) and is reported as ``exception:<Type>``.
+    """
+    if not engines:
+        raise ValueError("need at least one engine")
+    try:
+        if case.kind == "program":
+            return _check_program(case)
+        return _check_region(case, workdir, tuple(engines))
+    except Exception as exc:
+        return [OracleFailure(f"exception:{type(exc).__name__}", repr(exc))]

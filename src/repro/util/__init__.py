@@ -1,6 +1,7 @@
 """Shared utilities: seeded RNG helpers, statistics, ASCII tables."""
 
-from repro.util.rng import make_rng, spawn_rngs
+from repro.util.rng import (SEED_ENV, derive_rng, make_rng, resolve_seed,
+                            spawn_rngs)
 from repro.util.stats import (
     confidence_interval,
     geometric_mean,
@@ -15,7 +16,10 @@ __all__ = [
     "format_table",
     "geometric_mean",
     "harmonic_mean",
+    "SEED_ENV",
+    "derive_rng",
     "make_rng",
+    "resolve_seed",
     "median_filter",
     "spawn_rngs",
     "summarize",

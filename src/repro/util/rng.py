@@ -8,9 +8,15 @@ single top-level seed.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
-__all__ = ["make_rng", "spawn_rngs"]
+__all__ = ["SEED_ENV", "derive_rng", "make_rng", "resolve_seed", "spawn_rngs"]
+
+#: Environment variable consulted by :func:`resolve_seed` — the single knob
+#: that reseeds the fuzzer and the randomized benchmark workloads alike.
+SEED_ENV = "REPRO_SEED"
 
 
 def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
@@ -23,6 +29,39 @@ def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generat
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def resolve_seed(seed: int | None = None, default: int | None = None) -> int:
+    """The root seed a run should actually use, resolved in priority order.
+
+    An explicit ``seed`` wins; otherwise ``$REPRO_SEED`` (so one environment
+    variable reseeds fuzz runs and benchmark workloads without touching any
+    flags); otherwise ``default``; otherwise fresh OS entropy.  Always
+    returns the concrete int used, so callers can print it and any reported
+    failure is reproducible from that line.
+    """
+    if seed is not None:
+        return int(seed)
+    env = os.environ.get(SEED_ENV)
+    if env is not None and env != "":
+        try:
+            return int(env)
+        except ValueError as exc:
+            raise ValueError(f"{SEED_ENV}={env!r} is not an integer") from exc
+    if default is not None:
+        return int(default)
+    return int(np.random.SeedSequence().entropy % (1 << 63))
+
+
+def derive_rng(seed: int, *keys: int) -> np.random.Generator:
+    """Independent child stream for ``(seed, *keys)``.
+
+    Unlike :func:`spawn_rngs`, the child is addressable: stream ``(seed, i)``
+    is identical no matter how many other streams were derived or how many
+    draws they consumed, which is what lets a fuzz failure report say
+    "reproduce case ``i`` from root seed ``s``".
+    """
+    return np.random.default_rng([int(seed), *(int(k) for k in keys)])
 
 
 def spawn_rngs(seed: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:

@@ -1,0 +1,100 @@
+"""Corpus round-trip tests plus the tier-1 regression replay.
+
+``tests/corpus/`` holds every fuzz finding (shrunk, as JSON).  Replaying the
+directory on each test run is what turns a one-off fuzz catch into a
+permanent regression test: an entry that fails here means a previously fixed
+bug is back.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.fuzz import (case_from_payload, case_to_payload, check_case,
+                        generate_case, load_corpus, save_failure)
+from repro.fuzz.oracles import OracleFailure
+
+CORPUS_DIR = pathlib.Path(__file__).resolve().parents[1] / "corpus"
+
+
+class TestPayloadRoundTrip:
+    def test_region_case_round_trips(self):
+        for index in range(30):
+            case = generate_case(21, index)
+            if case.kind != "region":
+                continue
+            back = case_from_payload(case_to_payload(case))
+            assert back.region == case.region
+            assert back.model == case.model
+            assert back.config == case.config
+
+    def test_program_case_round_trips(self):
+        found = False
+        for index in range(40):
+            case = generate_case(22, index)
+            if case.kind != "program":
+                continue
+            found = True
+            back = case_from_payload(case_to_payload(case))
+            assert back.source == case.source
+        assert found
+
+    def test_payload_survives_json_text(self):
+        case = generate_case(23, 0)
+        blob = json.dumps(case_to_payload(case), sort_keys=True)
+        back = case_from_payload(json.loads(blob))
+        assert case_to_payload(back) == case_to_payload(case)
+
+    def test_unknown_version_rejected(self):
+        payload = case_to_payload(generate_case(23, 0))
+        payload["version"] = 999
+        with pytest.raises(ValueError):
+            case_from_payload(payload)
+
+
+class TestSaveAndLoad:
+    def test_save_failure_writes_replayable_entry(self, tmp_path):
+        case = generate_case(24, 3)
+        failures = [OracleFailure("engine_counters", "synthetic")]
+        path = save_failure(tmp_path, case, failures)
+        assert path.parent == tmp_path
+        payload = json.loads(path.read_text())
+        assert payload["failures"][0]["oracle"] == "engine_counters"
+        assert payload["reproduce"] == "repro fuzz --seed 24 --cases 4"
+        (loaded_path, loaded), = load_corpus(tmp_path)
+        assert loaded_path == path
+        assert case_to_payload(loaded) == case_to_payload(case)
+
+    def test_save_failure_keeps_original_beside_shrunk(self, tmp_path):
+        import dataclasses
+        case = generate_case(24, 5)
+        if case.kind != "region":
+            case = generate_case(24, 0)
+        shrunk = dataclasses.replace(case, shrunk_from_ops=case.num_ops)
+        path = save_failure(tmp_path, case, [], shrunk=shrunk)
+        payload = json.loads(path.read_text())
+        assert "original" in payload
+        assert payload["case"]["shrunk_from_ops"] == case.num_ops
+
+    def test_load_missing_directory_is_empty(self, tmp_path):
+        assert load_corpus(tmp_path / "nope") == []
+
+
+class TestCorpusReplay:
+    """The tier-1 gate: every committed corpus entry must pass today."""
+
+    def test_corpus_exists_and_is_nonempty(self):
+        assert CORPUS_DIR.is_dir()
+        assert list(CORPUS_DIR.glob("*.json"))
+
+    @pytest.mark.parametrize(
+        "path", sorted(CORPUS_DIR.glob("*.json")),
+        ids=lambda p: p.name)
+    def test_corpus_entry_passes_all_oracles(self, path, tmp_path):
+        payload = json.loads(path.read_text())
+        case = case_from_payload(payload["case"])
+        failures = check_case(case, workdir=tmp_path)
+        assert failures == [], (
+            f"corpus regression {path.name} is failing again: "
+            + "; ".join(str(f) for f in failures))

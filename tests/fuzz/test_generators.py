@@ -1,0 +1,101 @@
+"""Tests for the fuzz case generators."""
+
+import pytest
+
+from repro.core.dag import build_dags
+from repro.fuzz import FuzzCase, GeneratorSpec, generate_case
+from repro.lang import compile_mimdc
+
+
+class TestDeterminism:
+    def test_same_seed_index_same_case(self):
+        for index in range(20):
+            assert generate_case(123, index) == generate_case(123, index)
+
+    def test_case_independent_of_generation_order(self):
+        # Case 7 must be identical whether or not cases 0..6 were generated.
+        fresh = generate_case(9, 7)
+        for i in range(7):
+            generate_case(9, i)
+        assert generate_case(9, 7) == fresh
+
+    def test_different_indices_differ(self):
+        cases = [generate_case(5, i) for i in range(10)]
+        assert len({repr(c) for c in cases}) > 1
+
+
+class TestRegionCases:
+    def test_respects_spec_bounds(self):
+        spec = GeneratorSpec(max_threads=2, max_ops=6, program_fraction=0.0,
+                             handler_fraction=0.0)
+        for index in range(50):
+            case = generate_case(1, index, spec)
+            assert case.kind == "region"
+            assert case.region.num_threads <= 2
+            assert case.region.num_ops <= 6
+
+    def test_regions_have_buildable_dags(self):
+        for index in range(30):
+            case = generate_case(2, index)
+            if case.kind != "region":
+                continue
+            dags = build_dags(case.region,
+                              respect_order=case.config.respect_order)
+            assert len(dags) == case.region.num_threads
+
+    def test_exhaustive_knobs_only_on_small_regions(self):
+        spec = GeneratorSpec()
+        for index in range(200):
+            case = generate_case(3, index, spec)
+            if case.kind != "region":
+                continue
+            if not case.config.maximal_merges_only or \
+                    case.config.branch_thread_choices:
+                assert case.region.num_ops <= spec.max_ops_exhaustive
+
+    def test_slot_costs_exactly_representable(self):
+        # The engines' counter parity relies on halves (see generators doc).
+        for index in range(60):
+            case = generate_case(4, index)
+            if case.kind != "region":
+                continue
+            model = case.model
+            costs = [model.default_cost, model.mask_overhead,
+                     *model.class_cost.values()]
+            assert all(2 * c == int(2 * c) for c in costs)
+
+
+class TestProgramCases:
+    def test_programs_compile_both_ways(self):
+        spec = GeneratorSpec(program_fraction=1.0)
+        for index in range(25):
+            case = generate_case(6, index, spec)
+            assert case.kind == "program"
+            compile_mimdc(case.source, optimize=True)
+            compile_mimdc(case.source, optimize=False)
+
+
+class TestValidation:
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorSpec(max_threads=0)
+        with pytest.raises(ValueError):
+            GeneratorSpec(max_ops=0)
+        with pytest.raises(ValueError):
+            GeneratorSpec(program_fraction=1.5)
+
+    def test_bad_case_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FuzzCase(kind="nope", seed=0, index=0)
+
+    def test_region_case_needs_parts(self):
+        with pytest.raises(ValueError):
+            FuzzCase(kind="region", seed=0, index=0)
+
+    def test_program_case_needs_source(self):
+        with pytest.raises(ValueError):
+            FuzzCase(kind="program", seed=0, index=0)
+
+    def test_describe_mentions_family(self):
+        case = generate_case(8, 0)
+        assert case.note in case.describe()

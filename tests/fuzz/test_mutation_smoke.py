@@ -1,0 +1,79 @@
+"""Mutation smoke test: the fuzzer must catch a deliberately broken engine.
+
+This is the fuzzer's own regression test.  A wrapper around the real bitmask
+engine silently flips one pruning knob (``use_cp_bound``) — a bug class the
+hand-written tests would miss because every schedule it produces is still
+*valid*; only the cross-engine counter parity can see it.  The fuzz loop has
+to (a) catch it within a bounded number of cases, (b) shrink the witness to
+a tiny region, and (c) persist a replayable corpus entry.
+"""
+
+import dataclasses
+import json
+
+import repro.core.search as search
+from repro.fuzz import (FuzzConfig, case_from_payload, check_case, fuzz_run,
+                        shrink_case)
+
+
+def _install_buggy_bitmask(monkeypatch):
+    real = search._ENGINE_IMPLS["bitmask"]
+
+    def buggy(region, model, config, dags, crit, stats, best_slots):
+        return real(region, model,
+                    dataclasses.replace(config, use_cp_bound=False),
+                    dags, crit, stats, best_slots)
+
+    monkeypatch.setitem(search._ENGINE_IMPLS, "bitmask", buggy)
+
+
+class TestMutationSmoke:
+    def test_injected_bug_is_caught_and_shrunk(self, monkeypatch, tmp_path):
+        _install_buggy_bitmask(monkeypatch)
+        corpus = tmp_path / "corpus"
+        report = fuzz_run(FuzzConfig(seed=7, cases=100, fail_fast=True,
+                                     corpus_dir=str(corpus)))
+
+        assert report.failures, "fuzzer missed the injected engine bug"
+        failure = report.failures[0]
+        oracles = {f.oracle for f in failure.failures}
+        assert oracles & {"engine_counters", "engine_schedule"}
+
+        # Acceptance bar: the witness shrinks to a tiny region.
+        assert failure.minimal.num_ops <= 8
+        assert failure.shrunk is not None
+        assert failure.shrunk.num_ops <= failure.case.num_ops
+
+        # The corpus entry replays to the same failing case.
+        paths = list(corpus.glob("*.json"))
+        assert len(paths) == 1
+        payload = json.loads(paths[0].read_text())
+        replayed = case_from_payload(payload["case"])
+        assert check_case(replayed), "corpus entry no longer reproduces"
+        assert payload["reproduce"].startswith("repro fuzz --seed 7")
+
+    def test_fix_clears_the_corpus_entry(self, monkeypatch, tmp_path):
+        # With the bug installed, persist the finding...
+        _install_buggy_bitmask(monkeypatch)
+        corpus = tmp_path / "corpus"
+        report = fuzz_run(FuzzConfig(seed=7, cases=100, fail_fast=True,
+                                     corpus_dir=str(corpus)))
+        assert report.failures
+        monkeypatch.undo()
+
+        # ...then "fix" the engine: the replay must now pass, which is
+        # exactly what the tier-1 corpus replay test enforces forever.
+        path = next(corpus.glob("*.json"))
+        case = case_from_payload(json.loads(path.read_text())["case"])
+        assert check_case(case) == []
+
+    def test_shrinker_respects_same_oracle(self, monkeypatch):
+        _install_buggy_bitmask(monkeypatch)
+        report = fuzz_run(FuzzConfig(seed=7, cases=100, fail_fast=True,
+                                     shrink=False))
+        assert report.failures
+        failure = report.failures[0]
+        shrunk = shrink_case(failure.case, list(failure.failures))
+        kept = {f.oracle for f in check_case(shrunk)}
+        wanted = {f.oracle for f in failure.failures}
+        assert kept & wanted, "shrunk case fails a different oracle"

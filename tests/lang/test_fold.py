@@ -110,3 +110,76 @@ class TestStatementFolding:
         fold_program(tree)
         inner = tree.functions[0].body.stats[0].stats[0]
         assert inner.value.value == 6
+
+
+class TestFoldEdgeCases:
+    """Shapes surfaced by generated programs (the `repro fuzz` families)."""
+
+    @pytest.mark.parametrize("expr, expected", [
+        ("10 / (5 - 5)", 0),        # divisor folds to zero first
+        ("10 % (2 - 2)", 0),
+        ("0 / 0", 0),
+        ("-7 % 2", -1),             # C truncation both signs
+        ("7 % -2", 1),
+        ("-7 / -2", 3),
+    ])
+    def test_div_mod_by_folded_zero(self, expr, expected):
+        out = folded_return(f"int main() {{ return {expr}; }}")
+        assert isinstance(out, ast.IntLit) and out.value == expected
+
+    def test_float_div_by_zero_folds_to_zero(self):
+        out = folded_return("float main() { return 1.5 / 0.0; }")
+        assert isinstance(out, ast.FloatLit) and out.value == 0.0
+
+    @pytest.mark.parametrize("expr, expected", [
+        ("1 << 64", 1),             # shift counts mask to 6 bits, like the ISA
+        ("1 << 65", 2),
+        ("256 >> 70", 4),
+        ("1 << 63", 1 << 63),       # folding is exact (arbitrary precision)
+    ])
+    def test_shift_count_masking(self, expr, expected):
+        out = folded_return(f"int main() {{ return {expr}; }}")
+        assert isinstance(out, ast.IntLit) and out.value == expected
+
+    @pytest.mark.parametrize("expr, expected", [
+        ("!!5", 1),
+        ("!!0", 0),
+        ("!(!(!7))", 0),
+        ("-(-(3))", 3),
+        ("-(-(-3))", -3),
+    ])
+    def test_nested_unary_folds(self, expr, expected):
+        out = folded_return(f"int main() {{ return {expr}; }}")
+        assert isinstance(out, ast.IntLit) and out.value == expected
+
+    def test_triple_negation_of_var_simplifies_once(self):
+        # --x collapses; the remaining single negation must survive.
+        out = folded_return("int x; int main() { return -(-(-x)); }")
+        assert isinstance(out, ast.Unary) and out.op == "-"
+        assert isinstance(out.operand, ast.VarRef)
+
+    def test_not_of_folded_zero_is_int(self):
+        out = folded_return("int main() { return !(2 - 2); }")
+        assert isinstance(out, ast.IntLit) and out.value == 1
+        assert out.type.base == "int"
+
+    def test_large_constant_fold_is_exact(self):
+        out = folded_return("int main() { return (1 << 62) + (1 << 62); }")
+        assert isinstance(out, ast.IntLit) and out.value == 1 << 63
+
+    def test_folded_and_unfolded_agree_at_runtime_on_div_by_zero(self):
+        # The fold's defined 0 result must match the machine's (fuzz oracle
+        # family `program`, pinned here as a direct regression test).
+        from repro.interp import MIMDInterpreter
+        from repro.lang import compile_mimdc
+
+        src = ("int result;\n"
+               "int main() { result = (this + 3) / (this - this); "
+               "return result; }\n")
+        values = []
+        for optimize in (True, False):
+            unit = compile_mimdc(src, optimize=optimize)
+            interp = MIMDInterpreter(unit.program, 4, layout=unit.layout)
+            interp.run()
+            values.append(list(interp.peek_global(unit.address_of("result"))))
+        assert values[0] == values[1] == [0, 0, 0, 0]

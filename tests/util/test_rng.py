@@ -43,3 +43,67 @@ def test_spawn_rngs_zero():
 def test_spawn_rngs_negative_raises():
     with pytest.raises(ValueError):
         spawn_rngs(1, -1)
+
+
+class TestResolveSeed:
+    def test_explicit_seed_wins(self, monkeypatch):
+        from repro.util import SEED_ENV, resolve_seed
+        monkeypatch.setenv(SEED_ENV, "111")
+        assert resolve_seed(42) == 42
+
+    def test_env_var_beats_default(self, monkeypatch):
+        from repro.util import SEED_ENV, resolve_seed
+        monkeypatch.setenv(SEED_ENV, "111")
+        assert resolve_seed(default=5) == 111
+
+    def test_default_used_when_env_absent(self, monkeypatch):
+        from repro.util import SEED_ENV, resolve_seed
+        monkeypatch.delenv(SEED_ENV, raising=False)
+        assert resolve_seed(default=5) == 5
+
+    def test_entropy_fallback_is_an_int(self, monkeypatch):
+        from repro.util import SEED_ENV, resolve_seed
+        monkeypatch.delenv(SEED_ENV, raising=False)
+        seed = resolve_seed()
+        assert isinstance(seed, int) and seed >= 0
+
+    def test_bad_env_value_raises(self, monkeypatch):
+        from repro.util import SEED_ENV, resolve_seed
+        monkeypatch.setenv(SEED_ENV, "not-a-seed")
+        with pytest.raises(ValueError, match=SEED_ENV):
+            resolve_seed()
+
+    def test_empty_env_value_ignored(self, monkeypatch):
+        from repro.util import SEED_ENV, resolve_seed
+        monkeypatch.setenv(SEED_ENV, "")
+        assert resolve_seed(default=9) == 9
+
+
+class TestDeriveRng:
+    def test_addressable_streams(self):
+        from repro.util import derive_rng
+        a = derive_rng(42, 3).integers(0, 10**9, size=8)
+        b = derive_rng(42, 3).integers(0, 10**9, size=8)
+        assert np.array_equal(a, b)
+
+    def test_independent_of_sibling_consumption(self):
+        from repro.util import derive_rng
+        expected = derive_rng(42, 7).integers(0, 10**9, size=8)
+        for key in range(7):
+            derive_rng(42, key).integers(0, 10**9, size=100)
+        assert np.array_equal(derive_rng(42, 7).integers(0, 10**9, size=8),
+                              expected)
+
+    def test_keys_change_the_stream(self):
+        from repro.util import derive_rng
+        a = derive_rng(1, 0).integers(0, 10**9, size=16)
+        b = derive_rng(1, 1).integers(0, 10**9, size=16)
+        c = derive_rng(2, 0).integers(0, 10**9, size=16)
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_multiple_keys(self):
+        from repro.util import derive_rng
+        a = derive_rng(5, 1, 2).integers(0, 10**9, size=8)
+        b = derive_rng(5, 1, 2).integers(0, 10**9, size=8)
+        assert np.array_equal(a, b)
