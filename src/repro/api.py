@@ -15,11 +15,15 @@ Routing rules, in order:
 
 1. ``client`` given (a :class:`repro.service.ServiceClient` or an address
    string) — the request is submitted to a running ``repro serve`` daemon;
-2. ``deadline_s`` set — the request runs in a supervised one-shot worker
+2. ``method="portfolio"`` — the strategy race
+   (:func:`repro.core.portfolio.run_portfolio`), which enforces its own
+   ``deadline_s`` cooperatively and returns the best verified schedule
+   found by any strategy;
+3. ``deadline_s`` set — the request runs in a supervised one-shot worker
    process that is killed at the deadline, degrading to the greedy
    schedule (``degraded=True``, never an error);
-3. ``window > 0`` — windowed induction with optional process-pool fan-out;
-4. otherwise — one-shot induction.
+4. ``window > 0`` — windowed induction with optional process-pool fan-out;
+5. otherwise — one-shot induction.
 
 Every route returns an object implementing the unified result protocol
 (:class:`repro.core.result.ResultBase`), so callers never special-case
@@ -40,11 +44,21 @@ from repro.core.search import ENGINES, SearchConfig
 from repro.core.window import WindowedResult, _windowed_induce_impl
 from repro.obs import Tracer
 
-__all__ = ["InductionRequest", "induce"]
+__all__ = ["InductionRequest", "REQUEST_METHODS", "induce"]
 
 #: Named cost models accepted anywhere a :class:`CostModel` is expected
 #: (including over the service wire).
 NAMED_MODELS = ("maspar", "uniform")
+
+#: Methods accepted by :class:`InductionRequest`: every pipeline method
+#: plus ``portfolio`` (the strategy race, which routes through
+#: :func:`repro.core.portfolio.run_portfolio` rather than the pipeline).
+REQUEST_METHODS = METHODS + ("portfolio",)
+
+#: Methods for which an ``engine=`` override actually reaches a search.
+#: Everything else would silently ignore it, so the request rejects the
+#: combination instead.
+_ENGINE_METHODS = ("search", "portfolio")
 
 
 @dataclass
@@ -74,11 +88,17 @@ class InductionRequest:
     verify: bool = True
     cache: ScheduleCache | None = None
     tracer: Tracer | None = None
+    #: Optional :class:`repro.sched.StrategyOutcomesStore` consulted and
+    #: updated by ``method="portfolio"`` races.  A live handle like
+    #: ``cache``/``tracer`` — never crosses a process boundary (the service
+    #: keeps its own store server-side).
+    strategy_store: object | None = None
 
     def __post_init__(self) -> None:
-        if self.method not in METHODS:
+        if self.method not in REQUEST_METHODS:
             raise ValueError(
-                f"unknown method {self.method!r}; expected one of {METHODS}")
+                f"unknown method {self.method!r}; expected one of "
+                f"{REQUEST_METHODS}")
         if self.window < 0:
             raise ValueError(f"window must be >= 0, got {self.window}")
         if self.window and self.method != "search":
@@ -89,6 +109,11 @@ class InductionRequest:
             raise ValueError(
                 f"unknown search engine {self.engine!r}; expected one of "
                 f"{ENGINES}")
+        if self.engine is not None and self.method not in _ENGINE_METHODS:
+            raise ValueError(
+                f"engine={self.engine!r} has no effect with "
+                f"method={self.method!r} (no search runs); only "
+                f"{_ENGINE_METHODS} accept an engine override")
 
     def resolved_region(self) -> Region:
         return parse_region(self.region) if isinstance(self.region, str) \
@@ -131,11 +156,24 @@ class InductionRequest:
         return dataclasses.replace(self, **changes)
 
 
-def _execute_local(request: InductionRequest) -> InductionResult | WindowedResult:
-    """Run the request in this process (routes window vs one-shot)."""
+def _execute_local(request: InductionRequest,
+                   portfolio_order=None, portfolio_skip=None) -> ResultBase:
+    """Run the request in this process (portfolio vs window vs one-shot).
+
+    ``portfolio_order``/``portfolio_skip`` are selector hints injected by
+    the service worker path (the server consults its outcomes store and
+    ships the ranking over the wire since the store handle itself cannot).
+    """
     region = request.resolved_region()
     model = request.resolved_model()
     config = request.resolved_config()
+    if request.method == "portfolio":
+        from repro.core.portfolio import run_portfolio
+        return run_portfolio(
+            region, model, config, deadline_s=request.deadline_s,
+            verify=request.verify, order=portfolio_order,
+            skip=portfolio_skip, store=request.strategy_store,
+            tracer=request.tracer)
     if request.window:
         return _windowed_induce_impl(
             region, model, window_size=request.window, config=config,
@@ -163,6 +201,11 @@ def induce(request: InductionRequest, client=None) -> ResultBase:
             with ServiceClient(client) as live:
                 return live.submit(request)
         return client.submit(request)
+    if request.method == "portfolio":
+        # The race enforces its own deadline cooperatively (best verified
+        # schedule so far, not a degraded greedy), so it never needs the
+        # supervised-worker kill path.
+        return _execute_local(request)
     if request.deadline_s is not None:
         from repro.service.workers import run_local_with_deadline
         return run_local_with_deadline(request)

@@ -12,6 +12,8 @@ Mirrors the user-facing surface of the 1992 prototype:
   JSONL search trace (``--trace``);
 - ``stats``    — summarize a ``--trace`` file (nodes, prunes, cache hit
   rate, wall time, per-field p50/p90/p99);
+- ``strategies`` — inspect a portfolio strategy-outcomes store (per-bucket
+  win rates, time-to-best, skip set) written by ``--strategy-store``;
 - ``trace``    — render the hierarchical span trees in a ``--trace`` file
   (one tree per trace id, with per-phase self-time percentages);
 - ``select``   — the "master shell script" step of §4.3: compute expected
@@ -101,6 +103,23 @@ def _describe_result(result) -> list[str]:
                      f"{d['nodes']} nodes, jobs={d['jobs']}, "
                      f"cache_hits={d['cache_hits']}, "
                      f"all_optimal={d['optimal']}, wall={d['wall_s']:.3f}s")
+    elif d.get("portfolio"):
+        info = d["portfolio"]
+        lines.append(f"portfolio: winner={d.get('winner') or 'fallback'} "
+                     f"bucket={info['bucket']} "
+                     f"lower_bound={info['lower_bound']:.1f} "
+                     f"proven={info['proven']}")
+        for o in info["outcomes"]:
+            if o.get("skipped"):
+                status = "skipped (historical loser)"
+            elif o.get("error"):
+                status = f"error: {o['error']}"
+            elif o.get("cost") is None:
+                status = "no schedule before deadline"
+            else:
+                status = (f"cost={o['cost']:.1f} "
+                          f"in {o['time_to_best_s'] * 1e3:.1f}ms")
+            lines.append(f"  {o['strategy']:8s} {status}")
     elif result.search_stats:
         lines.append(f"search: {d['nodes']} nodes, optimal={d['optimal']}")
     return lines
@@ -130,6 +149,9 @@ def _cmd_induce(args) -> int:
     request = _build_request(args, open(args.region).read())
     request.cache = cache
     request.tracer = tracer
+    if getattr(args, "strategy_store", None):
+        from repro.sched import StrategyOutcomesStore
+        request.strategy_store = StrategyOutcomesStore(args.strategy_store)
     try:
         result = api.induce(request)
         for line in _describe_result(result):
@@ -182,7 +204,12 @@ def _cmd_serve(args) -> int:
         default_deadline_s=args.deadline,
         allow_chaos=args.allow_chaos,
     )
-    server = InductionServer(config, cache=cache, tracer=tracer)
+    store = None
+    if args.strategy_store:
+        from repro.sched import StrategyOutcomesStore
+        store = StrategyOutcomesStore(args.strategy_store)
+    server = InductionServer(config, cache=cache, tracer=tracer,
+                             strategy_store=store)
     print(f"induction service listening on {server.address} "
           f"(workers={config.workers}, queue={config.queue_size})", flush=True)
     if args.metrics_port is not None:
@@ -257,6 +284,20 @@ def _cmd_submit(args) -> int:
         if tracer is not None:
             tracer.close()
     return 0 if busy == 0 else 1
+
+
+def _cmd_strategies(args) -> int:
+    import os
+
+    from repro.sched import StrategyOutcomesStore
+
+    if not os.path.exists(args.store):
+        print(f"no strategy-outcomes store at {args.store}")
+        return 1
+    store = StrategyOutcomesStore(args.store)
+    print(store.render())
+    print(f"({store.races} races recorded in {args.store})")
+    return 0
 
 
 def _cmd_stats(args) -> int:
@@ -422,7 +463,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("induce", help="run CSI on a textual region file")
     p.add_argument("region", help="region file (parse_region syntax)")
     p.add_argument("--method", default="search",
-                   choices=["search", "greedy", "anneal", "factor", "lockstep", "serial"])
+                   choices=["search", "greedy", "anneal", "factor",
+                            "lockstep", "serial", "portfolio"])
     p.add_argument("--model", default="maspar", choices=["maspar", "uniform"])
     p.add_argument("--budget", type=int, default=100_000)
     p.add_argument("--engine", default=None, choices=["bitmask", "legacy"],
@@ -439,6 +481,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="append one JSONL trace event per search/window to FILE")
     p.add_argument("--cache-dir", metavar="DIR",
                    help="persistent schedule cache directory (content-addressed)")
+    p.add_argument("--strategy-store", metavar="FILE",
+                   help="persistent strategy-outcomes store consulted and "
+                        "updated by --method portfolio")
     p.set_defaults(fn=_cmd_induce)
 
     p = sub.add_parser(
@@ -457,6 +502,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="append one JSONL trace event per service batch/request")
     p.add_argument("--cache-dir", metavar="DIR",
                    help="persistent schedule cache directory (content-addressed)")
+    p.add_argument("--strategy-store", metavar="FILE",
+                   help="persistent strategy-outcomes store driving portfolio "
+                        "strategy selection (inspect with `repro strategies`)")
     p.add_argument("--allow-chaos", action="store_true",
                    help="honour client fault injection (tests only)")
     p.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
@@ -477,7 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="service address (unix-socket path or host:port)")
     p.add_argument("--method", default="search",
                    choices=["search", "greedy", "anneal", "factor",
-                            "lockstep", "serial"])
+                            "lockstep", "serial", "portfolio"])
     p.add_argument("--model", default="maspar", choices=["maspar", "uniform"])
     p.add_argument("--budget", type=int, default=100_000)
     p.add_argument("--engine", default=None, choices=["bitmask", "legacy"],
@@ -496,6 +544,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--concurrency", type=int, default=1,
                    help="client threads submitting in parallel")
     p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser(
+        "strategies",
+        help="inspect a portfolio strategy-outcomes store (win rates, skips)")
+    p.add_argument("store", help="outcomes-store JSON file "
+                                 "(--strategy-store of induce/serve)")
+    p.set_defaults(fn=_cmd_strategies)
 
     p = sub.add_parser("stats", help="summarize a JSONL trace file")
     p.add_argument("trace", help="trace file written by --trace")

@@ -32,6 +32,12 @@ from repro.core.greedy import greedy_schedule
 from repro.core.lower import MaskedInstruction, lower_schedule, render_simd_code
 from repro.core.ops import Operation, Region, ThreadCode, parse_region
 from repro.core.pipeline import InductionResult, induce
+from repro.core.portfolio import (
+    PORTFOLIO_STRATEGIES,
+    PortfolioResult,
+    StrategyOutcome,
+    run_portfolio,
+)
 from repro.core.result import (
     ResultBase,
     ServiceResult,
@@ -51,12 +57,15 @@ __all__ = [
     "InductionResult",
     "MaskedInstruction",
     "Operation",
+    "PORTFOLIO_STRATEGIES",
+    "PortfolioResult",
     "Region",
     "Schedule",
     "ScheduleCache",
     "ScheduleError",
     "SearchStats",
     "Slot",
+    "StrategyOutcome",
     "ThreadCode",
     "anneal_schedule",
     "branch_and_bound",
@@ -72,6 +81,7 @@ __all__ = [
     "render_simd_code",
     "result_from_payload",
     "result_to_payload",
+    "run_portfolio",
     "ResultBase",
     "ServiceResult",
     "schedule_from_payload",

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -23,7 +24,7 @@ from repro.core.costmodel import CostModel
 from repro.core.dag import DependenceDAG, build_dags
 from repro.core.ops import Region
 from repro.core.schedule import Schedule, Slot
-from repro.util.rng import make_rng
+from repro.util.rng import make_rng, resolve_seed
 
 __all__ = ["AnnealStats", "anneal_schedule"]
 
@@ -78,23 +79,34 @@ def _keyed_schedule(
 def anneal_schedule(
     region: Region,
     model: CostModel,
-    seed: int | np.random.Generator | None = 0,
+    seed: int | np.random.Generator | None = None,
     steps: int = 400,
     initial_temperature: float | None = None,
     cooling: float = 0.99,
     respect_order: bool = False,
     dags: tuple[DependenceDAG, ...] | None = None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> tuple[Schedule, AnnealStats]:
     """Anneal op priorities; returns the best schedule seen and stats.
 
     Priorities start at the ops' remaining critical paths (so step 0
     reproduces the greedy heuristic's preference) and drift from there.
-    Deterministic for a given seed.
+    Deterministic for a given seed.  ``seed=None`` resolves through
+    :func:`repro.util.rng.resolve_seed` — ``$REPRO_SEED`` when set, else
+    the historical default of 0 — so the single seed knob that drives the
+    fuzzer and the benchmarks reaches the annealer too (previously a
+    hardcoded ``seed=0`` default silently ignored it).
+
+    ``should_stop`` (polled once per step) requests a cooperative early
+    exit with the best schedule found so far — used by the portfolio racer
+    to cancel a losing anneal and to honor deadlines.
     """
     if steps < 0:
         raise ValueError(f"negative step count {steps}")
     if not 0.0 < cooling <= 1.0:
         raise ValueError(f"cooling must be in (0, 1], got {cooling}")
+    if seed is None:
+        seed = resolve_seed(default=0)
     rng = make_rng(seed)
     if dags is None:
         dags = build_dags(region, respect_order=respect_order)
@@ -116,6 +128,8 @@ def anneal_schedule(
     temperature = initial_temperature if initial_temperature is not None else 2.0 * scale
 
     for _ in range(steps):
+        if should_stop is not None and should_stop():
+            break
         stats.steps += 1
         t, i = op_keys[int(rng.integers(len(op_keys)))]
         old = priority[(t, i)]

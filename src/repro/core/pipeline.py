@@ -34,6 +34,7 @@ from repro.core.serial import lockstep_schedule, serial_schedule
 from repro.core.verify import verify_schedule
 from repro.obs import NULL_TRACER, StopWatch, Tracer, span
 from repro.obs.metrics import get_registry, observe_search_throughput
+from repro.util.rng import resolve_seed
 
 __all__ = ["InductionResult", "METHODS", "induce"]
 
@@ -70,7 +71,10 @@ def _build_schedule(
     elif method == "greedy":
         schedule = greedy_schedule(region, model, respect_order=respect_order)
     elif method == "anneal":
+        # Resolve the seed here (explicit None -> $REPRO_SEED -> 0) so the
+        # single seed knob reaches the annealer like every other RNG user.
         schedule, _astats = anneal_schedule(region, model,
+                                            seed=resolve_seed(default=0),
                                             respect_order=respect_order)
     elif method == "factor":
         schedule = factor_schedule(region, model)

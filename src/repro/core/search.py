@@ -56,6 +56,7 @@ import itertools
 from dataclasses import dataclass, field
 from operator import itemgetter
 from time import perf_counter
+from typing import Callable
 
 from repro.core.costmodel import CostModel, MergeKeyTable, merge_key_sort_key
 from repro.core.dag import DependenceDAG, ReadyIndex, build_dags
@@ -133,6 +134,7 @@ class _SearchCtx:
     stats: SearchStats
     best_slots: list[Slot] = field(default_factory=list)
     memo: dict[tuple[frozenset[int], ...], float] = field(default_factory=dict)
+    should_stop: Callable[[], bool] | None = None
 
 
 def _lower_bound(
@@ -224,6 +226,14 @@ def _dfs(
     if stats.nodes_expanded >= config.node_budget:
         stats.budget_exhausted = True
         return
+    # Cooperative cancellation (portfolio racing, deadlines): polled every
+    # 256 nodes so the callback costs nothing on the hot path.  A stopped
+    # search reports ``budget_exhausted`` — the anytime contract is the
+    # same whether the budget ran out or the caller lost interest.
+    if (ctx.should_stop is not None
+            and not (stats.nodes_expanded & 255) and ctx.should_stop()):
+        stats.budget_exhausted = True
+        return
     stats.nodes_expanded += 1
 
     if cost + _lower_bound(ctx, done, key_counts) >= stats.best_cost:
@@ -266,10 +276,12 @@ def _legacy_search(
     crit: tuple[tuple[float, ...], ...],
     stats: SearchStats,
     best_slots: list[Slot],
+    should_stop: Callable[[], bool] | None = None,
 ) -> list[Slot]:
     """Run the reference engine; returns the best slot list found."""
     ctx = _SearchCtx(region=region, model=model, dags=dags, crit=crit,
-                     config=config, stats=stats, best_slots=best_slots)
+                     config=config, stats=stats, best_slots=best_slots,
+                     should_stop=should_stop)
     key_counts: dict[tuple, list[int]] = {}
     for t, tc in enumerate(region.threads):
         for op in tc.ops:
@@ -295,6 +307,7 @@ def _bitmask_search(
     crit: tuple[tuple[float, ...], ...],
     stats: SearchStats,
     best_slots: list[Slot],
+    should_stop: Callable[[], bool] | None = None,
 ) -> list[Slot]:
     """Run the bitmask engine; returns the best slot list found.
 
@@ -606,6 +619,11 @@ def _bitmask_search(
         if nodes_expanded >= node_budget:
             budget_exhausted = True
             continue
+        # Same cooperative-cancellation poll cadence as the legacy engine.
+        if (should_stop is not None and not (nodes_expanded & 255)
+                and should_stop()):
+            budget_exhausted = True
+            continue
         nodes_expanded += 1
 
         bound = 0.0
@@ -652,6 +670,7 @@ def branch_and_bound(
     model: CostModel,
     config: SearchConfig | None = None,
     dags: tuple[DependenceDAG, ...] | None = None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> tuple[Schedule, SearchStats]:
     """Run the CSI search; returns the best schedule found and statistics.
 
@@ -665,6 +684,12 @@ def branch_and_bound(
     ``config.engine`` selects the implementation: ``"bitmask"`` (default,
     the fast path) or ``"legacy"`` (the reference oracle) — both return
     identical schedules, costs and pruning counters.
+
+    ``should_stop`` (optional, polled every 256 expanded nodes) requests a
+    cooperative early exit: the search returns its incumbent best-so-far
+    with ``budget_exhausted=True``, exactly like running out of node
+    budget.  The portfolio racer uses this to cancel losing strategies and
+    to honor deadlines without killing the process.
     """
     t_start = perf_counter()
     config = config or SearchConfig()
@@ -680,7 +705,8 @@ def branch_and_bound(
         best_slots = list(incumbent.slots)
 
     best_slots = _ENGINE_IMPLS[config.engine](
-        region, model, config, dags, crit, stats, best_slots)
+        region, model, config, dags, crit, stats, best_slots,
+        should_stop=should_stop)
 
     stats.optimal = not stats.budget_exhausted
     stats.wall_s = perf_counter() - t_start

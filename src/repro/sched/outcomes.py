@@ -1,0 +1,308 @@
+"""Persistent strategy-outcomes store for portfolio racing.
+
+The portfolio racer (:mod:`repro.core.portfolio`) runs several induction
+strategies concurrently and keeps the best verified schedule.  Every race
+also produces a training example — *for this kind of region, which strategy
+won, how fast, and how far behind was everyone else* — and this module is
+where those examples accumulate so later races start smarter:
+
+- :class:`StrategyStats` aggregates one ``(feature bucket, strategy)``
+  cell: races entered, races won, total time-to-best, total cost ratio
+  versus the race winner;
+- :class:`StrategyOutcomesStore` keeps the whole table, thread-safe,
+  optionally persisted as one JSON file (atomic replace on every record,
+  so a killed process never leaves a torn table);
+- :meth:`StrategyOutcomesStore.rank` turns the table into an ordered
+  strategy list plus a *skip set* — proven losers (enough races, zero
+  wins, consistently off the winning cost) that future races should not
+  spend cycles on.
+
+The store deliberately knows nothing about regions or schedules: callers
+hand it a *feature bucket* (a coarse string key derived from the region's
+feature vector, see :func:`repro.core.portfolio.feature_bucket`) and plain
+per-strategy numbers.  That keeps this module dependency-free and the
+schema stable on disk.
+
+Disk schema (version 1)::
+
+    {
+      "version": 1,
+      "buckets": {
+        "<bucket>": {
+          "<strategy>": {"races": 12, "wins": 9, "ttb_total_s": 1.84,
+                          "cost_ratio_total": 12.31, "best_ttb_s": 0.05}
+        }
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["StrategyOutcomesStore", "StrategyStats"]
+
+#: Schema version written to (and required from) the JSON file.
+STORE_VERSION = 1
+
+#: A strategy becomes skippable only after this many races in a bucket —
+#: below that the evidence is noise, not history.
+MIN_RACES_TO_SKIP = 3
+
+#: Mean cost ratio (strategy cost / winning cost) above which a zero-win
+#: strategy counts as a historical loser.  1.0 means "always ties the
+#: winner"; ties are kept racing because they are nearly free insurance.
+SKIP_COST_RATIO = 1.02
+
+#: Prior win rate assigned to a strategy with no recorded races, ranking
+#: fresh strategies below proven winners but above proven losers.
+UNSEEN_PRIOR = 0.10
+
+
+@dataclass
+class StrategyStats:
+    """Aggregated outcomes of one strategy inside one feature bucket."""
+
+    races: int = 0
+    wins: int = 0
+    ttb_total_s: float = 0.0
+    cost_ratio_total: float = 0.0
+    best_ttb_s: float = float("inf")
+
+    @property
+    def win_rate(self) -> float:
+        return self.wins / self.races if self.races else 0.0
+
+    @property
+    def mean_ttb_s(self) -> float:
+        return self.ttb_total_s / self.races if self.races else float("inf")
+
+    @property
+    def mean_cost_ratio(self) -> float:
+        return self.cost_ratio_total / self.races if self.races else float("inf")
+
+    def as_dict(self) -> dict:
+        return {
+            "races": self.races,
+            "wins": self.wins,
+            "ttb_total_s": self.ttb_total_s,
+            "cost_ratio_total": self.cost_ratio_total,
+            "best_ttb_s": self.best_ttb_s if self.best_ttb_s != float("inf")
+            else None,
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping) -> "StrategyStats":
+        best = payload.get("best_ttb_s")
+        return StrategyStats(
+            races=int(payload.get("races", 0)),
+            wins=int(payload.get("wins", 0)),
+            ttb_total_s=float(payload.get("ttb_total_s", 0.0)),
+            cost_ratio_total=float(payload.get("cost_ratio_total", 0.0)),
+            best_ttb_s=float("inf") if best is None else float(best),
+        )
+
+
+@dataclass
+class _Observation:
+    """One strategy's contribution to one race (input to ``record``)."""
+
+    strategy: str
+    cost: float | None = None
+    time_to_best_s: float | None = None
+    finished: bool = False
+
+
+class StrategyOutcomesStore:
+    """Thread-safe (bucket, strategy) outcome table with JSON persistence.
+
+    ``path=None`` keeps the table in memory only (tests, one-shot CLI runs
+    without ``--strategy-store``).  With a path, the file is loaded at
+    construction and atomically rewritten after every :meth:`record`, so
+    the table survives service restarts — the self-improving flywheel the
+    ROADMAP asks for.
+    """
+
+    def __init__(self, path: str | None = None) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._buckets: dict[str, dict[str, StrategyStats]] = {}
+        if path is not None and os.path.exists(path):
+            self._load(path)
+
+    # -- persistence -------------------------------------------------------
+
+    def _load(self, path: str) -> None:
+        with open(path) as fh:
+            payload = json.load(fh)
+        if payload.get("version") != STORE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported outcomes-store version "
+                f"{payload.get('version')!r} (expected {STORE_VERSION})")
+        for bucket, strategies in payload.get("buckets", {}).items():
+            cell = self._buckets.setdefault(str(bucket), {})
+            for strategy, stats in strategies.items():
+                cell[str(strategy)] = StrategyStats.from_dict(stats)
+
+    def _persist_locked(self) -> None:
+        if self.path is None:
+            return
+        payload = {
+            "version": STORE_VERSION,
+            "buckets": {
+                bucket: {name: stats.as_dict()
+                         for name, stats in sorted(strategies.items())}
+                for bucket, strategies in sorted(self._buckets.items())
+            },
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(prefix=".outcomes-", dir=directory)
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, bucket: str, winner: str | None,
+               outcomes: Iterable[Mapping]) -> None:
+        """Fold one race into the table (and onto disk, if persistent).
+
+        ``outcomes`` is an iterable of per-strategy mappings with keys
+        ``strategy``, ``cost``, ``time_to_best_s`` and ``finished`` —
+        exactly the shape the portfolio racer puts into its result payload,
+        so server-side recording is ``store.record(bucket, winner,
+        extras["portfolio"]["outcomes"])`` with no translation layer.
+        Strategies that produced no schedule still count a race (they
+        consumed their slot and lost it); entries marked ``skipped`` did
+        not race at all and are ignored, so the skip set cannot compound
+        its own evidence.
+        """
+        observations = [
+            _Observation(
+                strategy=str(o["strategy"]),
+                cost=None if o.get("cost") is None else float(o["cost"]),
+                time_to_best_s=None if o.get("time_to_best_s") is None
+                else float(o["time_to_best_s"]),
+                finished=bool(o.get("finished")),
+            )
+            for o in outcomes
+            if not o.get("skipped")
+        ]
+        winning_costs = [o.cost for o in observations
+                         if o.strategy == winner and o.cost is not None]
+        winning_cost = winning_costs[0] if winning_costs else None
+        with self._lock:
+            cell = self._buckets.setdefault(str(bucket), {})
+            for obs in observations:
+                stats = cell.setdefault(obs.strategy, StrategyStats())
+                stats.races += 1
+                if obs.strategy == winner:
+                    stats.wins += 1
+                if obs.time_to_best_s is not None:
+                    stats.ttb_total_s += obs.time_to_best_s
+                    stats.best_ttb_s = min(stats.best_ttb_s, obs.time_to_best_s)
+                if obs.cost is not None and winning_cost:
+                    stats.cost_ratio_total += obs.cost / winning_cost
+                elif obs.cost is not None and winning_cost == 0.0:
+                    stats.cost_ratio_total += 1.0
+                else:
+                    # No schedule produced: maximally bad ratio so chronic
+                    # non-finishers trend toward the skip set.
+                    stats.cost_ratio_total += SKIP_COST_RATIO + 1.0
+            self._persist_locked()
+
+    # -- selection ---------------------------------------------------------
+
+    def rank(self, bucket: str,
+             strategies: Sequence[str]) -> tuple[list[str], set[str]]:
+        """Order ``strategies`` best-first for ``bucket`` and name the skips.
+
+        Ranking key: win rate (descending; unseen strategies take the
+        :data:`UNSEEN_PRIOR`), then mean time-to-best (ascending), then the
+        caller's canonical order as the deterministic tie-break.  The skip
+        set contains historical losers — at least :data:`MIN_RACES_TO_SKIP`
+        races, zero wins, mean cost ratio beyond :data:`SKIP_COST_RATIO` —
+        but never the top-ranked strategy, so a store full of losses can
+        never empty the race.
+        """
+        with self._lock:
+            cell = dict(self._buckets.get(str(bucket), {}))
+
+        def key(item: tuple[int, str]):
+            canonical, name = item
+            stats = cell.get(name)
+            if stats is None or not stats.races:
+                return (-UNSEEN_PRIOR, float("inf"), canonical)
+            return (-stats.win_rate, stats.mean_ttb_s, canonical)
+
+        ordered = [name for _, name in
+                   sorted(enumerate(strategies), key=key)]
+        skip: set[str] = set()
+        for name in ordered[1:]:
+            stats = cell.get(name)
+            if (stats is not None
+                    and stats.races >= MIN_RACES_TO_SKIP
+                    and stats.wins == 0
+                    and stats.mean_cost_ratio > SKIP_COST_RATIO):
+                skip.add(name)
+        return ordered, skip
+
+    # -- introspection -----------------------------------------------------
+
+    def snapshot(self) -> dict[str, dict[str, StrategyStats]]:
+        """Deep-enough copy for reporting (stats objects are copied)."""
+        with self._lock:
+            return {
+                bucket: {name: StrategyStats(**{
+                    "races": s.races, "wins": s.wins,
+                    "ttb_total_s": s.ttb_total_s,
+                    "cost_ratio_total": s.cost_ratio_total,
+                    "best_ttb_s": s.best_ttb_s,
+                }) for name, s in strategies.items()}
+                for bucket, strategies in self._buckets.items()
+            }
+
+    @property
+    def races(self) -> int:
+        """Total races recorded (each race counts once, via its winner)."""
+        with self._lock:
+            return sum(s.wins for cell in self._buckets.values()
+                       for s in cell.values())
+
+    def render(self) -> str:
+        """Human-readable table for ``repro strategies``."""
+        snap = self.snapshot()
+        if not snap:
+            return "strategy-outcomes store is empty (no races recorded)"
+        header = (f"{'bucket':24s} {'strategy':10s} {'races':>6s} "
+                  f"{'wins':>5s} {'win%':>6s} {'mean-ttb':>9s} "
+                  f"{'cost-ratio':>10s} {'skip':>5s}")
+        lines = [header, "-" * len(header)]
+        for bucket in sorted(snap):
+            cell = snap[bucket]
+            ordered, skip = self.rank(bucket, sorted(cell))
+            for name in ordered:
+                stats = cell[name]
+                ttb = (f"{stats.mean_ttb_s * 1e3:8.1f}ms"
+                       if stats.mean_ttb_s != float("inf") else "        -")
+                ratio = (f"{stats.mean_cost_ratio:10.3f}"
+                         if stats.races else "         -")
+                lines.append(
+                    f"{bucket:24s} {name:10s} {stats.races:6d} "
+                    f"{stats.wins:5d} {stats.win_rate * 100:5.1f}% {ttb} "
+                    f"{ratio} {'yes' if name in skip else '':>5s}")
+        return "\n".join(lines)

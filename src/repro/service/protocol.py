@@ -13,7 +13,10 @@ Requests are flat JSON objects with an ``op``:
 
 - ``submit`` — one induction request (region text, model payload or name,
   method, window, jobs, budget/config, deadline, optional ``chaos`` fault
-  injection honoured only by test servers);
+  injection honoured only by test servers).  Portfolio submits may carry
+  supervisor-injected ``portfolio_order`` / ``portfolio_skip`` selector
+  hints (see :func:`repro.service.workers.inject_portfolio_hints`) —
+  advisory, ignored by non-portfolio methods;
 - ``stats`` — service metrics snapshot;
 - ``ping`` — liveness probe;
 - ``shutdown`` — drain in-flight requests, then stop (reply arrives after

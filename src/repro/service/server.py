@@ -61,6 +61,7 @@ from repro.obs.metrics import (
 )
 from repro.service import protocol
 from repro.service.workers import (
+    PORTFOLIO_KILL_GRACE_S,
     DeadlineExpired,
     RetriesExhausted,
     WorkerPool,
@@ -68,6 +69,8 @@ from repro.service.workers import (
     absorb_obs,
     build_result,
     degraded_result,
+    inject_portfolio_hints,
+    record_portfolio_outcome,
 )
 
 __all__ = ["InductionServer", "ServerConfig"]
@@ -148,9 +151,15 @@ class InductionServer:
     def __init__(self, config: ServerConfig,
                  cache: ScheduleCache | None = None,
                  tracer: Tracer | None = None,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 strategy_store=None) -> None:
         self.config = config
         self.cache = cache
+        #: Optional :class:`repro.sched.StrategyOutcomesStore`.  Portfolio
+        #: submits are dispatched with this store's ranked order/skip hints
+        #: and their outcomes are folded back in, so the server's strategy
+        #: selection improves as traffic flows.
+        self.strategy_store = strategy_store
         self.tracer = tracer or NULL_TRACER
         self.counters = Counters()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -468,11 +477,23 @@ class InductionServer:
                 ctx = current_context()
                 if ctx is not None:
                     wire["trace_ctx"] = ctx
+                if wire.get("method") == "portfolio":
+                    # The race self-deadlines inside the worker; the pool's
+                    # kill switch is only the wedged-worker backstop.  A
+                    # server-default deadline reaches the race through the
+                    # wire, since the client never set one there.
+                    inject_portfolio_hints(wire, request, self.strategy_store)
+                    if effective is not None:
+                        if "deadline_s" not in wire:
+                            wire["deadline_s"] = max(
+                                0.0, effective - time.monotonic())
+                        effective += PORTFOLIO_KILL_GRACE_S
                 try:
                     with self.metrics.time("service_worker_seconds"):
                         payload, meta = self.pool.run(wire, effective)
                     absorb_obs(payload, tracer=self.tracer,
                                registry=self.metrics)
+                    record_portfolio_outcome(payload, self.strategy_store)
                     payload["retries"] = meta["retries"]
                     if meta["retries"]:
                         self.metrics.observe("service_worker_retries",

@@ -49,8 +49,16 @@ __all__ = [
     "WorkerTaskError",
     "absorb_obs",
     "degraded_result",
+    "inject_portfolio_hints",
+    "record_portfolio_outcome",
     "run_local_with_deadline",
 ]
+
+
+#: Extra seconds granted to a portfolio worker past the request deadline:
+#: the race inside enforces the deadline cooperatively and needs a moment
+#: to collect best-so-far schedules; the supervisor kill is the backstop.
+PORTFOLIO_KILL_GRACE_S = 2.0
 
 
 class DeadlineExpired(Exception):
@@ -85,12 +93,19 @@ def _execute_wire(wire: Mapping[str, Any]) -> dict:
 
     recorder = MemoryTracer()
     registry = MetricsRegistry()
-    request = request_from_wire(wire).replace(
-        deadline_s=None, cache=None, tracer=recorder)
+    request = request_from_wire(wire).replace(cache=None, tracer=recorder)
+    if request.method != "portfolio":
+        # Non-portfolio deadlines are enforced by the supervisor's kill
+        # switch; the portfolio race enforces its own cooperatively, so it
+        # keeps ``deadline_s`` and returns best-so-far instead of dying.
+        request = request.replace(deadline_s=None)
     with use_registry(registry), attach_context(wire.get("trace_ctx")):
         with span("worker.execute", recorder, pid=os.getpid(),
                   method=request.method):
-            result = _execute_local(request)
+            result = _execute_local(
+                request,
+                portfolio_order=wire.get("portfolio_order"),
+                portfolio_skip=wire.get("portfolio_skip"))
     payload = result_to_payload(result)
     payload["obs"] = {"spans": recorder.events,
                       "metrics": registry.snapshot()}
@@ -304,6 +319,49 @@ class WorkerPool:
             handle.close()
 
 
+# -- portfolio plumbing ----------------------------------------------------
+#
+# The strategy-outcomes store is a live handle and never crosses the wire;
+# the supervising process (here or the server) consults it before the race
+# and folds the race's outcomes back in afterwards.
+
+
+def inject_portfolio_hints(wire: dict, request: InductionRequest,
+                           store) -> None:
+    """Attach the store's ranked order / skip set to a portfolio wire."""
+    if store is None or wire.get("method") != "portfolio":
+        return
+    from repro.core.portfolio import (
+        PORTFOLIO_STRATEGIES, feature_bucket, region_features)
+
+    features = region_features(request.resolved_region(),
+                               request.resolved_model())
+    order, skip = store.rank(feature_bucket(features), PORTFOLIO_STRATEGIES)
+    wire["portfolio_order"] = list(order)
+    wire["portfolio_skip"] = sorted(skip)
+
+
+def record_portfolio_outcome(result, store) -> None:
+    """Fold a portfolio reply's per-strategy outcomes into the store.
+
+    ``result`` is either a reconstructed :class:`ServiceResult` (the keys
+    land in ``extras``) or a raw wire payload dict; both carry the
+    ``winner`` / ``portfolio`` keys that
+    :meth:`repro.core.portfolio.PortfolioResult.as_dict` emits.  A no-op
+    for non-portfolio results and for payloads without them (degraded
+    fallbacks never raced, so they teach the selector nothing).
+    """
+    if store is None:
+        return
+    extras = result if isinstance(result, Mapping) \
+        else getattr(result, "extras", None) or {}
+    info = extras.get("portfolio")
+    if not info:
+        return
+    store.record(info.get("bucket", ""), extras.get("winner"),
+                 info.get("outcomes", ()))
+
+
 # -- result assembly -------------------------------------------------------
 
 
@@ -332,17 +390,23 @@ def build_result(request: InductionRequest, schedule: Schedule,
 
 
 def degraded_result(request: InductionRequest,
-                    wall_s: float = 0.0) -> InductionResult:
+                    wall_s: float | None = None) -> InductionResult:
     """The graceful-degradation fallback: a verified greedy schedule.
 
     Greedy list-scheduling is linear-ish and deterministic, so it always
     beats the deadline that the search just blew; the result is flagged
     ``degraded=True`` and is *verified* like any fresh schedule.
+
+    ``wall_s=None`` (not given) reports the fallback's own build time; an
+    explicit value — including an explicit ``0.0`` — is reported verbatim.
+    (A previous ``wall_s or res.wall_s`` treated 0.0 as "not given".)
     """
     res = _induce_impl(
         request.resolved_region(), request.resolved_model(), method="greedy",
         config=request.resolved_config(), verify=request.verify)
-    return dataclasses.replace(res, degraded=True, wall_s=wall_s or res.wall_s)
+    return dataclasses.replace(
+        res, degraded=True,
+        wall_s=wall_s if wall_s is not None else res.wall_s)
 
 
 def run_local_with_deadline(request: InductionRequest) -> ResultBase:
@@ -368,15 +432,24 @@ def run_local_with_deadline(request: InductionRequest) -> ResultBase:
     pool = WorkerPool(workers=1, max_retries=1)
     try:
         deadline = start + float(request.deadline_s)
+        if request.method == "portfolio":
+            # The race self-deadlines inside the worker and replies with
+            # its best verified schedule; the supervisor's kill switch is
+            # only the backstop for a wedged worker, so it fires late.
+            wire = request_to_wire(request)
+            inject_portfolio_hints(wire, request, request.strategy_store)
+            deadline += PORTFOLIO_KILL_GRACE_S
+        else:
+            wire = request_to_wire(request.replace(deadline_s=None))
         try:
-            payload, _meta = pool.run(
-                request_to_wire(request.replace(deadline_s=None)), deadline)
+            payload, _meta = pool.run(wire, deadline)
         except (DeadlineExpired, RetriesExhausted):
             return degraded_result(request, wall_s=time.monotonic() - start)
     finally:
         pool.close()
     absorb_obs(payload, tracer=request.tracer)
     result = result_from_payload(payload)
+    record_portfolio_outcome(result, request.strategy_store)
     if request.cache is not None and not result.degraded:
         stats = result.search_stats[0] if len(result.search_stats) == 1 else None
         request.cache.put(fingerprint, result.schedule, stats)

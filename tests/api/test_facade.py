@@ -50,6 +50,30 @@ class TestInductionRequest:
         with pytest.raises(ValueError, match="deadline"):
             api.InductionRequest(region=REGION, deadline_s=0.0)
 
+    def test_accepts_portfolio_method(self):
+        request = api.InductionRequest(region=REGION, method="portfolio")
+        assert request.method == "portfolio"
+
+    def test_rejects_window_with_portfolio(self):
+        with pytest.raises(ValueError, match="window"):
+            api.InductionRequest(region=REGION, window=2, method="portfolio")
+
+    @pytest.mark.parametrize("method",
+                             ["greedy", "anneal", "serial", "factor",
+                              "lockstep"])
+    def test_rejects_engine_with_searchless_method(self, method):
+        # engine= used to silently no-op for methods that never search;
+        # now the invalid combination is rejected up front.
+        with pytest.raises(ValueError, match="engine"):
+            api.InductionRequest(region=REGION, method=method,
+                                 engine="bitmask")
+
+    @pytest.mark.parametrize("method", ["search", "portfolio"])
+    def test_engine_accepted_where_a_search_runs(self, method):
+        request = api.InductionRequest(region=REGION, method=method,
+                                       engine="legacy")
+        assert request.resolved_config().engine == "legacy"
+
     def test_budget_shorthand(self):
         request = api.InductionRequest(region=REGION, budget=123)
         assert request.resolved_config().node_budget == 123
@@ -91,6 +115,25 @@ class TestRouting:
         assert isinstance(result, WindowedResult)
         assert result.kind == "windowed"
         assert result.num_windows >= 1
+
+    def test_portfolio_route(self):
+        result = api.induce(api.InductionRequest(region=REGION,
+                                                 method="portfolio"))
+        assert result.kind == "portfolio"
+        assert result.winner in ("search", "greedy", "anneal", "serial")
+        assert result.cost > 0 and not result.degraded
+
+    def test_portfolio_route_honors_deadline_in_process(self):
+        # Portfolio never takes the supervised-worker detour: the race
+        # itself enforces the deadline, so the local strategy_store handle
+        # keeps working.
+        from repro.sched import StrategyOutcomesStore
+        store = StrategyOutcomesStore()
+        result = api.induce(api.InductionRequest(
+            region=REGION, method="portfolio", deadline_s=30.0,
+            strategy_store=store))
+        assert not result.degraded
+        assert store.races == 1
 
     def test_cache_handle_stays_local(self, tmp_path):
         cache = ScheduleCache(cache_dir=str(tmp_path / "cache"))

@@ -19,10 +19,11 @@ from repro.fuzz import (FuzzConfig, case_from_payload, check_case, fuzz_run,
 def _install_buggy_bitmask(monkeypatch):
     real = search._ENGINE_IMPLS["bitmask"]
 
-    def buggy(region, model, config, dags, crit, stats, best_slots):
+    def buggy(region, model, config, dags, crit, stats, best_slots,
+              **kwargs):
         return real(region, model,
                     dataclasses.replace(config, use_cp_bound=False),
-                    dags, crit, stats, best_slots)
+                    dags, crit, stats, best_slots, **kwargs)
 
     monkeypatch.setitem(search._ENGINE_IMPLS, "bitmask", buggy)
 

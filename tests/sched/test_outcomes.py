@@ -1,0 +1,163 @@
+"""Tests for the portfolio strategy-outcomes store."""
+
+import json
+import threading
+
+import pytest
+
+from repro.sched.outcomes import (
+    MIN_RACES_TO_SKIP,
+    SKIP_COST_RATIO,
+    STORE_VERSION,
+    StrategyOutcomesStore,
+    StrategyStats,
+)
+
+
+def race(winner="search", losers=(("greedy", 1.2), ("serial", 2.0))):
+    """One race's outcomes: winner at cost 10, losers at 10 * ratio."""
+    outcomes = [{"strategy": winner, "cost": 10.0, "time_to_best_s": 0.01,
+                 "finished": True}]
+    for name, ratio in losers:
+        outcomes.append({"strategy": name, "cost": 10.0 * ratio,
+                         "time_to_best_s": 0.05, "finished": True})
+    return outcomes
+
+
+class TestRecord:
+    def test_aggregates_races_and_wins(self):
+        store = StrategyOutcomesStore()
+        store.record("b", "search", race())
+        store.record("b", "greedy", race(winner="greedy",
+                                         losers=(("search", 1.1),)))
+        snap = store.snapshot()["b"]
+        assert snap["search"].races == 2
+        assert snap["search"].wins == 1
+        assert snap["greedy"].races == 2
+        assert snap["greedy"].wins == 1
+
+    def test_cost_ratio_tracked_against_winner(self):
+        store = StrategyOutcomesStore()
+        store.record("b", "search", race(losers=(("serial", 2.0),)))
+        assert store.snapshot()["b"]["serial"].mean_cost_ratio == \
+            pytest.approx(2.0)
+
+    def test_non_finisher_gets_penalty_ratio(self):
+        store = StrategyOutcomesStore()
+        store.record("b", "search", [
+            {"strategy": "search", "cost": 10.0, "time_to_best_s": 0.01,
+             "finished": True},
+            {"strategy": "anneal", "cost": None, "time_to_best_s": None,
+             "finished": False},
+        ])
+        assert store.snapshot()["b"]["anneal"].mean_cost_ratio > \
+            SKIP_COST_RATIO
+
+    def test_skipped_entries_are_not_counted(self):
+        store = StrategyOutcomesStore()
+        store.record("b", "search", race() + [
+            {"strategy": "anneal", "cost": None, "finished": False,
+             "skipped": True}])
+        assert "anneal" not in store.snapshot()["b"]
+
+    def test_races_counts_recorded_races(self):
+        store = StrategyOutcomesStore()
+        store.record("b", "search", race())
+        store.record("c", "greedy", race(winner="greedy",
+                                         losers=(("search", 1.1),)))
+        assert store.races == 2
+
+
+class TestRank:
+    def test_prefers_higher_win_rate(self):
+        store = StrategyOutcomesStore()
+        for _ in range(3):
+            store.record("b", "anneal", race(
+                winner="anneal", losers=(("search", 1.0), ("greedy", 1.5))))
+        ordered, _skip = store.rank("b", ("search", "greedy", "anneal"))
+        assert ordered[0] == "anneal"
+
+    def test_unseen_bucket_keeps_canonical_order(self):
+        store = StrategyOutcomesStore()
+        ordered, skip = store.rank("fresh", ("search", "greedy", "anneal"))
+        assert ordered == ["search", "greedy", "anneal"]
+        assert skip == set()
+
+    def test_skip_requires_min_races_zero_wins_and_bad_ratio(self):
+        store = StrategyOutcomesStore()
+        losers = (("greedy", 1.0), ("serial", 2.0))
+        for _ in range(MIN_RACES_TO_SKIP - 1):
+            store.record("b", "search", race(losers=losers))
+        _, skip = store.rank("b", ("search", "greedy", "serial"))
+        assert skip == set()  # not enough evidence yet
+        store.record("b", "search", race(losers=losers))
+        _, skip = store.rank("b", ("search", "greedy", "serial"))
+        assert skip == {"serial"}  # greedy ties the winner: kept racing
+
+    def test_top_ranked_is_never_skipped(self):
+        store = StrategyOutcomesStore()
+        # Every strategy loses: winner not in the candidate list.
+        for _ in range(MIN_RACES_TO_SKIP):
+            store.record("b", "search", race(
+                losers=(("greedy", 2.0), ("serial", 3.0))))
+        ordered, skip = store.rank("b", ("greedy", "serial"))
+        assert ordered[0] not in skip
+        assert skip == {ordered[1]}
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "outcomes.json")
+        store = StrategyOutcomesStore(path)
+        store.record("b", "search", race())
+        reloaded = StrategyOutcomesStore(path)
+        assert reloaded.snapshot()["b"]["search"].wins == 1
+        assert reloaded.snapshot()["b"]["greedy"].mean_cost_ratio == \
+            pytest.approx(1.2)
+
+    def test_file_is_valid_versioned_json(self, tmp_path):
+        path = tmp_path / "outcomes.json"
+        StrategyOutcomesStore(str(path)).record("b", "search", race())
+        payload = json.loads(path.read_text())
+        assert payload["version"] == STORE_VERSION
+        assert "b" in payload["buckets"]
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "outcomes.json"
+        path.write_text(json.dumps({"version": 99, "buckets": {}}))
+        with pytest.raises(ValueError, match="version"):
+            StrategyOutcomesStore(str(path))
+
+    def test_concurrent_records_are_safe(self, tmp_path):
+        path = str(tmp_path / "outcomes.json")
+        store = StrategyOutcomesStore(path)
+
+        def hammer():
+            for _ in range(20):
+                store.record("b", "search", race())
+
+        workers = [threading.Thread(target=hammer) for _ in range(4)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert StrategyOutcomesStore(path).snapshot()["b"]["search"].races == 80
+
+
+class TestRender:
+    def test_empty_store(self):
+        assert "empty" in StrategyOutcomesStore().render()
+
+    def test_table_contains_strategies_and_skip_marker(self):
+        store = StrategyOutcomesStore()
+        for _ in range(MIN_RACES_TO_SKIP):
+            store.record("b", "search", race(losers=(("serial", 2.0),)))
+        text = store.render()
+        assert "search" in text and "serial" in text
+        assert "yes" in text  # serial marked skippable
+
+    def test_stats_dict_round_trip(self):
+        stats = StrategyStats(races=3, wins=1, ttb_total_s=0.3,
+                              cost_ratio_total=3.3, best_ttb_s=0.05)
+        clone = StrategyStats.from_dict(stats.as_dict())
+        assert clone == stats

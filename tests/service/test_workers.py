@@ -8,9 +8,10 @@ from repro import api
 from repro.core import maspar_cost_model, verify_schedule
 from repro.core.search import SearchConfig
 from repro.service import protocol
+from repro.sched import StrategyOutcomesStore
 from repro.service.workers import (
     DeadlineExpired, RetriesExhausted, WorkerPool, WorkerTaskError,
-    degraded_result, run_local_with_deadline,
+    _execute_wire, degraded_result, run_local_with_deadline,
 )
 from repro.workloads.threads import RandomRegionSpec, random_region
 
@@ -106,6 +107,18 @@ class TestDegradedResult:
         verify_schedule(result.schedule, request.resolved_region(),
                         maspar_cost_model())
 
+    def test_explicit_zero_wall_is_reported_verbatim(self):
+        # Regression: ``wall_s or res.wall_s`` treated an explicit 0.0 as
+        # "not given" and silently substituted the fallback's build time.
+        request = api.InductionRequest(region=REGION)
+        result = degraded_result(request, wall_s=0.0)
+        assert result.wall_s == 0.0
+
+    def test_omitted_wall_uses_fallback_build_time(self):
+        request = api.InductionRequest(region=REGION)
+        result = degraded_result(request)
+        assert result.wall_s > 0.0
+
 
 class TestLocalDeadlineRoute:
     def test_fast_search_beats_deadline(self):
@@ -128,6 +141,23 @@ class TestLocalDeadlineRoute:
         assert elapsed < 10.0  # killed the search, did not wait out 50M nodes
         verify_schedule(result.schedule, region, request.resolved_model())
 
+    def test_portfolio_keeps_deadline_and_races_in_worker(self):
+        # Portfolio requests keep their deadline on the wire: the race
+        # enforces it cooperatively and replies with its best verified
+        # schedule instead of being killed into the greedy fallback.
+        store = StrategyOutcomesStore()
+        request = api.InductionRequest(region=REGION, method="portfolio",
+                                       deadline_s=30.0, strategy_store=store)
+        result = run_local_with_deadline(request)
+        assert not result.degraded
+        assert result.extras["winner"] in ("search", "greedy", "anneal",
+                                           "serial")
+        verify_schedule(result.schedule, request.resolved_region(),
+                        maspar_cost_model())
+        # Outcomes are recorded parent-side from the reply payload — the
+        # store handle itself never crossed the process boundary.
+        assert store.races == 1
+
     def test_cache_short_circuits_the_worker(self, tmp_path):
         from repro.core import ScheduleCache
 
@@ -141,3 +171,21 @@ class TestLocalDeadlineRoute:
         assert second.cache_hit
         assert time.monotonic() - start < 2.0  # no worker spawn
         assert second.cost == first.cost
+
+
+class TestPortfolioWire:
+    def test_execute_wire_keeps_portfolio_deadline(self):
+        wire = wire_for(method="portfolio", deadline_s=30.0)
+        payload = _execute_wire(wire)
+        assert not payload["degraded"]
+        assert payload["winner"] is not None
+
+    def test_wire_hints_reach_the_race(self):
+        wire = wire_for(method="portfolio")
+        wire["portfolio_order"] = ["greedy", "search"]
+        wire["portfolio_skip"] = ["anneal", "serial"]
+        payload = _execute_wire(wire)
+        skipped = {o["strategy"] for o in payload["portfolio"]["outcomes"]
+                   if o.get("skipped")}
+        assert skipped == {"anneal", "serial"}
+        assert payload["winner"] in ("greedy", "search")
