@@ -18,7 +18,7 @@ from concurrent.futures import ThreadPoolExecutor
 from conftest import bench_seed, record_table
 from repro import api
 from repro.core import ScheduleCache, maspar_cost_model
-from repro.service import InductionServer, ServerConfig, ServiceClient
+from repro.service import Endpoint, InductionServer, ServerConfig, ServiceClient
 from repro.util import format_table
 from repro.workloads import RandomRegionSpec, random_region
 
@@ -60,11 +60,11 @@ def run_experiment():
     # -- service: batching + dedup + request cache over a unix socket.
     workers = min(4, os.cpu_count() or 1)
     server = InductionServer(
-        ServerConfig(address="/tmp/repro-bench-e14.sock", workers=workers,
-                     queue_size=2 * n, batch_max=16),
+        ServerConfig(endpoint=Endpoint.unix("/tmp/repro-bench-e14.sock"),
+                     workers=workers, queue_size=2 * n, batch_max=16),
         cache=ScheduleCache())
     try:
-        client = ServiceClient(server.address)
+        client = ServiceClient(server.endpoint)
         t0 = time.perf_counter()
         with ThreadPoolExecutor(max_workers=10) as pool:
             results = list(pool.map(

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 from repro.core.cache import ScheduleCache, region_fingerprint
 from repro.core.costmodel import CostModel, maspar_cost_model, uniform_cost_model
@@ -44,7 +45,7 @@ from repro.core.search import ENGINES, SearchConfig
 from repro.core.window import WindowedResult, _windowed_induce_impl
 from repro.obs import Tracer
 
-__all__ = ["InductionRequest", "REQUEST_METHODS", "induce"]
+__all__ = ["InductionRequest", "KNOB_METHODS", "REQUEST_METHODS", "induce"]
 
 #: Named cost models accepted anywhere a :class:`CostModel` is expected
 #: (including over the service wire).
@@ -55,10 +56,35 @@ NAMED_MODELS = ("maspar", "uniform")
 #: :func:`repro.core.portfolio.run_portfolio` rather than the pipeline).
 REQUEST_METHODS = METHODS + ("portfolio",)
 
-#: Methods for which an ``engine=`` override actually reaches a search.
-#: Everything else would silently ignore it, so the request rejects the
-#: combination instead.
-_ENGINE_METHODS = ("search", "portfolio")
+#: The method/knob validity table: knob name -> methods where a
+#: non-default value actually reaches the execution path.  Every other
+#: combination would be silently ignored, so :class:`InductionRequest`
+#: rejects it with :class:`ValueError` — the same error type for every
+#: knob, built by :func:`_reject_knob`.  (``engine=`` used to be the only
+#: knob checked this way while ``window``/``jobs``/``budget`` passed
+#: through unvalidated; now the whole table is enforced.)
+KNOB_METHODS: Mapping[str, tuple[str, ...]] = {
+    # Windowing splits the branch-and-bound search; baselines and the
+    # portfolio race always schedule the whole region.
+    "window": ("search",),
+    # Process fan-out parallelizes *windows*; without windowing there is
+    # nothing to fan out (enforced as: jobs != 1 requires window > 0).
+    "jobs": ("search",),
+    # The engine switch picks a branch-and-bound implementation.
+    "engine": ("search", "portfolio"),
+    # node_budget bounds branch-and-bound expansion; greedy/anneal/factor/
+    # lockstep/serial never read it.
+    "budget": ("search", "portfolio"),
+    # The outcomes store only teaches the portfolio selector.
+    "strategy_store": ("portfolio",),
+}
+
+
+def _reject_knob(knob: str, value: Any, method: str) -> None:
+    methods = KNOB_METHODS[knob]
+    raise ValueError(
+        f"{knob}={value!r} has no effect with method={method!r}; only "
+        f"{methods} accept {knob}")
 
 
 @dataclass
@@ -93,6 +119,12 @@ class InductionRequest:
     #: ``cache``/``tracer`` — never crosses a process boundary (the service
     #: keeps its own store server-side).
     strategy_store: object | None = None
+    #: Opaque routing metadata attached by the cluster front door (replica
+    #: index, attempt count, router identity).  Rides the wire as an extra
+    #: key that pre-cluster servers simply ignore; excluded from
+    #: :meth:`fingerprint` so a rerouted retry still dedups and cache-hits
+    #: against the original request.
+    routing: Mapping[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if self.method not in REQUEST_METHODS:
@@ -101,19 +133,31 @@ class InductionRequest:
                 f"{REQUEST_METHODS}")
         if self.window < 0:
             raise ValueError(f"window must be >= 0, got {self.window}")
-        if self.window and self.method != "search":
-            raise ValueError("window > 0 only applies to method='search'")
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ValueError(f"deadline must be positive, got {self.deadline_s}")
         if self.engine is not None and self.engine not in ENGINES:
             raise ValueError(
                 f"unknown search engine {self.engine!r}; expected one of "
                 f"{ENGINES}")
-        if self.engine is not None and self.method not in _ENGINE_METHODS:
+        # The method/knob table: a non-default value of any knob whose
+        # method can never consume it is an error, uniformly.
+        if self.window and self.method not in KNOB_METHODS["window"]:
+            _reject_knob("window", self.window, self.method)
+        if self.jobs != 1 and self.method not in KNOB_METHODS["jobs"]:
+            _reject_knob("jobs", self.jobs, self.method)
+        if self.jobs != 1 and not self.window:
             raise ValueError(
-                f"engine={self.engine!r} has no effect with "
-                f"method={self.method!r} (no search runs); only "
-                f"{_ENGINE_METHODS} accept an engine override")
+                f"jobs={self.jobs!r} has no effect without window > 0; "
+                "process fan-out parallelizes windows")
+        if self.engine is not None and \
+                self.method not in KNOB_METHODS["engine"]:
+            _reject_knob("engine", self.engine, self.method)
+        if self.budget is not None and \
+                self.method not in KNOB_METHODS["budget"]:
+            _reject_knob("budget", self.budget, self.method)
+        if self.strategy_store is not None and \
+                self.method not in KNOB_METHODS["strategy_store"]:
+            _reject_knob("strategy_store", self.strategy_store, self.method)
 
     def resolved_region(self) -> Region:
         return parse_region(self.region) if isinstance(self.region, str) \
@@ -183,21 +227,40 @@ def _execute_local(request: InductionRequest,
         verify=request.verify, cache=request.cache, tracer=request.tracer)
 
 
-def induce(request: InductionRequest, client=None) -> ResultBase:
+def induce(request: InductionRequest, client=None, cluster=None) -> ResultBase:
     """Route ``request`` to the right induction engine (see module doc).
 
-    ``client`` may be a :class:`repro.service.ServiceClient` or an address
-    string (unix-socket path or ``host:port``); either sends the request to
-    a running ``repro serve`` daemon and returns its reply.
+    ``client`` may be a :class:`repro.service.ServiceClient`, an
+    :class:`repro.service.Endpoint`, or an endpoint URL string
+    (``unix:///path`` / ``tcp://host:port``); any of these sends the
+    request to a running ``repro serve`` daemon and returns its reply.
+    (Bare pre-Endpoint address strings still work through a warn-once
+    deprecation shim.)
+
+    ``cluster`` may be a :class:`repro.cluster.ClusterConfig` or a live
+    :class:`repro.cluster.ClusterClient`; the request is then routed by
+    fingerprint across the cluster's nodes with replica failover.
     """
     if not isinstance(request, InductionRequest):
         raise TypeError(
             f"repro.api.induce takes an InductionRequest, got "
             f"{type(request).__name__}; the old positional signatures live "
             "in repro.core (deprecated)")
+    if client is not None and cluster is not None:
+        raise ValueError("pass client= or cluster=, not both")
+    if cluster is not None:
+        from repro.cluster import ClusterClient, ClusterConfig
+        if isinstance(cluster, ClusterConfig):
+            with ClusterClient(cluster) as live:
+                return live.submit(request)
+        return cluster.submit(request)
     if client is not None:
-        if isinstance(client, str):
-            from repro.service.client import ServiceClient
+        from repro.service.client import ServiceClient
+        from repro.service.endpoint import Endpoint
+        if not isinstance(client, ServiceClient) and \
+                not hasattr(client, "submit"):
+            client = Endpoint.coerce(client, where="api.induce(client=...)")
+        if isinstance(client, Endpoint):
             with ServiceClient(client) as live:
                 return live.submit(request)
         return client.submit(request)

@@ -125,15 +125,23 @@ def _describe_result(result) -> list[str]:
     return lines
 
 
-def _build_request(args, region_text: str):
+def _build_request(args, region_text: str, strategy_store=None):
     """Shared ``induce``/``submit`` request construction (same flags)."""
     from repro import api
 
+    # The CLI default budget only applies to methods that take one, so
+    # `repro induce --method greedy` works without the user having to know
+    # which knobs belong to which method; an *explicit* --budget on a
+    # searchless method still errors, matching the api-level knob table.
+    budget = args.budget
+    if budget is None and args.method in api.KNOB_METHODS["budget"]:
+        budget = 100_000
     try:
         return api.InductionRequest(
             region=region_text, model=args.model, method=args.method,
-            window=args.window, jobs=args.jobs, budget=args.budget,
+            window=args.window, jobs=args.jobs, budget=budget,
             engine=getattr(args, "engine", None),
+            strategy_store=strategy_store,
             deadline_s=args.deadline)
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
@@ -146,12 +154,17 @@ def _cmd_induce(args) -> int:
 
     cache = ScheduleCache(cache_dir=args.cache_dir) if args.cache_dir else None
     tracer = JsonlTracer(args.trace) if args.trace else None
-    request = _build_request(args, open(args.region).read())
-    request.cache = cache
-    request.tracer = tracer
+    store = None
     if getattr(args, "strategy_store", None):
         from repro.sched import StrategyOutcomesStore
-        request.strategy_store = StrategyOutcomesStore(args.strategy_store)
+        store = StrategyOutcomesStore(args.strategy_store)
+    # The store goes through the constructor so the method/knob table sees
+    # it (--strategy-store with a non-portfolio method is an error, not a
+    # silently dead flag).
+    request = _build_request(args, open(args.region).read(),
+                             strategy_store=store)
+    request.cache = cache
+    request.tracer = tracer
     try:
         result = api.induce(request)
         for line in _describe_result(result):
@@ -197,7 +210,7 @@ def _cmd_serve(args) -> int:
     tracer = JsonlTracer(args.trace) if args.trace else None
     import os
     config = ServerConfig(
-        address=args.socket,
+        endpoint=args.socket,
         workers=args.jobs or (os.cpu_count() or 1),
         queue_size=args.queue_size,
         batch_max=args.batch_max,
@@ -210,7 +223,7 @@ def _cmd_serve(args) -> int:
         store = StrategyOutcomesStore(args.strategy_store)
     server = InductionServer(config, cache=cache, tracer=tracer,
                              strategy_store=store)
-    print(f"induction service listening on {server.address} "
+    print(f"induction service listening on {server.endpoint} "
           f"(workers={config.workers}, queue={config.queue_size})", flush=True)
     if args.metrics_port is not None:
         from repro.obs import start_metrics_server
@@ -284,6 +297,128 @@ def _cmd_submit(args) -> int:
         if tracer is not None:
             tracer.close()
     return 0 if busy == 0 else 1
+
+
+def _endpoint_arg(spec: str):
+    """argparse type for --socket/--peers: lenient endpoint parsing."""
+    from repro.service.endpoint import Endpoint
+
+    try:
+        return Endpoint.parse_lenient(spec)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _cluster_config(args):
+    from repro.cluster import ClusterConfig, RetryPolicy
+
+    try:
+        return ClusterConfig(
+            endpoints=tuple(args.peers),
+            replication=args.replication,
+            retry=RetryPolicy(attempts=args.retries),
+            probe_interval_s=args.probe_interval,
+            mark_down_after=args.mark_down_after,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
+def _cmd_cluster_serve(args) -> int:
+    import os
+
+    from repro.cluster import RemoteScheduleCache
+    from repro.core import ScheduleCache
+    from repro.service import InductionServer, ServerConfig
+
+    config = _cluster_config(args)
+    if str(args.socket) not in config.node_names:
+        raise SystemExit(
+            f"--socket {args.socket} must be one of the --peers endpoints "
+            "(a node has to know its own ring position)")
+    local = ScheduleCache(capacity=args.cache_capacity,
+                          cache_dir=args.cache_dir)
+    cache = RemoteScheduleCache(local, config, self_name=str(args.socket))
+    server = InductionServer(
+        ServerConfig(endpoint=args.socket,
+                     workers=args.jobs or (os.cpu_count() or 1),
+                     queue_size=args.queue_size,
+                     default_deadline_s=args.deadline,
+                     allow_chaos=args.allow_chaos),
+        cache=cache)
+    print(f"cluster node listening on {server.endpoint} "
+          f"(peers={len(config.endpoints)}, "
+          f"replication={config.replication})", flush=True)
+    try:
+        while not server.wait_stopped(0.5):
+            pass
+    except KeyboardInterrupt:
+        print("draining in-flight requests...")
+        server.shutdown(drain=True)
+    print("node stopped")
+    return 0
+
+
+def _cmd_cluster_route(args) -> int:
+    from repro.cluster import ClusterRouter
+
+    config = _cluster_config(args)
+    router = ClusterRouter(args.socket, config)
+    print(f"cluster router listening on {router.endpoint} "
+          f"(nodes={len(config.endpoints)})", flush=True)
+    try:
+        while not router.wait_stopped(0.5):
+            pass
+    except KeyboardInterrupt:
+        router.shutdown()
+    print("router stopped")
+    return 0
+
+
+def _router_op(endpoint, message: dict, timeout: float = 30.0) -> dict:
+    """One framed request/reply against a running router."""
+    from repro.service import protocol
+
+    try:
+        with endpoint.connect(timeout=timeout) as sock:
+            protocol.send_message(sock, message)
+            reply = protocol.recv_message(sock)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"router at {endpoint} unreachable: {exc}") from exc
+    if reply is None:
+        raise SystemExit(f"router at {endpoint} closed the connection")
+    return reply
+
+
+def _cmd_cluster_status(args) -> int:
+    reply = _router_op(args.socket, {"op": "cluster_status"})
+    if reply.get("status") != "cluster":
+        raise SystemExit(f"bad cluster_status reply: {reply}")
+    cluster = reply["cluster"]
+    print(f"cluster via {args.socket}: {len(cluster['nodes'])} nodes, "
+          f"{len(cluster['ring_nodes'])} routable, "
+          f"inflight={cluster['inflight']}, "
+          f"uptime={cluster['uptime_s']:.0f}s")
+    for node in cluster["nodes"]:
+        line = (f"  {node['state']:8s} {node['endpoint']}  "
+                f"probes={node['probes']} failures={node['failures']} "
+                f"queue={node['queue_depth']:g}")
+        if node["last_error"]:
+            line += f"  last_error={node['last_error']}"
+        print(line)
+    for name, value in sorted(cluster["counters"].items()):
+        print(f"  {name:32s} {value:g}")
+    return 0
+
+
+def _cmd_cluster_drain(args) -> int:
+    reply = _router_op(args.socket,
+                       {"op": "cluster_drain", "node": args.node})
+    if reply.get("status") != "ok":
+        raise SystemExit(f"drain failed: {reply.get('error', reply)}")
+    print(f"draining {args.node}: in-flight work finishes, ring stops "
+          "routing new requests to it")
+    return 0
 
 
 def _cmd_strategies(args) -> int:
@@ -366,6 +501,7 @@ def _cmd_fuzz(args) -> int:
                 time_budget_s=args.time_budget,
                 engines=engines,
                 program_fraction=args.program_fraction,
+                cluster_fraction=args.cluster_fraction,
                 shrink=not args.no_shrink,
                 corpus_dir=args.corpus_dir,
                 fail_fast=args.fail_fast,
@@ -466,7 +602,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["search", "greedy", "anneal", "factor",
                             "lockstep", "serial", "portfolio"])
     p.add_argument("--model", default="maspar", choices=["maspar", "uniform"])
-    p.add_argument("--budget", type=int, default=100_000)
+    p.add_argument("--budget", type=int, default=None,
+                   help="branch-and-bound node budget (default 100000; only "
+                        "valid for methods that search)")
     p.add_argument("--engine", default=None, choices=["bitmask", "legacy"],
                    help="branch-and-bound engine (default bitmask; legacy is "
                         "the reference implementation)")
@@ -488,8 +626,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "serve", help="run (or query) the long-running induction service")
-    p.add_argument("--socket", default="/tmp/repro.sock", metavar="ADDR",
-                   help="unix-socket path, or host:port for TCP loopback")
+    p.add_argument("--socket", type=_endpoint_arg, default="/tmp/repro.sock",
+                   metavar="ENDPOINT",
+                   help="unix:///path or tcp://host:port (bare unix paths "
+                        "and host:port accepted)")
     p.add_argument("--jobs", type=int, default=0,
                    help="worker processes (0 = all cores)")
     p.add_argument("--queue-size", type=int, default=64,
@@ -521,13 +661,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "submit", help="submit region files to a running induction service")
     p.add_argument("region", nargs="+", help="region file(s) (parse_region syntax)")
-    p.add_argument("--socket", default="/tmp/repro.sock", metavar="ADDR",
-                   help="service address (unix-socket path or host:port)")
+    p.add_argument("--socket", type=_endpoint_arg, default="/tmp/repro.sock",
+                   metavar="ENDPOINT",
+                   help="service or cluster-router endpoint (unix:///path, "
+                        "tcp://host:port, or the bare legacy forms)")
     p.add_argument("--method", default="search",
                    choices=["search", "greedy", "anneal", "factor",
                             "lockstep", "serial", "portfolio"])
     p.add_argument("--model", default="maspar", choices=["maspar", "uniform"])
-    p.add_argument("--budget", type=int, default=100_000)
+    p.add_argument("--budget", type=int, default=None,
+                   help="branch-and-bound node budget (default 100000; only "
+                        "valid for methods that search)")
     p.add_argument("--engine", default=None, choices=["bitmask", "legacy"],
                    help="branch-and-bound engine (default bitmask; legacy is "
                         "the reference implementation)")
@@ -544,6 +688,62 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--concurrency", type=int, default=1,
                    help="client threads submitting in parallel")
     p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser(
+        "cluster",
+        help="run a sharded multi-node induction cluster (nodes + router)")
+    csub = p.add_subparsers(dest="cluster_command", required=True)
+
+    def _cluster_common(cp, socket_help):
+        cp.add_argument("--socket", type=_endpoint_arg, required=True,
+                        metavar="ENDPOINT", help=socket_help)
+        cp.add_argument("--peers", type=_endpoint_arg, nargs="+",
+                        required=True, metavar="ENDPOINT",
+                        help="every node endpoint in the cluster, in any "
+                             "order (the ring is derived from the set)")
+        cp.add_argument("--replication", type=int, default=2,
+                        help="ring owners holding each schedule")
+        cp.add_argument("--retries", type=int, default=3,
+                        help="total forward attempts per request")
+        cp.add_argument("--probe-interval", type=float, default=1.0,
+                        metavar="SECONDS", help="heartbeat probe cadence")
+        cp.add_argument("--mark-down-after", type=int, default=3,
+                        help="consecutive failures before a node is down")
+
+    cp = csub.add_parser(
+        "serve", help="run one induction node with the cluster cache tier")
+    _cluster_common(cp, "this node's own endpoint (must appear in --peers)")
+    cp.add_argument("--jobs", type=int, default=0,
+                    help="worker processes (0 = all cores)")
+    cp.add_argument("--queue-size", type=int, default=64)
+    cp.add_argument("--cache-capacity", type=int, default=1024,
+                    help="in-memory schedule cache entries on this node")
+    cp.add_argument("--cache-dir", metavar="DIR",
+                    help="persistent schedule cache directory")
+    cp.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                    help="default per-request deadline")
+    cp.add_argument("--allow-chaos", action="store_true",
+                    help="honour client fault injection (tests only)")
+    cp.set_defaults(fn=_cmd_cluster_serve)
+
+    cp = csub.add_parser(
+        "route", help="run the cluster front door (routes, dedups, fails over)")
+    _cluster_common(cp, "the router's listening endpoint")
+    cp.set_defaults(fn=_cmd_cluster_route)
+
+    cp = csub.add_parser("status", help="show membership and routing counters")
+    cp.add_argument("--socket", type=_endpoint_arg, required=True,
+                    metavar="ENDPOINT", help="a running router's endpoint")
+    cp.set_defaults(fn=_cmd_cluster_status)
+
+    cp = csub.add_parser(
+        "drain", help="drain one node (ring stops routing new work to it)")
+    cp.add_argument("--socket", type=_endpoint_arg, required=True,
+                    metavar="ENDPOINT", help="a running router's endpoint")
+    cp.add_argument("--node", required=True, metavar="NAME",
+                    help="the node's canonical endpoint name "
+                         "(as shown by cluster status)")
+    cp.set_defaults(fn=_cmd_cluster_drain)
 
     p = sub.add_parser(
         "strategies",
@@ -583,6 +783,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="search engine(s); 'both' asserts cross-engine parity")
     p.add_argument("--program-fraction", type=float, default=0.15,
                    help="fraction of cases that are MIMDC programs")
+    p.add_argument("--cluster-fraction", type=float, default=0.1,
+                   help="fraction of region cases also routed through an "
+                        "in-process 3-node cluster and compared against the "
+                        "local result (0 = never boot the cluster)")
     p.add_argument("--corpus-dir",
                    help="persist failing cases as JSON under this directory")
     p.add_argument("--no-shrink", action="store_true",

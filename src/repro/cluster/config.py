@@ -1,0 +1,101 @@
+"""Cluster-level configuration values: seeds, replication, retry policy.
+
+A :class:`ClusterConfig` is to a cluster what an
+:class:`~repro.service.endpoint.Endpoint` is to one node: the single typed
+value every cluster-facing signature takes, instead of loose
+``(addresses, retries, ...)`` argument piles.  It is pure data — building
+one opens no sockets — so the CLI, :func:`repro.api.induce(cluster=...)`,
+the router and the tests all construct it the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.service.endpoint import Endpoint
+
+__all__ = ["ClusterConfig", "RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the router retries a request when a node fails mid-flight.
+
+    ``attempts`` bounds the total tries (first + retries); each retry
+    targets the *next* replica in the fingerprint's preference order, with
+    exponential backoff starting at ``backoff_s``.  A reply with status
+    ``busy`` also advances to the next replica (shedding is per-node), but
+    without backoff — the next node is idle or it isn't.
+    """
+
+    attempts: int = 3
+    backoff_s: float = 0.05
+    backoff_cap_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff_s}")
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to sleep before retry number ``attempt`` (0-based)."""
+        return min(self.backoff_s * (2 ** attempt), self.backoff_cap_s)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything a router or cluster client needs to know about a cluster."""
+
+    #: Seed endpoints of the induction nodes (``Endpoint`` values or their
+    #: URL/legacy string forms; strings are coerced on construction).
+    endpoints: tuple[Endpoint, ...] = ()
+    #: How many nodes (owner first) hold each fingerprint's schedule: the
+    #: remote cache tier pushes finished schedules to this many owners, so
+    #: a failover target usually already has the schedule locally.
+    replication: int = 2
+    #: Virtual nodes per physical node on the hash ring.
+    vnodes: int = 64
+    #: Bounded-load spill factor for :meth:`repro.cluster.HashRing.pick`.
+    load_factor: float = 1.25
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Heartbeat cadence for health-checked membership.
+    probe_interval_s: float = 1.0
+    #: Consecutive failed probes before a node is marked down.
+    mark_down_after: int = 3
+    #: Per-hop socket timeout for forwarded requests.
+    forward_timeout_s: float | None = 600.0
+    #: Socket timeout for peer cache reads/probes (kept tight: a dead
+    #: peer's cache read must degrade to a miss, not stall an induction).
+    peer_timeout_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        coerced = tuple(
+            Endpoint.coerce(e, where="ClusterConfig(endpoints=...)")
+            for e in self.endpoints)
+        object.__setattr__(self, "endpoints", coerced)
+        if len(set(coerced)) != len(coerced):
+            raise ValueError("duplicate endpoints in cluster config")
+        if self.replication < 1:
+            raise ValueError(
+                f"replication must be >= 1, got {self.replication}")
+        if self.vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {self.vnodes}")
+        if self.probe_interval_s <= 0:
+            raise ValueError(
+                f"probe interval must be positive, got {self.probe_interval_s}")
+        if self.mark_down_after < 1:
+            raise ValueError(
+                f"mark_down_after must be >= 1, got {self.mark_down_after}")
+
+    @property
+    def node_names(self) -> tuple[str, ...]:
+        """Ring node names (``str(endpoint)``, the canonical URL forms)."""
+        return tuple(str(e) for e in self.endpoints)
+
+    def endpoint_named(self, name: str) -> Endpoint:
+        """The endpoint whose canonical name is ``name``."""
+        for endpoint in self.endpoints:
+            if str(endpoint) == name:
+                return endpoint
+        raise LookupError(f"no endpoint named {name!r} in cluster")

@@ -1,0 +1,149 @@
+"""Remote cache tier: schedules induced anywhere hit everywhere.
+
+:class:`RemoteScheduleCache` wraps a node's local
+:class:`~repro.core.cache.ScheduleCache` with a third tier of lookup: the
+*other nodes' caches*, consulted in the fingerprint's ring preference
+order.  Because schedules are content-addressed, a peer's entry for a
+fingerprint is exactly the entry this node would have computed — so a
+cross-node hit is as trustworthy as a local one, and costs one framed
+round-trip instead of an induction.
+
+Placement mirrors routing: :meth:`put` pushes the finished schedule to the
+fingerprint's first ``replication`` ring owners, the same nodes a router
+failover would try next, so the node that inherits a dead owner's arc
+usually already holds its schedules locally.
+
+Peer reads use a tight ``peer_timeout_s`` and swallow every transport
+error into a miss — a dead peer must degrade a lookup, never stall or
+fail an induction.  Counters land in the *local* cache's counter set
+(``remote_hits``/``remote_misses``/``remote_errors``/``remote_stores``),
+so they surface through the server's existing ``cache_*`` stats without
+any new plumbing.
+
+The server's peer ops (``cache_get``/``cache_put``) call
+:meth:`get_local`/:meth:`put_local`, which never touch the network: peer
+traffic terminates at the local tiers, so two nodes missing on the same
+fingerprint can't fan out to each other forever.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.ring import HashRing
+from repro.core.cache import (
+    ScheduleCache,
+    schedule_from_payload,
+    schedule_to_payload,
+)
+from repro.core.schedule import Schedule
+from repro.core.search import SearchStats
+
+__all__ = ["RemoteScheduleCache"]
+
+
+class RemoteScheduleCache:
+    """A node's :class:`ScheduleCache` plus the cluster as a third tier.
+
+    Drop-in for ``ScheduleCache`` where the server uses one (``get`` /
+    ``put`` / ``counters`` / ``hit_rate`` / ``len``); ``self_name`` is this
+    node's own ring name (its canonical endpoint string) so lookups skip
+    the node that just missed locally.
+    """
+
+    def __init__(self, local: ScheduleCache, config: ClusterConfig,
+                 self_name: str = "",
+                 client_factory: Callable | None = None) -> None:
+        self.local = local
+        self.config = config
+        self.self_name = str(self_name)
+        self.ring = HashRing(config.node_names, vnodes=config.vnodes)
+        if client_factory is None:
+            from repro.service.client import ServiceClient
+
+            client_factory = lambda endpoint: ServiceClient(  # noqa: E731
+                endpoint, timeout=config.peer_timeout_s)
+        self._client_for = client_factory
+
+    # -- ScheduleCache surface --------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.local)
+
+    @property
+    def counters(self):
+        return self.local.counters
+
+    @property
+    def capacity(self) -> int:
+        return self.local.capacity
+
+    @property
+    def hit_rate(self) -> float:
+        return self.local.hit_rate
+
+    def get(self, fingerprint: str) -> tuple[Schedule, SearchStats | None] | None:
+        """Local tiers first, then the fingerprint's ring owners."""
+        found = self.local.get(fingerprint)
+        if found is not None:
+            return found
+        for peer in self._peers_for(fingerprint):
+            payload = self._peer_get(peer, fingerprint)
+            if payload is None:
+                continue
+            try:
+                schedule = schedule_from_payload(payload["schedule"])
+                raw_stats = payload.get("stats")
+                stats = SearchStats(**raw_stats) if raw_stats else None
+            except (KeyError, TypeError, ValueError):
+                self.counters.bump("remote_errors")
+                continue
+            # Adopt the entry locally so the next lookup is a memory hit.
+            self.local.put(fingerprint, schedule, stats)
+            self.counters.bump("remote_hits")
+            return schedule, stats
+        self.counters.bump("remote_misses")
+        return None
+
+    def put(self, fingerprint: str, schedule: Schedule,
+            stats: SearchStats | None = None) -> None:
+        """Store locally and push to the fingerprint's replica owners."""
+        self.local.put(fingerprint, schedule, stats)
+        payload = None
+        for peer in self._peers_for(fingerprint):
+            if payload is None:
+                payload = (schedule_to_payload(schedule),
+                           dataclasses.asdict(stats) if stats else None)
+            try:
+                self._client_for(self.config.endpoint_named(peer)).cache_put(
+                    fingerprint, payload[0], payload[1])
+                self.counters.bump("remote_stores")
+            except Exception:  # noqa: BLE001 - replication is best-effort
+                self.counters.bump("remote_errors")
+
+    # -- local-only surface (used by the server's peer ops) ----------------
+
+    def get_local(self, fingerprint: str):
+        """Local tiers only — peer traffic must not re-enter the cluster."""
+        return self.local.get(fingerprint)
+
+    def put_local(self, fingerprint: str, schedule: Schedule,
+                  stats: SearchStats | None = None) -> None:
+        self.local.put(fingerprint, schedule, stats)
+
+    # -- internals ---------------------------------------------------------
+
+    def _peers_for(self, fingerprint: str) -> list[str]:
+        """The fingerprint's replica owners, excluding this node."""
+        order = self.ring.preference(fingerprint, count=self.config.replication)
+        return [name for name in order if name != self.self_name]
+
+    def _peer_get(self, peer: str, fingerprint: str) -> dict | None:
+        try:
+            client = self._client_for(self.config.endpoint_named(peer))
+            return client.cache_get(fingerprint)
+        except Exception:  # noqa: BLE001 - dead peer == miss
+            self.counters.bump("remote_errors")
+            return None

@@ -1,0 +1,462 @@
+"""Cluster front door: route, dedup, retry, fail over.
+
+:class:`ClusterForwarder` is the routing core: given a submit, it computes
+the request fingerprint, picks a node with the consistent-hash ring
+(bounded-load, §ring), forwards the wire frame, and on node failure
+retries the *next* replica in the fingerprint's preference order with
+exponential backoff.  Duplicate submits that arrive while a fingerprint is
+already in flight — the common case for interpreter workloads — do not
+fan out: they join the in-flight forward and share its reply, so the
+cluster-wide dedup mirrors the per-node batcher's.
+
+Two skins over the core:
+
+- :class:`ClusterClient` — in-process client, the thing
+  :func:`repro.api.induce(cluster=...)` uses; ``submit`` returns a
+  :class:`~repro.core.result.ServiceResult` whose ``extras`` carry
+  ``routed_node``/``route_attempts``;
+- :class:`ClusterRouter` — the ``repro cluster route`` daemon: the same
+  core behind a listening :class:`~repro.service.endpoint.Endpoint`
+  speaking the ordinary framed-JSON protocol, so any existing
+  :class:`~repro.service.client.ServiceClient` can point at the router
+  and transparently talk to the whole cluster.
+
+Failure handling is per-attempt, not per-request: a dead socket is a
+membership strike (three strikes → node marked down, ring rebuilt) and an
+immediate failover; a ``busy`` shed advances to the next replica without
+backoff (the next node is idle or it isn't); an ``error`` reply is
+returned as-is (malformed requests are deterministic — retrying them
+elsewhere just spreads the error).  Every hop lands in per-node counters
+(``route_<node>``/``retry_<node>``/``failover_<node>``) and the
+``cluster_route_seconds`` / ``cluster_node_queue_depth`` histograms, all
+rendered through the standard Prometheus exposition.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Mapping
+
+from repro.api import InductionRequest
+from repro.cluster.config import ClusterConfig
+from repro.cluster.membership import Membership
+from repro.cluster.ring import HashRing
+from repro.core.result import ServiceResult, result_from_payload
+from repro.obs import Counters
+from repro.obs.metrics import MetricsRegistry, render_prometheus
+from repro.service import protocol
+from repro.service.client import ServiceBusy, ServiceError
+from repro.service.endpoint import Endpoint
+
+__all__ = ["ClusterClient", "ClusterForwarder", "ClusterRouter"]
+
+#: Queue-depth histogram buckets: service queues are small integers.
+_DEPTH_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+class _Flight:
+    """One in-flight forward; duplicate submits rendezvous here."""
+
+    __slots__ = ("event", "reply", "done")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.reply: dict[str, Any] | None = None
+        self.done = False
+
+
+class ClusterForwarder:
+    """The routing core shared by :class:`ClusterClient` and
+    :class:`ClusterRouter` (see module docstring)."""
+
+    def __init__(self, config: ClusterConfig,
+                 membership: Membership | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 start_probes: bool = True) -> None:
+        if not config.endpoints:
+            raise ValueError("cluster config has no endpoints")
+        self.config = config
+        self.counters = Counters()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.membership = membership or Membership(
+            config.endpoints,
+            probe_interval_s=config.probe_interval_s,
+            mark_down_after=config.mark_down_after,
+            probe_timeout_s=config.peer_timeout_s)
+        self._ring = HashRing(config.node_names, vnodes=config.vnodes)
+        self._ring_version = -1
+        self._ring_lock = threading.Lock()
+        self._loads: dict[str, int] = {}
+        self._loads_lock = threading.Lock()
+        self._flights: dict[str, _Flight] = {}
+        self._flights_lock = threading.Lock()
+        self._started = time.monotonic()
+        if start_probes:
+            self.membership.start()
+
+    def close(self) -> None:
+        self.membership.stop()
+
+    # -- planning ----------------------------------------------------------
+
+    def _current_ring(self) -> HashRing:
+        """The ring over currently-routable nodes (rebuilt on membership
+        version changes, atomically swapped)."""
+        version = self.membership.version
+        with self._ring_lock:
+            if version != self._ring_version:
+                routable = self.membership.routable()
+                # With every node down, keep the last ring: routing must
+                # attempt *somewhere* so note_success can resurrect nodes
+                # the moment one comes back.
+                if routable:
+                    self._ring = self._ring.with_nodes(routable)
+                self._ring_version = version
+            return self._ring
+
+    def plan(self, fingerprint: str) -> list[str]:
+        """Nodes to try for ``fingerprint``, in order.
+
+        First the bounded-load pick (the owner, unless it is already
+        carrying well over the mean in-flight load), then the rest of the
+        preference order for failover.
+        """
+        ring = self._current_ring()
+        with self._loads_lock:
+            loads = dict(self._loads)
+        first = ring.pick(fingerprint, loads=loads,
+                          factor=self.config.load_factor)
+        order = ring.preference(fingerprint)
+        return [first] + [node for node in order if node != first]
+
+    # -- forwarding --------------------------------------------------------
+
+    def submit_wire(self, wire: dict[str, Any]) -> dict[str, Any]:
+        """Route one submit frame; returns the node's raw reply.
+
+        Duplicate fingerprints already in flight join the live forward and
+        share its reply instead of fanning out to the nodes.
+        """
+        request = protocol.request_from_wire(wire)
+        fingerprint = request.fingerprint()
+        with self._flights_lock:
+            flight = self._flights.get(fingerprint)
+            if flight is not None and not flight.done:
+                leader = False
+            else:
+                flight = _Flight()
+                self._flights[fingerprint] = flight
+                leader = True
+        if not leader:
+            self.counters.bump("route_dedup_hits")
+            flight.event.wait(timeout=3600.0)
+            reply = flight.reply or {"status": "error",
+                                     "error": "deduplicated forward timed out"}
+            return self._annotate(dict(reply), dedup=True)
+        try:
+            flight.reply = self._forward(wire, fingerprint)
+        finally:
+            # Publish before unlinking so late joiners never miss the reply.
+            flight.done = True
+            flight.event.set()
+            with self._flights_lock:
+                if self._flights.get(fingerprint) is flight:
+                    del self._flights[fingerprint]
+        return flight.reply
+
+    def _forward(self, wire: dict[str, Any], fingerprint: str) -> dict[str, Any]:
+        started = time.monotonic()
+        for depth in self.membership.queue_depths().values():
+            self.metrics.observe("cluster_node_queue_depth", depth,
+                                 buckets=_DEPTH_BUCKETS)
+        plan = self.plan(fingerprint)
+        retry = self.config.retry
+        attempts = max(retry.attempts, len(plan))
+        last_busy: dict | None = None
+        last_error = "no routable nodes"
+        tried = 0
+        for attempt in range(attempts):
+            node = plan[attempt % len(plan)]
+            if attempt and attempt % len(plan) == 0:
+                # Wrapped the whole plan: re-plan against fresh membership
+                # (a mark-down mid-request changes the preference order).
+                plan = self.plan(fingerprint)
+                node = plan[0]
+            tried += 1
+            label = self._label(node)
+            self.counters.bump(f"route_{label}")
+            if attempt:
+                self.counters.bump(f"retry_{label}")
+                self.counters.bump("route_retries")
+            hop = dict(wire)
+            hop["routing"] = {**(wire.get("routing") or {}),
+                              "node": node, "attempt": attempt,
+                              "fingerprint": fingerprint}
+            try:
+                reply = self._roundtrip(node, hop)
+            except (OSError, protocol.ProtocolError, ServiceError) as exc:
+                last_error = f"{node}: {exc}"
+                self.counters.bump(f"failover_{label}")
+                self.counters.bump("route_failovers")
+                self.membership.note_failure(node, str(exc))
+                if attempt + 1 < attempts:
+                    time.sleep(retry.backoff(attempt))
+                continue
+            status = reply.get("status")
+            if status == "busy":
+                # Shedding is per-node; the next replica may be idle.  No
+                # backoff — but it *is* a strike against nobody: a busy
+                # node is alive.
+                last_busy = reply
+                self.membership.note_success(node)
+                continue
+            self.membership.note_success(node)
+            self.counters.bump("routed_ok" if status == "ok"
+                               else "routed_error")
+            self.metrics.observe("cluster_route_seconds",
+                                 time.monotonic() - started)
+            return self._annotate(reply, node=node, attempts=tried)
+        self.metrics.observe("cluster_route_seconds",
+                             time.monotonic() - started)
+        if last_busy is not None:
+            self.counters.bump("routed_busy")
+            return dict(last_busy)
+        self.counters.bump("routed_failed")
+        return {"status": "error",
+                "error": f"no node accepted the request: {last_error}"}
+
+    def _roundtrip(self, node: str, message: Mapping[str, Any]) -> dict:
+        endpoint = self.membership.endpoint_of(node)
+        with self._loads_lock:
+            self._loads[node] = self._loads.get(node, 0) + 1
+        try:
+            with endpoint.connect(
+                    timeout=self.config.forward_timeout_s) as sock:
+                protocol.send_message(sock, message)
+                reply = protocol.recv_message(sock)
+        finally:
+            with self._loads_lock:
+                self._loads[node] -= 1
+        if reply is None:
+            raise protocol.ProtocolError(f"{node} closed the connection")
+        return reply
+
+    @staticmethod
+    def _annotate(reply: dict, node: str | None = None,
+                  attempts: int = 0, dedup: bool = False) -> dict:
+        """Stamp routing facts into the result payload (ServiceResult
+        surfaces unknown keys through ``extras``)."""
+        result = reply.get("result")
+        if isinstance(result, dict):
+            result = dict(result)
+            if node is not None:
+                result["routed_node"] = node
+                result["route_attempts"] = attempts
+            if dedup:
+                result["router_dedup"] = True
+            reply = dict(reply)
+            reply["result"] = result
+        return reply
+
+    @staticmethod
+    def _label(node: str) -> str:
+        return Endpoint.parse_lenient(node).label
+
+    # -- cluster management -------------------------------------------------
+
+    def drain_node(self, name: str) -> dict:
+        """Drain one node: the node stops admitting, the ring stops
+        routing to it, in-flight work finishes."""
+        from repro.service.client import ServiceClient
+
+        endpoint = self.membership.endpoint_of(name)
+        reply = ServiceClient(
+            endpoint, timeout=self.config.peer_timeout_s).drain()
+        self.membership.drain(name)
+        self.counters.bump("drains")
+        return reply
+
+    def status(self) -> dict:
+        """Cluster-level snapshot: membership, ring, routing counters."""
+        ring = self._current_ring()
+        return {
+            "nodes": self.membership.snapshot(),
+            "ring_nodes": list(ring.nodes),
+            "vnodes": ring.vnodes,
+            "inflight": sum(self._loads.values()),
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "counters": self.counters.snapshot(),
+        }
+
+    def stats(self) -> dict:
+        states = self.membership.states()
+        gauges = {
+            "nodes": len(states),
+            "nodes_up": sum(1 for s in states.values() if s == "up"),
+            "inflight": sum(self._loads.values()),
+            "uptime_s": round(time.monotonic() - self._started, 3),
+        }
+        snap = self.counters.snapshot_with(gauges)
+        snap.update(self.metrics.percentiles())
+        return snap
+
+    _GAUGE_STATS = frozenset({"nodes", "nodes_up", "inflight", "uptime_s"})
+
+    def render_metrics(self) -> str:
+        stats = self.stats()
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        for name, value in stats.items():
+            if name.endswith(("_p50", "_p90", "_p99")):
+                continue
+            (gauges if name in self._GAUGE_STATS else counters)[name] = value
+        return render_prometheus(self.metrics, extra_counters=counters,
+                                 extra_gauges=gauges)
+
+
+class ClusterClient(ClusterForwarder):
+    """In-process cluster client: what ``induce(cluster=...)`` talks to."""
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def submit(self, request: InductionRequest,
+               chaos: Mapping[str, Any] | None = None) -> ServiceResult:
+        """Route one request through the cluster; blocks until the reply."""
+        reply = self.submit_wire(protocol.request_to_wire(request, chaos=chaos))
+        status = reply.get("status")
+        if status == "busy":
+            raise ServiceBusy(
+                f"cluster busy: {reply.get('reason', 'unspecified')}")
+        if status != "ok":
+            raise ServiceError(reply.get("error", f"bad reply {reply!r}"))
+        return result_from_payload(reply["result"])
+
+
+class ClusterRouter(ClusterForwarder):
+    """The ``repro cluster route`` daemon: the forwarding core behind a
+    listening endpoint speaking the standard framed-JSON protocol."""
+
+    def __init__(self, endpoint: Endpoint | str, config: ClusterConfig,
+                 membership: Membership | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 start_probes: bool = True) -> None:
+        super().__init__(config, membership=membership, metrics=metrics,
+                         start_probes=start_probes)
+        listen = Endpoint.coerce(endpoint, where="ClusterRouter(endpoint=...)")
+        self._stopping = False
+        self._stopped = threading.Event()
+        self._unix_path = listen.path if listen.scheme == "unix" else None
+        self._listener = listen.bind(backlog=64)
+        self._endpoint = listen.resolved(self._listener)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="router-accept", daemon=True)
+        self._accept_thread.start()
+
+    @property
+    def endpoint(self) -> Endpoint:
+        return self._endpoint
+
+    @property
+    def address(self) -> str:
+        return self._endpoint.legacy
+
+    def shutdown(self) -> None:
+        """Stop the router (the nodes keep running)."""
+        self._stopping = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._finalize()
+
+    def _finalize(self) -> None:
+        if self._unix_path is not None:
+            import os
+            try:
+                os.unlink(self._unix_path)
+            except OSError:
+                pass
+        self.close()
+        self._stopped.set()
+
+    def wait_stopped(self, timeout: float | None = None) -> bool:
+        return self._stopped.wait(timeout)
+
+    # -- connection handling ------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(target=lambda c=conn: self._handle(c),
+                             name="router-conn", daemon=True).start()
+
+    def _handle(self, conn: socket.socket) -> None:
+        with conn:
+            while True:
+                try:
+                    msg = protocol.recv_message(conn)
+                except protocol.ProtocolError as exc:
+                    self._send(conn, {"status": "error", "error": str(exc)})
+                    return
+                except OSError:
+                    return
+                if msg is None:
+                    return
+                try:
+                    reply = self._dispatch_op(msg)
+                except protocol.ProtocolError as exc:
+                    reply = {"status": "error", "error": str(exc)}
+                sent = self._send(conn, reply)
+                if msg.get("op") == "shutdown" and reply.get("status") == "ok":
+                    self._stopping = True
+                    try:
+                        self._listener.close()
+                    except OSError:
+                        pass
+                    self._finalize()
+                    return
+                if not sent:
+                    return
+
+    def _send(self, conn: socket.socket, obj: dict) -> bool:
+        try:
+            protocol.send_message(conn, obj)
+            return True
+        except OSError:
+            return False
+
+    def _dispatch_op(self, msg: dict) -> dict:
+        op = msg.get("op")
+        if op == "submit":
+            if self._stopping:
+                return {"status": "busy", "reason": "shutdown"}
+            return self.submit_wire(msg)
+        if op == "stats":
+            return {"status": "stats", "stats": self.stats()}
+        if op == "metrics":
+            return {"status": "metrics", "metrics": self.render_metrics()}
+        if op == "ping":
+            return {"status": "pong", "router": True}
+        if op == "cluster_status":
+            return {"status": "cluster", "cluster": self.status()}
+        if op == "cluster_drain":
+            name = msg.get("node")
+            if not isinstance(name, str) or not name:
+                raise protocol.ProtocolError("cluster_drain needs a node name")
+            try:
+                self.drain_node(name)
+            except (LookupError, ServiceError, OSError) as exc:
+                return {"status": "error", "error": f"drain {name}: {exc}"}
+            return {"status": "ok", "draining": name}
+        if op == "shutdown":
+            return {"status": "ok", "drained": True}
+        raise protocol.ProtocolError(f"unknown op {op!r}")

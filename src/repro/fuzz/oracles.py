@@ -221,6 +221,44 @@ def _check_region(case: FuzzCase, workdir: Path | None,
     return failures
 
 
+def _check_cluster(case: FuzzCase, cluster,
+                   engines: tuple[str, ...]) -> list[OracleFailure]:
+    """Cluster round-trip: route → induce must equal a local single run.
+
+    The whole routed path — fingerprint routing, forwarding, the node's
+    batcher/worker/cache, the replica push — must be invisible to the
+    caller: same slots, same cost, never degraded.  ``cluster`` is a live
+    :class:`repro.cluster.LocalCluster` owned by the run loop.
+    """
+    from repro.api import InductionRequest
+
+    failures: list[OracleFailure] = []
+    cfg = dataclasses.replace(case.config, engine=engines[0])
+    schedule, stats = branch_and_bound(case.region, case.model, cfg)
+    request = InductionRequest(region=case.region, model=case.model,
+                               config=cfg)
+    try:
+        result = cluster.client().submit(request)
+    except Exception as exc:  # noqa: BLE001 - any transport blowup is a bug
+        return [OracleFailure("cluster_roundtrip",
+                              f"routed submit failed: {exc!r}")]
+    if result.degraded:
+        failures.append(OracleFailure(
+            "cluster_roundtrip", "routed result came back degraded with no "
+            "deadline set"))
+    if _slots_payload(result.schedule) != _slots_payload(schedule):
+        failures.append(OracleFailure(
+            "cluster_roundtrip",
+            f"routed={_slots_payload(result.schedule)} "
+            f"local={_slots_payload(schedule)} "
+            f"(node={result.extras.get('routed_node')})"))
+    elif abs(result.cost - stats.best_cost) > _EPS:
+        failures.append(OracleFailure(
+            "cluster_roundtrip",
+            f"routed cost={result.cost!r} local={stats.best_cost!r}"))
+    return failures
+
+
 def _check_program(case: FuzzCase) -> list[OracleFailure]:
     """Folding on vs off must agree on every global after execution."""
     from repro.interp import MIMDInterpreter
@@ -255,19 +293,26 @@ def _check_program(case: FuzzCase) -> list[OracleFailure]:
 
 
 def check_case(case: FuzzCase, workdir: Path | None = None,
-               engines: tuple[str, ...] = ("bitmask", "legacy")) -> list[OracleFailure]:
+               engines: tuple[str, ...] = ("bitmask", "legacy"),
+               cluster=None) -> list[OracleFailure]:
     """Run every applicable oracle; an empty list means the case passed.
 
     ``engines`` picks the search implementations a region case runs through;
-    cross-engine parity is only asserted when more than one is given.  Any
-    exception inside an oracle is itself a failure (generated inputs must
-    never crash the stack) and is reported as ``exception:<Type>``.
+    cross-engine parity is only asserted when more than one is given.
+    ``cluster`` (a live :class:`repro.cluster.LocalCluster`) additionally
+    routes the region through the cluster front door and insists the routed
+    result equals the local one.  Any exception inside an oracle is itself
+    a failure (generated inputs must never crash the stack) and is reported
+    as ``exception:<Type>``.
     """
     if not engines:
         raise ValueError("need at least one engine")
     try:
         if case.kind == "program":
             return _check_program(case)
-        return _check_region(case, workdir, tuple(engines))
+        failures = _check_region(case, workdir, tuple(engines))
+        if cluster is not None:
+            failures.extend(_check_cluster(case, cluster, tuple(engines)))
+        return failures
     except Exception as exc:
         return [OracleFailure(f"exception:{type(exc).__name__}", repr(exc))]

@@ -48,6 +48,10 @@ class FuzzConfig:
     fail_fast: bool = False
     #: Scratch directory for the disk-cache oracle; ``None`` skips that tier.
     workdir: str | None = None
+    #: Fraction of region cases additionally routed through an in-process
+    #: 3-node cluster and compared against the local result (the
+    #: ``cluster_roundtrip`` oracle).  0 disables the cluster entirely.
+    cluster_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.cases < 1:
@@ -56,6 +60,10 @@ class FuzzConfig:
             raise ValueError(f"bad time budget {self.time_budget_s}")
         if not self.engines:
             raise ValueError("need at least one engine")
+        if not 0.0 <= self.cluster_fraction <= 1.0:
+            raise ValueError(
+                f"cluster fraction must be in [0, 1], got "
+                f"{self.cluster_fraction}")
 
 
 @dataclass(frozen=True)
@@ -124,47 +132,66 @@ def fuzz_run(config: FuzzConfig | None = None,
     failures: list[FuzzFailure] = []
     corpus_paths: list[str] = []
     stopped_by = "cases"
+    # The cluster oracle's 3-node LocalCluster boots lazily on the first
+    # case that wants it and is shared by the whole run.
+    cluster = None
+    cluster_every = 0 if config.cluster_fraction <= 0 \
+        else max(1, round(1 / config.cluster_fraction))
 
-    for index in range(config.cases):
-        elapsed = time.perf_counter() - started
-        if config.time_budget_s is not None and elapsed >= config.time_budget_s:
-            stopped_by = "time_budget"
-            break
-        case = generate_case(seed, index, spec)
-        case_start = time.perf_counter()
-        with span("fuzz.case", tracer, index=index, case_kind=case.kind,
-                  note=case.note, ops=case.num_ops):
-            found = check_case(case, workdir=workdir, engines=config.engines)
-        registry.inc("fuzz_cases_total")
-        registry.observe("fuzz_case_seconds", time.perf_counter() - case_start)
-        cases_run += 1
-        if case.kind == "program":
-            program_cases += 1
-        else:
-            region_cases += 1
-
-        if found:
-            registry.inc("fuzz_failures_total")
-            shrunk = None
-            if config.shrink:
-                shrunk = shrink_case(case, found,
-                                     max_attempts=config.shrink_attempts,
-                                     engines=config.engines)
-                if shrunk is case:
-                    shrunk = None
-            failure = FuzzFailure(case=case, failures=tuple(found),
-                                  shrunk=shrunk)
-            failures.append(failure)
-            tracer.emit("fuzz_failure", index=index, case_kind=case.kind,
-                        oracles=sorted({f.oracle for f in found}),
-                        reproduce=f"repro fuzz --seed {seed} --cases {index + 1}")
-            if config.corpus_dir:
-                path = save_failure(config.corpus_dir, case, found,
-                                    shrunk=shrunk)
-                corpus_paths.append(str(path))
-            if config.fail_fast:
-                stopped_by = "fail_fast"
+    try:
+        for index in range(config.cases):
+            elapsed = time.perf_counter() - started
+            if config.time_budget_s is not None and \
+                    elapsed >= config.time_budget_s:
+                stopped_by = "time_budget"
                 break
+            case = generate_case(seed, index, spec)
+            route_through_cluster = (cluster_every and case.kind == "region"
+                                     and index % cluster_every == 0)
+            if route_through_cluster and cluster is None:
+                from repro.cluster import LocalCluster
+                cluster = LocalCluster(nodes=3, cache_capacity=32)
+            case_start = time.perf_counter()
+            with span("fuzz.case", tracer, index=index, case_kind=case.kind,
+                      note=case.note, ops=case.num_ops):
+                found = check_case(
+                    case, workdir=workdir, engines=config.engines,
+                    cluster=cluster if route_through_cluster else None)
+            registry.inc("fuzz_cases_total")
+            registry.observe("fuzz_case_seconds",
+                             time.perf_counter() - case_start)
+            cases_run += 1
+            if case.kind == "program":
+                program_cases += 1
+            else:
+                region_cases += 1
+
+            if found:
+                registry.inc("fuzz_failures_total")
+                shrunk = None
+                if config.shrink:
+                    shrunk = shrink_case(case, found,
+                                         max_attempts=config.shrink_attempts,
+                                         engines=config.engines)
+                    if shrunk is case:
+                        shrunk = None
+                failure = FuzzFailure(case=case, failures=tuple(found),
+                                      shrunk=shrunk)
+                failures.append(failure)
+                tracer.emit(
+                    "fuzz_failure", index=index, case_kind=case.kind,
+                    oracles=sorted({f.oracle for f in found}),
+                    reproduce=f"repro fuzz --seed {seed} --cases {index + 1}")
+                if config.corpus_dir:
+                    path = save_failure(config.corpus_dir, case, found,
+                                        shrunk=shrunk)
+                    corpus_paths.append(str(path))
+                if config.fail_fast:
+                    stopped_by = "fail_fast"
+                    break
+    finally:
+        if cluster is not None:
+            cluster.shutdown()
 
     wall_s = time.perf_counter() - started
     report = FuzzReport(

@@ -20,9 +20,11 @@ backend.  Layout:
 """
 
 from repro.service.client import ServiceBusy, ServiceClient, ServiceError
+from repro.service.endpoint import Endpoint
 from repro.service.server import InductionServer, ServerConfig
 
 __all__ = [
+    "Endpoint",
     "InductionServer",
     "ServerConfig",
     "ServiceBusy",

@@ -17,6 +17,7 @@ from typing import Any, Mapping
 from repro.api import InductionRequest
 from repro.core.result import ServiceResult, result_from_payload
 from repro.service import protocol
+from repro.service.endpoint import Endpoint
 
 __all__ = ["ServiceBusy", "ServiceClient", "ServiceError"]
 
@@ -32,9 +33,18 @@ class ServiceBusy(ServiceError):
 class ServiceClient:
     """Submit induction requests to a running ``repro serve`` daemon."""
 
-    def __init__(self, address: str, timeout: float | None = 600.0) -> None:
-        self.address = address
+    def __init__(self, endpoint: Endpoint | str,
+                 timeout: float | None = 600.0) -> None:
+        #: Where the service lives.  An :class:`Endpoint` (or its URL string
+        #: form); the pre-Endpoint bare address strings still work through a
+        #: warn-once deprecation shim.
+        self.endpoint = Endpoint.coerce(endpoint, where="ServiceClient(...)")
         self.timeout = timeout
+
+    @property
+    def address(self) -> str:
+        """Legacy bare-string form of :attr:`endpoint` (back-compat)."""
+        return self.endpoint.legacy
 
     # Context-manager form mirrors the tracer API; connections are
     # per-call, so there is nothing to tear down.
@@ -46,15 +56,15 @@ class ServiceClient:
 
     def _roundtrip(self, message: Mapping[str, Any]) -> dict[str, Any]:
         try:
-            with protocol.connect(self.address, timeout=self.timeout) as sock:
+            with self.endpoint.connect(timeout=self.timeout) as sock:
                 protocol.send_message(sock, message)
                 reply = protocol.recv_message(sock)
         except (OSError, protocol.ProtocolError) as exc:
             raise ServiceError(
-                f"service at {self.address!r} unreachable: {exc}") from exc
+                f"service at {self.endpoint} unreachable: {exc}") from exc
         if reply is None:
             raise ServiceError(
-                f"service at {self.address!r} closed the connection")
+                f"service at {self.endpoint} closed the connection")
         return reply
 
     def submit(self, request: InductionRequest,
@@ -91,6 +101,45 @@ class ServiceClient:
             return self._roundtrip({"op": "ping"}).get("status") == "pong"
         except (ServiceError, socket.timeout):
             return False
+
+    def drain(self) -> dict[str, Any]:
+        """Ask the server to stop admitting new work but keep running.
+
+        In-flight tickets finish normally; new submits are shed with
+        ``busy`` (reason ``draining``).  Stats/metrics/ping stay live so a
+        draining node remains observable until it is shut down.
+        """
+        reply = self._roundtrip({"op": "drain"})
+        if reply.get("status") != "ok":
+            raise ServiceError(f"drain failed: {reply!r}")
+        return reply
+
+    def cache_get(self, fingerprint: str) -> dict[str, Any] | None:
+        """Fetch a schedule payload from the server's *local* cache tier.
+
+        The peer-cache read behind :class:`repro.cluster.RemoteScheduleCache`:
+        returns ``{"schedule": ..., "stats": ...}`` on a hit, ``None`` on a
+        miss.  Unreachable peers raise :class:`ServiceError`; the remote
+        tier treats that as a miss.
+        """
+        reply = self._roundtrip({"op": "cache_get",
+                                 "fingerprint": fingerprint})
+        if reply.get("status") != "cache":
+            raise ServiceError(f"bad cache_get reply {reply!r}")
+        if not reply.get("hit"):
+            return None
+        return {"schedule": reply["schedule"], "stats": reply.get("stats")}
+
+    def cache_put(self, fingerprint: str, schedule_payload: list,
+                  stats_payload: Mapping[str, Any] | None = None) -> None:
+        """Push a finished schedule into the server's local cache tier."""
+        reply = self._roundtrip({
+            "op": "cache_put", "fingerprint": fingerprint,
+            "schedule": list(schedule_payload),
+            "stats": dict(stats_payload) if stats_payload else None,
+        })
+        if reply.get("status") != "ok":
+            raise ServiceError(f"cache_put failed: {reply!r}")
 
     def shutdown(self, drain: bool = True) -> None:
         """Ask the server to stop; returns after the drain completes."""

@@ -126,15 +126,15 @@ def parse_address(spec: str) -> tuple[str, Any]:
     return ("unix", spec)
 
 
-def connect(spec: str, timeout: float | None = None) -> socket.socket:
-    """Open a client connection to a service address."""
-    family, address = parse_address(spec)
-    sock = socket.socket(
-        socket.AF_UNIX if family == "unix" else socket.AF_INET,
-        socket.SOCK_STREAM)
-    sock.settimeout(timeout)
-    sock.connect(address)
-    return sock
+def connect(spec, timeout: float | None = None) -> socket.socket:
+    """Open a client connection to an :class:`Endpoint` or address spec."""
+    from repro.service.endpoint import Endpoint
+
+    try:
+        endpoint = Endpoint.parse_lenient(spec)
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
+    return endpoint.connect(timeout)
 
 
 # -- request (de)serialization --------------------------------------------
@@ -183,6 +183,10 @@ def request_to_wire(request: InductionRequest,
     }
     if request.deadline_s is not None:
         wire["deadline_s"] = request.deadline_s
+    if request.routing:
+        # Routing metadata is additive: pre-cluster servers rebuild the
+        # request from the keys they know and never see this one.
+        wire["routing"] = dict(request.routing)
     if chaos:
         wire["chaos"] = dict(chaos)
     # Span context rides the wire so a client-side trace continues through
@@ -206,6 +210,7 @@ def request_from_wire(wire: Mapping[str, Any]) -> InductionRequest:
             config=config,
             deadline_s=wire.get("deadline_s"),
             verify=bool(wire.get("verify", True)),
+            routing=wire.get("routing"),
         )
     except ProtocolError:
         raise

@@ -35,6 +35,7 @@ given) receives one ``service_batch`` event per batch and one
 
 from __future__ import annotations
 
+import dataclasses
 import queue
 import socket
 import threading
@@ -42,9 +43,15 @@ import time
 from dataclasses import dataclass
 from typing import Any
 
-from repro.core.cache import ScheduleCache, schedule_from_payload
+from repro.core.cache import (
+    ScheduleCache,
+    schedule_from_payload,
+    schedule_to_payload,
+)
+from repro.core.deprecation import warn_once
 from repro.core.result import result_to_payload
 from repro.core.search import SearchStats
+from repro.service.endpoint import Endpoint
 from repro.obs import (
     NULL_TRACER,
     Counters,
@@ -78,9 +85,16 @@ __all__ = ["InductionServer", "ServerConfig"]
 
 @dataclass
 class ServerConfig:
-    """Tunables for one :class:`InductionServer`."""
+    """Tunables for one :class:`InductionServer`.
 
-    address: str
+    ``endpoint`` is the one connection-config knob: an
+    :class:`~repro.service.endpoint.Endpoint` or its URL string form.  The
+    pre-Endpoint ``address=`` bare string still works through a warn-once
+    deprecation shim (and a bare string passed positionally as ``endpoint``
+    goes through the same shim inside :meth:`Endpoint.coerce`).
+    """
+
+    endpoint: Endpoint | str | None = None
     workers: int = 1
     queue_size: int = 64
     batch_max: int = 16
@@ -90,8 +104,25 @@ class ServerConfig:
     backoff_s: float = 0.05
     #: Honour ``chaos`` fault-injection in requests (tests/CI only).
     allow_chaos: bool = False
+    #: Deprecated alias for ``endpoint`` (bare address string).
+    address: str | None = None
 
     def __post_init__(self) -> None:
+        if self.endpoint is None and self.address is None:
+            raise ValueError("ServerConfig needs an endpoint")
+        if self.endpoint is not None and self.address is not None:
+            raise ValueError("pass endpoint= or the deprecated address=, "
+                             "not both")
+        if self.address is not None:
+            warn_once(
+                "serverconfig.address",
+                "ServerConfig(address=...) is deprecated; pass "
+                "endpoint=Endpoint.parse('unix:///path' | 'tcp://host:port')")
+            self.endpoint = Endpoint.parse_lenient(self.address)
+        else:
+            self.endpoint = Endpoint.coerce(self.endpoint,
+                                            where="ServerConfig(endpoint=...)")
+        self.address = self.endpoint.legacy
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.queue_size < 1:
@@ -179,39 +210,31 @@ class InductionServer:
         self._drained = threading.Event()
         self._drained.set()
         self._stopping = False
+        self._draining = False
         self._stopped = threading.Event()
         self._unix_path: str | None = None
-        self._listener = self._bind(config.address)
+        self._listener = self._bind(config.endpoint)
+        self._endpoint = config.endpoint.resolved(self._listener)
         self._accept_thread = self._spawn(self._accept_loop, "serve-accept")
         self._batcher_thread = self._spawn(self._batch_loop, "serve-batch")
 
     # -- lifecycle ---------------------------------------------------------
 
-    def _bind(self, address: str) -> socket.socket:
-        family, target = protocol.parse_address(address)
-        if family == "unix":
-            import os
-            try:
-                os.unlink(target)
-            except FileNotFoundError:
-                pass
-            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            sock.bind(target)
-            self._unix_path = target
-        else:
-            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-            sock.bind(target)
-        sock.listen(64)
+    def _bind(self, endpoint: Endpoint) -> socket.socket:
+        sock = endpoint.bind(backlog=64)
+        if endpoint.scheme == "unix":
+            self._unix_path = endpoint.path
         return sock
 
     @property
+    def endpoint(self) -> Endpoint:
+        """Where this node listens (with the real port for ``tcp://*:0``)."""
+        return self._endpoint
+
+    @property
     def address(self) -> str:
-        """The bound address (with the real port for ``host:0`` binds)."""
-        if self._unix_path is not None:
-            return self._unix_path
-        host, port = self._listener.getsockname()
-        return f"{host}:{port}"
+        """Legacy bare form of :attr:`endpoint` (back-compat)."""
+        return self._endpoint.legacy
 
     @staticmethod
     def _spawn(target, name: str) -> threading.Thread:
@@ -312,11 +335,66 @@ class InductionServer:
         if op == "metrics":
             return {"status": "metrics", "metrics": self.render_metrics()}
         if op == "ping":
-            return {"status": "pong"}
+            return {"status": "pong", "draining": self._draining}
+        if op == "drain":
+            # Unlike shutdown, a drained node keeps running: in-flight
+            # tickets finish, new submits shed with busy/"draining", and
+            # stats/metrics/ping stay live so the cluster can watch it
+            # empty out before stopping it for real.
+            self._draining = True
+            self.counters.bump("drain_requests")
+            return {"status": "ok", "draining": True}
+        if op == "cache_get":
+            return self._peer_cache_get(msg)
+        if op == "cache_put":
+            return self._peer_cache_put(msg)
         if op == "shutdown":
             self._drain_phase(drain=bool(msg.get("drain", True)))
             return {"status": "ok", "drained": True}
         raise protocol.ProtocolError(f"unknown op {op!r}")
+
+    # -- peer cache ops ----------------------------------------------------
+    #
+    # The remote cache tier (repro.cluster.remotecache) reads and writes
+    # peers' *local* tiers through these ops; a RemoteScheduleCache exposes
+    # get_local/put_local so serving a peer never recurses back out to the
+    # cluster.
+
+    def _peer_cache_get(self, msg: dict) -> dict:
+        fingerprint = msg.get("fingerprint")
+        if not isinstance(fingerprint, str) or not fingerprint:
+            raise protocol.ProtocolError("cache_get needs a fingerprint")
+        self.counters.bump("peer_cache_requests")
+        hit = None
+        if self.cache is not None:
+            get = getattr(self.cache, "get_local", self.cache.get)
+            hit = get(fingerprint)
+        if hit is None:
+            return {"status": "cache", "hit": False}
+        self.counters.bump("peer_cache_served")
+        schedule, stats = hit
+        return {
+            "status": "cache", "hit": True,
+            "schedule": schedule_to_payload(schedule),
+            "stats": dataclasses.asdict(stats) if stats is not None else None,
+        }
+
+    def _peer_cache_put(self, msg: dict) -> dict:
+        try:
+            fingerprint = msg["fingerprint"]
+            schedule = schedule_from_payload(msg["schedule"])
+            raw_stats = msg.get("stats")
+            stats = SearchStats(**raw_stats) if raw_stats else None
+            if not isinstance(fingerprint, str) or not fingerprint:
+                raise ValueError("bad fingerprint")
+        except (KeyError, TypeError, ValueError) as exc:
+            raise protocol.ProtocolError(f"bad cache_put payload: {exc}") \
+                from exc
+        if self.cache is not None:
+            put = getattr(self.cache, "put_local", self.cache.put)
+            put(fingerprint, schedule, stats)
+            self.counters.bump("peer_cache_stores")
+        return {"status": "ok", "stored": self.cache is not None}
 
     # -- admission ---------------------------------------------------------
 
@@ -340,10 +418,12 @@ class InductionServer:
                 span("service.request", self.tracer, method=wire.get(
                     "method", "search")) as live:
             ticket.trace_ctx = current_context()
-            if self._stopping:
+            if self._stopping or self._draining:
                 self.counters.bump("shed")
                 live.set(status="busy")
-                return {"status": "busy", "reason": "shutdown"}
+                return {"status": "busy",
+                        "reason": "draining" if self._draining and
+                        not self._stopping else "shutdown"}
             with self._open_lock:
                 self._open_tickets += 1
                 self._drained.clear()
@@ -558,7 +638,7 @@ class InductionServer:
     #: counters; the Prometheus exposition types them accordingly.
     _GAUGE_STATS = frozenset({
         "queue_depth", "inflight", "workers", "inline_pool",
-        "open_tickets", "uptime_s", "trace_events",
+        "open_tickets", "uptime_s", "trace_events", "draining",
     })
 
     def stats(self) -> dict:
@@ -578,6 +658,7 @@ class InductionServer:
             "open_tickets": open_tickets,
             "uptime_s": round(time.monotonic() - self._started, 3),
             "trace_events": self.tracer.events_written,
+            "draining": int(self._draining),
         }
         snap = self.counters.snapshot_with(gauges)
         if self.cache is not None:

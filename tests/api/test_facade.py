@@ -85,7 +85,8 @@ class TestInductionRequest:
 
     def test_fingerprint_ignores_jobs_and_deadline(self):
         base = api.InductionRequest(region=REGION)
-        assert base.replace(jobs=8).fingerprint() == base.fingerprint()
+        windowed = api.InductionRequest(region=REGION, window=2)
+        assert windowed.replace(jobs=8).fingerprint() == windowed.fingerprint()
         assert base.replace(deadline_s=5.0).fingerprint() == base.fingerprint()
 
     def test_fingerprint_folds_window_in(self):
@@ -216,3 +217,70 @@ class TestDeprecatedShims:
             old = core_induce(region, model)
         new = api.induce(api.InductionRequest(region=region, model=model))
         assert old.cost == new.cost
+
+
+def _knob_value(knob):
+    from repro.sched import StrategyOutcomesStore
+    return {"window": 2, "jobs": 4, "engine": "legacy", "budget": 99,
+            "strategy_store": StrategyOutcomesStore()}[knob]
+
+
+class TestKnobTable:
+    """Every knob/method combination outside KNOB_METHODS is rejected —
+    uniformly, with the same error type and a message naming the knob."""
+
+    @pytest.mark.parametrize("knob,method", [
+        (knob, method)
+        for knob, allowed in api.KNOB_METHODS.items()
+        for method in api.REQUEST_METHODS
+        if method not in allowed
+    ])
+    def test_invalid_combination_rejected(self, knob, method):
+        kwargs = {knob: _knob_value(knob), "method": method}
+        if knob == "jobs":
+            kwargs["window"] = 2 if method == "search" else None
+            kwargs = {k: v for k, v in kwargs.items() if v is not None}
+        with pytest.raises(ValueError, match=knob):
+            api.InductionRequest(region=REGION, **kwargs)
+
+    @pytest.mark.parametrize("knob,method", [
+        (knob, method)
+        for knob, allowed in api.KNOB_METHODS.items()
+        for method in allowed
+    ])
+    def test_valid_combination_accepted(self, knob, method):
+        kwargs = {knob: _knob_value(knob), "method": method}
+        if knob == "jobs":
+            kwargs["window"] = 2
+        request = api.InductionRequest(region=REGION, **kwargs)
+        assert request.method == method
+
+
+class TestClusterRouting:
+    def test_routing_field_rides_the_wire_unchanged(self):
+        from repro.service import protocol
+        request = api.InductionRequest(
+            region=REGION, routing={"node": "unix:///tmp/n0.sock",
+                                    "attempt": 1})
+        wire = protocol.request_to_wire(request)
+        assert wire["routing"] == {"node": "unix:///tmp/n0.sock",
+                                   "attempt": 1}
+        back = protocol.request_from_wire(wire)
+        assert back.routing == request.routing
+        # Routing metadata never perturbs the content address.
+        bare = api.InductionRequest(region=REGION)
+        assert request.fingerprint() == bare.fingerprint()
+
+    def test_induce_cluster_config_routes_and_returns(self):
+        from repro.cluster import LocalCluster
+        with LocalCluster(nodes=2, cache_capacity=8) as clu:
+            result = api.induce(api.InductionRequest(region=REGION),
+                                cluster=clu.config)
+            assert result.cost > 0 and not result.degraded
+            assert result.extras["routed_node"] in clu.config.node_names
+
+    def test_induce_rejects_client_and_cluster_together(self):
+        with pytest.raises(ValueError, match="not both"):
+            api.induce(api.InductionRequest(region=REGION),
+                       client="unix:///tmp/x.sock",
+                       cluster=object())

@@ -1,0 +1,77 @@
+"""CLI wiring tests for ``repro cluster status|drain`` and routed submits.
+
+The cluster itself runs in-process (``repro cluster serve``'s foreground
+loop is exercised by the CI cluster-smoke job); the CLI talks to the live
+router over its real socket.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.cluster import LocalCluster
+
+REGION = """
+thread 0:
+    a = ld x
+    b = mul a a
+thread 1:
+    c = ld x
+    d = mul c c
+"""
+
+
+@pytest.fixture
+def region_file(tmp_path):
+    path = tmp_path / "region.txt"
+    path.write_text(REGION)
+    return str(path)
+
+
+@pytest.fixture
+def cluster():
+    with LocalCluster(nodes=3, cache_capacity=8) as clu:
+        yield clu
+
+
+def test_submit_through_router(cluster, region_file, capsys):
+    assert main(["submit", region_file,
+                 "--socket", str(cluster.router.endpoint),
+                 "--repeat", "2", "--budget", "5000"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("cost=") == 2
+    assert "2 ok, 0 busy" in out
+
+
+def test_cluster_status(cluster, region_file, capsys):
+    main(["submit", region_file, "--socket", str(cluster.router.endpoint),
+          "--budget", "5000"])
+    assert main(["cluster", "status",
+                 "--socket", str(cluster.router.endpoint)]) == 0
+    out = capsys.readouterr().out
+    assert "3 nodes" in out
+    for name in cluster.config.node_names:
+        assert name in out
+    assert "routed_ok" in out
+
+
+def test_cluster_drain(cluster, capsys):
+    victim = cluster.config.node_names[0]
+    assert main(["cluster", "drain",
+                 "--socket", str(cluster.router.endpoint),
+                 "--node", victim]) == 0
+    assert "draining" in capsys.readouterr().out
+    assert cluster.router.membership.states()[victim] == "draining"
+
+
+def test_cluster_drain_unknown_node_fails(cluster, capsys):
+    with pytest.raises(SystemExit, match="drain failed"):
+        main(["cluster", "drain",
+              "--socket", str(cluster.router.endpoint),
+              "--node", "unix:///tmp/ghost.sock"])
+
+
+def test_cluster_serve_rejects_socket_outside_peers(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        main(["cluster", "serve",
+              "--socket", str(tmp_path / "lonely.sock"),
+              "--peers", str(tmp_path / "a.sock"), str(tmp_path / "b.sock")])

@@ -1,0 +1,163 @@
+"""Membership state-machine tests with an injected (fake) probe.
+
+No sockets: the probe callable is swapped for a script of responses, so
+mark-down thresholds, recovery, draining and version bumps are all
+deterministic single-threaded assertions.
+"""
+
+import pytest
+
+from repro.cluster import Membership
+from repro.cluster.membership import DOWN, DRAINING, UP
+from repro.service import Endpoint
+
+A = Endpoint.unix("/tmp/ma.sock")
+B = Endpoint.unix("/tmp/mb.sock")
+
+
+class ScriptedProbe:
+    """Probe stub: per-node queue of stats dicts or exceptions."""
+
+    def __init__(self):
+        self.replies = {}
+
+    def set(self, endpoint, *replies):
+        self.replies[str(endpoint)] = list(replies)
+
+    def __call__(self, endpoint, timeout):
+        queue = self.replies.get(str(endpoint), [])
+        reply = queue.pop(0) if queue else {}
+        if isinstance(reply, Exception):
+            raise reply
+        return reply
+
+
+@pytest.fixture
+def probe():
+    return ScriptedProbe()
+
+
+def make(probe, mark_down_after=2, **kwargs):
+    return Membership([A, B], mark_down_after=mark_down_after,
+                      probe=probe, **kwargs)
+
+
+class TestProbing:
+    def test_successful_probe_records_queue_depth(self, probe):
+        membership = make(probe)
+        probe.set(A, {"queue_depth": 3.0})
+        probe.set(B, {})
+        assert membership.probe_once() == {str(A): UP, str(B): UP}
+        assert membership.queue_depths()[str(A)] == 3.0
+
+    def test_mark_down_after_consecutive_failures(self, probe):
+        membership = make(probe, mark_down_after=2)
+        probe.set(A, OSError("boom"), OSError("boom"))
+        probe.set(B, {}, {})
+        membership.probe_once()
+        assert membership.states()[str(A)] == UP  # one strike is not enough
+        membership.probe_once()
+        assert membership.states()[str(A)] == DOWN
+        assert membership.routable() == [str(B)]
+        assert "boom" in membership.snapshot()[0]["last_error"]
+
+    def test_success_resets_strike_count(self, probe):
+        membership = make(probe, mark_down_after=2)
+        probe.set(A, OSError("x"), {}, OSError("x"))
+        probe.set(B, {}, {}, {})
+        for _ in range(3):
+            membership.probe_once()
+        # Failures never consecutive: still up.
+        assert membership.states()[str(A)] == UP
+
+    def test_downed_node_recovers_on_one_success(self, probe):
+        membership = make(probe, mark_down_after=1)
+        probe.set(A, OSError("x"), {})
+        probe.set(B, {}, {})
+        membership.probe_once()
+        assert membership.states()[str(A)] == DOWN
+        membership.probe_once()
+        assert membership.states()[str(A)] == UP
+
+    def test_probed_draining_gauge_drains_node(self, probe):
+        membership = make(probe)
+        probe.set(A, {"draining": 1}, {"draining": 0})
+        probe.set(B, {}, {})
+        membership.probe_once()
+        assert membership.states()[str(A)] == DRAINING
+        assert membership.routable() == [str(B)]
+        # The node stopped reporting draining (e.g. restart): back up.
+        membership.probe_once()
+        assert membership.states()[str(A)] == UP
+
+
+class TestRoutingFeedback:
+    def test_note_failure_strikes_to_down(self, probe):
+        membership = make(probe, mark_down_after=2)
+        membership.note_failure(str(A), "connect refused")
+        assert membership.states()[str(A)] == UP
+        membership.note_failure(str(A), "connect refused")
+        assert membership.states()[str(A)] == DOWN
+
+    def test_note_success_resurrects_down_node(self, probe):
+        membership = make(probe, mark_down_after=1)
+        membership.note_failure(str(A), "x")
+        assert membership.states()[str(A)] == DOWN
+        membership.note_success(str(A))
+        assert membership.states()[str(A)] == UP
+
+    def test_unknown_node_feedback_is_ignored(self, probe):
+        membership = make(probe)
+        membership.note_failure("unix:///tmp/ghost.sock", "x")
+        membership.note_success("unix:///tmp/ghost.sock")
+        assert set(membership.states()) == {str(A), str(B)}
+
+
+class TestExplicitTransitions:
+    def test_drain_and_mark_up(self, probe):
+        membership = make(probe)
+        membership.drain(str(A))
+        assert membership.states()[str(A)] == DRAINING
+        assert membership.routable() == [str(B)]
+        membership.mark_up(str(A))
+        assert sorted(membership.routable()) == sorted([str(A), str(B)])
+
+    def test_mark_down_and_unknown_node(self, probe):
+        membership = make(probe)
+        membership.mark_down(str(A))
+        assert membership.states()[str(A)] == DOWN
+        with pytest.raises(LookupError):
+            membership.drain("unix:///tmp/ghost.sock")
+
+    def test_endpoint_of(self, probe):
+        assert make(probe).endpoint_of(str(A)) == A
+
+
+class TestVersion:
+    def test_version_bumps_only_on_state_change(self, probe):
+        membership = make(probe, mark_down_after=1)
+        v0 = membership.version
+        probe.set(A, {}, {})
+        probe.set(B, {}, {})
+        membership.probe_once()
+        membership.probe_once()
+        assert membership.version == v0  # UP -> UP is not a change
+        membership.note_failure(str(A), "x")
+        v_down = membership.version
+        assert v_down > v0
+        membership.drain(str(B))
+        assert membership.version > v_down
+
+
+def test_needs_at_least_one_endpoint():
+    with pytest.raises(ValueError):
+        Membership([])
+
+
+def test_change_callback_fires_on_transitions(probe):
+    changes = []
+    membership = Membership([A], mark_down_after=1, probe=probe,
+                            on_change=lambda: changes.append(1))
+    membership.note_failure(str(A), "x")
+    membership.note_success(str(A))
+    assert len(changes) == 2

@@ -1,0 +1,192 @@
+"""Remote cache tier tests with stubbed peer clients (no sockets).
+
+The stub client exposes exactly the two peer ops the tier uses
+(``cache_get``/``cache_put``) backed by plain dicts, so hit adoption,
+replication pushes and dead-peer degradation are all deterministic.
+"""
+
+import pytest
+
+from repro.cluster import ClusterConfig, RemoteScheduleCache
+from repro.core import maspar_cost_model, parse_region
+from repro.core.cache import ScheduleCache, region_fingerprint, schedule_to_payload
+from repro.core.search import SearchConfig, SearchStats, branch_and_bound
+from repro.service import Endpoint
+
+REGION = """
+thread 0:
+    a = ld x
+    b = add a a
+thread 1:
+    c = ld x
+    d = add c c
+"""
+
+ENDPOINTS = tuple(Endpoint.unix(f"/tmp/rc{i}.sock") for i in range(3))
+
+
+class StubPeer:
+    """One fake node's cache plus call accounting."""
+
+    def __init__(self, fail=False):
+        self.store = {}
+        self.fail = fail
+        self.gets = 0
+        self.puts = 0
+
+    def cache_get(self, fingerprint):
+        self.gets += 1
+        if self.fail:
+            raise OSError("peer down")
+        entry = self.store.get(fingerprint)
+        if entry is None:
+            return None
+        return {"schedule": entry[0], "stats": entry[1]}
+
+    def cache_put(self, fingerprint, schedule_payload, stats_payload):
+        self.puts += 1
+        if self.fail:
+            raise OSError("peer down")
+        self.store[fingerprint] = (schedule_payload, stats_payload)
+
+
+@pytest.fixture
+def cluster():
+    config = ClusterConfig(endpoints=ENDPOINTS, replication=2)
+    peers = {str(e): StubPeer() for e in ENDPOINTS}
+    return config, peers
+
+
+@pytest.fixture
+def induced():
+    region = parse_region(REGION)
+    model = maspar_cost_model()
+    schedule, stats = branch_and_bound(region, model,
+                                       SearchConfig(node_budget=2_000))
+    return region_fingerprint(region, model), schedule, stats
+
+
+def make_cache(config, peers, self_name, capacity=8):
+    return RemoteScheduleCache(
+        ScheduleCache(capacity=capacity), config, self_name=self_name,
+        client_factory=lambda endpoint: peers[str(endpoint)])
+
+
+def owners(cache, fingerprint):
+    return cache.ring.preference(fingerprint, count=cache.config.replication)
+
+
+class TestGet:
+    def test_local_miss_then_peer_hit_is_adopted(self, cluster, induced):
+        config, peers = cluster
+        fp, schedule, stats = induced
+        owner = owners(make_cache(config, peers, ""), fp)[0]
+        peers[owner].store[fp] = (schedule_to_payload(schedule), None)
+
+        me = next(n for n in config.node_names if n != owner)
+        cache = make_cache(config, peers, me)
+        found = cache.get(fp)
+        assert found is not None
+        assert found[0] == schedule
+        assert cache.counters["remote_hits"] == 1
+        # Adopted into the local tier: the next get never leaves the node.
+        gets_before = sum(p.gets for p in peers.values())
+        assert cache.get(fp)[0] == schedule
+        assert sum(p.gets for p in peers.values()) == gets_before
+
+    def test_stats_survive_the_peer_roundtrip(self, cluster, induced):
+        config, peers = cluster
+        fp, schedule, stats = induced
+        owner_cache = make_cache(config, peers, owners(
+            make_cache(config, peers, ""), fp)[0])
+        owner_cache.put(fp, schedule, stats)
+
+        outsider = next(n for n in config.node_names
+                        if n not in owners(owner_cache, fp))
+        # The outsider is not a replica owner, so its peers DO include the
+        # owner that just stored: the lookup crosses the cluster.
+        cache = make_cache(config, peers, outsider)
+        found = cache.get(fp)
+        assert found is not None
+        assert isinstance(found[1], SearchStats)
+        assert found[1] == stats
+
+    def test_all_peers_miss_counts_remote_miss(self, cluster):
+        config, peers = cluster
+        cache = make_cache(config, peers, config.node_names[0])
+        assert cache.get("0" * 64) is None
+        assert cache.counters["remote_misses"] == 1
+
+    def test_dead_peer_degrades_to_miss(self, cluster, induced):
+        config, peers = cluster
+        fp, schedule, _ = induced
+        for peer in peers.values():
+            peer.fail = True
+        cache = make_cache(config, peers, config.node_names[0])
+        assert cache.get(fp) is None
+        assert cache.counters["remote_errors"] >= 1
+        assert cache.counters["remote_misses"] == 1
+
+    def test_garbage_payload_is_an_error_not_a_crash(self, cluster, induced):
+        config, peers = cluster
+        fp, _, _ = induced
+        owner = owners(make_cache(config, peers, ""), fp)[0]
+        peers[owner].store[fp] = ("not-a-schedule", None)
+        me = next(n for n in config.node_names if n != owner)
+        cache = make_cache(config, peers, me)
+        assert cache.get(fp) is None
+        assert cache.counters["remote_errors"] >= 1
+
+
+class TestPut:
+    def test_put_pushes_to_replica_owners_excluding_self(self, cluster,
+                                                         induced):
+        config, peers = cluster
+        fp, schedule, stats = induced
+        reference = make_cache(config, peers, "")
+        replica_owners = owners(reference, fp)
+        me = replica_owners[0]
+        cache = make_cache(config, peers, me)
+        cache.put(fp, schedule, stats)
+        # Local copy plus a push to the OTHER replica owner, nobody else.
+        assert cache.get_local(fp) is not None
+        pushed = [n for n, p in peers.items() if fp in p.store]
+        assert pushed == [replica_owners[1]]
+        assert cache.counters["remote_stores"] == 1
+
+    def test_put_with_dead_replica_still_stores_locally(self, cluster,
+                                                        induced):
+        config, peers = cluster
+        fp, schedule, _ = induced
+        for peer in peers.values():
+            peer.fail = True
+        cache = make_cache(config, peers, config.node_names[0])
+        cache.put(fp, schedule, None)
+        assert cache.get_local(fp) is not None
+        assert cache.counters["remote_errors"] >= 1
+
+
+class TestLocalOnlySurface:
+    def test_get_local_never_touches_peers(self, cluster, induced):
+        config, peers = cluster
+        fp, schedule, _ = induced
+
+        def explode(endpoint):
+            raise AssertionError("peer traffic from a local-only op")
+
+        cache = RemoteScheduleCache(
+            ScheduleCache(capacity=4), config,
+            self_name=config.node_names[0], client_factory=explode)
+        assert cache.get_local(fp) is None
+        cache.put_local(fp, schedule, None)
+        assert cache.get_local(fp)[0] == schedule
+
+    def test_delegated_schedulecache_surface(self, cluster, induced):
+        config, peers = cluster
+        fp, schedule, _ = induced
+        cache = make_cache(config, peers, config.node_names[0], capacity=4)
+        assert len(cache) == 0
+        assert cache.capacity == 4
+        cache.put_local(fp, schedule, None)
+        assert len(cache) == 1
+        assert 0.0 <= cache.hit_rate <= 1.0

@@ -1,0 +1,139 @@
+"""Unit and property tests for the consistent-hash ring.
+
+The stability property is the whole point of consistent hashing: adding or
+removing one node may only remap roughly the 1/N of fingerprints whose arcs
+that node gains or loses.  The tests drive 10k synthetic fingerprints
+through rings of several sizes and bound the remap fraction directly.
+"""
+
+import hashlib
+import os
+
+import pytest
+
+from repro.cluster import HashRing
+
+NODES = [f"unix:///tmp/n{i}.sock" for i in range(5)]
+
+
+def fingerprints(count: int):
+    return [hashlib.sha256(f"fp-{i}".encode()).hexdigest()
+            for i in range(count)]
+
+
+class TestLookup:
+    def test_owner_is_stable_and_member(self):
+        ring = HashRing(NODES)
+        fps = fingerprints(200)
+        owners = [ring.node_for(fp) for fp in fps]
+        assert set(owners) <= set(NODES)
+        assert owners == [ring.node_for(fp) for fp in fps]
+
+    def test_preference_starts_at_owner_and_is_distinct(self):
+        ring = HashRing(NODES)
+        for fp in fingerprints(50):
+            order = ring.preference(fp)
+            assert order[0] == ring.node_for(fp)
+            assert len(order) == len(set(order)) == len(NODES)
+            assert ring.preference(fp, count=2) == order[:2]
+
+    def test_preference_count_is_clamped(self):
+        ring = HashRing(NODES[:2])
+        assert len(ring.preference("fp", count=10)) == 2
+
+    def test_empty_ring_raises(self):
+        ring = HashRing([])
+        with pytest.raises(LookupError):
+            ring.node_for("fp")
+        with pytest.raises(LookupError):
+            ring.preference("fp")
+
+    def test_bad_vnodes_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(NODES, vnodes=0)
+
+    def test_container_protocol(self):
+        ring = HashRing(NODES)
+        assert len(ring) == len(NODES)
+        assert NODES[0] in ring
+        assert "unix:///tmp/other.sock" not in ring
+
+
+class TestBoundedLoad:
+    def test_no_loads_routes_to_owner(self):
+        ring = HashRing(NODES)
+        fp = "fp-bounded"
+        assert ring.pick(fp) == ring.node_for(fp)
+        assert ring.pick(fp, loads={}) == ring.node_for(fp)
+
+    def test_overloaded_owner_spills_to_next_preference(self):
+        ring = HashRing(NODES)
+        fp = "fp-bounded"
+        order = ring.preference(fp)
+        loads = {name: 0 for name in NODES}
+        loads[order[0]] = 100
+        assert ring.pick(fp, loads=loads) == order[1]
+
+    def test_everyone_overloaded_falls_back_to_owner(self):
+        ring = HashRing(NODES)
+        fp = "fp-bounded"
+        loads = {name: 1000 for name in NODES}
+        # The queue has to form somewhere; keep the cache locality.
+        assert ring.pick(fp, loads=loads) == ring.node_for(fp)
+
+    def test_light_load_does_not_spill(self):
+        ring = HashRing(NODES)
+        fp = "fp-bounded"
+        loads = {name: 1 for name in NODES}
+        assert ring.pick(fp, loads=loads) == ring.node_for(fp)
+
+
+class TestBalanceAndStability:
+    def test_vnode_balance(self):
+        """With vnodes smoothing, no node owns a wildly outsized share."""
+        ring = HashRing(NODES, vnodes=64)
+        share = ring.share(fingerprints(10_000))
+        ideal = 10_000 / len(NODES)
+        for node, count in share.items():
+            assert 0.4 * ideal <= count <= 1.9 * ideal, (node, count)
+
+    @pytest.mark.parametrize("change", ["add", "remove"])
+    def test_single_node_change_remaps_about_one_share(self, change):
+        """Add/remove one node remaps <= ~(1/N + eps) of fingerprints."""
+        fps = fingerprints(10_000)
+        before = HashRing(NODES)
+        if change == "add":
+            after = before.with_nodes(NODES + ["unix:///tmp/n9.sock"])
+            # The new node takes ~1/(N+1); nothing else may move.
+            bound = 1 / (len(NODES) + 1) + 0.08
+        else:
+            after = before.with_nodes(NODES[:-1])
+            # The departed node's ~1/N share is inherited by survivors.
+            bound = 1 / len(NODES) + 0.08
+        moved = sum(
+            1 for fp in fps if before.node_for(fp) != after.node_for(fp))
+        assert moved / len(fps) <= bound
+
+    def test_remap_is_exactly_the_changed_nodes_share(self):
+        """Fingerprints that stay owned by a surviving node never move."""
+        fps = fingerprints(2_000)
+        before = HashRing(NODES)
+        after = before.with_nodes(NODES[:-1])
+        gone = NODES[-1]
+        for fp in fps:
+            owner = before.node_for(fp)
+            if owner != gone:
+                assert after.node_for(fp) == owner
+
+    def test_routing_ignores_repro_seed(self, monkeypatch):
+        """Placement is pure SHA-256: REPRO_SEED cannot perturb it."""
+        fps = fingerprints(200)
+        monkeypatch.setenv("REPRO_SEED", "1")
+        first = [HashRing(NODES).node_for(fp) for fp in fps]
+        monkeypatch.setenv("REPRO_SEED", "99999")
+        second = [HashRing(NODES).node_for(fp) for fp in fps]
+        assert first == second
+
+    def test_with_nodes_keeps_vnode_count(self):
+        ring = HashRing(NODES, vnodes=16)
+        assert ring.with_nodes(NODES[:3]).vnodes == 16

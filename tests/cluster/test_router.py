@@ -1,0 +1,180 @@
+"""End-to-end router behaviour over a real in-process LocalCluster.
+
+Everything here runs over genuine unix sockets: routing and annotation,
+cluster-wide in-flight dedup, failover after a node crash, draining, and
+the router's protocol surface (status/metrics/ping ops).
+"""
+
+import threading
+
+import pytest
+
+from repro.api import InductionRequest
+from repro.cluster import HashRing, LocalCluster, RetryPolicy
+from repro.core import maspar_cost_model, parse_region
+from repro.service import ServiceError
+
+REGION = """
+thread 0:
+    a = ld x
+    b = mul a a
+    c = add b a
+thread 1:
+    d = ld x
+    e = mul d d
+    f = add e d
+"""
+
+
+def request(seed: int = 0) -> InductionRequest:
+    region = parse_region(REGION)
+    # Vary the budget so distinct seeds give distinct fingerprints.
+    return InductionRequest(region=region, model=maspar_cost_model(),
+                            budget=5_000 + seed)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with LocalCluster(nodes=3, cache_capacity=16,
+                      retry=RetryPolicy(attempts=4, backoff_s=0.01),
+                      mark_down_after=2) as clu:
+        yield clu
+
+
+def owners_of(cluster, req, count=2):
+    ring = HashRing(cluster.config.node_names, vnodes=cluster.config.vnodes)
+    return ring.preference(req.fingerprint(), count=count)
+
+
+class TestRouting:
+    def test_submit_routes_and_annotates(self, cluster):
+        req = request(1)
+        result = cluster.client().submit(req)
+        assert result.cost > 0
+        assert result.extras["routed_node"] in cluster.config.node_names
+        assert result.extras["route_attempts"] == 1
+        # Deterministic placement: the routed node is the ring owner.
+        assert result.extras["routed_node"] == owners_of(cluster, req)[0]
+
+    def test_repeat_hits_the_owners_cache(self, cluster):
+        req = request(2)
+        first = cluster.client().submit(req)
+        owner_index = cluster.config.node_names.index(
+            first.extras["routed_node"])
+        hits_before = cluster.node_stats()[owner_index].get("cache_hits", 0)
+        second = cluster.client().submit(req)
+        assert second.cost == first.cost
+        assert second.extras["routed_node"] == first.extras["routed_node"]
+        hits_after = cluster.node_stats()[owner_index].get("cache_hits", 0)
+        assert hits_after == hits_before + 1
+
+    def test_inflight_duplicates_share_one_forward(self, cluster):
+        req = request(3)
+        dedup_before = cluster.router.counters["route_dedup_hits"]
+        client = cluster.cluster_client()
+        results = [None] * 4
+        errors = []
+
+        def go(i, chaos):
+            try:
+                results[i] = client.submit(req, chaos=chaos)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        # The leader's chaos sleep holds the fingerprint in flight long
+        # enough for the followers to rendezvous on it.
+        threads = [threading.Thread(
+            target=go, args=(i, {"sleep_s": 0.3} if i == 0 else None))
+            for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        client.close()
+        assert not errors
+        costs = {r.cost for r in results}
+        assert len(costs) == 1
+        assert client.counters["route_dedup_hits"] >= 1
+        assert any(r.extras.get("router_dedup") for r in results)
+        # Dedup happened inside the in-process client, not the router.
+        assert cluster.router.counters["route_dedup_hits"] == dedup_before
+
+
+class TestFailover:
+    def test_kill_owner_fails_over_to_replica(self):
+        with LocalCluster(nodes=3, cache_capacity=16, replication=2,
+                          retry=RetryPolicy(attempts=4, backoff_s=0.01),
+                          mark_down_after=2) as clu:
+            req = request(4)
+            owner, replica = owners_of(clu, req)[:2]
+            clu.kill_node(clu.config.node_names.index(owner))
+            result = clu.client().submit(req)
+            assert result.extras["routed_node"] == replica
+            assert result.extras["route_attempts"] >= 2
+            assert clu.router.counters["route_failovers"] >= 1
+            # Two strikes (mark_down_after=2): one more request marks the
+            # dead owner down and the ring stops planning through it.
+            clu.client().submit(req)
+            assert clu.router.membership.states()[owner] == "down"
+            clean = clu.client().submit(req)
+            assert clean.extras["route_attempts"] == 1
+
+    def test_all_nodes_dead_is_an_error_not_a_hang(self):
+        with LocalCluster(nodes=2, cache_capacity=4,
+                          retry=RetryPolicy(attempts=2, backoff_s=0.0)) as clu:
+            clu.kill_node(0)
+            clu.kill_node(1)
+            with pytest.raises(ServiceError):
+                clu.client().submit(request(5))
+            assert clu.router.counters["routed_failed"] >= 1
+
+
+class TestDrain:
+    def test_drained_node_stops_receiving_new_work(self):
+        with LocalCluster(nodes=3, cache_capacity=16) as clu:
+            req = request(6)
+            owner = owners_of(clu, req)[0]
+            clu.drain_node(clu.config.node_names.index(owner))
+            assert clu.router.membership.states()[owner] == "draining"
+            result = clu.client().submit(req)
+            assert result.extras["routed_node"] != owner
+            assert clu.router.counters["drains"] == 1
+
+
+class TestRouterProtocol:
+    def test_stats_metrics_ping_ops(self, cluster):
+        client = cluster.client()
+        stats = client.stats()
+        assert stats["nodes"] == 3
+        assert stats["nodes_up"] >= 1
+        metrics = client.metrics()
+        assert "cluster_route_seconds" in metrics
+        assert "routed_ok" in metrics
+        assert client.ping() is True
+
+    def test_status_snapshot(self, cluster):
+        cluster.client().submit(request(7))
+        status = cluster.router.status()
+        assert len(status["nodes"]) == 3
+        assert set(status["ring_nodes"]) <= set(cluster.config.node_names)
+        assert status["vnodes"] == cluster.config.vnodes
+        assert any(k.startswith("route_") for k in status["counters"])
+
+    def test_unknown_op_is_a_protocol_error(self, cluster):
+        from repro.service import protocol
+        with cluster.router.endpoint.connect(timeout=5.0) as sock:
+            protocol.send_message(sock, {"op": "frobnicate"})
+            reply = protocol.recv_message(sock)
+        assert reply["status"] == "error"
+        assert "unknown op" in reply["error"]
+
+    def test_router_shutdown_leaves_nodes_running(self):
+        clu = LocalCluster(nodes=2, cache_capacity=4)
+        try:
+            clu.client().submit(request(8))
+            clu.router.shutdown()
+            assert clu.router.wait_stopped(timeout=5.0)
+            direct = clu.node_client(0).ping()
+            assert direct is True
+        finally:
+            clu.shutdown()

@@ -80,3 +80,27 @@ class TestFailureShape:
         failure = OracleFailure("engine_counters", "nodes differ")
         assert "engine_counters" in str(failure)
         assert "nodes differ" in str(failure)
+
+
+class TestClusterOracle:
+    def test_clean_case_passes_through_the_cluster(self):
+        from repro.cluster import LocalCluster
+        with LocalCluster(nodes=3, cache_capacity=8) as cluster:
+            assert check_case(region_case(), cluster=cluster) == []
+
+    def test_degraded_cluster_result_is_a_failure(self):
+        from repro.cluster import LocalCluster
+        from repro.fuzz.oracles import _check_cluster
+
+        class Degraded:
+            def submit(self, request):
+                raise OSError("cluster unreachable")
+
+        class FakeCluster:
+            def client(self):
+                return Degraded()
+
+        failures = _check_cluster(region_case(), FakeCluster(),
+                                  engines=("bitmask",))
+        assert failures
+        assert all(f.oracle == "cluster_roundtrip" for f in failures)

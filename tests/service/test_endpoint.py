@@ -1,0 +1,186 @@
+"""Tests for typed service addresses and their deprecation shims.
+
+:class:`Endpoint` is the single connection-config type; the old bare
+string forms must keep working through :meth:`coerce` with exactly one
+:class:`DeprecationWarning` per call site, and the CLI-facing
+:meth:`parse_lenient` must accept both bare forms silently.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.deprecation import reset_warned
+from repro.service import Endpoint, InductionServer, ServerConfig
+from repro.service.client import ServiceClient
+
+
+def deprecations(recorded):
+    return [w for w in recorded if issubclass(w.category, DeprecationWarning)]
+
+
+class TestParse:
+    @pytest.mark.parametrize("url", [
+        "unix:///tmp/repro.sock",
+        "tcp://127.0.0.1:7777",
+        "tcp://[::1]:7777",
+    ])
+    def test_url_forms_roundtrip_through_str(self, url):
+        endpoint = Endpoint.parse(url)
+        assert str(endpoint) == url
+        assert Endpoint.parse(str(endpoint)) == endpoint
+
+    def test_unix_single_slash_form(self):
+        assert Endpoint.parse("unix:/tmp/x.sock") == \
+            Endpoint.unix("/tmp/x.sock")
+
+    def test_parse_accepts_endpoint_instances(self):
+        endpoint = Endpoint.unix("/tmp/x.sock")
+        assert Endpoint.parse(endpoint) is endpoint
+
+    @pytest.mark.parametrize("bad", [
+        "/tmp/bare.sock",          # legacy bare forms are parse_lenient-only
+        "localhost:7777",
+        "tcp://nohost",
+        "tcp://host:notaport",
+        "ftp://host:1",
+        "",
+    ])
+    def test_parse_rejects_everything_else(self, bad):
+        with pytest.raises(ValueError):
+            Endpoint.parse(bad)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="socket path"):
+            Endpoint(scheme="unix")
+        with pytest.raises(ValueError, match="host"):
+            Endpoint(scheme="tcp", port=80)
+        with pytest.raises(ValueError, match="port"):
+            Endpoint(scheme="tcp", host="h", port=99999)
+        with pytest.raises(ValueError, match="scheme"):
+            Endpoint(scheme="udp", host="h", port=1)
+
+
+class TestParseLenient:
+    def test_bare_path_is_unix(self):
+        assert Endpoint.parse_lenient("/tmp/bare.sock") == \
+            Endpoint.unix("/tmp/bare.sock")
+
+    def test_bare_host_port_is_tcp(self):
+        assert Endpoint.parse_lenient("localhost:7777") == \
+            Endpoint.tcp("localhost", 7777)
+
+    def test_url_forms_still_parse(self):
+        assert Endpoint.parse_lenient("unix:///tmp/x.sock") == \
+            Endpoint.unix("/tmp/x.sock")
+
+    def test_no_warning_is_emitted(self):
+        reset_warned()
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            Endpoint.parse_lenient("/tmp/bare.sock")
+        assert not deprecations(recorded)
+
+    def test_empty_is_rejected(self):
+        with pytest.raises(ValueError):
+            Endpoint.parse_lenient("  ")
+
+
+class TestCoerceShim:
+    def test_bare_string_warns_once_per_site(self):
+        reset_warned()
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            Endpoint.coerce("/tmp/bare.sock", where="test_site(a=...)")
+            Endpoint.coerce("/tmp/bare.sock", where="test_site(a=...)")
+        warned = deprecations(recorded)
+        assert len(warned) == 1
+        assert "test_site(a=...)" in str(warned[0].message)
+
+    def test_distinct_sites_each_warn(self):
+        reset_warned()
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            Endpoint.coerce("/tmp/bare.sock", where="site_one(...)")
+            Endpoint.coerce("/tmp/bare.sock", where="site_two(...)")
+        assert len(deprecations(recorded)) == 2
+
+    def test_endpoint_and_url_strings_never_warn(self):
+        reset_warned()
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            Endpoint.coerce(Endpoint.unix("/tmp/x.sock"), where="s(...)")
+            Endpoint.coerce("unix:///tmp/x.sock", where="s(...)")
+            Endpoint.coerce("tcp://h:1", where="s(...)")
+        assert not deprecations(recorded)
+
+    def test_serviceclient_bare_address_shim(self):
+        reset_warned()
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            client = ServiceClient("/tmp/bare.sock")
+        assert client.endpoint == Endpoint.unix("/tmp/bare.sock")
+        warned = deprecations(recorded)
+        assert len(warned) == 1
+        assert "ServiceClient" in str(warned[0].message)
+
+    def test_serverconfig_address_shim(self):
+        reset_warned()
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            config = ServerConfig(address="/tmp/bare.sock")
+        assert config.endpoint == Endpoint.unix("/tmp/bare.sock")
+        assert len(deprecations(recorded)) == 1
+
+    def test_serverconfig_rejects_both_forms_at_once(self):
+        with pytest.raises(ValueError, match="not both"):
+            ServerConfig(endpoint=Endpoint.unix("/tmp/a.sock"),
+                         address="/tmp/b.sock")
+
+
+class TestRendering:
+    def test_legacy_forms(self):
+        assert Endpoint.unix("/tmp/x.sock").legacy == "/tmp/x.sock"
+        assert Endpoint.tcp("h", 9).legacy == "h:9"
+
+    def test_label_is_metrics_safe(self):
+        label = Endpoint.unix("/tmp/x-y.sock").label
+        assert label == "tmp_x_y_sock"
+        assert all(c.isalnum() or c == "_" for c in label)
+        assert Endpoint.tcp("127.0.0.1", 80).label == "127_0_0_1_80"
+
+    def test_hashable_and_ordered(self):
+        a, b = Endpoint.unix("/a"), Endpoint.unix("/b")
+        assert len({a, b, Endpoint.unix("/a")}) == 2
+        assert sorted([b, a]) == [a, b]
+
+
+class TestSockets:
+    def test_unix_bind_connect_roundtrip(self, tmp_path):
+        endpoint = Endpoint.unix(str(tmp_path / "ep.sock"))
+        listener = endpoint.bind()
+        try:
+            with endpoint.connect(timeout=5.0):
+                conn, _ = listener.accept()
+                conn.close()
+        finally:
+            listener.close()
+
+    def test_tcp_port_zero_resolves_to_bound_port(self):
+        endpoint = Endpoint.tcp("127.0.0.1", 0)
+        listener = endpoint.bind()
+        try:
+            resolved = endpoint.resolved(listener)
+            assert resolved.port == listener.getsockname()[1] != 0
+        finally:
+            listener.close()
+
+
+def test_server_accepts_typed_endpoint(tmp_path):
+    endpoint = Endpoint.unix(str(tmp_path / "typed.sock"))
+    server = InductionServer(ServerConfig(endpoint=endpoint, workers=1))
+    try:
+        assert ServiceClient(server.endpoint).ping() is True
+        assert server.endpoint == endpoint
+    finally:
+        server.shutdown()
