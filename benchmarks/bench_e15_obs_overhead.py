@@ -1,7 +1,9 @@
-"""E15 — observability overhead: spans, metrics and JSONL tracing.
+"""E15 — observability overhead: spans, metrics, SLO and flight recorder.
 
 The instrumentation added for the induction service (hierarchical spans,
-histogram metrics, structured trace events) runs on the hot path of every
+histogram metrics, structured trace events, and — since the cluster
+observability plane — per-request SLO accounting, flight-recorder
+digests and histogram exemplars) runs on the hot path of every
 ``induce()`` call, so it must be cheap enough to leave on.  This
 experiment measures the same branch-and-bound workload under increasing
 observability:
@@ -11,29 +13,42 @@ observability:
 - *memory*    — a :class:`MemoryTracer` sink (what workers use to record
   spans for replay across the process boundary);
 - *jsonl*     — a :class:`JsonlTracer` writing every span and event to
-  disk under its interleave-safe lock.
+  disk under its interleave-safe lock;
+- *full*      — everything the server does per request: a JSONL sink
+  tee'd with a per-request :class:`MemoryTracer` recorder, one
+  :class:`SLOTracker` sample, one :class:`FlightRecorder` consideration,
+  and an exemplar-carrying histogram observation.
 
 Each row reports mean wall time per call and the overhead ratio against
 the uninstrumented baseline.  Honest accounting: the ratios depend on
 how search-heavy the region is — a huge search amortizes instrumentation
 to nothing, an all-cache-hit run is dominated by it — so the table
 reports a small-but-real search where overhead is most visible, rather
-than asserting a machine-dependent ratio.  The one hard assertion is
-functional: the JSONL run must leave a parseable span tree behind.
+than asserting a machine-dependent ratio.  Hard assertions: the JSONL
+runs must leave parseable span trees behind, and the *full* ratio must
+not silently regress past the committed ``BENCH_obs.json`` reference
+(with generous tolerance — it gates a 2x blow-up, not scheduler noise).
 """
 
+import json
+import pathlib
 import time
 
 from conftest import api_induce, bench_seed, record_table
 from repro.core import maspar_cost_model
 from repro.core.search import SearchConfig
-from repro.obs import JsonlTracer, MemoryTracer, build_traces, load_span_events
+from repro.obs import (
+    FlightRecorder, JsonlTracer, MemoryTracer, SLOTracker, TeeTracer,
+    build_traces, load_span_events, span,
+)
 from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.util import format_table
 from repro.workloads import RandomRegionSpec, random_region
 
 MODEL = maspar_cost_model()
 CALLS = 40
+
+_REFERENCE = pathlib.Path(__file__).parent / "BENCH_obs.json"
 
 
 def bench_region(seed=7):
@@ -54,6 +69,33 @@ def timed_calls(region, tracer=None):
     return sum(walls) / len(walls)
 
 
+def timed_full(region, jsonl_path):
+    """Per-call cost of the complete server-side observability plane."""
+    cfg = SearchConfig(node_budget=20_000)
+    slo = SLOTracker()
+    flightrec = FlightRecorder()
+    registry = MetricsRegistry()
+    walls = []
+    with use_registry(registry), JsonlTracer(jsonl_path) as sink:
+        for index in range(CALLS):
+            t0 = time.perf_counter()
+            recorder = MemoryTracer()
+            tee = TeeTracer(sink, recorder)
+            with span("bench.request", tee) as request:
+                api_induce(region, MODEL, config=cfg, tracer=tee)
+            induce_s = time.perf_counter() - t0
+            slo.record(induce_s, ok=True)
+            flightrec.record(fingerprint=f"bench-{index}", outcome="ok",
+                             wall_s=induce_s, trace=request.trace_id,
+                             spans=recorder.events)
+            registry.observe("bench_request_seconds", induce_s,
+                             trace_id=request.trace_id)
+            walls.append(time.perf_counter() - t0)
+    assert slo.status()["requests_total"] == CALLS
+    assert flightrec.counts()["considered"] == CALLS
+    return sum(walls) / len(walls)
+
+
 def run_experiment(tmp_path):
     region = bench_region()
     timed_calls(region)  # warm imports and allocator before measuring
@@ -63,22 +105,45 @@ def run_experiment(tmp_path):
     jsonl_path = tmp_path / "bench_trace.jsonl"
     with JsonlTracer(jsonl_path) as tracer:
         jsonl = timed_calls(region, tracer)
+    full_path = tmp_path / "bench_full.jsonl"
+    full = timed_full(region, full_path)
 
     trees = build_traces(load_span_events(jsonl_path))
     assert len(trees) == CALLS
     assert all(t.roots[0].name == "induce" for t in trees)
+    full_trees = build_traces(load_span_events(full_path))
+    assert len(full_trees) == CALLS
+    assert all(t.roots[0].name == "bench.request" for t in full_trees)
 
     rows = [
         ["off (ids only)", f"{off * 1e3:.3f}", "1.00x"],
         ["memory sink", f"{memory * 1e3:.3f}", f"{memory / off:.2f}x"],
         ["jsonl sink", f"{jsonl * 1e3:.3f}", f"{jsonl / off:.2f}x"],
+        ["full obs plane", f"{full * 1e3:.3f}", f"{full / off:.2f}x"],
     ]
     table = format_table(
         ["tracing", "mean wall (ms/call)", "vs off"], rows,
         title=f"E15: observability overhead ({CALLS} induce() calls, "
               f"{region.num_ops} ops)")
-    record_table("e15_obs_overhead", table, data={"rows": rows})
+    data = {
+        "rows": rows,
+        "off_ms": off * 1e3,
+        "full_ms": full * 1e3,
+        "memory_ratio": memory / off,
+        "jsonl_ratio": jsonl / off,
+        "full_ratio": full / off,
+    }
+    record_table("e15_obs_overhead", table, data=data)
+    return data
 
 
 def test_e15_obs_overhead(tmp_path):
-    run_experiment(tmp_path)
+    data = run_experiment(tmp_path)
+    # Regression gate: the full plane's overhead ratio must stay within
+    # 2x of the committed reference (with an absolute floor so very fast
+    # machines, where a few microseconds of bookkeeping is a large
+    # *fraction*, don't flake the gate).
+    reference = json.loads(_REFERENCE.read_text())["full"]["ratio"]
+    assert data["full_ratio"] <= max(2.0 * reference, 1.5), (
+        f"full obs plane overhead {data['full_ratio']:.2f}x exceeds gate "
+        f"(reference {reference:.2f}x)")

@@ -16,6 +16,9 @@ Mirrors the user-facing surface of the 1992 prototype:
   win rates, time-to-best, skip set) written by ``--strategy-store``;
 - ``trace``    — render the hierarchical span trees in a ``--trace`` file
   (one tree per trace id, with per-phase self-time percentages);
+- ``flightrec`` — pull captured request digests from a running server or
+  router's flight recorder and replay the most recent one as a span tree;
+- ``slo``      — render a running server or router's SLO burn-rate table;
 - ``select``   — the "master shell script" step of §4.3: compute expected
   op counts, consult the machine database, and report where the program
   should run.
@@ -221,8 +224,18 @@ def _cmd_serve(args) -> int:
     if args.strategy_store:
         from repro.sched import StrategyOutcomesStore
         store = StrategyOutcomesStore(args.strategy_store)
+    slo = flightrec = None
+    if args.slo_latency is not None:
+        from repro.obs import (FlightConfig, FlightRecorder, SLOConfig,
+                               SLOTracker)
+        # One threshold drives both: the SLO latency objective and the
+        # flight recorder's "slow enough to capture" predicate.
+        slo = SLOTracker(SLOConfig(latency_threshold_s=args.slo_latency))
+        flightrec = FlightRecorder(
+            FlightConfig(slow_threshold_s=args.slo_latency))
     server = InductionServer(config, cache=cache, tracer=tracer,
-                             strategy_store=store)
+                             strategy_store=store, slo=slo,
+                             flightrec=flightrec)
     print(f"induction service listening on {server.endpoint} "
           f"(workers={config.workers}, queue={config.queue_size})", flush=True)
     if args.metrics_port is not None:
@@ -258,6 +271,9 @@ def _cmd_submit(args) -> int:
                              request))
     client = ServiceClient(args.socket)
     tracer = JsonlTracer(args.trace) if args.trace else None
+    if tracer is not None:
+        for _, request in requests:
+            request.tracer = tracer
 
     def one(item):
         label, request = item
@@ -361,16 +377,34 @@ def _cmd_cluster_serve(args) -> int:
 
 def _cmd_cluster_route(args) -> int:
     from repro.cluster import ClusterRouter
+    from repro.obs import JsonlTracer
 
     config = _cluster_config(args)
-    router = ClusterRouter(args.socket, config)
+    tracer = JsonlTracer(args.trace) if args.trace else None
+    slo = flightrec = None
+    if args.slo_latency is not None:
+        from repro.obs import (FlightConfig, FlightRecorder, SLOConfig,
+                               SLOTracker)
+        slo = SLOTracker(SLOConfig(latency_threshold_s=args.slo_latency))
+        flightrec = FlightRecorder(
+            FlightConfig(slow_threshold_s=args.slo_latency))
+    router = ClusterRouter(args.socket, config, tracer=tracer,
+                           slo=slo, flightrec=flightrec)
     print(f"cluster router listening on {router.endpoint} "
           f"(nodes={len(config.endpoints)})", flush=True)
+    if args.metrics_port is not None:
+        from repro.obs import start_metrics_server
+        http = start_metrics_server(router.render_metrics, args.metrics_port)
+        print(f"metrics endpoint on http://127.0.0.1:{http.port}/metrics",
+              flush=True)
     try:
         while not router.wait_stopped(0.5):
             pass
     except KeyboardInterrupt:
         router.shutdown()
+    finally:
+        if tracer is not None:
+            tracer.close()
     print("router stopped")
     return 0
 
@@ -390,24 +424,61 @@ def _router_op(endpoint, message: dict, timeout: float = 30.0) -> dict:
     return reply
 
 
+def _node_slo_cell(slo: dict) -> str:
+    """One-word SLO status for the cluster table, from probed gauges."""
+    if not slo:
+        return "-"
+    burns = [v for k, v in slo.items() if "_burn_" in k]
+    worst = max(burns) if burns else 0.0
+    state = "ok" if slo.get("slo_healthy", 1.0) else "burning"
+    return f"{state} ({worst:.2f}x)"
+
+
 def _cmd_cluster_status(args) -> int:
+    import json
+
+    from repro.util.tables import format_table
+
     reply = _router_op(args.socket, {"op": "cluster_status"})
     if reply.get("status") != "cluster":
         raise SystemExit(f"bad cluster_status reply: {reply}")
     cluster = reply["cluster"]
-    print(f"cluster via {args.socket}: {len(cluster['nodes'])} nodes, "
-          f"{len(cluster['ring_nodes'])} routable, "
-          f"inflight={cluster['inflight']}, "
-          f"uptime={cluster['uptime_s']:.0f}s")
+    if args.json:
+        print(json.dumps(cluster, indent=2, sort_keys=True))
+        return 0
+    from repro.service.endpoint import Endpoint
+
+    counters = cluster["counters"]
+    rows = []
+    labels = set()
     for node in cluster["nodes"]:
-        line = (f"  {node['state']:8s} {node['endpoint']}  "
-                f"probes={node['probes']} failures={node['failures']} "
-                f"queue={node['queue_depth']:g}")
-        if node["last_error"]:
-            line += f"  last_error={node['last_error']}"
-        print(line)
-    for name, value in sorted(cluster["counters"].items()):
-        print(f"  {name:32s} {value:g}")
+        # Per-node counters are keyed by the metric-safe endpoint label.
+        label = Endpoint.parse_lenient(node["endpoint"]).label
+        labels.add(label)
+        rows.append([
+            node["endpoint"],
+            node["state"],
+            f"{node['queue_depth']:g}",
+            f"{counters.get(f'route_{label}', 0):g}",
+            f"{counters.get(f'retry_{label}', 0):g}",
+            f"{counters.get(f'failover_{label}', 0):g}",
+            _node_slo_cell(node.get("slo") or {}),
+            node["last_error"] or "",
+        ])
+    print(format_table(
+        ["node", "state", "queue", "routed", "retries", "failovers",
+         "slo", "last error"],
+        rows,
+        title=(f"cluster via {args.socket}: {len(cluster['nodes'])} nodes, "
+               f"{len(cluster['ring_nodes'])} routable, "
+               f"inflight={cluster['inflight']}, "
+               f"uptime={cluster['uptime_s']:.0f}s")))
+    # Per-node counters are in the table; print only the aggregates below.
+    per_node = {f"{kind}_{label}" for label in labels
+                for kind in ("route", "retry", "failover")}
+    for name, value in sorted(counters.items()):
+        if name not in per_node:
+            print(f"  {name:32s} {value:g}")
     return 0
 
 
@@ -453,6 +524,94 @@ def _cmd_trace(args) -> int:
     print(render_trace_trees(trees, trace_id=args.trace_id,
                              last_only=args.last))
     return 0
+
+
+def _digest_row(digest: dict) -> list:
+    flags = [name for name in ("slow", "failed", "degraded", "failed_over")
+             if digest.get(name)]
+    route = ">".join(digest.get("route") or [])
+    return [
+        digest["seq"],
+        digest["fingerprint"][:12],
+        digest["outcome"],
+        f"{digest['wall_s'] * 1e3:.1f}ms",
+        ",".join(flags) or "-",
+        route or "-",
+        (digest.get("trace") or "")[:12] or "-",
+    ]
+
+
+def _cmd_flightrec(args) -> int:
+    import json
+
+    from repro.obs import build_traces, render_trace_trees
+    from repro.service import ServiceClient
+    from repro.util.tables import format_table
+
+    client = ServiceClient(args.socket)
+    snap = client.flightrec(slow=args.slow, failed=args.failed,
+                            last=args.last)
+    if args.json:
+        print(json.dumps(snap, indent=2, sort_keys=True))
+        return 0
+    digests = snap["digests"]
+    print(f"flight recorder at {args.socket}: "
+          f"{snap['considered']} considered, {snap['captured']} captured, "
+          f"{snap['buffered']} buffered, {len(digests)} matching")
+    if not digests:
+        return 1
+    print(format_table(
+        ["seq", "fingerprint", "outcome", "wall", "flags", "route", "trace"],
+        [_digest_row(d) for d in digests]))
+    newest = digests[-1]
+    spans = [e for e in (newest.get("spans") or [])
+             if e.get("kind") == "span"]
+    if spans:
+        trees = build_traces(spans)
+        print(f"replay of digest #{newest['seq']} "
+              f"({len(spans)} recorded spans):")
+        print(render_trace_trees(trees))
+    else:
+        print(f"digest #{newest['seq']} captured no spans")
+    return 0
+
+
+def _render_slo(status: dict) -> str:
+    from repro.util.tables import format_table
+
+    rows = []
+    for entry in status["objectives"]:
+        threshold = (f"<{entry['threshold_s']:g}s"
+                     if entry.get("threshold_s") is not None else "ok-rate")
+        for window in entry["windows"]:
+            rows.append([
+                entry["objective"],
+                threshold,
+                f"{entry['target'] * 100:g}%",
+                f"{window['window_s']:g}s",
+                window["requests"],
+                window["bad"],
+                f"{window['burn_rate']:.2f}x",
+            ])
+    health = "HEALTHY" if status["healthy"] else "BURNING"
+    return format_table(
+        ["objective", "goal", "target", "window", "requests", "bad", "burn"],
+        rows,
+        title=(f"SLO {health}: {status['requests_total']} requests "
+               "(burn <= 1.00x is within budget)"))
+
+
+def _cmd_slo(args) -> int:
+    import json
+
+    from repro.service import ServiceClient
+
+    status = ServiceClient(args.socket).slo()
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    print(_render_slo(status))
+    return 0 if status["healthy"] else 1
 
 
 def _cmd_fuzz(args) -> int:
@@ -650,6 +809,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
                    help="serve Prometheus metrics over HTTP on this "
                         "loopback port (0 = pick a free port)")
+    p.add_argument("--slo-latency", type=float, default=None,
+                   metavar="SECONDS",
+                   help="latency SLO threshold: drives the slo_* burn-rate "
+                        "gauges and the flight recorder's slow-capture "
+                        "predicate (default 1.0 when unset)")
     p.add_argument("--status", action="store_true",
                    help="print a running server's stats snapshot and exit")
     p.add_argument("--metrics", action="store_true",
@@ -729,11 +893,24 @@ def build_parser() -> argparse.ArgumentParser:
     cp = csub.add_parser(
         "route", help="run the cluster front door (routes, dedups, fails over)")
     _cluster_common(cp, "the router's listening endpoint")
+    cp.add_argument("--trace", metavar="FILE",
+                    help="append routing span events (cluster.route/attempt/"
+                         "failover) to this JSONL trace file")
+    cp.add_argument("--slo-latency", type=float, default=None,
+                    metavar="SECONDS",
+                    help="latency SLO threshold for the router's own slo_* "
+                         "gauges and flight recorder")
+    cp.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                    help="serve Prometheus metrics over HTTP on this "
+                         "loopback port (0 = pick a free port)")
     cp.set_defaults(fn=_cmd_cluster_route)
 
-    cp = csub.add_parser("status", help="show membership and routing counters")
+    cp = csub.add_parser("status", help="show the per-node membership table "
+                                        "and routing counters")
     cp.add_argument("--socket", type=_endpoint_arg, required=True,
                     metavar="ENDPOINT", help="a running router's endpoint")
+    cp.add_argument("--json", action="store_true",
+                    help="print the raw cluster_status reply as JSON")
     cp.set_defaults(fn=_cmd_cluster_status)
 
     cp = csub.add_parser(
@@ -764,6 +941,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--last", action="store_true",
                    help="show only the most recent trace")
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "flightrec",
+        help="pull request digests from a server/router flight recorder")
+    p.add_argument("--socket", type=_endpoint_arg, default="/tmp/repro.sock",
+                   metavar="ENDPOINT",
+                   help="a running server's or router's endpoint")
+    p.add_argument("--slow", action="store_true",
+                   help="only digests that crossed the slow threshold")
+    p.add_argument("--failed", action="store_true",
+                   help="only digests whose outcome was not ok")
+    p.add_argument("--last", type=int, default=None, metavar="N",
+                   help="only the N most recent matching digests")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw flightrec reply as JSON")
+    p.set_defaults(fn=_cmd_flightrec)
+
+    p = sub.add_parser(
+        "slo", help="show a server/router SLO burn-rate table")
+    p.add_argument("--socket", type=_endpoint_arg, default="/tmp/repro.sock",
+                   metavar="ENDPOINT",
+                   help="a running server's or router's endpoint")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw slo reply as JSON")
+    p.set_defaults(fn=_cmd_slo)
 
     p = sub.add_parser(
         "fuzz",

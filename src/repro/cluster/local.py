@@ -50,7 +50,8 @@ class LocalCluster:
                  mark_down_after: int = 2,
                  start_probes: bool = False,
                  remote_cache: bool = True,
-                 batch_wait_s: float = 0.002) -> None:
+                 batch_wait_s: float = 0.002,
+                 router_tracer=None) -> None:
         if nodes < 1:
             raise ValueError(f"need at least one node, got {nodes}")
         # Keep paths short: AF_UNIX addresses cap out around 108 bytes.
@@ -82,9 +83,11 @@ class LocalCluster:
                 cache=cache)
             self.caches.append(cache)
             self.servers.append(server)
+        # router_tracer lets a test watch routing spans at the router
+        # itself; callers usually trace through request.tracer instead.
         self.router = ClusterRouter(
             Endpoint.unix(str(self._dir / "router.sock")),
-            self.config, start_probes=start_probes)
+            self.config, start_probes=start_probes, tracer=router_tracer)
         self._dead: set[int] = set()
 
     # -- access -------------------------------------------------------------

@@ -52,6 +52,10 @@ class NodeHealth:
     last_error: str = ""
     #: Queue depth from the node's last successful stats probe.
     queue_depth: float = 0.0
+    #: The node's ``slo_*`` gauges (burn rates, healthy flag) from its
+    #: last successful stats probe — how per-node SLO status reaches the
+    #: router's ``cluster_status`` without a second wire op.
+    slo: dict = field(default_factory=dict)
     last_seen: float = field(default_factory=time.monotonic)
 
     @property
@@ -67,6 +71,7 @@ class NodeHealth:
             "failures": self.failures,
             "last_error": self.last_error,
             "queue_depth": self.queue_depth,
+            "slo": dict(self.slo),
         }
 
 
@@ -148,6 +153,10 @@ class Membership:
             health.last_error = ""
             health.last_seen = time.monotonic()
             health.queue_depth = float(stats.get("queue_depth", 0.0) or 0.0)
+            slo = {key: float(value) for key, value in stats.items()
+                   if key.startswith("slo_")}
+            if slo:
+                health.slo = slo
             # A node that says it is draining is treated exactly like an
             # explicit drain() call; a node that stopped saying so (e.g. it
             # was restarted) comes back.

@@ -30,6 +30,16 @@ elsewhere just spreads the error).  Every hop lands in per-node counters
 (``route_<node>``/``retry_<node>``/``failover_<node>``) and the
 ``cluster_route_seconds`` / ``cluster_node_queue_depth`` histograms, all
 rendered through the standard Prometheus exposition.
+
+Observability plane (PR 8): every route runs inside
+``cluster.route``/``cluster.attempt``/``cluster.failover`` spans that
+continue the caller's trace; node replies ship their server-side spans
+back in an ``obs`` payload that the router stitches into the same trace
+and — for traced callers — forwards in its own reply.  The router keeps
+its own :class:`~repro.obs.SLOTracker` (burn-rate gauges in ``stats()``
+and the exposition) and :class:`~repro.obs.FlightRecorder` (digests of
+slow/failed/failed-over routes, spans included), served by the ``slo``
+and ``flightrec`` ops.
 """
 
 from __future__ import annotations
@@ -44,11 +54,28 @@ from repro.cluster.config import ClusterConfig
 from repro.cluster.membership import Membership
 from repro.cluster.ring import HashRing
 from repro.core.result import ServiceResult, result_from_payload
-from repro.obs import Counters
-from repro.obs.metrics import MetricsRegistry, render_prometheus
+from repro.obs import (
+    NULL_TRACER,
+    Counters,
+    MemoryTracer,
+    TeeTracer,
+    Tracer,
+    attach_context,
+    current_context,
+    replay_events,
+    span,
+)
+from repro.obs.flightrec import FlightRecorder
+from repro.obs.metrics import (
+    MetricsRegistry,
+    render_prometheus,
+    split_stats,
+)
+from repro.obs.slo import SLOTracker
 from repro.service import protocol
-from repro.service.client import ServiceBusy, ServiceError
+from repro.service.client import ServiceBusy, ServiceError, absorb_reply_obs
 from repro.service.endpoint import Endpoint
+from repro.service.server import flightrec_reply
 
 __all__ = ["ClusterClient", "ClusterForwarder", "ClusterRouter"]
 
@@ -74,12 +101,19 @@ class ClusterForwarder:
     def __init__(self, config: ClusterConfig,
                  membership: Membership | None = None,
                  metrics: MetricsRegistry | None = None,
-                 start_probes: bool = True) -> None:
+                 start_probes: bool = True,
+                 tracer: Tracer | None = None,
+                 slo: SLOTracker | None = None,
+                 flightrec: FlightRecorder | None = None) -> None:
         if not config.endpoints:
             raise ValueError("cluster config has no endpoints")
         self.config = config
         self.counters = Counters()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer or NULL_TRACER
+        self.slo = slo if slo is not None else SLOTracker()
+        self.flightrec = flightrec if flightrec is not None \
+            else FlightRecorder()
         self.membership = membership or Membership(
             config.endpoints,
             probe_interval_s=config.probe_interval_s,
@@ -138,9 +172,21 @@ class ClusterForwarder:
 
         Duplicate fingerprints already in flight join the live forward and
         share its reply instead of fanning out to the nodes.
+
+        The whole route runs inside a ``cluster.route`` span (continuing
+        the caller's trace when the wire carried a ``trace_ctx``); each
+        hop opens a ``cluster.attempt`` span whose context rides to the
+        node, and the node-side spans the reply ships back are stitched
+        into the same trace.  When the caller traced the request, the
+        reply's ``result["obs"]`` carries the combined span records;
+        either way the route lands in the SLO tracker and — if slow,
+        failed or failed over — in the flight recorder.
         """
         request = protocol.request_from_wire(wire)
         fingerprint = request.fingerprint()
+        started = time.monotonic()
+        recorder = MemoryTracer()
+        tee = TeeTracer(self.tracer, recorder)
         with self._flights_lock:
             flight = self._flights.get(fingerprint)
             if flight is not None and not flight.done:
@@ -149,25 +195,72 @@ class ClusterForwarder:
                 flight = _Flight()
                 self._flights[fingerprint] = flight
                 leader = True
-        if not leader:
-            self.counters.bump("route_dedup_hits")
-            flight.event.wait(timeout=3600.0)
-            reply = flight.reply or {"status": "error",
-                                     "error": "deduplicated forward timed out"}
-            return self._annotate(dict(reply), dedup=True)
-        try:
-            flight.reply = self._forward(wire, fingerprint)
-        finally:
-            # Publish before unlinking so late joiners never miss the reply.
-            flight.done = True
-            flight.event.set()
-            with self._flights_lock:
-                if self._flights.get(fingerprint) is flight:
-                    del self._flights[fingerprint]
-        return flight.reply
+        info = {"route": [], "failed_over": False}
+        with attach_context(wire.get("trace_ctx")), \
+                span("cluster.route", tee, fingerprint=fingerprint[:12],
+                     dedup=not leader) as route:
+            if not leader:
+                # The joiner shares the leader's reply but not its spans:
+                # the leader popped the node-side obs into its own trace,
+                # so a joiner's tree shows its route span joining a live
+                # flight, which is what actually happened.
+                self.counters.bump("route_dedup_hits")
+                flight.event.wait(timeout=3600.0)
+                reply = flight.reply or \
+                    {"status": "error",
+                     "error": "deduplicated forward timed out"}
+                reply = self._annotate(dict(reply), dedup=True)
+                route.set(status=str(reply.get("status")))
+            else:
+                try:
+                    flight.reply = self._forward(wire, fingerprint, tee,
+                                                 info)
+                finally:
+                    # Publish before unlinking so late joiners never miss
+                    # the reply.
+                    flight.done = True
+                    flight.event.set()
+                    with self._flights_lock:
+                        if self._flights.get(fingerprint) is flight:
+                            del self._flights[fingerprint]
+                reply = flight.reply
+                route.set(status=str(reply.get("status")))
+        return self._finish_route(reply, info, recorder, route.trace_id,
+                                  fingerprint, started,
+                                  stitch=bool(wire.get("trace_ctx")))
 
-    def _forward(self, wire: dict[str, Any], fingerprint: str) -> dict[str, Any]:
+    def _finish_route(self, reply: dict, info: dict, recorder: MemoryTracer,
+                      trace_id: str, fingerprint: str, started: float,
+                      stitch: bool) -> dict:
+        """Post-span bookkeeping: SLO sample, flight digest, reply obs."""
+        wall_s = time.monotonic() - started
+        status = str(reply.get("status", "error"))
+        self.slo.record(wall_s, ok=status == "ok")
+        result = reply.get("result")
+        if not isinstance(result, dict):
+            result = None
+        phases = {"route_s": wall_s}
+        if result:
+            for key in ("queue_wait_s", "server_wall_s"):
+                if result.get(key) is not None:
+                    phases[key] = result[key]
+        self.flightrec.record(
+            fingerprint=fingerprint, outcome=status, wall_s=wall_s,
+            trace=trace_id, phases=phases, route=info["route"],
+            spans=recorder.events,
+            degraded=bool(result.get("degraded")) if result else False,
+            failed_over=info["failed_over"])
+        if stitch and result is not None:
+            reply = dict(reply)
+            reply["result"] = {**result,
+                               "obs": {"spans": list(recorder.events)}}
+        return reply
+
+    def _forward(self, wire: dict[str, Any], fingerprint: str,
+                 tee: Tracer, info: dict) -> dict[str, Any]:
         started = time.monotonic()
+        ctx = current_context()
+        route_trace = ctx["trace"] if ctx else None
         for depth in self.membership.queue_depths().values():
             self.metrics.observe("cluster_node_queue_depth", depth,
                                  buckets=_DEPTH_BUCKETS)
@@ -190,19 +283,41 @@ class ClusterForwarder:
             if attempt:
                 self.counters.bump(f"retry_{label}")
                 self.counters.bump("route_retries")
-            hop = dict(wire)
-            hop["routing"] = {**(wire.get("routing") or {}),
-                              "node": node, "attempt": attempt,
-                              "fingerprint": fingerprint}
-            try:
-                reply = self._roundtrip(node, hop)
-            except (OSError, protocol.ProtocolError, ServiceError) as exc:
-                last_error = f"{node}: {exc}"
+            info["route"].append(label)
+            error: Exception | None = None
+            with span("cluster.attempt", tee, node=label,
+                      attempt=attempt) as att:
+                hop = dict(wire)
+                hop["routing"] = {**(wire.get("routing") or {}),
+                                  "node": node, "attempt": attempt,
+                                  "fingerprint": fingerprint}
+                # Every hop carries the attempt's context: the node's
+                # service.request joins this trace, and its reply ships
+                # the node-side spans back for stitching (into the
+                # caller's tracer and the flight recorder alike).
+                hop["trace_ctx"] = att.context()
+                try:
+                    reply = self._roundtrip(node, hop)
+                except (OSError, protocol.ProtocolError,
+                        ServiceError) as exc:
+                    error = exc
+                    att.set(status="failover", error=str(exc)[:120])
+                else:
+                    self._absorb_node_obs(reply, tee)
+                    att.set(status=str(reply.get("status")))
+            if error is not None:
+                last_error = f"{node}: {error}"
                 self.counters.bump(f"failover_{label}")
                 self.counters.bump("route_failovers")
-                self.membership.note_failure(node, str(exc))
-                if attempt + 1 < attempts:
-                    time.sleep(retry.backoff(attempt))
+                self.membership.note_failure(node, str(error))
+                info["failed_over"] = True
+                backoff_s = retry.backoff(attempt) \
+                    if attempt + 1 < attempts else 0.0
+                with span("cluster.failover", tee, node=label,
+                          error=str(error)[:120],
+                          backoff_s=round(backoff_s, 4)):
+                    if backoff_s:
+                        time.sleep(backoff_s)
                 continue
             status = reply.get("status")
             if status == "busy":
@@ -216,16 +331,27 @@ class ClusterForwarder:
             self.counters.bump("routed_ok" if status == "ok"
                                else "routed_error")
             self.metrics.observe("cluster_route_seconds",
-                                 time.monotonic() - started)
+                                 time.monotonic() - started,
+                                 trace_id=route_trace)
             return self._annotate(reply, node=node, attempts=tried)
         self.metrics.observe("cluster_route_seconds",
-                             time.monotonic() - started)
+                             time.monotonic() - started,
+                             trace_id=route_trace)
         if last_busy is not None:
             self.counters.bump("routed_busy")
             return dict(last_busy)
         self.counters.bump("routed_failed")
         return {"status": "error",
                 "error": f"no node accepted the request: {last_error}"}
+
+    @staticmethod
+    def _absorb_node_obs(reply: dict, tee: Tracer) -> None:
+        """Pop a node reply's obs payload into the route's span stream."""
+        result = reply.get("result")
+        if isinstance(result, dict):
+            obs = result.pop("obs", None)
+            if obs:
+                replay_events(obs.get("spans") or [], tee)
 
     def _roundtrip(self, node: str, message: Mapping[str, Any]) -> dict:
         endpoint = self.membership.endpoint_of(node)
@@ -279,7 +405,8 @@ class ClusterForwarder:
         return reply
 
     def status(self) -> dict:
-        """Cluster-level snapshot: membership, ring, routing counters."""
+        """Cluster-level snapshot: membership (with each node's probed
+        SLO gauges), ring, routing counters, the router's own SLO."""
         ring = self._current_ring()
         return {
             "nodes": self.membership.snapshot(),
@@ -288,30 +415,33 @@ class ClusterForwarder:
             "inflight": sum(self._loads.values()),
             "uptime_s": round(time.monotonic() - self._started, 3),
             "counters": self.counters.snapshot(),
+            "slo": self.slo.status(),
         }
 
     def stats(self) -> dict:
+        """One flat snapshot, same shape as ``InductionServer.stats()``:
+        counters and gauges from one locked pass plus histogram
+        percentiles, so ``repro stats`` renders server and router
+        identically."""
         states = self.membership.states()
         gauges = {
-            "nodes": len(states),
-            "nodes_up": sum(1 for s in states.values() if s == "up"),
+            "cluster_nodes": len(states),
+            "cluster_nodes_up": sum(1 for s in states.values()
+                                    if s == "up"),
             "inflight": sum(self._loads.values()),
             "uptime_s": round(time.monotonic() - self._started, 3),
+            "trace_events": self.tracer.events_written,
+            **self.slo.gauges(),
         }
         snap = self.counters.snapshot_with(gauges)
         snap.update(self.metrics.percentiles())
         return snap
 
-    _GAUGE_STATS = frozenset({"nodes", "nodes_up", "inflight", "uptime_s"})
+    _GAUGE_STATS = frozenset({"cluster_nodes", "cluster_nodes_up",
+                              "inflight", "uptime_s", "trace_events"})
 
     def render_metrics(self) -> str:
-        stats = self.stats()
-        counters: dict[str, float] = {}
-        gauges: dict[str, float] = {}
-        for name, value in stats.items():
-            if name.endswith(("_p50", "_p90", "_p99")):
-                continue
-            (gauges if name in self._GAUGE_STATS else counters)[name] = value
+        counters, gauges = split_stats(self.stats(), self._GAUGE_STATS)
         return render_prometheus(self.metrics, extra_counters=counters,
                                  extra_gauges=gauges)
 
@@ -327,15 +457,29 @@ class ClusterClient(ClusterForwarder):
 
     def submit(self, request: InductionRequest,
                chaos: Mapping[str, Any] | None = None) -> ServiceResult:
-        """Route one request through the cluster; blocks until the reply."""
-        reply = self.submit_wire(protocol.request_to_wire(request, chaos=chaos))
+        """Route one request through the cluster; blocks until the reply.
+
+        With ``request.tracer`` set, the route happens inside a
+        ``client.submit`` span and the stitched cluster + node spans from
+        the reply are replayed into the tracer — one trace id from this
+        caller through router, node and worker.
+        """
+        tracer = request.tracer
+        if tracer is not None and tracer.enabled:
+            with span("client.submit", tracer, cluster=True):
+                reply = self.submit_wire(
+                    protocol.request_to_wire(request, chaos=chaos))
+        else:
+            reply = self.submit_wire(
+                protocol.request_to_wire(request, chaos=chaos))
         status = reply.get("status")
         if status == "busy":
             raise ServiceBusy(
                 f"cluster busy: {reply.get('reason', 'unspecified')}")
         if status != "ok":
             raise ServiceError(reply.get("error", f"bad reply {reply!r}"))
-        return result_from_payload(reply["result"])
+        return result_from_payload(
+            absorb_reply_obs(reply["result"], tracer))
 
 
 class ClusterRouter(ClusterForwarder):
@@ -345,9 +489,13 @@ class ClusterRouter(ClusterForwarder):
     def __init__(self, endpoint: Endpoint | str, config: ClusterConfig,
                  membership: Membership | None = None,
                  metrics: MetricsRegistry | None = None,
-                 start_probes: bool = True) -> None:
+                 start_probes: bool = True,
+                 tracer: Tracer | None = None,
+                 slo: SLOTracker | None = None,
+                 flightrec: FlightRecorder | None = None) -> None:
         super().__init__(config, membership=membership, metrics=metrics,
-                         start_probes=start_probes)
+                         start_probes=start_probes, tracer=tracer,
+                         slo=slo, flightrec=flightrec)
         listen = Endpoint.coerce(endpoint, where="ClusterRouter(endpoint=...)")
         self._stopping = False
         self._stopped = threading.Event()
@@ -446,6 +594,10 @@ class ClusterRouter(ClusterForwarder):
             return {"status": "metrics", "metrics": self.render_metrics()}
         if op == "ping":
             return {"status": "pong", "router": True}
+        if op == "flightrec":
+            return flightrec_reply(self.flightrec, msg)
+        if op == "slo":
+            return {"status": "slo", "slo": self.slo.status()}
         if op == "cluster_status":
             return {"status": "cluster", "cluster": self.status()}
         if op == "cluster_drain":

@@ -15,7 +15,12 @@ Four coordinated pieces, used together by :mod:`repro.core.pipeline`,
   fixed-bucket :class:`Histogram` latency distributions (``p50/p90/p99``),
   thread-safe and mergeable across workers; :func:`render_prometheus`
   emits the text exposition served by the ``metrics`` op and
-  ``--metrics-port`` (:func:`start_metrics_server`).
+  ``--metrics-port`` (:func:`start_metrics_server`), including
+  OpenMetrics-style trace-id exemplars on histogram buckets;
+- :class:`FlightRecorder` — a bounded ring of slow/failed/failed-over
+  request digests (the ``flightrec`` op / ``repro flightrec``);
+- :class:`SLOTracker` — sliding-window latency/error objectives with
+  multi-window burn-rate gauges (the ``slo`` op / ``repro slo``).
 
 Tracer sinks are unchanged in spirit: :data:`NULL_TRACER` (disabled,
 near-zero overhead), :class:`MemoryTracer` (tests and worker-side span
@@ -27,17 +32,21 @@ Traces are consumed by :func:`summarize_trace` / :func:`render_trace_summary`
 """
 
 from repro.obs.counters import Counters
+from repro.obs.flightrec import FlightConfig, FlightRecorder
 from repro.obs.httpexp import MetricsHTTPServer, start_metrics_server
 from repro.obs.metrics import (
     DEFAULT_SIZE_BUCKETS,
     DEFAULT_TIME_BUCKETS,
     DEFAULT_VALUE_BUCKETS,
+    GAUGE_STAT_PREFIXES,
     Histogram,
     MetricsRegistry,
     get_registry,
     render_prometheus,
+    split_stats,
     use_registry,
 )
+from repro.obs.slo import SLOConfig, SLOTracker
 from repro.obs.spans import (
     Span,
     SpanContext,
@@ -54,7 +63,13 @@ from repro.obs.summary import (
     summarize_trace,
 )
 from repro.obs.timing import StopWatch, timed
-from repro.obs.tracer import JsonlTracer, MemoryTracer, NULL_TRACER, Tracer
+from repro.obs.tracer import (
+    JsonlTracer,
+    MemoryTracer,
+    NULL_TRACER,
+    TeeTracer,
+    Tracer,
+)
 from repro.obs.tracetree import (
     SpanNode,
     TraceTree,
@@ -69,6 +84,9 @@ __all__ = [
     "DEFAULT_SIZE_BUCKETS",
     "DEFAULT_TIME_BUCKETS",
     "DEFAULT_VALUE_BUCKETS",
+    "FlightConfig",
+    "FlightRecorder",
+    "GAUGE_STAT_PREFIXES",
     "Histogram",
     "JsonlTracer",
     "KindSummary",
@@ -76,10 +94,13 @@ __all__ = [
     "MetricsHTTPServer",
     "MetricsRegistry",
     "NULL_TRACER",
+    "SLOConfig",
+    "SLOTracker",
     "Span",
     "SpanContext",
     "SpanNode",
     "StopWatch",
+    "TeeTracer",
     "TraceSummary",
     "TraceTree",
     "Tracer",
@@ -95,6 +116,7 @@ __all__ = [
     "render_trace_trees",
     "replay_events",
     "span",
+    "split_stats",
     "start_metrics_server",
     "summarize_trace",
     "timed",

@@ -1,0 +1,127 @@
+"""Request flight recorder: a bounded ring of interesting request digests.
+
+Traces answer "show me everything about the request I pointed a tracer
+at"; the flight recorder answers the after-the-fact question — "what did
+the last slow / failed / failed-over request actually do?" — without any
+tracer configured up front.  Both the induction server and the cluster
+router keep one: every finished request is *considered*, and a digest is
+*captured* only when the request was interesting (slow, failed, degraded,
+or failed over), so steady-state traffic costs one predicate per request
+and the buffer holds signal, not noise.
+
+A digest is a plain JSON-able dict: fingerprint, outcome, wall time,
+per-phase timings, route path (router only), flags, and the request's
+span records — the spans a traced client would have received — so
+``repro flightrec`` can re-render the span tree of a request nobody was
+watching ("replay").  The ring is a ``deque(maxlen=capacity)``: newest
+digests evict oldest, memory stays bounded.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+__all__ = ["FlightConfig", "FlightRecorder"]
+
+
+@dataclass(frozen=True)
+class FlightConfig:
+    """Capture policy for one :class:`FlightRecorder`."""
+
+    capacity: int = 256
+    #: Requests at or above this wall time are captured as "slow".
+    slow_threshold_s: float = 1.0
+    #: Capture every request (tests, short diagnostic sessions).
+    capture_all: bool = False
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {self.capacity}")
+        if self.slow_threshold_s <= 0:
+            raise ValueError(
+                f"slow_threshold_s must be > 0, got {self.slow_threshold_s}")
+
+
+class FlightRecorder:
+    """Thread-safe bounded ring buffer of request digests."""
+
+    def __init__(self, config: FlightConfig | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.config = config or FlightConfig()
+        self._clock = clock
+        self._ring: list[dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.considered = 0
+        self.captured = 0
+
+    def record(self, *, fingerprint: str, outcome: str, wall_s: float,
+               trace: str | None = None,
+               phases: Mapping[str, float] | None = None,
+               route: Iterable[str] | None = None,
+               spans: Iterable[Mapping[str, Any]] | None = None,
+               degraded: bool = False,
+               failed_over: bool = False) -> bool:
+        """Consider one finished request; capture it when interesting.
+
+        Returns True when a digest was captured.  ``outcome`` is the
+        reply status (``ok``/``busy``/``error``); anything but ``ok``
+        counts as failed.
+        """
+        wall_s = float(wall_s)
+        slow = wall_s >= self.config.slow_threshold_s
+        failed = outcome != "ok"
+        interesting = (self.config.capture_all or slow or failed
+                       or degraded or failed_over)
+        with self._lock:
+            self.considered += 1
+            if not interesting:
+                return False
+            self.captured += 1
+            self._seq += 1
+            digest = {
+                "seq": self._seq,
+                "ts": round(self._clock(), 6),
+                "fingerprint": fingerprint,
+                "trace": trace,
+                "outcome": outcome,
+                "wall_s": round(wall_s, 6),
+                "slow": slow,
+                "failed": failed,
+                "degraded": bool(degraded),
+                "failed_over": bool(failed_over),
+                "phases": {k: round(float(v), 6)
+                           for k, v in (phases or {}).items()
+                           if v is not None},
+                "route": list(route or []),
+                "spans": [dict(s) for s in (spans or [])],
+            }
+            self._ring.append(digest)
+            excess = len(self._ring) - self.config.capacity
+            if excess > 0:
+                del self._ring[:excess]
+        return True
+
+    def snapshot(self, *, slow: bool = False, failed: bool = False,
+                 last: int | None = None) -> list[dict[str, Any]]:
+        """Captured digests, oldest first; filters are AND-ed."""
+        with self._lock:
+            digests = [dict(d) for d in self._ring]
+        if slow:
+            digests = [d for d in digests if d["slow"]]
+        if failed:
+            digests = [d for d in digests if d["failed"]]
+        if last is not None and last >= 0:
+            digests = digests[-last:] if last else []
+        return digests
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "considered": self.considered,
+                "captured": self.captured,
+                "buffered": len(self._ring),
+            }

@@ -41,11 +41,13 @@ __all__ = [
     "DEFAULT_SIZE_BUCKETS",
     "DEFAULT_TIME_BUCKETS",
     "DEFAULT_VALUE_BUCKETS",
+    "GAUGE_STAT_PREFIXES",
     "Histogram",
     "MetricsRegistry",
     "get_registry",
     "observe_search_throughput",
     "render_prometheus",
+    "split_stats",
     "use_registry",
 ]
 
@@ -78,7 +80,8 @@ class Histogram:
     observations report the true maximum rather than a bucket edge.
     """
 
-    __slots__ = ("bounds", "counts", "total", "count", "vmin", "vmax", "_lock")
+    __slots__ = ("bounds", "counts", "total", "count", "vmin", "vmax",
+                 "exemplars", "_lock")
 
     def __init__(self, buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS) -> None:
         bounds = tuple(sorted(float(b) for b in buckets))
@@ -90,9 +93,12 @@ class Histogram:
         self.count = 0
         self.vmin = float("inf")
         self.vmax = float("-inf")
+        #: bucket index -> (trace_id, value) of the largest observation seen
+        #: in that bucket that carried a trace id.
+        self.exemplars: dict[int, tuple[str, float]] = {}
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: str | None = None) -> None:
         value = float(value)
         index = bisect_left(self.bounds, value)
         with self._lock:
@@ -103,6 +109,10 @@ class Histogram:
                 self.vmin = value
             if value > self.vmax:
                 self.vmax = value
+            if trace_id:
+                held = self.exemplars.get(index)
+                if held is None or value >= held[1]:
+                    self.exemplars[index] = (str(trace_id), value)
 
     def percentile(self, q: float) -> float:
         """Interpolated value at quantile ``q`` (0..1); 0.0 when empty."""
@@ -154,6 +164,9 @@ class Histogram:
                 "count": self.count,
                 "min": self.vmin if self.count else None,
                 "max": self.vmax if self.count else None,
+                "exemplars": {str(index): [trace_id, value]
+                              for index, (trace_id, value)
+                              in sorted(self.exemplars.items())},
             }
 
     def merge(self, snapshot: Mapping[str, Any]) -> None:
@@ -172,6 +185,12 @@ class Histogram:
                 self.vmin = min(self.vmin, float(snapshot["min"]))
             if snapshot.get("max") is not None:
                 self.vmax = max(self.vmax, float(snapshot["max"]))
+            for key, entry in dict(snapshot.get("exemplars", {})).items():
+                index = int(key)
+                trace_id, value = str(entry[0]), float(entry[1])
+                held = self.exemplars.get(index)
+                if held is None or value >= held[1]:
+                    self.exemplars[index] = (trace_id, value)
 
 
 class MetricsRegistry:
@@ -203,8 +222,9 @@ class MetricsRegistry:
             return hist
 
     def observe(self, name: str, value: float,
-                buckets: tuple[float, ...] | None = None) -> None:
-        self.histogram(name, buckets).observe(value)
+                buckets: tuple[float, ...] | None = None,
+                trace_id: str | None = None) -> None:
+        self.histogram(name, buckets).observe(value, trace_id=trace_id)
 
     @contextmanager
     def time(self, name: str,
@@ -306,6 +326,41 @@ def observe_search_throughput(registry: MetricsRegistry, stats) -> None:
                      buckets=DEFAULT_VALUE_BUCKETS)
 
 
+# -- stats snapshot shape ---------------------------------------------------
+
+#: Key prefixes that are last-write-wins gauges in any ``stats()`` snapshot,
+#: regardless of which component produced them (SLO burn rates today).
+GAUGE_STAT_PREFIXES = ("slo_",)
+
+_PERCENTILE_SUFFIXES = ("_p50", "_p90", "_p99")
+
+
+def split_stats(stats: Mapping[str, float],
+                gauge_names: frozenset[str] | set[str],
+                ) -> tuple[dict[str, float], dict[str, float]]:
+    """Split one flat ``stats()`` snapshot into (counters, gauges).
+
+    Both the induction server and the cluster forwarder publish a single
+    flat ``{name: number}`` snapshot (monotonic counters, gauges and
+    histogram percentiles side by side) so ``repro stats`` and the JSON
+    ops stay simple.  This helper is the one place that re-separates the
+    families for Prometheus exposition: ``gauge_names`` and
+    :data:`GAUGE_STAT_PREFIXES` pick out the gauges, percentile entries
+    (``*_p50/_p90/_p99``) are dropped because the exposition derives them
+    from histograms directly, and everything else is a counter.
+    """
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    for name, value in stats.items():
+        if name.endswith(_PERCENTILE_SUFFIXES):
+            continue
+        if name in gauge_names or name.startswith(GAUGE_STAT_PREFIXES):
+            gauges[name] = value
+        else:
+            counters[name] = value
+    return counters, gauges
+
+
 # -- Prometheus text exposition --------------------------------------------
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
@@ -329,6 +384,9 @@ def render_prometheus(registry: MetricsRegistry,
     snapshots (the server's request counts, the cache's hit counts) so one
     scrape covers the whole process.  Histograms are emitted with cumulative
     ``_bucket{le=...}`` series plus ``p50/p90/p99`` convenience gauges.
+    Buckets whose largest observation carried a trace id get an
+    OpenMetrics-style exemplar suffix (``# {trace_id="..."} value``), so a
+    p99 outlier in a scrape links straight to its trace.
     """
     snap = registry.snapshot()
     counters = dict(snap["counters"])
@@ -349,14 +407,25 @@ def render_prometheus(registry: MetricsRegistry,
         lines.append(f"{metric} {_prom_value(value)}")
     for name, hist_snap in sorted(snap["histograms"].items()):
         metric = _prom_name(name, prefix)
+        exemplars = hist_snap.get("exemplars", {})
+
+        def _exemplar(index: int) -> str:
+            entry = exemplars.get(str(index))
+            if entry is None:
+                return ""
+            return (f' # {{trace_id="{entry[0]}"}}'
+                    f" {_prom_value(entry[1])}")
+
         lines.append(f"# TYPE {metric} histogram")
         cumulative = 0
-        for bound, bucket_count in zip(hist_snap["buckets"],
-                                       hist_snap["counts"]):
+        for index, (bound, bucket_count) in enumerate(
+                zip(hist_snap["buckets"], hist_snap["counts"])):
             cumulative += bucket_count
             lines.append(
-                f'{metric}_bucket{{le="{_prom_value(bound)}"}} {cumulative}')
-        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist_snap["count"]}')
+                f'{metric}_bucket{{le="{_prom_value(bound)}"}} '
+                f"{cumulative}{_exemplar(index)}")
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist_snap["count"]}'
+                     f"{_exemplar(len(hist_snap['buckets']))}")
         lines.append(f"{metric}_sum {_prom_value(hist_snap['sum'])}")
         lines.append(f"{metric}_count {hist_snap['count']}")
         summary = registry.histogram(name).summary()

@@ -1,0 +1,177 @@
+"""Service-level objectives: sliding windows, error budgets, burn rates.
+
+An *objective* promises that at least ``target`` of requests are good.
+Two objectives cover the service plane:
+
+- **latency** — a request is good when it completes under
+  ``latency_threshold_s``;
+- **availability** — a request is good when it does not error (busy
+  sheds and transport failures count as errors; a degraded-but-served
+  reply counts as good).
+
+The complement ``1 - target`` is the *error budget*.  The **burn rate**
+over a window is the observed bad fraction divided by the budget: 1.0
+means spending the budget exactly as fast as allowed, 2.0 means the
+budget is gone in half the window, 0 means no bad requests at all.
+Evaluating the same objective over a fast and a slow window is the
+standard multi-window alerting trick — the fast window reacts to sharp
+regressions in seconds while the slow window refuses to page on blips.
+
+:class:`SLOTracker` keeps raw ``(timestamp, latency, ok)`` samples in a
+deque pruned to the longest window, so burn rates are exact over the
+window rather than decayed approximations.  The clock is injectable for
+deterministic tests.  :meth:`SLOTracker.gauges` flattens the current
+burn rates into ``slo_*`` gauges that ride the ordinary ``stats()``
+snapshot, the Prometheus exposition, and the membership probes (which is
+how per-node SLO status reaches the router's ``cluster_status``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["SLOConfig", "SLOTracker"]
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Objectives and evaluation windows for one :class:`SLOTracker`.
+
+    ``windows_s`` must be ascending; the last (longest) window bounds how
+    much sample history the tracker retains.
+    """
+
+    latency_threshold_s: float = 1.0
+    latency_target: float = 0.95
+    error_target: float = 0.99
+    windows_s: tuple[float, ...] = (60.0, 600.0)
+
+    def __post_init__(self) -> None:
+        if self.latency_threshold_s <= 0:
+            raise ValueError(
+                f"latency_threshold_s must be > 0, got {self.latency_threshold_s}")
+        for name in ("latency_target", "error_target"):
+            target = getattr(self, name)
+            if not 0.0 < target < 1.0:
+                raise ValueError(f"{name} must be in (0, 1), got {target}")
+        if not self.windows_s:
+            raise ValueError("need at least one evaluation window")
+        windows = tuple(float(w) for w in self.windows_s)
+        if any(w <= 0 for w in windows):
+            raise ValueError(f"windows must be > 0, got {windows}")
+        if list(windows) != sorted(windows):
+            raise ValueError(f"windows must be ascending, got {windows}")
+        object.__setattr__(self, "windows_s", windows)
+
+
+def _window_label(window_s: float) -> str:
+    return f"{window_s:g}s"
+
+
+class SLOTracker:
+    """Thread-safe sliding-window burn-rate tracker for one component."""
+
+    def __init__(self, config: SLOConfig | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.config = config or SLOConfig()
+        self._clock = clock
+        self._samples: deque[tuple[float, float, bool]] = deque()
+        self._lock = threading.Lock()
+        self._total = 0
+        self._slow_total = 0
+        self._error_total = 0
+
+    def record(self, latency_s: float, ok: bool = True) -> None:
+        """Record one finished request (``ok=False`` for errors/sheds)."""
+        now = self._clock()
+        latency_s = float(latency_s)
+        with self._lock:
+            self._samples.append((now, latency_s, bool(ok)))
+            self._total += 1
+            if latency_s >= self.config.latency_threshold_s:
+                self._slow_total += 1
+            if not ok:
+                self._error_total += 1
+            self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.config.windows_s[-1]
+        samples = self._samples
+        while samples and samples[0][0] < horizon:
+            samples.popleft()
+
+    @staticmethod
+    def _burn(bad: int, count: int, target: float) -> float:
+        if count == 0:
+            return 0.0
+        return (bad / count) / (1.0 - target)
+
+    def status(self) -> dict[str, Any]:
+        """Structured objective/window breakdown for the ``slo`` op."""
+        now = self._clock()
+        cfg = self.config
+        with self._lock:
+            self._prune(now)
+            samples = list(self._samples)
+            total = self._total
+        objectives: list[dict[str, Any]] = []
+        healthy = True
+        for objective, target, is_bad in (
+                ("latency", cfg.latency_target,
+                 lambda lat, ok: lat >= cfg.latency_threshold_s),
+                ("errors", cfg.error_target,
+                 lambda lat, ok: not ok)):
+            windows = []
+            for window_s in cfg.windows_s:
+                horizon = now - window_s
+                count = bad = 0
+                for ts, latency_s, ok in reversed(samples):
+                    if ts < horizon:
+                        break
+                    count += 1
+                    if is_bad(latency_s, ok):
+                        bad += 1
+                burn = self._burn(bad, count, target)
+                healthy = healthy and burn <= 1.0
+                windows.append({
+                    "window_s": window_s,
+                    "requests": count,
+                    "bad": bad,
+                    "bad_fraction": (bad / count) if count else 0.0,
+                    "burn_rate": round(burn, 6),
+                })
+            objectives.append({
+                "objective": objective,
+                "target": target,
+                "threshold_s": (cfg.latency_threshold_s
+                                if objective == "latency" else None),
+                "windows": windows,
+            })
+        return {
+            "healthy": healthy,
+            "requests_total": total,
+            "objectives": objectives,
+        }
+
+    def gauges(self) -> dict[str, float]:
+        """Flat ``slo_*`` gauges for ``stats()`` and the exposition.
+
+        ``slo_healthy`` is 1.0 iff every objective's burn rate is within
+        budget (≤ 1.0) on every window.
+        """
+        status = self.status()
+        out: dict[str, float] = {
+            "slo_healthy": 1.0 if status["healthy"] else 0.0,
+        }
+        for entry in status["objectives"]:
+            name = "latency" if entry["objective"] == "latency" else "error"
+            for window in entry["windows"]:
+                label = _window_label(window["window_s"])
+                out[f"slo_{name}_burn_{label}"] = window["burn_rate"]
+        longest = status["objectives"][0]["windows"][-1]
+        out["slo_window_requests"] = float(longest["requests"])
+        return out

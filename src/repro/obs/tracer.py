@@ -27,7 +27,7 @@ from pathlib import Path
 from time import perf_counter
 from typing import Any, TextIO
 
-__all__ = ["JsonlTracer", "MemoryTracer", "NULL_TRACER", "Tracer"]
+__all__ = ["JsonlTracer", "MemoryTracer", "NULL_TRACER", "TeeTracer", "Tracer"]
 
 
 class Tracer:
@@ -71,6 +71,34 @@ class MemoryTracer(Tracer):
 
     def of_kind(self, kind: str) -> list[dict[str, Any]]:
         return [e for e in self.events if e["kind"] == kind]
+
+
+class TeeTracer(Tracer):
+    """Fans every event out to several sinks.
+
+    The service layers use this to record a request's spans twice at no
+    extra call-site cost: once into the server's long-lived sink (JSONL
+    file, memory) and once into a per-request :class:`MemoryTracer` whose
+    events are shipped back to the caller in the reply's ``obs`` payload.
+    ``enabled`` is True when *any* sink is enabled, so a tee over only
+    disabled sinks keeps the tracing-off fast path.
+    """
+
+    def __init__(self, *sinks: Tracer) -> None:
+        self.sinks = tuple(s for s in sinks if s is not None)
+
+    @property
+    def enabled(self) -> bool:  # type: ignore[override]
+        return any(s.enabled for s in self.sinks)
+
+    @property
+    def events_written(self) -> int:  # type: ignore[override]
+        return sum(s.events_written for s in self.sinks)
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        for sink in self.sinks:
+            if sink.enabled:
+                sink.emit(kind, **fields)
 
 
 class JsonlTracer(Tracer):

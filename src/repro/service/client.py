@@ -16,10 +16,28 @@ from typing import Any, Mapping
 
 from repro.api import InductionRequest
 from repro.core.result import ServiceResult, result_from_payload
+from repro.obs import replay_events, span
 from repro.service import protocol
 from repro.service.endpoint import Endpoint
 
-__all__ = ["ServiceBusy", "ServiceClient", "ServiceError"]
+__all__ = ["ServiceBusy", "ServiceClient", "ServiceError",
+           "absorb_reply_obs"]
+
+
+def absorb_reply_obs(result_payload: Any, tracer) -> Any:
+    """Pop a reply's ``obs`` payload and replay its spans into ``tracer``.
+
+    Every traced reply — from a server directly or via the cluster router
+    — carries its server-side span records under ``result["obs"]``.  The
+    records are popped unconditionally (they are observability freight,
+    not result fields) and replayed only when the caller actually has an
+    enabled tracer to stitch them into.
+    """
+    if isinstance(result_payload, dict):
+        obs = result_payload.pop("obs", None)
+        if obs and tracer is not None and tracer.enabled:
+            replay_events(obs.get("spans") or [], tracer)
+    return result_payload
 
 
 class ServiceError(RuntimeError):
@@ -71,17 +89,35 @@ class ServiceClient:
                chaos: Mapping[str, Any] | None = None) -> ServiceResult:
         """Run one request on the service; blocks until the reply.
 
+        With ``request.tracer`` set, the roundtrip happens inside a
+        ``client.submit`` span whose context rides the wire, and the span
+        records the server ships back in the reply's ``obs`` payload are
+        replayed into the tracer — one stitched trace from this caller
+        through server (and, via a router, the whole cluster) to worker.
+
         ``chaos`` injects test faults (crash/sleep) and is honoured only by
         servers started with ``allow_chaos=True``.
         """
-        reply = self._roundtrip(protocol.request_to_wire(request, chaos=chaos))
+        tracer = request.tracer
+        if tracer is not None and tracer.enabled:
+            # The span makes a trace context current, so request_to_wire
+            # attaches it and the server knows to ship spans back.
+            with span("client.submit", tracer, endpoint=self.endpoint.label):
+                reply = self._roundtrip(
+                    protocol.request_to_wire(request, chaos=chaos))
+        else:
+            # No client tracer: no span of our own, but an ambient caller
+            # span (if any) still propagates through request_to_wire.
+            reply = self._roundtrip(
+                protocol.request_to_wire(request, chaos=chaos))
         status = reply.get("status")
         if status == "busy":
             raise ServiceBusy(
                 f"service busy: {reply.get('reason', 'unspecified')}")
         if status != "ok":
             raise ServiceError(reply.get("error", f"bad reply {reply!r}"))
-        return result_from_payload(reply["result"])
+        return result_from_payload(
+            absorb_reply_obs(reply["result"], request.tracer))
 
     def stats(self) -> dict[str, Any]:
         reply = self._roundtrip({"op": "stats"})
@@ -95,6 +131,30 @@ class ServiceClient:
         if reply.get("status") != "metrics":
             raise ServiceError(f"bad metrics reply {reply!r}")
         return reply["metrics"]
+
+    def flightrec(self, *, slow: bool = False, failed: bool = False,
+                  last: int | None = None) -> dict[str, Any]:
+        """Fetch captured request digests from the flight recorder.
+
+        Works against a server or a cluster router (both serve the op with
+        the same shape): ``{"considered": n, "captured": m, "buffered": k,
+        "digests": [...]}``.
+        """
+        message: dict[str, Any] = {"op": "flightrec",
+                                   "slow": slow, "failed": failed}
+        if last is not None:
+            message["last"] = int(last)
+        reply = self._roundtrip(message)
+        if reply.get("status") != "flightrec":
+            raise ServiceError(f"bad flightrec reply {reply!r}")
+        return reply["flightrec"]
+
+    def slo(self) -> dict[str, Any]:
+        """Fetch the SLO status (objectives, windows, burn rates)."""
+        reply = self._roundtrip({"op": "slo"})
+        if reply.get("status") != "slo":
+            raise ServiceError(f"bad slo reply {reply!r}")
+        return reply["slo"]
 
     def ping(self) -> bool:
         try:

@@ -19,13 +19,21 @@ Requests are flat JSON objects with an ``op``:
   advisory, ignored by non-portfolio methods;
 - ``stats`` — service metrics snapshot;
 - ``ping`` — liveness probe;
+- ``flightrec`` — recent captured request digests (``slow``/``failed``
+  filters, ``last`` N);
+- ``slo`` — objective/window burn-rate status;
 - ``shutdown`` — drain in-flight requests, then stop (reply arrives after
   the drain completes).
 
 Replies carry ``status``: ``ok`` (with a unified result payload), ``busy``
 (admission control shed the request), ``error`` (malformed request — never
 used for deadline expiry or worker crashes, which degrade instead),
-``pong``, ``stats``.
+``pong``, ``stats``, ``flightrec``, ``slo``.
+
+A submit that carried a ``trace_ctx`` gets its reply's ``result["obs"]``
+populated with the server-side span records (and, via the router, the
+routing spans), which :func:`repro.service.client.absorb_reply_obs`
+replays into the caller's tracer — one trace id end to end.
 """
 
 from __future__ import annotations

@@ -55,17 +55,22 @@ from repro.service.endpoint import Endpoint
 from repro.obs import (
     NULL_TRACER,
     Counters,
+    MemoryTracer,
+    TeeTracer,
     Tracer,
     attach_context,
     current_context,
     span,
 )
+from repro.obs.flightrec import FlightRecorder
 from repro.obs.metrics import (
     DEFAULT_SIZE_BUCKETS,
     MetricsRegistry,
     render_prometheus,
+    split_stats,
     use_registry,
 )
+from repro.obs.slo import SLOTracker
 from repro.service import protocol
 from repro.service.workers import (
     PORTFOLIO_KILL_GRACE_S,
@@ -80,7 +85,7 @@ from repro.service.workers import (
     record_portfolio_outcome,
 )
 
-__all__ = ["InductionServer", "ServerConfig"]
+__all__ = ["InductionServer", "ServerConfig", "flightrec_reply"]
 
 
 @dataclass
@@ -131,11 +136,33 @@ class ServerConfig:
             raise ValueError(f"batch max must be >= 1, got {self.batch_max}")
 
 
+def flightrec_reply(recorder: FlightRecorder, msg: dict) -> dict:
+    """Serve one ``flightrec`` op from ``recorder``.
+
+    Shared by the induction server and the cluster router so both speak
+    the identical reply shape: capture counters plus the filtered digest
+    list (``slow``/``failed`` flags AND-ed, ``last`` keeps the newest N).
+    """
+    last = msg.get("last")
+    if last is not None:
+        try:
+            last = int(last)
+        except (TypeError, ValueError) as exc:
+            raise protocol.ProtocolError(
+                f"flightrec last must be an integer, got {last!r}") from exc
+    return {"status": "flightrec", "flightrec": {
+        **recorder.counts(),
+        "digests": recorder.snapshot(
+            slow=bool(msg.get("slow")), failed=bool(msg.get("failed")),
+            last=last),
+    }}
+
+
 class _Ticket:
     """One admitted submit: wire payload plus its response rendezvous."""
 
     __slots__ = ("wire", "fingerprint", "deadline", "enqueued_at",
-                 "event", "response", "trace_ctx")
+                 "event", "response", "trace_ctx", "recorder")
 
     def __init__(self, wire: dict, fingerprint: str,
                  deadline: float | None) -> None:
@@ -148,6 +175,11 @@ class _Ticket:
         #: Span context of this ticket's ``service.request`` span, so the
         #: dispatcher thread can parent its work onto the right trace.
         self.trace_ctx: dict | None = None
+        #: Per-request span recorder: the handler (and, for the group
+        #: leader, the dispatcher) tees spans in here so the reply can
+        #: carry them back to a traced caller and the flight recorder can
+        #: keep them for untraced ones.
+        self.recorder = MemoryTracer()
 
     def respond(self, response: dict[str, Any]) -> None:
         self.response = response
@@ -183,7 +215,9 @@ class InductionServer:
                  cache: ScheduleCache | None = None,
                  tracer: Tracer | None = None,
                  metrics: MetricsRegistry | None = None,
-                 strategy_store=None) -> None:
+                 strategy_store=None,
+                 slo: SLOTracker | None = None,
+                 flightrec: FlightRecorder | None = None) -> None:
         self.config = config
         self.cache = cache
         #: Optional :class:`repro.sched.StrategyOutcomesStore`.  Portfolio
@@ -194,6 +228,9 @@ class InductionServer:
         self.tracer = tracer or NULL_TRACER
         self.counters = Counters()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.slo = slo if slo is not None else SLOTracker()
+        self.flightrec = flightrec if flightrec is not None \
+            else FlightRecorder()
         self._started = time.monotonic()
         self.pool = WorkerPool(
             workers=config.workers, max_retries=config.max_retries,
@@ -344,6 +381,10 @@ class InductionServer:
             self._draining = True
             self.counters.bump("drain_requests")
             return {"status": "ok", "draining": True}
+        if op == "flightrec":
+            return flightrec_reply(self.flightrec, msg)
+        if op == "slo":
+            return {"status": "slo", "slo": self.slo.status()}
         if op == "cache_get":
             return self._peer_cache_get(msg)
         if op == "cache_put":
@@ -413,37 +454,70 @@ class InductionServer:
         ticket = _Ticket(wire, fingerprint, deadline)
         # The handler thread owns the request's server-side span: it covers
         # queue wait, dispatch and response, and continues the client's
-        # trace when the wire carried a context.
+        # trace when the wire carried a context.  The ticket's recorder
+        # tees off the same spans so the reply can carry them back.
+        tee = TeeTracer(self.tracer, ticket.recorder)
         with attach_context(wire.get("trace_ctx")), \
-                span("service.request", self.tracer, method=wire.get(
+                span("service.request", tee, method=wire.get(
                     "method", "search")) as live:
             ticket.trace_ctx = current_context()
-            if self._stopping or self._draining:
-                self.counters.bump("shed")
-                live.set(status="busy")
-                return {"status": "busy",
-                        "reason": "draining" if self._draining and
-                        not self._stopping else "shutdown"}
-            with self._open_lock:
-                self._open_tickets += 1
-                self._drained.clear()
-            try:
-                self._queue.put_nowait(ticket)
-            except queue.Full:
-                self._ticket_closed()
-                self.counters.bump("shed")
-                live.set(status="busy")
-                return {"status": "busy", "reason": "queue full",
-                        "queue_depth": self._queue.qsize()}
-            self.counters.set("queue_depth", self._queue.qsize())
-            wait = None if ticket.deadline is None \
-                else max(1.0, deadline_s) + 600.0
-            if not ticket.event.wait(timeout=wait or 3600.0):
-                live.set(status="error")
-                return {"status": "error",
-                        "error": "response timed out in server"}
-            live.set(status=ticket.response.get("status", "ok"))
-            return ticket.response
+            response = self._admit_wait(ticket, deadline_s, live)
+        return self._finish_request(ticket, response, live.trace_id,
+                                    stitch=bool(wire.get("trace_ctx")))
+
+    def _admit_wait(self, ticket: _Ticket, deadline_s: float | None,
+                    live) -> dict:
+        if self._stopping or self._draining:
+            self.counters.bump("shed")
+            live.set(status="busy")
+            return {"status": "busy",
+                    "reason": "draining" if self._draining and
+                    not self._stopping else "shutdown"}
+        with self._open_lock:
+            self._open_tickets += 1
+            self._drained.clear()
+        try:
+            self._queue.put_nowait(ticket)
+        except queue.Full:
+            self._ticket_closed()
+            self.counters.bump("shed")
+            live.set(status="busy")
+            return {"status": "busy", "reason": "queue full",
+                    "queue_depth": self._queue.qsize()}
+        self.counters.set("queue_depth", self._queue.qsize())
+        wait = None if ticket.deadline is None \
+            else max(1.0, deadline_s) + 600.0
+        if not ticket.event.wait(timeout=wait or 3600.0):
+            live.set(status="error")
+            return {"status": "error",
+                    "error": "response timed out in server"}
+        live.set(status=ticket.response.get("status", "ok"))
+        return ticket.response
+
+    def _finish_request(self, ticket: _Ticket, response: dict,
+                        trace_id: str, stitch: bool) -> dict:
+        """Post-span bookkeeping: SLO sample, flight digest, reply obs."""
+        status = str(response.get("status", "ok"))
+        wall_s = time.monotonic() - ticket.enqueued_at
+        result = response.get("result")
+        if not isinstance(result, dict):
+            result = None
+        degraded = bool(result.get("degraded")) if result else False
+        self.slo.record(wall_s, ok=status == "ok")
+        phases = {key: result[key] for key in
+                  ("queue_wait_s", "server_wall_s", "wall_s")
+                  if result and result.get(key) is not None}
+        self.flightrec.record(
+            fingerprint=ticket.fingerprint, outcome=status, wall_s=wall_s,
+            trace=trace_id, phases=phases, spans=ticket.recorder.events,
+            degraded=degraded)
+        if stitch and result is not None:
+            # Only a caller that propagated a trace context pays for span
+            # records on the wire; everyone else gets the reply untouched.
+            response = dict(response)
+            response["result"] = {
+                **result, "obs": {"spans": list(ticket.recorder.events)}}
+        return response
 
     def _ticket_closed(self) -> None:
         with self._open_lock:
@@ -534,8 +608,12 @@ class InductionServer:
         # The dispatch span hangs off the first member's service.request
         # span; worker-side spans hang off the dispatch via the context
         # injected into the wire below, completing the stitched trace.
+        # Teeing into the leader's recorder puts dispatch + worker spans
+        # into the leader's reply obs (dedup members carry only their own
+        # service.request span — the search ran on the leader's trace).
+        tee = TeeTracer(self.tracer, first.recorder)
         with attach_context(first.trace_ctx), \
-                span("service.dispatch", self.tracer,
+                span("service.dispatch", tee,
                      tickets=len(group.tickets)) as live:
             payload: dict | None = None
             disposition = "miss"
@@ -569,9 +647,13 @@ class InductionServer:
                                 0.0, effective - time.monotonic())
                         effective += PORTFOLIO_KILL_GRACE_S
                 try:
-                    with self.metrics.time("service_worker_seconds"):
-                        payload, meta = self.pool.run(wire, effective)
-                    absorb_obs(payload, tracer=self.tracer,
+                    worker_started = time.monotonic()
+                    payload, meta = self.pool.run(wire, effective)
+                    self.metrics.observe(
+                        "service_worker_seconds",
+                        time.monotonic() - worker_started,
+                        trace_id=live.trace_id)
+                    absorb_obs(payload, tracer=tee,
                                registry=self.metrics)
                     record_portfolio_outcome(payload, self.strategy_store)
                     payload["retries"] = meta["retries"]
@@ -612,7 +694,9 @@ class InductionServer:
             self.metrics.observe("service_queue_wait_seconds",
                                  max(0.0, started - ticket.enqueued_at))
             self.metrics.observe("service_request_seconds",
-                                 now - ticket.enqueued_at)
+                                 now - ticket.enqueued_at,
+                                 trace_id=(ticket.trace_ctx or
+                                           {}).get("trace"))
             extras = {
                 "batch": len(members),
                 "deduped": position > 0,
@@ -659,6 +743,7 @@ class InductionServer:
             "uptime_s": round(time.monotonic() - self._started, 3),
             "trace_events": self.tracer.events_written,
             "draining": int(self._draining),
+            **self.slo.gauges(),
         }
         snap = self.counters.snapshot_with(gauges)
         if self.cache is not None:
@@ -672,15 +757,10 @@ class InductionServer:
 
         Histograms come straight from the registry; the legacy
         :class:`Counters` snapshot folds in as counter series, split from
-        the gauge-typed stats by :data:`_GAUGE_STATS`.  Served by the
-        ``metrics`` op and by ``repro serve --metrics-port``.
+        the gauge-typed stats by :data:`_GAUGE_STATS` (plus the shared
+        gauge prefixes — SLO burn rates).  Served by the ``metrics`` op
+        and by ``repro serve --metrics-port``.
         """
-        stats = self.stats()
-        counters: dict[str, float] = {}
-        gauges: dict[str, float] = {}
-        for name, value in stats.items():
-            if name.endswith(("_p50", "_p90", "_p99")):
-                continue  # re-emitted from the histograms themselves
-            (gauges if name in self._GAUGE_STATS else counters)[name] = value
+        counters, gauges = split_stats(self.stats(), self._GAUGE_STATS)
         return render_prometheus(self.metrics, extra_counters=counters,
                                  extra_gauges=gauges)

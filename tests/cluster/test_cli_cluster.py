@@ -75,3 +75,27 @@ def test_cluster_serve_rejects_socket_outside_peers(tmp_path, capsys):
         main(["cluster", "serve",
               "--socket", str(tmp_path / "lonely.sock"),
               "--peers", str(tmp_path / "a.sock"), str(tmp_path / "b.sock")])
+
+
+def test_cluster_status_table_and_json(cluster, region_file, capsys):
+    main(["submit", region_file, "--socket", str(cluster.router.endpoint),
+          "--budget", "6000"])
+    capsys.readouterr()
+    assert main(["cluster", "status",
+                 "--socket", str(cluster.router.endpoint)]) == 0
+    out = capsys.readouterr().out
+    # Per-node table with health, queue depth and routing counters.
+    for header in ("node", "state", "queue", "routed", "retries",
+                   "failovers", "slo"):
+        assert f"| {header}" in out or f"| {header} " in out
+    assert out.count("| up") == 3
+    # Aggregate counters still print below the table.
+    assert "routed_ok" in out
+
+    import json
+    assert main(["cluster", "status", "--json",
+                 "--socket", str(cluster.router.endpoint)]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert len(data["nodes"]) == 3
+    assert data["counters"]["routed_ok"] >= 1
+    assert "slo" in data

@@ -145,11 +145,13 @@ class TestRouterProtocol:
     def test_stats_metrics_ping_ops(self, cluster):
         client = cluster.client()
         stats = client.stats()
-        assert stats["nodes"] == 3
-        assert stats["nodes_up"] >= 1
+        assert stats["cluster_nodes"] == 3
+        assert stats["cluster_nodes_up"] >= 1
+        assert stats["slo_healthy"] in (0.0, 1.0)
         metrics = client.metrics()
         assert "cluster_route_seconds" in metrics
         assert "routed_ok" in metrics
+        assert "repro_slo_latency_burn_60s" in metrics
         assert client.ping() is True
 
     def test_status_snapshot(self, cluster):

@@ -1,0 +1,140 @@
+"""Cluster-wide distributed tracing over a real 3-node LocalCluster.
+
+The acceptance contract of the observability plane: one routed request is
+ONE trace — client.submit at the caller, cluster.route/cluster.attempt at
+the router, service.request/service.dispatch/worker.execute/induce on the
+node — stitched through ``trace_ctx`` on the way in and the ``obs`` reply
+payload on the way back.  Failover keeps the same trace id and adds a
+``cluster.failover`` span next to the failed attempt.
+"""
+
+import pytest
+
+from repro.api import InductionRequest
+from repro.cluster import LocalCluster, RetryPolicy
+from repro.core import maspar_cost_model, parse_region
+from repro.obs import MemoryTracer, build_traces
+
+REGION = """
+thread 0:
+    a = ld x
+    b = mul a a
+    c = add b a
+thread 1:
+    d = ld x
+    e = mul d d
+    f = add e d
+"""
+
+
+def request(seed: int = 0, tracer=None) -> InductionRequest:
+    req = InductionRequest(region=parse_region(REGION),
+                           model=maspar_cost_model(), budget=5_000 + seed)
+    req.tracer = tracer
+    return req
+
+
+@pytest.fixture
+def cluster():
+    with LocalCluster(nodes=3, cache_capacity=16,
+                      retry=RetryPolicy(attempts=4, backoff_s=0.01),
+                      mark_down_after=2) as clu:
+        yield clu
+
+
+def spans_of(tracer):
+    return [e for e in tracer.events if e["kind"] == "span"]
+
+
+class TestStitching:
+    def test_routed_request_is_one_trace(self, cluster):
+        tracer = MemoryTracer()
+        cluster.client().submit(request(1, tracer))
+        spans = spans_of(tracer)
+        assert len({e["trace"] for e in spans}) == 1
+        names = {e["name"] for e in spans}
+        assert {"client.submit", "cluster.route", "cluster.attempt",
+                "service.request", "service.dispatch", "worker.execute",
+                "induce"} <= names
+
+    def test_tree_shape_client_router_node_worker(self, cluster):
+        tracer = MemoryTracer()
+        cluster.client().submit(request(2, tracer))
+        (tree,) = build_traces(spans_of(tracer))
+        (client_root,) = tree.roots
+        assert client_root.name == "client.submit"
+        (route,) = client_root.children
+        assert route.name == "cluster.route"
+        (attempt,) = route.children
+        assert attempt.name == "cluster.attempt"
+        assert attempt.attrs["status"] == "ok"
+        (svc_request,) = attempt.children
+        assert svc_request.name == "service.request"
+
+    def test_untraced_wire_reply_carries_no_obs(self, cluster):
+        from repro.service import protocol
+
+        wire = protocol.request_to_wire(request(3))
+        assert "trace_ctx" not in wire
+        with cluster.router.endpoint.connect(timeout=10.0) as sock:
+            protocol.send_message(sock, wire)
+            reply = protocol.recv_message(sock)
+        assert reply["status"] == "ok"
+        assert "obs" not in reply["result"]
+
+    def test_failover_span_joins_the_same_trace(self, cluster):
+        req = request(4)
+        owner = cluster.router.plan(req.fingerprint())[0]
+        cluster.kill_node(cluster.config.node_names.index(owner))
+        tracer = MemoryTracer()
+        result = cluster.client().submit(request(4, tracer))
+        assert result.extras["route_attempts"] >= 2
+        spans = spans_of(tracer)
+        assert len({e["trace"] for e in spans}) == 1
+        (tree,) = build_traces(spans)
+        (route,) = tree.roots[0].children
+        children = [n.name for n in route.children]
+        assert "cluster.failover" in children
+        # Failed attempt, failover backoff, then the attempt that landed.
+        attempts = [n for n in route.children if n.name == "cluster.attempt"]
+        assert attempts[0].attrs["status"] == "failover"
+        assert attempts[-1].attrs["status"] == "ok"
+        # The whole node-side chain still made it back after failover.
+        names = {n.name for n in tree._walk()}
+        assert {"worker.execute", "induce"} <= names
+
+
+class TestRouterObservability:
+    def test_router_tracer_sees_routing_spans_for_untraced_clients(self):
+        router_tracer = MemoryTracer()
+        with LocalCluster(nodes=3, cache_capacity=16,
+                          router_tracer=router_tracer) as clu:
+            clu.client().submit(request(5))
+        names = {e["name"] for e in spans_of(router_tracer)}
+        assert "cluster.route" in names and "cluster.attempt" in names
+        # The node's spans flow back to the router even though the client
+        # asked for nothing — that is what feeds the flight recorder.
+        assert "service.request" in names
+
+    def test_failed_over_request_lands_in_router_flightrec(self, cluster):
+        req = request(6)
+        owner = cluster.router.plan(req.fingerprint())[0]
+        cluster.kill_node(cluster.config.node_names.index(owner))
+        cluster.client().submit(req)
+        snap = cluster.router.flightrec.snapshot()
+        assert snap, "failover should be captured"
+        digest = snap[-1]
+        assert digest["failed_over"] is True
+        assert digest["outcome"] == "ok"
+        assert len(digest["route"]) >= 2
+        span_names = {e.get("name") for e in digest["spans"]}
+        assert "cluster.failover" in span_names
+
+    def test_router_slo_aggregates_node_status(self, cluster):
+        cluster.client().submit(request(7))
+        cluster.router.membership.probe_once()
+        status = cluster.router.status()
+        assert status["slo"]["requests_total"] >= 1
+        probed = [n for n in status["nodes"] if n["slo"]]
+        assert probed, "probes should capture node slo gauges"
+        assert all("slo_healthy" in n["slo"] for n in probed)

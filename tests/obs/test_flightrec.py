@@ -1,0 +1,113 @@
+"""Tests for the flight recorder: capture policy, ring bound, filters."""
+
+import pytest
+
+from repro.obs import FlightConfig, FlightRecorder
+
+
+def record(rec, **overrides):
+    defaults = dict(fingerprint="abc123", outcome="ok", wall_s=0.01)
+    defaults.update(overrides)
+    return rec.record(**defaults)
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        dict(capacity=0),
+        dict(capacity=-1),
+        dict(slow_threshold_s=0.0),
+        dict(slow_threshold_s=-0.5),
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            FlightConfig(**kwargs)
+
+
+class TestCapturePolicy:
+    def test_fast_ok_request_is_not_captured(self):
+        rec = FlightRecorder()
+        assert record(rec) is False
+        assert rec.counts() == {"considered": 1, "captured": 0, "buffered": 0}
+
+    def test_slow_request_is_captured(self):
+        rec = FlightRecorder(FlightConfig(slow_threshold_s=0.5))
+        assert record(rec, wall_s=0.5) is True     # at threshold counts
+        (digest,) = rec.snapshot()
+        assert digest["slow"] and not digest["failed"]
+
+    def test_failed_outcome_is_captured(self):
+        rec = FlightRecorder()
+        assert record(rec, outcome="error") is True
+        (digest,) = rec.snapshot()
+        assert digest["failed"] and digest["outcome"] == "error"
+
+    @pytest.mark.parametrize("flag", ["degraded", "failed_over"])
+    def test_degraded_and_failed_over_are_captured(self, flag):
+        rec = FlightRecorder()
+        assert record(rec, **{flag: True}) is True
+        (digest,) = rec.snapshot()
+        assert digest[flag] is True
+
+    def test_capture_all_takes_everything(self):
+        rec = FlightRecorder(FlightConfig(capture_all=True))
+        assert record(rec) is True
+        assert rec.counts()["captured"] == 1
+
+    def test_digest_carries_phases_route_and_spans(self):
+        rec = FlightRecorder()
+        record(rec, outcome="error", trace="t" * 32,
+               phases={"queue_wait_s": 0.001, "skipped": None},
+               route=["n0", "n1"],
+               spans=[{"kind": "span", "name": "cluster.route"}])
+        (digest,) = rec.snapshot()
+        assert digest["trace"] == "t" * 32
+        assert digest["phases"] == {"queue_wait_s": 0.001}  # None dropped
+        assert digest["route"] == ["n0", "n1"]
+        assert digest["spans"][0]["name"] == "cluster.route"
+
+
+class TestRing:
+    def test_ring_is_bounded_and_keeps_newest(self):
+        rec = FlightRecorder(FlightConfig(capacity=3, capture_all=True))
+        for i in range(10):
+            record(rec, fingerprint=f"fp{i}")
+        digests = rec.snapshot()
+        assert len(digests) == 3
+        assert [d["fingerprint"] for d in digests] == ["fp7", "fp8", "fp9"]
+        assert rec.counts() == {"considered": 10, "captured": 10,
+                                "buffered": 3}
+
+    def test_seq_is_monotonic_across_eviction(self):
+        rec = FlightRecorder(FlightConfig(capacity=2, capture_all=True))
+        for _ in range(5):
+            record(rec)
+        assert [d["seq"] for d in rec.snapshot()] == [4, 5]
+
+
+class TestSnapshotFilters:
+    @pytest.fixture
+    def rec(self):
+        rec = FlightRecorder(FlightConfig(slow_threshold_s=0.5))
+        record(rec, fingerprint="slow", wall_s=2.0)
+        record(rec, fingerprint="failed", outcome="busy")
+        record(rec, fingerprint="slowfail", wall_s=2.0, outcome="error")
+        return rec
+
+    def test_slow_filter(self, rec):
+        names = [d["fingerprint"] for d in rec.snapshot(slow=True)]
+        assert names == ["slow", "slowfail"]
+
+    def test_failed_filter(self, rec):
+        names = [d["fingerprint"] for d in rec.snapshot(failed=True)]
+        assert names == ["failed", "slowfail"]
+
+    def test_filters_and_last_compose(self, rec):
+        assert [d["fingerprint"] for d in rec.snapshot(slow=True, failed=True)
+                ] == ["slowfail"]
+        assert [d["fingerprint"] for d in rec.snapshot(last=1)
+                ] == ["slowfail"]
+        assert rec.snapshot(last=0) == []
+
+    def test_snapshot_is_detached(self, rec):
+        rec.snapshot()[0]["fingerprint"] = "mutated"
+        assert rec.snapshot()[0]["fingerprint"] == "slow"

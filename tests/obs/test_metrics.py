@@ -184,3 +184,63 @@ class TestRenderPrometheus:
         reg.inc("cache.hit-rate")
         text = render_prometheus(reg)
         assert "repro_cache_hit_rate_total 1" in text
+
+
+class TestExemplars:
+    def test_bucket_max_observation_is_retained(self):
+        h = Histogram((1.0, 2.0))
+        h.observe(0.5, trace_id="aa" * 16)
+        h.observe(0.8, trace_id="bb" * 16)   # same bucket, larger value
+        h.observe(0.6, trace_id="cc" * 16)   # same bucket, smaller: kept out
+        assert h.exemplars[0] == ("bb" * 16, 0.8)
+
+    def test_observe_without_trace_id_records_no_exemplar(self):
+        h = Histogram((1.0,))
+        h.observe(0.5)
+        assert h.exemplars == {}
+
+    def test_exemplars_survive_snapshot_and_merge(self):
+        worker = Histogram((1.0, 2.0))
+        worker.observe(1.5, trace_id="ww" * 16)
+        parent = Histogram((1.0, 2.0))
+        parent.observe(1.2, trace_id="pp" * 16)
+        parent.merge(worker.snapshot())
+        # Max wins per bucket across the merge.
+        assert parent.exemplars[1] == ("ww" * 16, 1.5)
+        parent.merge(Histogram((1.0, 2.0)).snapshot())  # no-op merge keeps it
+        assert parent.exemplars[1] == ("ww" * 16, 1.5)
+
+    def test_overflow_bucket_exemplar(self):
+        h = Histogram((1.0,))
+        h.observe(50.0, trace_id="ff" * 16)
+        assert h.exemplars[1] == ("ff" * 16, 50.0)  # index len(bounds) = +Inf
+
+    def test_rendered_as_openmetrics_suffix(self):
+        reg = MetricsRegistry()
+        reg.observe("latency_seconds", 0.5, trace_id="ab" * 16)
+        text = render_prometheus(reg)
+        lines = [l for l in text.splitlines()
+                 if l.startswith("repro_latency_seconds_bucket")]
+        exemplar_lines = [l for l in lines if ' # {trace_id="' in l]
+        assert len(exemplar_lines) == 1
+        assert f'trace_id="{"ab" * 16}"' in exemplar_lines[0]
+        # The sample before the exemplar marker still parses as name value.
+        assert len(exemplar_lines[0].split(" # ")[0].split()) == 2
+
+    def test_registry_observe_forwards_trace_id(self):
+        reg = MetricsRegistry()
+        reg.observe("x_seconds", 0.1, trace_id="dd" * 16)
+        assert reg.histogram("x_seconds").exemplars
+
+
+class TestSplitStats:
+    def test_percentiles_and_named_gauges_split_off(self):
+        from repro.obs.metrics import split_stats
+
+        counters, gauges = split_stats(
+            {"requests": 8.0, "uptime_s": 3.0, "lat_p99": 0.5,
+             "lat_p50": 0.1, "slo_healthy": 1.0, "slo_latency_burn_60s": 0.2},
+            gauge_names={"uptime_s"})
+        assert counters == {"requests": 8.0}
+        assert gauges == {"uptime_s": 3.0, "slo_healthy": 1.0,
+                          "slo_latency_burn_60s": 0.2}

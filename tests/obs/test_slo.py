@@ -1,0 +1,167 @@
+"""Tests for the SLO tracker: burn-rate math, windows, pruning, gauges."""
+
+import pytest
+
+from repro.obs import SLOConfig, SLOTracker
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_tracker(clock=None, **overrides):
+    defaults = dict(latency_threshold_s=1.0, latency_target=0.9,
+                    error_target=0.99, windows_s=(10.0, 100.0))
+    defaults.update(overrides)
+    return SLOTracker(SLOConfig(**defaults), clock=clock or FakeClock())
+
+
+class TestConfig:
+    def test_defaults_are_valid(self):
+        cfg = SLOConfig()
+        assert cfg.windows_s == (60.0, 600.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(latency_threshold_s=0.0),
+        dict(latency_threshold_s=-1.0),
+        dict(latency_target=0.0),
+        dict(latency_target=1.0),
+        dict(error_target=1.5),
+        dict(windows_s=()),
+        dict(windows_s=(60.0, 30.0)),     # not ascending
+        dict(windows_s=(0.0, 60.0)),
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            SLOConfig(**kwargs)
+
+    def test_windows_coerced_to_float(self):
+        cfg = SLOConfig(windows_s=(60, 600))
+        assert cfg.windows_s == (60.0, 600.0)
+
+
+class TestBurnRates:
+    def test_no_samples_is_healthy_zero_burn(self):
+        status = make_tracker().status()
+        assert status["healthy"]
+        assert status["requests_total"] == 0
+        for entry in status["objectives"]:
+            assert all(w["burn_rate"] == 0.0 for w in entry["windows"])
+
+    def test_all_good_requests_zero_burn(self):
+        tracker = make_tracker()
+        for _ in range(10):
+            tracker.record(0.1, ok=True)
+        status = tracker.status()
+        assert status["healthy"]
+        assert status["requests_total"] == 10
+
+    def test_latency_burn_is_bad_fraction_over_budget(self):
+        # target 0.9 -> budget 0.1; 2 slow of 10 -> 0.2/0.1 = 2.0x.
+        tracker = make_tracker()
+        for _ in range(8):
+            tracker.record(0.1)
+        for _ in range(2):
+            tracker.record(5.0)
+        latency = tracker.status()["objectives"][0]
+        assert latency["objective"] == "latency"
+        for window in latency["windows"]:
+            assert window["requests"] == 10
+            assert window["bad"] == 2
+            assert window["burn_rate"] == pytest.approx(2.0)
+        assert not tracker.status()["healthy"]
+
+    def test_error_burn_counts_not_ok(self):
+        # error target 0.99 -> budget 0.01; 1 error of 100 -> 1.0x burn,
+        # which is exactly on budget and still "healthy".
+        tracker = make_tracker()
+        for _ in range(99):
+            tracker.record(0.1, ok=True)
+        tracker.record(0.1, ok=False)
+        errors = tracker.status()["objectives"][1]
+        assert errors["objective"] == "errors"
+        assert errors["windows"][0]["burn_rate"] == pytest.approx(1.0)
+        assert tracker.status()["healthy"]
+
+    def test_latency_exactly_at_threshold_is_bad(self):
+        tracker = make_tracker()
+        tracker.record(1.0)
+        assert tracker.status()["objectives"][0]["windows"][0]["bad"] == 1
+
+
+class TestWindows:
+    def test_fast_window_reacts_slow_window_dilutes(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        # Old good traffic fills the long window only.
+        for _ in range(90):
+            tracker.record(0.1)
+        clock.advance(50.0)
+        # A fresh burst of slow requests dominates the 10s window.
+        for _ in range(10):
+            tracker.record(5.0)
+        latency = tracker.status()["objectives"][0]
+        fast, slow = latency["windows"]
+        assert fast["window_s"] == 10.0 and slow["window_s"] == 100.0
+        assert fast["requests"] == 10 and fast["bad_fraction"] == 1.0
+        assert slow["requests"] == 100
+        assert slow["bad_fraction"] == pytest.approx(0.1)
+        assert fast["burn_rate"] > slow["burn_rate"]
+
+    def test_samples_age_out_of_every_window(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        for _ in range(5):
+            tracker.record(5.0)   # all bad
+        clock.advance(101.0)      # past the longest window
+        status = tracker.status()
+        assert status["healthy"]
+        assert status["requests_total"] == 5  # lifetime count survives
+        for entry in status["objectives"]:
+            assert all(w["requests"] == 0 for w in entry["windows"])
+
+    def test_pruning_bounds_retained_samples(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        for _ in range(50):
+            tracker.record(0.1)
+            clock.advance(10.0)
+        # Only samples within the 100s window survive in the deque.
+        assert len(tracker._samples) <= 11
+
+
+class TestGauges:
+    def test_gauge_names_and_values(self):
+        tracker = make_tracker()
+        for _ in range(8):
+            tracker.record(0.1)
+        for _ in range(2):
+            tracker.record(5.0)
+        gauges = tracker.gauges()
+        assert set(gauges) == {
+            "slo_healthy", "slo_window_requests",
+            "slo_latency_burn_10s", "slo_latency_burn_100s",
+            "slo_error_burn_10s", "slo_error_burn_100s",
+        }
+        assert gauges["slo_healthy"] == 0.0
+        assert gauges["slo_latency_burn_10s"] == pytest.approx(2.0)
+        assert gauges["slo_error_burn_100s"] == 0.0
+        assert gauges["slo_window_requests"] == 10.0
+
+    def test_healthy_gauge_flips_with_burn(self):
+        tracker = make_tracker()
+        tracker.record(0.1)
+        assert tracker.gauges()["slo_healthy"] == 1.0
+        tracker.record(5.0)   # 1 of 2 slow: burn 5.0x on a 0.1 budget
+        assert tracker.gauges()["slo_healthy"] == 0.0
+
+    def test_fractional_window_label(self):
+        tracker = make_tracker(windows_s=(0.5, 10.0))
+        assert "slo_latency_burn_0.5s" in tracker.gauges()

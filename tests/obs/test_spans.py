@@ -174,3 +174,35 @@ class TestTraceTrees:
         assert root.self_s == pytest.approx(0.3)
         (kid,) = root.children
         assert kid.self_s == 0.0  # child reports longer than parent: clamped
+
+
+class TestTeeTracer:
+    def test_fans_out_to_every_enabled_sink(self):
+        from repro.obs import TeeTracer
+
+        a, b = MemoryTracer(), MemoryTracer()
+        tee = TeeTracer(a, b)
+        assert tee.enabled
+        with span("work", tee):
+            pass
+        assert len(a.events) == len(b.events) == 1
+        assert a.events[0]["trace"] == b.events[0]["trace"]
+        assert tee.events_written == 2
+
+    def test_disabled_and_none_sinks_are_skipped(self):
+        from repro.obs import TeeTracer
+
+        live = MemoryTracer()
+        tee = TeeTracer(NULL_TRACER, None, live)
+        assert tee.enabled   # one live sink is enough
+        with span("work", tee):
+            pass
+        assert len(live.events) == 1
+
+    def test_all_dead_sinks_disable_the_tee(self):
+        from repro.obs import TeeTracer
+
+        tee = TeeTracer(NULL_TRACER)
+        assert not tee.enabled
+        with span("work", tee) as s:
+            assert s.trace_id   # ids still flow for propagation

@@ -77,6 +77,57 @@ def test_submit_trace_writes_events(server, region_file, tmp_path, capsys):
                  "--budget", "10000", "--trace", trace]) == 0
     import json
     events = [json.loads(line) for line in open(trace)]
-    assert len(events) == 1
-    assert events[0]["kind"] == "submit"
-    assert events[0]["cost"] > 0
+    (summary,) = [e for e in events if e["kind"] == "submit"]
+    assert summary["cost"] > 0
+    # The tracer rides the request, so the same file carries the stitched
+    # client->server span tree alongside the per-reply summary event.
+    spans = [e for e in events if e["kind"] == "span"]
+    assert {e["name"] for e in spans} >= {"client.submit", "service.request"}
+    assert len({e["trace"] for e in spans}) == 1
+
+
+def test_slo_command_table_and_json(server, region_file, capsys):
+    main(["submit", region_file, "--socket", server.address,
+          "--budget", "5000"])
+    capsys.readouterr()
+    assert main(["slo", "--socket", server.address]) == 0
+    out = capsys.readouterr().out
+    assert "SLO HEALTHY" in out
+    assert "| latency" in out and "| errors" in out
+    assert "60s" in out and "600s" in out
+
+    import json
+    assert main(["slo", "--json", "--socket", server.address]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["healthy"] is True
+    assert data["requests_total"] == 1
+
+
+def test_flightrec_command_empty_and_captured(region_file, tmp_path, capsys):
+    from repro.obs import FlightConfig, FlightRecorder
+    from repro.service import InductionServer, ServerConfig
+
+    server = InductionServer(
+        ServerConfig(address=str(tmp_path / "rec.sock"), workers=1,
+                     batch_wait_s=0.005),
+        flightrec=FlightRecorder(FlightConfig(capture_all=True)))
+    try:
+        # Nothing considered yet: empty snapshot exits 1.
+        assert main(["flightrec", "--socket", server.address]) == 1
+        assert "0 matching" in capsys.readouterr().out
+        main(["submit", region_file, "--socket", server.address,
+              "--budget", "5000"])
+        capsys.readouterr()
+        assert main(["flightrec", "--socket", server.address]) == 0
+        out = capsys.readouterr().out
+        assert "1 captured" in out
+        assert "replay of digest #1" in out
+        assert "service.request" in out     # replayed span tree
+        import json
+        assert main(["flightrec", "--json",
+                     "--socket", server.address]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["captured"] == 1
+        assert data["digests"][0]["outcome"] == "ok"
+    finally:
+        server.shutdown()

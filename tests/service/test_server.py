@@ -289,9 +289,17 @@ def test_metrics_op_returns_prometheus_text(tmp_path, request_):
         p99 = [line for line in text.splitlines()
                if line.startswith("repro_service_request_seconds_p99 ")]
         assert p99 and float(p99[0].split()[1]) > 0
-        # Every line is "# ..." or "name value" — the scrapable contract.
+        # Every line is "# ..." or "name value", optionally followed by an
+        # OpenMetrics exemplar — the scrapable contract.
         for line in text.strip().splitlines():
-            assert line.startswith("# ") or len(line.split()) == 2
+            sample = line.split(" # ")[0]
+            assert line.startswith("# ") or len(sample.split()) == 2
+        # Bucket-max observations carry their trace id as an exemplar.
+        exemplars = [line for line in text.splitlines()
+                     if ' # {trace_id="' in line]
+        assert exemplars, "expected at least one histogram exemplar"
+        trace_id = exemplars[0].split('trace_id="')[1].split('"')[0]
+        assert len(trace_id) == 32 and set(trace_id) <= set("0123456789abcdef")
     finally:
         server.shutdown()
 
