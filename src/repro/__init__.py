@@ -7,7 +7,6 @@ discrete-event UNIX execution models (:mod:`repro.models`), and the AHS-style
 heterogeneous target-selection scheduler (:mod:`repro.sched`).
 """
 
-from repro.ahs import AhsReport, run_ahs
 from repro.core import (
     CostModel,
     InductionResult,
@@ -23,6 +22,17 @@ from repro.core import (
 )
 
 __version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    # Lazy so that `import repro` (and the whole CSI core) works without
+    # numpy; the AHS pipeline pulls in the interpreter stack, which needs
+    # the [fast] extra.
+    if name in ("AhsReport", "run_ahs"):
+        from repro import ahs
+
+        return getattr(ahs, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "AhsReport",

@@ -96,8 +96,9 @@ class InductionRequest:
     so CLI, tests and the service build requests the same way.  ``budget``
     is a shorthand for ``config=SearchConfig(node_budget=...)``; an explicit
     ``config`` wins.  ``engine`` overrides the search engine on whatever
-    config is resolved ("bitmask", the default, or "legacy" — the reference
-    implementation kept as an escape hatch and equivalence oracle).
+    config is resolved: "bitmask" (the default), "array" (the batched
+    fast path) or "legacy" (the reference implementation kept as an escape
+    hatch and equivalence oracle).
     ``cache`` and ``tracer`` are live handles and stay local — they never
     cross a process boundary.
     """

@@ -29,8 +29,6 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
-
 __all__ = ["main"]
 
 
@@ -67,6 +65,8 @@ def _load_program(path: str, optimize: bool = True):
 
 
 def _cmd_run(args) -> int:
+    import numpy as np
+
     from repro.interp import FrequencyBias, InterpreterConfig, run_program
 
     program, layout, globals_map = _load_program(args.source)
@@ -619,11 +619,12 @@ def _cmd_fuzz(args) -> int:
     import os
     import tempfile
 
+    from repro.core.search import ENGINES
     from repro.fuzz import (FuzzConfig, case_from_payload, check_case,
                             fuzz_run, load_corpus)
     from repro.obs import JsonlTracer
 
-    engines = ("bitmask", "legacy") if args.engine == "both" else (args.engine,)
+    engines = ENGINES if args.engine == "all" else (args.engine,)
 
     if args.replay:
         try:
@@ -764,9 +765,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", type=int, default=None,
                    help="branch-and-bound node budget (default 100000; only "
                         "valid for methods that search)")
-    p.add_argument("--engine", default=None, choices=["bitmask", "legacy"],
-                   help="branch-and-bound engine (default bitmask; legacy is "
-                        "the reference implementation)")
+    p.add_argument("--engine", default=None,
+                   choices=["bitmask", "array", "legacy"],
+                   help="branch-and-bound engine (default bitmask; array is "
+                        "the batched fast path; legacy is the reference "
+                        "implementation)")
     p.add_argument("--window", type=int, default=0, metavar="SIZE",
                    help="induce window-by-window at this window size (0 = whole region)")
     p.add_argument("--jobs", type=int, default=1,
@@ -836,9 +839,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", type=int, default=None,
                    help="branch-and-bound node budget (default 100000; only "
                         "valid for methods that search)")
-    p.add_argument("--engine", default=None, choices=["bitmask", "legacy"],
-                   help="branch-and-bound engine (default bitmask; legacy is "
-                        "the reference implementation)")
+    p.add_argument("--engine", default=None,
+                   choices=["bitmask", "array", "legacy"],
+                   help="branch-and-bound engine (default bitmask; array is "
+                        "the batched fast path; legacy is the reference "
+                        "implementation)")
     p.add_argument("--window", type=int, default=0, metavar="SIZE",
                    help="induce window-by-window at this window size (0 = whole region)")
     p.add_argument("--jobs", type=int, default=1,
@@ -980,9 +985,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="maximum threads per generated region")
     p.add_argument("--time-budget", type=float, default=None, metavar="SECONDS",
                    help="stop after this much wall time even if cases remain")
-    p.add_argument("--engine", choices=("both", "bitmask", "legacy"),
-                   default="both",
-                   help="search engine(s); 'both' asserts cross-engine parity")
+    p.add_argument("--engine",
+                   choices=("all", "bitmask", "array", "legacy"),
+                   default="all",
+                   help="search engine(s); 'all' asserts cross-engine parity")
     p.add_argument("--program-fraction", type=float, default=0.15,
                    help="fraction of cases that are MIMDC programs")
     p.add_argument("--cluster-fraction", type=float, default=0.1,

@@ -65,6 +65,12 @@ class ClusterConfig:
     mark_down_after: int = 3
     #: Per-hop socket timeout for forwarded requests.
     forward_timeout_s: float | None = 600.0
+    #: Fingerprint-keyed LRU cache of finished routed replies held by the
+    #: forwarder itself: a repeated request is answered at the front door
+    #: without touching a node.  Only ``ok``, non-degraded replies are
+    #: cached (induction is deterministic per fingerprint, so a cached
+    #: reply is exactly what the node would recompute).  0 disables.
+    request_cache_size: int = 256
     #: Socket timeout for peer cache reads/probes (kept tight: a dead
     #: peer's cache read must degrade to a miss, not stall an induction).
     peer_timeout_s: float = 2.0
@@ -87,6 +93,10 @@ class ClusterConfig:
         if self.mark_down_after < 1:
             raise ValueError(
                 f"mark_down_after must be >= 1, got {self.mark_down_after}")
+        if self.request_cache_size < 0:
+            raise ValueError(
+                f"request cache size must be >= 0, "
+                f"got {self.request_cache_size}")
 
     @property
     def node_names(self) -> tuple[str, ...]:

@@ -51,6 +51,7 @@ class LocalCluster:
                  start_probes: bool = False,
                  remote_cache: bool = True,
                  batch_wait_s: float = 0.002,
+                 request_cache_size: int = 256,
                  router_tracer=None) -> None:
         if nodes < 1:
             raise ValueError(f"need at least one node, got {nodes}")
@@ -64,6 +65,7 @@ class LocalCluster:
             retry=retry or RetryPolicy(),
             mark_down_after=mark_down_after,
             peer_timeout_s=2.0,
+            request_cache_size=request_cache_size,
         )
         self.servers: list[InductionServer] = []
         self.caches: list[RemoteScheduleCache | ScheduleCache] = []

@@ -7,7 +7,11 @@ retries the *next* replica in the fingerprint's preference order with
 exponential backoff.  Duplicate submits that arrive while a fingerprint is
 already in flight — the common case for interpreter workloads — do not
 fan out: they join the in-flight forward and share its reply, so the
-cluster-wide dedup mirrors the per-node batcher's.
+cluster-wide dedup mirrors the per-node batcher's.  *Finished* duplicates
+are answered by a fingerprint-keyed LRU request cache
+(``ClusterConfig.request_cache_size``; ``ok`` non-degraded replies only)
+without touching a node at all — ``router_cache_hits`` counts them, and
+cached replies carry a ``router_cache`` extra.
 
 Two skins over the core:
 
@@ -44,9 +48,11 @@ and ``flightrec`` ops.
 
 from __future__ import annotations
 
+import copy
 import socket
 import threading
 import time
+from collections import OrderedDict
 from typing import Any, Mapping
 
 from repro.api import InductionRequest
@@ -126,6 +132,8 @@ class ClusterForwarder:
         self._loads_lock = threading.Lock()
         self._flights: dict[str, _Flight] = {}
         self._flights_lock = threading.Lock()
+        self._request_cache: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._request_cache_lock = threading.Lock()
         self._started = time.monotonic()
         if start_probes:
             self.membership.start()
@@ -187,6 +195,21 @@ class ClusterForwarder:
         started = time.monotonic()
         recorder = MemoryTracer()
         tee = TeeTracer(self.tracer, recorder)
+        cached = self._cache_lookup(fingerprint)
+        if cached is not None:
+            # A finished duplicate: answer from the front door without
+            # touching a node (deep copy — the caller owns its reply).
+            self.counters.bump("router_cache_hits")
+            with attach_context(wire.get("trace_ctx")), \
+                    span("cluster.route", tee,
+                         fingerprint=fingerprint[:12], cached=True) as route:
+                reply = self._annotate(copy.deepcopy(cached), cached=True)
+                route.set(status=str(reply.get("status")))
+            return self._finish_route(reply,
+                                      {"route": [], "failed_over": False},
+                                      recorder, route.trace_id, fingerprint,
+                                      started,
+                                      stitch=bool(wire.get("trace_ctx")))
         with self._flights_lock:
             flight = self._flights.get(fingerprint)
             if flight is not None and not flight.done:
@@ -224,6 +247,7 @@ class ClusterForwarder:
                         if self._flights.get(fingerprint) is flight:
                             del self._flights[fingerprint]
                 reply = flight.reply
+                self._cache_store(fingerprint, reply)
                 route.set(status=str(reply.get("status")))
         return self._finish_route(reply, info, recorder, route.trace_id,
                                   fingerprint, started,
@@ -369,9 +393,40 @@ class ClusterForwarder:
             raise protocol.ProtocolError(f"{node} closed the connection")
         return reply
 
+    # -- request cache -----------------------------------------------------
+
+    def _cache_lookup(self, fingerprint: str) -> dict[str, Any] | None:
+        if self.config.request_cache_size <= 0:
+            return None
+        with self._request_cache_lock:
+            reply = self._request_cache.get(fingerprint)
+            if reply is not None:
+                self._request_cache.move_to_end(fingerprint)
+            return reply
+
+    def _cache_store(self, fingerprint: str, reply: dict[str, Any]) -> None:
+        """Cache a finished reply, LRU-evicting past the size cap.
+
+        Only ``ok`` and non-degraded: errors and busy sheds are transient,
+        and a deadline-degraded result depends on wall-clock luck, not just
+        the fingerprint."""
+        if self.config.request_cache_size <= 0:
+            return
+        if reply.get("status") != "ok":
+            return
+        result = reply.get("result")
+        if not isinstance(result, dict) or result.get("degraded"):
+            return
+        with self._request_cache_lock:
+            self._request_cache[fingerprint] = reply
+            self._request_cache.move_to_end(fingerprint)
+            while len(self._request_cache) > self.config.request_cache_size:
+                self._request_cache.popitem(last=False)
+
     @staticmethod
     def _annotate(reply: dict, node: str | None = None,
-                  attempts: int = 0, dedup: bool = False) -> dict:
+                  attempts: int = 0, dedup: bool = False,
+                  cached: bool = False) -> dict:
         """Stamp routing facts into the result payload (ServiceResult
         surfaces unknown keys through ``extras``)."""
         result = reply.get("result")
@@ -382,6 +437,8 @@ class ClusterForwarder:
                 result["route_attempts"] = attempts
             if dedup:
                 result["router_dedup"] = True
+            if cached:
+                result["router_cache"] = True
             reply = dict(reply)
             reply["result"] = result
         return reply

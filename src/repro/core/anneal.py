@@ -18,7 +18,10 @@ import math
 from dataclasses import dataclass
 from typing import Callable
 
-import numpy as np
+try:  # numpy is the [fast] extra; the annealer is the only core user.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via monkeypatch in tests
+    np = None
 
 from repro.core.costmodel import CostModel
 from repro.core.dag import DependenceDAG, build_dags
@@ -101,6 +104,10 @@ def anneal_schedule(
     exit with the best schedule found so far — used by the portfolio racer
     to cancel a losing anneal and to honor deadlines.
     """
+    if np is None:
+        raise RuntimeError(
+            "anneal_schedule requires numpy; install it with the [fast] "
+            "extra (pip install repro[fast])")
     if steps < 0:
         raise ValueError(f"negative step count {steps}")
     if not 0.0 < cooling <= 1.0:

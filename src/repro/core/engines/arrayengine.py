@@ -1,0 +1,582 @@
+"""Array engine — batched bounds, cached child generation, lazy state.
+
+Where the bitmask engine made each node *cheap* (incremental int-bitmask
+state, one running value per bound), the array engine makes most nodes
+*nearly free* by reorganising the search around three observations:
+
+1. **Bounds are computable at generation time.**  A child's admissible
+   lower bound depends only on the scheduler state it leads to, never on
+   the incumbent at the moment it is entered, and the incumbent only
+   decreases.  The engine therefore scores and lower-bounds *all*
+   candidate children of a node in one batched pass at generation time
+   (MASIM-style priority ordering — merge-class scarcity × critical-path
+   contribution — is the same pass) and stores ``(slot_cost, bound)``
+   inside each move record.  The per-child entry test collapses to two
+   float adds and a compare, and a bound-failing child is discarded
+   before any of its state — frame, done masks, ready-index deltas — is
+   materialised.
+
+2. **Identical states recur and their child batches are pure.**  The DFS
+   revisits scheduler states (the same done-sets reached along different
+   merge orders) constantly — that is exactly why dominance memoization
+   prunes so well.  The child batch of a state (picks, priorities,
+   bounds, apply deltas) is a pure function of the state, so the engine
+   interns finished batches in a generation cache keyed on the done-mask
+   tuple.  A revisit replays the cached, priority-ordered batch without
+   touching the ready index at all.
+
+3. **Incremental state can be maintained lazily.**  Cached batches carry
+   everything that entry, leaf and backtrack handling need, so the
+   ready/bound state is only required on a generation-cache *miss*.  The
+   engine keeps an *applied frontier* and batch-applies the pending
+   suffix of the current path — replaying apply deltas recorded in the
+   move records — only when a miss actually needs the materialised
+   state.  Subtrees served entirely from the cache never pay apply/undo.
+
+The DFS stack itself lives in preallocated typed arrays (``array('d')``
+/ ``array('l')`` cursors, costs and remaining-op counts); done masks stay
+arbitrary-precision Python ints so op counts are unbounded.  When numpy
+is available (the ``[fast]`` extra) and a node's ready-key fan-out
+reaches :data:`VEC_MIN_KEYS`, the scoring/bounding pass switches to
+vectorised float64 arithmetic plus one ``np.lexsort`` for the priority
+order; the scalar path computes bit-identical floats, so results never
+depend on whether numpy is installed.
+
+Equivalence contract: identical schedules, costs and ``SearchStats``
+counters to the legacy oracle, enforced by
+``tests/core/test_engine_equivalence.py`` and the fuzz harness.  Like the
+bitmask engine, float parity is exact whenever slot costs are exactly
+representable; the cached class-bound deltas can differ by ulps from a
+fresh summation otherwise.  The ablation move generators
+(``maximal_merges_only=False`` / ``branch_thread_choices=True``) violate
+the one-move-per-key assumption the batch layout relies on, so those
+configurations delegate to the bitmask engine (same results either way).
+
+Move records are 13-slot mutable lists (lists, not tuples, so the lazy
+slots can be filled in on first use and then shared through the
+generation cache)::
+
+    [saved, longest, width, -kid,          # priority key (sortable as-is)
+     is_leaf, slot_cost, bound,            # entry: cost + bound vs incumbent
+     picks, deltas, new_contrib, tmaxes,   # apply: ready/class/cp updates
+     child_state, child_moves]             # edge links (see below)
+
+Three of the slots are lazy, each paid once per *edge* of the explored
+state graph and amortised to zero on revisits:
+
+- ``deltas`` (index 8) — the ready-index apply deltas, recorded on first
+  materialisation; children that are always pruned never pay the
+  successor scans;
+- ``child_state`` (index 11) — the interned done-mask tuple the move
+  leads to, computed on first traversal; revisits skip the done-mask
+  copy, the bit loop and the tuple hash;
+- ``child_moves`` (index 12) — a direct link to the child's interned
+  batch, so revisiting an edge skips even the generation-cache lookup.
+  Only set when the batch is actually interned, keeping reachable
+  memory bounded by the cache capacity.
+"""
+
+from __future__ import annotations
+
+from array import array as _typed_array
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.costmodel import CostModel, MergeKeyTable
+from repro.core.dag import DependenceDAG, ReadyIndex
+from repro.core.engines.bitmask import bitmask_search
+from repro.core.ops import Region
+from repro.core.schedule import Slot
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; avoids an import cycle
+    from repro.core.search import SearchConfig, SearchStats
+
+try:  # numpy is optional (the [fast] extra); the scalar path is identical.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatch in tests
+    _np = None
+
+__all__ = ["array_search"]
+
+#: Ready-key fan-out at which generation switches to the numpy batch path
+#: (below it, array construction costs more than the scalar loop saves).
+VEC_MIN_KEYS = 24
+
+#: Generation-cache capacity in distinct scheduler states; when full the
+#: cache stops interning new batches (hits keep working, behaviour is
+#: unchanged — only speed degrades).
+GEN_CACHE_MAX = 1 << 17
+
+
+def array_search(
+    region: Region,
+    model: CostModel,
+    config: "SearchConfig",
+    dags: tuple[DependenceDAG, ...],
+    crit: tuple[tuple[float, ...], ...],
+    stats: "SearchStats",
+    best_slots: list[Slot],
+    should_stop: Callable[[], bool] | None = None,
+) -> list[Slot]:
+    """Run the array engine; returns the best slot list found."""
+    if not config.maximal_merges_only or config.branch_thread_choices:
+        # Ablation generators produce several moves per merge key; the
+        # batched one-record-per-key layout does not apply.  Results are
+        # identical by the engines' shared contract, and the caller owns
+        # the stats.engine label, so delegation is invisible.
+        return bitmask_search(region, model, config, dags, crit, stats,
+                              best_slots, should_stop=should_stop)
+
+    num_threads = region.num_threads
+    total_ops = region.num_ops
+    table = MergeKeyTable(model, region)
+    num_keys = len(table)
+    index = ReadyIndex(region, dags, table)
+    orders = index.pick_orders(crit)
+
+    # True locals for everything the hot loop touches.  ``adone`` is the
+    # *applied* done state backing the ready index — it lags the logical
+    # path state until a generation miss materialises the pending moves.
+    ready = index.ready
+    ready_count = index.ready_count
+    adone = index.done
+    key_of = index.key_of
+    pred_masks = index.pred_masks
+    succs = index.succs
+    slot_costs = table.slot_costs
+    opclasses = table.opclasses
+    thread_ids = tuple(range(num_threads))
+    key_ids = tuple(range(num_keys))
+
+    use_cp = config.use_cp_bound
+    use_class = config.use_class_bound
+    use_memo = config.use_memo
+    node_budget = config.node_budget
+
+    # Remaining-ops-per-(key, thread) counts and the running class bound
+    # (same layout and float operation order as the bitmask engine).
+    counts: list[list[int]] = [[0] * num_threads for _ in range(num_keys)]
+    for t in thread_ids:
+        for kid in key_of[t]:
+            counts[kid][t] += 1
+    contrib = [0.0] * num_keys
+    class_bound = 0.0
+    for kid in key_ids:
+        m = max(counts[kid])
+        if m:
+            contrib[kid] = m * slot_costs[kid]
+            class_bound += contrib[kid]
+
+    crit_sorted = tuple(
+        tuple(sorted(range(len(crit[t])), key=lambda i: -crit[t][i]))
+        for t in thread_ids)
+    thread_max = [max(crit[t], default=0.0) for t in thread_ids]
+
+    # Per-key candidate cache: the widest merge (picks / width / priority
+    # score) for each key, recomputed only when an apply or undo touched
+    # the key's ready bits.  Entries are rebuilt as fresh lists so move
+    # records interned in the generation cache keep stable snapshots.
+    cand_picks: list = [None] * num_keys
+    cand_width = [0] * num_keys
+    cand_saved = [0.0] * num_keys
+    cand_longest = [0.0] * num_keys
+    dirty = bytearray(b"\x01" * num_keys) if num_keys else bytearray()
+
+    memo: dict[tuple[int, ...], float] = {}
+    gen_cache: dict[tuple[int, ...], list] = {}
+
+    nodes_expanded = 0
+    children_generated = 0
+    pruned_by_bound = 0
+    pruned_by_memo = 0
+    incumbent_updates = 0
+    best_cost = stats.best_cost
+    budget_exhausted = False
+
+    def gen_children(
+        remaining, class_bound,
+        # Default-argument binding: every free variable becomes a true
+        # local of the call — this runs once per distinct state.
+        key_ids=key_ids, thread_ids=thread_ids, num_threads=num_threads,
+        ready=ready, ready_count=ready_count, orders=orders, crit=crit,
+        crit_sorted=crit_sorted, slot_costs=slot_costs, counts=counts,
+        contrib=contrib, thread_max=thread_max, adone=adone,
+        cand_picks=cand_picks, cand_width=cand_width,
+        cand_saved=cand_saved, cand_longest=cand_longest, dirty=dirty,
+        use_cp=use_cp, use_class=use_class,
+    ) -> list:
+        """One batched pass over the ready keys: refresh dirty candidate
+        entries, score + lower-bound every child, emit records in MASIM
+        priority order (saved desc, longest-critical-path desc, width
+        desc, key id asc — identical to the legacy stable sort)."""
+        ready_kids = []
+        rk_append = ready_kids.append
+        for kid in key_ids:
+            if not ready_count[kid]:
+                continue
+            if dirty[kid]:
+                base = kid * num_threads
+                picks: list[tuple[int, int]] = []
+                pick = picks.append
+                longest = 0.0
+                for t in thread_ids:
+                    bits = ready[base + t]
+                    if not bits:
+                        continue
+                    for i in orders[base + t]:
+                        if (bits >> i) & 1:
+                            break
+                    pick((t, i))
+                    c = crit[t][i]
+                    if c > longest:
+                        longest = c
+                width = len(picks)
+                cand_picks[kid] = picks
+                cand_width[kid] = width
+                cand_longest[kid] = longest
+                cand_saved[kid] = (width - 1) * slot_costs[kid]
+                dirty[kid] = 0
+            rk_append(kid)
+
+        vec = _np is not None and len(ready_kids) >= VEC_MIN_KEYS
+        if vec:
+            # Vectorised scoring: class-scarcity bound, leafness and the
+            # priority order for all ready keys in one float64 batch.
+            # The arithmetic mirrors the scalar path operation for
+            # operation, so the floats are bit-identical.
+            np = _np
+            rk = ready_kids
+            saved_v = np.array([cand_saved[k] for k in rk])
+            longest_v = np.array([cand_longest[k] for k in rk])
+            width_v = np.array([cand_width[k] for k in rk])
+            kid_v = np.array(rk)
+            if use_class:
+                cnt_v = np.array([counts[k] for k in rk], dtype=np.int64)
+                avail_v = np.array(
+                    [[1 if ready[k * num_threads + t] else 0
+                      for t in thread_ids] for k in rk], dtype=np.int64)
+                m_v = (cnt_v - avail_v).max(axis=1)
+                new_contrib_v = m_v * np.array([slot_costs[k] for k in rk])
+                class_v = class_bound + (
+                    new_contrib_v - np.array([contrib[k] for k in rk]))
+                new_contrib_l = new_contrib_v.tolist()
+                class_l = class_v.tolist()
+            order = np.lexsort((kid_v, -width_v, -longest_v, -saved_v)).tolist()
+        else:
+            order = range(len(ready_kids))
+
+        moves: list[list] = []
+        append = moves.append
+        rk = ready_kids
+        for j in order:
+            kid = rk[j]
+            picks = cand_picks[kid]
+            width = cand_width[kid]
+            slot_cost = slot_costs[kid]
+            if width == remaining:
+                # Completing move: the child is a leaf — the legacy
+                # engine never bounds leaves, so neither do we.
+                append([cand_saved[kid], cand_longest[kid], width, -kid,
+                        True, slot_cost, 0.0, picks, None, 0.0, None,
+                        None, None])
+                continue
+            bound = 0.0
+            tmaxes = None
+            if use_cp:
+                cp = 0.0
+                tmaxes = []
+                tadd = tmaxes.append
+                pi = 0
+                next_t = picks[0][0]
+                for t in thread_ids:
+                    tm = thread_max[t]
+                    if t == next_t:
+                        i = picks[pi][1]
+                        pi += 1
+                        next_t = picks[pi][0] if pi < width else -1
+                        if crit[t][i] >= tm:
+                            # The picked op is (one of) the thread's
+                            # critical max; rescan for the next pending.
+                            done_t = adone[t] | (1 << i)
+                            tm = 0.0
+                            crit_t = crit[t]
+                            for j2 in crit_sorted[t]:
+                                if not (done_t >> j2) & 1:
+                                    tm = crit_t[j2]
+                                    break
+                        tadd(tm)
+                    if tm > cp:
+                        cp = tm
+                bound = cp
+            if use_class:
+                if vec:
+                    new_contrib = new_contrib_l[j]
+                    cb = class_l[j]
+                else:
+                    cnt = counts[kid]
+                    base = kid * num_threads
+                    m = 0
+                    for t in thread_ids:
+                        c = cnt[t] - 1 if ready[base + t] else cnt[t]
+                        if c > m:
+                            m = c
+                    new_contrib = m * slot_cost if m else 0.0
+                    cb = class_bound + (new_contrib - contrib[kid])
+                if cb > bound:
+                    bound = cb
+            else:
+                new_contrib = 0.0
+            append([cand_saved[kid], cand_longest[kid], width, -kid,
+                    False, slot_cost, bound, picks, None, new_contrib,
+                    tmaxes, None, None])
+        if not vec and len(moves) > 1:
+            # One move per key, so ``-kid`` makes records unique and the
+            # default list comparison never reaches the payload slots.
+            moves.sort(reverse=True)
+        return moves
+
+    # DFS stack over preallocated typed arrays (costs, cursors, lengths,
+    # remaining-op counts) plus object stacks for batches / done masks /
+    # undo tokens.  Depth never exceeds the op count.
+    cap = total_ops + 1
+    st_moves: list = [None] * cap
+    st_done: list = [None] * cap
+    st_applied: list = [None] * cap
+    st_len = _typed_array("l", [0]) * cap
+    st_idx = _typed_array("l", [0]) * cap
+    st_remaining = _typed_array("l", [0]) * cap
+    st_cost = _typed_array("d", [0.0]) * cap
+
+    memo_get = memo.get
+    cache_get = gen_cache.get
+
+    # ``applied_depth`` is the applied frontier: the deepest path state
+    # materialised in the ready index / running bounds.  Moves between it
+    # and the current depth are logically entered but not yet applied.
+    applied_depth = 0
+    depth = -1
+
+    # Current-frame mirror of ``st_*[depth]`` held in true locals: the
+    # cursor and frame values are read on every entry, so they live in
+    # locals and are flushed to the stacks only on push / reloaded on pop.
+    cur_moves: list = []
+    cur_len = 0
+    cur_idx = 0
+    cur_cost = 0.0
+    cur_done: tuple[int, ...] = ()
+    cur_remaining = 0
+
+    # -- root node (mirrors one legacy _dfs() prologue; remaining > 0 and
+    # budget >= 1 hold whenever total_ops > 0, so only bound/memo apply).
+    if total_ops == 0:
+        if 0.0 < best_cost:
+            best_cost = 0.0
+            incumbent_updates += 1
+            best_slots[:] = []
+    else:
+        nodes_expanded = 1
+        bound = 0.0
+        if use_cp:
+            bound = max(thread_max)
+        if use_class and class_bound > bound:
+            bound = class_bound
+        if bound >= best_cost:
+            pruned_by_bound += 1
+        else:
+            root_state = tuple(adone)
+            if use_memo:
+                memo[root_state] = 0.0
+            moves = gen_children(total_ops, class_bound)
+            gen_cache[root_state] = moves
+            children_generated = len(moves)
+            st_moves[0] = moves
+            st_len[0] = len(moves)
+            st_remaining[0] = total_ops
+            st_done[0] = root_state
+            depth = 0
+            cur_moves = moves
+            cur_len = len(moves)
+            cur_done = root_state
+            cur_remaining = total_ops
+
+    while depth >= 0:
+        if budget_exhausted or cur_idx == cur_len:
+            # -- pop: reload the parent frame from the stacks ------------
+            depth -= 1
+            if depth < 0:
+                break
+            cur_moves = st_moves[depth]
+            cur_idx = st_idx[depth]
+            cur_len = st_len[depth]
+            cur_cost = st_cost[depth]
+            cur_done = st_done[depth]
+            cur_remaining = st_remaining[depth]
+            if applied_depth > depth:
+                # Undo the move we just left (it had been materialised).
+                mv = cur_moves[cur_idx - 1]
+                kid = -mv[3]
+                cnt = counts[kid]
+                for t, bit, slot, newly in mv[8]:
+                    adone[t] &= ~bit
+                    ready[slot] |= bit
+                    ready_count[kid] += 1
+                    cnt[t] += 1
+                    for s_slot, s_bit, k2 in newly:
+                        ready[s_slot] &= ~s_bit
+                        ready_count[k2] -= 1
+                        dirty[k2] = 1
+                dirty[kid] = 1
+                tok = st_applied[depth]
+                if use_cp:
+                    for (t, _i), old_tmax in zip(mv[7], tok[0]):
+                        thread_max[t] = old_tmax
+                if use_class:
+                    contrib[kid] = tok[1]
+                    class_bound = tok[2]
+                st_applied[depth] = None
+                applied_depth = depth
+            continue
+
+        mv = cur_moves[cur_idx]
+        cur_idx += 1
+
+        # -- enter the child (mirrors the legacy _dfs() prologue) ----------
+        if mv[4]:
+            # Leaf: the move completes the schedule.
+            child_cost = cur_cost + mv[5]
+            if child_cost < best_cost:
+                best_cost = child_cost
+                incumbent_updates += 1
+                # The path moves are moves[idx-1] at each flushed ancestor
+                # depth, plus the current (not yet flushed) move.
+                best_slots[:] = [
+                    Slot(opclasses[-m2[3]], dict(m2[7]))
+                    for m2 in [st_moves[d][st_idx[d] - 1]
+                               for d in range(depth)] + [mv]
+                ]
+            continue
+        if nodes_expanded >= node_budget:
+            budget_exhausted = True
+            continue
+        # Same cooperative-cancellation poll cadence as the legacy engine.
+        if (should_stop is not None and not (nodes_expanded & 255)
+                and should_stop()):
+            budget_exhausted = True
+            continue
+        nodes_expanded += 1
+
+        # Generation-time bound, entry-time incumbent: the stored bound is
+        # state-pure, and best_cost only decreases, so this one compare is
+        # exactly the legacy ``cost + lower_bound >= best_cost`` test.
+        child_cost = cur_cost + mv[5]
+        if child_cost + mv[6] >= best_cost:
+            pruned_by_bound += 1
+            continue
+
+        state = mv[11]
+        if state is None:
+            # First traversal of this edge: intern the child state.
+            child_done = list(cur_done)
+            for t, i in mv[7]:
+                child_done[t] |= 1 << i
+            state = tuple(child_done)
+            mv[11] = state
+
+        if use_memo:
+            prev = memo_get(state)
+            if prev is not None and prev <= child_cost:
+                pruned_by_memo += 1
+                continue
+            memo[state] = child_cost
+
+        child_remaining = cur_remaining - mv[2]
+        moves = mv[12]
+        if moves is None:
+            moves = cache_get(state)
+            if moves is not None:
+                mv[12] = moves
+        if moves is None:
+            # Miss: materialise the pending suffix of the path (the moves
+            # between the applied frontier and here), then batch-generate.
+            while applied_depth <= depth:
+                d = applied_depth
+                amv = mv if d == depth else st_moves[d][st_idx[d] - 1]
+                akid = -amv[3]
+                cnt = counts[akid]
+                deltas = amv[8]
+                if deltas is None:
+                    # First application of this move anywhere: record its
+                    # ready-index deltas (they are state-pure) so every
+                    # later apply — including via the generation cache —
+                    # is a pure replay with no successor scans.
+                    deltas = []
+                    abase = akid * num_threads
+                    for t, i in amv[7]:
+                        bit = 1 << i
+                        done_t = adone[t] | bit
+                        newly = []
+                        pm = pred_masks[t]
+                        ko = key_of[t]
+                        for s in succs[t][i]:
+                            mask = pm[s]
+                            if mask & done_t == mask:
+                                newly.append(
+                                    (ko[s] * num_threads + t, 1 << s, ko[s]))
+                        deltas.append((t, bit, abase + t, tuple(newly)))
+                    amv[8] = deltas
+                old_tmaxes = None
+                if use_cp:
+                    old_tmaxes = [thread_max[t] for t, _i in amv[7]]
+                for t, bit, slot, newly in deltas:
+                    adone[t] |= bit
+                    ready[slot] &= ~bit
+                    ready_count[akid] -= 1
+                    cnt[t] -= 1
+                    for s_slot, s_bit, k2 in newly:
+                        ready[s_slot] |= s_bit
+                        ready_count[k2] += 1
+                        dirty[k2] = 1
+                dirty[akid] = 1
+                if use_cp:
+                    for (t, _i), new_tmax in zip(amv[7], amv[10]):
+                        thread_max[t] = new_tmax
+                if use_class:
+                    st_applied[d] = (old_tmaxes, contrib[akid], class_bound)
+                    nc = amv[9]
+                    class_bound += nc - contrib[akid]
+                    contrib[akid] = nc
+                else:
+                    st_applied[d] = (old_tmaxes, 0.0, 0.0)
+                applied_depth = d + 1
+
+            moves = gen_children(child_remaining, class_bound)
+            if len(gen_cache) < GEN_CACHE_MAX:
+                gen_cache[state] = moves
+                # Edge links only point at interned batches; a full cache
+                # must not grow reachable memory through move records.
+                mv[12] = moves
+
+        # -- push: flush the parent cursor, switch the frame locals --------
+        children_generated += len(moves)
+        st_idx[depth] = cur_idx
+        depth += 1
+        mlen = len(moves)
+        st_moves[depth] = moves
+        st_len[depth] = mlen
+        st_cost[depth] = child_cost
+        st_remaining[depth] = child_remaining
+        st_done[depth] = state
+        cur_moves = moves
+        cur_len = mlen
+        cur_idx = 0
+        cur_cost = child_cost
+        cur_done = state
+        cur_remaining = child_remaining
+
+    stats.nodes_expanded = nodes_expanded
+    stats.children_generated = children_generated
+    stats.pruned_by_bound = pruned_by_bound
+    stats.pruned_by_memo = pruned_by_memo
+    stats.incumbent_updates = incumbent_updates
+    stats.best_cost = best_cost
+    stats.budget_exhausted = budget_exhausted
+    return best_slots

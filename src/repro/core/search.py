@@ -26,48 +26,54 @@ the minimum execution time code schedule using these merges"):
      (``maximal_merges_only=False``) restores exhaustive subset enumeration
      for small inputs, which the tests use to measure the heuristic's gap;
 
-4. the greedy list schedule seeds the incumbent, making the search an
-   anytime algorithm: with a node budget it degrades gracefully toward the
-   greedy result instead of failing.
+4. the greedy list schedule seeds the incumbent — after being verified
+   against the independent checker — making the search an anytime
+   algorithm: with a node budget it degrades gracefully toward the greedy
+   result instead of failing.
 
-Two engines implement the identical search:
+Three engines implement the identical search (same schedules, costs and
+every :class:`SearchStats` counter, bit for bit — see
+:mod:`repro.core.engines`):
 
-- ``engine="bitmask"`` (default) — the hot path.  Thread done-sets are
-  plain ``int`` bitmasks, readiness is one mask test against precomputed
-  predecessor masks, the ready-ops-by-merge-key index is maintained
-  incrementally across push/pop (:class:`repro.core.dag.ReadyIndex`), both
-  lower bounds are running values updated per move, merge keys are interned
-  to dense ints (:class:`repro.core.costmodel.MergeKeyTable`), the memo is
-  keyed on tuples of int masks, and the recursion is an explicit-stack loop
-  over preallocated frame arrays.  The per-node cost is a handful of int
-  ops — no frozensets, no dict rebuilds, no rescans.
+- ``engine="bitmask"`` (default) — incremental int-bitmask state over an
+  explicit stack; the per-node cost is a handful of int ops.
+- ``engine="array"`` — the fastest path: all candidate children of a node
+  are scored and lower-bounded in one batched pass at generation time
+  (vectorised via numpy past a fan-out threshold, scalar-identical
+  without it), bound-failing children are discarded before any frame or
+  state is materialised, and finished child batches are interned in a
+  generation cache keyed on the done-mask state so revisited states
+  replay them without touching the ready index.
 - ``engine="legacy"`` — the original frozenset/dict implementation, kept
-  as the *reference oracle*: the bitmask engine must reproduce its
-  schedules, costs and every :class:`SearchStats` counter bit-for-bit
-  (``tests/core/test_engine_equivalence.py`` enforces this across the
-  pruning-knob matrix).  Counter parity is exact whenever slot costs are
-  exactly representable floats; the running class-count bound can differ
-  from the legacy fresh summation by float-rounding ulps otherwise.
+  as the *reference oracle* (``tests/core/test_engine_equivalence.py``
+  enforces counter-exact parity across the pruning-knob matrix).  Parity
+  is exact whenever slot costs are exactly representable floats; the
+  faster engines' running/cached class-count bound can differ from the
+  legacy fresh summation by float-rounding ulps otherwise.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from operator import itemgetter
+from dataclasses import dataclass
 from time import perf_counter
 from typing import Callable
 
-from repro.core.costmodel import CostModel, MergeKeyTable, merge_key_sort_key
-from repro.core.dag import DependenceDAG, ReadyIndex, build_dags
+from repro.core.costmodel import CostModel
+from repro.core.dag import DependenceDAG, build_dags
+from repro.core.engines import ENGINE_IMPLS, ENGINES
+from repro.core.engines.arrayengine import array_search as _array_search
+from repro.core.engines.bitmask import bitmask_search as _bitmask_search
+from repro.core.engines.legacy import legacy_search as _legacy_search
 from repro.core.greedy import greedy_schedule
 from repro.core.ops import Region
 from repro.core.schedule import Schedule, Slot
+from repro.core.verify import verify_schedule
 
 __all__ = ["ENGINES", "SearchConfig", "SearchStats", "branch_and_bound"]
 
-#: Known search engine implementations (identical results, different speed).
-ENGINES = ("bitmask", "legacy")
+#: Engine-name -> implementation registry (back-compat alias; benchmarks
+#: and the equivalence suite time the implementations directly).
+_ENGINE_IMPLS = ENGINE_IMPLS
 
 
 @dataclass(frozen=True)
@@ -113,558 +119,6 @@ class SearchStats:
         return self.nodes_expanded / self.wall_s if self.wall_s > 0 else 0.0
 
 
-# ---------------------------------------------------------------------------
-# Legacy engine — the reference oracle.
-#
-# This is the original frozenset/dict implementation, preserved verbatim.
-# It defines the search semantics the bitmask engine must reproduce exactly
-# (schedules, costs and all pruning counters); the equivalence property
-# tests diff the two engines against each other, so changes here must be
-# mirrored below and vice versa.
-# ---------------------------------------------------------------------------
-
-
-@dataclass
-class _SearchCtx:
-    region: Region
-    model: CostModel
-    dags: tuple[DependenceDAG, ...]
-    crit: tuple[tuple[float, ...], ...]
-    config: SearchConfig
-    stats: SearchStats
-    best_slots: list[Slot] = field(default_factory=list)
-    memo: dict[tuple[frozenset[int], ...], float] = field(default_factory=dict)
-    should_stop: Callable[[], bool] | None = None
-
-
-def _lower_bound(
-    ctx: _SearchCtx,
-    done: list[frozenset[int]],
-    key_counts: dict[tuple, list[int]],
-) -> float:
-    bound = 0.0
-    if ctx.config.use_cp_bound:
-        for t, dset in enumerate(done):
-            ops_left = (ctx.crit[t][i] for i in range(len(ctx.dags[t])) if i not in dset)
-            bound = max(bound, max(ops_left, default=0.0))
-    if ctx.config.use_class_bound:
-        class_bound = 0.0
-        for key, counts in key_counts.items():
-            m = max(counts)
-            if m:
-                # key[0] is the opcode class by construction of merge_key.
-                class_bound += m * ctx.model.slot_cost(key[0])
-        bound = max(bound, class_bound)
-    return bound
-
-
-def _candidate_moves(
-    ctx: _SearchCtx,
-    done: list[frozenset[int]],
-) -> list[tuple[tuple, dict[int, int]]]:
-    """All (merge_key, picks) moves available from this state.
-
-    Per thread and key only the longest-critical-path ready op is offered
-    unless ``branch_thread_choices`` asks for all of them.
-    """
-    region, model, crit = ctx.region, ctx.model, ctx.crit
-    per_key: dict[tuple, dict[int, list[int]]] = {}
-    for t, dag in enumerate(ctx.dags):
-        for i in dag.ready(done[t]):
-            key = model.merge_key(region[t].ops[i])
-            per_key.setdefault(key, {}).setdefault(t, []).append(i)
-
-    moves: list[tuple[tuple, dict[int, int]]] = []
-    # Canonical structured order (not repr order): exploration — and hence
-    # any budget-exhausted result — must not depend on float formatting or
-    # dict insertion history.
-    for key in sorted(per_key, key=merge_key_sort_key):
-        threads = per_key[key]
-        choices: dict[int, list[int]] = {}
-        for t, idxs in threads.items():
-            if ctx.config.branch_thread_choices:
-                choices[t] = sorted(idxs)
-            else:
-                choices[t] = [max(idxs, key=lambda i: (crit[t][i], i))]
-        tids = sorted(choices)
-        if ctx.config.maximal_merges_only:
-            thread_subsets: list[tuple[int, ...]] = [tuple(tids)]
-        else:
-            thread_subsets = [
-                subset
-                for r in range(len(tids), 0, -1)
-                for subset in itertools.combinations(tids, r)
-            ]
-        for subset in thread_subsets:
-            for combo in itertools.product(*(choices[t] for t in subset)):
-                moves.append((key, dict(zip(subset, combo))))
-    return moves
-
-
-def _greedy_move_score(ctx: _SearchCtx, move: tuple[tuple, dict[int, int]]) -> tuple:
-    key, picks = move
-    saved = (len(picks) - 1) * ctx.model.slot_cost(key[0])
-    longest = max(ctx.crit[t][i] for t, i in picks.items())
-    return (saved, longest, len(picks))
-
-
-def _dfs(
-    ctx: _SearchCtx,
-    done: list[frozenset[int]],
-    key_counts: dict[tuple, list[int]],
-    cost: float,
-    slots: list[Slot],
-    remaining: int,
-) -> None:
-    stats, config = ctx.stats, ctx.config
-    if remaining == 0:
-        if cost < stats.best_cost:
-            stats.best_cost = cost
-            stats.incumbent_updates += 1
-            ctx.best_slots = list(slots)
-        return
-    if stats.nodes_expanded >= config.node_budget:
-        stats.budget_exhausted = True
-        return
-    # Cooperative cancellation (portfolio racing, deadlines): polled every
-    # 256 nodes so the callback costs nothing on the hot path.  A stopped
-    # search reports ``budget_exhausted`` — the anytime contract is the
-    # same whether the budget ran out or the caller lost interest.
-    if (ctx.should_stop is not None
-            and not (stats.nodes_expanded & 255) and ctx.should_stop()):
-        stats.budget_exhausted = True
-        return
-    stats.nodes_expanded += 1
-
-    if cost + _lower_bound(ctx, done, key_counts) >= stats.best_cost:
-        stats.pruned_by_bound += 1
-        return
-
-    if config.use_memo:
-        state = tuple(done)
-        prev = ctx.memo.get(state)
-        if prev is not None and prev <= cost:
-            stats.pruned_by_memo += 1
-            return
-        ctx.memo[state] = cost
-
-    moves = _candidate_moves(ctx, done)
-    moves.sort(key=lambda m: _greedy_move_score(ctx, m), reverse=True)
-    stats.children_generated += len(moves)
-
-    for key, picks in moves:
-        opclass = key[0]
-        slot_cost = ctx.model.slot_cost(opclass)
-        slots.append(Slot(opclass, picks))
-        new_done = list(done)
-        for t, i in picks.items():
-            new_done[t] = done[t] | {i}
-            key_counts[key][t] -= 1
-        _dfs(ctx, new_done, key_counts, cost + slot_cost, slots, remaining - len(picks))
-        for t in picks:
-            key_counts[key][t] += 1
-        slots.pop()
-        if stats.budget_exhausted:
-            return
-
-
-def _legacy_search(
-    region: Region,
-    model: CostModel,
-    config: SearchConfig,
-    dags: tuple[DependenceDAG, ...],
-    crit: tuple[tuple[float, ...], ...],
-    stats: SearchStats,
-    best_slots: list[Slot],
-    should_stop: Callable[[], bool] | None = None,
-) -> list[Slot]:
-    """Run the reference engine; returns the best slot list found."""
-    ctx = _SearchCtx(region=region, model=model, dags=dags, crit=crit,
-                     config=config, stats=stats, best_slots=best_slots,
-                     should_stop=should_stop)
-    key_counts: dict[tuple, list[int]] = {}
-    for t, tc in enumerate(region.threads):
-        for op in tc.ops:
-            key = model.merge_key(op)
-            key_counts.setdefault(key, [0] * region.num_threads)[t] += 1
-    done = [frozenset() for _ in region.threads]
-    _dfs(ctx, done, key_counts, 0.0, [], region.num_ops)
-    return ctx.best_slots
-
-
-# ---------------------------------------------------------------------------
-# Bitmask engine — the hot path.
-# ---------------------------------------------------------------------------
-
-_MOVE_ORDER_KEY = itemgetter(0, 1, 2)   # (saved, longest, width)
-
-
-def _bitmask_search(
-    region: Region,
-    model: CostModel,
-    config: SearchConfig,
-    dags: tuple[DependenceDAG, ...],
-    crit: tuple[tuple[float, ...], ...],
-    stats: SearchStats,
-    best_slots: list[Slot],
-    should_stop: Callable[[], bool] | None = None,
-) -> list[Slot]:
-    """Run the bitmask engine; returns the best slot list found.
-
-    Semantically identical to :func:`_legacy_search` node for node — same
-    exploration order, same pruning decisions, same counters — but the
-    per-node work is integer arithmetic over preallocated state:
-
-    - ``done`` per thread is an int bitmask; readiness of op ``i`` is
-      ``pred_masks[i] & done == pred_masks[i]``;
-    - the ready index (ready ops per merge key per thread) is maintained
-      incrementally on apply/undo instead of rescanned, with undo tokens
-      recording newly-ready ops as one int mask per completed op;
-    - the critical-path bound tracks one running max per thread, recomputed
-      only when the completed op *was* that thread's max (a scan over ops
-      sorted by remaining path, skipping done bits);
-    - the class-count bound is one running float adjusted by the single
-      key a move touches;
-    - the dominance memo keys on the tuple of int masks;
-    - recursion is an explicit stack over preallocated parallel arrays.
-
-    The node loop is deliberately flat and monolithic: at several hundred
-    thousand nodes per second every function call, closure-cell access and
-    attribute load is measurable, so the enter/apply/undo steps are inlined
-    rather than factored, mirroring the legacy ``_dfs`` control flow.
-    """
-    num_threads = region.num_threads
-    total_ops = region.num_ops
-    table = MergeKeyTable(model, region)
-    num_keys = len(table)
-    index = ReadyIndex(region, dags, table)
-    orders = index.pick_orders(crit)
-
-    # True locals for everything the per-node loop touches.
-    ready = index.ready
-    ready_count = index.ready_count
-    done = index.done
-    key_of = index.key_of
-    pred_masks = index.pred_masks
-    succs = index.succs
-    slot_costs = table.slot_costs
-    opclasses = table.opclasses
-    thread_ids = tuple(range(num_threads))
-    key_ids = tuple(range(num_keys))
-
-    maximal = config.maximal_merges_only
-    branch_choices = config.branch_thread_choices
-    use_cp = config.use_cp_bound
-    use_class = config.use_class_bound
-    use_memo = config.use_memo
-    node_budget = config.node_budget
-    fast_moves = maximal and not branch_choices
-
-    # Remaining-ops-per-(key, thread) counts and the running class bound.
-    counts: list[list[int]] = [[0] * num_threads for _ in range(num_keys)]
-    for t in thread_ids:
-        for kid in key_of[t]:
-            counts[kid][t] += 1
-    contrib = [0.0] * num_keys
-    class_bound = 0.0
-    for kid in key_ids:
-        m = max(counts[kid])
-        if m:
-            contrib[kid] = m * slot_costs[kid]
-            class_bound += contrib[kid]
-
-    # Running per-thread critical-path max + the scan order for refreshes.
-    crit_sorted = tuple(
-        tuple(sorted(range(len(crit[t])), key=lambda i: -crit[t][i]))
-        for t in thread_ids)
-    thread_max = [max(crit[t], default=0.0) for t in thread_ids]
-
-    memo: dict[tuple[int, ...], float] = {}
-
-    nodes_expanded = 0
-    children_generated = 0
-    pruned_by_bound = 0
-    pruned_by_memo = 0
-    incumbent_updates = 0
-    best_cost = stats.best_cost
-    budget_exhausted = False
-
-    def gen_moves(
-        # Default-argument binding turns every free variable into a true
-        # local of the call — this runs once per expanded node.
-        key_ids=key_ids, thread_ids=thread_ids, num_threads=num_threads,
-        ready=ready, ready_count=ready_count, orders=orders, crit=crit,
-        slot_costs=slot_costs, fast=fast_moves, maximal=maximal,
-        branch_choices=branch_choices, move_order=_MOVE_ORDER_KEY,
-        product=itertools.product, combinations=itertools.combinations,
-    ) -> list:
-        """Candidate moves from the current ready index, sorted like the
-        legacy engine: canonical key order, then stable-sorted descending
-        by (time saved, longest critical path, width).
-
-        Moves are ``(saved, longest, width, -kid, picks)``.  The negated
-        key id lets the fast path sort with the default tuple comparison
-        (no key function, no per-move key tuples): ``reverse=True`` on
-        ``-kid`` means ties on the score triple resolve to ascending key
-        id, which is exactly the legacy stable generation order, and the
-        fast path has one move per key so ``picks`` is never compared."""
-        moves: list[tuple[float, float, int, int, list[tuple[int, int]]]] = []
-        append = moves.append
-        for kid in key_ids:
-            if not ready_count[kid]:
-                continue
-            base = kid * num_threads
-            slot_cost = slot_costs[kid]
-            if fast:
-                # Fast path: exactly one (widest) move per ready key.
-                picks: list[tuple[int, int]] = []
-                pick = picks.append
-                longest = 0.0
-                for t in thread_ids:
-                    bits = ready[base + t]
-                    if not bits:
-                        continue
-                    for i in orders[base + t]:
-                        if (bits >> i) & 1:
-                            break
-                    pick((t, i))
-                    c = crit[t][i]
-                    if c > longest:
-                        longest = c
-                width = len(picks)
-                append(((width - 1) * slot_cost, longest, width,
-                        -kid, picks))
-                continue
-            # General path (exhaustive subset / all-choices ablations):
-            # mirrors the legacy generator including its enumeration order.
-            choices: dict[int, list[int]] = {}
-            for t in thread_ids:
-                bits = ready[base + t]
-                if not bits:
-                    continue
-                if branch_choices:
-                    idxs = []
-                    while bits:
-                        low = bits & -bits
-                        idxs.append(low.bit_length() - 1)
-                        bits ^= low
-                    choices[t] = idxs          # ascending op index
-                else:
-                    for i in orders[base + t]:
-                        if (bits >> i) & 1:
-                            choices[t] = [i]
-                            break
-            tids = tuple(choices)              # built in ascending t order
-            if maximal:
-                subsets: list[tuple[int, ...]] = [tids]
-            else:
-                subsets = [
-                    subset
-                    for r in range(len(tids), 0, -1)
-                    for subset in combinations(tids, r)
-                ]
-            for subset in subsets:
-                for combo in product(*(choices[t] for t in subset)):
-                    picks_t = list(zip(subset, combo))
-                    longest = max(crit[t][i] for t, i in picks_t)
-                    width = len(picks_t)
-                    append(((width - 1) * slot_cost, longest, width,
-                            -kid, picks_t))
-        if len(moves) > 1:
-            if fast:
-                moves.sort(reverse=True)
-            else:
-                # Several moves can share a key here; keep the explicit
-                # stable sort on the score triple so generation order is
-                # the tie-break, exactly like the legacy engine.
-                moves.sort(key=move_order, reverse=True)
-        return moves
-
-    # Explicit stack over parallel preallocated arrays; depth never exceeds
-    # the op count (every move completes at least one op).  ``st_applied[d]``
-    # holds the undo tokens of the move currently applied at depth ``d``
-    # (empty means none), so both backtrack sites — child explored and
-    # child leaf/pruned — reduce to the same "undo at loop top" step.
-    cap = total_ops + 1
-    st_moves: list = [None] * cap
-    st_len = [0] * cap
-    st_idx = [0] * cap
-    st_cost = [0.0] * cap
-    st_remaining = [0] * cap
-    st_kid = [0] * cap
-    st_applied: list[list] = [[] for _ in range(cap)]
-    st_old_contrib = [0.0] * cap
-    st_old_class_bound = [0.0] * cap
-
-    # -- root node (mirrors one legacy _dfs() prologue; remaining > 0 and
-    # budget >= 1 hold whenever total_ops > 0, so only bound/memo apply).
-    depth = -1
-    if total_ops == 0:
-        if 0.0 < best_cost:
-            best_cost = 0.0
-            incumbent_updates += 1
-            best_slots[:] = []
-    else:
-        nodes_expanded = 1
-        bound = 0.0
-        if use_cp:
-            bound = max(thread_max)
-        if use_class and class_bound > bound:
-            bound = class_bound
-        if bound >= best_cost:
-            pruned_by_bound += 1
-        else:
-            if use_memo:
-                memo[tuple(done)] = 0.0
-            moves = gen_moves()
-            children_generated = len(moves)
-            st_moves[0] = moves
-            st_len[0] = len(moves)
-            st_remaining[0] = total_ops
-            depth = 0
-
-    while depth >= 0:
-        applied = st_applied[depth]
-        if applied:
-            # Undo the move currently applied at this depth (we are back
-            # from its subtree, or the child was a leaf / pruned / budget).
-            kid = st_kid[depth]
-            cnt = counts[kid]
-            base = kid * num_threads
-            for t, i, newly_mask, old_tmax in applied:
-                ko = key_of[t]
-                while newly_mask:
-                    low = newly_mask & -newly_mask
-                    newly_mask ^= low
-                    k2 = ko[low.bit_length() - 1]
-                    ready[k2 * num_threads + t] &= ~low
-                    ready_count[k2] -= 1
-                done[t] &= ~(1 << i)
-                ready[base + t] |= 1 << i
-                ready_count[kid] += 1
-                cnt[t] += 1
-                if use_cp:
-                    thread_max[t] = old_tmax
-            applied.clear()
-            if use_class:
-                contrib[kid] = st_old_contrib[depth]
-                class_bound = st_old_class_bound[depth]
-
-        idx = st_idx[depth]
-        if budget_exhausted or idx == st_len[depth]:
-            depth -= 1
-            continue
-        st_idx[depth] = idx + 1
-        _saved, _longest, width, kid, picks = st_moves[depth][idx]
-        kid = -kid
-
-        # -- apply the move to the shared incremental state ----------------
-        cnt = counts[kid]
-        base = kid * num_threads
-        for t, i in picks:
-            bit = 1 << i
-            done[t] |= bit
-            done_t = done[t]
-            ready[base + t] &= ~bit
-            ready_count[kid] -= 1
-            newly_mask = 0
-            pm = pred_masks[t]
-            ko = key_of[t]
-            for s in succs[t][i]:
-                mask = pm[s]
-                if mask & done_t == mask:
-                    k2 = ko[s]
-                    ready[k2 * num_threads + t] |= 1 << s
-                    ready_count[k2] += 1
-                    newly_mask |= 1 << s
-            cnt[t] -= 1
-            old_tmax = 0.0
-            if use_cp:
-                old_tmax = thread_max[t]
-                if crit[t][i] >= old_tmax:
-                    # The completed op was (one of) the thread's critical
-                    # max; rescan in descending-crit order for the first
-                    # op still pending.
-                    new_tmax = 0.0
-                    crit_t = crit[t]
-                    for j in crit_sorted[t]:
-                        if not (done_t >> j) & 1:
-                            new_tmax = crit_t[j]
-                            break
-                    thread_max[t] = new_tmax
-            applied.append((t, i, newly_mask, old_tmax))
-        st_kid[depth] = kid
-        if use_class:
-            st_old_contrib[depth] = contrib[kid]
-            st_old_class_bound[depth] = class_bound
-            m = max(cnt)
-            new_contrib = m * slot_costs[kid] if m else 0.0
-            class_bound += new_contrib - contrib[kid]
-            contrib[kid] = new_contrib
-
-        # -- enter the child (mirrors the legacy _dfs() prologue) ----------
-        child_cost = st_cost[depth] + slot_costs[kid]
-        child_remaining = st_remaining[depth] - width
-        if child_remaining == 0:
-            if child_cost < best_cost:
-                best_cost = child_cost
-                incumbent_updates += 1
-                # The applied moves are exactly moves[idx-1] at each depth.
-                best_slots[:] = [
-                    Slot(opclasses[-mv[3]], dict(mv[4]))
-                    for mv in (st_moves[d][st_idx[d] - 1]
-                               for d in range(depth + 1))
-                ]
-            continue
-        if nodes_expanded >= node_budget:
-            budget_exhausted = True
-            continue
-        # Same cooperative-cancellation poll cadence as the legacy engine.
-        if (should_stop is not None and not (nodes_expanded & 255)
-                and should_stop()):
-            budget_exhausted = True
-            continue
-        nodes_expanded += 1
-
-        bound = 0.0
-        if use_cp:
-            bound = max(thread_max)
-        if use_class and class_bound > bound:
-            bound = class_bound
-        if child_cost + bound >= best_cost:
-            pruned_by_bound += 1
-            continue
-
-        if use_memo:
-            state = tuple(done)
-            prev = memo.get(state)
-            if prev is not None and prev <= child_cost:
-                pruned_by_memo += 1
-                continue
-            memo[state] = child_cost
-
-        moves = gen_moves()
-        children_generated += len(moves)
-        depth += 1
-        st_moves[depth] = moves
-        st_len[depth] = len(moves)
-        st_idx[depth] = 0
-        st_cost[depth] = child_cost
-        st_remaining[depth] = child_remaining
-
-    stats.nodes_expanded = nodes_expanded
-    stats.children_generated = children_generated
-    stats.pruned_by_bound = pruned_by_bound
-    stats.pruned_by_memo = pruned_by_memo
-    stats.incumbent_updates = incumbent_updates
-    stats.best_cost = best_cost
-    stats.budget_exhausted = budget_exhausted
-    return best_slots
-
-
-_ENGINE_IMPLS = {"bitmask": _bitmask_search, "legacy": _legacy_search}
-
-
 def branch_and_bound(
     region: Region,
     model: CostModel,
@@ -681,9 +135,16 @@ def branch_and_bound(
     which the test-suite cross-checks against exhaustive mode on small
     regions).
 
-    ``config.engine`` selects the implementation: ``"bitmask"`` (default,
-    the fast path) or ``"legacy"`` (the reference oracle) — both return
-    identical schedules, costs and pruning counters.
+    ``config.engine`` selects the implementation: ``"bitmask"`` (default),
+    ``"array"`` (fastest) or ``"legacy"`` (the reference oracle) — all
+    return identical schedules, costs and pruning counters.
+
+    When ``config.seed_with_greedy`` is on (the default), the greedy list
+    schedule is *verified* against the independent checker and its cost
+    seeds the incumbent for every engine.  The seed is what makes the
+    search anytime — and also what gates the pruning, so a buggy-but-cheap
+    incumbent would silently prune the true optimum away; verification
+    turns that failure mode into a loud :class:`~repro.core.verify.ScheduleError`.
 
     ``should_stop`` (optional, polled every 256 expanded nodes) requests a
     cooperative early exit: the search returns its incumbent best-so-far
@@ -701,10 +162,11 @@ def branch_and_bound(
     best_slots: list[Slot] = []
     if config.seed_with_greedy:
         incumbent = greedy_schedule(region, model, dags=dags)
+        verify_schedule(incumbent, region, model, dags=dags)
         stats.best_cost = incumbent.cost(model)
         best_slots = list(incumbent.slots)
 
-    best_slots = _ENGINE_IMPLS[config.engine](
+    best_slots = ENGINE_IMPLS[config.engine](
         region, model, config, dags, crit, stats, best_slots,
         should_stop=should_stop)
 

@@ -16,7 +16,7 @@ Three case families, all deterministic for a given ``(seed, index)`` pair:
 
 Cost models and search configurations are randomized too, within the
 envelope the engines promise to agree on: slot costs are kept exactly
-representable (ints and halves) so bitmask/legacy counter parity is exact,
+representable (ints and halves) so cross-engine counter parity is exact,
 and the exhaustive/all-choices ablations are only enabled on regions small
 enough that the legacy oracle finishes.
 """

@@ -1,11 +1,11 @@
 """Differential oracles: every way a generated case can prove a bug.
 
-A *region* case is pushed through both search engines and a battery of
+A *region* case is pushed through every search engine and a battery of
 independent checks, each of which holds for **any** correct implementation:
 
-- **engine parity** — ``bitmask`` and ``legacy`` must return the identical
-  slot sequence, cost, and every pruning counter (the repo's core contract,
-  see :mod:`repro.core.search`);
+- **engine parity** — ``bitmask``, ``legacy`` and ``array`` must return the
+  identical slot sequence, cost, and every pruning counter (the repo's core
+  contract, see :mod:`repro.core.search`);
 - **validity** — every schedule passes :func:`repro.core.verify.verify_schedule`,
   the from-first-principles checker;
 - **cost recomputation** — ``stats.best_cost`` equals the schedule's cost
@@ -293,7 +293,7 @@ def _check_program(case: FuzzCase) -> list[OracleFailure]:
 
 
 def check_case(case: FuzzCase, workdir: Path | None = None,
-               engines: tuple[str, ...] = ("bitmask", "legacy"),
+               engines: tuple[str, ...] = ("bitmask", "legacy", "array"),
                cluster=None) -> list[OracleFailure]:
     """Run every applicable oracle; an empty list means the case passed.
 

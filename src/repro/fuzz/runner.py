@@ -39,7 +39,7 @@ class FuzzConfig:
     #: Wall-clock budget in seconds; ``None`` means run all ``cases``.
     time_budget_s: float | None = None
     #: Search engines region cases run through; parity needs at least two.
-    engines: tuple[str, ...] = ("bitmask", "legacy")
+    engines: tuple[str, ...] = ("bitmask", "legacy", "array")
     program_fraction: float = 0.15
     shrink: bool = True
     shrink_attempts: int = 400

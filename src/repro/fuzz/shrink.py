@@ -158,7 +158,7 @@ def _shrink_program(case: FuzzCase, oracles: frozenset[str],
 
 def shrink_case(case: FuzzCase, failing: list[OracleFailure],
                 max_attempts: int = 400,
-                engines: tuple[str, ...] = ("bitmask", "legacy")) -> FuzzCase:
+                engines: tuple[str, ...] = ("bitmask", "legacy", "array")) -> FuzzCase:
     """Reduce ``case`` while it keeps failing one of ``failing``'s oracles.
 
     Returns the smallest case found (possibly ``case`` itself), with

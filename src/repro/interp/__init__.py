@@ -21,19 +21,47 @@ Performance features reproduced:
   are serviced only every m-th cycle, temporally aligning them (§3.1.3.3).
 """
 
-from repro.interp.biasing import FrequencyBias
-from repro.interp.interpreter import InterpreterConfig, InterpStats, MIMDInterpreter, run_program
-from repro.interp.partition import collect_profile, expected_decode_cost, optimize_partition
-from repro.interp.state import MemoryLayout, MIMDState
-from repro.interp.subinterp import SubinterpreterFamily, default_groups
-from repro.interp.trace import (
-    TraceBundle,
-    TraceInduction,
-    induce_traces,
-    interp_cost_model,
-    region_from_traces,
-    trace_program,
-)
+import importlib
+
+# Resolved lazily (PEP 562): most of the package needs numpy, but the
+# numpy-less compiler path imports ``repro.interp.state`` for
+# MemoryLayout and must not drag the interpreter stack in eagerly.
+_LAZY = {
+    "FrequencyBias": "repro.interp.biasing",
+    "InterpreterConfig": "repro.interp.interpreter",
+    "InterpStats": "repro.interp.interpreter",
+    "MIMDInterpreter": "repro.interp.interpreter",
+    "run_program": "repro.interp.interpreter",
+    "collect_profile": "repro.interp.partition",
+    "expected_decode_cost": "repro.interp.partition",
+    "optimize_partition": "repro.interp.partition",
+    "MemoryLayout": "repro.interp.state",
+    "MIMDState": "repro.interp.state",
+    "SubinterpreterFamily": "repro.interp.subinterp",
+    "default_groups": "repro.interp.subinterp",
+    "TraceBundle": "repro.interp.trace",
+    "TraceInduction": "repro.interp.trace",
+    "induce_traces": "repro.interp.trace",
+    "interp_cost_model": "repro.interp.trace",
+    "region_from_traces": "repro.interp.trace",
+    "trace_program": "repro.interp.trace",
+}
+
+
+def __getattr__(name):
+    try:
+        module = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))
+
 
 __all__ = [
     "FrequencyBias",

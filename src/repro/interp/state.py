@@ -18,7 +18,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
+# MemoryLayout is pure data and is imported by the numpy-less compiler
+# path (repro.lang.compiler); only MIMDState needs the vectorised arrays.
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised in numpy-less installs
+    np = None
 
 __all__ = ["MemoryLayout", "MIMDState"]
 
@@ -48,6 +53,10 @@ class MIMDState:
     """Vectorized per-PE registers of the simulated MIMD machine."""
 
     def __init__(self, num_pes: int, layout: MemoryLayout):
+        if np is None:
+            raise RuntimeError(
+                "MIMDState needs numpy; install the [fast] extra "
+                "(pip install repro[fast])")
         if num_pes < 1:
             raise ValueError(f"need at least one PE, got {num_pes}")
         self.layout = layout

@@ -2,14 +2,20 @@
 
 from repro.util.rng import (SEED_ENV, derive_rng, make_rng, resolve_seed,
                             spawn_rngs)
-from repro.util.stats import (
-    confidence_interval,
-    geometric_mean,
-    harmonic_mean,
-    median_filter,
-    summarize,
-)
 from repro.util.tables import format_table
+
+_STATS_NAMES = ("Summary", "confidence_interval", "geometric_mean",
+                "harmonic_mean", "median_filter", "summarize")
+
+
+def __getattr__(name: str):
+    # Lazy so that `import repro` works without numpy (the [fast] extra):
+    # the statistics helpers are only needed by timing and benchmarks.
+    if name in _STATS_NAMES:
+        from repro.util import stats
+
+        return getattr(stats, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "confidence_interval",

@@ -10,9 +10,20 @@ from __future__ import annotations
 
 import os
 
-import numpy as np
+try:  # numpy is the [fast] extra; only the generator helpers require it.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via monkeypatch in tests
+    np = None
 
 __all__ = ["SEED_ENV", "derive_rng", "make_rng", "resolve_seed", "spawn_rngs"]
+
+
+def _require_np():
+    if np is None:
+        raise RuntimeError(
+            "numpy is required for random-number generation; "
+            "install it with the [fast] extra (pip install repro[fast])")
+    return np
 
 #: Environment variable consulted by :func:`resolve_seed` — the single knob
 #: that reseeds the fuzzer and the randomized benchmark workloads alike.
@@ -26,6 +37,7 @@ def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generat
     generator (returned unchanged, so callers can thread one stream through a
     pipeline without reseeding).
     """
+    _require_np()
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
@@ -50,6 +62,8 @@ def resolve_seed(seed: int | None = None, default: int | None = None) -> int:
             raise ValueError(f"{SEED_ENV}={env!r} is not an integer") from exc
     if default is not None:
         return int(default)
+    if np is None:
+        return int.from_bytes(os.urandom(8), "little") >> 1
     return int(np.random.SeedSequence().entropy % (1 << 63))
 
 

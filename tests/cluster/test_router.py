@@ -56,17 +56,29 @@ class TestRouting:
         # Deterministic placement: the routed node is the ring owner.
         assert result.extras["routed_node"] == owners_of(cluster, req)[0]
 
-    def test_repeat_hits_the_owners_cache(self, cluster):
+    def test_repeat_hits_the_router_request_cache(self, cluster):
         req = request(2)
         first = cluster.client().submit(req)
         owner_index = cluster.config.node_names.index(
             first.extras["routed_node"])
-        hits_before = cluster.node_stats()[owner_index].get("cache_hits", 0)
+        node_hits_before = cluster.node_stats()[owner_index].get(
+            "cache_hits", 0)
+        router_hits_before = cluster.router.counters["router_cache_hits"]
         second = cluster.client().submit(req)
         assert second.cost == first.cost
+        assert second.extras.get("router_cache") is True
+        # Routing facts from the original forward survive in the copy.
         assert second.extras["routed_node"] == first.extras["routed_node"]
-        hits_after = cluster.node_stats()[owner_index].get("cache_hits", 0)
-        assert hits_after == hits_before + 1
+        assert cluster.router.counters["router_cache_hits"] == \
+            router_hits_before + 1
+        # Served at the front door: the owner node saw nothing.
+        assert cluster.node_stats()[owner_index].get("cache_hits", 0) == \
+            node_hits_before
+        # Bypassing the router still exercises the node's own cache tier.
+        direct = cluster.node_client(owner_index).submit(req)
+        assert direct.cost == first.cost
+        assert cluster.node_stats()[owner_index].get("cache_hits", 0) == \
+            node_hits_before + 1
 
     def test_inflight_duplicates_share_one_forward(self, cluster):
         req = request(3)
@@ -102,9 +114,11 @@ class TestRouting:
 
 class TestFailover:
     def test_kill_owner_fails_over_to_replica(self):
+        # Request cache off: the strike-out below depends on the same
+        # fingerprint being *forwarded* repeatedly, not answered cached.
         with LocalCluster(nodes=3, cache_capacity=16, replication=2,
                           retry=RetryPolicy(attempts=4, backoff_s=0.01),
-                          mark_down_after=2) as clu:
+                          mark_down_after=2, request_cache_size=0) as clu:
             req = request(4)
             owner, replica = owners_of(clu, req)[:2]
             clu.kill_node(clu.config.node_names.index(owner))
@@ -180,3 +194,57 @@ class TestRouterProtocol:
             assert direct is True
         finally:
             clu.shutdown()
+
+
+class TestRequestCache:
+    def test_lru_evicts_oldest_fingerprint(self):
+        with LocalCluster(nodes=2, cache_capacity=16,
+                          request_cache_size=2) as clu:
+            reqs = [request(10 + i) for i in range(3)]
+            for req in reqs:
+                clu.client().submit(req)
+            # Three distinct fingerprints through a 2-slot cache: the
+            # first is evicted and must forward again on repeat.
+            hits_before = clu.router.counters["router_cache_hits"]
+            evicted = clu.client().submit(reqs[0])
+            assert not evicted.extras.get("router_cache")
+            assert clu.router.counters["router_cache_hits"] == hits_before
+            # The repeat re-cached it; now it hits.
+            again = clu.client().submit(reqs[0])
+            assert again.extras.get("router_cache") is True
+            assert clu.router.counters["router_cache_hits"] == \
+                hits_before + 1
+
+    def test_disabled_cache_always_forwards(self):
+        with LocalCluster(nodes=2, cache_capacity=16,
+                          request_cache_size=0) as clu:
+            req = request(20)
+            clu.client().submit(req)
+            repeat = clu.client().submit(req)
+            assert not repeat.extras.get("router_cache")
+            assert clu.router.counters["router_cache_hits"] == 0
+
+    def test_only_ok_nondegraded_replies_cached(self, cluster):
+        router = cluster.router
+        router._cache_store("fp-err", {"status": "error", "error": "boom"})
+        router._cache_store("fp-busy", {"status": "busy"})
+        router._cache_store(
+            "fp-degraded",
+            {"status": "ok", "result": {"degraded": True, "cost": 1.0}})
+        assert router._cache_lookup("fp-err") is None
+        assert router._cache_lookup("fp-busy") is None
+        assert router._cache_lookup("fp-degraded") is None
+        router._cache_store(
+            "fp-ok", {"status": "ok", "result": {"degraded": False,
+                                                 "cost": 1.0}})
+        assert router._cache_lookup("fp-ok") is not None
+
+    def test_cached_reply_is_a_private_copy(self, cluster):
+        req = request(21)
+        first = cluster.client().submit(req)
+        second = cluster.client().submit(req)
+        assert second.extras.get("router_cache") is True
+        # Mutating one reply's payload must never leak into the next.
+        second.extras["routed_node"] = "tampered"
+        third = cluster.client().submit(req)
+        assert third.extras["routed_node"] == first.extras["routed_node"]

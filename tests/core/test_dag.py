@@ -114,6 +114,7 @@ class TestTransitiveReduction:
         # the reduced and unreduced DAGs are identical.
         import random
 
+        pytest.importorskip("numpy")
         from repro.workloads import RandomRegionSpec, random_region
 
         region = random_region(
@@ -141,6 +142,8 @@ class TestTransitiveReduction:
     @pytest.mark.parametrize("seed", range(5))
     def test_identical_critical_paths(self, seed):
         from repro.core.costmodel import maspar_cost_model
+
+        pytest.importorskip("numpy")
         from repro.workloads import RandomRegionSpec, random_region
 
         region = random_region(

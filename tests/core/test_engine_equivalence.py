@@ -1,16 +1,24 @@
-"""Bitmask engine vs legacy reference: exact behavioural equivalence.
+"""Fast engines vs legacy reference: exact behavioural equivalence.
 
-The bitmask engine is a pure performance rewrite of the branch-and-bound
-hot path; the legacy implementation is kept in-tree as the oracle.  These
-tests pin the contract from DESIGN.md: for every region and every knob
-combination the two engines must return the *same* schedule at the *same*
-cost with the *same* SearchStats counters — not just equal costs, but an
-identical traversal (nodes expanded, children generated, every pruning
-counter, budget disposition).  A counter drift is a traversal drift and
-fails the suite even when the final schedule happens to agree.
+The bitmask and array engines are pure performance rewrites of the
+branch-and-bound hot path; the legacy implementation is kept in-tree as
+the oracle.  These tests pin the contract from DESIGN.md: for every
+region and every knob combination all engines must return the *same*
+schedule at the *same* cost with the *same* SearchStats counters — not
+just equal costs, but an identical traversal (nodes expanded, children
+generated, every pruning counter, budget disposition).  A counter drift
+is a traversal drift and fails the suite even when the final schedule
+happens to agree.
+
+The array engine additionally runs the whole matrix twice via the
+``force_vec`` fixture: once on its scalar generation path and once with
+the numpy vectorisation threshold forced to zero, so the batched float
+math is proven bit-identical to the scalar loops on every case.
 """
 
 import pytest
+
+import repro.core.engines.arrayengine as arrayengine
 
 from repro.core import maspar_cost_model, uniform_cost_model, verify_schedule
 from repro.core.search import ENGINES, SearchConfig, branch_and_bound
@@ -56,22 +64,40 @@ def _run(region, model, **cfg_kwargs):
 
 def _assert_equivalent(region, model, **cfg_kwargs):
     out = _run(region, model, **cfg_kwargs)
-    (sched_a, stats_a), (sched_b, stats_b) = out["bitmask"], out["legacy"]
-    for field in _COMPARED_FIELDS:
-        assert getattr(stats_a, field) == getattr(stats_b, field), (
-            f"{field} diverged: bitmask={getattr(stats_a, field)} "
-            f"legacy={getattr(stats_b, field)} (config={cfg_kwargs})")
-    assert sched_a == sched_b, f"schedules diverged (config={cfg_kwargs})"
-    assert sched_a.cost(model) == sched_b.cost(model)
-    verify_schedule(sched_a, region, model)
-    assert stats_a.engine == "bitmask" and stats_b.engine == "legacy"
+    sched_ref, stats_ref = out["legacy"]
+    for engine in ENGINES:
+        if engine == "legacy":
+            continue
+        sched, stats = out[engine]
+        for field in _COMPARED_FIELDS:
+            assert getattr(stats, field) == getattr(stats_ref, field), (
+                f"{field} diverged: {engine}={getattr(stats, field)} "
+                f"legacy={getattr(stats_ref, field)} (config={cfg_kwargs})")
+        assert sched == sched_ref, (
+            f"schedules diverged: {engine} vs legacy (config={cfg_kwargs})")
+        assert sched.cost(model) == sched_ref.cost(model)
+        assert stats.engine == engine
+    assert stats_ref.engine == "legacy"
+    verify_schedule(sched_ref, region, model)
+
+
+@pytest.fixture(params=["scalar", "vec"])
+def force_vec(request, monkeypatch):
+    """Run once normally and once with the array engine's numpy batch
+    path forced on for every node (threshold 0); skip the forced leg
+    when numpy is unavailable."""
+    if request.param == "vec":
+        if arrayengine._np is None:
+            pytest.skip("numpy not installed; vectorised path unavailable")
+        monkeypatch.setattr(arrayengine, "VEC_MIN_KEYS", 0)
+    return request.param
 
 
 class TestEngineEquivalence:
     @pytest.mark.parametrize("seed", range(12))
     @pytest.mark.parametrize("knobs", _KNOBS,
                              ids=["all", "no-cp", "no-class", "none"])
-    def test_random_regions_all_knob_combos(self, seed, knobs):
+    def test_random_regions_all_knob_combos(self, seed, knobs, force_vec):
         threads = 2 + seed % 3           # 2..4 threads
         length = 4 + seed % 7            # <= 10 ops/thread
         region = _region(seed, threads, length)
@@ -79,27 +105,27 @@ class TestEngineEquivalence:
                            node_budget=20_000, **knobs)
 
     @pytest.mark.parametrize("seed", range(8))
-    def test_require_equal_imm(self, seed):
+    def test_require_equal_imm(self, seed, force_vec):
         region = _region(100 + seed, 3, 6)
         model = maspar_cost_model(require_equal_imm=True)
         _assert_equivalent(region, model, node_budget=20_000)
 
     @pytest.mark.parametrize("seed", range(8))
-    def test_uniform_model(self, seed):
+    def test_uniform_model(self, seed, force_vec):
         region = _region(200 + seed, 2 + seed % 3, 6)
         _assert_equivalent(region, uniform_cost_model(), node_budget=20_000)
 
     @pytest.mark.parametrize("maximal,branch",
                              [(True, False), (True, True),
                               (False, False), (False, True)])
-    def test_movegen_variants(self, maximal, branch):
+    def test_movegen_variants(self, maximal, branch, force_vec):
         region = _region(7, 3, 6)
         _assert_equivalent(region, maspar_cost_model(), node_budget=20_000,
                            maximal_merges_only=maximal,
                            branch_thread_choices=branch)
 
     @pytest.mark.parametrize("seed", range(6))
-    def test_budget_exhaustion_parity(self, seed):
+    def test_budget_exhaustion_parity(self, seed, force_vec):
         # A tiny budget (with pruning disabled so the search cannot finish
         # early) forces cutoff: both engines must stop at the same node
         # with the same incumbent and the same budget flags.
@@ -114,12 +140,12 @@ class TestEngineEquivalence:
         assert stats_a.budget_exhausted and stats_b.budget_exhausted
         _assert_equivalent(region, maspar_cost_model(), **knobs)
 
-    def test_respect_order(self):
+    def test_respect_order(self, force_vec):
         region = _region(9, 3, 6)
         _assert_equivalent(region, maspar_cost_model(), node_budget=20_000,
                            respect_order=True)
 
-    def test_empty_region(self):
+    def test_empty_region(self, force_vec):
         from repro.core.ops import Region
         region = Region(())
         _assert_equivalent(region, maspar_cost_model())
@@ -146,4 +172,4 @@ class TestEngineConfig:
         model = maspar_cost_model()
         fp = {e: region_fingerprint(region, model, SearchConfig(engine=e))
               for e in ENGINES}
-        assert fp["bitmask"] != fp["legacy"]
+        assert len(set(fp.values())) == len(ENGINES)

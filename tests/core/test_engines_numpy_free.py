@@ -1,0 +1,79 @@
+"""Engine parity on hand-written regions — no numpy anywhere.
+
+The main equivalence suite (``test_engine_equivalence.py``) drives the
+engines over ``repro.workloads`` random regions, which need numpy, so a
+numpy-less install skips it wholesale.  This file keeps a slice of the
+same contract alive in that configuration: regions come from
+``parse_region`` (pure Python), and all three engines — including the
+array engine on its scalar generation path — must agree schedule-for-
+schedule and counter-for-counter.  With numpy installed it runs too, as
+a cheap sanity layer under the big suite.
+"""
+
+import pytest
+
+from repro.core import maspar_cost_model, parse_region, verify_schedule
+from repro.core.search import ENGINES, SearchConfig, branch_and_bound
+
+_DIAMOND = """
+thread 0:
+    a = ld x
+    b = mul a a
+    c = add b a
+    g = mul c b
+thread 1:
+    d = ld y
+    e = mul d d
+    f = add e d
+    h = mul f e
+"""
+
+# Asymmetric lengths and a third thread: exercises partial merges,
+# uneven critical paths, and slots where not every thread participates.
+_RAGGED = """
+thread 0:
+    a = ld x
+    b = add a a
+    c = mul b a
+thread 1:
+    d = ld x
+    e = mul d d
+thread 2:
+    f = ld y
+    g = add f f
+    h = mul g f
+    i = add h g
+"""
+
+_COMPARED = ("nodes_expanded", "children_generated", "pruned_by_bound",
+             "pruned_by_memo", "incumbent_updates", "best_cost",
+             "optimal", "budget_exhausted")
+
+_KNOBS = [
+    {},
+    {"use_cp_bound": False},
+    {"use_class_bound": False},
+    {"use_cp_bound": False, "use_class_bound": False, "use_memo": False,
+     "seed_with_greedy": False},
+]
+
+
+@pytest.mark.parametrize("text", [_DIAMOND, _RAGGED],
+                         ids=["diamond", "ragged"])
+@pytest.mark.parametrize("knobs", _KNOBS,
+                         ids=["all", "no-cp", "no-class", "none"])
+def test_engines_agree_on_handwritten_regions(text, knobs):
+    region = parse_region(text)
+    model = maspar_cost_model()
+    out = {}
+    for engine in ENGINES:
+        config = SearchConfig(engine=engine, node_budget=20_000, **knobs)
+        out[engine] = branch_and_bound(region, model, config)
+    sched_ref, stats_ref = out["legacy"]
+    verify_schedule(sched_ref, region, model)
+    for engine in ENGINES:
+        sched, stats = out[engine]
+        assert sched == sched_ref, f"{engine} schedule diverged ({knobs})"
+        for field in _COMPARED:
+            assert getattr(stats, field) == getattr(stats_ref, field), (
+                f"{engine} {field} diverged ({knobs})")

@@ -5,9 +5,9 @@ import pytest
 from repro.core.costmodel import CostModel, uniform_cost_model
 from repro.core.greedy import greedy_schedule
 from repro.core.ops import parse_region
-from repro.core.search import SearchConfig, branch_and_bound
+from repro.core.search import ENGINES, SearchConfig, branch_and_bound
 from repro.core.serial import serial_schedule
-from repro.core.verify import verify_schedule
+from repro.core.verify import ScheduleError, verify_schedule
 from repro.workloads import RandomRegionSpec, random_region
 
 UNIT = uniform_cost_model(cost=1.0, mask_overhead=0.0)
@@ -243,3 +243,39 @@ class TestStats:
                 seed=seed)
             sched, _ = branch_and_bound(region, UNIT)
             assert sched.cost(UNIT) <= serial_schedule(region, UNIT).cost(UNIT)
+
+
+class TestGreedySeeding:
+    """The verified greedy incumbent seeds branch-and-bound (all engines)."""
+
+    # The E3 benchmark fixture (benchmarks/bench_e16_search_engine.py).
+    E3 = RandomRegionSpec(num_threads=3, min_len=8, max_len=8, vocab_size=8,
+                          overlap=0.6, private_vocab=False)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_seeding_never_increases_node_count(self, engine):
+        region = random_region(self.E3, seed=42)
+        budget = 50_000
+        _, seeded = branch_and_bound(
+            region, UNIT, SearchConfig(engine=engine, node_budget=budget))
+        _, unseeded = branch_and_bound(
+            region, UNIT,
+            SearchConfig(engine=engine, node_budget=budget,
+                         seed_with_greedy=False))
+        assert seeded.nodes_expanded <= unseeded.nodes_expanded
+        assert seeded.best_cost == pytest.approx(unseeded.best_cost)
+
+    def test_corrupt_greedy_seed_fails_loud(self, monkeypatch):
+        """A buggy greedy incumbent would silently prune the optimum away;
+        the pre-seed verification must turn that into a ScheduleError."""
+        import repro.core.search as search_mod
+        from repro.core.schedule import Schedule
+
+        region = random_region(self.E3, seed=42)
+        real = greedy_schedule(region, UNIT)
+        # Drop the last slot: ops go missing, which the checker rejects.
+        monkeypatch.setattr(
+            search_mod, "greedy_schedule",
+            lambda *a, **kw: Schedule(real.slots[:-1]))
+        with pytest.raises(ScheduleError):
+            branch_and_bound(region, UNIT)
