@@ -1,0 +1,210 @@
+"""E19 — value-numbering pre-pass: merge density and cost on redundant code.
+
+The vn pass (``repro.core.vn``) exists for regions where threads compute
+the same values through differently spelled ops — the cross-thread
+redundancy CSI wants to merge but the merge-key bucketing cannot see.
+This experiment builds such a family deterministically: every thread
+computes one shared recipe, but even threads spell power-of-two scaling
+as ``shl`` while odd threads spell it ``mul`` (different opcode class:
+unmergeable as written, and 8x the maspar issue cost), commutative reads
+arrive in per-thread order, and immediates alternate int/float spellings.
+
+Measured per region, vn=off vs vn=on through ``repro.api``:
+
+1. **end-to-end cost improvement** — optimal (budget-bounded) schedule
+   cost ratio off/on; the committed gate demands a >= 1.15x mean;
+2. **merge-density uplift** — cross-thread merge-key candidates before
+   and after the rewrite (from :class:`repro.core.vn.VNStats`);
+3. **prepass overhead** — vn wall time as a fraction of a
+   production-sized induce: the E16 node-heavy config (an E3-style 3x8
+   region with the bound prunes off, so the search genuinely works
+   through its node budget — the family regions above are deliberately
+   easy so their cost ratios use *proven* optima, which makes their
+   searches finish in about the prepass's own wall time and says nothing
+   about overhead at real sizes), gated at <= 5%.
+
+``E19_SMOKE=1`` shrinks the family/budget for CI; the regression gate
+compares against ``benchmarks/BENCH_vn.json``.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from conftest import api_induce, bench_seed, record_table
+from repro.core import maspar_cost_model
+from repro.core.ops import parse_region
+from repro.core.vn import vn_prepass
+from repro.util import format_table
+
+SMOKE = os.environ.get("E19_SMOKE", "") not in ("", "0")
+MODEL = maspar_cost_model()
+BUDGET = 20_000 if SMOKE else 60_000
+#: Node budget for the overhead probe (the default SearchConfig budget is
+#: 200k, so the full-mode probe is exactly a production-sized search).
+PROBE_BUDGET = 50_000 if SMOKE else 200_000
+SNAPSHOT = pathlib.Path(__file__).parent / "BENCH_vn.json"
+
+_OPS = ("add", "sub", "and", "or")
+
+#: (name, threads, recipe length, seed offset) — the redundancy-heavy
+#: family.  Thread count x length stays small enough that the bounded
+#: search proves optimality on every leg, so the cost ratio is exact.
+_FAMILY = [
+    ("2x6 scaled", 2, 6, 0),
+    ("3x6 scaled", 3, 6, 1),
+    ("2x8 chained", 2, 8, 2),
+    ("4x5 wide", 4, 5, 3),
+]
+
+
+def _redundant_region(num_threads, length, seed):
+    """All threads compute one recipe, each spelling it differently."""
+    rng = np.random.default_rng(seed)
+    # Shared recipe: op j reads op j-1 (and sometimes j-2), with every
+    # third op a power-of-two scale — the spelling-divergence site.
+    recipe = []
+    for j in range(1, length):
+        if j % 3 == 1:
+            recipe.append(("scale", int(rng.choice([1, 2]))))
+        elif j >= 2 and rng.random() < 0.5:
+            recipe.append((_OPS[int(rng.integers(len(_OPS)))], None))
+        else:
+            recipe.append((str(rng.choice(["add", "sub"])), 1))
+    lines = []
+    for t in range(num_threads):
+        lines.append(f"thread {t}:")
+        lines.append(f"    t{t}r0 = ld g0")
+        for j, (kind, imm) in enumerate(recipe, start=1):
+            dst = f"t{t}r{j}"
+            prev, prev2 = f"t{t}r{j - 1}", f"t{t}r{max(j - 2, 0)}"
+            if kind == "scale":
+                # Even threads spell the scale as shl, odd threads as the
+                # equivalent mul — vn rewrites both to shl #k.
+                if t % 2 == 0:
+                    lines.append(f"    {dst} = shl {prev} #{imm}")
+                elif t % 4 == 1:
+                    lines.append(f"    {dst} = mul {prev} #{2 ** imm}")
+                else:
+                    lines.append(f"    {dst} = mul {prev} #{float(2 ** imm)}")
+            elif imm is None:
+                reads = (prev, prev2) if t % 2 == 0 else (prev2, prev)
+                lines.append(f"    {dst} = {kind} {' '.join(reads)}")
+            else:
+                lines.append(f"    {dst} = {kind} {prev} #{imm}")
+    return parse_region("\n".join(lines))
+
+
+def workload():
+    picks = _FAMILY[:2] if SMOKE else _FAMILY
+    return [(name, _redundant_region(threads, length, bench_seed(7) + off))
+            for name, threads, length, off in picks]
+
+
+def overhead_probe():
+    """The E16 node-heavy config: a search that consumes its budget."""
+    from repro.core.search import SearchConfig
+    from repro.workloads import RandomRegionSpec, random_region
+    spec = RandomRegionSpec(num_threads=3, min_len=8, max_len=8,
+                            vocab_size=8, overlap=0.6, private_vocab=False)
+    region = random_region(spec, seed=bench_seed(42))
+    config = SearchConfig(node_budget=PROBE_BUDGET, use_cp_bound=False,
+                          use_class_bound=False, use_memo=False)
+    return region, config
+
+
+def run_experiment():
+    rows = []
+    data = {"smoke": SMOKE, "budget": BUDGET, "regions": {}}
+    ratios = []
+    for name, region in workload():
+        off = api_induce(region, MODEL, budget=BUDGET)
+        on = api_induce(region, MODEL, budget=BUDGET, vn="on")
+        # The prepass alone, for the merge-density numbers (api_induce
+        # does not surface the VNStats it produced).
+        _, vnstats = vn_prepass(region, MODEL, "on")
+
+        assert off.stats.optimal and on.stats.optimal, (
+            f"{name}: raise BUDGET — cost ratio needs proven optima")
+        assert on.stats.best_cost <= off.stats.best_cost + 1e-9, (
+            f"{name}: vn made the schedule worse "
+            f"({on.stats.best_cost} > {off.stats.best_cost})")
+        ratio = off.stats.best_cost / on.stats.best_cost
+        ratios.append(ratio)
+
+        data["regions"][name] = {
+            "cost_off": off.stats.best_cost,
+            "cost_on": on.stats.best_cost,
+            "ratio": ratio,
+            "rewrites": on.stats.vn_rewrites,
+            "merged_candidates": on.stats.vn_merged_candidates,
+            "mergekey_before": vnstats.mergekey_candidates_before,
+            "mergekey_after": vnstats.mergekey_candidates_after,
+            "vn_wall_s": vnstats.wall_s,
+        }
+        rows.append([name, f"{off.stats.best_cost:.0f}",
+                     f"{on.stats.best_cost:.0f}", f"{ratio:.2f}x",
+                     str(on.stats.vn_rewrites),
+                     f"{vnstats.mergekey_candidates_before}->"
+                     f"{vnstats.mergekey_candidates_after}",
+                     f"{vnstats.wall_s * 1e3:.2f}"])
+
+    # Overhead: the prepass against a budget-consuming search.
+    probe, probe_config = overhead_probe()
+    started = time.perf_counter()
+    probe_res = api_induce(probe, MODEL, config=probe_config)
+    probe_wall = time.perf_counter() - started
+    _, probe_vn = vn_prepass(probe, MODEL, "on")
+    assert probe_res.stats.nodes_expanded >= PROBE_BUDGET // 2, (
+        f"overhead probe searched only {probe_res.stats.nodes_expanded} "
+        f"nodes — not a production-sized denominator")
+
+    data["mean_ratio"] = sum(ratios) / len(ratios)
+    data["probe_budget"] = PROBE_BUDGET
+    data["probe_nodes"] = probe_res.stats.nodes_expanded
+    data["probe_induce_wall_s"] = probe_wall
+    data["probe_vn_wall_s"] = probe_vn.wall_s
+    data["prepass_overhead"] = (probe_vn.wall_s / probe_wall
+                                if probe_wall else 0.0)
+    text = format_table(
+        ["region", "cost off", "cost on", "improvement", "rewrites",
+         "merge cands", "vn ms"],
+        rows,
+        title=f"E19: vn pre-pass on redundancy-heavy regions "
+              f"(budget {BUDGET:,}{', smoke' if SMOKE else ''}); "
+              f"mean improvement {data['mean_ratio']:.2f}x, prepass "
+              f"overhead {data['prepass_overhead'] * 100:.1f}%")
+    record_table("E19_vn", text, data=data)
+    return data
+
+
+def _snapshot():
+    if not SNAPSHOT.exists():
+        return None
+    snap = json.loads(SNAPSHOT.read_text())
+    return snap.get("smoke" if SMOKE else "full")
+
+
+def test_e19_vn(benchmark):
+    data = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    # Headline gate: the pass must lift the redundancy-heavy family by a
+    # real margin, not round-off.
+    assert data["mean_ratio"] >= 1.15, (
+        f"vn cost improvement below gate: {data['mean_ratio']:.2f}x < 1.15x")
+    # The rewrite must actually raise merge density somewhere.
+    assert any(r["mergekey_after"] > r["mergekey_before"]
+               for r in data["regions"].values()), (
+        "vn raised merge density on no region in the family")
+    # And it must be effectively free next to the search itself.
+    assert data["prepass_overhead"] <= 0.05, (
+        f"vn prepass overhead {data['prepass_overhead'] * 100:.1f}% "
+        f"exceeds the 5% ceiling")
+    reference = _snapshot()
+    if reference is not None:
+        floor = 0.75 * reference["mean_ratio"]
+        assert data["mean_ratio"] >= floor, (
+            f"vn improvement regressed: {data['mean_ratio']:.2f}x vs "
+            f"snapshot {reference['mean_ratio']:.2f}x (floor {floor:.2f}x)")

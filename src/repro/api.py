@@ -42,6 +42,7 @@ from repro.core.ops import Region, parse_region
 from repro.core.pipeline import METHODS, InductionResult, _induce_impl
 from repro.core.result import ResultBase
 from repro.core.search import ENGINES, SearchConfig
+from repro.core.vn import VN_MODES, vn_prepass
 from repro.core.window import WindowedResult, _windowed_induce_impl
 from repro.obs import Tracer
 
@@ -113,6 +114,13 @@ class InductionRequest:
     engine: str | None = None
     deadline_s: float | None = None
     verify: bool = True
+    #: Cross-thread value-numbering pre-pass (:mod:`repro.core.vn`):
+    #: ``"off"`` (default — bit-identical to pre-vn behavior), ``"on"``
+    #: (always canonicalize the region before scheduling) or ``"auto"``
+    #: (canonicalize, keep only when it provably helps).  Consumed by
+    #: every method — the rewritten region feeds baselines and the
+    #: portfolio race alike — so it has no KNOB_METHODS entry.
+    vn: str = "off"
     cache: ScheduleCache | None = None
     tracer: Tracer | None = None
     #: Optional :class:`repro.sched.StrategyOutcomesStore` consulted and
@@ -140,6 +148,9 @@ class InductionRequest:
             raise ValueError(
                 f"unknown search engine {self.engine!r}; expected one of "
                 f"{ENGINES}")
+        if self.vn not in VN_MODES:
+            raise ValueError(
+                f"unknown vn mode {self.vn!r}; expected one of {VN_MODES}")
         # The method/knob table: a non-default value of any knob whose
         # method can never consume it is an error, uniformly.
         if self.window and self.method not in KNOB_METHODS["window"]:
@@ -194,6 +205,10 @@ class InductionRequest:
         ``window`` (which changes the schedule at seams) is folded in.
         """
         tag = f"{self.method}+w{self.window}" if self.window else self.method
+        if self.vn != "off":
+            # vn changes the region actually scheduled, so requests that
+            # differ only in vn mode must not dedup against each other.
+            tag = f"{tag}+vn:{self.vn}"
         return region_fingerprint(self.resolved_region(), self.resolved_model(),
                                   self.resolved_config(), method=tag)
 
@@ -214,6 +229,11 @@ def _execute_local(request: InductionRequest,
     config = request.resolved_config()
     if request.method == "portfolio":
         from repro.core.portfolio import run_portfolio
+        if request.vn != "off":
+            # The race has no prepass hook of its own: canonicalize here
+            # so every strategy races on the rewritten region.
+            region, _vnstats = vn_prepass(region, model, request.vn,
+                                          request.tracer)
         return run_portfolio(
             region, model, config, deadline_s=request.deadline_s,
             verify=request.verify, order=portfolio_order,
@@ -222,10 +242,12 @@ def _execute_local(request: InductionRequest,
     if request.window:
         return _windowed_induce_impl(
             region, model, window_size=request.window, config=config,
-            jobs=request.jobs, cache=request.cache, tracer=request.tracer)
+            jobs=request.jobs, cache=request.cache, tracer=request.tracer,
+            vn=request.vn)
     return _induce_impl(
         region, model, method=request.method, config=config,
-        verify=request.verify, cache=request.cache, tracer=request.tracer)
+        verify=request.verify, cache=request.cache, tracer=request.tracer,
+        vn=request.vn)
 
 
 def induce(request: InductionRequest, client=None, cluster=None) -> ResultBase:

@@ -145,7 +145,8 @@ def _build_request(args, region_text: str, strategy_store=None):
             window=args.window, jobs=args.jobs, budget=budget,
             engine=getattr(args, "engine", None),
             strategy_store=strategy_store,
-            deadline_s=args.deadline)
+            deadline_s=args.deadline,
+            vn=getattr(args, "vn", "off"))
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
 
@@ -621,7 +622,7 @@ def _cmd_fuzz(args) -> int:
 
     from repro.core.search import ENGINES
     from repro.fuzz import (FuzzConfig, case_from_payload, check_case,
-                            fuzz_run, load_corpus)
+                            entry_needs_vn, fuzz_run, load_corpus)
     from repro.obs import JsonlTracer
 
     engines = ENGINES if args.engine == "all" else (args.engine,)
@@ -641,7 +642,10 @@ def _cmd_fuzz(args) -> int:
             return 1
         bad = 0
         for path, case in entries:
-            found = check_case(case, engines=engines)
+            # Entries recorded by a vn_* oracle re-run under the vn battery
+            # even without --vn, so they replay against the bug they found.
+            found = check_case(case, engines=engines,
+                               vn=args.vn or entry_needs_vn(path))
             status = "ok" if not found else "FAIL"
             print(f"{status}  {path}  [{case.describe()}]")
             for failure in found:
@@ -666,6 +670,7 @@ def _cmd_fuzz(args) -> int:
                 corpus_dir=args.corpus_dir,
                 fail_fast=args.fail_fast,
                 workdir=workdir,
+                vn=args.vn,
             )
             report = fuzz_run(config, tracer=tracer)
     finally:
@@ -774,6 +779,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="induce window-by-window at this window size (0 = whole region)")
     p.add_argument("--jobs", type=int, default=1,
                    help="parallel window searches (0 = all cores; needs --window)")
+    p.add_argument("--vn", default="off", choices=["off", "on", "auto"],
+                   help="cross-thread value-numbering pre-pass: canonicalize "
+                        "equivalent subexpressions before induction (auto = "
+                        "keep the rewrite only when it helps)")
     p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
                    help="wall-clock budget; on expiry degrade to the greedy "
                         "schedule (flagged degraded, never an error)")
@@ -848,6 +857,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="induce window-by-window at this window size (0 = whole region)")
     p.add_argument("--jobs", type=int, default=1,
                    help="parallel window searches server-side (needs --window)")
+    p.add_argument("--vn", default="off", choices=["off", "on", "auto"],
+                   help="server-side value-numbering pre-pass (see "
+                        "`repro induce --vn`)")
     p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
                    help="per-request deadline; server degrades to greedy on expiry")
     p.add_argument("--trace", metavar="FILE",
@@ -997,6 +1009,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "local result (0 = never boot the cluster)")
     p.add_argument("--corpus-dir",
                    help="persist failing cases as JSON under this directory")
+    p.add_argument("--vn", action="store_true",
+                   help="run the value-numbering differential oracle on every "
+                        "region case and bias generation toward cross-thread "
+                        "redundancy")
     p.add_argument("--no-shrink", action="store_true",
                    help="skip delta-debugging of failing cases")
     p.add_argument("--fail-fast", action="store_true",

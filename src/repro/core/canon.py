@@ -1,0 +1,301 @@
+"""Semantic hashing of region subexpressions for value numbering.
+
+The chiquito-style CSE trick: instead of comparing expression *syntax*,
+evaluate every subexpression under K pseudo-random input assignments over
+the prime field Z_p (p = 2^61 - 1) and compare the value vectors.  Two
+computations that agree on all K assignments are, with overwhelming
+probability, the same function — so ``a+b`` and ``b+a`` and
+differently-named temporaries that compute the same thing all collide,
+which is exactly what :mod:`repro.core.vn` needs to discover cross-thread
+merge candidates that a syntactic pass would miss.
+
+The evaluator is deliberately *partial*: opcodes with algebraic laws the
+value-numbering rewriter exploits (add/sub/neg/mul, shifts, and/or with
+their zero identities) are interpreted over the field; everything else is
+hashed as an uninterpreted function of its operand values.  Memory is
+modelled with a per-thread store epoch — loads hash the address value and
+the current epoch, stores and other side-effecting opcodes bump it — so a
+load cannot be conflated across an intervening store, and side-effecting
+ops are never considered equal unless their whole observable context
+(opcode, operands, epoch) agrees.
+
+All hashing is keyed by a *fixed* internal seed (``CANON_SEED``), not by
+``$REPRO_SEED``: canonicalization must be deterministic and idempotent
+regardless of the run's fuzz seed, or vn-rewritten regions would not be
+cacheable.  ``$REPRO_SEED`` enters only through the differential oracle,
+which mixes extra assignments in via :func:`regions_mismatch`'s ``seed``
+parameter to sharpen its check beyond the rewriter's own K assignments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Mapping
+
+from repro.core.ops import Operation, Region
+
+__all__ = [
+    "CANON_SEED",
+    "COMMUTATIVE",
+    "LOAD_OPCODES",
+    "NUM_ASSIGNMENTS",
+    "PRIME",
+    "PURE_OPCODES",
+    "ThreadEvaluator",
+    "canonical_imm",
+    "cross_thread_candidates",
+    "imm_value",
+    "op_fingerprints",
+    "regions_mismatch",
+]
+
+#: The field: Z_p for the Mersenne prime 2^61 - 1.  Large enough that the
+#: chance of two inequivalent expressions agreeing on one assignment is
+#: ~2^-61, and K independent assignments push it to ~2^-(61*K).
+PRIME = (1 << 61) - 1
+
+#: Number of independent input assignments an expression is evaluated
+#: under.  Fingerprints are the K-vector of values, so a spurious
+#: collision needs agreement on all of them.
+NUM_ASSIGNMENTS = 4
+
+#: Fixed internal hashing key (see module docstring for why this is *not*
+#: ``$REPRO_SEED``).
+CANON_SEED = 0x5EED_C51_CA704
+
+#: Opcodes whose result is a pure function of their operand values — the
+#: only ops :mod:`repro.core.vn` will ever rewrite.  Everything else
+#: (stores, control flow, unknown opcodes) is conservatively treated as
+#: side-effecting.
+PURE_OPCODES = frozenset({
+    "mov", "add", "sub", "neg", "mul", "div", "mod", "shl", "shr",
+    "and", "or", "not", "eq", "ne", "lt", "le", "gt", "ge", "cmp",
+    "fadd", "fmul", "fdiv",
+})
+
+#: Loads: pure *given* the store epoch (they read memory, not just
+#: registers).  Never rewritten, but fingerprinted so identical loads in
+#: different threads collide.
+LOAD_OPCODES = frozenset({"ld", "lds", "ldd"})
+
+#: Opcodes whose operand order does not matter.  The rewriter sorts these
+#: ops' reads into canonical order *on the authority of this table alone*
+#: (integer add/mul/bitwise laws), with no per-op defensive value check —
+#: which is what lets the mutation-smoke test inject a wrong-canonical-order
+#: bug here and prove the differential oracle catches it.
+COMMUTATIVE = frozenset({"add", "mul", "and", "or", "eq", "ne"})
+
+
+def _h(*parts: object) -> int:
+    """Keyed hash of ``parts`` into the field (never returns a key-free 0)."""
+    digest = hashlib.blake2b(
+        key=CANON_SEED.to_bytes(8, "little"), digest_size=16)
+    for part in parts:
+        digest.update(repr(part).encode())
+        digest.update(b"\x1f")
+    return int.from_bytes(digest.digest(), "little") % PRIME
+
+
+def canonical_imm(imm: int | float | None) -> int | float | None:
+    """Fold integral floats to int (``2.0`` -> ``2``).
+
+    ``(cls, 2)`` and ``(cls, 2.0)`` already compare equal as merge keys
+    (Python numeric equality), but the *cache* fingerprint distinguishes
+    them — canonicalizing immediates therefore raises cache hit rates
+    without changing mergeability.
+    """
+    if isinstance(imm, float) and not isinstance(imm, bool) \
+            and imm == int(imm):
+        return int(imm)
+    return imm
+
+
+def imm_value(imm: int | float) -> int:
+    """Field value of an immediate operand.
+
+    Integers (and integral floats) map to their residue mod p so algebraic
+    identities hold exactly (``x * 2 == x << 1``); non-integral floats are
+    hashed as opaque constants — distinct from every integer and from each
+    other unless equal.
+    """
+    imm = canonical_imm(imm)
+    if isinstance(imm, int) and not isinstance(imm, bool):
+        return imm % PRIME
+    return _h("float-imm", repr(imm))
+
+
+class ThreadEvaluator:
+    """Evaluate one thread's op sequence under one input assignment.
+
+    Symbols read before being written get a pseudo-random initial value
+    derived from ``(symbol, assignment)`` — identical across threads, so
+    two threads loading the same global agree.  :meth:`step` commits an
+    op's writes and epoch effects; :meth:`value_of` computes the value an
+    op *would* produce in the current state without committing, which is
+    how the rewriter value-checks a candidate replacement op in situ.
+    """
+
+    __slots__ = ("assignment", "env", "epoch")
+
+    def __init__(self, assignment: int) -> None:
+        self.assignment = assignment
+        self.env: dict[str, int] = {}
+        self.epoch = 0
+
+    def read(self, symbol: str) -> int:
+        value = self.env.get(symbol)
+        if value is None:
+            value = _h("input", symbol, self.assignment)
+            self.env[symbol] = value
+        return value
+
+    def value_of(self, op: Operation) -> int:
+        """The field value ``op`` produces in the current state."""
+        opcode = op.opcode
+        args = [self.read(symbol) for symbol in op.reads]
+        if op.imm is not None:
+            args.append(imm_value(op.imm))
+        if opcode in LOAD_OPCODES:
+            # lds with a bare immediate is a constant-pool lookup: its
+            # value *is* the constant (what lets `sub x x` -> `lds #0`
+            # fingerprint-match).  Loads with an address hash the address
+            # value and the store epoch.
+            if opcode == "lds" and not op.reads and op.imm is not None:
+                return imm_value(op.imm)
+            return _h("load", opcode, tuple(args), self.epoch)
+        if opcode not in PURE_OPCODES:
+            # Stores / control flow / unknown opcodes: an uninterpreted
+            # effect, distinguished by everything observable about it.
+            return _h("effect", opcode, tuple(args), self.epoch)
+        if opcode == "mov" and len(args) == 1:
+            return args[0]
+        if opcode == "add":
+            return sum(args) % PRIME
+        if opcode == "mul":
+            value = 1
+            for arg in args:
+                value = (value * arg) % PRIME
+            return value
+        if opcode == "sub" and len(args) == 2:
+            return (args[0] - args[1]) % PRIME
+        if opcode == "neg" and len(args) == 1:
+            return (-args[0]) % PRIME
+        if opcode == "shl" and len(args) == 2:
+            return (args[0] * pow(2, args[1], PRIME)) % PRIME
+        if opcode == "shr" and len(args) == 2 and args[1] == 0:
+            return args[0]  # shift by zero is the identity; else opaque
+        if opcode == "and":
+            if 0 in args:
+                return 0
+            return _h("op", "and", tuple(sorted(args)))
+        if opcode == "or":
+            nonzero = sorted(arg for arg in args if arg != 0)
+            if not nonzero:
+                return 0
+            if len(nonzero) == 1:
+                return nonzero[0]
+            return _h("op", "or", tuple(nonzero))
+        if opcode in ("eq", "ne"):
+            return _h("op", opcode, tuple(sorted(args)))
+        # Pure but uninterpreted (div, mod, shr, comparisons, floats...):
+        # a deterministic, order-sensitive function of the operand values.
+        return _h("op", opcode, tuple(args))
+
+    def is_stateful(self, op: Operation) -> bool:
+        return op.opcode not in PURE_OPCODES and op.opcode not in LOAD_OPCODES
+
+    def step(self, op: Operation) -> int:
+        """Evaluate ``op``, commit its writes/effects, return its value."""
+        value = self.value_of(op)
+        if self.is_stateful(op):
+            self.epoch += 1
+        for symbol in op.writes:
+            self.env[symbol] = value
+        return value
+
+
+def _assignment_indices(assignments: int | None = None,
+                        seed: int | None = None) -> list[int]:
+    count = NUM_ASSIGNMENTS if assignments is None else int(assignments)
+    if count < 1:
+        raise ValueError(f"need at least one assignment, got {count}")
+    indices = list(range(count))
+    if seed is not None:
+        # Extra oracle-only assignments, disjoint from the fixed base set:
+        # derived from the run seed so `REPRO_SEED` sharpens the check.
+        indices.extend(_h("extra-assignment", int(seed), j) for j in range(2))
+    return indices
+
+
+def op_fingerprints(region: Region,
+                    assignments: int | None = None) -> dict[tuple[int, int], int]:
+    """Semantic fingerprint of every op, keyed by ``(thread, index)``.
+
+    The fingerprint folds the op's value under each assignment plus its
+    write arity, so ``a+b``/``b+a``/renamed temporaries collide and an op
+    is never conflated with one writing a different number of results.
+    """
+    indices = _assignment_indices(assignments)
+    values: dict[tuple[int, int], list[int]] = {
+        op.key: [] for op in region.all_ops()}
+    for index in indices:
+        for tc in region.threads:
+            ev = ThreadEvaluator(index)
+            for op in tc.ops:
+                values[op.key].append(ev.step(op))
+    return {key: _h("fp", len(region[key[0]].ops[key[1]].writes), tuple(vs))
+            for key, vs in values.items()}
+
+
+def cross_thread_candidates(region: Region,
+                            fingerprints: Mapping[tuple[int, int], int] | None = None,
+                            ) -> int:
+    """Ops whose semantic fingerprint collides with an op in another thread.
+
+    This is the redundancy the vn pre-pass exists to surface: each counted
+    op computes the same value as some op of a *different* thread, so a
+    canonical-form rewrite can (potentially) make them share a slot.
+    """
+    if fingerprints is None:
+        fingerprints = op_fingerprints(region)
+    threads_by_fp: dict[int, set[int]] = {}
+    for (thread, _index), fp in fingerprints.items():
+        threads_by_fp.setdefault(fp, set()).add(thread)
+    return sum(1 for (thread, _index), fp in fingerprints.items()
+               if len(threads_by_fp[fp]) > 1)
+
+
+def regions_mismatch(a: Region, b: Region, *,
+                     assignments: int | None = None,
+                     seed: int | None = None) -> str | None:
+    """First observable difference between two regions, or None if none.
+
+    The differential-oracle core: regions are compared thread-by-thread,
+    op-by-op under every assignment — written values must agree, effect
+    hashes of side-effecting/no-write ops must agree, and store epochs
+    must stay in lockstep.  ``seed`` mixes extra assignments in on top of
+    the fixed base set (see module docstring).
+    """
+    if a.num_threads != b.num_threads:
+        return f"thread count {a.num_threads} != {b.num_threads}"
+    for ta, tb in zip(a.threads, b.threads):
+        if len(ta) != len(tb):
+            return f"thread {ta.thread}: op count {len(ta)} != {len(tb)}"
+        for opa, opb in zip(ta.ops, tb.ops):
+            if opa.writes != opb.writes:
+                return (f"thread {ta.thread} op {opa.index}: writes "
+                        f"{opa.writes} != {opb.writes}")
+    for index in _assignment_indices(assignments, seed=seed):
+        for ta, tb in zip(a.threads, b.threads):
+            ea, eb = ThreadEvaluator(index), ThreadEvaluator(index)
+            for opa, opb in zip(ta.ops, tb.ops):
+                va, vb = ea.step(opa), eb.step(opb)
+                if va != vb:
+                    what = "value" if opa.writes else "effect"
+                    return (f"thread {ta.thread} op {opa.index} "
+                            f"({opa.render()!r} vs {opb.render()!r}): "
+                            f"{what} differs under assignment {index}")
+                if ea.epoch != eb.epoch:
+                    return (f"thread {ta.thread} op {opa.index}: store "
+                            f"epoch diverged ({ea.epoch} != {eb.epoch})")
+    return None

@@ -17,6 +17,7 @@ The entry point is also where the induction *service* features attach:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.core.anneal import anneal_schedule
@@ -32,6 +33,7 @@ from repro.core.schedule import Schedule
 from repro.core.search import SearchConfig, SearchStats, branch_and_bound
 from repro.core.serial import lockstep_schedule, serial_schedule
 from repro.core.verify import verify_schedule
+from repro.core.vn import vn_prepass
 from repro.obs import NULL_TRACER, StopWatch, Tracer, span
 from repro.obs.metrics import get_registry, observe_search_throughput
 from repro.util.rng import resolve_seed
@@ -118,6 +120,7 @@ def _induce_impl(
     verify: bool = True,
     cache: ScheduleCache | None = None,
     tracer: Tracer | None = None,
+    vn: str = "off",
 ) -> InductionResult:
     """Run CSI (``method='search'``) or a baseline on ``region``.
 
@@ -133,7 +136,10 @@ def _induce_impl(
     skip is the point of the cache.
 
     ``cache`` memoizes (schedule, stats) under a content fingerprint;
-    ``tracer`` receives one ``induce`` event per call.
+    ``tracer`` receives one ``induce`` event per call.  ``vn`` runs the
+    value-numbering pre-pass (:func:`repro.core.vn.vn_prepass`) on the
+    region first; everything downstream — fingerprinting, search,
+    verification, baselines — sees the rewritten region.
     """
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
@@ -142,6 +148,9 @@ def _induce_impl(
     watch = StopWatch().start()
 
     with span("induce", tracer, method=method, ops=region.num_ops) as live:
+        vnstats = None
+        if vn != "off":
+            region, vnstats = vn_prepass(region, model, vn, tracer)
         fingerprint = None
         schedule: Schedule | None = None
         stats: SearchStats | None = None
@@ -166,6 +175,16 @@ def _induce_impl(
                     verify_schedule(schedule, region, model, dags=dags)
             if cache is not None:
                 cache.put(fingerprint, schedule, stats)
+
+        if vnstats is not None and stats is not None:
+            # Copy-on-write: cached stats objects are shared (and the
+            # cache key is the post-vn region, which a vn=off request on
+            # an already-canonical region also hits), so never mutate the
+            # stored object with this request's vn counters.
+            stats = dataclasses.replace(
+                stats,
+                vn_merged_candidates=vnstats.merged_candidates,
+                vn_rewrites=vnstats.rewrites)
 
         cost = schedule.cost(model)
         # Reuse the schedule we just built when it *is* the baseline, and pay
@@ -199,6 +218,13 @@ def _induce_impl(
             "cache": "hit" if cache_hit else ("miss" if cache is not None else "off"),
             "wall_s": wall_s,
         }
+        if vnstats is not None:
+            event.update(
+                vn=vnstats.mode,
+                vn_applied=vnstats.applied,
+                vn_rewrites=vnstats.rewrites,
+                vn_merged_candidates=vnstats.merged_candidates,
+            )
         if stats is not None:
             event.update(
                 engine=stats.engine,

@@ -112,6 +112,12 @@ class SearchStats:
     budget_exhausted: bool = False
     wall_s: float = 0.0
     engine: str = "bitmask"
+    #: Filled by the pipeline when the value-numbering pre-pass ran: ops
+    #: whose semantic fingerprint collides across threads, and rewrites
+    #: actually applied.  Defaulted so cached/wire stats from pre-vn runs
+    #: reconstruct unchanged.
+    vn_merged_candidates: int = 0
+    vn_rewrites: int = 0
 
     @property
     def nodes_per_second(self) -> float:

@@ -213,6 +213,7 @@ def _windowed_induce_impl(
     jobs: int = 1,
     cache: ScheduleCache | None = None,
     tracer: Tracer | None = None,
+    vn: str = "off",
 ) -> WindowedResult:
     """Induce ``region`` window by window; returns the stitched schedule.
 
@@ -224,10 +225,19 @@ def _windowed_induce_impl(
     ``jobs > 1`` (or 0 for all cores) searches cache-missed windows in a
     process pool; the stitched schedule is identical to the serial path's
     because every window search is deterministic and reassembly is ordered.
+
+    ``vn`` runs the value-numbering pre-pass over the whole region before
+    it is cut into windows, so per-window fingerprints (and the per-window
+    cache) see the canonical form.  Per-window stats are *not* stamped
+    with region-level vn counters — those cache entries are shared across
+    regions; vn telemetry rides the ``vn.prepass`` span and metrics.
     """
     tracer = tracer or NULL_TRACER
     with span("windowed_induce", tracer, ops=region.num_ops,
               threads=region.num_threads, window_size=window_size) as live:
+        if vn != "off":
+            from repro.core.vn import vn_prepass
+            region, _vnstats = vn_prepass(region, model, vn, tracer)
         result = _windowed_body(region, model, window_size=window_size,
                                 config=config, jobs=jobs, cache=cache,
                                 tracer=tracer)

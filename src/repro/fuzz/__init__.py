@@ -29,6 +29,7 @@ the first line of every run (``repro fuzz --seed N``).
 from repro.fuzz.corpus import (
     case_from_payload,
     case_to_payload,
+    entry_needs_vn,
     load_corpus,
     save_failure,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "case_from_payload",
     "case_to_payload",
     "check_case",
+    "entry_needs_vn",
     "fuzz_run",
     "generate_case",
     "load_corpus",

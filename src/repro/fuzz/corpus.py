@@ -29,7 +29,8 @@ from repro.fuzz.generators import FuzzCase
 from repro.fuzz.oracles import OracleFailure
 from repro.service.protocol import model_from_payload, model_to_payload
 
-__all__ = ["case_from_payload", "case_to_payload", "load_corpus", "save_failure"]
+__all__ = ["case_from_payload", "case_to_payload", "entry_needs_vn",
+           "load_corpus", "save_failure"]
 
 #: Bumped when the payload shape changes incompatibly.
 CORPUS_VERSION = 1
@@ -111,6 +112,21 @@ def save_failure(corpus_dir: str | os.PathLike, case: FuzzCase,
     tmp.write_text(blob + "\n", encoding="utf-8")
     os.replace(tmp, path)
     return path
+
+
+def entry_needs_vn(path: str | os.PathLike) -> bool:
+    """True when a corpus entry was found by the vn differential oracle.
+
+    Replays consult this so an entry recorded under ``--vn`` is re-checked
+    with the same oracle battery it originally failed — without forcing
+    the (more expensive) vn block onto every pre-vn corpus entry.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return False
+    return any(str(f.get("oracle", "")).startswith("vn_")
+               for f in payload.get("failures", ()))
 
 
 def load_corpus(corpus_dir: str | os.PathLike) -> list[tuple[Path, FuzzCase]]:

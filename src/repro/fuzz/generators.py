@@ -56,6 +56,13 @@ class GeneratorSpec:
     program_fraction: float = 0.15
     #: Fraction of region cases drawn from interpreter handler subsets.
     handler_fraction: float = 0.15
+    #: Cross-thread redundancy: per-thread probability of planting one
+    #: *disguised* copy of a region-shared expression template (renamed
+    #: temps, shuffled commutative reads, ``mul #2^k``/``shl #k`` swaps,
+    #: int/float immediates, appended identity ops) — the workload the
+    #: value-numbering pre-pass exists to canonicalize.  0 (default) draws
+    #: nothing and leaves the RNG stream bit-identical to pre-vn runs.
+    redundancy: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_threads < 1:
@@ -64,6 +71,8 @@ class GeneratorSpec:
             raise ValueError(f"need at least one op, got {self.max_ops}")
         if not 0.0 <= self.program_fraction <= 1.0:
             raise ValueError(f"bad program fraction {self.program_fraction}")
+        if not 0.0 <= self.redundancy <= 1.0:
+            raise ValueError(f"bad redundancy {self.redundancy}")
 
 
 @dataclass(frozen=True)
@@ -129,13 +138,77 @@ def _zipf_weights(n: int, skew: float) -> np.ndarray:
     return w / w.sum()
 
 
+#: Template opcodes the redundancy planter composes over — all pure, all
+#: in the vn rewriter's vocabulary so disguises actually canonicalize.
+_TEMPLATE_OPCODES = ("add", "sub", "mul", "and", "or")
+
+
+def _redundancy_template(rng: np.random.Generator) -> tuple[str, list[tuple]]:
+    """One region-shared expression template: (root symbol, steps).
+
+    Each step is ``(opcode, operand step indices, imm)``; step 0 loads the
+    shared root so every thread's copy starts from the same global value.
+    """
+    root = f"g{'xyz'[int(rng.integers(3))]}"
+    steps: list[tuple] = [("ld", (), None)]
+    for j in range(1, int(rng.integers(3, 6))):
+        opcode = _TEMPLATE_OPCODES[int(rng.integers(len(_TEMPLATE_OPCODES)))]
+        prev = int(rng.integers(j))
+        if rng.random() < 0.55:
+            steps.append((opcode, (prev,), int(rng.choice((0, 1, 2, 4)))))
+        else:
+            steps.append((opcode, (prev, int(rng.integers(j))), None))
+    return root, steps
+
+
+def _plant_template(rng: np.random.Generator, thread: int,
+                    template: tuple[str, list[tuple]],
+                    budget: int) -> list[tuple]:
+    """Render the template into thread ``thread`` under a random disguise.
+
+    Returns ``(opcode, reads, write, imm)`` tuples.  Disguises are all
+    shapes the vn pre-pass claims to see through: per-thread temp names,
+    reversed commutative reads, ``mul #2^k`` spelled as ``shl #k``,
+    integral-float immediates, and an appended identity op (a no-op
+    ``add/or/shl #0`` chain link) standing in for a plain copy.
+    """
+    root, steps = template
+    out: list[tuple] = []
+    names: dict[int, str] = {}
+    for j, (opcode, operands, imm) in enumerate(steps[:budget]):
+        dst = f"T{thread}r{j}"
+        if opcode == "ld":
+            reads: tuple[str, ...] = (root,)
+        else:
+            reads = tuple(names[o] for o in operands)
+            if opcode == "mul" and imm in (2, 4) and rng.random() < 0.4:
+                opcode, imm = "shl", int(imm).bit_length() - 1
+            if isinstance(imm, int) and rng.random() < 0.3:
+                imm = float(imm)
+            if len(reads) > 1 and opcode in ("add", "mul", "and", "or") \
+                    and rng.random() < 0.5:
+                reads = tuple(reversed(reads))
+        out.append((opcode, reads, dst, imm))
+        names[j] = dst
+    if len(out) < budget and rng.random() < 0.5:
+        # Disguise the final value behind an identity op.
+        last = names[len(out) - 1]
+        opcode = ("add", "or", "shl")[int(rng.integers(3))]
+        out.append((opcode, (last,), f"T{thread}rid", 0))
+    return out
+
+
 def _random_region(rng: np.random.Generator, spec: GeneratorSpec) -> Region:
     """Random straight-line region with genuine dependence structure.
 
     Per thread, each op mostly writes a fresh temp; with probability tied
     to ``dependence_density`` it reads earlier temps (flow deps), rewrites
     an existing temp (output deps, and anti deps against its readers), or
-    writes a thread-shared accumulator symbol.
+    writes a thread-shared accumulator symbol.  With ``spec.redundancy``
+    on, threads additionally open with a disguised copy of one shared
+    expression template (see :func:`_plant_template`), and the random tail
+    below can read into it — cross-thread redundancy embedded in ordinary
+    dependence structure, not a sterile side-channel.
     """
     num_threads = int(rng.integers(1, spec.max_threads + 1))
     total = int(rng.integers(num_threads, spec.max_ops + 1))
@@ -145,12 +218,19 @@ def _random_region(rng: np.random.Generator, spec: GeneratorSpec) -> Region:
     for _ in range(total - num_threads):
         lengths[int(rng.integers(num_threads))] += 1
 
+    template = _redundancy_template(rng) if spec.redundancy > 0 else None
     weights = _zipf_weights(len(_OPCODES), spec.merge_skew)
     threads: list[ThreadCode] = []
     for t, length in enumerate(lengths):
         ops: list[Operation] = []
         written: list[str] = []
-        for k in range(length):
+        if template is not None and length >= 2 \
+                and rng.random() < spec.redundancy:
+            for opcode, reads, dst, imm in \
+                    _plant_template(rng, t, template, length):
+                ops.append(Operation(t, len(ops), opcode, reads, (dst,), imm))
+                written.append(dst)
+        for k in range(len(ops), length):
             opcode = str(rng.choice(_OPCODES, p=weights))
             reads: tuple[str, ...] = ()
             if written and rng.random() < spec.dependence_density:

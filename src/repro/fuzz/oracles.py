@@ -45,9 +45,12 @@ from repro.core.pipeline import InductionResult
 from repro.core.result import result_from_payload, result_to_payload
 from repro.core.search import branch_and_bound
 from repro.core.serial import lockstep_schedule, serial_schedule
+from repro.core.canon import regions_mismatch
 from repro.core.verify import ScheduleError, verify_schedule
+from repro.core.vn import rewrite_region, serial_issue_cost
 from repro.core.window import _windowed_induce_impl
 from repro.fuzz.generators import FuzzCase
+from repro.util.rng import resolve_seed
 
 __all__ = ["OracleFailure", "check_case"]
 
@@ -221,6 +224,70 @@ def _check_region(case: FuzzCase, workdir: Path | None,
     return failures
 
 
+def _check_vn(case: FuzzCase,
+              engines: tuple[str, ...]) -> list[OracleFailure]:
+    """The vn-on/vn-off differential: rewriting must be invisible but free.
+
+    - ``vn_equivalence`` — the rewritten region computes identical values
+      op-for-op under the canonical probe assignments *plus* extra
+      ``$REPRO_SEED``-derived assignments (semantics preserved);
+    - ``vn_idempotent`` — rewriting a rewritten region is a no-op;
+    - ``vn_serial_bound`` — per-op slot costs never rise (the pass's
+      hard never-worse guarantee, which holds unconditionally);
+    - ``vn_engine_*`` / ``vn_verify:*`` — the engines stay bit-identical
+      on the rewritten region and every schedule of it verifies;
+    - ``vn_cost`` — end-to-end search cost with vn ≤ without, asserted
+      only when *both* searches prove optimality under a common
+      comparison config (budget-exhausted incumbents can legitimately
+      order either way).
+    """
+    failures: list[OracleFailure] = []
+    region, model = case.region, case.model
+    rewritten, rewrites = rewrite_region(region, model)
+
+    detail = regions_mismatch(region, rewritten, seed=resolve_seed(default=0))
+    if detail is not None:
+        # Semantics broke; downstream vn comparisons would only add noise.
+        return [OracleFailure("vn_equivalence", detail)]
+
+    again, _ = rewrite_region(rewritten, model)
+    if again.render() != rewritten.render():
+        failures.append(OracleFailure(
+            "vn_idempotent", "vn(vn(region)) != vn(region)"))
+
+    serial_off = serial_issue_cost(region, model)
+    serial_vn = serial_issue_cost(rewritten, model)
+    if serial_vn > serial_off + _EPS:
+        failures.append(OracleFailure(
+            "vn_serial_bound",
+            f"serial issue cost rose {serial_off!r} -> {serial_vn!r}"))
+
+    vncase = dataclasses.replace(case, region=rewritten)
+    dags = build_dags(rewritten, respect_order=case.config.respect_order)
+    parity, runs = _check_engine_parity(vncase, dags, engines)
+    failures.extend(OracleFailure(f"vn_{f.oracle}", f.detail) for f in parity)
+    for engine, (sched, _st) in runs.items():
+        try:
+            verify_schedule(sched, rewritten, model, dags=dags,
+                            respect_order=case.config.respect_order)
+        except ScheduleError as exc:
+            failures.append(OracleFailure(f"vn_verify:{engine}", str(exc)))
+
+    if rewrites:
+        comparison = dataclasses.replace(
+            case.config, engine=engines[0], node_budget=50_000,
+            seed_with_greedy=True)
+        _s_off, st_off = branch_and_bound(region, model, comparison)
+        _s_vn, st_vn = branch_and_bound(rewritten, model, comparison)
+        if st_off.optimal and st_vn.optimal and \
+                st_vn.best_cost > st_off.best_cost + _EPS:
+            failures.append(OracleFailure(
+                "vn_cost",
+                f"optimal cost rose under vn: off={st_off.best_cost!r} "
+                f"vn={st_vn.best_cost!r} ({rewrites} rewrites)"))
+    return failures
+
+
 def _check_cluster(case: FuzzCase, cluster,
                    engines: tuple[str, ...]) -> list[OracleFailure]:
     """Cluster round-trip: route → induce must equal a local single run.
@@ -294,16 +361,17 @@ def _check_program(case: FuzzCase) -> list[OracleFailure]:
 
 def check_case(case: FuzzCase, workdir: Path | None = None,
                engines: tuple[str, ...] = ("bitmask", "legacy", "array"),
-               cluster=None) -> list[OracleFailure]:
+               cluster=None, vn: bool = False) -> list[OracleFailure]:
     """Run every applicable oracle; an empty list means the case passed.
 
     ``engines`` picks the search implementations a region case runs through;
     cross-engine parity is only asserted when more than one is given.
     ``cluster`` (a live :class:`repro.cluster.LocalCluster`) additionally
     routes the region through the cluster front door and insists the routed
-    result equals the local one.  Any exception inside an oracle is itself
-    a failure (generated inputs must never crash the stack) and is reported
-    as ``exception:<Type>``.
+    result equals the local one.  ``vn=True`` adds the value-numbering
+    differential block (:func:`_check_vn`) to region cases.  Any exception
+    inside an oracle is itself a failure (generated inputs must never crash
+    the stack) and is reported as ``exception:<Type>``.
     """
     if not engines:
         raise ValueError("need at least one engine")
@@ -311,6 +379,8 @@ def check_case(case: FuzzCase, workdir: Path | None = None,
         if case.kind == "program":
             return _check_program(case)
         failures = _check_region(case, workdir, tuple(engines))
+        if vn:
+            failures.extend(_check_vn(case, tuple(engines)))
         if cluster is not None:
             failures.extend(_check_cluster(case, cluster, tuple(engines)))
         return failures

@@ -52,6 +52,9 @@ class FuzzConfig:
     #: 3-node cluster and compared against the local result (the
     #: ``cluster_roundtrip`` oracle).  0 disables the cluster entirely.
     cluster_fraction: float = 0.0
+    #: Enable the value-numbering differential oracle block and bias the
+    #: generator toward cross-thread redundancy (the inputs vn rewrites).
+    vn: bool = False
 
     def __post_init__(self) -> None:
         if self.cases < 1:
@@ -124,6 +127,7 @@ def fuzz_run(config: FuzzConfig | None = None,
         max_threads=config.max_threads,
         max_ops=config.max_ops,
         program_fraction=config.program_fraction,
+        redundancy=0.35 if config.vn else 0.0,
     )
     workdir = Path(config.workdir) if config.workdir else None
 
@@ -156,7 +160,8 @@ def fuzz_run(config: FuzzConfig | None = None,
                       note=case.note, ops=case.num_ops):
                 found = check_case(
                     case, workdir=workdir, engines=config.engines,
-                    cluster=cluster if route_through_cluster else None)
+                    cluster=cluster if route_through_cluster else None,
+                    vn=config.vn)
             registry.inc("fuzz_cases_total")
             registry.observe("fuzz_case_seconds",
                              time.perf_counter() - case_start)
@@ -172,7 +177,8 @@ def fuzz_run(config: FuzzConfig | None = None,
                 if config.shrink:
                     shrunk = shrink_case(case, found,
                                          max_attempts=config.shrink_attempts,
-                                         engines=config.engines)
+                                         engines=config.engines,
+                                         vn=config.vn)
                     if shrunk is case:
                         shrunk = None
                 failure = FuzzFailure(case=case, failures=tuple(found),

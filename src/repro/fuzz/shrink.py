@@ -55,12 +55,17 @@ class _Budget:
 
 
 def _still_fails(case: FuzzCase, oracles: frozenset[str],
-                 engines: tuple[str, ...]) -> bool:
-    return any(f.oracle in oracles for f in check_case(case, engines=engines))
+                 engines: tuple[str, ...], vn: bool) -> bool:
+    # ``vn`` rides through every re-check so the vn oracle set stays fixed
+    # while ddmin runs: a candidate only counts as "still failing" if it
+    # fails the same oracle under the same oracle battery.
+    return any(f.oracle in oracles
+               for f in check_case(case, engines=engines, vn=vn))
 
 
 def _shrink_region(case: FuzzCase, oracles: frozenset[str],
-                   budget: _Budget, engines: tuple[str, ...]) -> FuzzCase:
+                   budget: _Budget, engines: tuple[str, ...],
+                   vn: bool) -> FuzzCase:
     best = case
 
     def try_candidate(threads: list[list[Operation]]) -> FuzzCase | None:
@@ -68,7 +73,8 @@ def _shrink_region(case: FuzzCase, oracles: frozenset[str],
             return None
         candidate = dataclasses.replace(
             best, region=_rebuild_region([ops for ops in threads if ops]))
-        return candidate if _still_fails(candidate, oracles, engines) else None
+        return candidate if _still_fails(candidate, oracles, engines, vn) \
+            else None
 
     progress = True
     while progress and budget.left > 0:
@@ -132,7 +138,8 @@ def _shrink_region(case: FuzzCase, oracles: frozenset[str],
 
 
 def _shrink_program(case: FuzzCase, oracles: frozenset[str],
-                    budget: _Budget, engines: tuple[str, ...]) -> FuzzCase:
+                    budget: _Budget, engines: tuple[str, ...],
+                    vn: bool) -> FuzzCase:
     best = case
     progress = True
     while progress and budget.left > 0:
@@ -146,7 +153,7 @@ def _shrink_program(case: FuzzCase, oracles: frozenset[str],
                     return best
                 trimmed = lines[:start] + lines[start + chunk:]
                 candidate = dataclasses.replace(best, source="\n".join(trimmed) + "\n")
-                if trimmed and _still_fails(candidate, oracles, engines):
+                if trimmed and _still_fails(candidate, oracles, engines, vn):
                     best = candidate
                     lines = trimmed
                     progress = True
@@ -158,21 +165,25 @@ def _shrink_program(case: FuzzCase, oracles: frozenset[str],
 
 def shrink_case(case: FuzzCase, failing: list[OracleFailure],
                 max_attempts: int = 400,
-                engines: tuple[str, ...] = ("bitmask", "legacy", "array")) -> FuzzCase:
+                engines: tuple[str, ...] = ("bitmask", "legacy", "array"),
+                vn: bool = False) -> FuzzCase:
     """Reduce ``case`` while it keeps failing one of ``failing``'s oracles.
 
     Returns the smallest case found (possibly ``case`` itself), with
     ``shrunk_from_ops`` recording the original size so reports can show
-    the reduction.
+    the reduction.  ``vn`` must match the flag the failure was found under
+    — it pins the oracle battery (the vn differential block included) for
+    every candidate re-check, so a ``vn_*`` failure shrinks toward the
+    smallest region that still breaks the value-numbering pass.
     """
     if not failing:
         return case
     oracles = frozenset(f.oracle for f in failing)
     budget = _Budget(max_attempts)
     if case.kind == "program":
-        shrunk = _shrink_program(case, oracles, budget, tuple(engines))
+        shrunk = _shrink_program(case, oracles, budget, tuple(engines), vn)
     else:
-        shrunk = _shrink_region(case, oracles, budget, tuple(engines))
+        shrunk = _shrink_region(case, oracles, budget, tuple(engines), vn)
     if shrunk is case:
         return case
     return dataclasses.replace(shrunk, shrunk_from_ops=case.num_ops or None,

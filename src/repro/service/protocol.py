@@ -189,6 +189,9 @@ def request_to_wire(request: InductionRequest,
         "config": dataclasses.asdict(request.resolved_config()),
         "verify": request.verify,
     }
+    if request.vn != "off":
+        # Additive key: pre-vn servers rebuild from the keys they know.
+        wire["vn"] = request.vn
     if request.deadline_s is not None:
         wire["deadline_s"] = request.deadline_s
     if request.routing:
@@ -218,6 +221,7 @@ def request_from_wire(wire: Mapping[str, Any]) -> InductionRequest:
             config=config,
             deadline_s=wire.get("deadline_s"),
             verify=bool(wire.get("verify", True)),
+            vn=str(wire.get("vn", "off")),
             routing=wire.get("routing"),
         )
     except ProtocolError:

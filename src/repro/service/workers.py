@@ -376,6 +376,12 @@ def build_result(request: InductionRequest, schedule: Schedule,
     """
     region = request.resolved_region()
     model = request.resolved_model()
+    if request.vn != "off":
+        # The schedule being wrapped was built on the vn-rewritten region;
+        # baselines must measure the same region or a cache hit would
+        # report different serial/lockstep costs than the fresh run did.
+        from repro.core.vn import vn_prepass
+        region, _vnstats = vn_prepass(region, model, request.vn)
     return InductionResult(
         method=method or request.method,
         schedule=schedule,
@@ -403,7 +409,8 @@ def degraded_result(request: InductionRequest,
     """
     res = _induce_impl(
         request.resolved_region(), request.resolved_model(), method="greedy",
-        config=request.resolved_config(), verify=request.verify)
+        config=request.resolved_config(), verify=request.verify,
+        vn=request.vn)
     return dataclasses.replace(
         res, degraded=True,
         wall_s=wall_s if wall_s is not None else res.wall_s)

@@ -12,7 +12,8 @@ import pathlib
 import pytest
 
 from repro.fuzz import (case_from_payload, case_to_payload, check_case,
-                        generate_case, load_corpus, save_failure)
+                        entry_needs_vn, generate_case, load_corpus,
+                        save_failure)
 from repro.fuzz.oracles import OracleFailure
 
 CORPUS_DIR = pathlib.Path(__file__).resolve().parents[1] / "corpus"
@@ -80,6 +81,16 @@ class TestSaveAndLoad:
     def test_load_missing_directory_is_empty(self, tmp_path):
         assert load_corpus(tmp_path / "nope") == []
 
+    def test_entry_needs_vn_detects_vn_findings(self, tmp_path):
+        case = generate_case(24, 3)
+        plain = save_failure(tmp_path / "a", case,
+                             [OracleFailure("engine_counters", "synthetic")])
+        vn = save_failure(tmp_path / "b", case,
+                          [OracleFailure("vn_equivalence", "synthetic")])
+        assert not entry_needs_vn(plain)
+        assert entry_needs_vn(vn)
+        assert not entry_needs_vn(tmp_path / "missing.json")
+
 
 class TestCorpusReplay:
     """The tier-1 gate: every committed corpus entry must pass today."""
@@ -94,7 +105,10 @@ class TestCorpusReplay:
     def test_corpus_entry_passes_all_oracles(self, path, tmp_path):
         payload = json.loads(path.read_text())
         case = case_from_payload(payload["case"])
-        failures = check_case(case, workdir=tmp_path)
+        # An entry found by a vn_* oracle replays under the vn battery too,
+        # so a fixed value-numbering bug can never quietly come back.
+        failures = check_case(case, workdir=tmp_path,
+                              vn=entry_needs_vn(path))
         assert failures == [], (
             f"corpus regression {path.name} is failing again: "
             + "; ".join(str(f) for f in failures))
